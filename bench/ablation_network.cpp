@@ -1,0 +1,52 @@
+// Ablation (SIII-G): how sensitive is direct store to the dedicated
+// network's latency? The paper argues the added network "will have exactly
+// the same characteristics as the network used in many cache coherence
+// systems"; this sweep shows the scheme keeps its benefit even with a much
+// slower link, because pushes are pipelined and off the critical path.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dscoh;
+using namespace dscoh::bench;
+
+int main()
+{
+    std::printf("=== Ablation: dedicated-network hop latency sweep ===\n");
+    const std::vector<std::string> codes{"VA", "NN", "HT", "BL", "MM"};
+    const std::vector<Tick> latencies{10, 20, 40, 80, 160, 320};
+
+    std::printf("%-8s", "DS hop");
+    for (const auto& code : codes)
+        std::printf(" %9s", code.c_str());
+    std::printf("   (speedup%% over CCSM, small inputs)\n");
+
+    // CCSM baselines are independent of the DS network.
+    std::vector<Tick> baselines;
+    for (const auto& code : codes) {
+        const auto r = runWorkload(WorkloadRegistry::instance().get(code),
+                                   InputSize::kSmall, CoherenceMode::kCcsm);
+        baselines.push_back(r.metrics.ticks);
+    }
+
+    for (const Tick hop : latencies) {
+        SystemConfig cfg;
+        cfg.dsNet.hopLatency = hop;
+        std::printf("%-8llu", static_cast<unsigned long long>(hop));
+        for (std::size_t i = 0; i < codes.size(); ++i) {
+            const auto r = runWorkload(WorkloadRegistry::instance().get(codes[i]),
+                                       InputSize::kSmall,
+                                       CoherenceMode::kDirectStore, cfg);
+            const double speedup = (static_cast<double>(baselines[i]) /
+                                        static_cast<double>(r.metrics.ticks) -
+                                    1.0) *
+                                   100.0;
+            std::printf(" %8.1f%%", speedup);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nExpectation: the benefit degrades gracefully with hop "
+                "latency because the\nwrite-combined pushes overlap the CPU's "
+                "produce loop; only extreme latencies\neat the gain.\n");
+    return 0;
+}

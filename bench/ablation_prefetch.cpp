@@ -1,0 +1,59 @@
+// Ablation (SIV-C note): "we have also compared direct stores to
+// prefetching and find that direct store's performance improvements there
+// are even higher."
+//
+// We give the CCSM baseline a sequential next-line prefetcher at the GPU L2
+// and compare: pull-based prefetching still pays the coherence round trip
+// per line and can only hide latency after the first miss of a stream,
+// while the push places the data before the first access.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dscoh;
+using namespace dscoh::bench;
+
+int main()
+{
+    std::printf("=== Ablation: direct store vs GPU-L2 prefetching ===\n");
+    const std::vector<std::string> codes{"NN", "BL", "VA", "MM", "MT", "BF"};
+
+    std::printf("%-5s %12s %12s %12s %12s %12s\n", "Name", "CCSM", "CCSM+pf2",
+                "CCSM+pf4", "DS", "DS win vs best pf");
+    for (const auto& code : codes) {
+        const Workload& w = WorkloadRegistry::instance().get(code);
+
+        const auto base =
+            runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
+
+        SystemConfig pf2;
+        pf2.gpuL2PrefetchDepth = 2;
+        const auto withPf2 =
+            runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm, pf2);
+
+        SystemConfig pf4;
+        pf4.gpuL2PrefetchDepth = 4;
+        const auto withPf4 =
+            runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm, pf4);
+
+        const auto ds =
+            runWorkload(w, InputSize::kSmall, CoherenceMode::kDirectStore);
+
+        const Tick bestPf =
+            std::min(withPf2.metrics.ticks, withPf4.metrics.ticks);
+        const double winVsPf = (static_cast<double>(bestPf) /
+                                    static_cast<double>(ds.metrics.ticks) -
+                                1.0) *
+                               100.0;
+        std::printf("%-5s %12llu %12llu %12llu %12llu %11.1f%%\n",
+                    code.c_str(),
+                    static_cast<unsigned long long>(base.metrics.ticks),
+                    static_cast<unsigned long long>(withPf2.metrics.ticks),
+                    static_cast<unsigned long long>(withPf4.metrics.ticks),
+                    static_cast<unsigned long long>(ds.metrics.ticks),
+                    winVsPf);
+    }
+    std::printf("\nExpectation (paper): direct store beats prefetching on "
+                "these streaming\nproducer-consumer benchmarks.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+// Shared helpers for the reproduction benches: run workloads under both
+// schemes, format per-benchmark tables, and compute the paper's geometric
+// means.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/runner.h"
+
+namespace dscoh::bench {
+
+struct BenchmarkRow {
+    std::string code;
+    WorkloadRunResult ccsm;
+    WorkloadRunResult ds;
+
+    double speedupPercent() const
+    {
+        if (ds.metrics.ticks == 0)
+            return 0.0;
+        return (static_cast<double>(ccsm.metrics.ticks) /
+                    static_cast<double>(ds.metrics.ticks) -
+                1.0) *
+               100.0;
+    }
+};
+
+/// Runs every Table II workload at @p size under both schemes.
+inline std::vector<BenchmarkRow> runAll(InputSize size,
+                                        const SystemConfig& base = SystemConfig{},
+                                        bool verbose = true)
+{
+    std::vector<BenchmarkRow> rows;
+    const auto& registry = WorkloadRegistry::instance();
+    for (const auto& code : registry.codes()) {
+        const Workload& w = registry.get(code);
+        BenchmarkRow row;
+        row.code = code;
+        row.ccsm = runWorkload(w, size, CoherenceMode::kCcsm, base);
+        row.ds = runWorkload(w, size, CoherenceMode::kDirectStore, base);
+        if (verbose) {
+            std::fprintf(stderr, "  ran %s (%s)\n", code.c_str(),
+                         to_string(size));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/// Geometric mean of the positive entries of @p percents, mirroring the
+/// paper's "geometric means of all non-zero speedups". Values below the
+/// threshold count as "zero" and are excluded.
+inline double geomeanNonZero(const std::vector<double>& percents,
+                             double thresholdPercent = 0.05)
+{
+    double logSum = 0.0;
+    int n = 0;
+    for (const double p : percents) {
+        if (p > thresholdPercent) {
+            logSum += std::log(p);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::exp(logSum / n);
+}
+
+/// Geometric mean of (strictly positive) values.
+inline double geomean(const std::vector<double>& values)
+{
+    double logSum = 0.0;
+    int n = 0;
+    for (const double v : values) {
+        if (v > 0.0) {
+            logSum += std::log(v);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::exp(logSum / n);
+}
+
+} // namespace dscoh::bench

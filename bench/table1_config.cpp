@@ -1,0 +1,28 @@
+// Reproduces Table I: the simulated system configuration.
+#include <iostream>
+
+#include "core/system.h"
+
+int main()
+{
+    using namespace dscoh;
+    std::cout << "=== Table I: System Configuration ===\n\n";
+    SystemConfig::paper(CoherenceMode::kCcsm).printTable(std::cout);
+
+    std::cout << "\nAdditional model parameters (not in Table I):\n";
+    const SystemConfig cfg;
+    std::cout << "  coherence network hop   " << cfg.coherenceNet.hopLatency
+              << " ticks\n"
+              << "  dedicated DS network    " << cfg.dsNet.hopLatency
+              << " ticks (\"same characteristics\", SIII-G)\n"
+              << "  GPU-internal network    " << cfg.gpuNet.hopLatency
+              << " ticks\n"
+              << "  CPU data-supply latency " << cfg.cpuDataSupplyLatency
+              << " ticks (+" << cfg.cpuDataSupplyInterval
+              << "/supply port interval)\n"
+              << "  kernel launch overhead  " << cfg.kernelLaunchLatency
+              << " ticks\n"
+              << "  remote-store buffer     " << cfg.rsbEntries
+              << " write-combining entries\n";
+    return 0;
+}

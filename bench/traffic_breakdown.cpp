@@ -1,0 +1,104 @@
+// Quantifies Fig. 1 / SIII-H: direct store's data movement takes fewer
+// steps and fewer coherence messages than the CCSM pull path, supporting
+// the paper's "simpler replacement" argument.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dscoh;
+using namespace dscoh::bench;
+
+int main()
+{
+    std::printf("=== Coherence-traffic breakdown (Fig. 1 / SIII-H) ===\n");
+    std::printf("Messages on the three coherence virtual networks "
+                "(request/forward/response)\nversus the dedicated direct-store "
+                "network, small inputs.\n\n");
+    std::printf("%-5s %12s %12s %10s %12s %14s\n", "Name", "CCSM msgs",
+                "DS msgs", "saved", "DS-net msgs", "CCSM KB on wire");
+
+    const auto rows = runAll(InputSize::kSmall);
+    std::uint64_t ccsmTotal = 0;
+    std::uint64_t dsTotal = 0;
+    std::uint64_t dsNetTotal = 0;
+    for (const auto& row : rows) {
+        const std::uint64_t c = row.ccsm.metrics.coherenceMessages;
+        const std::uint64_t d = row.ds.metrics.coherenceMessages;
+        ccsmTotal += c;
+        dsTotal += d;
+        dsNetTotal += row.ds.metrics.dsNetworkMessages;
+        std::printf("%-5s %12llu %12llu %9.1f%% %12llu %14llu\n",
+                    row.code.c_str(), static_cast<unsigned long long>(c),
+                    static_cast<unsigned long long>(d),
+                    c == 0 ? 0.0
+                           : (1.0 - static_cast<double>(d) /
+                                        static_cast<double>(c)) *
+                                 100.0,
+                    static_cast<unsigned long long>(
+                        row.ds.metrics.dsNetworkMessages),
+                    static_cast<unsigned long long>(
+                        row.ccsm.metrics.coherenceBytes / 1024));
+    }
+    std::printf("\nTotals: CCSM %llu coherence msgs; DS %llu coherence + %llu "
+                "DS-network msgs\n",
+                static_cast<unsigned long long>(ccsmTotal),
+                static_cast<unsigned long long>(dsTotal),
+                static_cast<unsigned long long>(dsNetTotal));
+    const double saving =
+        (1.0 - static_cast<double>(dsTotal + dsNetTotal) /
+                   static_cast<double>(ccsmTotal)) *
+        100.0;
+    std::printf("Net message saving including the dedicated network: %.1f%%\n",
+                saving);
+    std::printf("\nFig. 1 shape check: a CCSM pull is GetS + snoop + data + "
+                "unblock (4+ messages\nper line); a direct-store push is one "
+                "DsPutX + one ack on a dedicated network.\n");
+
+    // Per-message-type breakdown on the purest producer-consumer benchmark,
+    // which is Fig. 1 rendered as numbers.
+    std::printf("\n--- Message types, VA small ---\n");
+    const auto countTypes = [](CoherenceMode mode) {
+        SystemConfig cfg;
+        cfg.mode = mode;
+        System sys(cfg);
+        const Workload& w = WorkloadRegistry::instance().get("VA");
+        Workload::ArrayMap mem;
+        for (const auto& a : w.arrays(InputSize::kSmall))
+            mem[a.name] = sys.allocateArray(a.bytes, a.gpuShared);
+        const CpuProgram produce = w.cpuProduce(InputSize::kSmall, mem);
+        const auto kernels = w.kernels(InputSize::kSmall, mem);
+        std::size_t next = 0;
+        std::function<void()> launchNext = [&] {
+            if (next < kernels.size())
+                sys.launchKernel(kernels[next++], [&] { launchNext(); });
+        };
+        sys.runCpuProgram(produce, [&] { launchNext(); });
+        sys.simulate();
+        std::map<std::string, std::uint64_t> counts;
+        for (const MsgType t :
+             {MsgType::kGetS, MsgType::kGetX, MsgType::kPut, MsgType::kUnblock,
+              MsgType::kSnpGetS, MsgType::kSnpGetX, MsgType::kSnpResp,
+              MsgType::kData, MsgType::kWbAck}) {
+            const std::uint64_t n = sys.stats().counter(
+                std::string("net.request.msg.") + to_string(t)) +
+                sys.stats().counter(std::string("net.forward.msg.") +
+                                    to_string(t)) +
+                sys.stats().counter(std::string("net.response.msg.") +
+                                    to_string(t));
+            counts[to_string(t)] = n;
+        }
+        counts["DsPutX"] =
+            sys.stats().counter("net.ds.msg.DsPutX");
+        counts["DsAck"] = sys.stats().counter("net.ds.msg.DsAck");
+        return counts;
+    };
+
+    const auto ccsmTypes = countTypes(CoherenceMode::kCcsm);
+    const auto dsTypes = countTypes(CoherenceMode::kDirectStore);
+    std::printf("%-10s %10s %10s\n", "type", "CCSM", "DS");
+    for (const auto& [type, n] : ccsmTypes)
+        std::printf("%-10s %10llu %10llu\n", type.c_str(),
+                    static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(dsTypes.at(type)));
+    return 0;
+}

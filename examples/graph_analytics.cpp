@@ -1,0 +1,41 @@
+// Domain study: the Pannotia-style irregular graph workloads (GC, MS, SP)
+// plus BFS under both coherence schemes — the kind of exploration a user of
+// this library would run to decide whether direct store helps their
+// workload class.
+//
+// Irregular neighbour lookups defeat coalescing and stress the GPU L2;
+// whether the push pays off depends on how many traversal rounds amortize
+// the one-time transfer (GC few rounds -> gains; MS many rounds -> ~0).
+#include <cstdio>
+
+#include "workloads/runner.h"
+
+int main()
+{
+    using namespace dscoh;
+    std::printf("Graph analytics under pull (CCSM) vs push (direct store)\n\n");
+    std::printf("%-5s %-8s %12s %12s %9s %9s %9s\n", "Code", "Input",
+                "CCSM ticks", "DS ticks", "speedup", "mrCCSM", "mrDS");
+
+    for (const auto& code : {"BF", "GC", "MS", "SP"}) {
+        for (const InputSize size : {InputSize::kSmall, InputSize::kBig}) {
+            const auto cmp =
+                compareModes(WorkloadRegistry::instance().get(code), size);
+            std::printf("%-5s %-8s %12llu %12llu %8.1f%% %8.2f%% %8.2f%%\n",
+                        code, to_string(size),
+                        static_cast<unsigned long long>(cmp.ccsm.metrics.ticks),
+                        static_cast<unsigned long long>(
+                            cmp.directStore.metrics.ticks),
+                        (cmp.speedup() - 1.0) * 100.0,
+                        cmp.ccsm.metrics.gpuL2MissRate * 100.0,
+                        cmp.directStore.metrics.gpuL2MissRate * 100.0);
+        }
+    }
+
+    std::printf("\nReading the table: the CSR arrays (offsets/edges) are "
+                "CPU-produced and\nre-traversed every round; the more rounds "
+                "a kernel runs (MS > GC > SP),\nthe smaller the one-time push "
+                "benefit becomes — the same amortization the\npaper sees for "
+                "its zero-speedup group.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: simulate one benchmark under both coherence schemes and
+// print the headline numbers. This is the 30-second tour of the library.
+//
+//   ./quickstart           runs vectorAdd (VA), small input
+//   ./quickstart NN big    any Table II code and input size
+#include <cstdio>
+#include <string>
+
+#include "workloads/runner.h"
+
+int main(int argc, char** argv)
+{
+    using namespace dscoh;
+
+    const std::string code = argc > 1 ? argv[1] : "VA";
+    const InputSize size = (argc > 2 && std::string(argv[2]) == "big")
+                               ? InputSize::kBig
+                               : InputSize::kSmall;
+
+    if (!WorkloadRegistry::instance().has(code)) {
+        std::printf("unknown benchmark '%s'; codes:", code.c_str());
+        for (const auto& c : WorkloadRegistry::instance().codes())
+            std::printf(" %s", c.c_str());
+        std::printf("\n");
+        return 1;
+    }
+
+    const Workload& workload = WorkloadRegistry::instance().get(code);
+    const WorkloadInfo info = workload.info();
+    std::printf("Benchmark %s (%s), %s input (%s), suite %s\n",
+                info.code.c_str(), info.fullName.c_str(), to_string(size),
+                size == InputSize::kSmall ? info.smallInput.c_str()
+                                          : info.bigInput.c_str(),
+                info.suite.c_str());
+
+    // compareModes builds two independent Systems (Table I configuration),
+    // allocates the benchmark's arrays the way the translated program
+    // would, runs CPU-produce then the kernels, and verifies every checked
+    // value on the way.
+    const ComparisonResult cmp = compareModes(workload, size);
+
+    std::printf("\n                      %14s %14s\n", "CCSM", "DirectStore");
+    std::printf("execution ticks       %14llu %14llu\n",
+                static_cast<unsigned long long>(cmp.ccsm.metrics.ticks),
+                static_cast<unsigned long long>(cmp.directStore.metrics.ticks));
+    std::printf("GPU L2 accesses       %14llu %14llu\n",
+                static_cast<unsigned long long>(cmp.ccsm.metrics.gpuL2Accesses),
+                static_cast<unsigned long long>(
+                    cmp.directStore.metrics.gpuL2Accesses));
+    std::printf("GPU L2 miss rate      %13.2f%% %13.2f%%\n",
+                cmp.ccsm.metrics.gpuL2MissRate * 100,
+                cmp.directStore.metrics.gpuL2MissRate * 100);
+    std::printf("compulsory misses     %14llu %14llu\n",
+                static_cast<unsigned long long>(cmp.ccsm.metrics.gpuL2Compulsory),
+                static_cast<unsigned long long>(
+                    cmp.directStore.metrics.gpuL2Compulsory));
+    std::printf("coherence messages    %14llu %14llu\n",
+                static_cast<unsigned long long>(
+                    cmp.ccsm.metrics.coherenceMessages),
+                static_cast<unsigned long long>(
+                    cmp.directStore.metrics.coherenceMessages));
+    std::printf("direct-store pushes   %14s %14llu\n", "-",
+                static_cast<unsigned long long>(cmp.directStore.metrics.dsFills));
+    std::printf("\nDirect store speedup: %.1f%%\n",
+                (cmp.speedup() - 1.0) * 100.0);
+    return 0;
+}

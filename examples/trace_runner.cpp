@@ -1,0 +1,51 @@
+// Runs a user-written .trace workload (see examples/traces/) under both
+// coherence schemes — the no-C++-required way to explore direct store on
+// your own access patterns.
+//
+//   ./trace_runner examples/traces/vector_add.trace [small|big]
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_format.h"
+#include "workloads/runner.h"
+
+int main(int argc, char** argv)
+{
+    using namespace dscoh;
+    if (argc < 2) {
+        std::printf("usage: %s <file.trace> [small|big]\n", argv[0]);
+        return 1;
+    }
+    const InputSize size = (argc > 2 && std::string(argv[2]) == "big")
+                               ? InputSize::kBig
+                               : InputSize::kSmall;
+    try {
+        const auto workload = trace::loadTraceFile(argv[1]);
+        std::printf("trace '%s' (%s input)\n", workload->info().code.c_str(),
+                    to_string(size));
+        for (const auto& a : workload->arrays(size))
+            std::printf("  array %-10s %8llu bytes  %s%s\n", a.name.c_str(),
+                        static_cast<unsigned long long>(a.bytes),
+                        a.gpuShared ? "shared" : "private",
+                        a.cpuProduced ? ", CPU-produced" : "");
+
+        const ComparisonResult cmp = compareModes(*workload, size);
+        std::printf("\n                     %12s %12s\n", "CCSM", "DirectStore");
+        std::printf("ticks                %12llu %12llu\n",
+                    static_cast<unsigned long long>(cmp.ccsm.metrics.ticks),
+                    static_cast<unsigned long long>(
+                        cmp.directStore.metrics.ticks));
+        std::printf("GPU L2 miss rate     %11.2f%% %11.2f%%\n",
+                    cmp.ccsm.metrics.gpuL2MissRate * 100,
+                    cmp.directStore.metrics.gpuL2MissRate * 100);
+        std::printf("pushed lines         %12s %12llu\n", "-",
+                    static_cast<unsigned long long>(
+                        cmp.directStore.metrics.dsFills));
+        std::printf("\nDirect store speedup: %.1f%%\n",
+                    (cmp.speedup() - 1.0) * 100.0);
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates everything the repository claims: build, full test suite, and
+# every table/figure bench, with outputs captured under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee results/test_output.txt
+
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "== $name =="
+  "$b" 2>/dev/null | tee "results/${name}.txt"
+done
+
+echo
+echo "Done. See results/ and EXPERIMENTS.md."

@@ -1,0 +1,106 @@
+#include "cli/options.h"
+
+#include <stdexcept>
+
+namespace dscoh::cli {
+
+void OptionParser::addFlag(const std::string& name, const std::string& help,
+                           bool* out)
+{
+    Option opt;
+    opt.help = help;
+    opt.takesValue = false;
+    opt.apply = [out](const std::string&) {
+        *out = true;
+        return true;
+    };
+    options_.emplace(name, std::move(opt));
+}
+
+void OptionParser::addUint(const std::string& name, const std::string& help,
+                           std::uint64_t* out)
+{
+    Option opt;
+    opt.help = help + " (integer)";
+    opt.takesValue = true;
+    opt.apply = [out](const std::string& value) {
+        try {
+            std::size_t used = 0;
+            *out = std::stoull(value, &used, 0);
+            return used == value.size();
+        } catch (const std::exception&) {
+            return false;
+        }
+    };
+    options_.emplace(name, std::move(opt));
+}
+
+void OptionParser::addString(const std::string& name, const std::string& help,
+                             std::string* out)
+{
+    Option opt;
+    opt.help = help;
+    opt.takesValue = true;
+    opt.apply = [out](const std::string& value) {
+        *out = value;
+        return true;
+    };
+    options_.emplace(name, std::move(opt));
+}
+
+bool OptionParser::parse(int argc, const char* const* argv, std::ostream& err)
+{
+    positional_.clear();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool hasValue = false;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            hasValue = true;
+        }
+        if (name == "help") {
+            printHelp(err);
+            return false;
+        }
+        const auto it = options_.find(name);
+        if (it == options_.end()) {
+            err << program_ << ": unknown option --" << name << "\n";
+            return false;
+        }
+        if (it->second.takesValue && !hasValue) {
+            if (i + 1 >= argc) {
+                err << program_ << ": --" << name << " needs a value\n";
+                return false;
+            }
+            value = argv[++i];
+        }
+        if (!it->second.takesValue && hasValue) {
+            err << program_ << ": --" << name << " takes no value\n";
+            return false;
+        }
+        if (!it->second.apply(value)) {
+            err << program_ << ": bad value for --" << name << ": '" << value
+                << "'\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+void OptionParser::printHelp(std::ostream& os) const
+{
+    os << program_ << " — " << description_ << "\n\noptions:\n";
+    for (const auto& [name, opt] : options_)
+        os << "  --" << name << (opt.takesValue ? " <value>" : "") << "\n      "
+           << opt.help << "\n";
+    os << "  --help\n      show this message\n";
+}
+
+} // namespace dscoh::cli

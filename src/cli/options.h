@@ -1,0 +1,52 @@
+// Tiny declarative command-line option parser for the dscoh tools.
+//
+// Flags are GNU-style: --name value or --name=value; bare --name for
+// booleans. Unknown options are errors; non-option arguments collect into
+// positional(). No dependencies, deterministic error messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dscoh::cli {
+
+class OptionParser {
+public:
+    explicit OptionParser(std::string programName, std::string description)
+        : program_(std::move(programName)), description_(std::move(description))
+    {
+    }
+
+    void addFlag(const std::string& name, const std::string& help, bool* out);
+    void addUint(const std::string& name, const std::string& help,
+                 std::uint64_t* out);
+    void addString(const std::string& name, const std::string& help,
+                   std::string* out);
+
+    /// Parses argv. Returns false (and writes a message to @p err) on any
+    /// unknown option, missing value, or malformed number. `--help` prints
+    /// usage to @p err and also returns false.
+    bool parse(int argc, const char* const* argv, std::ostream& err);
+
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    void printHelp(std::ostream& os) const;
+
+private:
+    struct Option {
+        std::string help;
+        bool takesValue = false;
+        std::function<bool(const std::string&)> apply;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Option> options_; ///< keyed without leading dashes
+    std::vector<std::string> positional_;
+};
+
+} // namespace dscoh::cli

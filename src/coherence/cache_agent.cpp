@@ -1,0 +1,427 @@
+#include "coherence/cache_agent.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "coherence/transition_coverage.h"
+#include "sim/log.h"
+
+namespace dscoh {
+
+const char* to_string(CohState s)
+{
+    switch (s) {
+    case CohState::kI: return "I";
+    case CohState::kS: return "S";
+    case CohState::kO: return "O";
+    case CohState::kM: return "M";
+    case CohState::kMM: return "MM";
+    case CohState::kIS_D: return "IS_D";
+    case CohState::kIM_D: return "IM_D";
+    case CohState::kSM_D: return "SM_D";
+    case CohState::kMI_A: return "MI_A";
+    case CohState::kOI_A: return "OI_A";
+    case CohState::kII_A: return "II_A";
+    }
+    return "?";
+}
+
+CacheAgent::CacheAgent(std::string name, EventQueue& queue, const Params& params)
+    : SimObject(std::move(name), queue), params_(params),
+      array_(params.geometry), mshr_(params.mshrs)
+{
+    assert(params_.requestNet && params_.forwardNet && params_.responseNet);
+}
+
+bool CacheAgent::probeHit(Addr addr, bool exclusive) const
+{
+    const Line* line = array_.find(addr);
+    return line != nullptr && satisfies(line->meta.state, exclusive);
+}
+
+void CacheAgent::access(Addr addr, bool exclusive, AccessDone done)
+{
+    const Addr base = lineAlign(addr);
+
+    // Merge into an outstanding transaction for this line.
+    if (auto* entry = mshr_.find(base)) {
+        entry->targets.push_back({exclusive, std::move(done)});
+        return;
+    }
+
+    // The line is draining through the writeback buffer: wait for the WbAck
+    // rather than creating a second copy.
+    if (inWriteback(base)) {
+        deferrals_.inc();
+        deferUntilResourceFree([this, base, exclusive, d = std::move(done)]() mutable {
+            access(base, exclusive, std::move(d));
+        });
+        return;
+    }
+
+    Line* line = array_.find(base);
+    if (line != nullptr && satisfies(line->meta.state, exclusive)) {
+        recordTransition(line->meta.state,
+                         exclusive ? CohEvent::kStore : CohEvent::kLoad,
+                         line->meta.state);
+        array_.touch(base);
+        done(*line);
+        return;
+    }
+
+    // A transient line without an MSHR entry is impossible: every transient
+    // array state is created together with its entry.
+    assert(line == nullptr || isStable(line->meta.state));
+
+    if (mshr_.full()) {
+        deferrals_.inc();
+        deferUntilResourceFree([this, base, exclusive, d = std::move(done)]() mutable {
+            access(base, exclusive, std::move(d));
+        });
+        return;
+    }
+
+    startTransaction(line, base, exclusive, std::move(done));
+}
+
+void CacheAgent::startTransaction(Line* existing, Addr base, bool exclusive,
+                                  AccessDone done)
+{
+    if (existing != nullptr) {
+        // Upgrade from S/M/O (stores are not allowed in M, per the paper, so
+        // M also upgrades through GetX). Data stays readable while SM_D.
+        assert(exclusive && canRead(existing->meta.state));
+        recordTransition(existing->meta.state, CohEvent::kStore,
+                         CohState::kSM_D);
+        existing->meta.state = CohState::kSM_D;
+        upgrades_.inc();
+        auto& entry = mshr_.allocate(base);
+        entry.targets.push_back({exclusive, std::move(done)});
+        getxIssued_.inc();
+        sendToHome(MsgType::kGetX, base);
+        return;
+    }
+
+    Line* way = makeRoom(base);
+    if (way == nullptr) {
+        // Every way in the set is pinned by an in-flight transaction.
+        deferrals_.inc();
+        deferUntilResourceFree([this, base, exclusive, d = std::move(done)]() mutable {
+            access(base, exclusive, std::move(d));
+        });
+        return;
+    }
+    Line& line = array_.install(*way, base);
+    line.meta.state = exclusive ? CohState::kIM_D : CohState::kIS_D;
+    recordTransition(CohState::kI,
+                     exclusive ? CohEvent::kStore : CohEvent::kLoad,
+                     line.meta.state);
+    auto& entry = mshr_.allocate(base);
+    entry.targets.push_back({exclusive, std::move(done)});
+    if (exclusive) {
+        getxIssued_.inc();
+        sendToHome(MsgType::kGetX, base);
+    } else {
+        getsIssued_.inc();
+        sendToHome(MsgType::kGetS, base);
+    }
+}
+
+CacheAgent::Line* CacheAgent::makeRoom(Addr addr)
+{
+    if (Line* free = array_.findFreeWay(addr))
+        return free;
+
+    const bool wbbFull = writebackBufferFull();
+    Line* victim = array_.selectVictim(addr, [this, wbbFull](const Line& l) {
+        if (!isStable(l.meta.state))
+            return false;
+        // A dirty victim needs a writeback-buffer slot and must not collide
+        // with a line already draining.
+        if (needsWriteback(l.meta.state) && (wbbFull || inWriteback(l.base)))
+            return false;
+        return true;
+    });
+    if (victim == nullptr)
+        return nullptr;
+
+    onInvalidate(victim->base);
+    if (needsWriteback(victim->meta.state)) {
+        recordTransition(victim->meta.state, CohEvent::kEvict,
+                         victim->meta.state == CohState::kMM ? CohState::kMI_A
+                                                             : CohState::kOI_A);
+        issueWriteback(victim->base, victim->data, victim->meta.state);
+    } else {
+        recordTransition(victim->meta.state, CohEvent::kEvict, CohState::kI);
+    }
+    array_.invalidate(*victim);
+    return victim;
+}
+
+void CacheAgent::issueWriteback(Addr base, const DataBlock& data,
+                                CohState fromState)
+{
+    assert(needsWriteback(fromState));
+    assert(!inWriteback(base) && !writebackBufferFull());
+    WbEntry entry;
+    entry.state = fromState == CohState::kMM ? CohState::kMI_A : CohState::kOI_A;
+    entry.data = data;
+    wbb_.emplace(base, std::move(entry));
+    writebacks_.inc();
+
+    Message msg;
+    msg.type = MsgType::kPut;
+    msg.addr = base;
+    msg.src = params_.self;
+    msg.dst = params_.home;
+    msg.requester = params_.self;
+    msg.data = data;
+    msg.mask.set(0, kLineSize);
+    msg.hasData = true;
+    msg.dirty = true;
+    msg.txn = nextTxn_++;
+    params_.requestNet->send(std::move(msg));
+}
+
+void CacheAgent::sendToHome(MsgType type, Addr base, bool ownerFlag)
+{
+    Message msg;
+    msg.type = type;
+    msg.addr = base;
+    msg.src = params_.self;
+    msg.dst = params_.home;
+    msg.requester = params_.self;
+    // For kUnblock, `exclusive` carries "requester ended the transaction as
+    // the line's owner (MM)" so home can maintain its owner registry.
+    msg.exclusive = ownerFlag;
+    msg.txn = nextTxn_++;
+    params_.requestNet->send(std::move(msg));
+}
+
+void CacheAgent::sendDataTo(NodeId dst, Addr base, const DataBlock& data,
+                            bool dirty, bool exclusive, std::uint64_t txn)
+{
+    Message msg;
+    msg.type = MsgType::kData;
+    msg.addr = base;
+    msg.src = params_.self;
+    msg.dst = dst;
+    msg.requester = dst;
+    msg.data = data;
+    msg.mask.set(0, kLineSize);
+    msg.hasData = true;
+    msg.dirty = dirty;
+    msg.exclusive = exclusive;
+    msg.txn = txn;
+    dataSupplied_.inc();
+    if (params_.dataSupplyLatency == 0 && params_.dataSupplyInterval == 0) {
+        params_.responseNet->send(std::move(msg));
+        return;
+    }
+    // Reading the line out of the hierarchy takes time and uses a single
+    // read port; the requester sees it as the slow cache-to-cache leg of a
+    // pull, and concurrent pulls serialize behind each other.
+    const Tick start = std::max(curTick(), supplyPortFreeAt_);
+    supplyPortFreeAt_ = start + params_.dataSupplyInterval;
+    queue().schedule(start + params_.dataSupplyLatency,
+                     [this, m = std::move(msg)]() mutable {
+                         params_.responseNet->send(std::move(m));
+                     },
+                     EventPriority::kController);
+}
+
+void CacheAgent::handleForward(const Message& msg)
+{
+    switch (msg.type) {
+    case MsgType::kSnpGetS:
+    case MsgType::kSnpGetX:
+        if (params_.snoopTagLatency == 0) {
+            handleSnoop(msg);
+        } else {
+            queue().scheduleAfter(params_.snoopTagLatency,
+                                  [this, msg] { handleSnoop(msg); },
+                                  EventPriority::kController);
+        }
+        break;
+    case MsgType::kWbAck: {
+        const auto it = wbb_.find(msg.addr);
+        assert(it != wbb_.end() && "WbAck for unknown writeback");
+        recordTransition(it->second.state, CohEvent::kWbAck, CohState::kI);
+        wbb_.erase(it);
+        replayBlocked();
+        break;
+    }
+    default:
+        assert(false && "unexpected forward message");
+    }
+}
+
+void CacheAgent::handleSnoop(const Message& msg)
+{
+    snoops_.inc();
+    const Addr base = msg.addr;
+    const bool wantsExclusive = msg.type == MsgType::kSnpGetX;
+
+    bool suppliedData = false;
+    bool wasSharer = false;
+
+    if (const auto it = wbb_.find(base); it != wbb_.end()) {
+        // The line is draining. Until the WbAck arrives we still act as its
+        // owner (unless a previous snoop already took it away: II_A).
+        WbEntry& entry = it->second;
+        if (entry.state != CohState::kII_A) {
+            sendDataTo(msg.requester, base, entry.data, /*dirty=*/true,
+                       wantsExclusive, msg.txn);
+            suppliedData = true;
+            wasSharer = true;
+            if (wantsExclusive) {
+                recordTransition(entry.state, CohEvent::kSnpGetX,
+                                 CohState::kII_A);
+                entry.state = CohState::kII_A;
+            }
+        }
+    } else if (Line* line = array_.find(base)) {
+        switch (line->meta.state) {
+        case CohState::kMM:
+        case CohState::kM:
+        case CohState::kO:
+            sendDataTo(msg.requester, base, line->data,
+                       /*dirty=*/line->meta.state != CohState::kM,
+                       wantsExclusive, msg.txn);
+            suppliedData = true;
+            wasSharer = true;
+            if (wantsExclusive) {
+                recordTransition(line->meta.state, CohEvent::kSnpGetX,
+                                 CohState::kI);
+                onInvalidate(base);
+                array_.invalidate(*line);
+            } else {
+                recordTransition(line->meta.state, CohEvent::kSnpGetS,
+                                 CohState::kO);
+                line->meta.state = CohState::kO;
+            }
+            break;
+        case CohState::kS:
+            wasSharer = true;
+            if (wantsExclusive) {
+                recordTransition(CohState::kS, CohEvent::kSnpGetX,
+                                 CohState::kI);
+                onInvalidate(base);
+                array_.invalidate(*line);
+            }
+            break;
+        case CohState::kSM_D:
+            // Our upgrade lost the race: the competing GetX invalidates our
+            // S copy and our transaction degrades to a full miss.
+            wasSharer = true;
+            if (wantsExclusive) {
+                recordTransition(CohState::kSM_D, CohEvent::kSnpGetX,
+                                 CohState::kIM_D);
+                onInvalidate(base);
+                line->meta.state = CohState::kIM_D;
+            }
+            break;
+        case CohState::kIS_D:
+        case CohState::kIM_D:
+            // Our own request is ordered after this transaction; we hold
+            // nothing yet.
+            break;
+        default:
+            assert(false && "stable I lines are not kept in the array");
+        }
+    }
+
+    Message resp;
+    resp.type = MsgType::kSnpResp;
+    resp.addr = base;
+    resp.src = params_.self;
+    resp.dst = params_.home;
+    resp.requester = msg.requester;
+    resp.suppliedData = suppliedData;
+    resp.wasSharer = wasSharer;
+    resp.txn = msg.txn;
+    params_.responseNet->send(std::move(resp));
+}
+
+void CacheAgent::handleResponse(const Message& msg)
+{
+    assert(msg.type == MsgType::kData);
+    handleData(msg);
+}
+
+void CacheAgent::handleData(const Message& msg)
+{
+    Line* line = array_.find(msg.addr);
+    assert(line != nullptr && "data for a line with no transaction");
+    const CohState prev = line->meta.state;
+    assert(prev == CohState::kIS_D || prev == CohState::kIM_D ||
+           prev == CohState::kSM_D);
+
+    line->data = msg.data;
+    CohState next;
+    if (prev == CohState::kIS_D)
+        next = msg.exclusive ? CohState::kM : CohState::kS;
+    else
+        next = CohState::kMM;
+    recordTransition(prev, CohEvent::kFill, next);
+    line->meta.state = next;
+    line->meta.dsFilled = false;
+    fills_.inc();
+    noteFilled(msg.addr);
+    onFill(*line);
+
+    sendToHome(MsgType::kUnblock, msg.addr,
+               /*ownerFlag=*/next == CohState::kMM);
+
+    // Serve the merged requests. Targets the fill does not satisfy (a store
+    // merged into a GetS) restart as fresh accesses (upgrade).
+    auto targets = mshr_.release(msg.addr);
+    for (auto& target : targets) {
+        if (satisfies(line->meta.state, target.exclusive)) {
+            target.done(*line);
+        } else {
+            access(msg.addr, target.exclusive, std::move(target.done));
+            // The restart may have changed `line`'s state (SM_D) but not its
+            // storage location; later targets re-check via satisfies().
+        }
+    }
+
+    replayBlocked();
+}
+
+void CacheAgent::replayBlocked()
+{
+    std::deque<std::function<void()>> pending;
+    pending.swap(blocked_);
+    for (auto& thunk : pending)
+        thunk();
+}
+
+void CacheAgent::forEachLine(const std::function<void(const Line&)>& fn) const
+{
+    const_cast<CacheArray<CohMeta>&>(array_).forEachValid(
+        [&fn](Line& l) { fn(l); });
+}
+
+CohState CacheAgent::stateOf(Addr addr) const
+{
+    if (const auto it = wbb_.find(lineAlign(addr)); it != wbb_.end())
+        return it->second.state;
+    const Line* line = array_.find(addr);
+    return line == nullptr ? CohState::kI : line->meta.state;
+}
+
+void CacheAgent::regStats(StatRegistry& registry)
+{
+    registry.registerCounter(statName("gets_issued"), &getsIssued_);
+    registry.registerCounter(statName("getx_issued"), &getxIssued_);
+    registry.registerCounter(statName("upgrades"), &upgrades_);
+    registry.registerCounter(statName("fills"), &fills_);
+    registry.registerCounter(statName("writebacks"), &writebacks_);
+    registry.registerCounter(statName("snoops"), &snoops_);
+    registry.registerCounter(statName("data_supplied"), &dataSupplied_);
+    registry.registerCounter(statName("deferrals"), &deferrals_);
+}
+
+} // namespace dscoh

@@ -1,0 +1,183 @@
+// A coherent cache agent: one node of the Hammer-style MOESI protocol.
+//
+// The CPU cache hierarchy (L1D filtered, L2 coherent) and each GPU L2 slice
+// are CacheAgents. The agent owns a set-associative array whose per-line
+// metadata is the protocol state, an MSHR file that merges concurrent local
+// requests, and a writeback buffer holding evicted dirty lines until the
+// home controller acknowledges their Put.
+//
+// Front side: access(addr, exclusive, done) — resolves locally on a hit or
+// starts a GetS/GetX transaction; `done` runs (possibly immediately) when the
+// line is readable/writable, with a reference to the filled line.
+//
+// Network side: handleForward (snoops, writeback acks, from home) and
+// handleResponse (data). Wired up by the System builder.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "coherence/protocol.h"
+#include "mem/cache_array.h"
+#include "mem/mshr.h"
+#include "net/network.h"
+#include "sim/sim_object.h"
+
+namespace dscoh {
+
+class CacheAgent : public SimObject {
+public:
+    using Line = CacheArray<CohMeta>::Line;
+    using AccessDone = std::function<void(Line&)>;
+
+    struct Params {
+        CacheGeometry geometry;
+        std::size_t mshrs = 16;
+        std::size_t writebackEntries = 8;
+        NodeId self = kInvalidNode;
+        NodeId home = kInvalidNode;
+        Network* requestNet = nullptr;  ///< agent -> home (GetS/GetX/Put/Unblock)
+        Network* forwardNet = nullptr;  ///< home -> agent (snoops, WbAck)
+        Network* responseNet = nullptr; ///< data / acks / snoop responses
+        /// Tag-check latency charged before a snoop is processed.
+        Tick snoopTagLatency = 0;
+        /// Extra latency when a snoop is answered with data: reading the
+        /// line out of the hierarchy and injecting it into the response
+        /// network (the slow cache-to-cache leg of the CCSM pull path).
+        Tick dataSupplyLatency = 0;
+        /// Initiation interval between successive data supplies (a single
+        /// read port on the supplying cache): back-to-back snoop hits
+        /// serialize, which is what keeps massively parallel consumers from
+        /// hiding the pull latency.
+        Tick dataSupplyInterval = 0;
+    };
+
+    CacheAgent(std::string name, EventQueue& queue, const Params& params);
+
+    /// Requests read (exclusive=false) or write (exclusive=true) permission
+    /// on @p addr's line. Always accepted; internally defers on resource
+    /// pressure. @p done runs with the line in a satisfying state. For
+    /// writes the callback must write the line's bytes itself (and the state
+    /// is already MM).
+    void access(Addr addr, bool exclusive, AccessDone done);
+
+    /// Would @p addr hit right now (stable state satisfying @p exclusive)?
+    /// Used by the front ends for hit/miss statistics and latency choice.
+    bool probeHit(Addr addr, bool exclusive) const;
+
+    /// Has this line ever been filled into this cache? (compulsory-miss
+    /// classification; direct-store fills count.)
+    bool everFilled(Addr addr) const
+    {
+        return everFilled_.count(lineNumber(addr)) != 0;
+    }
+
+    // -- network entry points ------------------------------------------------
+    void handleForward(const Message& msg);
+    void handleResponse(const Message& msg);
+
+    void regStats(StatRegistry& registry) override;
+
+    NodeId nodeId() const { return params_.self; }
+
+    /// Debug/verification: invokes @p fn for every valid line (stable or
+    /// transient) in the array.
+    void forEachLine(const std::function<void(const Line&)>& fn) const;
+
+    /// Debug/verification: protocol state for a line (kI if absent and not
+    /// in the writeback buffer; writeback-buffer entries report their
+    /// transient state).
+    CohState stateOf(Addr addr) const;
+
+    std::uint64_t fills() const { return fills_.value(); }
+    std::uint64_t writebacks() const { return writebacks_.value(); }
+
+protected:
+    /// Hook: a line was filled (protocol fill or direct-store install).
+    virtual void onFill(Line& line) { static_cast<void>(line); }
+    /// Hook: a line is leaving the array (eviction or snoop-invalidate);
+    /// upper non-coherent levels (CPU L1 filter) must drop their copy.
+    virtual void onInvalidate(Addr base) { static_cast<void>(base); }
+
+    CacheArray<CohMeta>& array() { return array_; }
+    const CacheArray<CohMeta>& array() const { return array_; }
+
+    /// Frees a way in @p addr's set, evicting (and writing back) a victim if
+    /// necessary. Returns nullptr when every way is pinned by an in-flight
+    /// transaction (caller defers).
+    Line* makeRoom(Addr addr);
+
+    bool inWriteback(Addr addr) const
+    {
+        return wbb_.count(lineAlign(addr)) != 0;
+    }
+
+    /// Defers a thunk until a resource frees up (WbAck, fill, MSHR release).
+    void deferUntilResourceFree(std::function<void()> thunk)
+    {
+        blocked_.push_back(std::move(thunk));
+    }
+
+    void noteFilled(Addr addr) { everFilled_.insert(lineNumber(addr)); }
+
+    /// Sends a Put (writeback) for an MM/O line's data and parks it in the
+    /// writeback buffer. Precondition: !inWriteback(base) and WBB not full.
+    void issueWriteback(Addr base, const DataBlock& data, CohState fromState);
+
+    bool writebackBufferFull() const
+    {
+        return wbb_.size() >= params_.writebackEntries;
+    }
+
+    const Params& params() const { return params_; }
+
+    /// Replays every deferred request (cheap; deferral is rare).
+    void replayBlocked();
+
+private:
+    struct MshrTarget {
+        bool exclusive = false;
+        AccessDone done;
+    };
+
+    struct WbEntry {
+        CohState state = CohState::kMI_A; ///< kMI_A, kOI_A or kII_A
+        DataBlock data;
+    };
+
+    static bool satisfies(CohState s, bool exclusive)
+    {
+        return exclusive ? canWrite(s) : canRead(s);
+    }
+
+    void startTransaction(Line* existing, Addr base, bool exclusive,
+                          AccessDone done);
+    void handleSnoop(const Message& msg);
+    void handleData(const Message& msg);
+    void sendToHome(MsgType type, Addr base, bool ownerFlag = false);
+    void sendDataTo(NodeId dst, Addr base, const DataBlock& data, bool dirty,
+                    bool exclusive, std::uint64_t txn);
+
+    Params params_;
+    CacheArray<CohMeta> array_;
+    MshrFile<MshrTarget> mshr_;
+    std::unordered_map<Addr, WbEntry> wbb_;
+    std::deque<std::function<void()>> blocked_;
+    std::unordered_set<Addr> everFilled_; ///< line numbers ever present here
+    std::uint64_t nextTxn_ = 1;
+    Tick supplyPortFreeAt_ = 0;
+
+    Counter getsIssued_;
+    Counter getxIssued_;
+    Counter upgrades_;
+    Counter fills_;
+    Counter writebacks_;
+    Counter snoops_;
+    Counter dataSupplied_;
+    Counter deferrals_;
+};
+
+} // namespace dscoh

@@ -1,0 +1,288 @@
+#include "coherence/home_controller.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dscoh {
+
+HomeController::HomeController(std::string name, EventQueue& queue, Params params)
+    : SimObject(std::move(name), queue), params_(std::move(params))
+{
+    assert(params_.requestNet && params_.forwardNet && params_.responseNet);
+    assert(params_.dram && params_.store && params_.peersOf);
+}
+
+void HomeController::handleRequest(const Message& msg)
+{
+    LineState& ls = line(msg.addr);
+
+    if (msg.type == MsgType::kUnblock) {
+        assert(ls.busy && "unblock without an active transaction");
+        assert(msg.src == ls.req.src && "unblock from a non-requester");
+        ls.unblockReceived = true;
+        // `exclusive` on an Unblock means "I am now the owner (MM)".
+        if (msg.exclusive)
+            ls.owner = msg.src;
+        maybeComplete(msg.addr, ls);
+        return;
+    }
+
+    if (ls.busy) {
+        queued_.inc();
+        ls.pending.push_back(msg);
+        return;
+    }
+    process(msg, ls);
+}
+
+void HomeController::process(const Message& msg, LineState& ls)
+{
+    switch (msg.type) {
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+        startTransaction(msg, ls);
+        break;
+    case MsgType::kPut:
+        processPut(msg, ls);
+        break;
+    default:
+        assert(false && "unexpected request type");
+    }
+}
+
+std::vector<NodeId> HomeController::snoopTargets(const Message& msg,
+                                                 const LineState& ls)
+{
+    std::vector<NodeId> targets;
+    if (!params_.directoryMode) {
+        // Hammer: broadcast to every peer that may hold the line (with this
+        // topology that is at most one other agent).
+        for (const NodeId peer : params_.peersOf(msg.addr))
+            if (peer != msg.src)
+                targets.push_back(peer);
+        return targets;
+    }
+    // Directory: only believed holders. GetS needs just the owner (sharers
+    // keep their copies); GetX must reach the owner and every sharer.
+    if (ls.owner != kInvalidNode && ls.owner != msg.src)
+        targets.push_back(ls.owner);
+    if (msg.type == MsgType::kGetX) {
+        for (const NodeId sharer : ls.sharers)
+            if (sharer != msg.src && sharer != ls.owner)
+                targets.push_back(sharer);
+    }
+    return targets;
+}
+
+void HomeController::issueMemRead(Addr addr, LineState& ls)
+{
+    ls.memReadIssued = true;
+    params_.dram->read(addr, [this, addr, txn = ls.activeTxn] {
+        onMemData(addr, txn);
+    });
+}
+
+void HomeController::startTransaction(const Message& msg, LineState& ls)
+{
+    transactions_.inc();
+    ls.busy = true;
+    ls.req = msg;
+    ls.activeTxn = txnSeq_++;
+    ls.snpOutstanding = 0;
+    ls.anySharer = false;
+    ls.dataSupplied = false;
+    ls.memDataReady = false;
+    ls.memReadIssued = false;
+    ls.responded = false;
+    ls.unblockReceived = false;
+
+    for (const NodeId peer : snoopTargets(msg, ls)) {
+        Message snp;
+        snp.type = msg.type == MsgType::kGetS ? MsgType::kSnpGetS
+                                              : MsgType::kSnpGetX;
+        snp.addr = msg.addr;
+        snp.src = params_.self;
+        snp.dst = peer;
+        snp.requester = msg.src;
+        snp.txn = msg.txn;
+        params_.forwardNet->send(std::move(snp));
+        snoopsSent_.inc();
+        ++ls.snpOutstanding;
+    }
+
+    // Hammer reads DRAM speculatively in parallel with the snoops. The
+    // directory reads it up front only when no owner should supply (a
+    // stale-owner miss falls back in handleResponse/maybeRespond).
+    if (!params_.directoryMode || ls.owner == kInvalidNode ||
+        ls.owner == msg.src)
+        issueMemRead(msg.addr, ls);
+
+    maybeRespond(msg.addr, ls);
+}
+
+void HomeController::handleResponse(const Message& msg)
+{
+    assert(msg.type == MsgType::kSnpResp);
+    LineState& ls = line(msg.addr);
+    assert(ls.busy && ls.snpOutstanding > 0);
+    --ls.snpOutstanding;
+    ls.anySharer = ls.anySharer || msg.wasSharer;
+    ls.dataSupplied = ls.dataSupplied || msg.suppliedData;
+    maybeRespond(msg.addr, ls);
+    maybeComplete(msg.addr, ls);
+}
+
+void HomeController::onMemData(Addr addr, std::uint64_t txn)
+{
+    LineState& ls = line(addr);
+    if (!ls.busy || ls.activeTxn != txn)
+        return; // transaction already finished off cache-supplied data
+    ls.memDataReady = true;
+    maybeRespond(addr, ls);
+}
+
+void HomeController::maybeRespond(Addr addr, LineState& ls)
+{
+    // Memory responds only when every snoop reported back, none of them
+    // supplied data, and the DRAM read finished.
+    if (ls.responded || ls.dataSupplied || ls.snpOutstanding > 0)
+        return;
+    if (!ls.memDataReady) {
+        // Directory mode skipped the speculative read expecting the owner
+        // to supply; a stale entry (silent M drop) means nobody did.
+        if (!ls.memReadIssued)
+            issueMemRead(addr, ls);
+        return;
+    }
+    ls.responded = true;
+
+    Message data;
+    data.type = MsgType::kData;
+    data.addr = addr;
+    data.src = params_.self;
+    data.dst = ls.req.src;
+    data.requester = ls.req.src;
+    data.data = params_.store->readLine(addr);
+    data.mask.set(0, kLineSize);
+    data.hasData = true;
+    data.dirty = false;
+    // GetX always grants exclusivity; GetS grants M (conventional E) when no
+    // peer held the line. The directory additionally consults its sharer
+    // list, since an unsnooped sharer never sends a SnpResp.
+    bool anySharer = ls.anySharer;
+    if (params_.directoryMode) {
+        for (const NodeId sharer : ls.sharers)
+            anySharer = anySharer || sharer != ls.req.src;
+    }
+    data.exclusive = ls.req.type == MsgType::kGetX || !anySharer;
+    data.txn = ls.req.txn;
+    params_.responseNet->send(std::move(data));
+    memDataSent_.inc();
+}
+
+void HomeController::maybeComplete(Addr addr, LineState& ls)
+{
+    if (!ls.unblockReceived || ls.snpOutstanding > 0)
+        return;
+    updateDirectoryOnComplete(ls);
+    ls.busy = false;
+    ls.activeTxn = 0;
+    popPending(addr, ls);
+}
+
+void HomeController::processPut(const Message& msg, LineState& ls)
+{
+    // Accept the writeback only when it cannot be stale: it comes from the
+    // registered owner, or no owner is registered (covers lines that became
+    // MM through a direct-store install, which home never sees).
+    if (ls.owner == msg.src || ls.owner == kInvalidNode) {
+        putsAccepted_.inc();
+        ls.owner = kInvalidNode;
+        ls.busy = true;
+        params_.dram->write(msg.addr, msg.data, [this, msg] {
+            Message ack;
+            ack.type = MsgType::kWbAck;
+            ack.addr = msg.addr;
+            ack.src = params_.self;
+            ack.dst = msg.src;
+            ack.txn = msg.txn;
+            params_.forwardNet->send(std::move(ack));
+            LineState& state = line(msg.addr);
+            state.busy = false;
+            popPending(msg.addr, state);
+        });
+    } else {
+        // Stale: a snoop already moved ownership elsewhere; drop the data.
+        putsStale_.inc();
+        Message ack;
+        ack.type = MsgType::kWbAck;
+        ack.addr = msg.addr;
+        ack.src = params_.self;
+        ack.dst = msg.src;
+        ack.txn = msg.txn;
+        params_.forwardNet->send(std::move(ack));
+    }
+}
+
+void HomeController::updateDirectoryOnComplete(LineState& ls)
+{
+    if (!params_.directoryMode)
+        return;
+    if (ls.req.type == MsgType::kGetX) {
+        // New exclusive owner; everyone else was invalidated.
+        ls.owner = ls.req.src;
+        ls.sharers.clear();
+        return;
+    }
+    // GetS: the requester joins as a sharer, unless it was granted
+    // exclusivity (no prior holders) — then it is the new owner.
+    bool othersHold = ls.dataSupplied || ls.anySharer;
+    othersHold = othersHold ||
+                 (ls.owner != kInvalidNode && ls.owner != ls.req.src);
+    for (const NodeId sharer : ls.sharers)
+        othersHold = othersHold || sharer != ls.req.src;
+    if (othersHold) {
+        ls.sharers.insert(ls.req.src);
+    } else {
+        ls.owner = ls.req.src; // exclusive-clean (M) grant
+        ls.sharers.clear();
+    }
+}
+
+void HomeController::popPending(Addr addr, LineState& ls)
+{
+    static_cast<void>(addr);
+    if (ls.pending.empty())
+        return;
+    const Message next = ls.pending.front();
+    ls.pending.pop_front();
+    process(next, ls);
+}
+
+NodeId HomeController::registeredOwner(Addr addr) const
+{
+    const auto it = lines_.find(lineAlign(addr));
+    return it == lines_.end() ? kInvalidNode : it->second.owner;
+}
+
+bool HomeController::quiescent() const
+{
+    for (const auto& [addr, ls] : lines_) {
+        static_cast<void>(addr);
+        if (ls.busy || !ls.pending.empty())
+            return false;
+    }
+    return true;
+}
+
+void HomeController::regStats(StatRegistry& registry)
+{
+    registry.registerCounter(statName("transactions"), &transactions_);
+    registry.registerCounter(statName("snoops_sent"), &snoopsSent_);
+    registry.registerCounter(statName("mem_data_sent"), &memDataSent_);
+    registry.registerCounter(statName("puts_accepted"), &putsAccepted_);
+    registry.registerCounter(statName("puts_stale"), &putsStale_);
+    registry.registerCounter(statName("queued_requests"), &queued_);
+}
+
+} // namespace dscoh

@@ -1,0 +1,110 @@
+// Home (memory-side) controller: the per-line ordering point.
+//
+// Two operating modes:
+//
+//  * Hammer (default, the paper's baseline): broadcast snoops to every peer
+//    that may hold the line and read DRAM speculatively in parallel. A
+//    small owner registry (the moral equivalent of gem5 MOESI_hammer's
+//    probe filter "Dir" state) exists solely to drop stale writebacks that
+//    lost a race with a snoop.
+//
+//  * Directory: precise owner+sharer tracking per line. Snoops go only to
+//    caches the directory believes hold the line, and DRAM is read only
+//    when no owner can supply. Fewer messages and no wasted memory reads,
+//    at the cost of directory state — the classic trade-off, exposed here
+//    so the direct-store win can be measured against a stronger baseline
+//    (bench/ablation_protocol). Directory entries may be stale after
+//    silent S/M drops; snooped non-holders simply answer "not sharer" and
+//    the entry is corrected.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/dram.h"
+#include "net/network.h"
+#include "sim/sim_object.h"
+
+namespace dscoh {
+
+class HomeController final : public SimObject {
+public:
+    /// Returns every cache agent that may cache @p addr (the CPU agent and
+    /// the owning GPU L2 slice in the full system).
+    using PeersOf = std::function<std::vector<NodeId>(Addr)>;
+
+    struct Params {
+        NodeId self = kInvalidNode;
+        Network* requestNet = nullptr;
+        Network* forwardNet = nullptr;
+        Network* responseNet = nullptr;
+        MemoryInterface* dram = nullptr;
+        BackingStore* store = nullptr;
+        PeersOf peersOf;
+        /// Directory mode: snoop only believed holders instead of
+        /// broadcasting, and skip the speculative DRAM read when an owner
+        /// should supply.
+        bool directoryMode = false;
+    };
+
+    HomeController(std::string name, EventQueue& queue, Params params);
+
+    void handleRequest(const Message& msg);  ///< GetS/GetX/Put/Unblock
+    void handleResponse(const Message& msg); ///< SnpResp
+
+    void regStats(StatRegistry& registry) override;
+
+    /// Debug/verification: current registered owner (kInvalidNode if none).
+    NodeId registeredOwner(Addr addr) const;
+
+    /// Debug/verification: no line is mid-transaction.
+    bool quiescent() const;
+
+private:
+    struct LineState {
+        bool busy = false;
+        std::deque<Message> pending;
+        NodeId owner = kInvalidNode;
+        std::set<NodeId> sharers; ///< directory mode only (may be stale)
+
+        // Active transaction bookkeeping.
+        std::uint64_t activeTxn = 0;
+        Message req;
+        std::uint32_t snpOutstanding = 0;
+        bool anySharer = false;
+        bool dataSupplied = false;
+        bool memDataReady = false;
+        bool memReadIssued = false;
+        bool responded = false;
+        bool unblockReceived = false;
+    };
+
+    void process(const Message& msg, LineState& ls);
+    void startTransaction(const Message& msg, LineState& ls);
+    void issueMemRead(Addr addr, LineState& ls);
+    std::vector<NodeId> snoopTargets(const Message& msg, const LineState& ls);
+    void updateDirectoryOnComplete(LineState& ls);
+    void processPut(const Message& msg, LineState& ls);
+    void onMemData(Addr addr, std::uint64_t txn);
+    void maybeRespond(Addr addr, LineState& ls);
+    void maybeComplete(Addr addr, LineState& ls);
+    void popPending(Addr addr, LineState& ls);
+    LineState& line(Addr addr) { return lines_[lineAlign(addr)]; }
+
+    Params params_;
+    std::unordered_map<Addr, LineState> lines_;
+    std::uint64_t txnSeq_ = 1;
+
+    Counter transactions_;
+    Counter snoopsSent_;
+    Counter memDataSent_;
+    Counter putsAccepted_;
+    Counter putsStale_;
+    Counter queued_;
+};
+
+} // namespace dscoh

@@ -1,0 +1,99 @@
+// Protocol states for the Hammer-style MOESI protocol of the paper (Fig. 3)
+// plus the transient states any real implementation needs.
+//
+// Stable states follow the paper's naming:
+//   MM - exclusive and potentially locally modified (conventional M)
+//   M  - exclusive but not written (conventional E); stores are NOT allowed
+//        in M (the paper is explicit about this) and must upgrade via GetX
+//   O  - owns the line (responsible for supplying data / writeback),
+//        sharers may exist
+//   S  - shared, read-only
+//   I  - invalid
+//
+// Transient states:
+//   IS_D  - GetS issued, waiting for data
+//   IM_D  - GetX issued from I, waiting for data
+//   SM_D  - GetX (upgrade) issued from S/M/O, data still readable
+//   MI_A / OI_A - writeback (Put) issued, waiting for WbAck; these live in
+//        the writeback buffer, not the cache array
+//   II_A  - was MI_A/OI_A but a snoop took the line away; waiting for the
+//        (now stale) WbAck
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace dscoh {
+
+enum class CohState : std::uint8_t {
+    kI,
+    kS,
+    kO,
+    kM,
+    kMM,
+    kIS_D,
+    kIM_D,
+    kSM_D,
+    kMI_A,
+    kOI_A,
+    kII_A,
+};
+
+const char* to_string(CohState s);
+
+constexpr bool isStable(CohState s)
+{
+    switch (s) {
+    case CohState::kI:
+    case CohState::kS:
+    case CohState::kO:
+    case CohState::kM:
+    case CohState::kMM:
+        return true;
+    default:
+        return false;
+    }
+}
+
+/// May a local load read the line's data in this state?
+constexpr bool canRead(CohState s)
+{
+    switch (s) {
+    case CohState::kS:
+    case CohState::kO:
+    case CohState::kM:
+    case CohState::kMM:
+    case CohState::kSM_D: // upgrade in flight; S-copy data still valid
+        return true;
+    default:
+        return false;
+    }
+}
+
+/// May a local store write the line in this state? Only MM: the paper
+/// forbids stores in M (conventional E), so M upgrades through GetX.
+constexpr bool canWrite(CohState s) { return s == CohState::kMM; }
+
+/// Is this agent the one responsible for supplying data on a snoop?
+constexpr bool isOwner(CohState s)
+{
+    return s == CohState::kMM || s == CohState::kM || s == CohState::kO;
+}
+
+/// Does eviction of this stable state require a writeback (Put with data)?
+/// M is exclusive-clean: memory is current, silent drop is safe. S likewise.
+constexpr bool needsWriteback(CohState s)
+{
+    return s == CohState::kMM || s == CohState::kO;
+}
+
+/// Per-line metadata stored in a coherent cache array.
+struct CohMeta {
+    CohState state = CohState::kI;
+    /// Line was deposited by a direct store (for compulsory-miss accounting
+    /// and the traffic breakdown bench).
+    bool dsFilled = false;
+};
+
+} // namespace dscoh

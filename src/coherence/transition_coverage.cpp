@@ -1,0 +1,29 @@
+#include "coherence/transition_coverage.h"
+
+namespace dscoh {
+
+const char* to_string(CohEvent e)
+{
+    switch (e) {
+    case CohEvent::kLoad: return "Load";
+    case CohEvent::kStore: return "Store";
+    case CohEvent::kFill: return "Fill";
+    case CohEvent::kSnpGetS: return "SnpGetS";
+    case CohEvent::kSnpGetX: return "SnpGetX";
+    case CohEvent::kEvict: return "Evict";
+    case CohEvent::kRemoteStore: return "RemoteStore";
+    case CohEvent::kWbAck: return "WbAck";
+    }
+    return "?";
+}
+
+void TransitionCoverage::dump(std::ostream& os) const
+{
+    for (const auto& [key, n] : counts_) {
+        os << to_string(std::get<0>(key)) << " --"
+           << to_string(std::get<1>(key)) << "--> "
+           << to_string(std::get<2>(key)) << "  x" << n << "\n";
+    }
+}
+
+} // namespace dscoh

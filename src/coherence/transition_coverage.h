@@ -1,0 +1,78 @@
+// Protocol transition coverage: a global, zero-cost-when-unused recorder of
+// (state, event) -> state edges taken by the cache agents. The test suite
+// uses it to prove the implementation exercises every stable transition of
+// the paper's Fig. 3, including the remote-store extension.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <tuple>
+
+#include "coherence/protocol.h"
+
+namespace dscoh {
+
+enum class CohEvent : std::uint8_t {
+    kLoad,        ///< local load request
+    kStore,       ///< local store request
+    kFill,        ///< data arrived for an outstanding request
+    kSnpGetS,     ///< snooped by a reader
+    kSnpGetX,     ///< snooped by a writer
+    kEvict,       ///< replacement victim
+    kRemoteStore, ///< the paper's direct-store transitions (Fig. 3 bold/blue)
+    kWbAck,       ///< writeback acknowledged
+};
+
+const char* to_string(CohEvent e);
+
+/// Process-wide transition recorder. Disabled (and free) unless a test or
+/// tool enables it; the simulator's hot paths only pay a branch.
+class TransitionCoverage {
+public:
+    static TransitionCoverage& instance()
+    {
+        static TransitionCoverage coverage;
+        return coverage;
+    }
+
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+    void reset() { counts_.clear(); }
+
+    void record(CohState from, CohEvent event, CohState to)
+    {
+        if (!enabled_)
+            return;
+        ++counts_[std::make_tuple(from, event, to)];
+    }
+
+    std::uint64_t count(CohState from, CohEvent event, CohState to) const
+    {
+        const auto it = counts_.find(std::make_tuple(from, event, to));
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    bool covered(CohState from, CohEvent event, CohState to) const
+    {
+        return count(from, event, to) > 0;
+    }
+
+    std::size_t distinctTransitions() const { return counts_.size(); }
+
+    void dump(std::ostream& os) const;
+
+private:
+    TransitionCoverage() = default;
+    bool enabled_ = false;
+    std::map<std::tuple<CohState, CohEvent, CohState>, std::uint64_t> counts_;
+};
+
+/// Shorthand used at the transition sites.
+inline void recordTransition(CohState from, CohEvent event, CohState to)
+{
+    TransitionCoverage::instance().record(from, event, to);
+}
+
+} // namespace dscoh

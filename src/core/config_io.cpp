@@ -1,0 +1,231 @@
+#include "core/config_io.h"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace dscoh {
+
+namespace {
+
+struct Field {
+    std::function<bool(SystemConfig&, const std::string&)> set;
+    std::function<std::string(const SystemConfig&)> get;
+};
+
+template <typename T>
+bool parseNumber(const std::string& value, T* out)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(value, &used, 0);
+        if (used != value.size())
+            return false;
+        *out = static_cast<T>(v);
+        return true;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+template <typename T>
+Field numField(T SystemConfig::* member)
+{
+    return Field{
+        [member](SystemConfig& cfg, const std::string& value) {
+            return parseNumber(value, &(cfg.*member));
+        },
+        [member](const SystemConfig& cfg) {
+            return std::to_string(cfg.*member);
+        },
+    };
+}
+
+const std::map<std::string, Field>& fields()
+{
+    static const std::map<std::string, Field> table = [] {
+        std::map<std::string, Field> f;
+        f.emplace("mode", Field{
+            [](SystemConfig& cfg, const std::string& v) {
+                if (v == "ccsm")
+                    cfg.mode = CoherenceMode::kCcsm;
+                else if (v == "ds" || v == "directstore")
+                    cfg.mode = CoherenceMode::kDirectStore;
+                else if (v == "dsonly")
+                    cfg.mode = CoherenceMode::kDirectStoreOnly;
+                else
+                    return false;
+                return true;
+            },
+            [](const SystemConfig& cfg) -> std::string {
+                switch (cfg.mode) {
+                case CoherenceMode::kCcsm: return "ccsm";
+                case CoherenceMode::kDirectStore: return "ds";
+                case CoherenceMode::kDirectStoreOnly: return "dsonly";
+                }
+                return "ccsm";
+            }});
+        f.emplace("replacement", Field{
+            [](SystemConfig& cfg, const std::string& v) {
+                try {
+                    cfg.replacement = replacementKindFromString(v);
+                    return true;
+                } catch (const std::exception&) {
+                    return false;
+                }
+            },
+            [](const SystemConfig& cfg) { return to_string(cfg.replacement); }});
+
+        f.emplace("cpu-l1d-size", numField(&SystemConfig::cpuL1dSize));
+        f.emplace("cpu-l1d-ways", numField(&SystemConfig::cpuL1dWays));
+        f.emplace("cpu-l2-size", numField(&SystemConfig::cpuL2Size));
+        f.emplace("cpu-l2-ways", numField(&SystemConfig::cpuL2Ways));
+        f.emplace("cpu-l1-latency", numField(&SystemConfig::cpuL1Latency));
+        f.emplace("cpu-l2-latency", numField(&SystemConfig::cpuL2Latency));
+        f.emplace("cpu-snoop-tag-latency",
+                  numField(&SystemConfig::cpuSnoopTagLatency));
+        f.emplace("cpu-data-supply-latency",
+                  numField(&SystemConfig::cpuDataSupplyLatency));
+        f.emplace("cpu-data-supply-interval",
+                  numField(&SystemConfig::cpuDataSupplyInterval));
+        f.emplace("store-buffer-entries",
+                  numField(&SystemConfig::storeBufferEntries));
+        f.emplace("rsb-entries", numField(&SystemConfig::rsbEntries));
+
+        f.emplace("num-sms", numField(&SystemConfig::numSms));
+        f.emplace("lanes-per-sm", numField(&SystemConfig::lanesPerSm));
+        f.emplace("gpu-l1-size", numField(&SystemConfig::gpuL1Size));
+        f.emplace("gpu-l1-ways", numField(&SystemConfig::gpuL1Ways));
+        f.emplace("gpu-l2-size", numField(&SystemConfig::gpuL2Size));
+        f.emplace("gpu-l2-ways", numField(&SystemConfig::gpuL2Ways));
+        f.emplace("gpu-l2-slices", numField(&SystemConfig::gpuL2Slices));
+        f.emplace("gpu-l1-latency", numField(&SystemConfig::gpuL1Latency));
+        f.emplace("gpu-smem-latency", numField(&SystemConfig::gpuSmemLatency));
+        f.emplace("gpu-l2-tag-latency",
+                  numField(&SystemConfig::gpuL2TagLatency));
+        f.emplace("gpu-l2-mshrs", numField(&SystemConfig::gpuL2Mshrs));
+        f.emplace("gpu-l2-prefetch-depth",
+                  numField(&SystemConfig::gpuL2PrefetchDepth));
+        f.emplace("max-resident-blocks",
+                  numField(&SystemConfig::maxResidentBlocks));
+        f.emplace("kernel-launch-latency",
+                  numField(&SystemConfig::kernelLaunchLatency));
+
+        f.emplace("mem-bytes", numField(&SystemConfig::memBytes));
+        f.emplace("mem-channels", numField(&SystemConfig::memChannels));
+
+        f.emplace("coherence-hop-latency", Field{
+            [](SystemConfig& cfg, const std::string& v) {
+                return parseNumber(v, &cfg.coherenceNet.hopLatency);
+            },
+            [](const SystemConfig& cfg) {
+                return std::to_string(cfg.coherenceNet.hopLatency);
+            }});
+        f.emplace("ds-hop-latency", Field{
+            [](SystemConfig& cfg, const std::string& v) {
+                return parseNumber(v, &cfg.dsNet.hopLatency);
+            },
+            [](const SystemConfig& cfg) {
+                return std::to_string(cfg.dsNet.hopLatency);
+            }});
+        f.emplace("gpu-hop-latency", Field{
+            [](SystemConfig& cfg, const std::string& v) {
+                return parseNumber(v, &cfg.gpuNet.hopLatency);
+            },
+            [](const SystemConfig& cfg) {
+                return std::to_string(cfg.gpuNet.hopLatency);
+            }});
+
+        f.emplace("ds-min-bytes", numField(&SystemConfig::dsMinBytes));
+        f.emplace("agent-mshrs", numField(&SystemConfig::agentMshrs));
+        f.emplace("writeback-entries",
+                  numField(&SystemConfig::writebackEntries));
+        f.emplace("seed", numField(&SystemConfig::seed));
+        f.emplace("home-protocol", Field{
+            [](SystemConfig& cfg, const std::string& v) {
+                if (v == "hammer")
+                    cfg.directoryHome = false;
+                else if (v == "directory")
+                    cfg.directoryHome = true;
+                else
+                    return false;
+                return true;
+            },
+            [](const SystemConfig& cfg) -> std::string {
+                return cfg.directoryHome ? "directory" : "hammer";
+            }});
+        return f;
+    }();
+    return table;
+}
+
+std::string trim(const std::string& s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+bool applyConfigText(const std::string& text, SystemConfig* cfg,
+                     std::string* error)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.resize(hash);
+        const std::string trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        const auto eq = trimmed.find('=');
+        if (eq == std::string::npos) {
+            *error = "line " + std::to_string(lineNo) + ": expected key = value";
+            return false;
+        }
+        const std::string key = trim(trimmed.substr(0, eq));
+        const std::string value = trim(trimmed.substr(eq + 1));
+        const auto it = fields().find(key);
+        if (it == fields().end()) {
+            *error = "line " + std::to_string(lineNo) + ": unknown key '" +
+                     key + "'";
+            return false;
+        }
+        if (!it->second.set(*cfg, value)) {
+            *error = "line " + std::to_string(lineNo) + ": bad value '" +
+                     value + "' for '" + key + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool loadConfigFile(const std::string& path, SystemConfig* cfg,
+                    std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        *error = "cannot open config file: " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return applyConfigText(buffer.str(), cfg, error);
+}
+
+std::string dumpConfig(const SystemConfig& cfg)
+{
+    std::ostringstream os;
+    os << "# dscoh system configuration (defaults reproduce Table I)\n";
+    for (const auto& [key, field] : fields())
+        os << key << " = " << field.get(cfg) << "\n";
+    return os.str();
+}
+
+} // namespace dscoh

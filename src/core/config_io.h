@@ -1,0 +1,26 @@
+// Text serialization for SystemConfig: simple "key = value" lines with
+// '#' comments, so experiment configurations can live next to their
+// results. Keys mirror the field names; dumpConfig() output round-trips
+// through applyConfigText().
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+
+namespace dscoh {
+
+/// Applies "key = value" lines from @p text onto @p cfg. On failure writes
+/// a "line N: ..." message to @p error and returns false (cfg may be
+/// partially updated).
+bool applyConfigText(const std::string& text, SystemConfig* cfg,
+                     std::string* error);
+
+/// Reads @p path and applies it. File-open failures land in @p error.
+bool loadConfigFile(const std::string& path, SystemConfig* cfg,
+                    std::string* error);
+
+/// Serializes every supported key (round-trippable).
+std::string dumpConfig(const SystemConfig& cfg);
+
+} // namespace dscoh

@@ -1,0 +1,367 @@
+#include "core/system.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace dscoh {
+
+const char* to_string(CoherenceMode m)
+{
+    switch (m) {
+    case CoherenceMode::kCcsm:
+        return "CCSM";
+    case CoherenceMode::kDirectStore:
+        return "DirectStore";
+    case CoherenceMode::kDirectStoreOnly:
+        return "DirectStoreOnly";
+    }
+    return "?";
+}
+
+void SystemConfig::printTable(std::ostream& os) const
+{
+    const auto kb = [](std::uint64_t b) { return b / 1024; };
+    os << "SYSTEM CONFIGURATION (" << to_string(mode) << ")\n"
+       << "CPU\n"
+       << "  Cores      " << cpuCores << "\n"
+       << "  L1D cache  " << kb(cpuL1dSize) << "KB, " << cpuL1dWays << " ways\n"
+       << "  L1I cache  " << kb(cpuL1iSize) << "KB, " << cpuL1iWays << " ways\n"
+       << "  L2 cache   " << kb(cpuL2Size) / 1024 << "MB, " << cpuL2Ways
+       << " ways\n"
+       << "GPU\n"
+       << "  SMs        " << numSms << " - " << lanesPerSm
+       << " lanes per SM @ 1.4GHz\n"
+       << "  L1 cache   " << kb(gpuL1Size) << "KB + " << kb(gpuSharedMemBytes)
+       << "KB shared memory, " << gpuL1Ways << " ways\n"
+       << "  L2 cache   " << kb(gpuL2Size) / 1024 << "MB, " << gpuL2Ways
+       << " ways, " << gpuL2Slices << " slices\n"
+       << "MEMORY\n"
+       << "  Memory     " << memBytes / (1024 * 1024 * 1024) << "GB, 1 channel, "
+       << dram.ranks << " ranks, " << dram.banksPerRank << " banks @ 1GHz\n"
+       << "  Line size  " << kLineSize << "B across the whole system\n";
+}
+
+System::System(const SystemConfig& config)
+    : config_(config), interleave_(config.gpuL2Slices)
+{
+    store_ = std::make_unique<BackingStore>(config_.memBytes);
+    space_ = std::make_unique<AddressSpace>(config_.memBytes);
+    dram_ = std::make_unique<DramPool>("dram", queue_, *store_, config_.dram,
+                                       config_.memChannels);
+
+    requestNet_ = std::make_unique<Network>("net.request", queue_,
+                                            config_.coherenceNet);
+    forwardNet_ = std::make_unique<Network>("net.forward", queue_,
+                                            config_.coherenceNet);
+    responseNet_ = std::make_unique<Network>("net.response", queue_,
+                                             config_.coherenceNet);
+    dsNet_ = std::make_unique<Network>("net.ds", queue_, config_.dsNet);
+    gpuNet_ = std::make_unique<Network>("net.gpu", queue_, config_.gpuNet);
+
+    // --- home controller -------------------------------------------------
+    HomeController::Params homeParams;
+    homeParams.self = homeNode();
+    homeParams.requestNet = requestNet_.get();
+    homeParams.forwardNet = forwardNet_.get();
+    homeParams.responseNet = responseNet_.get();
+    homeParams.dram = dram_.get();
+    homeParams.store = store_.get();
+    homeParams.directoryMode = config_.directoryHome;
+    if (config_.mode == CoherenceMode::kDirectStoreOnly) {
+        // SIII-H replacement mode: there is no CPU<->GPU coherence to keep.
+        // The CPU only caches private data (which no slice may hold) and
+        // the slices partition the shared addresses among themselves, so
+        // the home never needs to snoop anyone: every transaction is a
+        // plain memory fetch. This is the protocol-simplicity claim made
+        // concrete (see bench/ablation_replacement).
+        homeParams.peersOf = [](Addr) { return std::vector<NodeId>{}; };
+    } else {
+        homeParams.peersOf = [this](Addr a) {
+            return std::vector<NodeId>{kCpuAgentNode, sliceNodeOf(a)};
+        };
+    }
+    home_ = std::make_unique<HomeController>("home", queue_,
+                                             std::move(homeParams));
+
+    // --- CPU side ---------------------------------------------------------
+    CacheAgent::Params cpuL2;
+    cpuL2.geometry.sizeBytes = config_.cpuL2Size;
+    cpuL2.geometry.ways = config_.cpuL2Ways;
+    cpuL2.geometry.replacement = config_.replacement;
+    cpuL2.geometry.replacementSeed = config_.seed;
+    cpuL2.mshrs = config_.agentMshrs;
+    cpuL2.writebackEntries = config_.writebackEntries;
+    cpuL2.self = kCpuAgentNode;
+    cpuL2.home = homeNode();
+    cpuL2.requestNet = requestNet_.get();
+    cpuL2.forwardNet = forwardNet_.get();
+    cpuL2.responseNet = responseNet_.get();
+    cpuL2.snoopTagLatency = config_.cpuSnoopTagLatency;
+    cpuL2.dataSupplyLatency = config_.cpuDataSupplyLatency;
+    cpuL2.dataSupplyInterval = config_.cpuDataSupplyInterval;
+
+    CpuCacheAgent::L1Params cpuL1;
+    cpuL1.geometry.sizeBytes = config_.cpuL1dSize;
+    cpuL1.geometry.ways = config_.cpuL1dWays;
+    cpuL1.geometry.replacement = config_.replacement;
+    cpuL1.geometry.replacementSeed = config_.seed + 1;
+    cpuAgent_ = std::make_unique<CpuCacheAgent>("cpu.cache", queue_, cpuL2,
+                                                cpuL1);
+
+    tlb_ = std::make_unique<Tlb>("cpu.tlb", queue_, *space_, config_.tlb);
+
+    CpuCore::Params coreParams;
+    coreParams.l1Latency = config_.cpuL1Latency;
+    coreParams.l2Latency = config_.cpuL2Latency;
+    coreParams.storeBufferEntries = config_.storeBufferEntries;
+    coreParams.rsbEntries = config_.rsbEntries;
+    coreParams.self = cpuCoreNode();
+    coreParams.dsNet = dsNet_.get();
+    coreParams.sliceOf = [this](Addr a) { return sliceNodeOf(a); };
+    cpuCore_ = std::make_unique<CpuCore>("cpu.core", queue_,
+                                         std::move(coreParams), *tlb_,
+                                         *cpuAgent_);
+
+    // --- GPU side ----------------------------------------------------------
+    for (std::uint32_t s = 0; s < config_.gpuL2Slices; ++s) {
+        CacheAgent::Params sliceAgent;
+        sliceAgent.geometry.sizeBytes = config_.gpuL2Size / config_.gpuL2Slices;
+        sliceAgent.geometry.ways = config_.gpuL2Ways;
+        sliceAgent.geometry.setShift = interleave_.bits();
+        sliceAgent.geometry.replacement = config_.replacement;
+        sliceAgent.geometry.replacementSeed = config_.seed + 10 + s;
+        sliceAgent.mshrs = config_.gpuL2Mshrs;
+        sliceAgent.writebackEntries = config_.writebackEntries;
+        sliceAgent.self = kFirstSliceNode + s;
+        sliceAgent.home = homeNode();
+        sliceAgent.requestNet = requestNet_.get();
+        sliceAgent.forwardNet = forwardNet_.get();
+        sliceAgent.responseNet = responseNet_.get();
+        sliceAgent.snoopTagLatency = config_.gpuSnoopTagLatency;
+        sliceAgent.dataSupplyLatency = config_.gpuDataSupplyLatency;
+        sliceAgent.dataSupplyInterval = config_.gpuDataSupplyInterval;
+
+        GpuL2Slice::SliceParams sliceParams;
+        sliceParams.tagLatency = config_.gpuL2TagLatency;
+        sliceParams.gpuNet = gpuNet_.get();
+        sliceParams.dsNet = dsNet_.get();
+        sliceParams.dram = dram_.get();
+        sliceParams.prefetchDepth = config_.gpuL2PrefetchDepth;
+        sliceParams.slices = config_.gpuL2Slices;
+        slices_.push_back(std::make_unique<GpuL2Slice>(
+            "gpu.l2.slice" + std::to_string(s), queue_, sliceAgent,
+            sliceParams));
+    }
+
+    for (std::uint32_t i = 0; i < config_.numSms; ++i) {
+        StreamingMultiprocessor::Params smParams;
+        smParams.lanes = config_.lanesPerSm;
+        smParams.maxResidentBlocks = config_.maxResidentBlocks;
+        smParams.l1Latency = config_.gpuL1Latency;
+        smParams.smemLatency = config_.gpuSmemLatency;
+        smParams.maxOutstandingStores = config_.maxOutstandingStores;
+        smParams.self = firstSmNode() + i;
+        smParams.gpuNet = gpuNet_.get();
+        smParams.sliceOf = [this](Addr a) { return sliceNodeOf(a); };
+        smParams.l1Geometry.sizeBytes = config_.gpuL1Size;
+        smParams.l1Geometry.ways = config_.gpuL1Ways;
+        smParams.l1Geometry.replacement = config_.replacement;
+        smParams.l1Geometry.replacementSeed = config_.seed + 100 + i;
+        sms_.push_back(std::make_unique<StreamingMultiprocessor>(
+            "gpu.sm" + std::to_string(i), queue_, std::move(smParams),
+            *space_));
+    }
+
+    std::vector<StreamingMultiprocessor*> smPtrs;
+    for (auto& sm : sms_)
+        smPtrs.push_back(sm.get());
+    GpuDevice::Params devParams;
+    devParams.launchLatency = config_.kernelLaunchLatency;
+    gpuDevice_ = std::make_unique<GpuDevice>("gpu.device", queue_, devParams,
+                                             std::move(smPtrs));
+
+    // --- wiring -------------------------------------------------------------
+    requestNet_->connect(homeNode(),
+                         [this](const Message& m) { home_->handleRequest(m); });
+    responseNet_->connect(homeNode(),
+                          [this](const Message& m) { home_->handleResponse(m); });
+    forwardNet_->connect(kCpuAgentNode, [this](const Message& m) {
+        cpuAgent_->handleForward(m);
+    });
+    responseNet_->connect(kCpuAgentNode, [this](const Message& m) {
+        cpuAgent_->handleResponse(m);
+    });
+    dsNet_->connect(cpuCoreNode(), [this](const Message& m) {
+        cpuCore_->handleDsMessage(m);
+    });
+    for (std::uint32_t s = 0; s < config_.gpuL2Slices; ++s) {
+        GpuL2Slice* slicePtr = slices_[s].get();
+        forwardNet_->connect(kFirstSliceNode + s, [slicePtr](const Message& m) {
+            slicePtr->handleForward(m);
+        });
+        responseNet_->connect(kFirstSliceNode + s, [slicePtr](const Message& m) {
+            slicePtr->handleResponse(m);
+        });
+        dsNet_->connect(kFirstSliceNode + s, [slicePtr](const Message& m) {
+            slicePtr->handleDsMessage(m);
+        });
+        gpuNet_->connect(kFirstSliceNode + s, [slicePtr](const Message& m) {
+            slicePtr->handleGpuMessage(m);
+        });
+    }
+    for (std::uint32_t i = 0; i < config_.numSms; ++i) {
+        StreamingMultiprocessor* smPtr = sms_[i].get();
+        gpuNet_->connect(firstSmNode() + i, [smPtr](const Message& m) {
+            smPtr->handleGpuMessage(m);
+        });
+    }
+
+    // --- statistics ----------------------------------------------------------
+    dram_->regStats(stats_);
+    requestNet_->regStats(stats_);
+    forwardNet_->regStats(stats_);
+    responseNet_->regStats(stats_);
+    dsNet_->regStats(stats_);
+    gpuNet_->regStats(stats_);
+    home_->regStats(stats_);
+    cpuAgent_->regStats(stats_);
+    tlb_->regStats(stats_);
+    cpuCore_->regStats(stats_);
+    for (auto& slicePtr : slices_)
+        slicePtr->regStats(stats_);
+    for (auto& smPtr : sms_)
+        smPtr->regStats(stats_);
+    gpuDevice_->regStats(stats_);
+}
+
+System::~System() = default;
+
+Addr System::allocateArray(std::uint64_t bytes, bool gpuShared)
+{
+    const bool dsMode = config_.mode == CoherenceMode::kDirectStore ||
+                        config_.mode == CoherenceMode::kDirectStoreOnly;
+    // Hybrid policy (SIII-H): the programmer may keep small shared data on
+    // CCSM and push only the large arrays. Under the replacement mode every
+    // shared array must be homed on the GPU (there is no CCSM to fall back
+    // to), so the threshold is ignored there.
+    const bool aboveThreshold =
+        config_.mode == CoherenceMode::kDirectStoreOnly ||
+        bytes >= config_.dsMinBytes;
+    if (dsMode && gpuShared && aboveThreshold)
+        return space_->dsMmap(bytes);
+    return space_->heapAlloc(bytes);
+}
+
+void System::runCpuProgram(const CpuProgram& program,
+                           std::function<void()> onDone)
+{
+    cpuCore_->run(program, std::move(onDone));
+}
+
+void System::launchKernel(const KernelDesc& kernel,
+                          std::function<void()> onDone)
+{
+    gpuDevice_->launch(kernel, std::move(onDone));
+}
+
+Tick System::simulate()
+{
+    return queue_.run();
+}
+
+RunMetrics System::metrics() const
+{
+    RunMetrics m;
+    m.ticks = queue_.curTick();
+    for (const auto& slicePtr : slices_) {
+        m.gpuL2Accesses += slicePtr->demandAccesses();
+        m.gpuL2Misses += slicePtr->demandMisses();
+        m.gpuL2Compulsory += slicePtr->compulsoryMisses();
+        m.dsFills += slicePtr->dsFills();
+        m.dsBypasses += slicePtr->dsBypasses();
+    }
+    m.gpuL2MissRate = m.gpuL2Accesses == 0
+                          ? 0.0
+                          : static_cast<double>(m.gpuL2Misses) /
+                                static_cast<double>(m.gpuL2Accesses);
+    m.coherenceMessages = requestNet_->messagesSent() +
+                          forwardNet_->messagesSent() +
+                          responseNet_->messagesSent();
+    m.coherenceBytes = requestNet_->bytesSent() + forwardNet_->bytesSent() +
+                       responseNet_->bytesSent();
+    m.dsNetworkMessages = dsNet_->messagesSent();
+    for (std::uint32_t c = 0; c < config_.memChannels; ++c) {
+        const std::string prefix = "dram.ch" + std::to_string(c);
+        m.dramReads += stats_.counter(prefix + ".reads");
+        m.dramWrites += stats_.counter(prefix + ".writes");
+    }
+    m.checkFailures = cpuCore_->checkFailures();
+    for (const auto& smPtr : sms_)
+        m.checkFailures += smPtr->checkFailures();
+    return m;
+}
+
+std::vector<std::string> System::checkCoherenceInvariants() const
+{
+    std::vector<std::string> violations;
+    if (!home_->quiescent())
+        violations.push_back("home controller not quiescent");
+
+    struct Copy {
+        std::string agent;
+        CohState state;
+        const DataBlock* data;
+    };
+    std::map<Addr, std::vector<Copy>> copies;
+
+    const auto collect = [&copies](const CacheAgent& agent,
+                                   const std::string& label) {
+        agent.forEachLine([&copies, &label](const CacheAgent::Line& line) {
+            copies[line.base].push_back(Copy{label, line.meta.state, &line.data});
+        });
+    };
+    collect(*cpuAgent_, "cpu");
+    for (std::size_t s = 0; s < slices_.size(); ++s)
+        collect(*slices_[s], "slice" + std::to_string(s));
+
+    for (const auto& [addr, lineCopies] : copies) {
+        int owners = 0;
+        int exclusives = 0;
+        bool anyTransient = false;
+        for (const Copy& c : lineCopies) {
+            if (!isStable(c.state))
+                anyTransient = true;
+            if (isOwner(c.state))
+                ++owners;
+            if (c.state == CohState::kMM || c.state == CohState::kM)
+                ++exclusives;
+        }
+        std::ostringstream where;
+        where << std::hex << addr;
+        if (anyTransient) {
+            violations.push_back("line 0x" + where.str() +
+                                 " still transient in a quiesced system");
+            continue;
+        }
+        if (owners > 1)
+            violations.push_back("line 0x" + where.str() +
+                                 " has multiple owners");
+        if (exclusives > 0 && lineCopies.size() > 1)
+            violations.push_back("line 0x" + where.str() +
+                                 " exclusive with other copies present");
+        if (owners == 0) {
+            // No owner: every shared copy must match memory.
+            const DataBlock& mem = store_->readLine(addr);
+            for (const Copy& c : lineCopies) {
+                if (!(*c.data == mem))
+                    violations.push_back("line 0x" + where.str() + " at " +
+                                         c.agent +
+                                         " diverges from memory with no owner");
+            }
+        }
+    }
+    return violations;
+}
+
+} // namespace dscoh

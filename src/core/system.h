@@ -1,0 +1,134 @@
+// Top-level System: builds and wires the entire simulated machine
+// (Fig. 2 right: CPU + TLB + caches, GPU SMs + sliced L2, home/DRAM, the
+// coherence virtual networks, and — under kDirectStore — the dedicated
+// CPU -> GPU-L2 network).
+//
+// This is the library's primary public entry point: construct a System,
+// allocate arrays (allocateArray decides placement by mode, mirroring what
+// the source translator does to a program), run CPU programs and launch GPU
+// kernels, then read the metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "coherence/home_controller.h"
+#include "cpu/cpu_core.h"
+#include "gpu/gpu_device.h"
+#include "gpu/gpu_l2_slice.h"
+#include "mem/dram_pool.h"
+#include "mem/interleave.h"
+#include "vm/address_space.h"
+
+namespace dscoh {
+
+/// Headline metrics of one simulation, as reported in the paper's
+/// evaluation (Figs. 4 and 5 and the compulsory-miss discussion).
+struct RunMetrics {
+    Tick ticks = 0; ///< total execution time ("total ticks", §IV-C)
+    std::uint64_t gpuL2Accesses = 0;
+    std::uint64_t gpuL2Misses = 0;
+    std::uint64_t gpuL2Compulsory = 0;
+    double gpuL2MissRate = 0.0;
+    std::uint64_t dsFills = 0;
+    std::uint64_t dsBypasses = 0;
+    std::uint64_t coherenceMessages = 0;
+    std::uint64_t coherenceBytes = 0;
+    std::uint64_t dsNetworkMessages = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t checkFailures = 0; ///< functional mismatches (must be 0)
+};
+
+class System {
+public:
+    explicit System(const SystemConfig& config);
+    ~System();
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    const SystemConfig& config() const { return config_; }
+    EventQueue& queue() { return queue_; }
+    AddressSpace& addressSpace() { return *space_; }
+    StatRegistry& stats() { return stats_; }
+
+    /// Allocates a data array the way the (translated) program would:
+    /// under kDirectStore, kernel-referenced arrays (@p gpuShared) go into
+    /// the reserved DS region via mmap; everything else — and everything
+    /// under kCcsm — comes from the ordinary heap.
+    Addr allocateArray(std::uint64_t bytes, bool gpuShared);
+
+    /// Runs @p program on the CPU core; @p onDone fires when it (and its
+    /// trailing implicit fence) completes. Program storage must outlive the
+    /// run.
+    void runCpuProgram(const CpuProgram& program, std::function<void()> onDone);
+
+    /// Launches @p kernel on the GPU; @p onDone fires at grid completion.
+    /// Kernel storage must outlive the run.
+    void launchKernel(const KernelDesc& kernel, std::function<void()> onDone);
+
+    /// Drains the event queue (runs the simulation to completion) and
+    /// returns the final tick.
+    Tick simulate();
+
+    RunMetrics metrics() const;
+
+    // Component access for tests, benches and advanced callers.
+    CpuCore& cpu() { return *cpuCore_; }
+    CpuCacheAgent& cpuCache() { return *cpuAgent_; }
+    GpuDevice& gpu() { return *gpuDevice_; }
+    GpuL2Slice& slice(std::size_t i) { return *slices_[i]; }
+    std::size_t sliceCount() const { return slices_.size(); }
+    StreamingMultiprocessor& sm(std::size_t i) { return *sms_[i]; }
+    std::size_t smCount() const { return sms_.size(); }
+    HomeController& home() { return *home_; }
+    BackingStore& backingStore() { return *store_; }
+    Network& dsNetwork() { return *dsNet_; }
+
+    NodeId sliceNodeOf(Addr pa) const
+    {
+        return kFirstSliceNode + interleave_.sliceOf(pa);
+    }
+
+    /// Verifies protocol invariants over the quiesced system (no in-flight
+    /// transactions): single owner per line, exclusivity of MM/M, shared
+    /// copies matching memory. Returns human-readable violations (empty ==
+    /// coherent).
+    std::vector<std::string> checkCoherenceInvariants() const;
+
+    // Node-id layout (one global space across all networks).
+    static constexpr NodeId kCpuAgentNode = 0;
+    static constexpr NodeId kFirstSliceNode = 1;
+    NodeId homeNode() const { return kFirstSliceNode + config_.gpuL2Slices; }
+    NodeId cpuCoreNode() const { return homeNode() + 1; }
+    NodeId firstSmNode() const { return cpuCoreNode() + 1; }
+
+private:
+    SystemConfig config_;
+    EventQueue queue_;
+    StatRegistry stats_;
+    SliceInterleave interleave_;
+
+    std::unique_ptr<BackingStore> store_;
+    std::unique_ptr<AddressSpace> space_;
+    std::unique_ptr<DramPool> dram_;
+
+    std::unique_ptr<Network> requestNet_;
+    std::unique_ptr<Network> forwardNet_;
+    std::unique_ptr<Network> responseNet_;
+    std::unique_ptr<Network> dsNet_;
+    std::unique_ptr<Network> gpuNet_;
+
+    std::unique_ptr<HomeController> home_;
+    std::unique_ptr<CpuCacheAgent> cpuAgent_;
+    std::unique_ptr<Tlb> tlb_;
+    std::unique_ptr<CpuCore> cpuCore_;
+    std::vector<std::unique_ptr<GpuL2Slice>> slices_;
+    std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
+    std::unique_ptr<GpuDevice> gpuDevice_;
+};
+
+} // namespace dscoh

@@ -1,0 +1,380 @@
+#include "cpu/cpu_core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dscoh {
+
+CpuCore::CpuCore(std::string name, EventQueue& queue, Params params, Tlb& tlb,
+                 CpuCacheAgent& cache)
+    : SimObject(std::move(name), queue), params_(std::move(params)), tlb_(tlb),
+      cache_(cache)
+{
+}
+
+void CpuCore::run(const CpuProgram& program, std::function<void()> onDone)
+{
+    assert(program_ == nullptr && "core already running a program");
+    program_ = &program;
+    pc_ = 0;
+    onDone_ = std::move(onDone);
+    queue().scheduleAfter(0, [this] { step(); }, EventPriority::kCore);
+}
+
+void CpuCore::finishOp()
+{
+    ++pc_;
+    queue().scheduleAfter(1, [this] { step(); }, EventPriority::kCore);
+}
+
+void CpuCore::step()
+{
+    assert(program_ != nullptr);
+    if (pc_ >= program_->size()) {
+        // Implicit trailing fence: the program is done when every store is
+        // globally performed.
+        flushAllRsb();
+        fencing_ = true;
+        maybeFinishFence();
+        return;
+    }
+
+    const CpuOp& op = (*program_)[pc_];
+    switch (op.kind) {
+    case CpuOp::Kind::kCompute:
+        queue().scheduleAfter(op.delay, [this] { finishOp(); },
+                              EventPriority::kCore);
+        break;
+    case CpuOp::Kind::kFence:
+        execFence();
+        break;
+    case CpuOp::Kind::kLoad:
+        execLoad(op);
+        break;
+    case CpuOp::Kind::kStore:
+        execStore(op);
+        break;
+    }
+}
+
+void CpuCore::execFence()
+{
+    flushAllRsb();
+    fencing_ = true;
+    maybeFinishFence();
+}
+
+void CpuCore::maybeFinishFence()
+{
+    if (!fencing_ || !storesDrained())
+        return;
+    fencing_ = false;
+    if (pc_ >= program_->size()) {
+        program_ = nullptr;
+        auto done = std::move(onDone_);
+        onDone_ = nullptr;
+        if (done)
+            done();
+        return;
+    }
+    finishOp();
+}
+
+// ---------------------------------------------------------------- stores --
+
+void CpuCore::execStore(const CpuOp& op)
+{
+    const TlbResult tr = tlb_.translate(op.vaddr);
+    const Tick extra = tr.latency;
+    if (tr.translation.dsRegion) {
+        queue().scheduleAfter(extra, [this, pa = tr.translation.paddr, op] {
+            remoteStore(pa, op);
+            finishOp();
+        }, EventPriority::kCore);
+        return;
+    }
+
+    if (storeBuffer_.size() >= params_.storeBufferEntries) {
+        // In-order core: wait for a slot, then retry this op.
+        stalledStores_.push_back(op);
+        return;
+    }
+    queue().scheduleAfter(extra, [this, pa = tr.translation.paddr, op] {
+        pushStoreBuffer(pa, op);
+        finishOp();
+    }, EventPriority::kCore);
+}
+
+void CpuCore::pushStoreBuffer(Addr pa, const CpuOp& op)
+{
+    stores_.inc();
+    const Addr base = lineAlign(pa);
+    for (StoreBufferEntry& entry : storeBuffer_) {
+        if (entry.base != base)
+            continue;
+        // Write-combine into the entry whose drain is already in flight;
+        // the drain callback applies whatever bytes accumulated by then.
+        entry.data.write(lineOffset(pa), op.value, op.size);
+        entry.mask.set(lineOffset(pa), op.size);
+        return;
+    }
+    StoreBufferEntry entry;
+    entry.base = base;
+    entry.data.write(lineOffset(pa), op.value, op.size);
+    entry.mask.set(lineOffset(pa), op.size);
+    storeBuffer_.push_back(std::move(entry));
+    drainStoreEntry(base);
+}
+
+void CpuCore::drainStoreEntry(Addr base)
+{
+    ++inFlightStores_;
+    const Tick lookup = cache_.l1Hit(base)
+                            ? params_.l1Latency
+                            : params_.l1Latency + params_.l2Latency;
+    queue().scheduleAfter(lookup, [this, base] {
+        cache_.access(base, /*exclusive=*/true,
+                      [this, base](CacheAgent::Line& line) {
+                          // Apply every byte combined into the entry so far.
+                          const auto it = std::find_if(
+                              storeBuffer_.begin(), storeBuffer_.end(),
+                              [base](const StoreBufferEntry& e) {
+                                  return e.base == base;
+                              });
+                          assert(it != storeBuffer_.end());
+                          it->mask.apply(line.data, it->data);
+                          storeBuffer_.erase(it);
+                          cache_.l1Insert(base);
+                          --inFlightStores_;
+                          if (!stalledStores_.empty() &&
+                              storeBuffer_.size() < params_.storeBufferEntries) {
+                              const CpuOp next = stalledStores_.front();
+                              stalledStores_.pop_front();
+                              execStore(next);
+                          }
+                          maybeFinishFence();
+                      });
+    }, EventPriority::kCore);
+}
+
+// ---------------------------------------------------------- remote stores --
+
+void CpuCore::remoteStore(Addr pa, const CpuOp& op)
+{
+    assert(params_.dsNet != nullptr && params_.sliceOf &&
+           "direct-store path used without a DS network");
+    remoteStores_.inc();
+    const Addr base = lineAlign(pa);
+
+    for (std::size_t i = 0; i < rsb_.size(); ++i) {
+        if (rsb_[i].base != base)
+            continue;
+        rsb_[i].data.write(lineOffset(pa), op.value, op.size);
+        rsb_[i].mask.set(lineOffset(pa), op.size);
+        if (rsb_[i].mask.full())
+            flushRsbEntry(i);
+        return;
+    }
+
+    if (rsb_.size() >= params_.rsbEntries)
+        flushRsbEntry(0); // evict the oldest write-combining entry
+
+    RsbEntry entry;
+    entry.base = base;
+    entry.data.write(lineOffset(pa), op.value, op.size);
+    entry.mask.set(lineOffset(pa), op.size);
+    rsb_.push_back(std::move(entry));
+}
+
+void CpuCore::flushRsbEntry(std::size_t index)
+{
+    assert(index < rsb_.size());
+    RsbEntry entry = std::move(rsb_[index]);
+    rsb_.erase(rsb_.begin() + static_cast<std::ptrdiff_t>(index));
+    ++pendingDsAcks_;
+
+    // Fig. 3: give up any local copy first (I/S/M/MM -> I), then push the
+    // line over the dedicated network to the slice that owns the address.
+    cache_.prepareRemoteStore(entry.base, [this, e = std::move(entry)] {
+        Message msg;
+        msg.type = MsgType::kDsPutX;
+        msg.addr = e.base;
+        msg.src = params_.self;
+        msg.dst = params_.sliceOf(e.base);
+        msg.requester = params_.self;
+        msg.data = e.data;
+        msg.mask = e.mask;
+        msg.hasData = true;
+        msg.dirty = true;
+        params_.dsNet->send(std::move(msg));
+        dsPutxSent_.inc();
+    });
+}
+
+void CpuCore::flushAllRsb()
+{
+    while (!rsb_.empty())
+        flushRsbEntry(0);
+}
+
+// ----------------------------------------------------------------- loads --
+
+void CpuCore::execLoad(const CpuOp& op)
+{
+    loads_.inc();
+    loadStart_ = curTick();
+    const TlbResult tr = tlb_.translate(op.vaddr);
+
+    if (tr.translation.dsRegion) {
+        doUncachedLoad(tr.translation.paddr, op, tr.latency);
+        return;
+    }
+
+    // Store->load forwarding from the write-combining store buffer.
+    const Addr pa = tr.translation.paddr;
+    for (const StoreBufferEntry& entry : storeBuffer_) {
+        if (entry.base != lineAlign(pa))
+            continue;
+        bool covered = true;
+        for (std::uint32_t i = 0; i < op.size; ++i)
+            covered = covered && entry.mask.test(lineOffset(pa) + i);
+        if (!covered)
+            break; // partially buffered: let the access path order it
+        storeForwards_.inc();
+        const std::uint64_t value = entry.data.read(lineOffset(pa), op.size);
+        queue().scheduleAfter(tr.latency + params_.l1Latency,
+                              [this, op, value] {
+                                  checkLoadedValue(op, value);
+                                  loadLatency_.sample(curTick() - loadStart_);
+                                  finishOp();
+                              }, EventPriority::kCore);
+        return;
+    }
+
+    doLocalLoad(tr.translation.paddr, op, tr.latency);
+}
+
+void CpuCore::doLocalLoad(Addr pa, const CpuOp& op, Tick extraLatency)
+{
+    const Tick lookup = cache_.l1Hit(pa)
+                            ? params_.l1Latency
+                            : params_.l1Latency + params_.l2Latency;
+    queue().scheduleAfter(extraLatency + lookup, [this, pa, op] {
+        cache_.access(pa, /*exclusive=*/false,
+                      [this, pa, op](CacheAgent::Line& line) {
+                          const std::uint64_t value =
+                              line.data.read(lineOffset(pa), op.size);
+                          cache_.l1Insert(pa);
+                          checkLoadedValue(op, value);
+                          loadLatency_.sample(curTick() - loadStart_);
+                          finishOp();
+                      });
+    }, EventPriority::kCore);
+}
+
+void CpuCore::doUncachedLoad(Addr pa, const CpuOp& op, Tick extraLatency)
+{
+    // Forward from a pending write-combining entry when it covers the load.
+    const Addr base = lineAlign(pa);
+    for (const RsbEntry& entry : rsb_) {
+        if (entry.base != base)
+            continue;
+        bool covered = true;
+        for (std::uint32_t i = 0; i < op.size; ++i)
+            covered = covered && entry.mask.test(lineOffset(pa) + i);
+        if (covered) {
+            const std::uint64_t value = entry.data.read(lineOffset(pa), op.size);
+            queue().scheduleAfter(extraLatency + params_.l1Latency,
+                                  [this, op, value] {
+                                      checkLoadedValue(op, value);
+                                      loadLatency_.sample(curTick() - loadStart_);
+                                      finishOp();
+                                  }, EventPriority::kCore);
+            return;
+        }
+        // Partially covered: push the entry out and read from the slice
+        // once the push is acknowledged, to keep the bytes ordered.
+        for (std::size_t i = 0; i < rsb_.size(); ++i) {
+            if (rsb_[i].base == base) {
+                flushRsbEntry(i);
+                break;
+            }
+        }
+        awaitingDsDrain_.push_back([this, pa, op] {
+            doUncachedLoad(pa, op, 0);
+        });
+        return;
+    }
+
+    ucReads_.inc();
+    assert(!pendingUcLoad_ && "in-order core: one uncached load at a time");
+    queue().scheduleAfter(extraLatency, [this, pa, op] {
+        Message msg;
+        msg.type = MsgType::kUcRead;
+        msg.addr = lineAlign(pa);
+        msg.src = params_.self;
+        msg.dst = params_.sliceOf(pa);
+        msg.requester = params_.self;
+        params_.dsNet->send(std::move(msg));
+        pendingUcLoad_ = [this, pa, op](const Message& reply) {
+            const std::uint64_t value = reply.data.read(lineOffset(pa), op.size);
+            checkLoadedValue(op, value);
+            loadLatency_.sample(curTick() - loadStart_);
+            finishOp();
+        };
+    }, EventPriority::kCore);
+}
+
+void CpuCore::checkLoadedValue(const CpuOp& op, std::uint64_t value)
+{
+    if (!op.check)
+        return;
+    const std::uint64_t mask =
+        op.size >= 8 ? ~0ull : ((1ull << (op.size * 8)) - 1);
+    if ((value & mask) != (op.value & mask))
+        checkFailures_.inc();
+}
+
+// -------------------------------------------------------------- messages --
+
+void CpuCore::handleDsMessage(const Message& msg)
+{
+    switch (msg.type) {
+    case MsgType::kDsAck: {
+        assert(pendingDsAcks_ > 0);
+        --pendingDsAcks_;
+        if (pendingDsAcks_ == 0) {
+            std::deque<std::function<void()>> thunks;
+            thunks.swap(awaitingDsDrain_);
+            for (auto& t : thunks)
+                t();
+        }
+        maybeFinishFence();
+        break;
+    }
+    case MsgType::kUcData: {
+        assert(pendingUcLoad_);
+        auto handler = std::move(pendingUcLoad_);
+        pendingUcLoad_ = nullptr;
+        handler(msg);
+        break;
+    }
+    default:
+        assert(false && "unexpected DS-network message at the CPU");
+    }
+}
+
+void CpuCore::regStats(StatRegistry& registry)
+{
+    registry.registerCounter(statName("loads"), &loads_);
+    registry.registerCounter(statName("stores"), &stores_);
+    registry.registerCounter(statName("remote_stores"), &remoteStores_);
+    registry.registerCounter(statName("ds_putx_sent"), &dsPutxSent_);
+    registry.registerCounter(statName("uc_reads"), &ucReads_);
+    registry.registerCounter(statName("store_forwards"), &storeForwards_);
+    registry.registerCounter(statName("check_failures"), &checkFailures_);
+    registry.registerHistogram(statName("load_latency"), &loadLatency_);
+}
+
+} // namespace dscoh

@@ -1,0 +1,120 @@
+// In-order CPU core (Table I: one core) executing a CpuProgram.
+//
+// Loads block; stores retire into a small store buffer that drains through
+// the cache hierarchy in the background (with store->load forwarding).
+// Stores whose TLB translation carries the direct-store flag instead enter
+// the remote-store buffer (RSB): a few line-sized write-combining entries
+// that coalesce adjacent stores and push each completed (or evicted) line to
+// the owning GPU L2 slice as a DsPutX over the dedicated network. Loads from
+// the DS region are uncached round-trips to the slice (§III-E: the region
+// can never be cached on the CPU).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cpu/cpu_cache_agent.h"
+#include "cpu/program.h"
+#include "cpu/tlb.h"
+#include "net/network.h"
+
+namespace dscoh {
+
+class CpuCore final : public SimObject {
+public:
+    struct Params {
+        Tick l1Latency = 4;
+        Tick l2Latency = 12;
+        std::size_t storeBufferEntries = 8;
+        std::size_t rsbEntries = 4;
+        NodeId self = kInvalidNode;         ///< this core's id on the DS network
+        Network* dsNet = nullptr;           ///< dedicated CPU -> GPU L2 network
+        std::function<NodeId(Addr)> sliceOf; ///< PA -> owning slice's node id
+    };
+
+    CpuCore(std::string name, EventQueue& queue, Params params, Tlb& tlb,
+            CpuCacheAgent& cache);
+
+    /// Starts executing @p program; @p onDone fires once every op has
+    /// executed AND all buffered stores (local and remote) are globally
+    /// performed (implicit trailing fence).
+    void run(const CpuProgram& program, std::function<void()> onDone);
+
+    /// Entry point for DsAck / UcData arriving on the dedicated network.
+    void handleDsMessage(const Message& msg);
+
+    void regStats(StatRegistry& registry) override;
+
+    bool idle() const { return program_ == nullptr; }
+    std::uint64_t checkFailures() const { return checkFailures_.value(); }
+    std::uint64_t remoteStores() const { return remoteStores_.value(); }
+
+private:
+    /// Line-granular write-combining store-buffer entry: stores to the same
+    /// line merge into one entry and drain as a single ownership request, so
+    /// several line misses overlap (as in any real LSQ+MSHR design).
+    struct StoreBufferEntry {
+        Addr base = 0; ///< line-aligned physical address
+        DataBlock data;
+        ByteMask mask;
+    };
+
+    struct RsbEntry {
+        Addr base = 0; ///< line-aligned physical address
+        DataBlock data;
+        ByteMask mask;
+    };
+
+    void step();
+    void finishOp();
+    void execLoad(const CpuOp& op);
+    void execStore(const CpuOp& op);
+    void execFence();
+    void doLocalLoad(Addr pa, const CpuOp& op, Tick extraLatency);
+    void doUncachedLoad(Addr pa, const CpuOp& op, Tick extraLatency);
+    void pushStoreBuffer(Addr pa, const CpuOp& op);
+    void drainStoreEntry(Addr base);
+    void remoteStore(Addr pa, const CpuOp& op);
+    void flushRsbEntry(std::size_t index);
+    void flushAllRsb();
+    bool storesDrained() const
+    {
+        return storeBuffer_.empty() && inFlightStores_ == 0 && rsb_.empty() &&
+               pendingDsAcks_ == 0;
+    }
+    void maybeFinishFence();
+    void checkLoadedValue(const CpuOp& op, std::uint64_t value);
+
+    Params params_;
+    Tlb& tlb_;
+    CpuCacheAgent& cache_;
+
+    const CpuProgram* program_ = nullptr;
+    std::size_t pc_ = 0;
+    std::function<void()> onDone_;
+    bool fencing_ = false;
+
+    std::deque<StoreBufferEntry> storeBuffer_;
+    std::size_t inFlightStores_ = 0;
+    std::deque<CpuOp> stalledStores_; ///< waiting for a store-buffer slot
+
+    std::vector<RsbEntry> rsb_; ///< FIFO write-combining entries
+    std::size_t pendingDsAcks_ = 0;
+
+    std::function<void(const Message&)> pendingUcLoad_;
+    std::deque<std::function<void()>> awaitingDsDrain_;
+
+    Counter loads_;
+    Counter stores_;
+    Counter remoteStores_;
+    Counter dsPutxSent_;
+    Counter ucReads_;
+    Counter storeForwards_;
+    Counter checkFailures_;
+    Histogram loadLatency_{16, 64};
+    Tick loadStart_ = 0;
+};
+
+} // namespace dscoh

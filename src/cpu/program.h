@@ -1,0 +1,69 @@
+// The CPU's instruction stream abstraction: a flat list of memory and
+// compute operations, produced by the workload models (the producer phase of
+// each benchmark) and executed in order by CpuCore.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dscoh {
+
+struct CpuOp {
+    enum class Kind : std::uint8_t { kLoad, kStore, kCompute, kFence };
+
+    Kind kind = Kind::kCompute;
+    Addr vaddr = 0;          ///< kLoad/kStore
+    std::uint32_t size = 8;  ///< access size in bytes (<= 8)
+    std::uint64_t value = 0; ///< kStore: value; kLoad: expected value
+    bool check = false;      ///< kLoad: verify the loaded value
+    Tick delay = 0;          ///< kCompute: cycles of non-memory work
+};
+
+using CpuProgram = std::vector<CpuOp>;
+
+/// Convenience builders used throughout workloads and tests.
+inline CpuOp cpuStore(Addr va, std::uint64_t value, std::uint32_t size = 8)
+{
+    CpuOp op;
+    op.kind = CpuOp::Kind::kStore;
+    op.vaddr = va;
+    op.value = value;
+    op.size = size;
+    return op;
+}
+
+inline CpuOp cpuLoad(Addr va, std::uint32_t size = 8)
+{
+    CpuOp op;
+    op.kind = CpuOp::Kind::kLoad;
+    op.vaddr = va;
+    op.size = size;
+    return op;
+}
+
+inline CpuOp cpuLoadCheck(Addr va, std::uint64_t expect, std::uint32_t size = 8)
+{
+    CpuOp op = cpuLoad(va, size);
+    op.check = true;
+    op.value = expect;
+    return op;
+}
+
+inline CpuOp cpuCompute(Tick cycles)
+{
+    CpuOp op;
+    op.kind = CpuOp::Kind::kCompute;
+    op.delay = cycles;
+    return op;
+}
+
+inline CpuOp cpuFence()
+{
+    CpuOp op;
+    op.kind = CpuOp::Kind::kFence;
+    return op;
+}
+
+} // namespace dscoh

@@ -1,0 +1,55 @@
+#include "cpu/tlb.h"
+
+#include <utility>
+
+namespace dscoh {
+
+Tlb::Tlb(std::string name, EventQueue& queue, const AddressSpace& space,
+         Params params)
+    : SimObject(std::move(name), queue), space_(space), params_(params)
+{
+}
+
+TlbResult Tlb::translate(Addr va)
+{
+    const Addr page = pageAlign(va);
+    TlbResult result;
+    result.translation = space_.translate(va);
+    if (result.translation.dsRegion)
+        dsDetections_.inc();
+
+    const auto it = entries_.find(page);
+    if (it != entries_.end()) {
+        hits_.inc();
+        lru_.splice(lru_.begin(), lru_, it->second);
+        result.hit = true;
+        result.latency = 0;
+        return result;
+    }
+
+    misses_.inc();
+    result.hit = false;
+    result.latency = params_.walkLatency;
+    if (entries_.size() >= params_.entries) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(page);
+    entries_.emplace(page, lru_.begin());
+    return result;
+}
+
+void Tlb::flush()
+{
+    lru_.clear();
+    entries_.clear();
+}
+
+void Tlb::regStats(StatRegistry& registry)
+{
+    registry.registerCounter(statName("hits"), &hits_);
+    registry.registerCounter(statName("misses"), &misses_);
+    registry.registerCounter(statName("ds_detections"), &dsDetections_);
+}
+
+} // namespace dscoh

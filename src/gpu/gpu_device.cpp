@@ -1,0 +1,64 @@
+#include "gpu/gpu_device.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dscoh {
+
+GpuDevice::GpuDevice(std::string name, EventQueue& queue, Params params,
+                     std::vector<StreamingMultiprocessor*> sms)
+    : SimObject(std::move(name), queue), params_(params), sms_(std::move(sms))
+{
+    assert(!sms_.empty());
+}
+
+void GpuDevice::launch(const KernelDesc& kernel, std::function<void()> onDone)
+{
+    assert(!active_ && "kernels launch serially");
+    active_ = true;
+    kernel_ = &kernel;
+    nextBlock_ = 0;
+    onDone_ = std::move(onDone);
+    kernelsLaunched_.inc();
+
+    queue().scheduleAfter(params_.launchLatency, [this] {
+        for (StreamingMultiprocessor* sm : sms_) {
+            sm->beginKernel(*kernel_, [this] { return nextBlock(); },
+                            [this] { onSmIdle(); });
+        }
+        onSmIdle(); // zero-block grids complete immediately
+    }, EventPriority::kCore);
+}
+
+std::optional<std::uint32_t> GpuDevice::nextBlock()
+{
+    if (nextBlock_ >= kernel_->blocks)
+        return std::nullopt;
+    blocksDispatched_.inc();
+    return nextBlock_++;
+}
+
+void GpuDevice::onSmIdle()
+{
+    if (!active_)
+        return;
+    if (nextBlock_ < kernel_->blocks)
+        return;
+    for (const StreamingMultiprocessor* sm : sms_)
+        if (!sm->idle())
+            return;
+    active_ = false;
+    kernel_ = nullptr;
+    auto done = std::move(onDone_);
+    onDone_ = nullptr;
+    if (done)
+        done();
+}
+
+void GpuDevice::regStats(StatRegistry& registry)
+{
+    registry.registerCounter(statName("kernels"), &kernelsLaunched_);
+    registry.registerCounter(statName("blocks_dispatched"), &blocksDispatched_);
+}
+
+} // namespace dscoh

@@ -1,0 +1,45 @@
+// GPU device: dispatches kernel grids across the SMs and tracks completion.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gpu/sm.h"
+
+namespace dscoh {
+
+class GpuDevice final : public SimObject {
+public:
+    struct Params {
+        Tick launchLatency = 2000; ///< driver/runtime launch overhead, ticks
+    };
+
+    GpuDevice(std::string name, EventQueue& queue, Params params,
+              std::vector<StreamingMultiprocessor*> sms);
+
+    /// Launches @p kernel; @p onDone fires when every block retired and all
+    /// write-through stores are globally performed. Kernels are serial (the
+    /// benchmarks under study launch one grid at a time).
+    void launch(const KernelDesc& kernel, std::function<void()> onDone);
+
+    bool busy() const { return active_; }
+
+    void regStats(StatRegistry& registry) override;
+
+private:
+    std::optional<std::uint32_t> nextBlock();
+    void onSmIdle();
+
+    Params params_;
+    std::vector<StreamingMultiprocessor*> sms_;
+
+    const KernelDesc* kernel_ = nullptr;
+    std::uint32_t nextBlock_ = 0;
+    bool active_ = false;
+    std::function<void()> onDone_;
+
+    Counter kernelsLaunched_;
+    Counter blocksDispatched_;
+};
+
+} // namespace dscoh

@@ -1,0 +1,226 @@
+#include "gpu/gpu_l2_slice.h"
+
+#include <cassert>
+
+#include "coherence/transition_coverage.h"
+#include <utility>
+
+namespace dscoh {
+
+GpuL2Slice::GpuL2Slice(std::string name, EventQueue& queue,
+                       const CacheAgent::Params& agentParams,
+                       const SliceParams& sliceParams)
+    : CacheAgent(std::move(name), queue, agentParams), slice_(sliceParams)
+{
+    assert(slice_.gpuNet && slice_.dsNet && slice_.dram);
+}
+
+void GpuL2Slice::noteDemand(Addr addr, bool exclusive)
+{
+    accesses_.inc();
+    if (!probeHit(addr, exclusive)) {
+        misses_.inc();
+        if (!everFilled(addr))
+            compulsory_.inc();
+        maybePrefetch(addr);
+    }
+}
+
+void GpuL2Slice::maybePrefetch(Addr missAddr)
+{
+    // Sequential next-line prefetcher, striding over the lines this slice
+    // owns. Pure pull-based comparison point for direct store.
+    for (std::uint32_t i = 1; i <= slice_.prefetchDepth; ++i) {
+        const Addr next =
+            lineAlign(missAddr) +
+            static_cast<Addr>(i) * slice_.slices * kLineSize;
+        if (array().find(next) != nullptr)
+            continue;
+        prefetches_.inc();
+        access(next, /*exclusive=*/false, [](Line&) {});
+    }
+}
+
+void GpuL2Slice::handleGpuMessage(const Message& msg)
+{
+    // Charge the front-side tag latency, then serve.
+    queue().scheduleAfter(slice_.tagLatency, [this, msg] {
+        switch (msg.type) {
+        case MsgType::kL1Load:
+            serveLoad(msg);
+            break;
+        case MsgType::kL1Store:
+            serveStore(msg);
+            break;
+        default:
+            assert(false && "unexpected GPU-network message at L2 slice");
+        }
+    }, EventPriority::kController);
+}
+
+void GpuL2Slice::serveLoad(const Message& msg)
+{
+    noteDemand(msg.addr, /*exclusive=*/false);
+    access(msg.addr, /*exclusive=*/false, [this, msg](Line& line) {
+        Message resp;
+        resp.type = MsgType::kL1LoadResp;
+        resp.addr = msg.addr;
+        resp.src = params().self;
+        resp.dst = msg.src;
+        resp.requester = msg.src;
+        resp.data = line.data;
+        resp.mask.set(0, kLineSize);
+        resp.hasData = true;
+        resp.txn = msg.txn;
+        slice_.gpuNet->send(std::move(resp));
+    });
+}
+
+void GpuL2Slice::serveStore(const Message& msg)
+{
+    noteDemand(msg.addr, /*exclusive=*/true);
+    access(msg.addr, /*exclusive=*/true, [this, msg](Line& line) {
+        msg.mask.apply(line.data, msg.data);
+        Message ack;
+        ack.type = MsgType::kL1StoreAck;
+        ack.addr = msg.addr;
+        ack.src = params().self;
+        ack.dst = msg.src;
+        ack.requester = msg.src;
+        ack.txn = msg.txn;
+        slice_.gpuNet->send(std::move(ack));
+    });
+}
+
+void GpuL2Slice::handleDsMessage(const Message& msg)
+{
+    queue().scheduleAfter(slice_.tagLatency, [this, msg] {
+        switch (msg.type) {
+        case MsgType::kDsPutX:
+            serveDirectStore(msg);
+            break;
+        case MsgType::kUcRead:
+            serveUncachedRead(msg);
+            break;
+        default:
+            assert(false && "unexpected DS-network message at L2 slice");
+        }
+    }, EventPriority::kController);
+}
+
+void GpuL2Slice::serveDirectStore(const Message& msg)
+{
+    dsStores_.inc();
+    const Addr base = msg.addr;
+
+    if (inWriteback(base)) {
+        // The same line is draining to memory; retry once it is gone so we
+        // never hold two copies with different owners.
+        deferUntilResourceFree([this, msg] { serveDirectStore(msg); });
+        return;
+    }
+
+    Line* line = array().find(base);
+
+    if (line == nullptr && msg.mask.full()) {
+        // Fig. 3 blue transition: install the pushed full line, no fetch
+        // needed. This is the payoff path of the whole paper.
+        //
+        // Pushes never evict valid lines, and occupy at most half the ways
+        // of a set: "if the GPU L2 cache is full, the system then writes
+        // data to DRAM". Displacing (or crowding out) the demand working
+        // set with speculatively pushed data is how a push scheme could
+        // *hurt*, and the paper reports direct store never does.
+        const std::uint32_t pushed = array().countInSet(
+            base, [](const Line& l) { return l.meta.dsFilled; });
+        Line* way =
+            pushed < array().ways() / 2 ? array().findFreeWay(base) : nullptr;
+        if (way == nullptr) {
+            dsBypassed_.inc();
+            slice_.dram->writeMasked(base, msg.data, msg.mask,
+                                     [this, msg] { sendDsAck(msg); });
+            return;
+        }
+        Line& installed = array().install(*way, base);
+        // The push writes through to DRAM in the background, so the line is
+        // installed exclusive-clean (M): memory stays current, the eviction
+        // is silent, and a later GPU store upgrades exactly like a store to
+        // any other clean resident line. (Fig. 3 shows I->MM; our variant
+        // write-through push makes M the faithful state — see DESIGN.md.)
+        recordTransition(CohState::kI, CohEvent::kRemoteStore, CohState::kM);
+        installed.meta.state = CohState::kM;
+        installed.meta.dsFilled = true;
+        installed.data = msg.data;
+        slice_.dram->writeMasked(base, msg.data, msg.mask, nullptr);
+        noteFilled(base);
+        dsFills_.inc();
+        onFill(installed);
+        sendDsAck(msg);
+        return;
+    }
+
+    // Partial line, or the line is already present / in flight: obtain
+    // ownership through the protocol (fetch-merge), then overlay the pushed
+    // bytes. The line ends MM either way.
+    dsMerges_.inc();
+    access(base, /*exclusive=*/true, [this, msg](Line& owned) {
+        msg.mask.apply(owned.data, msg.data);
+        recordTransition(owned.meta.state, CohEvent::kRemoteStore,
+                         CohState::kMM);
+        owned.meta.state = CohState::kMM;
+        owned.meta.dsFilled = true;
+        dsFills_.inc();
+        sendDsAck(msg);
+    });
+}
+
+void GpuL2Slice::sendDsAck(const Message& msg)
+{
+    Message ack;
+    ack.type = MsgType::kDsAck;
+    ack.addr = msg.addr;
+    ack.src = params().self;
+    ack.dst = msg.src;
+    ack.requester = msg.src;
+    ack.txn = msg.txn;
+    slice_.dsNet->send(std::move(ack));
+}
+
+void GpuL2Slice::serveUncachedRead(const Message& msg)
+{
+    ucReads_.inc();
+    access(msg.addr, /*exclusive=*/false, [this, msg](Line& line) {
+        Message resp;
+        resp.type = MsgType::kUcData;
+        resp.addr = msg.addr;
+        resp.src = params().self;
+        resp.dst = msg.src;
+        resp.requester = msg.src;
+        resp.data = line.data;
+        resp.mask.set(0, kLineSize);
+        resp.hasData = true;
+        resp.txn = msg.txn;
+        slice_.dsNet->send(std::move(resp));
+    });
+}
+
+void GpuL2Slice::onFill(Line& line)
+{
+    static_cast<void>(line);
+}
+
+void GpuL2Slice::regStats(StatRegistry& registry)
+{
+    CacheAgent::regStats(registry);
+    registry.registerCounter(statName("demand_accesses"), &accesses_);
+    registry.registerCounter(statName("demand_misses"), &misses_);
+    registry.registerCounter(statName("compulsory_misses"), &compulsory_);
+    registry.registerCounter(statName("ds_stores"), &dsStores_);
+    registry.registerCounter(statName("ds_fills"), &dsFills_);
+    registry.registerCounter(statName("ds_bypassed"), &dsBypassed_);
+    registry.registerCounter(statName("ds_merges"), &dsMerges_);
+    registry.registerCounter(statName("uc_reads"), &ucReads_);
+    registry.registerCounter(statName("prefetches"), &prefetches_);
+}
+
+} // namespace dscoh

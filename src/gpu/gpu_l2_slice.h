@@ -1,0 +1,77 @@
+// One slice of the shared GPU L2 (Table I: 2 MB, 16-way, 4 slices).
+//
+// Each slice is a coherent CacheAgent for the (interleaved) addresses it
+// owns. Its front side serves the SM L1s over the GPU-internal network, and
+// it is the landing zone for the paper's direct stores: a DsPutX installs
+// the pushed line as MM (Fig. 3, I -> MM via the blue transition), falling
+// back to a DRAM write when the set has no evictable way (the paper's "if
+// the GPU L2 cache is full, the system writes data to DRAM").
+#pragma once
+
+#include <unordered_set>
+
+#include "coherence/cache_agent.h"
+#include "mem/dram.h"
+
+namespace dscoh {
+
+class GpuL2Slice final : public CacheAgent {
+public:
+    struct SliceParams {
+        Tick tagLatency = 16;  ///< front-side lookup latency, ticks
+        Network* gpuNet = nullptr; ///< SM L1s <-> slices
+        Network* dsNet = nullptr;  ///< dedicated direct-store network
+        MemoryInterface* dram = nullptr; ///< for the DS bypass/write-through path
+        /// Sequential (next-line) prefetch depth on demand misses; 0 = off.
+        /// Used by the prefetching-vs-direct-store ablation (§IV-C notes
+        /// direct store beats prefetching; bench/ablation_prefetch checks).
+        std::uint32_t prefetchDepth = 0;
+        std::uint32_t slices = 4; ///< stride between slice-local lines
+    };
+
+    GpuL2Slice(std::string name, EventQueue& queue,
+               const CacheAgent::Params& agentParams,
+               const SliceParams& sliceParams);
+
+    /// Entry point for kL1Load / kL1Store from the SMs (GPU network).
+    void handleGpuMessage(const Message& msg);
+
+    /// Entry point for kDsPutX / kUcRead from the CPU (dedicated network).
+    void handleDsMessage(const Message& msg);
+
+    void regStats(StatRegistry& registry) override;
+
+    // GPU-side demand statistics (what Fig. 5 reports).
+    std::uint64_t demandAccesses() const { return accesses_.value(); }
+    std::uint64_t demandMisses() const { return misses_.value(); }
+    std::uint64_t compulsoryMisses() const { return compulsory_.value(); }
+    std::uint64_t dsFills() const { return dsFills_.value(); }
+    std::uint64_t dsBypasses() const { return dsBypassed_.value(); }
+    std::uint64_t prefetchesIssued() const { return prefetches_.value(); }
+
+protected:
+    void onFill(Line& line) override;
+
+private:
+    void serveLoad(const Message& msg);
+    void serveStore(const Message& msg);
+    void maybePrefetch(Addr missAddr);
+    void serveDirectStore(const Message& msg);
+    void serveUncachedRead(const Message& msg);
+    void noteDemand(Addr addr, bool exclusive);
+    void sendDsAck(const Message& msg);
+
+    SliceParams slice_;
+
+    Counter accesses_;
+    Counter misses_;
+    Counter compulsory_;
+    Counter dsStores_;
+    Counter dsFills_;
+    Counter dsBypassed_;
+    Counter dsMerges_;
+    Counter ucReads_;
+    Counter prefetches_;
+};
+
+} // namespace dscoh

@@ -1,0 +1,116 @@
+// GPU kernel abstraction.
+//
+// A kernel is a grid of thread blocks; every thread's behaviour is produced
+// by a body callback that records a SIMT op stream into a ThreadBuilder.
+// Threads of one warp must record the same number of ops (lockstep);
+// divergence is modelled with predication (nop()).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dscoh {
+
+struct GpuOp {
+    enum class Kind : std::uint8_t {
+        kLoad,      ///< global load through L1/L2
+        kStore,     ///< global store, write-through at the L1
+        kSmemLoad,  ///< shared-memory (scratchpad) access, no cache traffic
+        kSmemStore,
+        kCompute, ///< ALU work, `cycles` GPU cycles
+        kNop,     ///< predicated-off lane
+    };
+
+    Kind kind = Kind::kNop;
+    Addr vaddr = 0;
+    std::uint32_t size = 4;  ///< bytes, <= 8
+    std::uint64_t value = 0; ///< store value / expected load value
+    bool check = false;      ///< verify loaded value against `value`
+    std::uint32_t cycles = 1;
+};
+
+constexpr bool isGlobalMem(GpuOp::Kind k)
+{
+    return k == GpuOp::Kind::kLoad || k == GpuOp::Kind::kStore;
+}
+
+/// Records one thread's op stream.
+class ThreadBuilder {
+public:
+    void ld(Addr va, std::uint32_t size = 4)
+    {
+        GpuOp op;
+        op.kind = GpuOp::Kind::kLoad;
+        op.vaddr = va;
+        op.size = size;
+        ops_.push_back(op);
+    }
+
+    void ldCheck(Addr va, std::uint64_t expect, std::uint32_t size = 4)
+    {
+        GpuOp op;
+        op.kind = GpuOp::Kind::kLoad;
+        op.vaddr = va;
+        op.size = size;
+        op.value = expect;
+        op.check = true;
+        ops_.push_back(op);
+    }
+
+    void st(Addr va, std::uint64_t value, std::uint32_t size = 4)
+    {
+        GpuOp op;
+        op.kind = GpuOp::Kind::kStore;
+        op.vaddr = va;
+        op.size = size;
+        op.value = value;
+        ops_.push_back(op);
+    }
+
+    void smemLd()
+    {
+        GpuOp op;
+        op.kind = GpuOp::Kind::kSmemLoad;
+        ops_.push_back(op);
+    }
+
+    void smemSt()
+    {
+        GpuOp op;
+        op.kind = GpuOp::Kind::kSmemStore;
+        ops_.push_back(op);
+    }
+
+    void compute(std::uint32_t cycles)
+    {
+        GpuOp op;
+        op.kind = GpuOp::Kind::kCompute;
+        op.cycles = cycles;
+        ops_.push_back(op);
+    }
+
+    void nop() { ops_.push_back(GpuOp{}); }
+
+    std::vector<GpuOp> take() { return std::move(ops_); }
+
+private:
+    std::vector<GpuOp> ops_;
+};
+
+struct KernelDesc {
+    std::string name;
+    std::uint32_t blocks = 1;
+    std::uint32_t threadsPerBlock = 32;
+    /// Table II "Shared" column: the kernel stages data in the SM-local
+    /// scratchpad, largely bypassing the L2 for its inner loops.
+    bool usesSharedMemory = false;
+    /// Produces thread (blockId, threadId)'s op stream.
+    std::function<void(ThreadBuilder&, std::uint32_t, std::uint32_t)> body;
+};
+
+} // namespace dscoh

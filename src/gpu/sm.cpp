@@ -1,0 +1,382 @@
+#include "gpu/sm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace dscoh {
+
+StreamingMultiprocessor::StreamingMultiprocessor(std::string name,
+                                                 EventQueue& queue,
+                                                 Params params,
+                                                 const AddressSpace& space)
+    : SimObject(std::move(name), queue), params_(std::move(params)),
+      space_(space), l1_(params_.l1Geometry)
+{
+    assert(params_.gpuNet && params_.sliceOf);
+    blockSlots_.resize(params_.maxResidentBlocks);
+}
+
+void StreamingMultiprocessor::beginKernel(
+    const KernelDesc& kernel,
+    std::function<std::optional<std::uint32_t>()> requestBlock,
+    std::function<void()> onIdle)
+{
+    assert(idle() && "SM still busy with the previous kernel");
+    kernel_ = &kernel;
+    requestBlock_ = std::move(requestBlock);
+    onIdle_ = std::move(onIdle);
+    gridExhausted_ = false;
+
+    // Software coherence at kernel boundaries: flash-invalidate the L1 so
+    // CPU-produced data cannot be observed stale (§III-A).
+    l1_.flashInvalidate();
+
+    pullBlocks();
+    maybeReportIdle();
+}
+
+void StreamingMultiprocessor::pullBlocks()
+{
+    while (!gridExhausted_ && residentBlocks_ < params_.maxResidentBlocks) {
+        const std::optional<std::uint32_t> block = requestBlock_();
+        if (!block) {
+            gridExhausted_ = true;
+            break;
+        }
+        addBlock(*block);
+    }
+}
+
+void StreamingMultiprocessor::addBlock(std::uint32_t blockId)
+{
+    // Find a free slot.
+    std::uint32_t slot = 0;
+    while (slot < blockSlots_.size() && blockSlots_[slot].active)
+        ++slot;
+    assert(slot < blockSlots_.size());
+
+    const std::uint32_t warpsInBlock =
+        (kernel_->threadsPerBlock + params_.lanes - 1) / params_.lanes;
+    blockSlots_[slot] = BlockSlot{true, warpsInBlock};
+    ++residentBlocks_;
+    blocksExecuted_.inc();
+
+    for (std::uint32_t w = 0; w < warpsInBlock; ++w) {
+        auto warp = std::make_unique<Warp>();
+        warp->blockSlot = slot;
+        warp->laneOps.resize(params_.lanes);
+        std::uint32_t maxSteps = 0;
+        for (std::uint32_t lane = 0; lane < params_.lanes; ++lane) {
+            const std::uint32_t tid = w * params_.lanes + lane;
+            if (tid < kernel_->threadsPerBlock) {
+                ThreadBuilder builder;
+                kernel_->body(builder, blockId, tid);
+                warp->laneOps[lane] = builder.take();
+            }
+            maxSteps = std::max(
+                maxSteps, static_cast<std::uint32_t>(warp->laneOps[lane].size()));
+        }
+        // Lockstep: pad divergent/absent lanes with predicated-off nops.
+        for (auto& ops : warp->laneOps)
+            ops.resize(maxSteps);
+        warp->steps = maxSteps;
+        Warp* raw = warp.get();
+        warps_.push_back(std::move(warp));
+        if (maxSteps == 0) {
+            retireWarp(*raw);
+        } else {
+            makeReady(*raw);
+        }
+    }
+}
+
+void StreamingMultiprocessor::makeReady(Warp& warp)
+{
+    readyQ_.push_back(&warp);
+    scheduleIssue(clock_.ticksFor(1));
+}
+
+void StreamingMultiprocessor::scheduleIssue(Tick delay)
+{
+    if (issueScheduled_)
+        return;
+    issueScheduled_ = true;
+    queue().scheduleAfter(delay, [this] {
+        issueScheduled_ = false;
+        issue();
+    }, EventPriority::kCore);
+}
+
+void StreamingMultiprocessor::issue()
+{
+    if (readyQ_.empty())
+        return;
+    Warp* warp = readyQ_.front();
+    readyQ_.pop_front();
+    execStep(*warp);
+    if (!readyQ_.empty())
+        scheduleIssue(clock_.ticksFor(1));
+}
+
+void StreamingMultiprocessor::execStep(Warp& warp)
+{
+    assert(warp.step < warp.steps);
+    instructionsIssued_.inc();
+
+    // A warp step is usually one kind across all lanes, but padding of
+    // divergent lane streams can mix kinds at a step; every lane's op must
+    // execute regardless (dropping any would corrupt data).
+    bool hasLoad = false;
+    bool hasStore = false;
+    bool hasSmem = false;
+    bool hasCompute = false;
+    std::uint32_t maxCycles = 1;
+    for (std::uint32_t lane = 0; lane < params_.lanes; ++lane) {
+        const GpuOp& op = warp.laneOps[lane][warp.step];
+        switch (op.kind) {
+        case GpuOp::Kind::kLoad:
+            hasLoad = true;
+            break;
+        case GpuOp::Kind::kStore:
+            hasStore = true;
+            break;
+        case GpuOp::Kind::kSmemLoad:
+        case GpuOp::Kind::kSmemStore:
+            hasSmem = true;
+            break;
+        case GpuOp::Kind::kCompute:
+            hasCompute = true;
+            maxCycles = std::max(maxCycles, op.cycles);
+            break;
+        case GpuOp::Kind::kNop:
+            break;
+        }
+    }
+    if (hasSmem)
+        smemAccesses_.inc();
+
+    // Stores are write-through and fire-and-forget: issue them first.
+    bool overStoreCap = false;
+    if (hasStore)
+        overStoreCap = execStores(warp);
+
+    // Loads govern the warp's advancement when present.
+    if (hasLoad) {
+        execLoads(warp);
+        return;
+    }
+    if (overStoreCap) {
+        warp.waitingStores = true;
+        storeWaiters_.push_back(&warp);
+        return;
+    }
+
+    Tick latency = clock_.ticksFor(1);
+    if (hasCompute)
+        latency = std::max(latency, clock_.ticksFor(maxCycles));
+    if (hasSmem)
+        latency = std::max(latency, params_.smemLatency);
+    if (hasStore)
+        latency = std::max(latency, params_.l1Latency);
+    stepDone(warp, latency);
+}
+
+void StreamingMultiprocessor::stepDone(Warp& warp, Tick latency)
+{
+    queue().scheduleAfter(latency, [this, &warp] { advanceWarp(warp); },
+                          EventPriority::kCore);
+}
+
+void StreamingMultiprocessor::advanceWarp(Warp& warp)
+{
+    ++warp.step;
+    if (warp.step >= warp.steps) {
+        retireWarp(warp);
+        return;
+    }
+    makeReady(warp);
+}
+
+void StreamingMultiprocessor::retireWarp(Warp& warp)
+{
+    warpsRetired_.inc();
+    BlockSlot& slot = blockSlots_[warp.blockSlot];
+    assert(slot.active && slot.warpsLeft > 0);
+    if (--slot.warpsLeft == 0) {
+        slot.active = false;
+        --residentBlocks_;
+        pullBlocks();
+    }
+    const auto it = std::find_if(warps_.begin(), warps_.end(),
+                                 [&warp](const std::unique_ptr<Warp>& p) {
+                                     return p.get() == &warp;
+                                 });
+    assert(it != warps_.end());
+    warps_.erase(it);
+    maybeReportIdle();
+}
+
+// ------------------------------------------------------------------ loads --
+
+void StreamingMultiprocessor::execLoads(Warp& warp)
+{
+    // Coalesce: group the lanes' physical addresses by cache line, and
+    // record each lane's value check to run once that line's bytes arrive.
+    struct LaneCheck {
+        std::uint32_t offset;
+        std::uint32_t size;
+        std::uint64_t expect;
+        bool check;
+    };
+    std::unordered_map<Addr, std::vector<LaneCheck>> byLine;
+    for (std::uint32_t lane = 0; lane < params_.lanes; ++lane) {
+        const GpuOp& op = warp.laneOps[lane][warp.step];
+        if (op.kind != GpuOp::Kind::kLoad)
+            continue;
+        globalLoads_.inc();
+        const Addr pa = space_.translate(op.vaddr).paddr;
+        byLine[lineAlign(pa)].push_back(
+            LaneCheck{lineOffset(pa), op.size, op.value, op.check});
+    }
+
+    auto runChecks = [this](const DataBlock& data,
+                            const std::vector<LaneCheck>& checks) {
+        for (const LaneCheck& c : checks) {
+            if (!c.check)
+                continue;
+            const std::uint64_t mask =
+                c.size >= 8 ? ~0ull : ((1ull << (c.size * 8)) - 1);
+            if ((data.read(c.offset, c.size) & mask) != (c.expect & mask))
+                checkFailures_.inc();
+        }
+    };
+
+    warp.pendingLines = 0;
+    for (auto& [lineAddr, checks] : byLine) {
+        coalescedTransactions_.inc();
+        if (GpuL1::Line* line = l1_.lookup(lineAddr)) {
+            runChecks(line->data, checks);
+            continue;
+        }
+        ++warp.pendingLines;
+        const bool firstRequester = outstandingLines_.count(lineAddr) == 0;
+        outstandingLines_[lineAddr].push_back(
+            [this, &warp, checks = std::move(checks),
+             runChecks](const DataBlock& data) {
+                runChecks(data, checks);
+                assert(warp.pendingLines > 0);
+                if (--warp.pendingLines == 0)
+                    advanceWarp(warp);
+            });
+        if (firstRequester) {
+            Message req;
+            req.type = MsgType::kL1Load;
+            req.addr = lineAddr;
+            req.src = params_.self;
+            req.dst = params_.sliceOf(lineAddr);
+            req.requester = params_.self;
+            params_.gpuNet->send(std::move(req));
+        }
+    }
+
+    if (warp.pendingLines == 0)
+        stepDone(warp, params_.l1Latency);
+}
+
+// ----------------------------------------------------------------- stores --
+
+bool StreamingMultiprocessor::execStores(Warp& warp)
+{
+    std::unordered_map<Addr, std::pair<DataBlock, ByteMask>> byLine;
+    for (std::uint32_t lane = 0; lane < params_.lanes; ++lane) {
+        const GpuOp& op = warp.laneOps[lane][warp.step];
+        if (op.kind != GpuOp::Kind::kStore)
+            continue;
+        globalStores_.inc();
+        const Addr pa = space_.translate(op.vaddr).paddr;
+        auto& [data, mask] = byLine[lineAlign(pa)];
+        data.write(lineOffset(pa), op.value, op.size);
+        mask.set(lineOffset(pa), op.size);
+    }
+
+    for (auto& [lineAddr, payload] : byLine) {
+        coalescedTransactions_.inc();
+        // Write-through, no-allocate; update a present L1 copy so later
+        // local loads observe the stored bytes.
+        l1_.storeUpdate(lineAddr, payload.first, payload.second);
+        Message st;
+        st.type = MsgType::kL1Store;
+        st.addr = lineAddr;
+        st.src = params_.self;
+        st.dst = params_.sliceOf(lineAddr);
+        st.requester = params_.self;
+        st.data = payload.first;
+        st.mask = payload.second;
+        st.hasData = true;
+        params_.gpuNet->send(std::move(st));
+        ++outstandingStores_;
+    }
+
+    return outstandingStores_ > params_.maxOutstandingStores;
+}
+
+// --------------------------------------------------------------- messages --
+
+void StreamingMultiprocessor::handleGpuMessage(const Message& msg)
+{
+    switch (msg.type) {
+    case MsgType::kL1LoadResp: {
+        l1_.fill(msg.addr, msg.data);
+        const auto it = outstandingLines_.find(msg.addr);
+        assert(it != outstandingLines_.end());
+        auto completions = std::move(it->second);
+        outstandingLines_.erase(it);
+        for (auto& completion : completions)
+            completion(msg.data);
+        break;
+    }
+    case MsgType::kL1StoreAck: {
+        assert(outstandingStores_ > 0);
+        --outstandingStores_;
+        while (!storeWaiters_.empty() &&
+               outstandingStores_ <= params_.maxOutstandingStores) {
+            Warp* warp = storeWaiters_.front();
+            storeWaiters_.pop_front();
+            warp->waitingStores = false;
+            stepDone(*warp, params_.l1Latency);
+        }
+        maybeReportIdle();
+        break;
+    }
+    default:
+        assert(false && "unexpected message at SM");
+    }
+}
+
+bool StreamingMultiprocessor::idle() const
+{
+    return warps_.empty() && residentBlocks_ == 0 && outstandingStores_ == 0;
+}
+
+void StreamingMultiprocessor::maybeReportIdle()
+{
+    if (idle() && gridExhausted_ && onIdle_)
+        onIdle_();
+}
+
+void StreamingMultiprocessor::regStats(StatRegistry& registry)
+{
+    registry.registerCounter(statName("instructions"), &instructionsIssued_);
+    registry.registerCounter(statName("global_loads"), &globalLoads_);
+    registry.registerCounter(statName("global_stores"), &globalStores_);
+    registry.registerCounter(statName("smem_accesses"), &smemAccesses_);
+    registry.registerCounter(statName("coalesced_transactions"),
+                             &coalescedTransactions_);
+    registry.registerCounter(statName("blocks"), &blocksExecuted_);
+    registry.registerCounter(statName("warps_retired"), &warpsRetired_);
+    registry.registerCounter(statName("check_failures"), &checkFailures_);
+    l1_.regStats(registry, statName("l1"));
+}
+
+} // namespace dscoh

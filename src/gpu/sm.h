@@ -1,0 +1,148 @@
+// Streaming Multiprocessor model (Table I: 16 SMs, 32 lanes, 1.4 GHz).
+//
+// Thread blocks are resident up to an occupancy limit; each block's threads
+// are grouped into 32-lane warps executing their op streams in lockstep. A
+// round-robin scheduler issues one warp-instruction per GPU cycle among the
+// ready warps, so memory latency is hidden exactly as far as warp-level
+// parallelism allows — the effect the paper's direct store interacts with.
+//
+// Memory path: a per-warp coalescer merges the lanes' addresses into line
+// transactions; loads go through the SM-local L1 (write-through,
+// no-allocate, flash-invalidated at kernel launch) and miss to the owning
+// L2 slice; stores write through to the slice and only stall the warp when
+// too many are outstanding. The GPU-side TLB is modelled as free (shared
+// page table walker, never on the critical path in this study).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/gpu_l1.h"
+#include "gpu/kernel.h"
+#include "net/network.h"
+#include "sim/sim_object.h"
+#include "vm/address_space.h"
+
+namespace dscoh {
+
+/// Converts GPU cycles (1.4 GHz) to simulator ticks (2 GHz): 10/7 ticks per
+/// cycle, with the remainder carried so long runs stay exact on average.
+class GpuClock {
+public:
+    Tick ticksFor(std::uint32_t cycles)
+    {
+        acc_ += static_cast<std::uint64_t>(cycles) * 10;
+        const Tick t = acc_ / 7;
+        acc_ %= 7;
+        return t;
+    }
+
+private:
+    std::uint64_t acc_ = 0;
+};
+
+class StreamingMultiprocessor final : public SimObject {
+public:
+    struct Params {
+        std::uint32_t lanes = 32;
+        std::uint32_t maxResidentBlocks = 4;
+        Tick l1Latency = 24;   ///< L1 lookup, ticks
+        Tick smemLatency = 30; ///< scratchpad access, ticks
+        std::size_t maxOutstandingStores = 64;
+        NodeId self = kInvalidNode;
+        Network* gpuNet = nullptr;
+        std::function<NodeId(Addr)> sliceOf;
+        CacheGeometry l1Geometry;
+    };
+
+    StreamingMultiprocessor(std::string name, EventQueue& queue, Params params,
+                            const AddressSpace& space);
+
+    /// Called by the device at kernel launch. @p requestBlock hands out the
+    /// next block id (nullopt when the grid is exhausted); @p onIdle fires
+    /// every time this SM drains completely (no warps, no blocks to pull,
+    /// no outstanding stores).
+    void beginKernel(const KernelDesc& kernel,
+                     std::function<std::optional<std::uint32_t>()> requestBlock,
+                     std::function<void()> onIdle);
+
+    /// kL1LoadResp / kL1StoreAck from the L2 slices.
+    void handleGpuMessage(const Message& msg);
+
+    bool idle() const;
+
+    void regStats(StatRegistry& registry) override;
+
+    std::uint64_t checkFailures() const { return checkFailures_.value(); }
+    std::uint64_t warpsRetired() const { return warpsRetired_.value(); }
+    GpuL1& l1() { return l1_; }
+
+private:
+    struct Warp {
+        std::uint32_t blockSlot = 0;
+        std::vector<std::vector<GpuOp>> laneOps; ///< [lane][step], equal sizes
+        std::uint32_t step = 0;
+        std::uint32_t steps = 0;
+        std::uint32_t pendingLines = 0; ///< load lines in flight this step
+        bool waitingStores = false;     ///< stalled on the store cap
+    };
+
+    struct BlockSlot {
+        bool active = false;
+        std::uint32_t warpsLeft = 0;
+    };
+
+    void pullBlocks();
+    void addBlock(std::uint32_t blockId);
+    void scheduleIssue(Tick delay);
+    void issue();
+    void execStep(Warp& warp);
+    void execLoads(Warp& warp);
+    /// Issues the step's coalesced write-through stores; returns true when
+    /// the outstanding-store cap is exceeded (the warp must stall).
+    bool execStores(Warp& warp);
+    void stepDone(Warp& warp, Tick latency);
+    void advanceWarp(Warp& warp);
+    void retireWarp(Warp& warp);
+    void maybeReportIdle();
+    void makeReady(Warp& warp);
+
+    Params params_;
+    const AddressSpace& space_;
+    GpuL1 l1_;
+    GpuClock clock_;
+
+    const KernelDesc* kernel_ = nullptr;
+    std::function<std::optional<std::uint32_t>()> requestBlock_;
+    std::function<void()> onIdle_;
+
+    std::vector<std::unique_ptr<Warp>> warps_;
+    std::deque<Warp*> readyQ_;
+    std::vector<BlockSlot> blockSlots_;
+    std::uint32_t residentBlocks_ = 0;
+    bool gridExhausted_ = false;
+    bool issueScheduled_ = false;
+
+    std::size_t outstandingStores_ = 0;
+    std::deque<Warp*> storeWaiters_;
+
+    /// Line address -> completions to run when its data arrives.
+    std::unordered_map<Addr, std::vector<std::function<void(const DataBlock&)>>>
+        outstandingLines_;
+
+    Counter instructionsIssued_;
+    Counter globalLoads_;
+    Counter globalStores_;
+    Counter smemAccesses_;
+    Counter coalescedTransactions_;
+    Counter blocksExecuted_;
+    Counter warpsRetired_;
+    Counter checkFailures_;
+};
+
+} // namespace dscoh

@@ -1,0 +1,96 @@
+// Bank-aware DRAM timing model (Table I: 2 GB, 1 channel, 2 ranks, 8 banks
+// @ 1 GHz). Open-page row-buffer policy with FCFS per-bank queues and a
+// shared data bus. Latencies are expressed in simulator ticks (CPU cycles at
+// 2 GHz, i.e. 2 ticks per DRAM cycle).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/backing_store.h"
+#include "sim/sim_object.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace dscoh {
+
+struct DramTiming {
+    // All in ticks. Defaults approximate DDR3-2133-ish timings at 1 GHz
+    // (14 DRAM cycles each = 28 ticks).
+    Tick tRcd = 28;  ///< row activate to column access
+    Tick tCas = 28;  ///< column access to first data
+    Tick tRp = 28;   ///< precharge
+    Tick tBurst = 8; ///< data transfer of one 128 B line on the bus
+    std::uint32_t ranks = 2;
+    std::uint32_t banksPerRank = 8;
+    std::uint32_t rowBytes = 2048; ///< row-buffer size per bank
+};
+
+/// DRAM access completion callback: invoked at the tick the data is available
+/// (reads) or globally visible (writes).
+using DramCallback = std::function<void()>;
+
+/// Abstract memory channel interface: what the coherence side needs from
+/// memory. Implemented by a single Dram channel and by DramPool.
+class MemoryInterface {
+public:
+    virtual ~MemoryInterface() = default;
+    virtual void read(Addr addr, DramCallback done) = 0;
+    virtual void write(Addr addr, const DataBlock& data,
+                       DramCallback done = nullptr) = 0;
+    virtual void writeMasked(Addr addr, const DataBlock& data,
+                             const ByteMask& mask,
+                             DramCallback done = nullptr) = 0;
+};
+
+class Dram final : public SimObject, public MemoryInterface {
+public:
+    Dram(std::string name, EventQueue& queue, BackingStore& store,
+         const DramTiming& timing = DramTiming{});
+
+    /// Queues a line read. @p done fires when data is ready; read the bytes
+    /// from the backing store at that point.
+    void read(Addr addr, DramCallback done) override;
+
+    /// Queues a full-line write of @p data.
+    void write(Addr addr, const DataBlock& data,
+               DramCallback done = nullptr) override;
+
+    /// Queues a masked (partial-line) write.
+    void writeMasked(Addr addr, const DataBlock& data, const ByteMask& mask,
+                     DramCallback done = nullptr) override;
+
+    void regStats(StatRegistry& registry) override;
+
+    std::uint32_t bankCount() const
+    {
+        return timing_.ranks * timing_.banksPerRank;
+    }
+
+private:
+    struct Bank {
+        Tick readyAt = 0;   ///< when the bank can accept the next access
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+    };
+
+    std::uint32_t bankOf(Addr addr) const;
+    std::uint64_t rowOf(Addr addr) const;
+
+    /// Computes this access's completion tick and updates bank/bus state.
+    Tick scheduleAccess(Addr addr);
+
+    BackingStore& store_;
+    DramTiming timing_;
+    std::vector<Bank> banks_;
+    Tick busFreeAt_ = 0;
+
+    Counter reads_;
+    Counter writes_;
+    Counter rowHits_;
+    Counter rowMisses_;
+    Histogram latency_{32, 32};
+};
+
+} // namespace dscoh

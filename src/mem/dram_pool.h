@@ -1,0 +1,71 @@
+// A pool of independent DRAM channels with line-interleaved routing.
+//
+// Table I specifies one channel; the pool exists for the bandwidth
+//-sensitivity ablation (bench/ablation_channels): several of the paper's
+// effects are DRAM-bandwidth-bound, and adding channels shows which part of
+// direct store's win is latency and which is bandwidth relief.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "mem/dram.h"
+
+namespace dscoh {
+
+class DramPool final : public MemoryInterface {
+public:
+    DramPool(const std::string& name, EventQueue& queue, BackingStore& store,
+             const DramTiming& timing, std::uint32_t channels)
+    {
+        if (channels == 0 || (channels & (channels - 1)) != 0)
+            throw std::invalid_argument("channel count must be a power of two");
+        for (std::uint32_t c = 0; c < channels; ++c)
+            channels_.push_back(std::make_unique<Dram>(
+                name + ".ch" + std::to_string(c), queue, store, timing));
+    }
+
+    std::uint32_t channels() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+
+    /// The channel owning @p addr (line-interleaved above the GPU-slice
+    /// bits so slices spread evenly over channels).
+    Dram& channelOf(Addr addr)
+    {
+        const std::size_t c = static_cast<std::size_t>(
+            lineNumber(addr) & (channels_.size() - 1));
+        return *channels_[c];
+    }
+
+    void read(Addr addr, DramCallback done) override
+    {
+        channelOf(addr).read(addr, std::move(done));
+    }
+    void write(Addr addr, const DataBlock& data,
+               DramCallback done = nullptr) override
+    {
+        channelOf(addr).write(addr, data, std::move(done));
+    }
+    void writeMasked(Addr addr, const DataBlock& data, const ByteMask& mask,
+                     DramCallback done = nullptr) override
+    {
+        channelOf(addr).writeMasked(addr, data, mask, std::move(done));
+    }
+
+    void regStats(StatRegistry& registry)
+    {
+        for (auto& ch : channels_)
+            ch->regStats(registry);
+    }
+
+    /// Direct channel access for tests.
+    Dram& channel(std::size_t i) { return *channels_.at(i); }
+
+private:
+    std::vector<std::unique_ptr<Dram>> channels_;
+};
+
+} // namespace dscoh

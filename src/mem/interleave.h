@@ -1,0 +1,39 @@
+// Address interleaving helpers: maps a physical line address to the GPU L2
+// slice that owns it. Slices own disjoint address sets, so a line has exactly
+// one possible GPU-side coherent cache.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/types.h"
+
+namespace dscoh {
+
+class SliceInterleave {
+public:
+    explicit SliceInterleave(std::uint32_t slices) : slices_(slices)
+    {
+        if (slices == 0 || (slices & (slices - 1)) != 0)
+            throw std::invalid_argument("slice count must be a power of two");
+        std::uint32_t bits = 0;
+        for (std::uint32_t s = slices; s > 1; s >>= 1)
+            ++bits;
+        bits_ = bits;
+    }
+
+    std::uint32_t slices() const { return slices_; }
+    /// Line-number bits consumed by the slice index (feeds CacheGeometry::setShift).
+    std::uint32_t bits() const { return bits_; }
+
+    std::uint32_t sliceOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(lineNumber(addr) & (slices_ - 1));
+    }
+
+private:
+    std::uint32_t slices_;
+    std::uint32_t bits_ = 0;
+};
+
+} // namespace dscoh

@@ -1,0 +1,62 @@
+// Miss Status Holding Registers: track outstanding line-granularity misses
+// and merge secondary requests into the primary one.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dscoh {
+
+template <typename TargetT>
+class MshrFile {
+public:
+    struct Entry {
+        Addr base = 0;
+        std::vector<TargetT> targets;
+    };
+
+    explicit MshrFile(std::size_t capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /// Entry for @p addr's line, or nullptr if no miss is outstanding.
+    Entry* find(Addr addr)
+    {
+        const auto it = entries_.find(lineAlign(addr));
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /// Allocates an entry for @p addr's line. Precondition: !full() and no
+    /// existing entry for the line.
+    Entry& allocate(Addr addr)
+    {
+        assert(!full());
+        const Addr base = lineAlign(addr);
+        auto [it, inserted] = entries_.try_emplace(base);
+        assert(inserted && "line already has an outstanding miss");
+        it->second.base = base;
+        return it->second;
+    }
+
+    /// Removes the entry and returns its merged targets.
+    std::vector<TargetT> release(Addr addr)
+    {
+        const auto it = entries_.find(lineAlign(addr));
+        assert(it != entries_.end());
+        std::vector<TargetT> targets = std::move(it->second.targets);
+        entries_.erase(it);
+        return targets;
+    }
+
+private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, Entry> entries_;
+};
+
+} // namespace dscoh

@@ -1,0 +1,113 @@
+// Cache replacement policies.
+//
+// A policy owns its own per-set/per-way state; the CacheArray informs it of
+// touches and fills and asks it for a victim among the candidate ways (a mask
+// excludes ways that are pinned by in-flight transactions).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace dscoh {
+
+enum class ReplacementKind { kLru, kTreePlru, kRandom };
+
+/// Parses "lru" / "tree-plru" / "random"; throws std::invalid_argument.
+ReplacementKind replacementKindFromString(const std::string& s);
+std::string to_string(ReplacementKind k);
+
+class ReplacementPolicy {
+public:
+    ReplacementPolicy(std::uint32_t sets, std::uint32_t ways)
+        : sets_(sets), ways_(ways)
+    {
+    }
+    virtual ~ReplacementPolicy() = default;
+
+    ReplacementPolicy(const ReplacementPolicy&) = delete;
+    ReplacementPolicy& operator=(const ReplacementPolicy&) = delete;
+
+    virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+    virtual void fill(std::uint32_t set, std::uint32_t way) { touch(set, way); }
+
+    /// Chooses a victim way among those with candidates[way] == true.
+    /// Precondition: at least one candidate.
+    virtual std::uint32_t victim(std::uint32_t set,
+                                 const std::vector<bool>& candidates) = 0;
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+    static std::unique_ptr<ReplacementPolicy> create(ReplacementKind kind,
+                                                     std::uint32_t sets,
+                                                     std::uint32_t ways,
+                                                     std::uint64_t seed = 1);
+
+protected:
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+};
+
+/// True LRU via a monotone timestamp per way.
+class LruPolicy final : public ReplacementPolicy {
+public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways)
+        : ReplacementPolicy(sets, ways), stamp_(static_cast<std::size_t>(sets) * ways, 0)
+    {
+    }
+
+    void touch(std::uint32_t set, std::uint32_t way) override
+    {
+        stamp_[index(set, way)] = ++clock_;
+    }
+
+    std::uint32_t victim(std::uint32_t set,
+                         const std::vector<bool>& candidates) override;
+
+private:
+    std::size_t index(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways_ + way;
+    }
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t clock_ = 0;
+};
+
+/// Tree pseudo-LRU. Ways must be a power of two; falls back to scanning when
+/// the PLRU-chosen way is not a candidate.
+class TreePlruPolicy final : public ReplacementPolicy {
+public:
+    TreePlruPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set,
+                         const std::vector<bool>& candidates) override;
+
+private:
+    // One bit per internal tree node, (ways - 1) nodes per set.
+    std::vector<bool> bits_;
+    std::uint32_t nodesPerSet_;
+};
+
+/// Uniform random victim among candidates (deterministic given the seed).
+class RandomPolicy final : public ReplacementPolicy {
+public:
+    RandomPolicy(std::uint32_t sets, std::uint32_t ways, std::uint64_t seed)
+        : ReplacementPolicy(sets, ways), rng_(seed)
+    {
+    }
+
+    void touch(std::uint32_t, std::uint32_t) override {}
+    std::uint32_t victim(std::uint32_t set,
+                         const std::vector<bool>& candidates) override;
+
+private:
+    Rng rng_;
+};
+
+} // namespace dscoh

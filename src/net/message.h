@@ -1,0 +1,93 @@
+// Coherence and memory-system message definitions.
+//
+// One message struct serves every virtual network; unused fields stay at
+// their defaults. Messages carry real data bytes (DataBlock) plus a byte
+// mask for partial-line writes (write-combining direct stores, GPU
+// write-through stores).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/data_block.h"
+#include "sim/types.h"
+
+namespace dscoh {
+
+enum class MsgType : std::uint8_t {
+    // Requests: cache agent -> home (memory controller).
+    kGetS,    ///< read miss, wants shared (or exclusive if unshared) copy
+    kGetX,    ///< write miss / upgrade, wants exclusive ownership
+    kPut,     ///< writeback of an owned (dirty) line, carries data
+    kUnblock, ///< requester finished its fill; home clears the busy state
+
+    // Forwards: home -> cache agents.
+    kSnpGetS, ///< snoop on behalf of a GetS requester
+    kSnpGetX, ///< snoop-invalidate on behalf of a GetX requester
+    kWbAck,   ///< home accepted (or dropped, if stale) a writeback
+
+    // Responses.
+    kSnpResp, ///< snooped agent -> home: did it supply data? was it a sharer?
+    kData,    ///< data to the requester (from owner cache or from memory)
+    kAck,     ///< snooped agent -> requester: no data, invalidated/not present
+
+    // Direct-store extension (dedicated CPU -> GPU-L2 network).
+    kDsPutX, ///< remote store: data+mask pushed into the GPU L2 (I -> MM)
+    kDsAck,  ///< slice -> CPU: remote store globally performed
+    kUcRead, ///< uncached CPU load of the DS region, served by the slice
+    kUcData, ///< reply to kUcRead
+
+    // GPU-internal network (per-SM L1 <-> L2 slice).
+    kL1Load,     ///< line fetch for an SM L1 miss
+    kL1LoadResp, ///< line data back to the SM
+    kL1Store,    ///< write-through store (data+mask)
+    kL1StoreAck, ///< store globally performed at the slice
+};
+
+const char* to_string(MsgType t);
+
+/// True for message types that carry a full or partial data payload (used for
+/// link-occupancy modelling and traffic accounting).
+constexpr bool carriesData(MsgType t)
+{
+    switch (t) {
+    case MsgType::kPut:
+    case MsgType::kData:
+    case MsgType::kDsPutX:
+    case MsgType::kUcData:
+    case MsgType::kL1LoadResp:
+    case MsgType::kL1Store:
+        return true;
+    default:
+        return false;
+    }
+}
+
+struct Message {
+    MsgType type = MsgType::kAck;
+    Addr addr = 0;           ///< line-aligned address of the subject line
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    NodeId requester = kInvalidNode; ///< original requester (snoops, data)
+    std::uint64_t txn = 0;           ///< requester-assigned id, for debugging
+
+    DataBlock data;
+    ByteMask mask;        ///< valid bytes for partial writes; full for kData
+    bool hasData = false;
+
+    // kData / kSnpResp bookkeeping.
+    bool exclusive = false;    ///< kData: no other sharer exists, grantee may take M
+    bool suppliedData = false; ///< kSnpResp: snooped agent sent data to requester
+    bool wasSharer = false;    ///< kSnpResp: snooped agent held the line
+    bool dirty = false;        ///< kPut/kData: payload differs from memory
+
+    Tick sentAt = 0;
+
+    /// On-wire size: 8 B control header (+line payload when data-carrying).
+    std::uint32_t wireBytes() const
+    {
+        return carriesData(type) ? 8 + kLineSize : 8;
+    }
+};
+
+} // namespace dscoh

@@ -1,0 +1,89 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dscoh {
+
+const char* to_string(MsgType t)
+{
+    switch (t) {
+    case MsgType::kGetS: return "GetS";
+    case MsgType::kGetX: return "GetX";
+    case MsgType::kPut: return "Put";
+    case MsgType::kUnblock: return "Unblock";
+    case MsgType::kSnpGetS: return "SnpGetS";
+    case MsgType::kSnpGetX: return "SnpGetX";
+    case MsgType::kWbAck: return "WbAck";
+    case MsgType::kSnpResp: return "SnpResp";
+    case MsgType::kData: return "Data";
+    case MsgType::kAck: return "Ack";
+    case MsgType::kDsPutX: return "DsPutX";
+    case MsgType::kDsAck: return "DsAck";
+    case MsgType::kUcRead: return "UcRead";
+    case MsgType::kUcData: return "UcData";
+    case MsgType::kL1Load: return "L1Load";
+    case MsgType::kL1LoadResp: return "L1LoadResp";
+    case MsgType::kL1Store: return "L1Store";
+    case MsgType::kL1StoreAck: return "L1StoreAck";
+    }
+    return "?";
+}
+
+Network::Network(std::string name, EventQueue& queue, NetworkParams params)
+    : SimObject(std::move(name), queue), params_(params)
+{
+}
+
+void Network::connect(NodeId id, Handler handler)
+{
+    if (id >= handlers_.size()) {
+        handlers_.resize(id + 1);
+        portFreeAt_.resize(id + 1, 0);
+    }
+    if (handlers_[id])
+        throw std::logic_error(name() + ": node already connected: " +
+                               std::to_string(id));
+    handlers_[id] = std::move(handler);
+}
+
+void Network::send(Message msg)
+{
+    assert(isConnected(msg.dst) && "message sent to unconnected node");
+    msg.sentAt = curTick();
+
+    const Tick serialization =
+        (msg.wireBytes() + params_.bytesPerTick - 1) / params_.bytesPerTick;
+    Tick& portFree = portFreeAt_[msg.dst];
+    const Tick arrival =
+        std::max(curTick() + params_.hopLatency, portFree) + serialization;
+    portFree = arrival;
+
+    messages_.inc();
+    bytes_.inc(msg.wireBytes());
+    byType_[static_cast<std::size_t>(msg.type)].inc();
+    if (carriesData(msg.type))
+        dataMessages_.inc();
+    deliveryLatency_.sample(arrival - curTick());
+
+    queue().schedule(arrival,
+                     [this, m = std::move(msg)] { handlers_[m.dst](m); },
+                     EventPriority::kMessageDelivery);
+}
+
+void Network::regStats(StatRegistry& registry)
+{
+    registry.registerCounter(statName("messages"), &messages_);
+    registry.registerCounter(statName("bytes"), &bytes_);
+    registry.registerCounter(statName("data_messages"), &dataMessages_);
+    for (std::size_t t = 0; t < byType_.size(); ++t) {
+        registry.registerCounter(
+            statName(std::string("msg.") + to_string(static_cast<MsgType>(t))),
+            &byType_[t]);
+    }
+    registry.registerHistogram(statName("delivery_latency"), &deliveryLatency_);
+}
+
+} // namespace dscoh

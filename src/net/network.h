@@ -1,0 +1,72 @@
+// Point-to-point interconnection network.
+//
+// Models what matters for the study: per-message latency, per-destination
+// port serialization (bandwidth), per-(src,dst) FIFO ordering, and traffic
+// statistics. All coherence virtual networks and the paper's dedicated
+// direct-store network are instances of this class with different
+// latency/bandwidth parameters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/sim_object.h"
+#include "sim/stats.h"
+
+namespace dscoh {
+
+struct NetworkParams {
+    Tick hopLatency = 20;          ///< fixed traversal latency, ticks
+    std::uint32_t bytesPerTick = 32; ///< per-destination-port bandwidth
+};
+
+class Network final : public SimObject {
+public:
+    using Handler = std::function<void(const Message&)>;
+
+    Network(std::string name, EventQueue& queue, NetworkParams params);
+
+    /// Registers @p handler as the receiver for node @p id. A node id may be
+    /// registered once; ids are dense and assigned by the System builder.
+    void connect(NodeId id, Handler handler);
+
+    bool isConnected(NodeId id) const
+    {
+        return id < handlers_.size() && handlers_[id] != nullptr;
+    }
+
+    /// Sends @p msg; it is delivered to msg.dst after hop latency plus
+    /// serialization at the destination port. Messages from any source to a
+    /// given destination are delivered in increasing-time order, and two
+    /// messages with one (src,dst) pair never reorder.
+    void send(Message msg);
+
+    const NetworkParams& params() const { return params_; }
+    void setHopLatency(Tick l) { params_.hopLatency = l; }
+
+    void regStats(StatRegistry& registry) override;
+
+    std::uint64_t messagesSent() const { return messages_.value(); }
+    std::uint64_t bytesSent() const { return bytes_.value(); }
+    std::uint64_t messagesOfType(MsgType t) const
+    {
+        return byType_[static_cast<std::size_t>(t)].value();
+    }
+
+private:
+    NetworkParams params_;
+    std::vector<Handler> handlers_;
+    std::vector<Tick> portFreeAt_; ///< per-destination serialization point
+
+    Counter messages_;
+    Counter bytes_;
+    Counter dataMessages_;
+    std::array<Counter, 18> byType_; ///< indexed by MsgType
+    Histogram deliveryLatency_{8, 32};
+};
+
+} // namespace dscoh

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dscoh {
+
+void EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    assert(when >= now_ && "cannot schedule into the past");
+    heap_.push(Entry{when, static_cast<std::int32_t>(prio), seq_++, std::move(cb)});
+}
+
+Tick EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // Copying the callback out before pop keeps us safe if the callback
+        // schedules new events (priority_queue::top is invalidated by push).
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    return now_;
+}
+
+Tick EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    return now_;
+}
+
+void EventQueue::clear()
+{
+    heap_ = {};
+}
+
+} // namespace dscoh

@@ -1,0 +1,85 @@
+// Discrete-event simulation core.
+//
+// A single EventQueue drives the whole simulated machine. Events scheduled
+// for the same tick are ordered by (priority, insertion sequence), which makes
+// every simulation fully deterministic regardless of container iteration
+// order elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dscoh {
+
+/// Priorities for same-tick events. Lower value runs first.
+enum class EventPriority : std::int32_t {
+    kMessageDelivery = 0, ///< network message handoff to a controller
+    kController = 10,     ///< cache/memory controller internal steps
+    kCore = 20,           ///< CPU / SM issue logic
+    kStats = 30,          ///< sampling / bookkeeping
+    kDefault = 20,
+};
+
+/// Central event queue. Not thread-safe by design: the simulator is
+/// single-threaded and deterministic.
+class EventQueue {
+public:
+    using Callback = std::function<void()>;
+
+    /// Schedules @p cb to run at absolute tick @p when (>= curTick()).
+    void schedule(Tick when, Callback cb,
+                  EventPriority prio = EventPriority::kDefault);
+
+    /// Schedules @p cb to run @p delay ticks from now.
+    void scheduleAfter(Tick delay, Callback cb,
+                       EventPriority prio = EventPriority::kDefault)
+    {
+        schedule(now_ + delay, std::move(cb), prio);
+    }
+
+    /// Current simulated time.
+    Tick curTick() const { return now_; }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+    std::uint64_t executedEvents() const { return executed_; }
+
+    /// Runs until the queue drains. Returns the tick of the last event.
+    Tick run();
+
+    /// Runs until the queue drains or curTick() would exceed @p limit.
+    /// Events beyond the limit stay queued. Returns current tick.
+    Tick runUntil(Tick limit);
+
+    /// Drops all pending events (used between independent simulations).
+    void clear();
+
+private:
+    struct Entry {
+        Tick when;
+        std::int32_t prio;
+        std::uint64_t seq; // tie-breaker: insertion order
+        Callback cb;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace dscoh

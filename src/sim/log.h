@@ -1,0 +1,62 @@
+// Lightweight leveled logging with per-component enable flags.
+//
+// Logging is off by default (simulations are hot loops); tests and debugging
+// sessions turn on a component via Log::enable("coherence"). Messages carry
+// the current tick when a queue is attached.
+#pragma once
+
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace dscoh {
+
+class Log {
+public:
+    static Log& instance()
+    {
+        static Log log;
+        return log;
+    }
+
+    void enable(const std::string& component) { enabled_.insert(component); }
+    void disable(const std::string& component) { enabled_.erase(component); }
+    void disableAll() { enabled_.clear(); }
+    bool isEnabled(const std::string& component) const
+    {
+        return enabled_.count(component) != 0 || enabled_.count("*") != 0;
+    }
+
+    /// Attach the queue whose curTick() stamps messages (may be null).
+    void attachQueue(const EventQueue* q) { queue_ = q; }
+
+    void write(const std::string& component, const std::string& msg) const
+    {
+        if (!isEnabled(component))
+            return;
+        if (queue_ != nullptr)
+            std::clog << '[' << queue_->curTick() << "] ";
+        std::clog << component << ": " << msg << '\n';
+    }
+
+private:
+    Log() = default;
+    std::set<std::string> enabled_;
+    const EventQueue* queue_ = nullptr;
+};
+
+/// Usage: DSCOH_LOG("coherence", "GETS " << std::hex << addr);
+/// The stream expression is only evaluated when the component is enabled.
+#define DSCOH_LOG(component, expr)                                          \
+    do {                                                                    \
+        if (::dscoh::Log::instance().isEnabled(component)) {                \
+            std::ostringstream dscoh_log_os;                                \
+            dscoh_log_os << expr;                                           \
+            ::dscoh::Log::instance().write(component, dscoh_log_os.str());  \
+        }                                                                   \
+    } while (false)
+
+} // namespace dscoh

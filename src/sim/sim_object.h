@@ -1,0 +1,43 @@
+// Base class for every simulated component.
+//
+// A SimObject has a hierarchical name, a reference to the global EventQueue,
+// and a hook for registering its statistics. Construction order defines the
+// system; there is no separate elaboration phase.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace dscoh {
+
+class SimObject {
+public:
+    SimObject(std::string name, EventQueue& queue)
+        : name_(std::move(name)), queue_(queue)
+    {
+    }
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject&) = delete;
+    SimObject& operator=(const SimObject&) = delete;
+
+    const std::string& name() const { return name_; }
+    EventQueue& queue() { return queue_; }
+    const EventQueue& queue() const { return queue_; }
+    Tick curTick() const { return queue_.curTick(); }
+
+    /// Registers this component's statistics under its name.
+    virtual void regStats(StatRegistry& registry) { static_cast<void>(registry); }
+
+protected:
+    std::string statName(const std::string& leaf) const { return name_ + "." + leaf; }
+
+private:
+    std::string name_;
+    EventQueue& queue_;
+};
+
+} // namespace dscoh

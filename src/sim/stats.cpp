@@ -1,0 +1,92 @@
+#include "sim/stats.h"
+
+#include <iomanip>
+#include <stdexcept>
+#include <utility>
+
+namespace dscoh {
+
+void Histogram::sample(std::uint64_t v)
+{
+    const std::size_t bucket =
+        std::min(static_cast<std::size_t>(v / width_), counts_.size() - 1);
+    ++counts_[bucket];
+    if (samples_ == 0 || v < min_)
+        min_ = v;
+    max_ = std::max(max_, v);
+    sum_ += v;
+    ++samples_;
+}
+
+void Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    samples_ = sum_ = min_ = max_ = 0;
+}
+
+void StatRegistry::registerCounter(std::string name, const Counter* c)
+{
+    counters_.emplace(std::move(name), c);
+}
+
+void StatRegistry::registerScalar(std::string name, const Scalar* s)
+{
+    scalars_.emplace(std::move(name), s);
+}
+
+void StatRegistry::registerHistogram(std::string name, const Histogram* h)
+{
+    histograms_.emplace(std::move(name), h);
+}
+
+std::uint64_t StatRegistry::counter(const std::string& name) const
+{
+    return counters_.at(name)->value();
+}
+
+double StatRegistry::scalar(const std::string& name) const
+{
+    return scalars_.at(name)->value();
+}
+
+const Histogram& StatRegistry::histogram(const std::string& name) const
+{
+    return *histograms_.at(name);
+}
+
+std::uint64_t StatRegistry::sumCounters(const std::string& prefix) const
+{
+    std::uint64_t total = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second->value();
+    }
+    return total;
+}
+
+void StatRegistry::dump(std::ostream& os) const
+{
+    for (const auto& [name, c] : counters_)
+        os << std::left << std::setw(52) << name << ' ' << c->value() << '\n';
+    for (const auto& [name, s] : scalars_)
+        os << std::left << std::setw(52) << name << ' ' << s->value() << '\n';
+    for (const auto& [name, h] : histograms_) {
+        os << std::left << std::setw(52) << name << " samples=" << h->samples()
+           << " mean=" << h->mean() << " min=" << h->min() << " max=" << h->max()
+           << '\n';
+    }
+}
+
+std::vector<std::string> StatRegistry::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        static_cast<void>(c);
+        names.push_back(name);
+    }
+    return names;
+}
+
+} // namespace dscoh

@@ -1,0 +1,101 @@
+// Minimal statistics framework in the spirit of gem5's Stats package.
+//
+// Components own Counter / Scalar / Histogram members and register them with
+// a StatRegistry under a hierarchical dotted name; the registry can dump a
+// formatted report or be queried programmatically by the bench harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dscoh {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Arbitrary scalar sample (gauges, accumulated latencies, ...).
+class Scalar {
+public:
+    void set(double v) { value_ = v; }
+    void add(double v) { value_ += v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with overflow bucket; tracks sum/min/max so the
+/// mean is exact even when samples fall in the overflow bucket.
+class Histogram {
+public:
+    /// Buckets are [0,width), [width,2*width), ..., plus one overflow bucket.
+    explicit Histogram(std::uint64_t bucketWidth = 16, std::size_t buckets = 32)
+        : width_(bucketWidth == 0 ? 1 : bucketWidth), counts_(buckets + 1, 0)
+    {
+    }
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(samples_); }
+    std::uint64_t min() const { return samples_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+    std::uint64_t bucketWidth() const { return width_; }
+    const std::vector<std::uint64_t>& buckets() const { return counts_; }
+    void reset();
+
+private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/// Hierarchical registry of named statistics. Names use dots, e.g.
+/// "gpu.l2.slice0.misses". Pointers registered here must outlive the
+/// registry's last use (components and registry are both owned by System).
+class StatRegistry {
+public:
+    void registerCounter(std::string name, const Counter* c);
+    void registerScalar(std::string name, const Scalar* s);
+    void registerHistogram(std::string name, const Histogram* h);
+
+    /// Value of a registered counter; throws std::out_of_range if unknown.
+    std::uint64_t counter(const std::string& name) const;
+    /// Value of a registered scalar; throws std::out_of_range if unknown.
+    double scalar(const std::string& name) const;
+    /// Histogram lookup; throws std::out_of_range if unknown.
+    const Histogram& histogram(const std::string& name) const;
+
+    bool hasCounter(const std::string& name) const { return counters_.count(name) != 0; }
+
+    /// Sum of all counters whose name matches "prefix*" (prefix match).
+    std::uint64_t sumCounters(const std::string& prefix) const;
+
+    /// Writes a sorted, formatted report of every registered stat.
+    void dump(std::ostream& os) const;
+
+    std::vector<std::string> counterNames() const;
+
+private:
+    std::map<std::string, const Counter*> counters_;
+    std::map<std::string, const Scalar*> scalars_;
+    std::map<std::string, const Histogram*> histograms_;
+};
+
+} // namespace dscoh

@@ -1,0 +1,51 @@
+// Fundamental simulator-wide types and address helpers.
+//
+// The whole simulator runs in a single tick domain: 1 tick == 1 CPU cycle at
+// the nominal 2 GHz CPU clock. Components whose native clock differs (the
+// 1.4 GHz GPU, the 1 GHz DRAM) express their latencies in ticks of this
+// domain, exactly as a gem5 Ruby configuration would express them in
+// picosecond ticks.
+#pragma once
+
+#include <cstdint>
+
+namespace dscoh {
+
+/// Simulation time, in CPU cycles (see file comment).
+using Tick = std::uint64_t;
+
+/// Physical or virtual address. Virtual addresses may set bit 46 (the
+/// direct-store region tag, see vm/ds_mmap.h); physical addresses fit in the
+/// simulated 2 GB of DRAM.
+using Addr = std::uint64_t;
+
+/// Identifies one endpoint on an interconnection network (a cache controller,
+/// the memory controller, an SM, ...). Dense, assigned by the System builder.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Cache line size used across the whole system (Table I: 128 bytes).
+inline constexpr std::uint32_t kLineSize = 128;
+inline constexpr std::uint32_t kLineShift = 7;
+
+/// Page size of the simulated virtual memory system.
+inline constexpr std::uint32_t kPageSize = 4096;
+inline constexpr std::uint32_t kPageShift = 12;
+
+/// Returns the line-aligned base of @p a.
+constexpr Addr lineAlign(Addr a) { return a & ~static_cast<Addr>(kLineSize - 1); }
+
+/// Returns the offset of @p a within its cache line.
+constexpr std::uint32_t lineOffset(Addr a)
+{
+    return static_cast<std::uint32_t>(a & (kLineSize - 1));
+}
+
+/// Returns the line number (address >> log2(line size)).
+constexpr Addr lineNumber(Addr a) { return a >> kLineShift; }
+
+/// Returns the page-aligned base of @p a.
+constexpr Addr pageAlign(Addr a) { return a & ~static_cast<Addr>(kPageSize - 1); }
+
+} // namespace dscoh

@@ -1,0 +1,42 @@
+// Runtime shim for translated programs (the `#include "ds_runtime.h"` line
+// the translator prepends to every rewritten source file).
+//
+// On a real direct-store machine, ds_mmap reserves the fixed virtual range
+// the translator assigned inside the direct-store region, exactly as
+// SIII-D of the paper describes: mmap with MAP_FIXED at a high-order
+// address, which the TLB later recognizes and routes to the GPU L2.
+//
+// Inside this repository the simulator provides the same contract through
+// AddressSpace::dsMmapFixed; this header exists so the translator's output
+// is complete, compilable C++ on a host with the kernel support the paper
+// assumes.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+
+/// Maps @p bytes at the fixed direct-store address @p addr.
+/// Returns the mapped pointer (== addr on success) or nullptr.
+inline void* ds_mmap(std::uint64_t addr, std::uint64_t bytes)
+{
+    void* p = ::mmap(reinterpret_cast<void*>(addr), bytes,
+                     PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+    return p == MAP_FAILED ? nullptr : p;
+}
+#else
+inline void* ds_mmap(std::uint64_t, std::uint64_t)
+{
+    return nullptr; // direct-store region requires OS support (SIII-D)
+}
+#endif
+
+#ifndef __CUDACC__
+// Hosts without CUDA headers still need the status type the rewritten
+// CUDA_CHECK(cudaMalloc(...)) expression yields.
+#ifndef cudaSuccess
+enum ds_cudaError_t { cudaSuccess = 0 };
+#endif
+#endif

@@ -1,0 +1,152 @@
+#include "translate/lexer.h"
+
+#include <cctype>
+
+namespace dscoh::xlate {
+
+namespace {
+
+bool isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators we care to keep glued ( <<< and >>> are
+/// intentionally NOT glued: the scanner recognizes them as three tokens so
+/// that legitimate shift operators do not confuse the lexer).
+bool isPunct(char c)
+{
+    static const std::string kPunct = "<>(){}[];,=*&+-/%!~^?:.|#";
+    return kPunct.find(c) != std::string::npos;
+}
+
+} // namespace
+
+LexResult lex(const std::string& source)
+{
+    LexResult result;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    while (i < n) {
+        const char c = source[i];
+
+        // Whitespace.
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/'))
+                ++i;
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+
+        // String / char literal (skipped entirely).
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < n && source[i] != quote) {
+                if (source[i] == '\\')
+                    ++i;
+                ++i;
+            }
+            if (i < n)
+                ++i;
+            continue;
+        }
+
+        // Preprocessor line: record object-like #define NAME VALUE, skip rest.
+        if (c == '#') {
+            std::size_t j = i + 1;
+            while (j < n && std::isspace(static_cast<unsigned char>(source[j])) &&
+                   source[j] != '\n')
+                ++j;
+            if (source.compare(j, 6, "define") == 0) {
+                j += 6;
+                while (j < n && (source[j] == ' ' || source[j] == '\t'))
+                    ++j;
+                std::size_t nameStart = j;
+                while (j < n && isIdentChar(source[j]))
+                    ++j;
+                const std::string name = source.substr(nameStart, j - nameStart);
+                // Function-like macros (NAME(...)) are not constants: skip.
+                if (!name.empty() && (j >= n || source[j] != '(')) {
+                    std::size_t valStart = j;
+                    while (valStart < n &&
+                           (source[valStart] == ' ' || source[valStart] == '\t'))
+                        ++valStart;
+                    std::size_t valEnd = valStart;
+                    while (valEnd < n && source[valEnd] != '\n')
+                        ++valEnd;
+                    std::string value = source.substr(valStart, valEnd - valStart);
+                    while (!value.empty() &&
+                           std::isspace(static_cast<unsigned char>(value.back())))
+                        value.pop_back();
+                    if (!value.empty())
+                        result.defines.emplace_back(name, value);
+                }
+            }
+            while (i < n && source[i] != '\n') {
+                // Honor line continuations inside directives.
+                if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n')
+                    ++i;
+                ++i;
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            result.tokens.push_back(Token{TokKind::kIdent,
+                                          source.substr(start, i - start), start,
+                                          i - start});
+            continue;
+        }
+
+        // Number (integers incl. hex and suffixes; floats lexed loosely).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            while (i < n && (isIdentChar(source[i]) || source[i] == '.'))
+                ++i;
+            result.tokens.push_back(Token{TokKind::kNumber,
+                                          source.substr(start, i - start), start,
+                                          i - start});
+            continue;
+        }
+
+        // Punctuation, one char at a time (<<< becomes '<','<','<').
+        if (isPunct(c)) {
+            result.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), i, 1});
+            ++i;
+            continue;
+        }
+
+        // Unknown byte: emit as punctuation so offsets stay monotonic.
+        result.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), i, 1});
+        ++i;
+    }
+
+    result.tokens.push_back(Token{TokKind::kEof, "", n, 0});
+    return result;
+}
+
+} // namespace dscoh::xlate

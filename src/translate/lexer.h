@@ -1,0 +1,39 @@
+// Minimal C/CUDA tokenizer for the source-to-source translator.
+//
+// We do not parse C++; the translator (like the paper's) works on token
+// patterns: kernel launches `name<<<...>>>(args)` and allocation statements
+// `x = (T*)malloc(expr)` / `cudaMalloc((void**)&x, expr)`. The lexer skips
+// comments, strings and preprocessor noise but records #define constants so
+// size expressions can be evaluated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dscoh::xlate {
+
+enum class TokKind : std::uint8_t {
+    kIdent,
+    kNumber,
+    kPunct, ///< single or multi-char operator/punctuation
+    kEof,
+};
+
+struct Token {
+    TokKind kind = TokKind::kEof;
+    std::string text;
+    std::size_t offset = 0; ///< byte offset of the first character
+    std::size_t length = 0; ///< byte length in the original source
+};
+
+struct LexResult {
+    std::vector<Token> tokens; ///< ends with a kEof token
+    /// Object-like macro definitions seen in the file: #define NAME VALUE.
+    std::vector<std::pair<std::string, std::string>> defines;
+};
+
+/// Tokenizes @p source. Never throws: unknown bytes become kPunct tokens.
+LexResult lex(const std::string& source);
+
+} // namespace dscoh::xlate

@@ -1,0 +1,670 @@
+#include "translate/translator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "translate/lexer.h"
+
+namespace dscoh::xlate {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Size-expression evaluation
+// ---------------------------------------------------------------------------
+
+class ExprEval {
+public:
+    ExprEval(const std::vector<Token>& tokens,
+             const std::map<std::string, std::string>& defines,
+             const std::map<std::string, std::uint64_t>& extraSizeof,
+             int depth)
+        : tokens_(tokens), defines_(defines), extraSizeof_(extraSizeof),
+          depth_(depth)
+    {
+    }
+
+    std::optional<std::uint64_t> run()
+    {
+        const auto v = parseExpr();
+        if (!v || !atEnd())
+            return std::nullopt;
+        return v;
+    }
+
+private:
+    const Token& cur() const { return tokens_[pos_]; }
+    bool atEnd() const { return cur().kind == TokKind::kEof; }
+    bool isPunct(const char* p) const
+    {
+        return cur().kind == TokKind::kPunct && cur().text == p;
+    }
+    /// Two adjacent same-character puncts (for << and >>).
+    bool isDoublePunct(char c) const
+    {
+        return cur().kind == TokKind::kPunct && cur().text[0] == c &&
+               tokens_[pos_ + 1].kind == TokKind::kPunct &&
+               tokens_[pos_ + 1].text[0] == c &&
+               tokens_[pos_ + 1].offset == cur().offset + 1;
+    }
+
+    std::optional<std::uint64_t> parseExpr() { return parseShift(); }
+
+    std::optional<std::uint64_t> parseShift()
+    {
+        auto lhs = parseAdditive();
+        if (!lhs)
+            return std::nullopt;
+        while (isDoublePunct('<') || isDoublePunct('>')) {
+            const bool left = cur().text[0] == '<';
+            pos_ += 2;
+            const auto rhs = parseAdditive();
+            if (!rhs || *rhs >= 64)
+                return std::nullopt;
+            *lhs = left ? (*lhs << *rhs) : (*lhs >> *rhs);
+        }
+        return lhs;
+    }
+
+    std::optional<std::uint64_t> parseAdditive()
+    {
+        auto lhs = parseTerm();
+        if (!lhs)
+            return std::nullopt;
+        while (isPunct("+") || isPunct("-")) {
+            const bool add = cur().text == "+";
+            ++pos_;
+            const auto rhs = parseTerm();
+            if (!rhs)
+                return std::nullopt;
+            *lhs = add ? *lhs + *rhs : *lhs - *rhs;
+        }
+        return lhs;
+    }
+
+    std::optional<std::uint64_t> parseTerm()
+    {
+        auto lhs = parseUnary();
+        if (!lhs)
+            return std::nullopt;
+        while (isPunct("*") || isPunct("/") || isPunct("%")) {
+            const char op = cur().text[0];
+            ++pos_;
+            const auto rhs = parseUnary();
+            if (!rhs)
+                return std::nullopt;
+            if (op == '*')
+                *lhs *= *rhs;
+            else if (*rhs == 0)
+                return std::nullopt;
+            else if (op == '/')
+                *lhs /= *rhs;
+            else
+                *lhs %= *rhs;
+        }
+        return lhs;
+    }
+
+    std::optional<std::uint64_t> parseUnary()
+    {
+        if (isPunct("+")) {
+            ++pos_;
+            return parseUnary();
+        }
+        return parsePrimary();
+    }
+
+    std::optional<std::uint64_t> parsePrimary()
+    {
+        if (isPunct("(")) {
+            ++pos_;
+            auto v = parseExpr();
+            if (!v || !isPunct(")"))
+                return std::nullopt;
+            ++pos_;
+            return v;
+        }
+        if (cur().kind == TokKind::kNumber) {
+            const auto v = parseNumber(cur().text);
+            ++pos_;
+            return v;
+        }
+        if (cur().kind == TokKind::kIdent) {
+            if (cur().text == "sizeof")
+                return parseSizeof();
+            const std::string name = cur().text;
+            ++pos_;
+            // Expand an object-like #define, recursively but bounded.
+            const auto it = defines_.find(name);
+            if (it == defines_.end() || depth_ > 8)
+                return std::nullopt;
+            const LexResult sub = lex(it->second);
+            return ExprEval(sub.tokens, defines_, extraSizeof_, depth_ + 1).run();
+        }
+        return std::nullopt;
+    }
+
+    std::optional<std::uint64_t> parseSizeof()
+    {
+        ++pos_; // 'sizeof'
+        if (!isPunct("("))
+            return std::nullopt;
+        ++pos_;
+        std::vector<std::string> words;
+        bool pointer = false;
+        while (!atEnd() && !isPunct(")")) {
+            if (cur().kind == TokKind::kIdent)
+                words.push_back(cur().text);
+            else if (isPunct("*"))
+                pointer = true;
+            else
+                return std::nullopt;
+            ++pos_;
+        }
+        if (!isPunct(")"))
+            return std::nullopt;
+        ++pos_;
+        return sizeofType(words, pointer);
+    }
+
+    std::optional<std::uint64_t> sizeofType(const std::vector<std::string>& words,
+                                            bool pointer) const
+    {
+        if (pointer)
+            return 8;
+        const auto has = [&words](const char* w) {
+            return std::find(words.begin(), words.end(), w) != words.end();
+        };
+        for (const auto& w : words) {
+            const auto it = extraSizeof_.find(w);
+            if (it != extraSizeof_.end())
+                return it->second;
+        }
+        if (has("double"))
+            return 8;
+        if (has("float"))
+            return 4;
+        if (has("char") || has("bool") || has("int8_t") || has("uint8_t"))
+            return 1;
+        if (has("short") || has("int16_t") || has("uint16_t"))
+            return 2;
+        if (has("long") || has("size_t") || has("int64_t") || has("uint64_t") ||
+            has("ptrdiff_t") || has("intptr_t") || has("uintptr_t"))
+            return 8;
+        if (has("int") || has("unsigned") || has("signed") || has("int32_t") ||
+            has("uint32_t"))
+            return 4;
+        return std::nullopt;
+    }
+
+    static std::optional<std::uint64_t> parseNumber(const std::string& text)
+    {
+        std::string body = text;
+        while (!body.empty() &&
+               (body.back() == 'u' || body.back() == 'U' || body.back() == 'l' ||
+                body.back() == 'L'))
+            body.pop_back();
+        if (body.empty())
+            return std::nullopt;
+        try {
+            std::size_t used = 0;
+            std::uint64_t value = 0;
+            if (body.size() > 2 && body[0] == '0' &&
+                (body[1] == 'x' || body[1] == 'X')) {
+                value = std::stoull(body.substr(2), &used, 16);
+                used += 2;
+            } else {
+                if (body.find('.') != std::string::npos)
+                    return std::nullopt;
+                value = std::stoull(body, &used, 10);
+            }
+            if (used != body.size())
+                return std::nullopt;
+            return value;
+        } catch (const std::exception&) {
+            return std::nullopt;
+        }
+    }
+
+    const std::vector<Token>& tokens_;
+    const std::map<std::string, std::string>& defines_;
+    const std::map<std::string, std::uint64_t>& extraSizeof_;
+    int depth_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Token-stream scanning helpers
+// ---------------------------------------------------------------------------
+
+bool punctIs(const Token& t, char c)
+{
+    return t.kind == TokKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+/// Index just past the matching ')' for the '(' at @p open.
+std::size_t matchParen(const std::vector<Token>& toks, std::size_t open)
+{
+    int depth = 0;
+    std::size_t i = open;
+    for (; toks[i].kind != TokKind::kEof; ++i) {
+        if (punctIs(toks[i], '('))
+            ++depth;
+        else if (punctIs(toks[i], ')')) {
+            if (--depth == 0)
+                return i + 1;
+        }
+    }
+    return i;
+}
+
+/// Splits the token range (open+1 .. close-1) into top-level comma groups.
+std::vector<std::pair<std::size_t, std::size_t>>
+splitArgs(const std::vector<Token>& toks, std::size_t open, std::size_t closeIdx)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    int depth = 0;
+    std::size_t start = open + 1;
+    for (std::size_t i = open; i < closeIdx; ++i) {
+        if (punctIs(toks[i], '(') || punctIs(toks[i], '['))
+            ++depth;
+        else if (punctIs(toks[i], ')') || punctIs(toks[i], ']'))
+            --depth;
+        else if (punctIs(toks[i], ',') && depth == 1) {
+            groups.emplace_back(start, i);
+            start = i + 1;
+        }
+    }
+    if (closeIdx >= open + 2)
+        groups.emplace_back(start, closeIdx - 1);
+    return groups;
+}
+
+/// Extracts the variable name from an argument token range: strips a
+/// leading cast and address-of/deref operators, then takes the first
+/// identifier (so `(float*)&x[i]` -> x, `arr[i]` -> arr, `n` -> n).
+std::string argVariable(const std::vector<Token>& toks, std::size_t begin,
+                        std::size_t end)
+{
+    std::size_t i = begin;
+    // Leading cast: '(' ... ')' followed by more tokens.
+    if (i < end && punctIs(toks[i], '(')) {
+        const std::size_t after = matchParen(toks, i);
+        if (after < end)
+            i = after;
+    }
+    while (i < end && (punctIs(toks[i], '&') || punctIs(toks[i], '*')))
+        ++i;
+    for (; i < end; ++i)
+        if (toks[i].kind == TokKind::kIdent)
+            return toks[i].text;
+    return "";
+}
+
+std::string sourceSlice(const std::string& src, const Token& from,
+                        const Token& to)
+{
+    return src.substr(from.offset, to.offset + to.length - from.offset);
+}
+
+/// A pending textual replacement [begin, end) -> text.
+struct Edit {
+    std::size_t begin;
+    std::size_t end;
+    std::string text;
+};
+
+std::string applyEdits(const std::string& src, std::vector<Edit> edits)
+{
+    std::sort(edits.begin(), edits.end(),
+              [](const Edit& a, const Edit& b) { return a.begin < b.begin; });
+    std::string out;
+    std::size_t cursor = 0;
+    for (const Edit& e : edits) {
+        if (e.begin < cursor)
+            continue; // overlapping edit: first one wins
+        out.append(src, cursor, e.begin - cursor);
+        out.append(e.text);
+        cursor = e.end;
+    }
+    out.append(src, cursor, src.size() - cursor);
+    return out;
+}
+
+std::string hexAddress(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a << "ull";
+    return os.str();
+}
+
+bool isAllocFn(const std::string& name)
+{
+    return name == "cudaMalloc" || name == "cudaMallocManaged" ||
+           name == "cudaMallocHost";
+}
+
+} // namespace
+
+bool SourceTranslator::evaluateSize(
+    const std::string& expr, const std::map<std::string, std::string>& defines,
+    std::uint64_t* out) const
+{
+    const LexResult lexed = lex(expr);
+    const auto v =
+        ExprEval(lexed.tokens, defines, options_.extraSizeof, 0).run();
+    if (!v)
+        return false;
+    *out = *v;
+    return true;
+}
+
+TranslateResult SourceTranslator::translateProject(
+    const std::map<std::string, std::string>& files) const
+{
+    TranslateResult result;
+    std::map<std::string, LexResult> lexed;
+    std::map<std::string, std::string> defines;
+    for (const auto& [file, src] : files) {
+        lexed.emplace(file, lex(src));
+        for (const auto& [k, v] : lexed.at(file).defines)
+            defines.emplace(k, v);
+    }
+
+    // ---- pass 1: kernel launches across all files -------------------------
+    std::vector<std::string> kernelVars;
+    const auto captureVar = [&kernelVars](const std::string& name) {
+        if (name.empty())
+            return;
+        if (std::find(kernelVars.begin(), kernelVars.end(), name) ==
+            kernelVars.end())
+            kernelVars.push_back(name);
+    };
+
+    for (const auto& [file, src] : files) {
+        const auto& toks = lexed.at(file).tokens;
+        for (std::size_t i = 0; i + 6 < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::kIdent)
+                continue;
+            if (!(punctIs(toks[i + 1], '<') && punctIs(toks[i + 2], '<') &&
+                  punctIs(toks[i + 3], '<')))
+                continue;
+            // Find the closing '>>>' (three consecutive '>' tokens).
+            std::size_t j = i + 4;
+            while (toks[j].kind != TokKind::kEof &&
+                   !(punctIs(toks[j], '>') && punctIs(toks[j + 1], '>') &&
+                     punctIs(toks[j + 2], '>')))
+                ++j;
+            if (toks[j].kind == TokKind::kEof)
+                continue;
+            std::size_t open = j + 3;
+            if (!punctIs(toks[open], '('))
+                continue;
+            const std::size_t closeIdx = matchParen(toks, open);
+
+            KernelLaunch launch;
+            launch.file = file;
+            launch.kernel = toks[i].text;
+            for (const auto& [b, e] : splitArgs(toks, open, closeIdx)) {
+                const std::string var = argVariable(toks, b, e);
+                if (!var.empty()) {
+                    launch.arguments.push_back(var);
+                    captureVar(var);
+                }
+            }
+            result.launches.push_back(std::move(launch));
+            i = closeIdx;
+        }
+    }
+    result.kernelVariables = kernelVars;
+
+    const auto isKernelVar = [&kernelVars](const std::string& name) {
+        return std::find(kernelVars.begin(), kernelVars.end(), name) !=
+               kernelVars.end();
+    };
+
+    // ---- pass 2: rewrite allocations of captured variables ------------------
+    Addr cursor = options_.dsBase;
+    std::map<std::string, int> allocationsPerVar;
+    const auto nextAddress = [&cursor](std::uint64_t bytes) {
+        const Addr a = cursor;
+        const std::uint64_t reserve =
+            (bytes + kPageSize - 1) & ~static_cast<std::uint64_t>(kPageSize - 1);
+        cursor += reserve == 0 ? kPageSize : reserve;
+        return a;
+    };
+
+    for (const auto& [file, src] : files) {
+        const auto& toks = lexed.at(file).tokens;
+        std::vector<Edit> edits;
+
+        // The explicit size guard matters: rewrite branches jump to a
+        // matched ')' which may be the kEof slot, and the ++i would then
+        // step past the token vector.
+        for (std::size_t i = 0;
+             i < toks.size() && toks[i].kind != TokKind::kEof; ++i) {
+            // --- cudaMalloc((void**)&x, SIZE) family -------------------------
+            if (toks[i].kind == TokKind::kIdent && isAllocFn(toks[i].text) &&
+                punctIs(toks[i + 1], '(')) {
+                const std::size_t open = i + 1;
+                const std::size_t closeIdx = matchParen(toks, open);
+                const auto args = splitArgs(toks, open, closeIdx);
+                if (args.size() < 2) {
+                    i = closeIdx;
+                    continue;
+                }
+                const std::string var =
+                    argVariable(toks, args[0].first, args[0].second);
+                if (var.empty() || !isKernelVar(var)) {
+                    i = closeIdx;
+                    continue;
+                }
+                const std::string sizeExpr = sourceSlice(
+                    src, toks[args[1].first], toks[args[1].second - 1]);
+
+                Allocation alloc;
+                alloc.file = file;
+                alloc.variable = var;
+                alloc.sizeExpr = sizeExpr;
+                alloc.original =
+                    sourceSlice(src, toks[i], toks[closeIdx - 1]);
+                alloc.sizeKnown =
+                    evaluateSize(sizeExpr, defines, &alloc.bytes);
+                if (!alloc.sizeKnown) {
+                    alloc.bytes = options_.fallbackBytes;
+                    result.diagnostics.push_back(
+                        file + ": size of '" + var +
+                        "' not statically evaluable ('" + sizeExpr +
+                        "'), reserving fallback");
+                }
+                alloc.address = nextAddress(alloc.bytes);
+                if (++allocationsPerVar[var] > 1)
+                    result.diagnostics.push_back(
+                        file + ": variable '" + var +
+                        "' allocated more than once; each site gets its own "
+                        "region");
+
+                // Rewrite the call expression only, preserving any wrapper
+                // macro: the comma expression still yields cudaSuccess.
+                std::ostringstream text;
+                text << "(" << var << " = (decltype(" << var << "))ds_mmap("
+                     << hexAddress(alloc.address) << ", " << sizeExpr
+                     << "), cudaSuccess)";
+                edits.push_back(Edit{toks[i].offset,
+                                     toks[closeIdx - 1].offset +
+                                         toks[closeIdx - 1].length,
+                                     text.str()});
+                result.allocations.push_back(std::move(alloc));
+                i = closeIdx;
+                continue;
+            }
+
+            // --- x = new T[COUNT] --------------------------------------------
+            if (toks[i].kind == TokKind::kIdent && punctIs(toks[i + 1], '=') &&
+                toks[i + 2].kind == TokKind::kIdent &&
+                toks[i + 2].text == "new" && isKernelVar(toks[i].text)) {
+                const std::string var = toks[i].text;
+                // Collect the element type up to '['.
+                std::size_t j = i + 3;
+                std::string typeText;
+                while (toks[j].kind == TokKind::kIdent ||
+                       punctIs(toks[j], '*')) {
+                    if (!typeText.empty())
+                        typeText += ' ';
+                    typeText += toks[j].text;
+                    ++j;
+                }
+                if (!punctIs(toks[j], '[') || typeText.empty())
+                    continue; // scalar new or something else: leave alone
+                const std::size_t open = j;
+                std::size_t closeIdx = j;
+                int depth = 0;
+                for (; toks[closeIdx].kind != TokKind::kEof; ++closeIdx) {
+                    if (punctIs(toks[closeIdx], '['))
+                        ++depth;
+                    else if (punctIs(toks[closeIdx], ']') && --depth == 0)
+                        break;
+                }
+                if (toks[closeIdx].kind == TokKind::kEof)
+                    continue;
+                const std::string countExpr =
+                    open + 1 == closeIdx
+                        ? std::string("0")
+                        : sourceSlice(src, toks[open + 1], toks[closeIdx - 1]);
+                const std::string sizeExpr =
+                    "(" + countExpr + ") * sizeof(" + typeText + ")";
+
+                Allocation alloc;
+                alloc.file = file;
+                alloc.variable = var;
+                alloc.sizeExpr = sizeExpr;
+                alloc.original = sourceSlice(src, toks[i], toks[closeIdx]);
+                alloc.sizeKnown = evaluateSize(sizeExpr, defines, &alloc.bytes);
+                if (!alloc.sizeKnown) {
+                    alloc.bytes = options_.fallbackBytes;
+                    result.diagnostics.push_back(
+                        file + ": size of '" + var +
+                        "' not statically evaluable ('" + sizeExpr +
+                        "'), reserving fallback");
+                }
+                alloc.address = nextAddress(alloc.bytes);
+                if (++allocationsPerVar[var] > 1)
+                    result.diagnostics.push_back(
+                        file + ": variable '" + var +
+                        "' allocated more than once; each site gets its own "
+                        "region");
+
+                std::ostringstream text;
+                text << var << " = (" << typeText << "*)ds_mmap("
+                     << hexAddress(alloc.address) << ", " << sizeExpr << ")";
+                edits.push_back(Edit{toks[i].offset,
+                                     toks[closeIdx].offset +
+                                         toks[closeIdx].length,
+                                     text.str()});
+                result.allocations.push_back(std::move(alloc));
+                i = closeIdx;
+                continue;
+            }
+
+            // --- x = (T*)malloc(SIZE) / calloc(N, SIZE) ----------------------
+            if (toks[i].kind == TokKind::kIdent && punctIs(toks[i + 1], '=')) {
+                const std::string var = toks[i].text;
+                std::size_t j = i + 2;
+                std::string castText;
+                if (punctIs(toks[j], '(')) {
+                    const std::size_t castEnd = matchParen(toks, j);
+                    // Only treat it as a cast when a call follows.
+                    if (toks[castEnd].kind == TokKind::kIdent &&
+                        (toks[castEnd].text == "malloc" ||
+                         toks[castEnd].text == "calloc")) {
+                        castText = sourceSlice(src, toks[j], toks[castEnd - 1]);
+                        j = castEnd;
+                    }
+                }
+                if (toks[j].kind != TokKind::kIdent ||
+                    (toks[j].text != "malloc" && toks[j].text != "calloc") ||
+                    !punctIs(toks[j + 1], '(') || !isKernelVar(var)) {
+                    continue;
+                }
+                const bool isCalloc = toks[j].text == "calloc";
+                const std::size_t open = j + 1;
+                const std::size_t closeIdx = matchParen(toks, open);
+                const auto args = splitArgs(toks, open, closeIdx);
+
+                std::string sizeExpr;
+                if (isCalloc && args.size() == 2) {
+                    sizeExpr = "(" +
+                               sourceSlice(src, toks[args[0].first],
+                                           toks[args[0].second - 1]) +
+                               ") * (" +
+                               sourceSlice(src, toks[args[1].first],
+                                           toks[args[1].second - 1]) +
+                               ")";
+                } else if (!isCalloc && args.size() == 1) {
+                    sizeExpr = sourceSlice(src, toks[args[0].first],
+                                           toks[args[0].second - 1]);
+                } else {
+                    i = closeIdx;
+                    continue;
+                }
+
+                Allocation alloc;
+                alloc.file = file;
+                alloc.variable = var;
+                alloc.sizeExpr = sizeExpr;
+                alloc.original = sourceSlice(src, toks[i], toks[closeIdx - 1]);
+                alloc.sizeKnown = evaluateSize(sizeExpr, defines, &alloc.bytes);
+                if (!alloc.sizeKnown) {
+                    alloc.bytes = options_.fallbackBytes;
+                    result.diagnostics.push_back(
+                        file + ": size of '" + var +
+                        "' not statically evaluable ('" + sizeExpr +
+                        "'), reserving fallback");
+                }
+                alloc.address = nextAddress(alloc.bytes);
+                if (++allocationsPerVar[var] > 1)
+                    result.diagnostics.push_back(
+                        file + ": variable '" + var +
+                        "' allocated more than once; each site gets its own "
+                        "region");
+
+                std::ostringstream text;
+                text << var << " = ";
+                if (!castText.empty())
+                    text << castText;
+                else
+                    text << "(decltype(" << var << "))";
+                text << "ds_mmap(" << hexAddress(alloc.address) << ", "
+                     << sizeExpr << ")";
+                edits.push_back(Edit{toks[i].offset,
+                                     toks[closeIdx - 1].offset +
+                                         toks[closeIdx - 1].length,
+                                     text.str()});
+                result.allocations.push_back(std::move(alloc));
+                i = closeIdx;
+                continue;
+            }
+        }
+
+        std::string output = applyEdits(src, std::move(edits));
+        const bool rewritten = output != src;
+        if (rewritten && !options_.runtimeInclude.empty())
+            output = options_.runtimeInclude + "\n" + output;
+        result.outputs.emplace(file, std::move(output));
+    }
+
+    // Kernel variables without any discovered allocation (scalars, stack
+    // arrays, externally allocated buffers) are reported, as the paper's
+    // translator would simply leave them untouched.
+    for (const auto& var : kernelVars) {
+        if (allocationsPerVar.count(var) == 0)
+            result.diagnostics.push_back("no heap allocation found for kernel "
+                                         "argument '" +
+                                         var + "' (left untouched)");
+    }
+    return result;
+}
+
+} // namespace dscoh::xlate

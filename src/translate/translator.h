@@ -1,0 +1,105 @@
+// Source-to-source translator (§III-C of the paper).
+//
+// Pipeline, exactly as the paper describes it:
+//   1. scan every source file for kernel invocations
+//      `kernel_name<<<Dg, Db, Ns, S>>>(x1, ..., xn)` and capture the
+//      argument variables;
+//   2. determine the amount of memory needed for each captured variable by
+//      locating its allocation (`malloc`, `calloc`, `cudaMalloc`,
+//      `cudaMallocManaged`, `cudaMallocHost`) and evaluating the size
+//      expression (integer arithmetic, `sizeof(...)`, and object-like
+//      `#define` constants);
+//   3. rewrite each such allocation into a fixed-address `ds_mmap` in the
+//      reserved direct-store region, incrementing the start address by each
+//      variable's (page-aligned) size so no two variables overlap.
+//
+// The result compiles in the standard way against the ds_runtime shim; the
+// simulator's AddressSpace::dsMmapFixed implements the same contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+#include "vm/address_space.h"
+
+namespace dscoh::xlate {
+
+struct TranslateOptions {
+    Addr dsBase = kDsRegionBase;
+    /// Used when a size expression cannot be evaluated statically; the
+    /// allocation still moves to the DS region with this reservation and a
+    /// diagnostic is recorded.
+    std::uint64_t fallbackBytes = 16ull << 20;
+    /// Extra sizeof() values for project-specific types.
+    std::map<std::string, std::uint64_t> extraSizeof;
+    /// Include line prepended to every rewritten file.
+    std::string runtimeInclude = "#include \"ds_runtime.h\"";
+};
+
+struct Allocation {
+    std::string file;
+    std::string variable;
+    Addr address = 0;        ///< assigned fixed DS-region address
+    std::uint64_t bytes = 0; ///< evaluated (or fallback) reservation
+    bool sizeKnown = false;
+    std::string sizeExpr; ///< original size expression text
+    std::string original; ///< original statement text
+};
+
+struct KernelLaunch {
+    std::string file;
+    std::string kernel;
+    std::vector<std::string> arguments; ///< captured variable names
+};
+
+struct TranslateResult {
+    std::map<std::string, std::string> outputs; ///< file -> rewritten source
+    std::vector<KernelLaunch> launches;
+    std::vector<std::string> kernelVariables; ///< ordered, de-duplicated
+    std::vector<Allocation> allocations;
+    std::vector<std::string> diagnostics;
+
+    bool changed(const std::string& file,
+                 const std::map<std::string, std::string>& inputs) const
+    {
+        const auto out = outputs.find(file);
+        const auto in = inputs.find(file);
+        return out != outputs.end() && in != inputs.end() &&
+               out->second != in->second;
+    }
+};
+
+class SourceTranslator {
+public:
+    SourceTranslator() = default;
+    explicit SourceTranslator(TranslateOptions options)
+        : options_(std::move(options))
+    {
+    }
+
+    /// Translates a whole program: kernel arguments are collected across
+    /// every file, then each file's allocations are rewritten.
+    TranslateResult translateProject(
+        const std::map<std::string, std::string>& files) const;
+
+    /// Single-file convenience wrapper.
+    TranslateResult translateSource(const std::string& source) const
+    {
+        return translateProject({{"input.cu", source}});
+    }
+
+    /// Evaluates an integral size expression ("N * sizeof(float)") against
+    /// the given #define table. Returns false when not statically known.
+    /// Exposed for direct testing.
+    bool evaluateSize(const std::string& expr,
+                      const std::map<std::string, std::string>& defines,
+                      std::uint64_t* out) const;
+
+private:
+    TranslateOptions options_;
+};
+
+} // namespace dscoh::xlate

@@ -1,0 +1,81 @@
+#include "vm/address_space.h"
+
+namespace dscoh {
+
+namespace {
+constexpr Addr kHeapBase = 0x10000000; // plain data, far from page 0
+
+std::uint64_t roundUpLine(std::uint64_t bytes)
+{
+    return (bytes + kLineSize - 1) & ~static_cast<std::uint64_t>(kLineSize - 1);
+}
+} // namespace
+
+AddressSpace::AddressSpace(std::uint64_t physBytes)
+    : physBytes_(physBytes), heapCursor_(kHeapBase), dsCursor_(kDsRegionBase)
+{
+}
+
+void AddressSpace::mapRange(Addr vaBase, std::uint64_t bytes)
+{
+    const Addr first = pageAlign(vaBase);
+    const Addr last = pageAlign(vaBase + bytes - 1);
+    for (Addr va = first; va <= last; va += kPageSize) {
+        if (pages_.count(va) != 0)
+            continue; // page already backed (allocations can share pages)
+        const Addr pa = nextPhysPage_ * kPageSize;
+        if (pa + kPageSize > physBytes_)
+            throw std::runtime_error("simulated physical memory exhausted");
+        pages_.emplace(va, pa);
+        ++nextPhysPage_;
+    }
+}
+
+Addr AddressSpace::heapAlloc(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        throw std::invalid_argument("heapAlloc of zero bytes");
+    const Addr va = heapCursor_;
+    heapCursor_ += roundUpLine(bytes);
+    mapRange(va, bytes);
+    return va;
+}
+
+Addr AddressSpace::dsMmap(std::uint64_t bytes)
+{
+    return dsMmapFixed(dsCursor_, bytes);
+}
+
+Addr AddressSpace::dsMmapFixed(Addr va, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        throw std::invalid_argument("dsMmapFixed of zero bytes");
+    if (!inDsRegion(va))
+        throw std::invalid_argument("dsMmapFixed outside the DS region");
+    // MAP_FIXED semantics without MAP_FIXED's silent clobbering: the
+    // translator guarantees non-overlapping ranges, so overlap is a bug.
+    const Addr first = pageAlign(va);
+    const Addr last = pageAlign(va + bytes - 1);
+    for (Addr page = first; page <= last; page += kPageSize)
+        if (pages_.count(page) != 0)
+            throw std::invalid_argument("dsMmapFixed overlaps an existing mapping");
+    mapRange(va, bytes);
+    if (va + bytes > dsCursor_)
+        dsCursor_ = pageAlign(va + bytes + kPageSize - 1);
+    return va;
+}
+
+Translation AddressSpace::translate(Addr va) const
+{
+    const auto it = pages_.find(pageAlign(va));
+    if (it == pages_.end())
+        throw std::out_of_range("translate: unmapped virtual address");
+    return Translation{it->second + (va - pageAlign(va)), inDsRegion(va)};
+}
+
+bool AddressSpace::isMapped(Addr va) const
+{
+    return pages_.count(pageAlign(va)) != 0;
+}
+
+} // namespace dscoh

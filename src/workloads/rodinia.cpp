@@ -1,0 +1,805 @@
+// Rodinia workload models (Table II: BP, BF, GA, HT, KM, LV, LU, NN, NW,
+// PT, SR). Each model reproduces the benchmark's memory structure — array
+// footprints at the paper's input sizes with 4-byte elements, CPU-produce ->
+// GPU-consume phases, shared-memory staging where Table II says so — with
+// iteration counts scaled down (see each info().scalingNote).
+#include <algorithm>
+
+#include "workloads/pattern_helpers.h"
+#include "workloads/workload.h"
+
+namespace dscoh {
+namespace {
+
+using patterns::csrTraverse;
+using patterns::gridStrideWrite;
+using patterns::kElem;
+using patterns::produceArray;
+using patterns::stencil2d;
+
+constexpr std::uint32_t kTpb = 256;
+
+template <typename T>
+T pick(InputSize s, T small, T big)
+{
+    return s == InputSize::kSmall ? small : big;
+}
+
+std::uint32_t blocksFor(std::uint64_t threadsWanted,
+                        std::uint32_t maxBlocks = 512)
+{
+    const std::uint64_t blocks = (threadsWanted + kTpb - 1) / kTpb;
+    return static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(blocks, 1, maxBlocks));
+}
+
+// ---------------------------------------------------------------------------
+// BP — Backpropagation. Input layer n (1536 / 10000), hidden layer 16 (the
+// Rodinia default).
+// CPU produces the input vector and the n x 64 weight matrix (input-major,
+// so warp accesses are coalesced, as in the real kernel); the forward kernel
+// stages inputs in shared memory and walks weight rows; the weight-adjust
+// kernel re-reads and updates the weights.
+// ---------------------------------------------------------------------------
+class Backprop final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"BP", "Backpropagation", "1536", "10000", "Rodinia", true,
+                "hidden layer 16 (Rodinia default); single forward+adjust "
+                "round instead of epochs"};
+    }
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 1536, 10000);
+        return {{"input", n * kElem, true, true},
+                {"weights", n * 16 * kElem, true, true},
+                {"hidden", 16 * kElem, true, false},
+                {"delta", n * kElem, true, false}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 1536, 10000);
+        CpuProgram prog;
+        produceArray(prog, mem.at("input"), n * kElem, 6);
+        produceArray(prog, mem.at("weights"), n * 16 * kElem, 6);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 1536, 10000);
+        const Addr input = mem.at("input");
+        const Addr weights = mem.at("weights");
+        const Addr hidden = mem.at("hidden");
+        const Addr delta = mem.at("delta");
+
+        KernelDesc forward;
+        forward.name = "bp_layerforward";
+        forward.blocks = blocksFor(n);
+        forward.threadsPerBlock = kTpb;
+        forward.usesSharedMemory = true;
+        forward.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+            const std::uint32_t tid = b * kTpb + th;
+            if (tid >= n)
+                return;
+            const Addr inVa = input + static_cast<Addr>(tid) * kElem;
+            t.ldCheck(inVa, producedValue(inVa), kElem);
+            t.smemSt(); // stage the input tile
+            for (std::uint32_t h = 0; h < 16; ++h) {
+                // Input-major weight layout: lane-consecutive tids read
+                // consecutive elements (coalesced).
+                const Addr w = weights + (static_cast<Addr>(h) * n + tid) * kElem;
+                t.ldCheck(w, producedValue(w), kElem);
+                t.smemLd();
+                t.compute(2);
+            }
+            if (tid < 16)
+                t.st(hidden + static_cast<Addr>(tid) * kElem, tid, kElem);
+        };
+
+        KernelDesc adjust;
+        adjust.name = "bp_adjust_weights";
+        adjust.blocks = blocksFor(n);
+        adjust.threadsPerBlock = kTpb;
+        adjust.usesSharedMemory = true;
+        adjust.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+            const std::uint32_t tid = b * kTpb + th;
+            if (tid >= n)
+                return;
+            t.st(delta + static_cast<Addr>(tid) * kElem, tid + 1, kElem);
+            for (std::uint32_t h = 0; h < 16; h += 2) {
+                const Addr w = weights + (static_cast<Addr>(h) * n + tid) * kElem;
+                t.ld(w, kElem);
+                t.smemLd();
+                t.compute(2);
+                t.st(w, tid ^ h, kElem);
+            }
+        };
+        return {forward, adjust};
+    }
+};
+
+// ---------------------------------------------------------------------------
+// BF — Breadth-first search. CSR graph with 4096 / 6000 nodes, average
+// degree 8. CPU produces the graph; three frontier levels traverse it.
+// ---------------------------------------------------------------------------
+class Bfs final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"BF", "Breadth-first search", "4096", "6000", "Rodinia", false,
+                "average degree fixed at 8; 3 frontier levels instead of "
+                "graph diameter"};
+    }
+
+    static constexpr std::uint32_t kDegree = 8;
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 4096, 6000);
+        return {{"offsets", n * kElem, true, true},
+                {"edges", n * kDegree * kElem, true, true},
+                {"cost", n * kElem, true, false}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 4096, 6000);
+        CpuProgram prog;
+        produceArray(prog, mem.at("offsets"), n * kElem, 4);
+        produceArray(prog, mem.at("edges"), n * kDegree * kElem, 4);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 4096, 6000);
+        std::vector<KernelDesc> out;
+        for (std::uint32_t level = 0; level < 3; ++level) {
+            KernelDesc k;
+            k.name = "bfs_level" + std::to_string(level);
+            k.blocks = blocksFor(n);
+            k.threadsPerBlock = kTpb;
+            k.body = [=, offsets = mem.at("offsets"), edges = mem.at("edges"),
+                      cost = mem.at("cost")](ThreadBuilder& t, std::uint32_t b,
+                                             std::uint32_t th) {
+                const std::uint32_t node = b * kTpb + th;
+                csrTraverse(t, offsets, edges, cost, n, kDegree, node, 1);
+                if (node < n)
+                    t.st(cost + static_cast<Addr>(node) * kElem, level, kElem);
+            };
+            out.push_back(std::move(k));
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// GA — Gaussian elimination, 256x256 / 700x700 floats. Row-reduction passes
+// where every thread re-reads the (hot, L2-resident) pivot row: enormous
+// access counts against few misses, which is why the paper sees no
+// miss-rate or speedup change for GA.
+// ---------------------------------------------------------------------------
+class Gaussian final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"GA", "Gaussian elimination", "256x256", "700x700", "Rodinia",
+                true, "8 reduction passes instead of n; pivot-row walk capped "
+                      "at 32 elements per thread per pass"};
+    }
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 256, 700);
+        return {{"matrix", n * n * kElem, true, true}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 256, 700);
+        CpuProgram prog;
+        produceArray(prog, mem.at("matrix"), n * n * kElem, 8);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 256, 700);
+        const Addr matrix = mem.at("matrix");
+        std::vector<KernelDesc> out;
+        for (std::uint32_t pass = 0; pass < 8; ++pass) {
+            KernelDesc k;
+            k.name = "ga_fan" + std::to_string(pass);
+            k.blocks = blocksFor(n);
+            k.threadsPerBlock = kTpb;
+            k.usesSharedMemory = true;
+            const std::uint32_t pivot = pass * (n / 8);
+            k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+                const std::uint32_t row = b * kTpb + th;
+                if (row >= n || row == pivot)
+                    return;
+                // Pivot row: the same addresses for every thread -> L2 hits.
+                for (std::uint32_t j = 0; j < std::min(n, 32u); ++j) {
+                    t.ld(matrix + (static_cast<Addr>(pivot) * n + j) * kElem,
+                         kElem);
+                    t.smemSt();
+                }
+                // Own row segment: one visit per pass.
+                for (std::uint32_t j = 0; j < std::min(n, 32u); ++j) {
+                    const Addr cell =
+                        matrix + (static_cast<Addr>(row) * n + j) * kElem;
+                    if (pass == 0)
+                        t.ldCheck(cell, producedValue(cell), kElem);
+                    else
+                        t.ld(cell, kElem);
+                    t.smemLd();
+                    t.compute(2);
+                    if (j % 4 == 0)
+                        t.st(cell, row ^ j ^ pass, kElem);
+                }
+            };
+            out.push_back(std::move(k));
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// HT — Hotspot, 64x64 / 512x512 thermal stencil over temp+power grids,
+// staged through shared memory; 4 time steps.
+// ---------------------------------------------------------------------------
+class Hotspot final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"HT", "Hotspot", "64x64", "512x512", "Rodinia", true,
+                "4 time steps instead of 60; 5-point stencil tile staged in "
+                "shared memory, updated in place"};
+    }
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 64, 512);
+        return {{"temp", n * n * kElem, true, true},
+                {"power", n * n * kElem, true, true}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 64, 512);
+        CpuProgram prog;
+        produceArray(prog, mem.at("temp"), n * n * kElem, 1);
+        produceArray(prog, mem.at("power"), n * n * kElem, 1);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 64, 512);
+        const Addr temp = mem.at("temp");
+        const Addr power = mem.at("power");
+        std::vector<KernelDesc> out;
+        for (std::uint32_t step = 0; step < 4; ++step) {
+            KernelDesc k;
+            k.name = "hotspot_step" + std::to_string(step);
+            const std::uint64_t cells = static_cast<std::uint64_t>(n) * n;
+            k.blocks = blocksFor(cells / 4);
+            k.threadsPerBlock = kTpb;
+            k.usesSharedMemory = true;
+            const std::uint32_t total = k.blocks * kTpb;
+            // The tile update is computed in shared memory and written back
+            // in place (one temperature grid, as the pyramid kernel's
+            // per-launch output).
+            k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+                const std::uint32_t tid = b * kTpb + th;
+                stencil2d(t, temp, temp, n, n, tid, total, 12, true, 4);
+                // Power grid: one checked read per owned cell on step 0.
+                for (std::uint64_t c = tid, done = 0; c < cells && done < 4;
+                     c += total, ++done) {
+                    const Addr p = power + c * kElem;
+                    if (step == 0)
+                        t.ldCheck(p, producedValue(p), kElem);
+                    else
+                        t.ld(p, kElem);
+                }
+            };
+            out.push_back(std::move(k));
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// KM — K-means, 2000 / 5000 points x 34 features, 8 clusters, 4 iterations.
+// Centroids live in shared memory; features are re-read every iteration, so
+// the produce-phase benefit is amortized away (zero speedup in the paper).
+// ---------------------------------------------------------------------------
+class Kmeans final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"KM", "K-means", "2000, 34 feat", "5000, 34 feat.", "Rodinia",
+                true, "8 clusters, 4 iterations; every 2nd feature sampled in "
+                      "the distance loop"};
+    }
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 2000, 5000);
+        return {{"features", n * 34 * kElem, true, true},
+                {"membership", n * kElem, true, false},
+                {"centroids", 8 * 34 * kElem, true, true}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 2000, 5000);
+        CpuProgram prog;
+        produceArray(prog, mem.at("features"), n * 34 * kElem, 8);
+        produceArray(prog, mem.at("centroids"), 8 * 34 * kElem, 2);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 2000, 5000);
+        const Addr features = mem.at("features");
+        const Addr membership = mem.at("membership");
+        std::vector<KernelDesc> out;
+        for (std::uint32_t iter = 0; iter < 4; ++iter) {
+            KernelDesc k;
+            k.name = "kmeans_iter" + std::to_string(iter);
+            k.blocks = blocksFor(n);
+            k.threadsPerBlock = kTpb;
+            k.usesSharedMemory = true;
+            k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+                const std::uint32_t point = b * kTpb + th;
+                if (point >= n)
+                    return;
+                for (std::uint32_t f = 0; f < 34; f += 2) {
+                    const Addr va =
+                        features + (static_cast<Addr>(point) * 34 + f) * kElem;
+                    if (iter == 0)
+                        t.ldCheck(va, producedValue(va), kElem);
+                    else
+                        t.ld(va, kElem);
+                    t.smemLd(); // centroid tile in the scratchpad
+                    t.compute(6);
+                }
+                t.st(membership + static_cast<Addr>(point) * kElem, iter,
+                     kElem);
+            };
+            out.push_back(std::move(k));
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// LV — LavaMD, 2 / 4 boxes per dimension, 100 particles per box, 16 B per
+// particle record (x, y, z, charge). Tiny footprint, neighbour interactions
+// in shared memory: compute-bound, zero speedup.
+// ---------------------------------------------------------------------------
+class LavaMd final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"LV", "LavaMD", "2", "4", "Rodinia", true,
+                "100 particles/box, 16 B records; 10 neighbour interactions "
+                "per particle staged in shared memory"};
+    }
+
+    static constexpr std::uint32_t kRecord = 16;
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t boxes1d = pick<std::uint64_t>(s, 2, 4);
+        const std::uint64_t particles = boxes1d * boxes1d * boxes1d * 100;
+        return {{"positions", particles * kRecord, true, true},
+                {"forces", particles * kRecord, true, false}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t boxes1d = pick<std::uint64_t>(s, 2, 4);
+        CpuProgram prog;
+        produceArray(prog, mem.at("positions"),
+                     boxes1d * boxes1d * boxes1d * 100 * kRecord, 6);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t boxes1d = pick<std::uint32_t>(s, 2, 4);
+        const std::uint32_t particles = boxes1d * boxes1d * boxes1d * 100;
+        const Addr pos = mem.at("positions");
+        const Addr forces = mem.at("forces");
+        KernelDesc k;
+        k.name = "lavamd_interactions";
+        k.blocks = blocksFor(particles);
+        k.threadsPerBlock = kTpb;
+        k.usesSharedMemory = true;
+        k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+            const std::uint32_t p = b * kTpb + th;
+            if (p >= particles)
+                return;
+            for (std::uint32_t w = 0; w < 4; ++w) {
+                const Addr va = pos + static_cast<Addr>(p) * kRecord + w * kElem;
+                t.ldCheck(va, producedValue(va), kElem);
+            }
+            for (std::uint32_t nbr = 0; nbr < 10; ++nbr) {
+                t.smemLd();
+                t.compute(24);
+            }
+            for (std::uint32_t w = 0; w < 4; ++w)
+                t.st(forces + static_cast<Addr>(p) * kRecord + w * kElem,
+                     p ^ w, kElem);
+        };
+        return {k};
+    }
+};
+
+// ---------------------------------------------------------------------------
+// LU — LU decomposition, 256x256 / 512x512 floats (256 KB / 1 MB: both fit
+// the GPU L2, so the pushed matrix stays resident). Diagonal-block reuse
+// gives huge access counts (near-zero miss rate).
+// ---------------------------------------------------------------------------
+class Lud final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"LU", "LU decomposition", "256x256", "512x512", "Rodinia",
+                true, "6 block passes instead of n/16; perimeter walk capped "
+                      "at 32 elements per thread"};
+    }
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 256, 512);
+        return {{"matrix", n * n * kElem, true, true}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 256, 512);
+        CpuProgram prog;
+        produceArray(prog, mem.at("matrix"), n * n * kElem, 6);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 256, 512);
+        const Addr matrix = mem.at("matrix");
+        std::vector<KernelDesc> out;
+        for (std::uint32_t pass = 0; pass < 6; ++pass) {
+            KernelDesc k;
+            k.name = "lud_pass" + std::to_string(pass);
+            k.blocks = blocksFor(n);
+            k.threadsPerBlock = kTpb;
+            k.usesSharedMemory = true;
+            const std::uint32_t diag = pass * (n / 6);
+            k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+                const std::uint32_t row = b * kTpb + th;
+                if (row >= n)
+                    return;
+                // Diagonal block: shared across all threads -> hot in L2.
+                for (std::uint32_t j = 0; j < 16; ++j) {
+                    t.ld(matrix +
+                             (static_cast<Addr>(diag) * n + diag + j) * kElem,
+                         kElem);
+                    t.smemSt();
+                }
+                // Own perimeter strip: one visit per pass.
+                for (std::uint32_t j = 0; j < std::min(n, 32u); ++j) {
+                    const Addr cell =
+                        matrix + (static_cast<Addr>(row) * n + diag + j) * kElem;
+                    if (pass == 0)
+                        t.ldCheck(cell, producedValue(cell), kElem);
+                    else
+                        t.ld(cell, kElem);
+                    t.smemLd();
+                    t.compute(2);
+                    if (j % 4 == 1)
+                        t.st(cell, row + j, kElem);
+                }
+            };
+            out.push_back(std::move(k));
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// NN — Nearest neighbor, 10691 / 42764 records of 64 B. One streaming pass
+// computing a distance per record: the pure producer-consumer pattern,
+// the paper's best case (>10% small-input speedup).
+// ---------------------------------------------------------------------------
+class NearestNeighbor final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"NN", "Nearest neighbor", "10691", "42764", "Rodinia", false,
+                "64 B records, single pass, distance per record"};
+    }
+
+    static constexpr std::uint32_t kRecord = 64;
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 10691, 42764);
+        return {{"records", n * kRecord, true, true},
+                {"distances", n * kElem, true, false}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 10691, 42764);
+        CpuProgram prog;
+        produceArray(prog, mem.at("records"), n * kRecord, 0);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 10691, 42764);
+        const Addr records = mem.at("records");
+        const Addr distances = mem.at("distances");
+        KernelDesc k;
+        k.name = "nn_distances";
+        k.blocks = blocksFor(n);
+        k.threadsPerBlock = kTpb;
+        k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+            const std::uint32_t rec = b * kTpb + th;
+            if (rec >= n)
+                return;
+            // Latitude/longitude + a few fields from each record.
+            for (std::uint32_t w = 0; w < 8; ++w) {
+                const Addr va =
+                    records + static_cast<Addr>(rec) * kRecord + w * kElem;
+                t.ldCheck(va, producedValue(va), kElem);
+                t.compute(1);
+            }
+            t.st(distances + static_cast<Addr>(rec) * kElem, rec, kElem);
+        };
+        return {k};
+    }
+};
+
+// ---------------------------------------------------------------------------
+// NW — Needleman-Wunsch, 160x160 / 320x320 int DP matrix + reference matrix,
+// processed in 4 wavefront passes through shared-memory tiles.
+// ---------------------------------------------------------------------------
+class Needle final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"NW", "Needleman-Wunsch", "160x160", "320x320", "Rodinia",
+                true, "4 wavefront passes over quadrant strips instead of "
+                      "2n-1 anti-diagonals"};
+    }
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 160, 320);
+        return {{"score", n * n * kElem, true, true},
+                {"reference", n * n * kElem, true, true}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 160, 320);
+        CpuProgram prog;
+        produceArray(prog, mem.at("score"), n * n * kElem, 4);
+        produceArray(prog, mem.at("reference"), n * n * kElem, 4);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 160, 320);
+        const Addr score = mem.at("score");
+        const Addr reference = mem.at("reference");
+        const std::uint64_t cells = static_cast<std::uint64_t>(n) * n;
+        std::vector<KernelDesc> out;
+        for (std::uint32_t wave = 0; wave < 4; ++wave) {
+            KernelDesc k;
+            k.name = "nw_wave" + std::to_string(wave);
+            k.blocks = blocksFor(cells / 16);
+            k.threadsPerBlock = kTpb;
+            k.usesSharedMemory = true;
+            const std::uint32_t total = k.blocks * kTpb;
+            const std::uint64_t begin = wave * (cells / 4);
+            const std::uint64_t end = begin + cells / 4;
+            k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+                const std::uint32_t tid = b * kTpb + th;
+                std::uint32_t done = 0;
+                for (std::uint64_t c = begin + tid; c < end && done < 4;
+                     c += total, ++done) {
+                    const Addr ref = reference + c * kElem;
+                    const Addr sc = score + c * kElem;
+                    t.ldCheck(ref, producedValue(ref), kElem);
+                    if (wave == 0)
+                        t.ldCheck(sc, producedValue(sc), kElem);
+                    else
+                        t.ld(sc, kElem);
+                    t.smemSt();
+                    t.smemLd();
+                    t.compute(3);
+                    t.st(sc, c ^ wave, kElem);
+                }
+            };
+            out.push_back(std::move(k));
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// PT — Pathfinder, 2500 / 5000 columns x 50 rows. The wall is generated on
+// the GPU (the paper: "the CPU does not store any data that will later be
+// used by GPU"), so direct store has nothing to push: zero speedup.
+// ---------------------------------------------------------------------------
+class Pathfinder final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"PT", "Pathfinder", "2500", "5000", "Rodinia", true,
+                "50 rows; wall initialized by a GPU kernel (no CPU-produced "
+                "data, per the paper's PT discussion); 3 row sweeps"};
+    }
+
+    static constexpr std::uint32_t kRows = 50;
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t cols = pick<std::uint64_t>(s, 2500, 5000);
+        return {{"wall", cols * kRows * kElem, true, false},
+                {"result", cols * kElem, true, false}};
+    }
+
+    CpuProgram cpuProduce(InputSize, const ArrayMap&) const override
+    {
+        // Host-side setup without any stores to GPU-consumed data.
+        CpuProgram prog;
+        prog.push_back(cpuCompute(5000));
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t cols = pick<std::uint32_t>(s, 2500, 5000);
+        const Addr wall = mem.at("wall");
+        const Addr resultArr = mem.at("result");
+        std::vector<KernelDesc> out;
+
+        KernelDesc init;
+        init.name = "pt_init_wall";
+        init.blocks = blocksFor(cols);
+        init.threadsPerBlock = kTpb;
+        init.usesSharedMemory = true;
+        const std::uint32_t initTotal = init.blocks * kTpb;
+        init.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+            const std::uint32_t tid = b * kTpb + th;
+            gridStrideWrite(t, wall,
+                            static_cast<std::uint64_t>(cols) * kRows * kElem,
+                            tid, initTotal, 1, kRows);
+        };
+        out.push_back(std::move(init));
+
+        for (std::uint32_t sweep = 0; sweep < 3; ++sweep) {
+            KernelDesc k;
+            k.name = "pt_sweep" + std::to_string(sweep);
+            k.blocks = blocksFor(cols);
+            k.threadsPerBlock = kTpb;
+            k.usesSharedMemory = true;
+            k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+                const std::uint32_t col = b * kTpb + th;
+                if (col >= cols)
+                    return;
+                for (std::uint32_t r = sweep * 16; r < sweep * 16 + 16; ++r) {
+                    t.ld(wall + (static_cast<Addr>(r % kRows) * cols + col) *
+                                    kElem,
+                         kElem);
+                    t.smemSt();
+                    t.smemLd();
+                    t.compute(2);
+                }
+                t.st(resultArr + static_cast<Addr>(col) * kElem, col ^ sweep,
+                     kElem);
+            };
+            out.push_back(std::move(k));
+        }
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// SR — SRAD, 256x256 / 512x512 image + coefficient array, 6 iterations of
+// the two stencil kernels through shared memory. With 4-byte floats both
+// inputs fit the GPU L2, so only the first pass differs between schemes.
+// ---------------------------------------------------------------------------
+class Srad final : public Workload {
+public:
+    WorkloadInfo info() const override
+    {
+        return {"SR", "SRAD", "256x256", "512x512", "Rodinia", true,
+                "6 iterations of srad1+srad2; stencils staged in shared "
+                "memory, 4 cells per thread"};
+    }
+
+    std::vector<ArraySpec> arrays(InputSize s) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 256, 512);
+        return {{"image", n * n * kElem, true, true},
+                {"coeff", n * n * kElem, true, false}};
+    }
+
+    CpuProgram cpuProduce(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint64_t n = pick<std::uint64_t>(s, 256, 512);
+        CpuProgram prog;
+        produceArray(prog, mem.at("image"), n * n * kElem, 10);
+        return prog;
+    }
+
+    std::vector<KernelDesc> kernels(InputSize s, const ArrayMap& mem) const override
+    {
+        const std::uint32_t n = pick<std::uint32_t>(s, 256, 512);
+        const Addr image = mem.at("image");
+        const Addr coeff = mem.at("coeff");
+        std::vector<KernelDesc> out;
+        for (std::uint32_t iter = 0; iter < 6; ++iter) {
+            KernelDesc k1;
+            k1.name = "srad1_iter" + std::to_string(iter);
+            const std::uint64_t cells = static_cast<std::uint64_t>(n) * n;
+            k1.blocks = blocksFor(cells / 4);
+            k1.threadsPerBlock = kTpb;
+            k1.usesSharedMemory = true;
+            const std::uint32_t total = k1.blocks * kTpb;
+            k1.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+                const std::uint32_t tid = b * kTpb + th;
+                stencil2d(t, image, coeff, n, n, tid, total, 8, true, 4);
+            };
+            out.push_back(std::move(k1));
+
+            KernelDesc k2;
+            k2.name = "srad2_iter" + std::to_string(iter);
+            k2.blocks = blocksFor(cells / 4);
+            k2.threadsPerBlock = kTpb;
+            k2.usesSharedMemory = true;
+            k2.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t th) {
+                const std::uint32_t tid = b * kTpb + th;
+                stencil2d(t, coeff, image, n, n, tid, total, 8, true, 4);
+            };
+            out.push_back(std::move(k2));
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeBackprop() { return std::make_unique<Backprop>(); }
+std::unique_ptr<Workload> makeBfs() { return std::make_unique<Bfs>(); }
+std::unique_ptr<Workload> makeGaussian() { return std::make_unique<Gaussian>(); }
+std::unique_ptr<Workload> makeHotspot() { return std::make_unique<Hotspot>(); }
+std::unique_ptr<Workload> makeKmeans() { return std::make_unique<Kmeans>(); }
+std::unique_ptr<Workload> makeLavaMd() { return std::make_unique<LavaMd>(); }
+std::unique_ptr<Workload> makeLud() { return std::make_unique<Lud>(); }
+std::unique_ptr<Workload> makeNearestNeighbor()
+{
+    return std::make_unique<NearestNeighbor>();
+}
+std::unique_ptr<Workload> makeNeedle() { return std::make_unique<Needle>(); }
+std::unique_ptr<Workload> makePathfinder()
+{
+    return std::make_unique<Pathfinder>();
+}
+std::unique_ptr<Workload> makeSrad() { return std::make_unique<Srad>(); }
+
+} // namespace dscoh

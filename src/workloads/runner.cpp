@@ -1,0 +1,78 @@
+#include "workloads/runner.h"
+
+#include <stdexcept>
+
+namespace dscoh {
+
+WorkloadRunResult runWorkload(const Workload& workload, InputSize size,
+                              CoherenceMode mode, const SystemConfig& config)
+{
+    SystemConfig cfg = config;
+    cfg.mode = mode;
+    System sys(cfg);
+
+    // Allocate the benchmark's arrays the way the (translated) program
+    // would: kernel-referenced arrays move to the DS region under DS mode.
+    Workload::ArrayMap mem;
+    std::uint64_t footprint = 0;
+    for (const ArraySpec& spec : workload.arrays(size)) {
+        mem[spec.name] = sys.allocateArray(spec.bytes, spec.gpuShared);
+        footprint += spec.bytes;
+    }
+
+    const CpuProgram produce = workload.cpuProduce(size, mem);
+    const std::vector<KernelDesc> kernels = workload.kernels(size, mem);
+
+    // Chain: produce -> kernel 0 -> kernel 1 -> ...
+    Tick produceDoneAt = 0;
+    std::vector<Tick> kernelDoneAt;
+    std::size_t next = 0;
+    std::function<void()> launchNext = [&]() {
+        if (next >= kernels.size())
+            return;
+        const KernelDesc& k = kernels[next++];
+        sys.launchKernel(k, [&] {
+            kernelDoneAt.push_back(sys.queue().curTick());
+            launchNext();
+        });
+    };
+    sys.runCpuProgram(produce, [&] {
+        produceDoneAt = sys.queue().curTick();
+        launchNext();
+    });
+    sys.simulate();
+
+    WorkloadRunResult result;
+    result.code = workload.info().code;
+    result.size = size;
+    result.mode = mode;
+    result.metrics = sys.metrics();
+    result.violations = sys.checkCoherenceInvariants();
+    result.footprintBytes = footprint;
+    result.produceDoneAt = produceDoneAt;
+    result.kernelDoneAt = std::move(kernelDoneAt);
+
+    if (result.metrics.checkFailures != 0)
+        throw std::runtime_error(
+            workload.info().code + " (" + std::string(to_string(size)) + ", " +
+            to_string(mode) + "): " +
+            std::to_string(result.metrics.checkFailures) +
+            " value mismatches — functional bug, results untrustworthy");
+    if (!result.violations.empty())
+        throw std::runtime_error(workload.info().code +
+                                 ": coherence invariant violated: " +
+                                 result.violations.front());
+    return result;
+}
+
+ComparisonResult compareModes(const Workload& workload, InputSize size,
+                              const SystemConfig& config)
+{
+    ComparisonResult result;
+    result.ccsm = runWorkload(workload, size, CoherenceMode::kCcsm, config);
+    result.directStore =
+        runWorkload(workload, size, CoherenceMode::kDirectStore, config);
+    return result;
+}
+
+} // namespace dscoh

@@ -1,0 +1,54 @@
+// Runs a workload on a System and extracts the paper's metrics.
+//
+// The phase structure mirrors the benchmarks after memory-copy elimination
+// (§IV-B): the CPU produce phase runs first, then the kernels launch back to
+// back, then (implicitly) the host would inspect a few results — all timed
+// as one run, exactly like the paper's "total ticks".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "workloads/workload.h"
+
+namespace dscoh {
+
+struct WorkloadRunResult {
+    std::string code;
+    InputSize size = InputSize::kSmall;
+    CoherenceMode mode = CoherenceMode::kCcsm;
+    RunMetrics metrics;
+    std::vector<std::string> violations; ///< coherence-invariant breaches
+    std::uint64_t footprintBytes = 0;
+    /// Phase breakdown: tick at which the CPU produce phase finished, and
+    /// the completion tick of each kernel (for the ablation narratives).
+    Tick produceDoneAt = 0;
+    std::vector<Tick> kernelDoneAt;
+};
+
+/// Runs @p workload at @p size under @p mode on a fresh System built from
+/// @p config (mode field is overridden). Throws std::runtime_error on
+/// functional failures (value mismatches) so benches cannot silently report
+/// numbers from a broken run.
+WorkloadRunResult runWorkload(const Workload& workload, InputSize size,
+                              CoherenceMode mode,
+                              const SystemConfig& config = SystemConfig{});
+
+/// Convenience pair-runner for speedup computations.
+struct ComparisonResult {
+    WorkloadRunResult ccsm;
+    WorkloadRunResult directStore;
+    double speedup() const
+    {
+        return directStore.metrics.ticks == 0
+                   ? 0.0
+                   : static_cast<double>(ccsm.metrics.ticks) /
+                         static_cast<double>(directStore.metrics.ticks);
+    }
+};
+
+ComparisonResult compareModes(const Workload& workload, InputSize size,
+                              const SystemConfig& config = SystemConfig{});
+
+} // namespace dscoh

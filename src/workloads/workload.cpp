@@ -1,0 +1,62 @@
+#include "workloads/workload.h"
+
+#include <stdexcept>
+
+namespace dscoh {
+
+const char* to_string(InputSize s)
+{
+    return s == InputSize::kSmall ? "small" : "big";
+}
+
+const WorkloadRegistry& WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    // Table II order.
+    add(makeBackprop());
+    add(makeBfs());
+    add(makeGaussian());
+    add(makeHotspot());
+    add(makeKmeans());
+    add(makeLavaMd());
+    add(makeLud());
+    add(makeNearestNeighbor());
+    add(makeNeedle());
+    add(makePathfinder());
+    add(makeSrad());
+    add(makeStencil());
+    add(makeGraphColoring());
+    add(makeFloydWarshall());
+    add(makeMis());
+    add(makeSssp());
+    add(makeBlackScholes());
+    add(makeVectorAdd());
+    add(makeBitonicSort());
+    add(makeMatrixMul());
+    add(makeMatrixTranspose());
+    add(makeCholesky());
+}
+
+void WorkloadRegistry::add(std::unique_ptr<Workload> w)
+{
+    const std::string code = w->info().code;
+    order_.push_back(code);
+    byCode_.emplace(code, std::move(w));
+}
+
+std::vector<std::string> WorkloadRegistry::codes() const { return order_; }
+
+const Workload& WorkloadRegistry::get(const std::string& code) const
+{
+    const auto it = byCode_.find(code);
+    if (it == byCode_.end())
+        throw std::out_of_range("unknown workload code: " + code);
+    return *it->second;
+}
+
+} // namespace dscoh

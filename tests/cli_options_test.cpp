@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/options.h"
+
+namespace dscoh::cli {
+namespace {
+
+struct Parsed {
+    bool ok;
+    std::string err;
+};
+
+template <typename Setup>
+Parsed tryParse(std::vector<const char*> args, Setup setup)
+{
+    OptionParser parser("test", "test tool");
+    setup(parser);
+    std::ostringstream err;
+    args.insert(args.begin(), "test");
+    const bool ok = parser.parse(static_cast<int>(args.size()), args.data(), err);
+    return {ok, err.str()};
+}
+
+TEST(Options, ParsesFlagsAndValues)
+{
+    bool flag = false;
+    std::uint64_t n = 0;
+    std::string s;
+    OptionParser parser("t", "d");
+    parser.addFlag("verbose", "v", &flag);
+    parser.addUint("count", "c", &n);
+    parser.addString("name", "n", &s);
+    const char* argv[] = {"t", "--verbose", "--count", "42", "--name=abc",
+                          "positional"};
+    std::ostringstream err;
+    ASSERT_TRUE(parser.parse(6, argv, err)) << err.str();
+    EXPECT_TRUE(flag);
+    EXPECT_EQ(n, 42u);
+    EXPECT_EQ(s, "abc");
+    ASSERT_EQ(parser.positional().size(), 1u);
+    EXPECT_EQ(parser.positional()[0], "positional");
+}
+
+TEST(Options, EqualsSyntaxForNumbers)
+{
+    std::uint64_t n = 0;
+    const auto r = tryParse({"--count=0x10"}, [&](OptionParser& p) {
+        p.addUint("count", "c", &n);
+    });
+    EXPECT_TRUE(r.ok) << r.err;
+    EXPECT_EQ(n, 16u);
+}
+
+TEST(Options, RejectsUnknownOption)
+{
+    const auto r = tryParse({"--nope"}, [](OptionParser&) {});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST(Options, RejectsMissingValue)
+{
+    std::uint64_t n = 0;
+    const auto r = tryParse({"--count"}, [&](OptionParser& p) {
+        p.addUint("count", "c", &n);
+    });
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.err.find("needs a value"), std::string::npos);
+}
+
+TEST(Options, RejectsBadNumber)
+{
+    std::uint64_t n = 0;
+    const auto r = tryParse({"--count", "12abc"}, [&](OptionParser& p) {
+        p.addUint("count", "c", &n);
+    });
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.err.find("bad value"), std::string::npos);
+}
+
+TEST(Options, RejectsValueOnFlag)
+{
+    bool flag = false;
+    const auto r = tryParse({"--verbose=yes"}, [&](OptionParser& p) {
+        p.addFlag("verbose", "v", &flag);
+    });
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Options, HelpPrintsEveryOption)
+{
+    bool flag = false;
+    const auto r = tryParse({"--help"}, [&](OptionParser& p) {
+        p.addFlag("verbose", "enable verbosity", &flag);
+    });
+    EXPECT_FALSE(r.ok); // --help short-circuits
+    EXPECT_NE(r.err.find("--verbose"), std::string::npos);
+    EXPECT_NE(r.err.find("enable verbosity"), std::string::npos);
+}
+
+} // namespace
+} // namespace dscoh::cli

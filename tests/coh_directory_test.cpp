@@ -1,0 +1,190 @@
+// Directory-mode home controller: correctness under the same scenarios as
+// the Hammer tests, plus the mode's defining properties (no broadcast to
+// non-holders, no speculative memory reads when an owner supplies, graceful
+// handling of stale entries after silent drops).
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sim/rng.h"
+#include "workloads/runner.h"
+
+namespace dscoh {
+namespace {
+
+SystemConfig directoryCfg(CoherenceMode mode)
+{
+    SystemConfig cfg = SystemConfig::paper(mode);
+    cfg.directoryHome = true;
+    cfg.numSms = 4;
+    return cfg;
+}
+
+TEST(DirectoryHome, ProducerConsumerVerifiedBothSchemes)
+{
+    for (const CoherenceMode mode :
+         {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}) {
+        SystemConfig cfg = directoryCfg(mode);
+        const auto r = runWorkload(WorkloadRegistry::instance().get("VA"),
+                                   InputSize::kSmall, mode, cfg);
+        EXPECT_EQ(r.metrics.checkFailures, 0u) << to_string(mode);
+        EXPECT_TRUE(r.violations.empty()) << to_string(mode);
+    }
+}
+
+TEST(DirectoryHome, RepresentativeWorkloadsStayCoherent)
+{
+    for (const char* code : {"BF", "NW", "HT", "PT", "BS"}) {
+        SystemConfig cfg = directoryCfg(CoherenceMode::kCcsm);
+        const auto r = runWorkload(WorkloadRegistry::instance().get(code),
+                                   InputSize::kSmall, CoherenceMode::kCcsm,
+                                   cfg);
+        EXPECT_EQ(r.metrics.checkFailures, 0u) << code;
+        EXPECT_TRUE(r.violations.empty()) << code;
+    }
+}
+
+TEST(DirectoryHome, FewerSnoopsThanHammer)
+{
+    const auto snoopsWith = [](bool directory) {
+        SystemConfig cfg = SystemConfig::paper(CoherenceMode::kCcsm);
+        cfg.directoryHome = directory;
+        System sys(cfg);
+        // GPU-only traffic: Hammer still snoops the (idle) CPU on every
+        // miss; the directory knows better.
+        const Addr arr = sys.allocateArray(256 * kLineSize, true);
+        KernelDesc k;
+        k.name = "reader";
+        k.blocks = 8;
+        k.threadsPerBlock = 32;
+        k.body = [arr](ThreadBuilder& t, std::uint32_t b, std::uint32_t tid) {
+            t.ld(arr + (static_cast<Addr>(b) * 32 + tid) * kLineSize, 4);
+        };
+        sys.launchKernel(k, [] {});
+        sys.simulate();
+        return sys.stats().counter("home.snoops_sent");
+    };
+    const std::uint64_t hammer = snoopsWith(false);
+    const std::uint64_t directory = snoopsWith(true);
+    EXPECT_GT(hammer, 0u);
+    EXPECT_EQ(directory, 0u)
+        << "nobody holds these lines; the directory must not snoop anyone";
+}
+
+TEST(DirectoryHome, NoSpeculativeMemoryReadWhenOwnerSupplies)
+{
+    const auto dramReads = [](bool directory) {
+        SystemConfig cfg = SystemConfig::paper(CoherenceMode::kCcsm);
+        cfg.directoryHome = directory;
+        cfg.numSms = 2;
+        System sys(cfg);
+        const Addr arr = sys.allocateArray(64 * kLineSize, true);
+        // CPU produces (owns dirty), then the GPU pulls every line: Hammer
+        // reads DRAM speculatively per pull, the directory must not.
+        CpuProgram produce;
+        for (std::uint32_t i = 0; i < 64; ++i)
+            produce.push_back(
+                cpuStore(arr + static_cast<Addr>(i) * kLineSize, i, 4));
+        produce.push_back(cpuFence());
+        KernelDesc k;
+        k.name = "pull";
+        k.blocks = 2;
+        k.threadsPerBlock = 32;
+        k.body = [arr](ThreadBuilder& t, std::uint32_t b, std::uint32_t tid) {
+            t.ldCheck(arr + (static_cast<Addr>(b) * 32 + tid) * kLineSize,
+                      b * 32 + tid, 4);
+        };
+        std::uint64_t beforeKernel = 0;
+        sys.runCpuProgram(produce, [&] {
+            beforeKernel = sys.metrics().dramReads;
+            sys.launchKernel(k, [] {});
+        });
+        sys.simulate();
+        EXPECT_EQ(sys.metrics().checkFailures, 0u);
+        return sys.metrics().dramReads - beforeKernel;
+    };
+    const std::uint64_t hammer = dramReads(false);
+    const std::uint64_t directory = dramReads(true);
+    EXPECT_GE(hammer, 64u) << "Hammer reads memory speculatively per miss";
+    EXPECT_LT(directory, 8u)
+        << "the directory forwards to the owner without touching DRAM";
+}
+
+TEST(DirectoryHome, StaleEntryAfterSilentDropFallsBackToMemory)
+{
+    SystemConfig cfg = directoryCfg(CoherenceMode::kCcsm);
+    cfg.numSms = 2;
+    System sys(cfg);
+    const Addr arr = sys.allocateArray(4 * kLineSize, false);
+
+    // CPU cold-load -> M (directory: owner = CPU). Force the CPU to
+    // silently drop the clean line via conflict evictions, then let the GPU
+    // read it: the directory snoops the stale owner, learns nothing, and
+    // must fall back to DRAM with the correct value.
+    CpuProgram prog;
+    prog.push_back(cpuStore(arr, 0x42, 4));
+    prog.push_back(cpuFence());
+    sys.runCpuProgram(prog, [] {});
+    sys.simulate();
+
+    // Evict via strided stores over the CPU L2 set (2048-set stride).
+    const Addr big = sys.allocateArray(20ull * 2048 * kLineSize, false);
+    CpuProgram evict;
+    for (std::uint32_t i = 0; i < 16; ++i)
+        evict.push_back(cpuStore(
+            big + (sys.addressSpace().translate(arr).paddr % (2048 * kLineSize)) +
+                static_cast<Addr>(i) * 2048 * kLineSize,
+            i, 4));
+    evict.push_back(cpuFence());
+    sys.runCpuProgram(evict, [] {});
+    sys.simulate();
+
+    KernelDesc k;
+    k.name = "verify";
+    k.blocks = 1;
+    k.threadsPerBlock = 32;
+    k.body = [arr](ThreadBuilder& t, std::uint32_t, std::uint32_t tid) {
+        if (tid == 0)
+            t.ldCheck(arr, 0x42, 4);
+    };
+    sys.launchKernel(k, [] {});
+    sys.simulate();
+    EXPECT_EQ(sys.metrics().checkFailures, 0u);
+    EXPECT_TRUE(sys.checkCoherenceInvariants().empty());
+}
+
+TEST(DirectoryHome, RandomizedContentionStaysCoherent)
+{
+    // The property sweep from integration_property_test, directory flavour.
+    Rng rng(99);
+    SystemConfig cfg = directoryCfg(CoherenceMode::kDirectStore);
+    System sys(cfg);
+    const Addr shared = sys.allocateArray(2048 * 4, true);
+    CpuProgram produce;
+    for (std::uint32_t i = 0; i < 2048; ++i)
+        produce.push_back(
+            cpuStore(shared + i * 4ull, producedValue(shared + i * 4ull), 4));
+    produce.push_back(cpuFence());
+
+    KernelDesc k;
+    k.name = "mix";
+    k.blocks = 8;
+    k.threadsPerBlock = 128;
+    const std::uint64_t seed = rng.next();
+    k.body = [shared, seed](ThreadBuilder& t, std::uint32_t b,
+                            std::uint32_t tid) {
+        Rng laneRng(seed + b * 1024 + tid);
+        for (int i = 0; i < 3; ++i) {
+            const std::uint32_t idx =
+                static_cast<std::uint32_t>(laneRng.below(2048));
+            t.ldCheck(shared + idx * 4ull,
+                      producedValue(shared + idx * 4ull), 4);
+        }
+    };
+    sys.runCpuProgram(produce, [&] { sys.launchKernel(k, [] {}); });
+    sys.simulate();
+    EXPECT_EQ(sys.metrics().checkFailures, 0u);
+    EXPECT_TRUE(sys.checkCoherenceInvariants().empty());
+}
+
+} // namespace
+} // namespace dscoh

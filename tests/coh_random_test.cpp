@@ -1,0 +1,220 @@
+// Property-based protocol validation: random access streams from two agents
+// must leave the system coherent — single owner, exclusivity, no invented
+// values, and program order within one agent on private lines.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "coherence/cache_agent.h"
+#include "coherence/home_controller.h"
+#include "mem/dram.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace dscoh {
+namespace {
+
+constexpr NodeId kAgentA = 0;
+constexpr NodeId kAgentB = 1;
+constexpr NodeId kHome = 2;
+
+struct Harness {
+    EventQueue queue;
+    BackingStore store{1 << 20};
+    Dram dram{"dram", queue, store};
+    Network req{"req", queue, NetworkParams{10, 32}};
+    Network fwd{"fwd", queue, NetworkParams{10, 32}};
+    Network resp{"resp", queue, NetworkParams{10, 32}};
+    std::unique_ptr<HomeController> home;
+    std::vector<std::unique_ptr<CacheAgent>> agents;
+
+    Harness()
+    {
+        HomeController::Params hp;
+        hp.self = kHome;
+        hp.requestNet = &req;
+        hp.forwardNet = &fwd;
+        hp.responseNet = &resp;
+        hp.dram = &dram;
+        hp.store = &store;
+        hp.peersOf = [](Addr) { return std::vector<NodeId>{kAgentA, kAgentB}; };
+        home = std::make_unique<HomeController>("home", queue, std::move(hp));
+
+        for (NodeId id : {kAgentA, kAgentB}) {
+            CacheAgent::Params p;
+            p.geometry.sizeBytes = 1024; // tiny: 4 sets x 2 ways, forces evictions
+            p.geometry.ways = 2;
+            p.mshrs = 6;
+            p.writebackEntries = 3;
+            p.self = id;
+            p.home = kHome;
+            p.requestNet = &req;
+            p.forwardNet = &fwd;
+            p.responseNet = &resp;
+            agents.push_back(std::make_unique<CacheAgent>(
+                "agent" + std::to_string(id), queue, p));
+            CacheAgent* agent = agents.back().get();
+            fwd.connect(id, [agent](const Message& m) { agent->handleForward(m); });
+            resp.connect(id, [agent](const Message& m) { agent->handleResponse(m); });
+        }
+        req.connect(kHome, [this](const Message& m) { home->handleRequest(m); });
+        resp.connect(kHome, [this](const Message& m) { home->handleResponse(m); });
+    }
+
+    /// Final observable value of a line's first word: owner copy wins, then
+    /// any S copy, then memory.
+    std::uint64_t finalWord(Addr base)
+    {
+        for (auto& agent : agents) {
+            const CohState s = agent->stateOf(base);
+            if (isOwner(s)) {
+                std::uint64_t v = 0;
+                agent->forEachLine([&](const CacheAgent::Line& line) {
+                    if (line.base == base)
+                        v = line.data.read(0, 8);
+                });
+                return v;
+            }
+        }
+        return store.readLine(base).read(0, 8);
+    }
+};
+
+struct RandomParam {
+    std::uint64_t seed;
+    int ops;
+};
+
+class CohRandom : public ::testing::TestWithParam<RandomParam> {};
+
+TEST_P(CohRandom, ContendedLinesStayCoherent)
+{
+    Harness h;
+    Rng rng(GetParam().seed);
+    constexpr int kLines = 12;
+    std::map<Addr, std::set<std::uint64_t>> writtenValues;
+    std::uint64_t nextValue = 1;
+
+    for (int i = 0; i < GetParam().ops; ++i) {
+        const Addr base = rng.below(kLines) * kLineSize;
+        auto& agent = *h.agents[rng.below(2)];
+        if (rng.chance(0.5)) {
+            const std::uint64_t value = nextValue++;
+            writtenValues[base].insert(value);
+            h.queue.scheduleAfter(rng.below(200), [&agent, base, value] {
+                agent.access(base, true, [value](CacheAgent::Line& line) {
+                    line.data.write(0, value, 8);
+                });
+            });
+        } else {
+            h.queue.scheduleAfter(rng.below(200), [&agent, base] {
+                agent.access(base, false, [](CacheAgent::Line&) {});
+            });
+        }
+    }
+    h.queue.run();
+
+    ASSERT_TRUE(h.home->quiescent());
+    for (int l = 0; l < kLines; ++l) {
+        const Addr base = static_cast<Addr>(l) * kLineSize;
+        const CohState sa = h.agents[0]->stateOf(base);
+        const CohState sb = h.agents[1]->stateOf(base);
+        EXPECT_TRUE(isStable(sa)) << to_string(sa);
+        EXPECT_TRUE(isStable(sb)) << to_string(sb);
+        // Single-owner and exclusivity invariants.
+        EXPECT_FALSE(isOwner(sa) && isOwner(sb)) << "two owners for line " << l;
+        if (sa == CohState::kMM || sa == CohState::kM) {
+            EXPECT_EQ(sb, CohState::kI);
+        }
+        if (sb == CohState::kMM || sb == CohState::kM) {
+            EXPECT_EQ(sa, CohState::kI);
+        }
+        // No invented data: the final word is zero (never written) or one of
+        // the values some store actually wrote.
+        const std::uint64_t final = h.finalWord(base);
+        if (writtenValues[base].empty()) {
+            EXPECT_EQ(final, 0u);
+        } else {
+            EXPECT_TRUE(writtenValues[base].count(final) == 1)
+                << "line " << l << " holds invented value " << final;
+        }
+    }
+}
+
+TEST_P(CohRandom, PrivateLinesPreserveProgramOrder)
+{
+    Harness h;
+    Rng rng(GetParam().seed * 7919 + 13);
+    constexpr int kLines = 8;
+    // Line l belongs to agent l%2: single-writer, so the last store issued
+    // (in schedule order at one agent, which executes in order of issue
+    // because deferrals replay FIFO per line... we serialize per line by
+    // spacing issues) must be the final value.
+    std::map<Addr, std::uint64_t> lastWritten;
+    Tick when = 0;
+    for (int i = 0; i < GetParam().ops; ++i) {
+        const int l = static_cast<int>(rng.below(kLines));
+        const Addr base = static_cast<Addr>(l) * kLineSize;
+        auto& agent = *h.agents[static_cast<std::size_t>(l % 2)];
+        const std::uint64_t value = 1000 + static_cast<std::uint64_t>(i);
+        when += rng.below(2000); // spaced: each store completes before next
+        lastWritten[base] = value;
+        h.queue.schedule(when, [&agent, base, value] {
+            agent.access(base, true, [value](CacheAgent::Line& line) {
+                line.data.write(0, value, 8);
+            });
+        });
+    }
+    h.queue.run();
+    ASSERT_TRUE(h.home->quiescent());
+    for (const auto& [base, value] : lastWritten)
+        EXPECT_EQ(h.finalWord(base), value) << "line base " << base;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CohRandom,
+                         ::testing::Values(RandomParam{1, 150},
+                                           RandomParam{2, 150},
+                                           RandomParam{3, 300},
+                                           RandomParam{4, 300},
+                                           RandomParam{5, 500},
+                                           RandomParam{6, 500},
+                                           RandomParam{7, 800},
+                                           RandomParam{8, 800}),
+                         [](const ::testing::TestParamInfo<RandomParam>& pinfo) {
+                             return "seed" + std::to_string(pinfo.param.seed) +
+                                    "_ops" + std::to_string(pinfo.param.ops);
+                         });
+
+TEST(CohDeterminism, IdenticalRunsProduceIdenticalFinalStates)
+{
+    auto run = [] {
+        Harness h;
+        Rng rng(42);
+        for (int i = 0; i < 300; ++i) {
+            const Addr base = rng.below(10) * kLineSize;
+            auto& agent = *h.agents[rng.below(2)];
+            const bool isStore = rng.chance(0.5);
+            const std::uint64_t value = static_cast<std::uint64_t>(i);
+            h.queue.scheduleAfter(rng.below(100), [&agent, base, isStore, value] {
+                agent.access(base, isStore, [isStore, value](CacheAgent::Line& l) {
+                    if (isStore)
+                        l.data.write(0, value, 8);
+                });
+            });
+        }
+        h.queue.run();
+        std::vector<std::uint64_t> snapshot;
+        for (int l = 0; l < 10; ++l)
+            snapshot.push_back(h.finalWord(static_cast<Addr>(l) * kLineSize));
+        snapshot.push_back(h.queue.curTick());
+        return snapshot;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace dscoh

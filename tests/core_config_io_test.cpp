@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/config_io.h"
+
+namespace dscoh {
+namespace {
+
+TEST(ConfigIo, AppliesKeysAndComments)
+{
+    SystemConfig cfg;
+    std::string error;
+    const char* text = R"(
+# experiment: tiny GPU
+num-sms = 4
+gpu-l2-size = 0x100000   # 1 MB
+mode = dsonly
+ds-hop-latency = 80
+replacement = tree-plru
+)";
+    ASSERT_TRUE(applyConfigText(text, &cfg, &error)) << error;
+    EXPECT_EQ(cfg.numSms, 4u);
+    EXPECT_EQ(cfg.gpuL2Size, 1u << 20);
+    EXPECT_EQ(cfg.mode, CoherenceMode::kDirectStoreOnly);
+    EXPECT_EQ(cfg.dsNet.hopLatency, 80u);
+    EXPECT_EQ(cfg.replacement, ReplacementKind::kTreePlru);
+}
+
+TEST(ConfigIo, RejectsUnknownKeyWithLineNumber)
+{
+    SystemConfig cfg;
+    std::string error;
+    EXPECT_FALSE(applyConfigText("num-sms = 4\nbogus-key = 1\n", &cfg, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+    EXPECT_NE(error.find("bogus-key"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsBadValues)
+{
+    SystemConfig cfg;
+    std::string error;
+    EXPECT_FALSE(applyConfigText("num-sms = lots\n", &cfg, &error));
+    EXPECT_FALSE(applyConfigText("mode = turbo\n", &cfg, &error));
+    EXPECT_FALSE(applyConfigText("just a line\n", &cfg, &error));
+}
+
+TEST(ConfigIo, DumpRoundTrips)
+{
+    SystemConfig original;
+    original.numSms = 8;
+    original.mode = CoherenceMode::kDirectStore;
+    original.gpuL2PrefetchDepth = 3;
+    original.dsMinBytes = 4096;
+    original.coherenceNet.hopLatency = 55;
+    original.replacement = ReplacementKind::kRandom;
+
+    const std::string text = dumpConfig(original);
+    SystemConfig restored;
+    std::string error;
+    ASSERT_TRUE(applyConfigText(text, &restored, &error)) << error;
+    EXPECT_EQ(restored.numSms, original.numSms);
+    EXPECT_EQ(restored.mode, original.mode);
+    EXPECT_EQ(restored.gpuL2PrefetchDepth, original.gpuL2PrefetchDepth);
+    EXPECT_EQ(restored.dsMinBytes, original.dsMinBytes);
+    EXPECT_EQ(restored.coherenceNet.hopLatency,
+              original.coherenceNet.hopLatency);
+    EXPECT_EQ(restored.replacement, original.replacement);
+}
+
+TEST(ConfigIo, LoadsFromFile)
+{
+    const std::string path = "/tmp/dscoh_test_config.cfg";
+    {
+        std::ofstream out(path);
+        out << "num-sms = 2\nmem-channels = 2\n";
+    }
+    SystemConfig cfg;
+    std::string error;
+    ASSERT_TRUE(loadConfigFile(path, &cfg, &error)) << error;
+    EXPECT_EQ(cfg.numSms, 2u);
+    EXPECT_EQ(cfg.memChannels, 2u);
+    EXPECT_FALSE(loadConfigFile("/no/such/file.cfg", &cfg, &error));
+}
+
+TEST(ConfigIo, DumpedDefaultsBuildTableISystem)
+{
+    SystemConfig cfg;
+    std::string error;
+    ASSERT_TRUE(applyConfigText(dumpConfig(SystemConfig{}), &cfg, &error));
+    EXPECT_EQ(cfg.cpuL2Size, 2u * 1024 * 1024);
+    EXPECT_EQ(cfg.numSms, 16u);
+    EXPECT_EQ(cfg.gpuL2Slices, 4u);
+}
+
+} // namespace
+} // namespace dscoh

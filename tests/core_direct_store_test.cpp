@@ -1,0 +1,166 @@
+// End-to-end producer/consumer runs: the CPU produces an array, the GPU
+// consumes it, under both coherence schemes. These tests pin down the
+// paper's headline mechanism: data correctness in both modes, the GPU L2
+// miss-rate reduction, the compulsory-miss elimination, and the
+// DS-never-hurts property on the execution time.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace dscoh {
+namespace {
+
+SystemConfig testConfig(CoherenceMode mode)
+{
+    SystemConfig cfg = SystemConfig::paper(mode);
+    cfg.numSms = 4; // keep tests quick; benches use the full 16
+    return cfg;
+}
+
+struct ProducerConsumerResult {
+    RunMetrics metrics;
+    std::vector<std::string> violations;
+};
+
+/// CPU stores kWords 8-byte values into a shared array, then a GPU kernel
+/// loads and checks every one of them.
+ProducerConsumerResult runProducerConsumer(CoherenceMode mode,
+                                           std::uint32_t words,
+                                           std::uint32_t blocks,
+                                           std::uint32_t threadsPerBlock)
+{
+    System sys(testConfig(mode));
+    const Addr array = sys.allocateArray(words * 8ull, /*gpuShared=*/true);
+
+    CpuProgram produce;
+    for (std::uint32_t i = 0; i < words; ++i)
+        produce.push_back(cpuStore(array + i * 8ull, 0xd00d0000ull + i, 8));
+    produce.push_back(cpuFence());
+
+    KernelDesc kernel;
+    kernel.name = "consume";
+    kernel.blocks = blocks;
+    kernel.threadsPerBlock = threadsPerBlock;
+    const std::uint32_t totalThreads = blocks * threadsPerBlock;
+    kernel.body = [array, words, totalThreads, threadsPerBlock](
+                      ThreadBuilder& t, std::uint32_t block,
+                      std::uint32_t thread) {
+        // Grid-stride loop over the array, each thread checks its words.
+        for (std::uint32_t i = block * threadsPerBlock + thread; i < words;
+             i += totalThreads) {
+            t.ldCheck(array + i * 8ull, 0xd00d0000ull + i, 8);
+            t.compute(4);
+        }
+    };
+
+    sys.runCpuProgram(produce, [&sys, &kernel] {
+        sys.launchKernel(kernel, [] {});
+    });
+    sys.simulate();
+
+    ProducerConsumerResult result;
+    result.metrics = sys.metrics();
+    result.violations = sys.checkCoherenceInvariants();
+    return result;
+}
+
+TEST(DirectStoreEndToEnd, GpuSeesCpuDataUnderCcsm)
+{
+    const auto r = runProducerConsumer(CoherenceMode::kCcsm, 2048, 8, 128);
+    EXPECT_EQ(r.metrics.checkFailures, 0u);
+    EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+    EXPECT_GT(r.metrics.gpuL2Accesses, 0u);
+}
+
+TEST(DirectStoreEndToEnd, GpuSeesCpuDataUnderDirectStore)
+{
+    const auto r = runProducerConsumer(CoherenceMode::kDirectStore, 2048, 8, 128);
+    EXPECT_EQ(r.metrics.checkFailures, 0u);
+    EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+    EXPECT_GT(r.metrics.dsFills, 0u);
+}
+
+TEST(DirectStoreEndToEnd, DirectStoreReducesGpuL2Misses)
+{
+    const auto ccsm = runProducerConsumer(CoherenceMode::kCcsm, 4096, 8, 128);
+    const auto ds = runProducerConsumer(CoherenceMode::kDirectStore, 4096, 8, 128);
+    EXPECT_LT(ds.metrics.gpuL2Misses, ccsm.metrics.gpuL2Misses)
+        << "pushed data must pre-fill the GPU L2";
+    EXPECT_LT(ds.metrics.gpuL2MissRate, ccsm.metrics.gpuL2MissRate);
+}
+
+TEST(DirectStoreEndToEnd, DirectStoreEliminatesCompulsoryMisses)
+{
+    const auto ccsm = runProducerConsumer(CoherenceMode::kCcsm, 4096, 8, 128);
+    const auto ds = runProducerConsumer(CoherenceMode::kDirectStore, 4096, 8, 128);
+    EXPECT_GT(ccsm.metrics.gpuL2Compulsory, 0u);
+    EXPECT_LT(ds.metrics.gpuL2Compulsory, ccsm.metrics.gpuL2Compulsory / 4)
+        << "first GPU touches should hit pre-pushed lines";
+}
+
+TEST(DirectStoreEndToEnd, DirectStoreIsFasterOnProducerConsumer)
+{
+    const auto ccsm = runProducerConsumer(CoherenceMode::kCcsm, 4096, 8, 128);
+    const auto ds = runProducerConsumer(CoherenceMode::kDirectStore, 4096, 8, 128);
+    EXPECT_LT(ds.metrics.ticks, ccsm.metrics.ticks)
+        << "the paper's mechanism must win on its motivating pattern";
+}
+
+TEST(DirectStoreEndToEnd, GpuStoresVisibleToCpuAfterKernel)
+{
+    // Reverse direction: GPU writes, CPU reads back (result arrays).
+    for (const CoherenceMode mode :
+         {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}) {
+        System sys(testConfig(mode));
+        constexpr std::uint32_t kWords = 512;
+        const Addr out = sys.allocateArray(kWords * 8ull, true);
+
+        KernelDesc kernel;
+        kernel.name = "produce_gpu";
+        kernel.blocks = 4;
+        kernel.threadsPerBlock = 128;
+        kernel.body = [out](ThreadBuilder& t, std::uint32_t block,
+                            std::uint32_t thread) {
+            const std::uint32_t i = block * 128 + thread;
+            if (i < kWords)
+                t.st(out + i * 8ull, 0xcafe0000ull + i, 8);
+        };
+
+        CpuProgram readBack;
+        for (std::uint32_t i = 0; i < kWords; ++i)
+            readBack.push_back(cpuLoadCheck(out + i * 8ull, 0xcafe0000ull + i, 8));
+
+        bool kernelDone = false;
+        sys.launchKernel(kernel, [&] {
+            kernelDone = true;
+            sys.runCpuProgram(readBack, [] {});
+        });
+        sys.simulate();
+        EXPECT_TRUE(kernelDone);
+        EXPECT_EQ(sys.metrics().checkFailures, 0u)
+            << "mode " << to_string(mode);
+        const auto violations = sys.checkCoherenceInvariants();
+        EXPECT_TRUE(violations.empty())
+            << to_string(mode) << ": " << violations.front();
+    }
+}
+
+TEST(DirectStoreEndToEnd, RepeatedRunsAreDeterministic)
+{
+    const auto a = runProducerConsumer(CoherenceMode::kDirectStore, 1024, 4, 64);
+    const auto b = runProducerConsumer(CoherenceMode::kDirectStore, 1024, 4, 64);
+    EXPECT_EQ(a.metrics.ticks, b.metrics.ticks);
+    EXPECT_EQ(a.metrics.gpuL2Misses, b.metrics.gpuL2Misses);
+    EXPECT_EQ(a.metrics.coherenceMessages, b.metrics.coherenceMessages);
+}
+
+TEST(DirectStoreEndToEnd, DsReducesCoherenceTraffic)
+{
+    const auto ccsm = runProducerConsumer(CoherenceMode::kCcsm, 4096, 8, 128);
+    const auto ds = runProducerConsumer(CoherenceMode::kDirectStore, 4096, 8, 128);
+    EXPECT_LT(ds.metrics.coherenceMessages, ccsm.metrics.coherenceMessages)
+        << "direct pushes bypass most of the coherence message exchange";
+}
+
+} // namespace
+} // namespace dscoh

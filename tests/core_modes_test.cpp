@@ -1,0 +1,132 @@
+// Tests for the SIII-H operating modes: direct store as a full CCSM
+// replacement (kDirectStoreOnly) and the hybrid size-threshold policy.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workloads/runner.h"
+
+namespace dscoh {
+namespace {
+
+SystemConfig smallCfg(CoherenceMode mode)
+{
+    SystemConfig cfg = SystemConfig::paper(mode);
+    cfg.numSms = 4;
+    return cfg;
+}
+
+TEST(ReplacementMode, SharedDataAlwaysInDsRegion)
+{
+    SystemConfig cfg = smallCfg(CoherenceMode::kDirectStoreOnly);
+    cfg.dsMinBytes = 1 << 30; // threshold must be ignored: no CCSM fallback
+    System sys(cfg);
+    EXPECT_TRUE(inDsRegion(sys.allocateArray(64, true)));
+    EXPECT_FALSE(inDsRegion(sys.allocateArray(64, false)));
+}
+
+TEST(ReplacementMode, ProducerConsumerWorksWithoutSnooping)
+{
+    System sys(smallCfg(CoherenceMode::kDirectStoreOnly));
+    constexpr std::uint32_t kWords = 2048;
+    const Addr arr = sys.allocateArray(kWords * 4, true);
+
+    CpuProgram produce;
+    for (std::uint32_t i = 0; i < kWords; ++i)
+        produce.push_back(cpuStore(arr + i * 4ull, producedValue(arr + i * 4ull), 4));
+    produce.push_back(cpuFence());
+
+    KernelDesc k;
+    k.name = "consume";
+    k.blocks = 8;
+    k.threadsPerBlock = 256;
+    k.body = [arr](ThreadBuilder& t, std::uint32_t b, std::uint32_t tid) {
+        const std::uint32_t i = b * 256 + tid;
+        t.ldCheck(arr + i * 4ull, producedValue(arr + i * 4ull), 4);
+    };
+    sys.runCpuProgram(produce, [&] { sys.launchKernel(k, [] {}); });
+    sys.simulate();
+    EXPECT_EQ(sys.metrics().checkFailures, 0u);
+    EXPECT_TRUE(sys.checkCoherenceInvariants().empty());
+    // The whole point: no snoops ever crossed the chip.
+    EXPECT_EQ(sys.stats().counter("home.snoops_sent"), 0u);
+}
+
+TEST(ReplacementMode, RunsEveryWorkloadVerified)
+{
+    for (const char* code : {"VA", "NN", "PT", "BF", "HT"}) {
+        const auto r = runWorkload(WorkloadRegistry::instance().get(code),
+                                   InputSize::kSmall,
+                                   CoherenceMode::kDirectStoreOnly);
+        EXPECT_EQ(r.metrics.checkFailures, 0u) << code;
+        EXPECT_TRUE(r.violations.empty()) << code;
+    }
+}
+
+TEST(ReplacementMode, FewerCoherenceMessagesThanCcsm)
+{
+    const auto& w = WorkloadRegistry::instance().get("VA");
+    const auto ccsm = runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
+    const auto only =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kDirectStoreOnly);
+    EXPECT_LT(only.metrics.coherenceMessages + only.metrics.dsNetworkMessages,
+              ccsm.metrics.coherenceMessages)
+        << "SIII-H: simpler protocol must mean fewer messages";
+}
+
+TEST(ReplacementMode, PerformanceComparableToDirectStore)
+{
+    const auto& w = WorkloadRegistry::instance().get("NN");
+    const auto ds =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kDirectStore);
+    const auto only =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kDirectStoreOnly);
+    EXPECT_LT(static_cast<double>(only.metrics.ticks),
+              static_cast<double>(ds.metrics.ticks) * 1.05);
+}
+
+TEST(HybridPolicy, ThresholdSplitsAllocations)
+{
+    SystemConfig cfg = smallCfg(CoherenceMode::kDirectStore);
+    cfg.dsMinBytes = 64 * 1024;
+    System sys(cfg);
+    EXPECT_FALSE(inDsRegion(sys.allocateArray(4 * 1024, true)))
+        << "small shared arrays stay on CCSM under the hybrid policy";
+    EXPECT_TRUE(inDsRegion(sys.allocateArray(256 * 1024, true)));
+    EXPECT_FALSE(inDsRegion(sys.allocateArray(256 * 1024, false)))
+        << "private arrays never move regardless of size";
+}
+
+TEST(HybridPolicy, MixedAllocationRunsVerified)
+{
+    SystemConfig cfg;
+    cfg.dsMinBytes = 64 * 1024; // BP: weights (384 KB) pushed, input (6 KB) not
+    const auto r = runWorkload(WorkloadRegistry::instance().get("BP"),
+                               InputSize::kSmall, CoherenceMode::kDirectStore,
+                               cfg);
+    EXPECT_EQ(r.metrics.checkFailures, 0u);
+    EXPECT_GT(r.metrics.dsFills, 0u) << "the big array must still be pushed";
+}
+
+TEST(HybridPolicy, LargeThresholdDegradesToCcsm)
+{
+    SystemConfig cfg;
+    cfg.dsMinBytes = 1ull << 30;
+    const auto ds = runWorkload(WorkloadRegistry::instance().get("VA"),
+                                InputSize::kSmall, CoherenceMode::kDirectStore,
+                                cfg);
+    const auto ccsm = runWorkload(WorkloadRegistry::instance().get("VA"),
+                                  InputSize::kSmall, CoherenceMode::kCcsm);
+    EXPECT_EQ(ds.metrics.dsFills, 0u);
+    EXPECT_EQ(ds.metrics.ticks, ccsm.metrics.ticks)
+        << "nothing crosses the threshold: both runs are the same machine";
+}
+
+TEST(ModeNames, AllPrintable)
+{
+    EXPECT_STREQ(to_string(CoherenceMode::kCcsm), "CCSM");
+    EXPECT_STREQ(to_string(CoherenceMode::kDirectStore), "DirectStore");
+    EXPECT_STREQ(to_string(CoherenceMode::kDirectStoreOnly), "DirectStoreOnly");
+}
+
+} // namespace
+} // namespace dscoh

@@ -1,0 +1,153 @@
+// Edge paths of the CPU core: fence semantics with mixed local/remote
+// stores, store-buffer backpressure, RSB partial-coverage loads (the
+// uncached-read ordering path), and TLB-walk latency visibility.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace dscoh {
+namespace {
+
+SystemConfig cfg(CoherenceMode mode)
+{
+    SystemConfig c = SystemConfig::paper(mode);
+    c.numSms = 1;
+    return c;
+}
+
+Tick run(System& sys, const CpuProgram& prog)
+{
+    bool done = false;
+    sys.runCpuProgram(prog, [&done] { done = true; });
+    const Tick t = sys.simulate();
+    EXPECT_TRUE(done);
+    return t;
+}
+
+TEST(CpuCoreEdge, FenceDrainsMixedLocalAndRemoteStores)
+{
+    System sys(cfg(CoherenceMode::kDirectStore));
+    const Addr localArr = sys.allocateArray(4096, false);
+    const Addr remoteArr = sys.allocateArray(4096, true);
+
+    CpuProgram prog;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        prog.push_back(cpuStore(localArr + i * 4ull, i, 4));
+        prog.push_back(cpuStore(remoteArr + i * 4ull, i * 2ull, 4));
+    }
+    prog.push_back(cpuFence());
+    // After the fence everything is globally performed: checked loads.
+    for (std::uint32_t i = 0; i < 64; i += 7) {
+        prog.push_back(cpuLoadCheck(localArr + i * 4ull, i, 4));
+        prog.push_back(cpuLoadCheck(remoteArr + i * 4ull, i * 2ull, 4));
+    }
+    run(sys, prog);
+    EXPECT_EQ(sys.cpu().checkFailures(), 0u);
+    EXPECT_GT(sys.cpu().remoteStores(), 0u);
+}
+
+TEST(CpuCoreEdge, StoreBufferBackpressureStallsButCompletes)
+{
+    SystemConfig c = cfg(CoherenceMode::kCcsm);
+    c.storeBufferEntries = 2; // tiny buffer: force stalls
+    System sys(c);
+    const Addr arr = sys.allocateArray(64 * kLineSize, false);
+
+    CpuProgram prog;
+    // Every store hits a different line: each needs its own buffer entry.
+    for (std::uint32_t i = 0; i < 64; ++i)
+        prog.push_back(cpuStore(arr + static_cast<Addr>(i) * kLineSize, i, 4));
+    prog.push_back(cpuFence());
+    for (std::uint32_t i = 0; i < 64; i += 5)
+        prog.push_back(
+            cpuLoadCheck(arr + static_cast<Addr>(i) * kLineSize, i, 4));
+    run(sys, prog);
+    EXPECT_EQ(sys.cpu().checkFailures(), 0u);
+}
+
+TEST(CpuCoreEdge, PartiallyCoveredUncachedLoadDrainsTheRsbFirst)
+{
+    System sys(cfg(CoherenceMode::kDirectStore));
+    const Addr arr = sys.allocateArray(4096, true);
+
+    CpuProgram prog;
+    // One 4-byte store sits in the write-combining buffer; the 4-byte load
+    // at a *different* offset of the same line is only partially covered,
+    // which must flush the entry and then read through the slice.
+    prog.push_back(cpuStore(arr + 0, 0x11, 4));
+    prog.push_back(cpuLoadCheck(arr + 8, 0, 4)); // untouched bytes are zero
+    prog.push_back(cpuLoadCheck(arr + 0, 0x11, 4));
+    run(sys, prog);
+    EXPECT_EQ(sys.cpu().checkFailures(), 0u);
+    EXPECT_GE(sys.stats().counter("cpu.core.uc_reads"), 1u);
+}
+
+TEST(CpuCoreEdge, TlbWalksShowUpInTime)
+{
+    SystemConfig fast = cfg(CoherenceMode::kCcsm);
+    fast.tlb.walkLatency = 0;
+    SystemConfig slow = cfg(CoherenceMode::kCcsm);
+    slow.tlb.walkLatency = 500;
+
+    const auto timeOf = [](SystemConfig c) {
+        System sys(c);
+        // 16 pages touched once each: 16 walks.
+        const Addr arr = sys.allocateArray(16 * kPageSize, false);
+        CpuProgram prog;
+        for (std::uint32_t p = 0; p < 16; ++p)
+            prog.push_back(cpuStore(arr + static_cast<Addr>(p) * kPageSize, p, 4));
+        prog.push_back(cpuFence());
+        bool done = false;
+        sys.runCpuProgram(prog, [&done] { done = true; });
+        const Tick t = sys.simulate();
+        EXPECT_TRUE(done);
+        return t;
+    };
+    const Tick tFast = timeOf(fast);
+    const Tick tSlow = timeOf(slow);
+    EXPECT_GE(tSlow, tFast + 16 * 500 - 500)
+        << "each first touch of a page pays the walk";
+}
+
+TEST(CpuCoreEdge, RemoteStoreSmallSizesCombineCorrectly)
+{
+    System sys(cfg(CoherenceMode::kDirectStore));
+    const Addr arr = sys.allocateArray(kLineSize * 4, true);
+    CpuProgram prog;
+    // Mixed 1/2/4-byte stores across one line, then verify each byte view.
+    prog.push_back(cpuStore(arr + 0, 0xaa, 1));
+    prog.push_back(cpuStore(arr + 1, 0xbb, 1));
+    prog.push_back(cpuStore(arr + 2, 0xcdef, 2));
+    prog.push_back(cpuStore(arr + 4, 0x11223344, 4));
+    prog.push_back(cpuFence());
+    prog.push_back(cpuLoadCheck(arr + 0, 0xaa, 1));
+    prog.push_back(cpuLoadCheck(arr + 1, 0xbb, 1));
+    prog.push_back(cpuLoadCheck(arr + 2, 0xcdef, 2));
+    prog.push_back(cpuLoadCheck(arr + 4, 0x11223344, 4));
+    run(sys, prog);
+    EXPECT_EQ(sys.cpu().checkFailures(), 0u);
+}
+
+TEST(CpuCoreEdge, BackToBackProgramsReuseTheCore)
+{
+    System sys(cfg(CoherenceMode::kCcsm));
+    const Addr arr = sys.allocateArray(1024, false);
+    CpuProgram first;
+    first.push_back(cpuStore(arr, 1, 4));
+    first.push_back(cpuFence());
+    CpuProgram second;
+    second.push_back(cpuLoadCheck(arr, 1, 4));
+
+    int done = 0;
+    sys.runCpuProgram(first, [&] {
+        ++done;
+        sys.runCpuProgram(second, [&] { ++done; });
+    });
+    sys.simulate();
+    EXPECT_EQ(done, 2);
+    EXPECT_TRUE(sys.cpu().idle());
+    EXPECT_EQ(sys.cpu().checkFailures(), 0u);
+}
+
+} // namespace
+} // namespace dscoh

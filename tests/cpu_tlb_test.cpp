@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "cpu/tlb.h"
+#include "sim/event_queue.h"
+#include "vm/address_space.h"
+
+namespace dscoh {
+namespace {
+
+struct TlbFixture : ::testing::Test {
+    EventQueue queue;
+    AddressSpace space{64ull << 20};
+    Tlb::Params params{4, 80}; // tiny TLB to exercise eviction
+    Tlb tlb{"tlb", queue, space, params};
+};
+
+TEST_F(TlbFixture, MissThenHit)
+{
+    const Addr va = space.heapAlloc(kPageSize);
+    const TlbResult miss = tlb.translate(va);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.latency, params.walkLatency);
+    const TlbResult hit = tlb.translate(va + 8);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.latency, 0u);
+    EXPECT_EQ(hit.translation.paddr, miss.translation.paddr + 8);
+}
+
+TEST_F(TlbFixture, DetectsDsRegionHighOrderBits)
+{
+    const Addr heap = space.heapAlloc(kPageSize);
+    const Addr ds = space.dsMmap(kPageSize);
+    EXPECT_FALSE(tlb.translate(heap).translation.dsRegion);
+    EXPECT_TRUE(tlb.translate(ds).translation.dsRegion);
+    StatRegistry reg;
+    tlb.regStats(reg);
+    EXPECT_EQ(reg.counter("tlb.ds_detections"), 1u);
+}
+
+TEST_F(TlbFixture, LruEvictionAtCapacity)
+{
+    const Addr va = space.heapAlloc(6 * kPageSize);
+    for (int p = 0; p < 4; ++p)
+        tlb.translate(va + static_cast<Addr>(p) * kPageSize);
+    // Touch page 0 so page 1 is LRU, then insert a 5th page.
+    EXPECT_TRUE(tlb.translate(va).hit);
+    tlb.translate(va + 4 * kPageSize); // evicts page 1
+    EXPECT_TRUE(tlb.translate(va).hit);
+    EXPECT_FALSE(tlb.translate(va + kPageSize).hit) << "page 1 was evicted";
+    // Re-inserting page 1 evicted page 2 (the then-LRU); page 3 survived.
+    EXPECT_TRUE(tlb.translate(va + 3 * kPageSize).hit);
+}
+
+TEST_F(TlbFixture, FlushDropsEverything)
+{
+    const Addr va = space.heapAlloc(kPageSize);
+    tlb.translate(va);
+    tlb.flush();
+    EXPECT_FALSE(tlb.translate(va).hit);
+}
+
+TEST_F(TlbFixture, UnmappedAddressPropagatesThrow)
+{
+    EXPECT_THROW(tlb.translate(0xdeadbeef000), std::out_of_range);
+}
+
+TEST_F(TlbFixture, HitAndMissCountersTrack)
+{
+    const Addr va = space.heapAlloc(kPageSize);
+    tlb.translate(va);
+    tlb.translate(va);
+    tlb.translate(va + 100);
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_EQ(tlb.hits(), 2u);
+}
+
+} // namespace
+} // namespace dscoh

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_l1.h"
+
+namespace dscoh {
+namespace {
+
+CacheGeometry l1Geom()
+{
+    CacheGeometry g;
+    g.sizeBytes = 16 * 1024; // Table I GPU L1
+    g.ways = 4;
+    return g;
+}
+
+TEST(GpuL1, MissThenHitAfterFill)
+{
+    GpuL1 l1(l1Geom());
+    EXPECT_EQ(l1.lookup(0x1000), nullptr);
+    DataBlock d;
+    d.write(0, 42, 8);
+    l1.fill(0x1000, d);
+    auto* line = l1.lookup(0x1000);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->data.read(0, 8), 42u);
+    EXPECT_EQ(l1.hits(), 1u);
+    EXPECT_EQ(l1.misses(), 1u);
+}
+
+TEST(GpuL1, FillReplacesWhenSetFull)
+{
+    GpuL1 l1(l1Geom());
+    // 32 sets x 4 ways; these five addresses collide in one set.
+    const Addr stride = 32 * kLineSize;
+    DataBlock d;
+    for (int i = 0; i < 5; ++i)
+        l1.fill(static_cast<Addr>(i) * stride, d);
+    int present = 0;
+    for (int i = 0; i < 5; ++i)
+        present += l1.lookup(static_cast<Addr>(i) * stride) != nullptr ? 1 : 0;
+    EXPECT_EQ(present, 4) << "exactly one victim must have been replaced";
+}
+
+TEST(GpuL1, StoreUpdateOnlyWhenPresent)
+{
+    GpuL1 l1(l1Geom());
+    DataBlock update;
+    update.write(8, 0x77, 8);
+    ByteMask mask;
+    mask.set(8, 8);
+
+    // Absent: no-allocate, nothing happens.
+    l1.storeUpdate(0x2000, update, mask);
+    EXPECT_EQ(l1.lookup(0x2000), nullptr);
+
+    // Present: bytes merge.
+    DataBlock base;
+    base.write(0, 0x11, 8);
+    l1.fill(0x3000, base);
+    l1.storeUpdate(0x3000, update, mask);
+    auto* line = l1.lookup(0x3000);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->data.read(0, 8), 0x11u);
+    EXPECT_EQ(line->data.read(8, 8), 0x77u);
+}
+
+TEST(GpuL1, FlashInvalidateEmptiesCache)
+{
+    GpuL1 l1(l1Geom());
+    DataBlock d;
+    for (int i = 0; i < 16; ++i)
+        l1.fill(static_cast<Addr>(i) * kLineSize, d);
+    l1.flashInvalidate();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(l1.lookup(static_cast<Addr>(i) * kLineSize), nullptr);
+}
+
+TEST(GpuL1, FillOfPresentLineUpdatesData)
+{
+    GpuL1 l1(l1Geom());
+    DataBlock first;
+    first.write(0, 1, 8);
+    DataBlock second;
+    second.write(0, 2, 8);
+    l1.fill(0x4000, first);
+    l1.fill(0x4000, second);
+    auto* line = l1.lookup(0x4000);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->data.read(0, 8), 2u);
+}
+
+TEST(GpuL1, StatsRegistered)
+{
+    GpuL1 l1(l1Geom());
+    StatRegistry reg;
+    l1.regStats(reg, "gpu.sm0.l1");
+    l1.lookup(0);
+    l1.flashInvalidate();
+    EXPECT_EQ(reg.counter("gpu.sm0.l1.misses"), 1u);
+    EXPECT_EQ(reg.counter("gpu.sm0.l1.flash_invalidates"), 1u);
+}
+
+} // namespace
+} // namespace dscoh

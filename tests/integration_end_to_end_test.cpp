@@ -1,0 +1,211 @@
+// Cross-module integration tests: translator output feeding the simulated
+// allocator, multi-kernel pipelines, CPU<->GPU round trips under both
+// schemes, and the full workload runner.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "translate/translator.h"
+#include "workloads/runner.h"
+
+namespace dscoh {
+namespace {
+
+SystemConfig cfg(CoherenceMode mode)
+{
+    SystemConfig c = SystemConfig::paper(mode);
+    c.numSms = 4;
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// Translator -> simulator: the addresses the source translator assigns are
+// directly usable as MAP_FIXED mappings, and a program using them runs with
+// full verification under direct store.
+// ---------------------------------------------------------------------------
+TEST(Integration, TranslatedAllocationsDriveTheSimulator)
+{
+    const char* source = R"cuda(
+#define N 2048
+__global__ void consume(float* data);
+int main() {
+    float* data;
+    data = (float*)malloc(N * sizeof(float));
+    consume<<<8, 256>>>(data);
+}
+)cuda";
+    xlate::SourceTranslator translator;
+    const auto result = translator.translateSource(source);
+    ASSERT_EQ(result.allocations.size(), 1u);
+    const auto& alloc = result.allocations[0];
+    ASSERT_TRUE(alloc.sizeKnown);
+    ASSERT_EQ(alloc.bytes, 2048u * 4);
+
+    System sys(cfg(CoherenceMode::kDirectStore));
+    // MAP_FIXED at the translator-assigned address.
+    const Addr va = sys.addressSpace().dsMmapFixed(alloc.address, alloc.bytes);
+    ASSERT_TRUE(inDsRegion(va));
+
+    CpuProgram produce;
+    for (std::uint32_t i = 0; i < 2048; ++i)
+        produce.push_back(cpuStore(va + i * 4ull, producedValue(va + i * 4ull), 4));
+    produce.push_back(cpuFence());
+
+    KernelDesc k;
+    k.name = "consume";
+    k.blocks = 8;
+    k.threadsPerBlock = 256;
+    k.body = [va](ThreadBuilder& t, std::uint32_t b, std::uint32_t tid) {
+        const std::uint32_t i = b * 256 + tid;
+        t.ldCheck(va + i * 4ull, producedValue(va + i * 4ull), 4);
+    };
+
+    sys.runCpuProgram(produce, [&] { sys.launchKernel(k, [] {}); });
+    sys.simulate();
+    EXPECT_EQ(sys.metrics().checkFailures, 0u);
+    EXPECT_GT(sys.metrics().dsFills, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ping-pong: CPU produce -> kernel A transforms -> kernel B verifies A's
+// output -> CPU reads the final result, under both schemes.
+// ---------------------------------------------------------------------------
+TEST(Integration, MultiKernelPipelineBothModes)
+{
+    for (const CoherenceMode mode :
+         {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}) {
+        System sys(cfg(mode));
+        constexpr std::uint32_t kN = 1024;
+        const Addr a = sys.allocateArray(kN * 4, true);
+        const Addr b = sys.allocateArray(kN * 4, true);
+
+        CpuProgram produce;
+        for (std::uint32_t i = 0; i < kN; ++i)
+            produce.push_back(cpuStore(a + i * 4ull, i + 7, 4));
+        produce.push_back(cpuFence());
+
+        KernelDesc ka;
+        ka.name = "transform";
+        ka.blocks = 4;
+        ka.threadsPerBlock = 256;
+        ka.body = [a, b](ThreadBuilder& t, std::uint32_t blk, std::uint32_t tid) {
+            const std::uint32_t i = blk * 256 + tid;
+            t.ldCheck(a + i * 4ull, i + 7, 4);
+            t.compute(2);
+            t.st(b + i * 4ull, (i + 7) * 2ull, 4);
+        };
+        KernelDesc kb;
+        kb.name = "verify";
+        kb.blocks = 4;
+        kb.threadsPerBlock = 256;
+        kb.body = [b](ThreadBuilder& t, std::uint32_t blk, std::uint32_t tid) {
+            const std::uint32_t i = blk * 256 + tid;
+            t.ldCheck(b + i * 4ull, (i + 7) * 2ull, 4);
+        };
+
+        CpuProgram readBack;
+        for (std::uint32_t i = 0; i < kN; i += 128)
+            readBack.push_back(cpuLoadCheck(b + i * 4ull, (i + 7) * 2ull, 4));
+
+        sys.runCpuProgram(produce, [&] {
+            sys.launchKernel(ka, [&] {
+                sys.launchKernel(kb, [&] {
+                    sys.runCpuProgram(readBack, [] {});
+                });
+            });
+        });
+        sys.simulate();
+        EXPECT_EQ(sys.metrics().checkFailures, 0u) << to_string(mode);
+        const auto violations = sys.checkCoherenceInvariants();
+        EXPECT_TRUE(violations.empty())
+            << to_string(mode) << ": " << violations.front();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The workload runner end to end, on representative registry entries.
+// ---------------------------------------------------------------------------
+TEST(Integration, RunnerExecutesRepresentativeWorkloads)
+{
+    for (const char* code : {"VA", "PT", "BF"}) {
+        const auto cmp =
+            compareModes(WorkloadRegistry::instance().get(code),
+                         InputSize::kSmall);
+        EXPECT_EQ(cmp.ccsm.metrics.checkFailures, 0u) << code;
+        EXPECT_EQ(cmp.directStore.metrics.checkFailures, 0u) << code;
+        EXPECT_TRUE(cmp.ccsm.violations.empty()) << code;
+        EXPECT_TRUE(cmp.directStore.violations.empty()) << code;
+        EXPECT_GT(cmp.ccsm.metrics.gpuL2Accesses, 0u) << code;
+    }
+}
+
+TEST(Integration, DirectStoreWinsOnStreamingLosesNothingOnPt)
+{
+    const auto va = compareModes(WorkloadRegistry::instance().get("VA"),
+                                 InputSize::kSmall);
+    EXPECT_GT(va.speedup(), 1.05) << "VA must gain well over 5%";
+
+    const auto pt = compareModes(WorkloadRegistry::instance().get("PT"),
+                                 InputSize::kSmall);
+    EXPECT_NEAR(pt.speedup(), 1.0, 0.02)
+        << "PT has no CPU-produced GPU data: speedup ~0, and no harm";
+}
+
+TEST(Integration, UncachedCpuReadsSeeGpuWrites)
+{
+    // DS region is never CPU-cached; CPU loads round-trip to the slice.
+    System sys(cfg(CoherenceMode::kDirectStore));
+    const Addr arr = sys.allocateArray(256 * 4, true);
+    KernelDesc k;
+    k.name = "writer";
+    k.blocks = 1;
+    k.threadsPerBlock = 256;
+    k.body = [arr](ThreadBuilder& t, std::uint32_t, std::uint32_t tid) {
+        t.st(arr + tid * 4ull, tid ^ 0x5a, 4);
+    };
+    CpuProgram readBack;
+    for (std::uint32_t i = 0; i < 256; ++i)
+        readBack.push_back(cpuLoadCheck(arr + i * 4ull, i ^ 0x5a, 4));
+    sys.launchKernel(k, [&] { sys.runCpuProgram(readBack, [] {}); });
+    sys.simulate();
+    EXPECT_EQ(sys.metrics().checkFailures, 0u);
+    EXPECT_GT(sys.stats().counter("cpu.core.uc_reads"), 0u);
+    EXPECT_EQ(sys.cpuCache().stateOf(
+                  sys.addressSpace().translate(arr).paddr),
+              CohState::kI)
+        << "the DS region must never be cached on the CPU";
+}
+
+TEST(Integration, MixedHeapAndDsTrafficStaysCoherent)
+{
+    System sys(cfg(CoherenceMode::kDirectStore));
+    const Addr heap = sys.allocateArray(16 * 1024, false); // CPU-private
+    const Addr shared = sys.allocateArray(16 * 1024, true);
+
+    CpuProgram prog;
+    for (std::uint32_t i = 0; i < 2048; ++i) {
+        prog.push_back(cpuStore(heap + (i % 512) * 4ull, i, 4));
+        prog.push_back(cpuStore(shared + i * 4ull, i * 5ull, 4));
+    }
+    prog.push_back(cpuFence());
+    for (std::uint32_t i = 0; i < 2048; i += 97) {
+        prog.push_back(cpuLoadCheck(shared + i * 4ull, i * 5ull, 4));
+    }
+
+    KernelDesc k;
+    k.name = "consume_shared";
+    k.blocks = 8;
+    k.threadsPerBlock = 256;
+    k.body = [shared](ThreadBuilder& t, std::uint32_t b, std::uint32_t tid) {
+        const std::uint32_t i = b * 256 + tid;
+        t.ldCheck(shared + i * 4ull, i * 5ull, 4);
+    };
+
+    sys.runCpuProgram(prog, [&] { sys.launchKernel(k, [] {}); });
+    sys.simulate();
+    EXPECT_EQ(sys.metrics().checkFailures, 0u);
+    const auto violations = sys.checkCoherenceInvariants();
+    EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+} // namespace
+} // namespace dscoh

@@ -1,0 +1,159 @@
+// Property-based whole-system tests: randomized producer/consumer programs
+// must be functionally identical under CCSM and direct store, leave the
+// system coherent, and be bit-deterministic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/system.h"
+#include "sim/rng.h"
+#include "workloads/workload.h" // producedValue
+
+namespace dscoh {
+namespace {
+
+struct RandomScenario {
+    std::uint64_t seed;
+};
+
+class SystemProperty : public ::testing::TestWithParam<RandomScenario> {};
+
+struct ScenarioResult {
+    RunMetrics metrics;
+    std::vector<std::string> violations;
+};
+
+/// Builds and runs a random scenario: a few shared arrays, a CPU produce
+/// phase covering a random subset, a GPU kernel with random reads (checked
+/// where safe) and disjoint writes, then a CPU read-back of the results.
+ScenarioResult runScenario(std::uint64_t seed, CoherenceMode mode)
+{
+    Rng rng(seed);
+    SystemConfig cfg = SystemConfig::paper(mode);
+    cfg.numSms = 4;
+    System sys(cfg);
+
+    const std::uint32_t numArrays = 2 + static_cast<std::uint32_t>(rng.below(3));
+    std::vector<Addr> arrays;
+    std::vector<std::uint32_t> words;
+    for (std::uint32_t a = 0; a < numArrays; ++a) {
+        const std::uint32_t n =
+            256u + static_cast<std::uint32_t>(rng.below(2048));
+        arrays.push_back(sys.allocateArray(n * 4ull, true));
+        words.push_back(n);
+    }
+    // The last array is the kernel's output (CPU does not produce it).
+    const Addr out = arrays.back();
+    const std::uint32_t outWords = words.back();
+
+    CpuProgram produce;
+    for (std::uint32_t a = 0; a + 1 < numArrays; ++a) {
+        for (std::uint32_t i = 0; i < words[a]; ++i) {
+            const Addr va = arrays[a] + i * 4ull;
+            produce.push_back(cpuStore(va, producedValue(va), 4));
+            if (rng.chance(0.1))
+                produce.push_back(cpuCompute(rng.below(8)));
+        }
+    }
+    produce.push_back(cpuFence());
+
+    KernelDesc k;
+    k.name = "random_consumer";
+    k.threadsPerBlock = 128;
+    k.blocks = 4 + static_cast<std::uint32_t>(rng.below(8));
+    const std::uint32_t totalThreads = k.blocks * k.threadsPerBlock;
+    // Per-thread behaviour must be a pure function of (block, thread) so
+    // both modes and reruns produce identical op streams.
+    const std::uint64_t bodySeed = rng.next();
+    const std::uint32_t inputs = numArrays - 1;
+    auto arraysCopy = arrays;
+    auto wordsCopy = words;
+    k.body = [=](ThreadBuilder& t, std::uint32_t b, std::uint32_t tid) {
+        // SIMT lockstep: per-warp decisions (op count, compute mix) come
+        // from a warp-seeded RNG so every lane emits the same op sequence;
+        // only addresses vary per lane.
+        Rng warpRng(bodySeed ^ (static_cast<std::uint64_t>(b) << 32) ^
+                    (tid / 32));
+        Rng laneRng(bodySeed * 31 + b * 131071 + tid);
+        const std::uint32_t ops =
+            1 + static_cast<std::uint32_t>(warpRng.below(6));
+        for (std::uint32_t op = 0; op < ops; ++op) {
+            const std::uint32_t a =
+                static_cast<std::uint32_t>(warpRng.below(inputs));
+            const std::uint32_t i =
+                static_cast<std::uint32_t>(laneRng.below(wordsCopy[a]));
+            const Addr va = arraysCopy[a] + i * 4ull;
+            t.ldCheck(va, producedValue(va), 4);
+            if (warpRng.chance(0.5))
+                t.compute(static_cast<std::uint32_t>(warpRng.below(6)) + 1);
+        }
+        // Disjoint output slot per global thread id.
+        const std::uint32_t gid = b * 128 + tid;
+        if (gid < outWords)
+            t.st(out + gid * 4ull, gid * 11ull + 3, 4);
+    };
+
+    CpuProgram readBack;
+    const std::uint32_t checked =
+        std::min(outWords, totalThreads);
+    for (std::uint32_t gid = 0; gid < checked;
+         gid += 1 + static_cast<std::uint32_t>(rng.below(32)))
+        readBack.push_back(cpuLoadCheck(out + gid * 4ull, gid * 11ull + 3, 4));
+
+    sys.runCpuProgram(produce, [&] {
+        sys.launchKernel(k, [&] { sys.runCpuProgram(readBack, [] {}); });
+    });
+    sys.simulate();
+
+    ScenarioResult result;
+    result.metrics = sys.metrics();
+    result.violations = sys.checkCoherenceInvariants();
+    return result;
+}
+
+TEST_P(SystemProperty, FunctionallyCorrectUnderBothSchemes)
+{
+    const auto ccsm = runScenario(GetParam().seed, CoherenceMode::kCcsm);
+    EXPECT_EQ(ccsm.metrics.checkFailures, 0u);
+    EXPECT_TRUE(ccsm.violations.empty())
+        << (ccsm.violations.empty() ? "" : ccsm.violations.front());
+
+    const auto ds = runScenario(GetParam().seed, CoherenceMode::kDirectStore);
+    EXPECT_EQ(ds.metrics.checkFailures, 0u);
+    EXPECT_TRUE(ds.violations.empty())
+        << (ds.violations.empty() ? "" : ds.violations.front());
+}
+
+TEST_P(SystemProperty, DirectStoreDoesNotHurt)
+{
+    const auto ccsm = runScenario(GetParam().seed, CoherenceMode::kCcsm);
+    const auto ds = runScenario(GetParam().seed, CoherenceMode::kDirectStore);
+    // The paper's headline robustness claim, with 3% modelling noise.
+    EXPECT_LT(static_cast<double>(ds.metrics.ticks),
+              static_cast<double>(ccsm.metrics.ticks) * 1.03);
+}
+
+TEST_P(SystemProperty, RunsAreBitDeterministic)
+{
+    const auto first = runScenario(GetParam().seed, CoherenceMode::kDirectStore);
+    const auto second = runScenario(GetParam().seed, CoherenceMode::kDirectStore);
+    EXPECT_EQ(first.metrics.ticks, second.metrics.ticks);
+    EXPECT_EQ(first.metrics.gpuL2Misses, second.metrics.gpuL2Misses);
+    EXPECT_EQ(first.metrics.coherenceMessages,
+              second.metrics.coherenceMessages);
+    EXPECT_EQ(first.metrics.dsFills, second.metrics.dsFills);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemProperty,
+                         ::testing::Values(RandomScenario{11},
+                                           RandomScenario{22},
+                                           RandomScenario{33},
+                                           RandomScenario{44},
+                                           RandomScenario{55},
+                                           RandomScenario{66}),
+                         [](const ::testing::TestParamInfo<RandomScenario>& p) {
+                             return "seed" + std::to_string(p.param.seed);
+                         });
+
+} // namespace
+} // namespace dscoh

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.h"
+
+namespace dscoh {
+namespace {
+
+struct Meta {
+    int tag = 0;
+    bool pinned = false;
+};
+
+CacheGeometry smallGeom()
+{
+    CacheGeometry g;
+    g.sizeBytes = 4 * 1024; // 32 lines
+    g.ways = 4;             // 8 sets
+    return g;
+}
+
+TEST(CacheArray, GeometryMath)
+{
+    CacheArray<Meta> array(smallGeom());
+    EXPECT_EQ(array.sets(), 8u);
+    EXPECT_EQ(array.ways(), 4u);
+}
+
+TEST(CacheArray, RejectsNonPowerOfTwoSets)
+{
+    CacheGeometry g;
+    g.sizeBytes = 3 * kLineSize;
+    g.ways = 1;
+    EXPECT_THROW(CacheArray<Meta> a(g), std::invalid_argument);
+}
+
+TEST(CacheArray, InstallThenFind)
+{
+    CacheArray<Meta> array(smallGeom());
+    EXPECT_EQ(array.find(0x1000), nullptr);
+    auto* way = array.findFreeWay(0x1000);
+    ASSERT_NE(way, nullptr);
+    auto& line = array.install(*way, 0x1000 + 5); // unaligned install address
+    EXPECT_EQ(line.base, 0x1000u);
+    auto* found = array.find(0x1000 + 100); // same line
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &line);
+}
+
+TEST(CacheArray, SetShiftSkipsInterleaveBits)
+{
+    CacheGeometry g = smallGeom();
+    g.setShift = 2;
+    CacheArray<Meta> a(g);
+    // With setShift=2, lines 0..3 (differing only in the low two line bits,
+    // the slice-interleave bits) all map to set 0; line 4 maps to set 1.
+    EXPECT_EQ(a.setIndex(0x0), 0u);
+    EXPECT_EQ(a.setIndex(1ull * kLineSize), 0u);
+    EXPECT_EQ(a.setIndex(3ull * kLineSize), 0u);
+    EXPECT_EQ(a.setIndex(4ull * kLineSize), 1u);
+    EXPECT_EQ(a.setIndex(8ull * kLineSize), 2u);
+}
+
+TEST(CacheArray, SetFillsAllWaysThenNoFreeWay)
+{
+    CacheArray<Meta> array(smallGeom());
+    const Addr stride = static_cast<Addr>(array.sets()) * kLineSize;
+    for (std::uint32_t w = 0; w < array.ways(); ++w) {
+        auto* way = array.findFreeWay(w * stride);
+        ASSERT_NE(way, nullptr);
+        array.install(*way, w * stride);
+    }
+    EXPECT_EQ(array.findFreeWay(array.ways() * stride), nullptr);
+    EXPECT_EQ(array.validLines(), array.ways());
+}
+
+TEST(CacheArray, LruVictimIsLeastRecentlyTouched)
+{
+    CacheArray<Meta> array(smallGeom());
+    const Addr stride = static_cast<Addr>(array.sets()) * kLineSize;
+    for (std::uint32_t w = 0; w < array.ways(); ++w) {
+        auto* way = array.findFreeWay(w * stride);
+        array.install(*way, w * stride);
+    }
+    // Touch all but line 2*stride, so that one is the LRU victim.
+    array.touch(0 * stride);
+    array.touch(1 * stride);
+    array.touch(3 * stride);
+    auto* victim = array.selectVictim(
+        9 * stride, [](const CacheArray<Meta>::Line&) { return true; });
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->base, 2 * stride);
+}
+
+TEST(CacheArray, VictimRespectsPinPredicate)
+{
+    CacheArray<Meta> array(smallGeom());
+    const Addr stride = static_cast<Addr>(array.sets()) * kLineSize;
+    for (std::uint32_t w = 0; w < array.ways(); ++w) {
+        auto* way = array.findFreeWay(w * stride);
+        auto& line = array.install(*way, w * stride);
+        line.meta.pinned = w != 3;
+    }
+    auto* victim =
+        array.selectVictim(9 * stride, [](const CacheArray<Meta>::Line& l) {
+            return !l.meta.pinned;
+        });
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->base, 3 * stride);
+
+    auto* none = array.selectVictim(
+        9 * stride, [](const CacheArray<Meta>::Line&) { return false; });
+    EXPECT_EQ(none, nullptr);
+}
+
+TEST(CacheArray, InvalidateFreesWay)
+{
+    CacheArray<Meta> array(smallGeom());
+    auto* way = array.findFreeWay(0);
+    auto& line = array.install(*way, 0);
+    line.meta.tag = 99;
+    array.invalidate(line);
+    EXPECT_EQ(array.find(0), nullptr);
+    auto* again = array.findFreeWay(0);
+    ASSERT_NE(again, nullptr);
+    auto& fresh = array.install(*again, 0);
+    EXPECT_EQ(fresh.meta.tag, 0) << "metadata must reset on reinstall";
+}
+
+TEST(CacheArray, ForEachValidVisitsExactlyValidLines)
+{
+    CacheArray<Meta> array(smallGeom());
+    for (int i = 0; i < 5; ++i) {
+        auto* way = array.findFreeWay(static_cast<Addr>(i) * kLineSize);
+        array.install(*way, static_cast<Addr>(i) * kLineSize);
+    }
+    int visited = 0;
+    array.forEachValid([&](CacheArray<Meta>::Line&) { ++visited; });
+    EXPECT_EQ(visited, 5);
+}
+
+} // namespace
+} // namespace dscoh

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.h"
+#include "mem/data_block.h"
+
+namespace dscoh {
+namespace {
+
+TEST(DataBlock, ZeroInitialized)
+{
+    DataBlock b;
+    for (std::uint32_t off = 0; off < kLineSize; off += 8)
+        EXPECT_EQ(b.read(off, 8), 0u);
+}
+
+TEST(DataBlock, WriteReadRoundTrip)
+{
+    DataBlock b;
+    b.write(16, 0xdeadbeefcafef00dull, 8);
+    EXPECT_EQ(b.read(16, 8), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(b.read(16, 4), 0xcafef00dull); // little-endian low half
+}
+
+TEST(DataBlock, PartialSizesDoNotClobberNeighbors)
+{
+    DataBlock b;
+    b.write(0, 0x1111111111111111ull, 8);
+    b.write(8, 0x2222222222222222ull, 8);
+    b.write(4, 0xab, 1);
+    EXPECT_EQ(b.read(0, 4), 0x11111111u);
+    EXPECT_EQ(b.read(4, 1), 0xabu);
+    EXPECT_EQ(b.read(8, 8), 0x2222222222222222ull);
+}
+
+TEST(DataBlock, EqualityComparesBytes)
+{
+    DataBlock a;
+    DataBlock b;
+    EXPECT_TRUE(a == b);
+    a.write(100, 7, 1);
+    EXPECT_FALSE(a == b);
+    b.write(100, 7, 1);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(ByteMask, FullAndEmpty)
+{
+    ByteMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.full());
+    m.set(0, kLineSize);
+    EXPECT_TRUE(m.full());
+    EXPECT_FALSE(m.empty());
+    EXPECT_EQ(m.count(), kLineSize);
+}
+
+TEST(ByteMask, PartialCoverage)
+{
+    ByteMask m;
+    m.set(4, 8);
+    EXPECT_FALSE(m.full());
+    EXPECT_TRUE(m.test(4));
+    EXPECT_TRUE(m.test(11));
+    EXPECT_FALSE(m.test(3));
+    EXPECT_FALSE(m.test(12));
+    EXPECT_EQ(m.count(), 8u);
+}
+
+TEST(ByteMask, ApplyMergesOnlyMaskedBytes)
+{
+    DataBlock dst;
+    DataBlock src;
+    dst.write(0, 0x1111, 2);
+    dst.write(2, 0x2222, 2);
+    src.write(0, 0xaaaa, 2);
+    src.write(2, 0xbbbb, 2);
+    ByteMask m;
+    m.set(0, 2);
+    m.apply(dst, src);
+    EXPECT_EQ(dst.read(0, 2), 0xaaaau);
+    EXPECT_EQ(dst.read(2, 2), 0x2222u);
+}
+
+TEST(BackingStore, ReadOfUntouchedLineIsZero)
+{
+    BackingStore store(1 << 20);
+    EXPECT_EQ(store.readLine(0x1000).read(0, 8), 0u);
+    EXPECT_EQ(store.touchedLines(), 0u);
+}
+
+TEST(BackingStore, WriteLinePersists)
+{
+    BackingStore store(1 << 20);
+    DataBlock d;
+    d.write(8, 99, 8);
+    store.writeLine(0x2040, d); // unaligned addr targets its line
+    EXPECT_EQ(store.readLine(0x2000).read(8, 8), 99u);
+    EXPECT_EQ(store.touchedLines(), 1u);
+}
+
+TEST(BackingStore, MaskedWriteLeavesOtherBytes)
+{
+    BackingStore store(1 << 20);
+    DataBlock base;
+    base.write(0, 0x1234, 2);
+    base.write(64, 0x5678, 2);
+    store.writeLine(0, base);
+
+    DataBlock update;
+    update.write(0, 0xffff, 2);
+    update.write(64, 0xeeee, 2);
+    ByteMask mask;
+    mask.set(64, 2);
+    store.writeMasked(0, update, mask);
+
+    EXPECT_EQ(store.readLine(0).read(0, 2), 0x1234u);
+    EXPECT_EQ(store.readLine(0).read(64, 2), 0xeeeeu);
+}
+
+TEST(BackingStore, LineHelperGivesWritableRef)
+{
+    BackingStore store(1 << 20);
+    store.line(0x80).write(0, 42, 1);
+    EXPECT_EQ(store.readLine(0x80).read(0, 1), 42u);
+}
+
+} // namespace
+} // namespace dscoh

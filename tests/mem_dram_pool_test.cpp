@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram_pool.h"
+#include "sim/event_queue.h"
+
+namespace dscoh {
+namespace {
+
+TEST(DramPool, RejectsNonPowerOfTwoChannels)
+{
+    EventQueue q;
+    BackingStore store(1 << 20);
+    EXPECT_THROW(DramPool("d", q, store, DramTiming{}, 3),
+                 std::invalid_argument);
+    EXPECT_THROW(DramPool("d", q, store, DramTiming{}, 0),
+                 std::invalid_argument);
+}
+
+TEST(DramPool, RoutesByLineInterleave)
+{
+    EventQueue q;
+    BackingStore store(1 << 20);
+    DramPool pool("d", q, store, DramTiming{}, 4);
+    EXPECT_EQ(&pool.channelOf(0 * kLineSize), &pool.channel(0));
+    EXPECT_EQ(&pool.channelOf(1 * kLineSize), &pool.channel(1));
+    EXPECT_EQ(&pool.channelOf(5 * kLineSize), &pool.channel(1));
+    EXPECT_EQ(&pool.channelOf(7 * kLineSize), &pool.channel(3));
+    // Same line, any offset -> same channel.
+    EXPECT_EQ(&pool.channelOf(kLineSize + 7), &pool.channel(1));
+}
+
+TEST(DramPool, WritesLandInBackingStore)
+{
+    EventQueue q;
+    BackingStore store(1 << 20);
+    DramPool pool("d", q, store, DramTiming{}, 2);
+    DataBlock d;
+    d.write(0, 0x1234, 4);
+    bool done = false;
+    pool.write(3 * kLineSize, d, [&done] { done = true; });
+    q.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(store.readLine(3 * kLineSize).read(0, 4), 0x1234u);
+}
+
+TEST(DramPool, MoreChannelsIncreaseStreamBandwidth)
+{
+    auto run = [](std::uint32_t channels) {
+        EventQueue q;
+        BackingStore store(16 << 20);
+        DramPool pool("d", q, store, DramTiming{}, channels);
+        int done = 0;
+        for (int i = 0; i < 1024; ++i)
+            pool.read(static_cast<Addr>(i) * kLineSize, [&done] { ++done; });
+        const Tick end = q.run();
+        EXPECT_EQ(done, 1024);
+        return end;
+    };
+    const Tick one = run(1);
+    const Tick four = run(4);
+    EXPECT_LT(four, one) << "four channels must stream faster than one";
+}
+
+TEST(DramPool, StatsPerChannel)
+{
+    EventQueue q;
+    BackingStore store(1 << 20);
+    DramPool pool("dram", q, store, DramTiming{}, 2);
+    StatRegistry reg;
+    pool.regStats(reg);
+    pool.read(0, [] {});             // channel 0
+    pool.read(kLineSize, [] {});     // channel 1
+    pool.read(2 * kLineSize, [] {}); // channel 0
+    q.run();
+    EXPECT_EQ(reg.counter("dram.ch0.reads"), 2u);
+    EXPECT_EQ(reg.counter("dram.ch1.reads"), 1u);
+}
+
+} // namespace
+} // namespace dscoh

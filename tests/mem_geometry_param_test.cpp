@@ -1,0 +1,176 @@
+// Parameterized property sweeps over cache geometries and replacement
+// policies: the array must preserve basic invariants (lookup consistency,
+// bounded occupancy, victim legality) at any legal configuration.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mem/cache_array.h"
+#include "mem/dram.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace dscoh {
+namespace {
+
+struct GeomParam {
+    std::uint64_t sizeBytes;
+    std::uint32_t ways;
+    ReplacementKind repl;
+};
+
+std::string geomName(const ::testing::TestParamInfo<GeomParam>& pinfo)
+{
+    return std::to_string(pinfo.param.sizeBytes / 1024) + "k_w" +
+           std::to_string(pinfo.param.ways) + "_" +
+           (pinfo.param.repl == ReplacementKind::kLru
+                ? "lru"
+                : (pinfo.param.repl == ReplacementKind::kTreePlru ? "plru"
+                                                                  : "rand"));
+}
+
+class GeometrySweep : public ::testing::TestWithParam<GeomParam> {
+protected:
+    CacheGeometry geometry() const
+    {
+        CacheGeometry g;
+        g.sizeBytes = GetParam().sizeBytes;
+        g.ways = GetParam().ways;
+        g.replacement = GetParam().repl;
+        g.replacementSeed = 99;
+        return g;
+    }
+};
+
+TEST_P(GeometrySweep, RandomFillLookupInvariants)
+{
+    struct Meta {
+        std::uint32_t stamp = 0;
+    };
+    CacheArray<Meta> array(geometry());
+    Rng rng(42);
+    std::map<Addr, std::uint32_t> shadow; // lines we believe are resident
+    std::uint32_t stamp = 0;
+
+    for (int i = 0; i < 4000; ++i) {
+        const Addr base = rng.below(4 * array.sets() * array.ways()) * kLineSize;
+        auto* line = array.find(base);
+        if (line != nullptr) {
+            // Lookup must agree with the shadow model.
+            ASSERT_TRUE(shadow.count(base)) << "ghost line";
+            ASSERT_EQ(line->meta.stamp, shadow[base]) << "metadata clobbered";
+            array.touch(base);
+            continue;
+        }
+        ASSERT_FALSE(shadow.count(base) != 0 && line != nullptr);
+        auto* way = array.findFreeWay(base);
+        if (way == nullptr) {
+            way = array.selectVictim(
+                base, [](const CacheArray<Meta>::Line&) { return true; });
+            ASSERT_NE(way, nullptr);
+            // Victim must be a valid line from the same set.
+            ASSERT_TRUE(way->valid);
+            ASSERT_EQ(array.setIndex(way->base), array.setIndex(base));
+            shadow.erase(way->base);
+            array.invalidate(*way);
+        }
+        auto& installed = array.install(*way, base);
+        installed.meta.stamp = ++stamp;
+        shadow[base] = stamp;
+        ASSERT_LE(shadow.size(),
+                  static_cast<std::size_t>(array.sets()) * array.ways());
+    }
+
+    // Full cross-check at the end.
+    std::size_t found = 0;
+    array.forEachValid([&](CacheArray<Meta>::Line& line) {
+        ++found;
+        ASSERT_TRUE(shadow.count(line.base));
+        ASSERT_EQ(shadow[line.base], line.meta.stamp);
+    });
+    ASSERT_EQ(found, shadow.size());
+}
+
+TEST_P(GeometrySweep, SetsNeverOverflow)
+{
+    struct Meta {};
+    CacheArray<Meta> array(geometry());
+    // Hammer one set far beyond associativity.
+    const Addr stride = static_cast<Addr>(array.sets()) * kLineSize;
+    for (std::uint32_t i = 0; i < array.ways() * 3; ++i) {
+        const Addr base = static_cast<Addr>(i) * stride;
+        if (array.find(base) != nullptr)
+            continue;
+        auto* way = array.findFreeWay(base);
+        if (way == nullptr) {
+            way = array.selectVictim(
+                base, [](const CacheArray<Meta>::Line&) { return true; });
+            ASSERT_NE(way, nullptr);
+            array.invalidate(*way);
+        }
+        array.install(*way, base);
+    }
+    std::size_t inSet = 0;
+    array.forEachValid([&](CacheArray<Meta>::Line& line) {
+        if (array.setIndex(line.base) == array.setIndex(0))
+            ++inSet;
+    });
+    EXPECT_LE(inSet, array.ways());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(GeomParam{2 * 1024, 2, ReplacementKind::kLru},
+                      GeomParam{4 * 1024, 4, ReplacementKind::kLru},
+                      GeomParam{16 * 1024, 4, ReplacementKind::kTreePlru},
+                      GeomParam{64 * 1024, 2, ReplacementKind::kTreePlru},
+                      GeomParam{64 * 1024, 16, ReplacementKind::kLru},
+                      GeomParam{512 * 1024, 16, ReplacementKind::kRandom},
+                      GeomParam{2 * 1024 * 1024, 8, ReplacementKind::kRandom},
+                      GeomParam{1024, 8, ReplacementKind::kTreePlru}),
+    geomName);
+
+// --------------------------------------------------------------------------
+// DRAM across bank configurations: completion order sanity and bandwidth
+// monotonicity.
+// --------------------------------------------------------------------------
+
+struct DramParam {
+    std::uint32_t ranks;
+    std::uint32_t banks;
+};
+
+class DramSweep : public ::testing::TestWithParam<DramParam> {};
+
+TEST_P(DramSweep, StreamCompletesAndBankCountHelps)
+{
+    auto runStream = [](std::uint32_t ranks, std::uint32_t banks) {
+        EventQueue q;
+        BackingStore store(64ull << 20);
+        DramTiming t;
+        t.ranks = ranks;
+        t.banksPerRank = banks;
+        Dram dram("d", q, store, t);
+        int done = 0;
+        for (int i = 0; i < 512; ++i)
+            dram.read(static_cast<Addr>(i) * kLineSize, [&done] { ++done; });
+        const Tick end = q.run();
+        EXPECT_EQ(done, 512);
+        return end;
+    };
+    const Tick with = runStream(GetParam().ranks, GetParam().banks);
+    const Tick single = runStream(1, 1);
+    EXPECT_LE(with, single) << "more banks must never be slower";
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, DramSweep,
+                         ::testing::Values(DramParam{1, 2}, DramParam{1, 8},
+                                           DramParam{2, 8}, DramParam{4, 8}),
+                         [](const ::testing::TestParamInfo<DramParam>& pinfo) {
+                             return "r" + std::to_string(pinfo.param.ranks) +
+                                    "b" + std::to_string(pinfo.param.banks);
+                         });
+
+} // namespace
+} // namespace dscoh

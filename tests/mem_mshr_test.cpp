@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "mem/mshr.h"
+
+namespace dscoh {
+namespace {
+
+struct Target {
+    int id;
+};
+
+TEST(Mshr, AllocateFindRelease)
+{
+    MshrFile<Target> mshr(4);
+    EXPECT_EQ(mshr.find(0x1000), nullptr);
+    auto& entry = mshr.allocate(0x1000 + 12); // line-aligned internally
+    entry.targets.push_back({1});
+    EXPECT_EQ(entry.base, 0x1000u);
+
+    auto* found = mshr.find(0x1000 + 100);
+    ASSERT_NE(found, nullptr);
+    found->targets.push_back({2});
+
+    const auto targets = mshr.release(0x1000);
+    EXPECT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0].id, 1);
+    EXPECT_EQ(targets[1].id, 2);
+    EXPECT_EQ(mshr.find(0x1000), nullptr);
+}
+
+TEST(Mshr, CapacityTracksFull)
+{
+    MshrFile<Target> mshr(2);
+    EXPECT_FALSE(mshr.full());
+    mshr.allocate(0x0);
+    mshr.allocate(0x80);
+    EXPECT_TRUE(mshr.full());
+    EXPECT_EQ(mshr.size(), 2u);
+    mshr.release(0x0);
+    EXPECT_FALSE(mshr.full());
+}
+
+TEST(Mshr, DistinctLinesAreIndependent)
+{
+    MshrFile<Target> mshr(8);
+    mshr.allocate(0x0).targets.push_back({10});
+    mshr.allocate(0x80).targets.push_back({20});
+    EXPECT_EQ(mshr.find(0x0)->targets[0].id, 10);
+    EXPECT_EQ(mshr.find(0x80)->targets[0].id, 20);
+}
+
+} // namespace
+} // namespace dscoh

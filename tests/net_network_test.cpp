@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace dscoh {
+namespace {
+
+struct NetFixture : ::testing::Test {
+    EventQueue queue;
+    NetworkParams params{20, 32};
+    Network net{"net", queue, params};
+
+    std::vector<Message> receivedAt1;
+    std::vector<Tick> arrivalTicks;
+
+    void SetUp() override
+    {
+        net.connect(0, [](const Message&) {});
+        net.connect(1, [this](const Message& m) {
+            receivedAt1.push_back(m);
+            arrivalTicks.push_back(queue.curTick());
+        });
+    }
+
+    Message mkMsg(MsgType t, NodeId src, NodeId dst, Addr addr = 0x80)
+    {
+        Message m;
+        m.type = t;
+        m.src = src;
+        m.dst = dst;
+        m.addr = addr;
+        return m;
+    }
+};
+
+TEST_F(NetFixture, DeliversAfterHopPlusSerialization)
+{
+    net.send(mkMsg(MsgType::kGetS, 0, 1));
+    queue.run();
+    ASSERT_EQ(receivedAt1.size(), 1u);
+    // Control message: 8 bytes -> ceil(8/32) = 1 tick serialization.
+    EXPECT_EQ(arrivalTicks[0], params.hopLatency + 1);
+}
+
+TEST_F(NetFixture, DataMessagesTakeLongerOnTheWire)
+{
+    net.send(mkMsg(MsgType::kData, 0, 1));
+    queue.run();
+    // 8 + 128 = 136 bytes -> ceil(136/32) = 5 ticks.
+    EXPECT_EQ(arrivalTicks[0], params.hopLatency + 5);
+}
+
+TEST_F(NetFixture, PortSerializesBackToBackMessages)
+{
+    net.send(mkMsg(MsgType::kData, 0, 1));
+    net.send(mkMsg(MsgType::kData, 0, 1));
+    queue.run();
+    ASSERT_EQ(arrivalTicks.size(), 2u);
+    EXPECT_EQ(arrivalTicks[1] - arrivalTicks[0], 5u);
+}
+
+TEST_F(NetFixture, SameSrcDstPairNeverReorders)
+{
+    for (int i = 0; i < 10; ++i) {
+        Message m = mkMsg(MsgType::kAck, 0, 1);
+        m.txn = static_cast<std::uint64_t>(i);
+        net.send(m);
+    }
+    queue.run();
+    ASSERT_EQ(receivedAt1.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(receivedAt1[static_cast<std::size_t>(i)].txn,
+                  static_cast<std::uint64_t>(i));
+}
+
+TEST_F(NetFixture, PayloadSurvivesTransit)
+{
+    Message m = mkMsg(MsgType::kData, 0, 1, 0x1240);
+    m.data.write(16, 0xfeedface, 4);
+    m.mask.set(16, 4);
+    m.hasData = true;
+    net.send(m);
+    queue.run();
+    ASSERT_EQ(receivedAt1.size(), 1u);
+    EXPECT_EQ(receivedAt1[0].data.read(16, 4), 0xfeedfaceu);
+    EXPECT_TRUE(receivedAt1[0].mask.test(16));
+    EXPECT_EQ(receivedAt1[0].addr, 0x1240u);
+}
+
+TEST_F(NetFixture, DoubleConnectThrows)
+{
+    EXPECT_THROW(net.connect(1, [](const Message&) {}), std::logic_error);
+}
+
+TEST_F(NetFixture, StatsCountMessagesAndBytes)
+{
+    StatRegistry reg;
+    net.regStats(reg);
+    net.send(mkMsg(MsgType::kGetS, 0, 1));
+    net.send(mkMsg(MsgType::kData, 0, 1));
+    queue.run();
+    EXPECT_EQ(reg.counter("net.messages"), 2u);
+    EXPECT_EQ(reg.counter("net.bytes"), 8u + 136u);
+    EXPECT_EQ(reg.counter("net.data_messages"), 1u);
+}
+
+TEST(NetworkLatency, HopLatencyIsConfigurable)
+{
+    EventQueue queue;
+    Network fast("fast", queue, NetworkParams{5, 64});
+    Tick arrival = 0;
+    fast.connect(0, [](const Message&) {});
+    fast.connect(1, [&](const Message&) { arrival = queue.curTick(); });
+    Message m;
+    m.type = MsgType::kAck;
+    m.src = 0;
+    m.dst = 1;
+    fast.send(m);
+    queue.run();
+    EXPECT_EQ(arrival, 5u + 1u);
+}
+
+TEST(MsgTypeNames, AllNamed)
+{
+    EXPECT_STREQ(to_string(MsgType::kGetS), "GetS");
+    EXPECT_STREQ(to_string(MsgType::kDsPutX), "DsPutX");
+    EXPECT_STREQ(to_string(MsgType::kL1StoreAck), "L1StoreAck");
+}
+
+} // namespace
+} // namespace dscoh

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace dscoh {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_EQ(q.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, EventPriority::kCore);
+    q.schedule(5, [&] { order.push_back(0); }, EventPriority::kMessageDelivery);
+    q.schedule(5, [&] { order.push_back(3); }, EventPriority::kCore);
+    q.schedule(5, [&] { order.push_back(1); }, EventPriority::kController);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleAfter(4, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.curTick(), 5u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(7, [&] { seen = q.curTick(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 107u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.clear();
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 5u);
+}
+
+TEST(EventQueue, ManyEventsStressDeterministic)
+{
+    // Two identical runs must execute callbacks in the identical order.
+    auto run = [] {
+        EventQueue q;
+        std::vector<int> order;
+        for (int i = 0; i < 1000; ++i) {
+            q.schedule(static_cast<Tick>((i * 37) % 101), [&order, i] {
+                order.push_back(i);
+            });
+        }
+        q.run();
+        return order;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace dscoh

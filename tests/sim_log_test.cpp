@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace dscoh {
+namespace {
+
+/// Captures std::clog for the duration of a test.
+class ClogCapture {
+public:
+    ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+    ~ClogCapture() { std::clog.rdbuf(old_); }
+    std::string text() const { return buffer_.str(); }
+
+private:
+    std::ostringstream buffer_;
+    std::streambuf* old_;
+};
+
+TEST(Log, DisabledComponentsProduceNothing)
+{
+    Log::instance().disableAll();
+    ClogCapture capture;
+    DSCOH_LOG("coherence", "should not appear " << 42);
+    EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Log, EnabledComponentLogsWithTick)
+{
+    Log::instance().disableAll();
+    Log::instance().enable("proto");
+    EventQueue q;
+    Log::instance().attachQueue(&q);
+    ClogCapture capture;
+    q.schedule(123, [] { DSCOH_LOG("proto", "hello " << 7); });
+    q.run();
+    const std::string out = capture.text();
+    EXPECT_NE(out.find("[123]"), std::string::npos);
+    EXPECT_NE(out.find("proto: hello 7"), std::string::npos);
+    Log::instance().disableAll();
+    Log::instance().attachQueue(nullptr);
+}
+
+TEST(Log, WildcardEnablesEverything)
+{
+    Log::instance().disableAll();
+    Log::instance().enable("*");
+    ClogCapture capture;
+    DSCOH_LOG("anything", "msg");
+    EXPECT_NE(capture.text().find("anything: msg"), std::string::npos);
+    Log::instance().disableAll();
+}
+
+TEST(Log, StreamExpressionNotEvaluatedWhenDisabled)
+{
+    Log::instance().disableAll();
+    int evaluations = 0;
+    const auto sideEffect = [&evaluations] {
+        ++evaluations;
+        return 1;
+    };
+    DSCOH_LOG("off", "value " << sideEffect());
+    EXPECT_EQ(evaluations, 0) << "logging must be free when disabled";
+}
+
+} // namespace
+} // namespace dscoh

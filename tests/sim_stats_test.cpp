@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.h"
+
+namespace dscoh {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, TracksMeanMinMax)
+{
+    Histogram h(10, 8);
+    h.sample(5);
+    h.sample(15);
+    h.sample(100);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 40.0);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(Histogram, OverflowBucketCatchesLargeSamples)
+{
+    Histogram h(1, 4); // buckets [0,1) [1,2) [2,3) [3,4) + overflow
+    h.sample(0);
+    h.sample(2);
+    h.sample(1000000);
+    const auto& buckets = h.buckets();
+    EXPECT_EQ(buckets[0], 1u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_EQ(buckets.back(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0.0 + 2.0 + 1000000.0) / 3.0);
+}
+
+TEST(Histogram, ZeroWidthCoercedToOne)
+{
+    Histogram h(0, 4);
+    h.sample(3);
+    EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(StatRegistry, LookupByName)
+{
+    StatRegistry reg;
+    Counter a;
+    Counter b;
+    a.inc(7);
+    b.inc(3);
+    reg.registerCounter("x.a", &a);
+    reg.registerCounter("x.b", &b);
+    EXPECT_EQ(reg.counter("x.a"), 7u);
+    EXPECT_EQ(reg.counter("x.b"), 3u);
+    EXPECT_THROW(reg.counter("missing"), std::out_of_range);
+    EXPECT_TRUE(reg.hasCounter("x.a"));
+    EXPECT_FALSE(reg.hasCounter("x.c"));
+}
+
+TEST(StatRegistry, PrefixSum)
+{
+    StatRegistry reg;
+    Counter s0;
+    Counter s1;
+    Counter other;
+    s0.inc(5);
+    s1.inc(6);
+    other.inc(100);
+    reg.registerCounter("gpu.l2.slice0.misses", &s0);
+    reg.registerCounter("gpu.l2.slice1.misses", &s1);
+    reg.registerCounter("zzz.misses", &other);
+    EXPECT_EQ(reg.sumCounters("gpu.l2."), 11u);
+    EXPECT_EQ(reg.sumCounters("gpu.l2.slice1"), 6u);
+    EXPECT_EQ(reg.sumCounters("nope"), 0u);
+}
+
+TEST(StatRegistry, DumpContainsEveryStat)
+{
+    StatRegistry reg;
+    Counter c;
+    Scalar s;
+    Histogram h;
+    c.inc(1);
+    s.set(2.5);
+    h.sample(3);
+    reg.registerCounter("a.counter", &c);
+    reg.registerScalar("a.scalar", &s);
+    reg.registerHistogram("a.hist", &h);
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("a.counter"), std::string::npos);
+    EXPECT_NE(text.find("a.scalar"), std::string::npos);
+    EXPECT_NE(text.find("a.hist"), std::string::npos);
+}
+
+} // namespace
+} // namespace dscoh

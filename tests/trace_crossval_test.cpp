@@ -1,0 +1,71 @@
+// Cross-validation: a trace-DSL replica of the built-in VA model must show
+// the same behaviour (hit/miss structure and speedup ballpark) as the C++
+// model — evidence that the DSL frontend and the native workloads drive the
+// simulator identically.
+#include <gtest/gtest.h>
+
+#include "trace/trace_format.h"
+#include "workloads/runner.h"
+
+namespace dscoh {
+namespace {
+
+// The same structure as workloads/sdk_standalone.cpp's VectorAdd (small):
+// 50000 floats per array, a and b produced, grid-stride add into c.
+const char* kVaReplica = R"(
+name va_replica
+shared-memory no
+
+array a 200000 shared produced
+array b 200000 shared produced
+array c 200000 shared
+
+cpu:
+  produce a
+  produce b
+  fence
+end
+
+kernel add blocks 196 tpb 256
+  when ($gid < 50000) ldc a ($gid * 4) 4
+  when ($gid < 50000) ldc b ($gid * 4) 4
+  compute 1
+  when ($gid < 50000) st c ($gid * 4) 4 ($gid)
+end
+)";
+
+TEST(TraceCrossVal, ReplicaMatchesBuiltInVaShape)
+{
+    const auto replica = trace::parseTrace(kVaReplica);
+    const auto replicaCmp = compareModes(*replica, InputSize::kSmall);
+    const auto builtinCmp = compareModes(
+        WorkloadRegistry::instance().get("VA"), InputSize::kSmall);
+
+    // Identical data volumes -> identical GPU L2 demand structure.
+    EXPECT_EQ(replicaCmp.ccsm.metrics.gpuL2Accesses,
+              builtinCmp.ccsm.metrics.gpuL2Accesses);
+    EXPECT_EQ(replicaCmp.ccsm.metrics.gpuL2Misses,
+              builtinCmp.ccsm.metrics.gpuL2Misses);
+    EXPECT_EQ(replicaCmp.directStore.metrics.dsFills,
+              builtinCmp.directStore.metrics.dsFills);
+
+    // Same speedup ballpark (the replica's produce loop differs only in
+    // per-store compute, so allow a loose band).
+    const double replicaSpeedup = replicaCmp.speedup();
+    const double builtinSpeedup = builtinCmp.speedup();
+    EXPECT_GT(replicaSpeedup, 1.10);
+    EXPECT_NEAR(replicaSpeedup, builtinSpeedup, 0.15);
+}
+
+TEST(TraceCrossVal, ReplicaIsDeterministic)
+{
+    const auto replica = trace::parseTrace(kVaReplica);
+    const auto a =
+        runWorkload(*replica, InputSize::kSmall, CoherenceMode::kDirectStore);
+    const auto b =
+        runWorkload(*replica, InputSize::kSmall, CoherenceMode::kDirectStore);
+    EXPECT_EQ(a.metrics.ticks, b.metrics.ticks);
+}
+
+} // namespace
+} // namespace dscoh

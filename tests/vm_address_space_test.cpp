@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "vm/address_space.h"
+
+namespace dscoh {
+namespace {
+
+TEST(AddressSpace, HeapAllocationsAreDisjointAndMapped)
+{
+    AddressSpace space(64ull << 20);
+    const Addr a = space.heapAlloc(1000);
+    const Addr b = space.heapAlloc(1000);
+    EXPECT_GE(b, a + 1000);
+    EXPECT_TRUE(space.isMapped(a));
+    EXPECT_TRUE(space.isMapped(b + 999));
+    EXPECT_FALSE(inDsRegion(a));
+}
+
+TEST(AddressSpace, TranslationIsConsistentWithinPage)
+{
+    AddressSpace space(64ull << 20);
+    const Addr va = space.heapAlloc(kPageSize);
+    const Translation t0 = space.translate(va);
+    const Translation t1 = space.translate(va + 100);
+    EXPECT_EQ(t1.paddr, t0.paddr + 100);
+    EXPECT_FALSE(t0.dsRegion);
+}
+
+TEST(AddressSpace, DistinctPagesGetDistinctFrames)
+{
+    AddressSpace space(64ull << 20);
+    const Addr va = space.heapAlloc(3 * kPageSize);
+    const Addr pa0 = space.translate(va).paddr;
+    const Addr pa1 = space.translate(va + kPageSize).paddr;
+    const Addr pa2 = space.translate(va + 2 * kPageSize).paddr;
+    EXPECT_NE(pa0, pa1);
+    EXPECT_NE(pa1, pa2);
+}
+
+TEST(AddressSpace, UnmappedTranslationThrows)
+{
+    AddressSpace space(64ull << 20);
+    EXPECT_THROW(space.translate(0xdead0000), std::out_of_range);
+}
+
+TEST(AddressSpace, DsMmapLandsInDsRegion)
+{
+    AddressSpace space(64ull << 20);
+    const Addr va = space.dsMmap(4096);
+    EXPECT_TRUE(inDsRegion(va));
+    EXPECT_TRUE(space.translate(va).dsRegion);
+    EXPECT_EQ(va, kDsRegionBase);
+}
+
+TEST(AddressSpace, SequentialDsMmapsDoNotOverlap)
+{
+    // Mirrors the translator: consecutive variables get increasing fixed
+    // addresses with no overlap.
+    AddressSpace space(64ull << 20);
+    const Addr a = space.dsMmap(10000);
+    const Addr b = space.dsMmap(10000);
+    EXPECT_GE(b, a + 10000);
+    EXPECT_TRUE(inDsRegion(b));
+}
+
+TEST(AddressSpace, DsMmapFixedRejectsOverlapAndWrongRegion)
+{
+    AddressSpace space(64ull << 20);
+    const Addr va = space.dsMmapFixed(kDsRegionBase + 0x100000, 8192);
+    EXPECT_EQ(va, kDsRegionBase + 0x100000);
+    EXPECT_THROW(space.dsMmapFixed(kDsRegionBase + 0x100000, 16),
+                 std::invalid_argument);
+    EXPECT_THROW(space.dsMmapFixed(0x5000, 16), std::invalid_argument);
+}
+
+TEST(AddressSpace, ZeroByteAllocationsRejected)
+{
+    AddressSpace space(64ull << 20);
+    EXPECT_THROW(space.heapAlloc(0), std::invalid_argument);
+    EXPECT_THROW(space.dsMmap(0), std::invalid_argument);
+}
+
+TEST(AddressSpace, PhysicalExhaustionThrows)
+{
+    AddressSpace space(4 * kPageSize);
+    space.heapAlloc(2 * kPageSize); // +1 reserved page 0 -> 3 used
+    EXPECT_THROW(space.heapAlloc(4 * kPageSize), std::runtime_error);
+}
+
+TEST(AddressSpace, HeapAndDsRegionTranslateToDisjointFrames)
+{
+    AddressSpace space(64ull << 20);
+    const Addr h = space.heapAlloc(kPageSize);
+    const Addr d = space.dsMmap(kPageSize);
+    EXPECT_NE(space.translate(h).paddr, space.translate(d).paddr);
+}
+
+TEST(DsRegionHelpers, BitDetection)
+{
+    EXPECT_TRUE(inDsRegion(kDsRegionBase));
+    EXPECT_TRUE(inDsRegion(kDsRegionBase + 0x123456));
+    EXPECT_FALSE(inDsRegion(0x123456));
+}
+
+} // namespace
+} // namespace dscoh

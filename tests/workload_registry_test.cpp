@@ -1,0 +1,129 @@
+// Registry metadata tests: Table II must be reproduced faithfully.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workload.h"
+
+namespace dscoh {
+namespace {
+
+TEST(Registry, Has22WorkloadsInTableOrder)
+{
+    const auto& reg = WorkloadRegistry::instance();
+    const std::vector<std::string> expected{
+        "BP", "BF", "GA", "HT", "KM", "LV", "LU", "NN", "NW", "PT", "SR",
+        "ST", "GC", "FW", "MS", "SP", "BL", "VA", "BS", "MM", "MT", "CH"};
+    EXPECT_EQ(reg.codes(), expected);
+    EXPECT_EQ(reg.size(), 22u);
+}
+
+TEST(Registry, SharedMemoryFlagsMatchTableII)
+{
+    const auto& reg = WorkloadRegistry::instance();
+    const std::set<std::string> sharedYes{"BP", "GA", "HT", "KM", "LV",
+                                          "LU", "NW", "PT", "SR", "ST"};
+    for (const auto& code : reg.codes()) {
+        const bool expectShared = sharedYes.count(code) != 0;
+        EXPECT_EQ(reg.get(code).info().usesSharedMemory, expectShared)
+            << code;
+    }
+}
+
+TEST(Registry, SuitesMatchTableII)
+{
+    const auto& reg = WorkloadRegistry::instance();
+    const std::map<std::string, std::string> suites{
+        {"BP", "Rodinia"},    {"BF", "Rodinia"}, {"GA", "Rodinia"},
+        {"HT", "Rodinia"},    {"KM", "Rodinia"}, {"LV", "Rodinia"},
+        {"LU", "Rodinia"},    {"NN", "Rodinia"}, {"NW", "Rodinia"},
+        {"PT", "Rodinia"},    {"SR", "Rodinia"}, {"ST", "Parboil"},
+        {"GC", "Pannotia"},   {"FW", "Pannotia"}, {"MS", "Pannotia"},
+        {"SP", "Pannotia"},   {"BL", "NVIDIA SDK"}, {"VA", "NVIDIA SDK"},
+        {"BS", "[24]"},       {"MM", "[25]"},    {"MT", "[25]"},
+        {"CH", "[26]"}};
+    for (const auto& [code, suite] : suites)
+        EXPECT_EQ(reg.get(code).info().suite, suite) << code;
+}
+
+TEST(Registry, InputSizeLabelsMatchTableII)
+{
+    const auto& reg = WorkloadRegistry::instance();
+    EXPECT_EQ(reg.get("BP").info().smallInput, "1536");
+    EXPECT_EQ(reg.get("BP").info().bigInput, "10000");
+    EXPECT_EQ(reg.get("KM").info().smallInput, "2000, 34 feat");
+    EXPECT_EQ(reg.get("ST").info().smallInput, "128x128x32");
+    EXPECT_EQ(reg.get("GC").info().bigInput, "delaunay-n15");
+    EXPECT_EQ(reg.get("BS").info().smallInput, "262144");
+    EXPECT_EQ(reg.get("MT").info().bigInput, "1600x1600");
+}
+
+TEST(Registry, UnknownCodeThrows)
+{
+    EXPECT_THROW(WorkloadRegistry::instance().get("XX"), std::out_of_range);
+    EXPECT_FALSE(WorkloadRegistry::instance().has("XX"));
+    EXPECT_TRUE(WorkloadRegistry::instance().has("VA"));
+}
+
+TEST(Registry, EveryWorkloadHasArraysAndKernels)
+{
+    const auto& reg = WorkloadRegistry::instance();
+    for (const auto& code : reg.codes()) {
+        const Workload& w = reg.get(code);
+        for (const InputSize size : {InputSize::kSmall, InputSize::kBig}) {
+            const auto arrays = w.arrays(size);
+            EXPECT_FALSE(arrays.empty()) << code;
+            Workload::ArrayMap mem;
+            Addr fake = 0x10000000;
+            for (const auto& a : arrays) {
+                EXPECT_GT(a.bytes, 0u) << code << "." << a.name;
+                mem[a.name] = fake;
+                fake += (a.bytes + kPageSize) & ~static_cast<Addr>(kPageSize - 1);
+            }
+            EXPECT_FALSE(w.kernels(size, mem).empty()) << code;
+        }
+    }
+}
+
+TEST(Registry, BigFootprintIsLargerThanSmall)
+{
+    const auto& reg = WorkloadRegistry::instance();
+    for (const auto& code : reg.codes()) {
+        const Workload& w = reg.get(code);
+        std::uint64_t small = 0;
+        std::uint64_t big = 0;
+        for (const auto& a : w.arrays(InputSize::kSmall))
+            small += a.bytes;
+        for (const auto& a : w.arrays(InputSize::kBig))
+            big += a.bytes;
+        EXPECT_GT(big, small) << code;
+    }
+}
+
+TEST(Registry, EveryWorkloadDocumentsItsScaling)
+{
+    const auto& reg = WorkloadRegistry::instance();
+    for (const auto& code : reg.codes())
+        EXPECT_FALSE(reg.get(code).info().scalingNote.empty()) << code;
+}
+
+TEST(Registry, PathfinderHasNoCpuProducedSharedData)
+{
+    // §IV-D: "in this benchmark the CPU does not store any data that will
+    // later be used by GPU".
+    const Workload& pt = WorkloadRegistry::instance().get("PT");
+    for (const auto& a : pt.arrays(InputSize::kSmall))
+        EXPECT_FALSE(a.cpuProduced) << a.name;
+}
+
+TEST(ProducedValue, DeterministicAndSpread)
+{
+    EXPECT_EQ(producedValue(0x1000), producedValue(0x1000));
+    EXPECT_NE(producedValue(0x1000), producedValue(0x1008));
+    // Cheap avalanche check: neighbouring addresses differ in many bits.
+    const std::uint64_t x = producedValue(0x2000) ^ producedValue(0x2008);
+    EXPECT_GT(__builtin_popcountll(x), 10);
+}
+
+} // namespace
+} // namespace dscoh

@@ -1,0 +1,200 @@
+// dscoh_run — the command-line front door to the simulator.
+//
+//   dscoh_run --workload VA --size small --mode both
+//   dscoh_run --trace examples/traces/vector_add.trace --mode ds --stats s.txt
+//   dscoh_run --workload MM --mode both --csv        # one CSV row
+//   dscoh_run --workload NN --mode ccsm --prefetch 4 --ds-hop 80
+#include <fstream>
+#include <iostream>
+
+#include "cli/options.h"
+#include "core/config_io.h"
+#include "trace/trace_format.h"
+#include "workloads/runner.h"
+
+using namespace dscoh;
+
+namespace {
+
+void printRun(const char* label, const WorkloadRunResult& r)
+{
+    std::printf("%-12s ticks=%llu l2acc=%llu l2miss=%llu missrate=%.2f%% "
+                "compulsory=%llu dsFills=%llu cohMsgs=%llu\n",
+                label, static_cast<unsigned long long>(r.metrics.ticks),
+                static_cast<unsigned long long>(r.metrics.gpuL2Accesses),
+                static_cast<unsigned long long>(r.metrics.gpuL2Misses),
+                r.metrics.gpuL2MissRate * 100,
+                static_cast<unsigned long long>(r.metrics.gpuL2Compulsory),
+                static_cast<unsigned long long>(r.metrics.dsFills),
+                static_cast<unsigned long long>(r.metrics.coherenceMessages));
+}
+
+/// Runs and (optionally) dumps the full stats registry to @p statsPath.
+WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
+                          const SystemConfig& cfg, const std::string& statsPath)
+{
+    if (statsPath.empty())
+        return runWorkload(w, size, mode, cfg);
+
+    // Re-run through a System we keep, so the registry can be dumped.
+    SystemConfig c = cfg;
+    c.mode = mode;
+    System sys(c);
+    Workload::ArrayMap mem;
+    for (const auto& spec : w.arrays(size))
+        mem[spec.name] = sys.allocateArray(spec.bytes, spec.gpuShared);
+    const CpuProgram produce = w.cpuProduce(size, mem);
+    const auto kernels = w.kernels(size, mem);
+    std::size_t next = 0;
+    std::function<void()> launchNext = [&] {
+        if (next < kernels.size())
+            sys.launchKernel(kernels[next++], [&] { launchNext(); });
+    };
+    sys.runCpuProgram(produce, [&] { launchNext(); });
+    sys.simulate();
+
+    std::ofstream out(statsPath);
+    if (!out)
+        throw std::runtime_error("cannot write stats file: " + statsPath);
+    sys.stats().dump(out);
+
+    WorkloadRunResult r;
+    r.code = w.info().code;
+    r.size = size;
+    r.mode = mode;
+    r.metrics = sys.metrics();
+    r.violations = sys.checkCoherenceInvariants();
+    return r;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string workload;
+    std::string tracePath;
+    std::string sizeName = "small";
+    std::string modeName = "both";
+    std::string statsPath;
+    std::string configPath;
+    bool csv = false;
+    bool dumpCfg = false;
+    std::uint64_t dsHop = 0;
+    std::uint64_t prefetch = 0;
+    std::uint64_t dsMinBytes = 0;
+    std::uint64_t seed = 0;
+
+    cli::OptionParser parser("dscoh_run",
+                             "simulate a workload under the paper's schemes");
+    parser.addString("workload", "Table II code (BP..CH)", &workload);
+    parser.addString("trace", "run a .trace file instead", &tracePath);
+    parser.addString("size", "small|big", &sizeName);
+    parser.addString("mode", "ccsm|ds|dsonly|both", &modeName);
+    parser.addString("stats", "dump the full stats registry to this file",
+                     &statsPath);
+    parser.addString("config", "key=value config file (see --dump-config)",
+                     &configPath);
+    parser.addFlag("dump-config", "print the default configuration and exit",
+                   &dumpCfg);
+    parser.addFlag("csv", "print one machine-readable CSV row", &csv);
+    parser.addUint("ds-hop", "dedicated-network hop latency override", &dsHop);
+    parser.addUint("prefetch", "GPU L2 next-line prefetch depth", &prefetch);
+    parser.addUint("ds-min-bytes", "hybrid policy: push only arrays >= this",
+                   &dsMinBytes);
+    parser.addUint("seed", "replacement-policy seed", &seed);
+    if (!parser.parse(argc, argv, std::cerr))
+        return 2;
+    if (dumpCfg) {
+        std::printf("%s", dumpConfig(SystemConfig{}).c_str());
+        return 0;
+    }
+
+    try {
+        std::unique_ptr<Workload> traced;
+        const Workload* w = nullptr;
+        if (!tracePath.empty()) {
+            traced = trace::loadTraceFile(tracePath);
+            w = traced.get();
+        } else if (!workload.empty()) {
+            if (!WorkloadRegistry::instance().has(workload)) {
+                std::cerr << "unknown workload '" << workload << "'\n";
+                return 2;
+            }
+            w = &WorkloadRegistry::instance().get(workload);
+        } else {
+            std::cerr << "need --workload <code> or --trace <file> "
+                         "(--help for usage)\n";
+            return 2;
+        }
+
+        if (sizeName != "small" && sizeName != "big") {
+            std::cerr << "--size must be small or big\n";
+            return 2;
+        }
+        const InputSize size =
+            sizeName == "big" ? InputSize::kBig : InputSize::kSmall;
+
+        SystemConfig cfg;
+        if (!configPath.empty()) {
+            std::string error;
+            if (!loadConfigFile(configPath, &cfg, &error))
+                throw std::runtime_error(error);
+        }
+        if (dsHop != 0)
+            cfg.dsNet.hopLatency = dsHop;
+        cfg.gpuL2PrefetchDepth = static_cast<std::uint32_t>(prefetch);
+        cfg.dsMinBytes = dsMinBytes;
+        if (seed != 0)
+            cfg.seed = seed;
+
+        const auto modeOf = [](const std::string& m) {
+            if (m == "ccsm")
+                return CoherenceMode::kCcsm;
+            if (m == "ds")
+                return CoherenceMode::kDirectStore;
+            if (m == "dsonly")
+                return CoherenceMode::kDirectStoreOnly;
+            throw std::runtime_error("bad --mode (ccsm|ds|dsonly|both)");
+        };
+
+        if (modeName == "both") {
+            const auto ccsm =
+                runOnce(*w, size, CoherenceMode::kCcsm, cfg, statsPath.empty() ? "" : statsPath + ".ccsm");
+            const auto ds = runOnce(*w, size, CoherenceMode::kDirectStore, cfg,
+                                    statsPath.empty() ? "" : statsPath + ".ds");
+            const double speedup =
+                (static_cast<double>(ccsm.metrics.ticks) /
+                     static_cast<double>(ds.metrics.ticks) -
+                 1.0) *
+                100.0;
+            if (csv) {
+                std::printf("%s,%s,%llu,%llu,%.4f,%.4f,%.4f\n",
+                            w->info().code.c_str(), sizeName.c_str(),
+                            static_cast<unsigned long long>(ccsm.metrics.ticks),
+                            static_cast<unsigned long long>(ds.metrics.ticks),
+                            speedup, ccsm.metrics.gpuL2MissRate,
+                            ds.metrics.gpuL2MissRate);
+            } else {
+                std::printf("%s (%s)\n", w->info().code.c_str(),
+                            sizeName.c_str());
+                printRun("ccsm", ccsm);
+                printRun("directstore", ds);
+                std::printf("speedup: %.1f%%\n", speedup);
+            }
+        } else {
+            const auto r = runOnce(*w, size, modeOf(modeName), cfg, statsPath);
+            if (csv) {
+                std::printf("%s,%s,%s,%llu,%.4f\n", w->info().code.c_str(),
+                            sizeName.c_str(), modeName.c_str(),
+                            static_cast<unsigned long long>(r.metrics.ticks),
+                            r.metrics.gpuL2MissRate);
+            } else {
+                printRun(modeName.c_str(), r);
+            }
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

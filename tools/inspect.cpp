@@ -1,0 +1,48 @@
+// inspect — run one benchmark in one mode, print the produce/kernel phase
+// breakdown, and dump the full stats registry to /tmp/stats_<code>_<mode>.txt.
+//   dscoh_inspect <CODE> [small|big] [ccsm|ds]
+#include <cstdio>
+#include <fstream>
+#include "workloads/runner.h"
+using namespace dscoh;
+// Runs one workload in one mode and dumps all stats to a file.
+int main(int argc, char** argv) {
+    const std::string code = argc > 1 ? argv[1] : "SR";
+    const InputSize size = (argc > 2 && std::string(argv[2]) == "big") ? InputSize::kBig : InputSize::kSmall;
+    const bool ds = argc > 3 && std::string(argv[3]) == "ds";
+    SystemConfig cfg;
+    cfg.mode = ds ? CoherenceMode::kDirectStore : CoherenceMode::kCcsm;
+    System sys(cfg);
+    const Workload& w = WorkloadRegistry::instance().get(code);
+    Workload::ArrayMap mem;
+    for (const auto& a : w.arrays(size)) mem[a.name] = sys.allocateArray(a.bytes, a.gpuShared);
+    const CpuProgram produce = w.cpuProduce(size, mem);
+    const auto kernels = w.kernels(size, mem);
+    Tick produceDone = 0;
+    std::vector<Tick> kdone;
+    std::size_t next = 0;
+    std::function<void()> launchNext = [&]() {
+        if (next >= kernels.size()) return;
+        sys.launchKernel(kernels[next++], [&]{
+            kdone.push_back(sys.queue().curTick());
+            std::uint64_t miss = 0, acc = 0;
+            for (std::size_t sl = 0; sl < sys.sliceCount(); ++sl) {
+                miss += sys.slice(sl).demandMisses();
+                acc += sys.slice(sl).demandAccesses();
+            }
+            std::printf("  [kernel %zu done: cumMiss=%llu cumAcc=%llu]\n", next,
+                        static_cast<unsigned long long>(miss), static_cast<unsigned long long>(acc));
+            launchNext();
+        });
+    };
+    sys.runCpuProgram(produce, [&]{ produceDone = sys.queue().curTick(); launchNext(); });
+    sys.simulate();
+    std::printf("%s %s %s: produce=%llu", code.c_str(), size==InputSize::kSmall?"small":"big", ds?"DS":"CCSM",
+                static_cast<unsigned long long>(produceDone));
+    Tick prev = produceDone;
+    for (auto t : kdone) { std::printf(" k+%llu", static_cast<unsigned long long>(t - prev)); prev = t; }
+    std::printf(" total=%llu\n", static_cast<unsigned long long>(sys.queue().curTick()));
+    std::ofstream f(std::string("/tmp/stats_") + code + (ds ? "_ds" : "_ccsm") + ".txt");
+    sys.stats().dump(f);
+    return 0;
+}

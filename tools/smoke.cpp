@@ -1,0 +1,25 @@
+// smoke — quick one-benchmark CCSM-vs-DS comparison for development.
+//   dscoh_smoke <CODE> [small|big]
+#include <cstdio>
+#include <chrono>
+#include "workloads/runner.h"
+int main(int argc, char** argv) {
+    using namespace dscoh;
+    const std::string code = argc > 1 ? argv[1] : "VA";
+    const InputSize size = (argc > 2 && std::string(argv[2]) == "big") ? InputSize::kBig : InputSize::kSmall;
+    const auto& w = WorkloadRegistry::instance().get(code);
+    auto t0 = std::chrono::steady_clock::now();
+    const auto cmp = compareModes(w, size);
+    auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("%s %s: ccsm=%llu ds=%llu speedup=%.3f  missrate ccsm=%.4f ds=%.4f  comp ccsm=%llu ds=%llu  wall=%.2fs\n",
+                code.c_str(), size == InputSize::kSmall ? "small" : "big",
+                static_cast<unsigned long long>(cmp.ccsm.metrics.ticks),
+                static_cast<unsigned long long>(cmp.directStore.metrics.ticks),
+                cmp.speedup(),
+                cmp.ccsm.metrics.gpuL2MissRate, cmp.directStore.metrics.gpuL2MissRate,
+                static_cast<unsigned long long>(cmp.ccsm.metrics.gpuL2Compulsory),
+                static_cast<unsigned long long>(cmp.directStore.metrics.gpuL2Compulsory),
+                wall);
+    return 0;
+}

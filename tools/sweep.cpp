@@ -1,0 +1,24 @@
+// sweep — run all 22 Table II benchmarks under both schemes and print
+// the speedup/miss-rate table (the development view of Fig. 4 + Fig. 5).
+//   dscoh_sweep [small|big]
+#include <cstdio>
+#include <chrono>
+#include "workloads/runner.h"
+int main(int argc, char** argv) {
+    using namespace dscoh;
+    const InputSize size = (argc > 1 && std::string(argv[1]) == "big") ? InputSize::kBig : InputSize::kSmall;
+    std::printf("%-4s %10s %10s %8s %8s %8s %7s\n", "code", "ccsm", "ds", "speedup%", "mrCCSM", "mrDS", "wall");
+    for (const auto& code : WorkloadRegistry::instance().codes()) {
+        auto t0 = std::chrono::steady_clock::now();
+        const auto cmp = compareModes(WorkloadRegistry::instance().get(code), size);
+        auto t1 = std::chrono::steady_clock::now();
+        std::printf("%-4s %10llu %10llu %8.1f %8.3f %8.3f %6.1fs\n", code.c_str(),
+            static_cast<unsigned long long>(cmp.ccsm.metrics.ticks),
+            static_cast<unsigned long long>(cmp.directStore.metrics.ticks),
+            (cmp.speedup() - 1.0) * 100.0,
+            cmp.ccsm.metrics.gpuL2MissRate, cmp.directStore.metrics.gpuL2MissRate,
+            std::chrono::duration<double>(t1 - t0).count());
+        std::fflush(stdout);
+    }
+    return 0;
+}
