@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compulsory_misses.dir/compulsory_misses.cpp.o"
+  "CMakeFiles/compulsory_misses.dir/compulsory_misses.cpp.o.d"
+  "compulsory_misses"
+  "compulsory_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compulsory_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_missrate.dir/fig5_missrate.cpp.o"
+  "CMakeFiles/fig5_missrate.dir/fig5_missrate.cpp.o.d"
+  "fig5_missrate"
+  "fig5_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_breakdown.dir/traffic_breakdown.cpp.o"
+  "CMakeFiles/traffic_breakdown.dir/traffic_breakdown.cpp.o.d"
+  "traffic_breakdown"
+  "traffic_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

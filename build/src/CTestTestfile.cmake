@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("net")
+subdirs("coherence")
+subdirs("vm")
+subdirs("cpu")
+subdirs("gpu")
+subdirs("translate")
+subdirs("core")
+subdirs("workloads")
+subdirs("trace")
+subdirs("cli")

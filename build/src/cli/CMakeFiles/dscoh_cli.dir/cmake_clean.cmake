@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_cli.dir/options.cpp.o"
+  "CMakeFiles/dscoh_cli.dir/options.cpp.o.d"
+  "libdscoh_cli.a"
+  "libdscoh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

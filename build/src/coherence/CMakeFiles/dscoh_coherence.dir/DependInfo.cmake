@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/cache_agent.cpp" "src/coherence/CMakeFiles/dscoh_coherence.dir/cache_agent.cpp.o" "gcc" "src/coherence/CMakeFiles/dscoh_coherence.dir/cache_agent.cpp.o.d"
+  "/root/repo/src/coherence/home_controller.cpp" "src/coherence/CMakeFiles/dscoh_coherence.dir/home_controller.cpp.o" "gcc" "src/coherence/CMakeFiles/dscoh_coherence.dir/home_controller.cpp.o.d"
+  "/root/repo/src/coherence/transition_coverage.cpp" "src/coherence/CMakeFiles/dscoh_coherence.dir/transition_coverage.cpp.o" "gcc" "src/coherence/CMakeFiles/dscoh_coherence.dir/transition_coverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dscoh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dscoh_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dscoh_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

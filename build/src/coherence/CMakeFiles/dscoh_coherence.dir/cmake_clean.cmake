@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_coherence.dir/cache_agent.cpp.o"
+  "CMakeFiles/dscoh_coherence.dir/cache_agent.cpp.o.d"
+  "CMakeFiles/dscoh_coherence.dir/home_controller.cpp.o"
+  "CMakeFiles/dscoh_coherence.dir/home_controller.cpp.o.d"
+  "CMakeFiles/dscoh_coherence.dir/transition_coverage.cpp.o"
+  "CMakeFiles/dscoh_coherence.dir/transition_coverage.cpp.o.d"
+  "libdscoh_coherence.a"
+  "libdscoh_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

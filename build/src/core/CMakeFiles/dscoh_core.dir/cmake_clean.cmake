@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_core.dir/config_io.cpp.o"
+  "CMakeFiles/dscoh_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/dscoh_core.dir/system.cpp.o"
+  "CMakeFiles/dscoh_core.dir/system.cpp.o.d"
+  "libdscoh_core.a"
+  "libdscoh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdscoh_core.a"
+)

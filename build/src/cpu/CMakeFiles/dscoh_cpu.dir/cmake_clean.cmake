@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_cpu.dir/cpu_cache_agent.cpp.o"
+  "CMakeFiles/dscoh_cpu.dir/cpu_cache_agent.cpp.o.d"
+  "CMakeFiles/dscoh_cpu.dir/cpu_core.cpp.o"
+  "CMakeFiles/dscoh_cpu.dir/cpu_core.cpp.o.d"
+  "CMakeFiles/dscoh_cpu.dir/tlb.cpp.o"
+  "CMakeFiles/dscoh_cpu.dir/tlb.cpp.o.d"
+  "libdscoh_cpu.a"
+  "libdscoh_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_gpu.dir/gpu_device.cpp.o"
+  "CMakeFiles/dscoh_gpu.dir/gpu_device.cpp.o.d"
+  "CMakeFiles/dscoh_gpu.dir/gpu_l2_slice.cpp.o"
+  "CMakeFiles/dscoh_gpu.dir/gpu_l2_slice.cpp.o.d"
+  "CMakeFiles/dscoh_gpu.dir/sm.cpp.o"
+  "CMakeFiles/dscoh_gpu.dir/sm.cpp.o.d"
+  "libdscoh_gpu.a"
+  "libdscoh_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_mem.dir/dram.cpp.o"
+  "CMakeFiles/dscoh_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/dscoh_mem.dir/replacement.cpp.o"
+  "CMakeFiles/dscoh_mem.dir/replacement.cpp.o.d"
+  "libdscoh_mem.a"
+  "libdscoh_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

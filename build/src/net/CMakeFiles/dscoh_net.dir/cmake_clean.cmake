@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_net.dir/network.cpp.o"
+  "CMakeFiles/dscoh_net.dir/network.cpp.o.d"
+  "libdscoh_net.a"
+  "libdscoh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dscoh_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dscoh_sim.dir/stats.cpp.o"
+  "CMakeFiles/dscoh_sim.dir/stats.cpp.o.d"
+  "libdscoh_sim.a"
+  "libdscoh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

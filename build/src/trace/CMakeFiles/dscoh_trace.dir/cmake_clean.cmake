@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_trace.dir/trace_format.cpp.o"
+  "CMakeFiles/dscoh_trace.dir/trace_format.cpp.o.d"
+  "libdscoh_trace.a"
+  "libdscoh_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

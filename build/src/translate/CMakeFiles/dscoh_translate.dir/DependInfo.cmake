@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/lexer.cpp" "src/translate/CMakeFiles/dscoh_translate.dir/lexer.cpp.o" "gcc" "src/translate/CMakeFiles/dscoh_translate.dir/lexer.cpp.o.d"
+  "/root/repo/src/translate/translator.cpp" "src/translate/CMakeFiles/dscoh_translate.dir/translator.cpp.o" "gcc" "src/translate/CMakeFiles/dscoh_translate.dir/translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dscoh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dscoh_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_translate.dir/lexer.cpp.o"
+  "CMakeFiles/dscoh_translate.dir/lexer.cpp.o.d"
+  "CMakeFiles/dscoh_translate.dir/translator.cpp.o"
+  "CMakeFiles/dscoh_translate.dir/translator.cpp.o.d"
+  "libdscoh_translate.a"
+  "libdscoh_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

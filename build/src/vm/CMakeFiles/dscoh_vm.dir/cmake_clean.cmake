@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_vm.dir/address_space.cpp.o"
+  "CMakeFiles/dscoh_vm.dir/address_space.cpp.o.d"
+  "libdscoh_vm.a"
+  "libdscoh_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_inspect.dir/__/__/tools/inspect.cpp.o"
+  "CMakeFiles/dscoh_inspect.dir/__/__/tools/inspect.cpp.o.d"
+  "dscoh_inspect"
+  "dscoh_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_run.dir/__/__/tools/dscoh_run.cpp.o"
+  "CMakeFiles/dscoh_run.dir/__/__/tools/dscoh_run.cpp.o.d"
+  "dscoh_run"
+  "dscoh_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_smoke.dir/__/__/tools/smoke.cpp.o"
+  "CMakeFiles/dscoh_smoke.dir/__/__/tools/smoke.cpp.o.d"
+  "dscoh_smoke"
+  "dscoh_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_sweep.dir/__/__/tools/sweep.cpp.o"
+  "CMakeFiles/dscoh_sweep.dir/__/__/tools/sweep.cpp.o.d"
+  "dscoh_sweep"
+  "dscoh_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

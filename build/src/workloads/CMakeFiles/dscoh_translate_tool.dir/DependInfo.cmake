@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/dscoh_translate.cpp" "src/workloads/CMakeFiles/dscoh_translate_tool.dir/__/__/tools/dscoh_translate.cpp.o" "gcc" "src/workloads/CMakeFiles/dscoh_translate_tool.dir/__/__/tools/dscoh_translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/translate/CMakeFiles/dscoh_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/dscoh_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dscoh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dscoh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

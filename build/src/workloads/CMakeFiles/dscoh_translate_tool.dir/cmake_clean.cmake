@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_translate_tool.dir/__/__/tools/dscoh_translate.cpp.o"
+  "CMakeFiles/dscoh_translate_tool.dir/__/__/tools/dscoh_translate.cpp.o.d"
+  "dscoh_translate"
+  "dscoh_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_translate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

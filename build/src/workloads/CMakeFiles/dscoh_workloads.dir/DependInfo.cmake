@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/parboil_pannotia.cpp" "src/workloads/CMakeFiles/dscoh_workloads.dir/parboil_pannotia.cpp.o" "gcc" "src/workloads/CMakeFiles/dscoh_workloads.dir/parboil_pannotia.cpp.o.d"
+  "/root/repo/src/workloads/rodinia.cpp" "src/workloads/CMakeFiles/dscoh_workloads.dir/rodinia.cpp.o" "gcc" "src/workloads/CMakeFiles/dscoh_workloads.dir/rodinia.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/workloads/CMakeFiles/dscoh_workloads.dir/runner.cpp.o" "gcc" "src/workloads/CMakeFiles/dscoh_workloads.dir/runner.cpp.o.d"
+  "/root/repo/src/workloads/sdk_standalone.cpp" "src/workloads/CMakeFiles/dscoh_workloads.dir/sdk_standalone.cpp.o" "gcc" "src/workloads/CMakeFiles/dscoh_workloads.dir/sdk_standalone.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/dscoh_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/dscoh_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dscoh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dscoh_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/dscoh_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dscoh_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dscoh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dscoh_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dscoh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dscoh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

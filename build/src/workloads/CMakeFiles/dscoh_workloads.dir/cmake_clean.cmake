@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dscoh_workloads.dir/parboil_pannotia.cpp.o"
+  "CMakeFiles/dscoh_workloads.dir/parboil_pannotia.cpp.o.d"
+  "CMakeFiles/dscoh_workloads.dir/rodinia.cpp.o"
+  "CMakeFiles/dscoh_workloads.dir/rodinia.cpp.o.d"
+  "CMakeFiles/dscoh_workloads.dir/runner.cpp.o"
+  "CMakeFiles/dscoh_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/dscoh_workloads.dir/sdk_standalone.cpp.o"
+  "CMakeFiles/dscoh_workloads.dir/sdk_standalone.cpp.o.d"
+  "CMakeFiles/dscoh_workloads.dir/workload.cpp.o"
+  "CMakeFiles/dscoh_workloads.dir/workload.cpp.o.d"
+  "libdscoh_workloads.a"
+  "libdscoh_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dscoh_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coh_tests.dir/coh_coverage_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh_coverage_test.cpp.o.d"
+  "CMakeFiles/coh_tests.dir/coh_directory_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh_directory_test.cpp.o.d"
+  "CMakeFiles/coh_tests.dir/coh_home_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh_home_test.cpp.o.d"
+  "CMakeFiles/coh_tests.dir/coh_protocol_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh_protocol_test.cpp.o.d"
+  "CMakeFiles/coh_tests.dir/coh_random_test.cpp.o"
+  "CMakeFiles/coh_tests.dir/coh_random_test.cpp.o.d"
+  "coh_tests"
+  "coh_tests.pdb"
+  "coh_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coh_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_config_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core_config_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_config_io_test.cpp.o.d"
+  "/root/repo/tests/core_direct_store_test.cpp" "tests/CMakeFiles/core_tests.dir/core_direct_store_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_direct_store_test.cpp.o.d"
+  "/root/repo/tests/core_modes_test.cpp" "tests/CMakeFiles/core_tests.dir/core_modes_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_modes_test.cpp.o.d"
+  "/root/repo/tests/core_system_test.cpp" "tests/CMakeFiles/core_tests.dir/core_system_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core_system_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dscoh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/dscoh_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dscoh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dscoh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/dscoh_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dscoh_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/dscoh_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dscoh_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dscoh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dscoh_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dscoh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dscoh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

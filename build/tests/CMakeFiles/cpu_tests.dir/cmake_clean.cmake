@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_tests.dir/cpu_core_edge_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/cpu_core_edge_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/cpu_core_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/cpu_core_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/cpu_tlb_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/cpu_tlb_test.cpp.o.d"
+  "cpu_tests"
+  "cpu_tests.pdb"
+  "cpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_tests.dir/gpu_l1_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu_l1_test.cpp.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu_sm_test.cpp.o"
+  "CMakeFiles/gpu_tests.dir/gpu_sm_test.cpp.o.d"
+  "gpu_tests"
+  "gpu_tests.pdb"
+  "gpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

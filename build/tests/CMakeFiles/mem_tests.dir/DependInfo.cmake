@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem_cache_array_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem_cache_array_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem_cache_array_test.cpp.o.d"
+  "/root/repo/tests/mem_data_block_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem_data_block_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem_data_block_test.cpp.o.d"
+  "/root/repo/tests/mem_dram_pool_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem_dram_pool_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem_dram_pool_test.cpp.o.d"
+  "/root/repo/tests/mem_dram_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem_dram_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem_dram_test.cpp.o.d"
+  "/root/repo/tests/mem_geometry_param_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem_geometry_param_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem_geometry_param_test.cpp.o.d"
+  "/root/repo/tests/mem_mshr_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem_mshr_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem_mshr_test.cpp.o.d"
+  "/root/repo/tests/mem_replacement_test.cpp" "tests/CMakeFiles/mem_tests.dir/mem_replacement_test.cpp.o" "gcc" "tests/CMakeFiles/mem_tests.dir/mem_replacement_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dscoh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/dscoh_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dscoh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dscoh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/dscoh_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dscoh_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/dscoh_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dscoh_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dscoh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dscoh_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dscoh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dscoh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

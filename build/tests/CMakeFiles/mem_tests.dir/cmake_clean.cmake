@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tests.dir/mem_cache_array_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem_cache_array_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem_data_block_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem_data_block_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem_dram_pool_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem_dram_pool_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem_dram_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem_dram_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem_geometry_param_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem_geometry_param_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem_mshr_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem_mshr_test.cpp.o.d"
+  "CMakeFiles/mem_tests.dir/mem_replacement_test.cpp.o"
+  "CMakeFiles/mem_tests.dir/mem_replacement_test.cpp.o.d"
+  "mem_tests"
+  "mem_tests.pdb"
+  "mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/misc_units_test.cpp" "tests/CMakeFiles/sim_tests.dir/misc_units_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/misc_units_test.cpp.o.d"
+  "/root/repo/tests/sim_event_queue_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim_event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim_event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim_log_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim_log_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim_log_test.cpp.o.d"
+  "/root/repo/tests/sim_rng_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim_rng_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim_rng_test.cpp.o.d"
+  "/root/repo/tests/sim_stats_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim_stats_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dscoh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/dscoh_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dscoh_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dscoh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/dscoh_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dscoh_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/dscoh_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dscoh_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dscoh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dscoh_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dscoh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dscoh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlate_tests.dir/xlate_fuzz_test.cpp.o"
+  "CMakeFiles/xlate_tests.dir/xlate_fuzz_test.cpp.o.d"
+  "CMakeFiles/xlate_tests.dir/xlate_translator_test.cpp.o"
+  "CMakeFiles/xlate_tests.dir/xlate_translator_test.cpp.o.d"
+  "xlate_tests"
+  "xlate_tests.pdb"
+  "xlate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
