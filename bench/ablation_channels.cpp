@@ -9,25 +9,39 @@
 using namespace dscoh;
 using namespace dscoh::bench;
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned workers = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "ablation_channels", workers, &exitCode))
+        return exitCode;
+
     std::printf("=== Ablation: DRAM channel count (Table I: 1 channel) ===\n");
     const std::vector<std::string> codes{"VA", "NN", "ST", "HT", "MM"};
+    const std::vector<std::uint32_t> channelCounts{1, 2, 4};
     std::printf("%-9s", "channels");
     for (const auto& code : codes)
         std::printf(" %9s", code.c_str());
     std::printf("   (speedup%% over same-channel CCSM, small inputs)\n");
 
-    for (const std::uint32_t channels : {1u, 2u, 4u}) {
+    // One flat batch across the whole table so the pool stays saturated.
+    std::vector<ExperimentJob> jobs;
+    for (const std::uint32_t channels : channelCounts) {
         SystemConfig cfg;
         cfg.memChannels = channels;
+        for (const auto& batch : makeSweepJobs(
+                 codes, {InputSize::kSmall},
+                 {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}, cfg))
+            jobs.push_back(batch);
+    }
+    const std::vector<WorkloadRunResult> runs = runBatch(jobs, workers);
+
+    std::size_t i = 0;
+    for (const std::uint32_t channels : channelCounts) {
         std::printf("%-9u", channels);
-        for (const auto& code : codes) {
-            const Workload& w = WorkloadRegistry::instance().get(code);
-            const auto ccsm =
-                runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm, cfg);
-            const auto ds = runWorkload(w, InputSize::kSmall,
-                                        CoherenceMode::kDirectStore, cfg);
+        for (std::size_t c = 0; c < codes.size(); ++c, i += 2) {
+            const auto& ccsm = runs[i];
+            const auto& ds = runs[i + 1];
             std::printf(" %8.1f%%",
                         (static_cast<double>(ccsm.metrics.ticks) /
                              static_cast<double>(ds.metrics.ticks) -

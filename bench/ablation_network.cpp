@@ -10,8 +10,13 @@
 using namespace dscoh;
 using namespace dscoh::bench;
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned workers = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "ablation_network", workers, &exitCode))
+        return exitCode;
+
     std::printf("=== Ablation: dedicated-network hop latency sweep ===\n");
     const std::vector<std::string> codes{"VA", "NN", "HT", "BL", "MM"};
     const std::vector<Tick> latencies{10, 20, 40, 80, 160, 320};
@@ -21,26 +26,29 @@ int main()
         std::printf(" %9s", code.c_str());
     std::printf("   (speedup%% over CCSM, small inputs)\n");
 
-    // CCSM baselines are independent of the DS network.
-    std::vector<Tick> baselines;
-    for (const auto& code : codes) {
-        const auto r = runWorkload(WorkloadRegistry::instance().get(code),
-                                   InputSize::kSmall, CoherenceMode::kCcsm);
-        baselines.push_back(r.metrics.ticks);
-    }
-
+    // CCSM baselines are independent of the DS network; run them and every
+    // latency point's DS runs as one flat batch so the pool stays full.
+    std::vector<ExperimentJob> jobs =
+        makeSweepJobs(codes, {InputSize::kSmall}, {CoherenceMode::kCcsm});
     for (const Tick hop : latencies) {
         SystemConfig cfg;
         cfg.dsNet.hopLatency = hop;
+        for (const auto& job :
+             makeSweepJobs(codes, {InputSize::kSmall},
+                           {CoherenceMode::kDirectStore}, cfg))
+            jobs.push_back(job);
+    }
+    const std::vector<WorkloadRunResult> runs = runBatch(jobs, workers);
+
+    std::size_t i = codes.size(); // DS runs start after the baselines
+    for (const Tick hop : latencies) {
         std::printf("%-8llu", static_cast<unsigned long long>(hop));
-        for (std::size_t i = 0; i < codes.size(); ++i) {
-            const auto r = runWorkload(WorkloadRegistry::instance().get(codes[i]),
-                                       InputSize::kSmall,
-                                       CoherenceMode::kDirectStore, cfg);
-            const double speedup = (static_cast<double>(baselines[i]) /
-                                        static_cast<double>(r.metrics.ticks) -
-                                    1.0) *
-                                   100.0;
+        for (std::size_t c = 0; c < codes.size(); ++c, ++i) {
+            const double speedup =
+                (static_cast<double>(runs[c].metrics.ticks) /
+                     static_cast<double>(runs[i].metrics.ticks) -
+                 1.0) *
+                100.0;
             std::printf(" %8.1f%%", speedup);
         }
         std::printf("\n");

@@ -6,6 +6,7 @@
 // and compare: pull-based prefetching still pays the coherence round trip
 // per line and can only hide latency after the first miss of a stream,
 // while the push places the data before the first access.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -13,31 +14,46 @@
 using namespace dscoh;
 using namespace dscoh::bench;
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned workers = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "ablation_prefetch", workers, &exitCode))
+        return exitCode;
+
     std::printf("=== Ablation: direct store vs GPU-L2 prefetching ===\n");
     const std::vector<std::string> codes{"NN", "BL", "VA", "MM", "MT", "BF"};
 
+    // Four configurations per code: CCSM, CCSM+pf2, CCSM+pf4, DS — all
+    // independent, all submitted as one flat batch.
+    SystemConfig pf2;
+    pf2.gpuL2PrefetchDepth = 2;
+    SystemConfig pf4;
+    pf4.gpuL2PrefetchDepth = 4;
+    std::vector<ExperimentJob> jobs;
+    for (const auto& code : codes) {
+        ExperimentJob job;
+        job.code = code;
+        job.size = InputSize::kSmall;
+        job.mode = CoherenceMode::kCcsm;
+        jobs.push_back(job);
+        job.config = pf2;
+        jobs.push_back(job);
+        job.config = pf4;
+        jobs.push_back(job);
+        job.config = SystemConfig{};
+        job.mode = CoherenceMode::kDirectStore;
+        jobs.push_back(job);
+    }
+    const std::vector<WorkloadRunResult> runs = runBatch(jobs, workers);
+
     std::printf("%-5s %12s %12s %12s %12s %12s\n", "Name", "CCSM", "CCSM+pf2",
                 "CCSM+pf4", "DS", "DS win vs best pf");
-    for (const auto& code : codes) {
-        const Workload& w = WorkloadRegistry::instance().get(code);
-
-        const auto base =
-            runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
-
-        SystemConfig pf2;
-        pf2.gpuL2PrefetchDepth = 2;
-        const auto withPf2 =
-            runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm, pf2);
-
-        SystemConfig pf4;
-        pf4.gpuL2PrefetchDepth = 4;
-        const auto withPf4 =
-            runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm, pf4);
-
-        const auto ds =
-            runWorkload(w, InputSize::kSmall, CoherenceMode::kDirectStore);
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+        const auto& base = runs[c * 4];
+        const auto& withPf2 = runs[c * 4 + 1];
+        const auto& withPf4 = runs[c * 4 + 2];
+        const auto& ds = runs[c * 4 + 3];
 
         const Tick bestPf =
             std::min(withPf2.metrics.ticks, withPf4.metrics.ticks);
@@ -46,7 +62,7 @@ int main()
                                 1.0) *
                                100.0;
         std::printf("%-5s %12llu %12llu %12llu %12llu %11.1f%%\n",
-                    code.c_str(),
+                    codes[c].c_str(),
                     static_cast<unsigned long long>(base.metrics.ticks),
                     static_cast<unsigned long long>(withPf2.metrics.ticks),
                     static_cast<unsigned long long>(withPf4.metrics.ticks),

@@ -12,39 +12,46 @@
 using namespace dscoh;
 using namespace dscoh::bench;
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned workers = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "ablation_protocol", workers, &exitCode))
+        return exitCode;
+
     std::printf("=== Ablation: baseline protocol (Hammer vs directory) ===\n");
     const std::vector<std::string> codes{"VA", "NN", "BL", "HT", "MM", "SR"};
 
+    SystemConfig hammer;
+    SystemConfig dir;
+    dir.directoryHome = true;
+    std::vector<ExperimentJob> jobs = makeSweepJobs(
+        codes, {InputSize::kSmall},
+        {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}, hammer);
+    for (const auto& job : makeSweepJobs(
+             codes, {InputSize::kSmall},
+             {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}, dir))
+        jobs.push_back(job);
+    const std::vector<WorkloadRunResult> runs = runBatch(jobs, workers);
+
+    const auto pct = [](const WorkloadRunResult& base,
+                        const WorkloadRunResult& ds) {
+        return (static_cast<double>(base.metrics.ticks) /
+                    static_cast<double>(ds.metrics.ticks) -
+                1.0) *
+               100.0;
+    };
     std::printf("%-5s | %12s %12s %9s | %12s %12s %9s\n", "Name",
                 "hammerCCSM", "hammerDS", "speedup", "dirCCSM", "dirDS",
                 "speedup");
-    for (const auto& code : codes) {
-        const Workload& w = WorkloadRegistry::instance().get(code);
-
-        SystemConfig hammer;
-        const auto hc = runWorkload(w, InputSize::kSmall,
-                                    CoherenceMode::kCcsm, hammer);
-        const auto hd = runWorkload(w, InputSize::kSmall,
-                                    CoherenceMode::kDirectStore, hammer);
-
-        SystemConfig dir;
-        dir.directoryHome = true;
-        const auto dc =
-            runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm, dir);
-        const auto dd = runWorkload(w, InputSize::kSmall,
-                                    CoherenceMode::kDirectStore, dir);
-
-        const auto pct = [](const WorkloadRunResult& base,
-                            const WorkloadRunResult& ds) {
-            return (static_cast<double>(base.metrics.ticks) /
-                        static_cast<double>(ds.metrics.ticks) -
-                    1.0) *
-                   100.0;
-        };
+    const std::size_t dirBase = codes.size() * 2;
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+        const auto& hc = runs[c * 2];
+        const auto& hd = runs[c * 2 + 1];
+        const auto& dc = runs[dirBase + c * 2];
+        const auto& dd = runs[dirBase + c * 2 + 1];
         std::printf("%-5s | %12llu %12llu %8.1f%% | %12llu %12llu %8.1f%%\n",
-                    code.c_str(),
+                    codes[c].c_str(),
                     static_cast<unsigned long long>(hc.metrics.ticks),
                     static_cast<unsigned long long>(hd.metrics.ticks),
                     pct(hc, hd),

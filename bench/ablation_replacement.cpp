@@ -10,6 +10,7 @@
 // It also exercises the hybrid policy the same section describes ("set
 // large variables to use this approach ... remaining small-sized data to
 // use CCSM"): a ds-threshold sweep on BP, whose arrays span 6 KB to 2.5 MB.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -17,10 +18,37 @@
 using namespace dscoh;
 using namespace dscoh::bench;
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned workers = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "ablation_replacement", workers,
+                        &exitCode))
+        return exitCode;
+
     std::printf("=== Ablation: direct store as a full CCSM replacement "
                 "(SIII-H) ===\n\n");
+
+    const std::vector<std::string> codes = WorkloadRegistry::instance().codes();
+    const std::vector<std::uint64_t> thresholds{0, 8ull * 1024, 64ull * 1024,
+                                                512ull * 1024, 8ull << 20};
+
+    // One flat batch: 3 modes per code, plus the BP hybrid-threshold runs.
+    std::vector<ExperimentJob> jobs = makeSweepJobs(
+        codes, {InputSize::kSmall},
+        {CoherenceMode::kCcsm, CoherenceMode::kDirectStore,
+         CoherenceMode::kDirectStoreOnly});
+    const std::size_t hybridBase = jobs.size();
+    for (const std::uint64_t threshold : thresholds) {
+        ExperimentJob job;
+        job.code = "BP";
+        job.size = InputSize::kSmall;
+        job.mode = CoherenceMode::kDirectStore;
+        job.config.dsMinBytes = threshold;
+        jobs.push_back(std::move(job));
+    }
+    const std::vector<WorkloadRunResult> runs = runBatch(jobs, workers);
+
     std::printf("%-5s | %12s %12s %12s | %10s %10s %10s\n", "Name",
                 "CCSM ticks", "DS ticks", "DSonly tick", "CCSM msgs",
                 "DS msgs", "DSonly msg");
@@ -28,15 +56,15 @@ int main()
     double worstRegression = 0.0;
     std::uint64_t msgsCcsm = 0;
     std::uint64_t msgsOnly = 0;
-    for (const auto& code : WorkloadRegistry::instance().codes()) {
-        const Workload& w = WorkloadRegistry::instance().get(code);
-        const auto ccsm = runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
-        const auto ds =
-            runWorkload(w, InputSize::kSmall, CoherenceMode::kDirectStore);
-        const auto only =
-            runWorkload(w, InputSize::kSmall, CoherenceMode::kDirectStoreOnly);
+    std::uint64_t bpCcsmTicks = 0;
+    for (std::size_t c = 0; c < codes.size(); ++c) {
+        const auto& ccsm = runs[c * 3];
+        const auto& ds = runs[c * 3 + 1];
+        const auto& only = runs[c * 3 + 2];
+        if (codes[c] == "BP")
+            bpCcsmTicks = ccsm.metrics.ticks;
         std::printf("%-5s | %12llu %12llu %12llu | %10llu %10llu %10llu\n",
-                    code.c_str(),
+                    codes[c].c_str(),
                     static_cast<unsigned long long>(ccsm.metrics.ticks),
                     static_cast<unsigned long long>(ds.metrics.ticks),
                     static_cast<unsigned long long>(only.metrics.ticks),
@@ -65,19 +93,12 @@ int main()
     std::printf("--- Hybrid policy: DS only for arrays >= threshold (BP "
                 "small) ---\n");
     std::printf("%-12s %14s %10s\n", "threshold", "ticks", "speedup%");
-    const auto base = runWorkload(WorkloadRegistry::instance().get("BP"),
-                                  InputSize::kSmall, CoherenceMode::kCcsm);
-    for (const std::uint64_t threshold :
-         {0ull, 8ull * 1024, 64ull * 1024, 512ull * 1024, 8ull << 20}) {
-        SystemConfig cfg;
-        cfg.dsMinBytes = threshold;
-        const auto r = runWorkload(WorkloadRegistry::instance().get("BP"),
-                                   InputSize::kSmall,
-                                   CoherenceMode::kDirectStore, cfg);
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+        const auto& r = runs[hybridBase + t];
         std::printf("%-12llu %14llu %9.1f%%\n",
-                    static_cast<unsigned long long>(threshold),
+                    static_cast<unsigned long long>(thresholds[t]),
                     static_cast<unsigned long long>(r.metrics.ticks),
-                    (static_cast<double>(base.metrics.ticks) /
+                    (static_cast<double>(bpCcsmTicks) /
                          static_cast<double>(r.metrics.ticks) -
                      1.0) *
                         100.0);

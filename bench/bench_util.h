@@ -1,16 +1,65 @@
 // Shared helpers for the reproduction benches: run workloads under both
-// schemes, format per-benchmark tables, and compute the paper's geometric
-// means.
+// schemes through the parallel ExperimentEngine, format per-benchmark
+// tables, and compute the paper's geometric means.
+//
+// Every bench accepts --jobs N (default: all hardware threads, or the
+// DSCOH_JOBS environment variable). Runs are fully independent simulations,
+// so results are bit-identical for any worker count.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "cli/options.h"
+#include "exp/experiment_engine.h"
 #include "workloads/runner.h"
 
 namespace dscoh::bench {
+
+/// Parses a bench's argv (--jobs N plus --help). Returns false when the
+/// process should exit; *exitCode then holds its status.
+inline bool parseBenchArgs(int argc, char** argv, const char* name,
+                           unsigned& jobsOut, int* exitCode)
+{
+    std::string jobsText;
+    cli::OptionParser parser(name, "paper-reproduction bench");
+    parser.addString("jobs", "worker threads (default: hardware threads, or "
+                             "DSCOH_JOBS)", &jobsText);
+    if (!parser.parse(argc, argv, std::cerr)) {
+        *exitCode = 2;
+        return false;
+    }
+    std::string error;
+    if (!cli::resolveJobs(jobsText, jobsOut, error)) {
+        std::cerr << name << ": " << error << "\n";
+        *exitCode = 2;
+        return false;
+    }
+    return true;
+}
+
+/// Runs a job batch through the engine; any failed run aborts the bench
+/// (same contract as calling runWorkload directly had).
+inline std::vector<WorkloadRunResult>
+runBatch(const std::vector<ExperimentJob>& jobs, unsigned workers)
+{
+    ExperimentEngine engine(workers);
+    const std::vector<ExperimentResult> results = engine.run(jobs);
+    std::vector<WorkloadRunResult> runs;
+    runs.reserve(results.size());
+    for (const ExperimentResult& r : results) {
+        if (!r.ok)
+            throw std::runtime_error(r.job.code + " (" +
+                                     to_string(r.job.size) + ", " +
+                                     to_string(r.job.mode) + "): " + r.error);
+        runs.push_back(r.run);
+    }
+    return runs;
+}
 
 struct BenchmarkRow {
     std::string code;
@@ -28,23 +77,41 @@ struct BenchmarkRow {
     }
 };
 
-/// Runs every Table II workload at @p size under both schemes.
+/// Runs every Table II workload at @p size under both schemes, sharded
+/// across @p workers threads (0 = hardware concurrency).
 inline std::vector<BenchmarkRow> runAll(InputSize size,
                                         const SystemConfig& base = SystemConfig{},
-                                        bool verbose = true)
+                                        bool verbose = true,
+                                        unsigned workers = 0)
 {
+    const std::vector<std::string> codes = WorkloadRegistry::instance().codes();
+    const std::vector<ExperimentJob> jobs = makeSweepJobs(
+        codes, {size}, {CoherenceMode::kCcsm, CoherenceMode::kDirectStore},
+        base);
+    ExperimentEngine engine(workers);
+    if (verbose) {
+        engine.onProgress([](const ExperimentResult& r, std::size_t done,
+                             std::size_t total) {
+            std::fprintf(stderr, "  [%zu/%zu] ran %s (%s, %s)%s\n", done,
+                         total, r.job.code.c_str(), to_string(r.job.size),
+                         to_string(r.job.mode), r.ok ? "" : " FAILED");
+        });
+    }
+    const std::vector<ExperimentResult> results = engine.run(jobs);
+
     std::vector<BenchmarkRow> rows;
-    const auto& registry = WorkloadRegistry::instance();
-    for (const auto& code : registry.codes()) {
-        const Workload& w = registry.get(code);
+    rows.reserve(codes.size());
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        if (!results[i].ok)
+            throw std::runtime_error(results[i].job.code + ": " +
+                                     results[i].error);
+        if (!results[i + 1].ok)
+            throw std::runtime_error(results[i + 1].job.code + ": " +
+                                     results[i + 1].error);
         BenchmarkRow row;
-        row.code = code;
-        row.ccsm = runWorkload(w, size, CoherenceMode::kCcsm, base);
-        row.ds = runWorkload(w, size, CoherenceMode::kDirectStore, base);
-        if (verbose) {
-            std::fprintf(stderr, "  ran %s (%s)\n", code.c_str(),
-                         to_string(size));
-        }
+        row.code = results[i].job.code;
+        row.ccsm = results[i].run;
+        row.ds = results[i + 1].run;
         rows.push_back(std::move(row));
     }
     return rows;

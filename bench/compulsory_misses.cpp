@@ -47,10 +47,15 @@ void report(const char* title, const std::vector<BenchmarkRow>& rows)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned workers = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "compulsory_misses", workers, &exitCode))
+        return exitCode;
+
     std::printf("=== Compulsory-miss reduction under direct store ===\n");
-    report("small", runAll(InputSize::kSmall));
-    report("big", runAll(InputSize::kBig));
+    report("small", runAll(InputSize::kSmall, SystemConfig{}, true, workers));
+    report("big", runAll(InputSize::kBig, SystemConfig{}, true, workers));
     return 0;
 }

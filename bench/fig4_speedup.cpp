@@ -37,17 +37,22 @@ void report(const char* title, const std::vector<BenchmarkRow>& rows,
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned jobs = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "fig4_speedup", jobs, &exitCode))
+        return exitCode;
+
     std::printf("=== Fig. 4: Direct store speedup over CCSM ===\n");
     std::printf("(22 benchmarks x 2 schemes per input size; every run is "
                 "functionally\n verified -- any produced-value mismatch "
                 "aborts the bench)\n");
 
-    const auto small = runAll(InputSize::kSmall);
+    const auto small = runAll(InputSize::kSmall, SystemConfig{}, true, jobs);
     report("small", small, 7.8);
 
-    const auto big = runAll(InputSize::kBig);
+    const auto big = runAll(InputSize::kBig, SystemConfig{}, true, jobs);
     report("big", big, 5.7);
 
     // The paper's qualitative claims, checked mechanically.

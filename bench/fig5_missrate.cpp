@@ -44,14 +44,19 @@ void report(const char* title, const std::vector<BenchmarkRow>& rows,
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned jobs = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "fig5_missrate", jobs, &exitCode))
+        return exitCode;
+
     std::printf("=== Fig. 5: GPU L2 miss rate, CCSM vs direct store ===\n");
 
-    const auto small = runAll(InputSize::kSmall);
+    const auto small = runAll(InputSize::kSmall, SystemConfig{}, true, jobs);
     report("small", small, 9.3, 7.3);
 
-    const auto big = runAll(InputSize::kBig);
+    const auto big = runAll(InputSize::kBig, SystemConfig{}, true, jobs);
     report("big", big, 12.5, 11.1);
 
     int increased = 0;

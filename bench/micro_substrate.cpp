@@ -12,7 +12,7 @@
 #include "mem/cache_array.h"
 #include "mem/dram.h"
 #include "net/network.h"
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "translate/translator.h"
 
@@ -83,8 +83,9 @@ void BM_NetworkSendDeliver(benchmark::State& state)
 {
     for (auto _ : state) {
         state.PauseTiming();
-        EventQueue q;
-        Network net("n", q, NetworkParams{10, 32});
+        SimContext ctx;
+        EventQueue& q = ctx.queue;
+        Network net("n", ctx, NetworkParams{10, 32});
         std::uint64_t delivered = 0;
         net.connect(0, [](const Message&) {});
         net.connect(1, [&delivered](const Message&) { ++delivered; });
@@ -108,9 +109,10 @@ void BM_DramReadStream(benchmark::State& state)
 {
     for (auto _ : state) {
         state.PauseTiming();
-        EventQueue q;
+        SimContext ctx;
+        EventQueue& q = ctx.queue;
         BackingStore store(64ull << 20);
-        Dram dram("d", q, store);
+        Dram dram("d", ctx, store);
         int done = 0;
         state.ResumeTiming();
         for (int i = 0; i < 1000; ++i)
@@ -126,12 +128,13 @@ void BM_ProtocolReadMissRoundTrip(benchmark::State& state)
 {
     for (auto _ : state) {
         state.PauseTiming();
-        EventQueue q;
+        SimContext ctx;
+        EventQueue& q = ctx.queue;
         BackingStore store(16ull << 20);
-        Dram dram("d", q, store);
-        Network req("req", q, NetworkParams{10, 32});
-        Network fwd("fwd", q, NetworkParams{10, 32});
-        Network resp("resp", q, NetworkParams{10, 32});
+        Dram dram("d", ctx, store);
+        Network req("req", ctx, NetworkParams{10, 32});
+        Network fwd("fwd", ctx, NetworkParams{10, 32});
+        Network resp("resp", ctx, NetworkParams{10, 32});
         HomeController::Params hp;
         hp.self = 2;
         hp.requestNet = &req;
@@ -140,7 +143,7 @@ void BM_ProtocolReadMissRoundTrip(benchmark::State& state)
         hp.dram = &dram;
         hp.store = &store;
         hp.peersOf = [](Addr) { return std::vector<NodeId>{0, 1}; };
-        HomeController home("home", q, std::move(hp));
+        HomeController home("home", ctx, std::move(hp));
         CacheAgent::Params ap;
         ap.geometry.sizeBytes = 64 * 1024;
         ap.geometry.ways = 4;
@@ -149,9 +152,9 @@ void BM_ProtocolReadMissRoundTrip(benchmark::State& state)
         ap.requestNet = &req;
         ap.forwardNet = &fwd;
         ap.responseNet = &resp;
-        CacheAgent a("a", q, ap);
+        CacheAgent a("a", ctx, ap);
         ap.self = 1;
-        CacheAgent b("b", q, ap);
+        CacheAgent b("b", ctx, ap);
         req.connect(2, [&home](const Message& m) { home.handleRequest(m); });
         resp.connect(2, [&home](const Message& m) { home.handleResponse(m); });
         fwd.connect(0, [&a](const Message& m) { a.handleForward(m); });

@@ -8,8 +8,13 @@
 using namespace dscoh;
 using namespace dscoh::bench;
 
-int main()
+int main(int argc, char** argv)
 {
+    unsigned workers = 0;
+    int exitCode = 0;
+    if (!parseBenchArgs(argc, argv, "traffic_breakdown", workers, &exitCode))
+        return exitCode;
+
     std::printf("=== Coherence-traffic breakdown (Fig. 1 / SIII-H) ===\n");
     std::printf("Messages on the three coherence virtual networks "
                 "(request/forward/response)\nversus the dedicated direct-store "
@@ -17,7 +22,7 @@ int main()
     std::printf("%-5s %12s %12s %10s %12s %14s\n", "Name", "CCSM msgs",
                 "DS msgs", "saved", "DS-net msgs", "CCSM KB on wire");
 
-    const auto rows = runAll(InputSize::kSmall);
+    const auto rows = runAll(InputSize::kSmall, SystemConfig{}, true, workers);
     std::uint64_t ccsmTotal = 0;
     std::uint64_t dsTotal = 0;
     std::uint64_t dsNetTotal = 0;

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Builds the sweep tool with ThreadSanitizer and runs a parallel sweep
+# subset. Any data race in the experiment engine (or in simulation state
+# leaking across concurrently running SimContexts) aborts with a TSan
+# report and a non-zero exit code.
+#
+# Usage: scripts/tsan_sweep.sh [jobs]
+set -eu
+
+jobs="${1:-4}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DDSCOH_TSAN=ON
+cmake --build "${build_dir}" --target dscoh_sweep -j
+TSAN_OPTIONS="halt_on_error=1" \
+    "${build_dir}/src/workloads/dscoh_sweep" small --jobs "${jobs}" \
+    --only VA,NN,BP --json "${build_dir}/tsan_results.json"
+echo "tsan_sweep: no data races reported"

@@ -1,6 +1,8 @@
 #include "cli/options.h"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 namespace dscoh::cli {
 
@@ -91,6 +93,56 @@ bool OptionParser::parse(int argc, const char* const* argv, std::ostream& err)
             return false;
         }
     }
+    return true;
+}
+
+bool parseJobCount(const std::string& text, unsigned& out, std::string& error)
+{
+    if (text.empty()) {
+        error = "job count is empty";
+        return false;
+    }
+    // Strict: digits only, so "0", "-3", "2x" and "1e3" all fail loudly
+    // instead of silently truncating.
+    for (const char c : text) {
+        if (c < '0' || c > '9') {
+            error = "job count '" + text + "' is not a positive integer";
+            return false;
+        }
+    }
+    unsigned long long value = 0;
+    try {
+        value = std::stoull(text);
+    } catch (const std::exception&) {
+        error = "job count '" + text + "' is out of range";
+        return false;
+    }
+    if (value == 0) {
+        error = "job count must be at least 1";
+        return false;
+    }
+    if (value > 4096) {
+        error = "job count '" + text + "' is unreasonably large (max 4096)";
+        return false;
+    }
+    out = static_cast<unsigned>(value);
+    return true;
+}
+
+bool resolveJobs(const std::string& flagText, unsigned& out, std::string& error)
+{
+    if (!flagText.empty())
+        return parseJobCount(flagText, out, error);
+    if (const char* env = std::getenv("DSCOH_JOBS");
+        env != nullptr && *env != '\0') {
+        if (!parseJobCount(env, out, error)) {
+            error = "DSCOH_JOBS: " + error;
+            return false;
+        }
+        return true;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    out = hw == 0 ? 1 : hw;
     return true;
 }
 

@@ -49,4 +49,16 @@ private:
     std::vector<std::string> positional_;
 };
 
+/// Parses a worker-count value (from --jobs or DSCOH_JOBS): a positive
+/// decimal integer. Rejects 0, negatives, garbage and trailing junk with a
+/// deterministic message in @p error.
+bool parseJobCount(const std::string& text, unsigned& out, std::string& error);
+
+/// Resolves the worker count for a parallel tool. Precedence: an explicit
+/// --jobs value (@p flagText, empty = not given), then the DSCOH_JOBS
+/// environment variable, then std::thread::hardware_concurrency() (minimum
+/// 1). Returns false and fills @p error when an explicit source is invalid.
+bool resolveJobs(const std::string& flagText, unsigned& out,
+                 std::string& error);
+
 } // namespace dscoh::cli

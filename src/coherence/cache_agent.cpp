@@ -27,8 +27,8 @@ const char* to_string(CohState s)
     return "?";
 }
 
-CacheAgent::CacheAgent(std::string name, EventQueue& queue, const Params& params)
-    : SimObject(std::move(name), queue), params_(params),
+CacheAgent::CacheAgent(std::string name, SimContext& ctx, const Params& params)
+    : SimObject(std::move(name), ctx), params_(params),
       array_(params.geometry), mshr_(params.mshrs)
 {
     assert(params_.requestNet && params_.forwardNet && params_.responseNet);
@@ -365,6 +365,9 @@ void CacheAgent::handleData(const Message& msg)
     else
         next = CohState::kMM;
     recordTransition(prev, CohEvent::kFill, next);
+    DSCOH_LOG("coherence", name() << " fill 0x" << std::hex << msg.addr
+                                  << std::dec << ' ' << to_string(prev)
+                                  << " -> " << to_string(next));
     line->meta.state = next;
     line->meta.dsFilled = false;
     fills_.inc();

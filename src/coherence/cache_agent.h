@@ -55,7 +55,7 @@ public:
         Tick dataSupplyInterval = 0;
     };
 
-    CacheAgent(std::string name, EventQueue& queue, const Params& params);
+    CacheAgent(std::string name, SimContext& ctx, const Params& params);
 
     /// Requests read (exclusive=false) or write (exclusive=true) permission
     /// on @p addr's line. Always accepted; internally defers on resource

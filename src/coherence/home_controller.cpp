@@ -3,10 +3,12 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/log.h"
+
 namespace dscoh {
 
-HomeController::HomeController(std::string name, EventQueue& queue, Params params)
-    : SimObject(std::move(name), queue), params_(std::move(params))
+HomeController::HomeController(std::string name, SimContext& ctx, Params params)
+    : SimObject(std::move(name), ctx), params_(std::move(params))
 {
     assert(params_.requestNet && params_.forwardNet && params_.responseNet);
     assert(params_.dram && params_.store && params_.peersOf);
@@ -37,6 +39,9 @@ void HomeController::handleRequest(const Message& msg)
 
 void HomeController::process(const Message& msg, LineState& ls)
 {
+    DSCOH_LOG("home", name() << ' ' << to_string(msg.type) << " 0x"
+                             << std::hex << msg.addr << std::dec << " from "
+                             << msg.src);
     switch (msg.type) {
     case MsgType::kGetS:
     case MsgType::kGetX:

@@ -51,7 +51,7 @@ public:
         bool directoryMode = false;
     };
 
-    HomeController(std::string name, EventQueue& queue, Params params);
+    HomeController(std::string name, SimContext& ctx, Params params);
 
     void handleRequest(const Message& msg);  ///< GetS/GetX/Put/Unblock
     void handleResponse(const Message& msg); ///< SnpResp

@@ -27,13 +27,19 @@ enum class CohEvent : std::uint8_t {
 
 const char* to_string(CohEvent e);
 
-/// Process-wide transition recorder. Disabled (and free) unless a test or
+/// Per-thread transition recorder. Disabled (and free) unless a test or
 /// tool enables it; the simulator's hot paths only pay a branch.
+///
+/// instance() is thread_local rather than process-wide: a simulation records
+/// into the recorder of the thread it runs on, so concurrent simulations
+/// (ExperimentEngine workers) never contend or race on coverage state. Tests
+/// drive the simulation on their own thread and observe the same instance
+/// they enabled, exactly as before.
 class TransitionCoverage {
 public:
     static TransitionCoverage& instance()
     {
-        static TransitionCoverage coverage;
+        static thread_local TransitionCoverage coverage;
         return coverage;
     }
 

@@ -47,17 +47,17 @@ System::System(const SystemConfig& config)
 {
     store_ = std::make_unique<BackingStore>(config_.memBytes);
     space_ = std::make_unique<AddressSpace>(config_.memBytes);
-    dram_ = std::make_unique<DramPool>("dram", queue_, *store_, config_.dram,
+    dram_ = std::make_unique<DramPool>("dram", ctx_, *store_, config_.dram,
                                        config_.memChannels);
 
-    requestNet_ = std::make_unique<Network>("net.request", queue_,
+    requestNet_ = std::make_unique<Network>("net.request", ctx_,
                                             config_.coherenceNet);
-    forwardNet_ = std::make_unique<Network>("net.forward", queue_,
+    forwardNet_ = std::make_unique<Network>("net.forward", ctx_,
                                             config_.coherenceNet);
-    responseNet_ = std::make_unique<Network>("net.response", queue_,
+    responseNet_ = std::make_unique<Network>("net.response", ctx_,
                                              config_.coherenceNet);
-    dsNet_ = std::make_unique<Network>("net.ds", queue_, config_.dsNet);
-    gpuNet_ = std::make_unique<Network>("net.gpu", queue_, config_.gpuNet);
+    dsNet_ = std::make_unique<Network>("net.ds", ctx_, config_.dsNet);
+    gpuNet_ = std::make_unique<Network>("net.gpu", ctx_, config_.gpuNet);
 
     // --- home controller -------------------------------------------------
     HomeController::Params homeParams;
@@ -81,7 +81,7 @@ System::System(const SystemConfig& config)
             return std::vector<NodeId>{kCpuAgentNode, sliceNodeOf(a)};
         };
     }
-    home_ = std::make_unique<HomeController>("home", queue_,
+    home_ = std::make_unique<HomeController>("home", ctx_,
                                              std::move(homeParams));
 
     // --- CPU side ---------------------------------------------------------
@@ -106,10 +106,10 @@ System::System(const SystemConfig& config)
     cpuL1.geometry.ways = config_.cpuL1dWays;
     cpuL1.geometry.replacement = config_.replacement;
     cpuL1.geometry.replacementSeed = config_.seed + 1;
-    cpuAgent_ = std::make_unique<CpuCacheAgent>("cpu.cache", queue_, cpuL2,
+    cpuAgent_ = std::make_unique<CpuCacheAgent>("cpu.cache", ctx_, cpuL2,
                                                 cpuL1);
 
-    tlb_ = std::make_unique<Tlb>("cpu.tlb", queue_, *space_, config_.tlb);
+    tlb_ = std::make_unique<Tlb>("cpu.tlb", ctx_, *space_, config_.tlb);
 
     CpuCore::Params coreParams;
     coreParams.l1Latency = config_.cpuL1Latency;
@@ -119,7 +119,7 @@ System::System(const SystemConfig& config)
     coreParams.self = cpuCoreNode();
     coreParams.dsNet = dsNet_.get();
     coreParams.sliceOf = [this](Addr a) { return sliceNodeOf(a); };
-    cpuCore_ = std::make_unique<CpuCore>("cpu.core", queue_,
+    cpuCore_ = std::make_unique<CpuCore>("cpu.core", ctx_,
                                          std::move(coreParams), *tlb_,
                                          *cpuAgent_);
 
@@ -150,7 +150,7 @@ System::System(const SystemConfig& config)
         sliceParams.prefetchDepth = config_.gpuL2PrefetchDepth;
         sliceParams.slices = config_.gpuL2Slices;
         slices_.push_back(std::make_unique<GpuL2Slice>(
-            "gpu.l2.slice" + std::to_string(s), queue_, sliceAgent,
+            "gpu.l2.slice" + std::to_string(s), ctx_, sliceAgent,
             sliceParams));
     }
 
@@ -169,7 +169,7 @@ System::System(const SystemConfig& config)
         smParams.l1Geometry.replacement = config_.replacement;
         smParams.l1Geometry.replacementSeed = config_.seed + 100 + i;
         sms_.push_back(std::make_unique<StreamingMultiprocessor>(
-            "gpu.sm" + std::to_string(i), queue_, std::move(smParams),
+            "gpu.sm" + std::to_string(i), ctx_, std::move(smParams),
             *space_));
     }
 
@@ -178,7 +178,7 @@ System::System(const SystemConfig& config)
         smPtrs.push_back(sm.get());
     GpuDevice::Params devParams;
     devParams.launchLatency = config_.kernelLaunchLatency;
-    gpuDevice_ = std::make_unique<GpuDevice>("gpu.device", queue_, devParams,
+    gpuDevice_ = std::make_unique<GpuDevice>("gpu.device", ctx_, devParams,
                                              std::move(smPtrs));
 
     // --- wiring -------------------------------------------------------------
@@ -267,13 +267,13 @@ void System::launchKernel(const KernelDesc& kernel,
 
 Tick System::simulate()
 {
-    return queue_.run();
+    return ctx_.queue.run();
 }
 
 RunMetrics System::metrics() const
 {
     RunMetrics m;
-    m.ticks = queue_.curTick();
+    m.ticks = ctx_.queue.curTick();
     for (const auto& slicePtr : slices_) {
         m.gpuL2Accesses += slicePtr->demandAccesses();
         m.gpuL2Misses += slicePtr->demandMisses();

@@ -51,7 +51,11 @@ public:
     System& operator=(const System&) = delete;
 
     const SystemConfig& config() const { return config_; }
-    EventQueue& queue() { return queue_; }
+    SimContext& context() { return ctx_; }
+    EventQueue& queue() { return ctx_.queue; }
+    /// Per-system log sink: sys.log().enable("coherence") turns on a
+    /// component's tracing for this simulation only.
+    LogSink& log() { return ctx_.log; }
     AddressSpace& addressSpace() { return *space_; }
     StatRegistry& stats() { return stats_; }
 
@@ -108,7 +112,7 @@ public:
 
 private:
     SystemConfig config_;
-    EventQueue queue_;
+    SimContext ctx_;
     StatRegistry stats_;
     SliceInterleave interleave_;
 

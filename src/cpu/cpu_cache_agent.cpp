@@ -7,10 +7,10 @@
 
 namespace dscoh {
 
-CpuCacheAgent::CpuCacheAgent(std::string name, EventQueue& queue,
+CpuCacheAgent::CpuCacheAgent(std::string name, SimContext& ctx,
                              const CacheAgent::Params& l2Params,
                              const L1Params& l1Params)
-    : CacheAgent(std::move(name), queue, l2Params), l1_(l1Params.geometry)
+    : CacheAgent(std::move(name), ctx, l2Params), l1_(l1Params.geometry)
 {
 }
 

@@ -23,7 +23,7 @@ public:
         CacheGeometry geometry;
     };
 
-    CpuCacheAgent(std::string name, EventQueue& queue,
+    CpuCacheAgent(std::string name, SimContext& ctx,
                   const CacheAgent::Params& l2Params, const L1Params& l1Params);
 
     /// Does the L1 tag filter currently hold @p addr's line?

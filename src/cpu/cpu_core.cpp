@@ -6,9 +6,9 @@
 
 namespace dscoh {
 
-CpuCore::CpuCore(std::string name, EventQueue& queue, Params params, Tlb& tlb,
+CpuCore::CpuCore(std::string name, SimContext& ctx, Params params, Tlb& tlb,
                  CpuCacheAgent& cache)
-    : SimObject(std::move(name), queue), params_(std::move(params)), tlb_(tlb),
+    : SimObject(std::move(name), ctx), params_(std::move(params)), tlb_(tlb),
       cache_(cache)
 {
 }

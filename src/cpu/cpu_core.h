@@ -34,7 +34,7 @@ public:
         std::function<NodeId(Addr)> sliceOf; ///< PA -> owning slice's node id
     };
 
-    CpuCore(std::string name, EventQueue& queue, Params params, Tlb& tlb,
+    CpuCore(std::string name, SimContext& ctx, Params params, Tlb& tlb,
             CpuCacheAgent& cache);
 
     /// Starts executing @p program; @p onDone fires once every op has

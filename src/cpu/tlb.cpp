@@ -4,9 +4,9 @@
 
 namespace dscoh {
 
-Tlb::Tlb(std::string name, EventQueue& queue, const AddressSpace& space,
+Tlb::Tlb(std::string name, SimContext& ctx, const AddressSpace& space,
          Params params)
-    : SimObject(std::move(name), queue), space_(space), params_(params)
+    : SimObject(std::move(name), ctx), space_(space), params_(params)
 {
 }
 

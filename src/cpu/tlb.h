@@ -30,11 +30,11 @@ public:
         Tick walkLatency = 80;
     };
 
-    Tlb(std::string name, EventQueue& queue, const AddressSpace& space,
+    Tlb(std::string name, SimContext& ctx, const AddressSpace& space,
         Params params);
 
-    Tlb(std::string name, EventQueue& queue, const AddressSpace& space)
-        : Tlb(std::move(name), queue, space, Params{})
+    Tlb(std::string name, SimContext& ctx, const AddressSpace& space)
+        : Tlb(std::move(name), ctx, space, Params{})
     {
     }
 

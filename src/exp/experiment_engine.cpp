@@ -1,0 +1,172 @@
+#include "exp/experiment_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace dscoh {
+
+ExperimentEngine::ExperimentEngine(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::thread::hardware_concurrency();
+    threads_ = threads == 0 ? 1 : threads;
+}
+
+std::vector<ExperimentResult>
+ExperimentEngine::run(const std::vector<ExperimentJob>& jobs) const
+{
+    std::vector<ExperimentResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    // Force the registry's one-time construction before workers race to use
+    // it; afterwards it is immutable and safe to read concurrently.
+    WorkloadRegistry::instance();
+
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;
+    std::mutex progressMutex;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            ExperimentResult& r = results[i];
+            r.job = jobs[i];
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                const Workload* w = jobs[i].workload;
+                if (w == nullptr)
+                    w = &WorkloadRegistry::instance().get(jobs[i].code);
+                r.run = runWorkload(*w, jobs[i].size, jobs[i].mode,
+                                    jobs[i].config);
+                r.ok = true;
+            } catch (const std::exception& e) {
+                r.error = e.what();
+            } catch (...) {
+                r.error = "unknown error";
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+            if (progress_) {
+                const std::lock_guard<std::mutex> lock(progressMutex);
+                progress_(r, ++done, jobs.size());
+            }
+        }
+    };
+
+    const std::size_t want =
+        std::min<std::size_t>(threads_, jobs.size());
+    if (want <= 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(want);
+    for (std::size_t t = 0; t < want; ++t)
+        pool.emplace_back(worker);
+    for (std::thread& t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<ExperimentJob>
+makeSweepJobs(const std::vector<std::string>& codes,
+              const std::vector<InputSize>& sizes,
+              const std::vector<CoherenceMode>& modes,
+              const SystemConfig& base)
+{
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(codes.size() * sizes.size() * modes.size());
+    for (const std::string& code : codes)
+        for (const InputSize size : sizes)
+            for (const CoherenceMode mode : modes) {
+                ExperimentJob job;
+                job.code = code;
+                job.size = size;
+                job.mode = mode;
+                job.config = base;
+                jobs.push_back(std::move(job));
+            }
+    return jobs;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void writeResultsJson(std::ostream& os,
+                      const std::vector<ExperimentResult>& results)
+{
+    os << "{\n  \"schema\": \"dscoh-results-v1\",\n  \"results\": [";
+    bool first = true;
+    for (const ExperimentResult& r : results) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        // No wall-clock time here: the file must be bit-identical across
+        // runs and --jobs values. Timing is reported on stderr instead.
+        os << "    {\"code\": \"" << jsonEscape(r.job.code) << "\""
+           << ", \"size\": \"" << to_string(r.job.size) << "\""
+           << ", \"mode\": \"" << to_string(r.job.mode) << "\""
+           << ", \"ok\": " << (r.ok ? "true" : "false");
+        if (!r.ok) {
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"}";
+            continue;
+        }
+        const RunMetrics& m = r.run.metrics;
+        os << ", \"metrics\": {"
+           << "\"ticks\": " << m.ticks
+           << ", \"gpuL2Accesses\": " << m.gpuL2Accesses
+           << ", \"gpuL2Misses\": " << m.gpuL2Misses
+           << ", \"gpuL2Compulsory\": " << m.gpuL2Compulsory
+           << ", \"gpuL2MissRate\": " << m.gpuL2MissRate
+           << ", \"dsFills\": " << m.dsFills
+           << ", \"dsBypasses\": " << m.dsBypasses
+           << ", \"coherenceMessages\": " << m.coherenceMessages
+           << ", \"coherenceBytes\": " << m.coherenceBytes
+           << ", \"dsNetworkMessages\": " << m.dsNetworkMessages
+           << ", \"dramReads\": " << m.dramReads
+           << ", \"dramWrites\": " << m.dramWrites
+           << "}, \"footprintBytes\": " << r.run.footprintBytes << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace dscoh

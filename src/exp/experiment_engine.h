@@ -1,0 +1,81 @@
+// Parallel experiment harness.
+//
+// The paper's evaluation is 22 benchmarks x 2 input sizes x 2 coherence
+// modes; every figure/table is a batch of fully independent simulations.
+// Each System owns its whole universe (SimContext: event queue + log sink;
+// per-object RNGs; thread-local transition coverage), so independent runs
+// can execute concurrently with no synchronisation. The ExperimentEngine
+// shards a job list across a thread pool and returns results in submission
+// order — output is bit-identical whether it ran on 1 thread or N.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "workloads/runner.h"
+#include "workloads/workload.h"
+
+namespace dscoh {
+
+/// One simulation to run: a (workload, size, mode, config) tuple. The
+/// workload is normally named by its Table II code and resolved from the
+/// WorkloadRegistry; tests may pass an explicit instance instead (it must
+/// outlive the run).
+struct ExperimentJob {
+    std::string code;
+    InputSize size = InputSize::kSmall;
+    CoherenceMode mode = CoherenceMode::kCcsm;
+    SystemConfig config{};
+    const Workload* workload = nullptr; ///< optional override of @ref code
+};
+
+struct ExperimentResult {
+    ExperimentJob job;
+    bool ok = false;
+    std::string error; ///< what() of the failure when !ok
+    WorkloadRunResult run; ///< valid only when ok
+    /// Host time spent on this job. For progress display only — it is
+    /// deliberately kept out of writeResultsJson() so that file stays
+    /// bit-identical across runs and thread counts.
+    double wallSeconds = 0.0;
+};
+
+class ExperimentEngine {
+public:
+    /// @p threads == 0 picks std::thread::hardware_concurrency().
+    explicit ExperimentEngine(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    /// Called after each job finishes (serialized; any thread). @p done is
+    /// the number of completed jobs so far, @p total the batch size.
+    using Progress = std::function<void(const ExperimentResult&,
+                                        std::size_t done, std::size_t total)>;
+    void onProgress(Progress cb) { progress_ = std::move(cb); }
+
+    /// Runs the batch, sharding across the pool. Results land in submission
+    /// order. A throwing job fails only its own slot (ok == false); the
+    /// pool and all other jobs are unaffected.
+    std::vector<ExperimentResult> run(const std::vector<ExperimentJob>& jobs) const;
+
+private:
+    unsigned threads_ = 1;
+    Progress progress_;
+};
+
+/// Cross product in deterministic order: for each code, for each size, for
+/// each mode — the order every bench prints its tables in.
+std::vector<ExperimentJob>
+makeSweepJobs(const std::vector<std::string>& codes,
+              const std::vector<InputSize>& sizes,
+              const std::vector<CoherenceMode>& modes,
+              const SystemConfig& base = SystemConfig{});
+
+/// Machine-readable results (schema "dscoh-results-v1"): one object per
+/// job, in submission order, with the headline RunMetrics inlined.
+void writeResultsJson(std::ostream& os,
+                      const std::vector<ExperimentResult>& results);
+
+} // namespace dscoh

@@ -3,11 +3,13 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/log.h"
+
 namespace dscoh {
 
-GpuDevice::GpuDevice(std::string name, EventQueue& queue, Params params,
+GpuDevice::GpuDevice(std::string name, SimContext& ctx, Params params,
                      std::vector<StreamingMultiprocessor*> sms)
-    : SimObject(std::move(name), queue), params_(params), sms_(std::move(sms))
+    : SimObject(std::move(name), ctx), params_(params), sms_(std::move(sms))
 {
     assert(!sms_.empty());
 }
@@ -20,6 +22,8 @@ void GpuDevice::launch(const KernelDesc& kernel, std::function<void()> onDone)
     nextBlock_ = 0;
     onDone_ = std::move(onDone);
     kernelsLaunched_.inc();
+    DSCOH_LOG("gpu", name() << " launching kernel (" << kernel.blocks
+                            << " blocks)");
 
     queue().scheduleAfter(params_.launchLatency, [this] {
         for (StreamingMultiprocessor* sm : sms_) {

@@ -14,7 +14,7 @@ public:
         Tick launchLatency = 2000; ///< driver/runtime launch overhead, ticks
     };
 
-    GpuDevice(std::string name, EventQueue& queue, Params params,
+    GpuDevice(std::string name, SimContext& ctx, Params params,
               std::vector<StreamingMultiprocessor*> sms);
 
     /// Launches @p kernel; @p onDone fires when every block retired and all

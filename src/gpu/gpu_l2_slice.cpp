@@ -7,10 +7,10 @@
 
 namespace dscoh {
 
-GpuL2Slice::GpuL2Slice(std::string name, EventQueue& queue,
+GpuL2Slice::GpuL2Slice(std::string name, SimContext& ctx,
                        const CacheAgent::Params& agentParams,
                        const SliceParams& sliceParams)
-    : CacheAgent(std::move(name), queue, agentParams), slice_(sliceParams)
+    : CacheAgent(std::move(name), ctx, agentParams), slice_(sliceParams)
 {
     assert(slice_.gpuNet && slice_.dsNet && slice_.dram);
 }

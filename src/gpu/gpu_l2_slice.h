@@ -29,7 +29,7 @@ public:
         std::uint32_t slices = 4; ///< stride between slice-local lines
     };
 
-    GpuL2Slice(std::string name, EventQueue& queue,
+    GpuL2Slice(std::string name, SimContext& ctx,
                const CacheAgent::Params& agentParams,
                const SliceParams& sliceParams);
 

@@ -7,10 +7,10 @@
 namespace dscoh {
 
 StreamingMultiprocessor::StreamingMultiprocessor(std::string name,
-                                                 EventQueue& queue,
+                                                 SimContext& ctx,
                                                  Params params,
                                                  const AddressSpace& space)
-    : SimObject(std::move(name), queue), params_(std::move(params)),
+    : SimObject(std::move(name), ctx), params_(std::move(params)),
       space_(space), l1_(params_.l1Geometry)
 {
     assert(params_.gpuNet && params_.sliceOf);

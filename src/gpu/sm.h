@@ -60,7 +60,7 @@ public:
         CacheGeometry l1Geometry;
     };
 
-    StreamingMultiprocessor(std::string name, EventQueue& queue, Params params,
+    StreamingMultiprocessor(std::string name, SimContext& ctx, Params params,
                             const AddressSpace& space);
 
     /// Called by the device at kernel launch. @p requestBlock hands out the

@@ -5,9 +5,9 @@
 
 namespace dscoh {
 
-Dram::Dram(std::string name, EventQueue& queue, BackingStore& store,
+Dram::Dram(std::string name, SimContext& ctx, BackingStore& store,
            const DramTiming& timing)
-    : SimObject(std::move(name), queue), store_(store), timing_(timing),
+    : SimObject(std::move(name), ctx), store_(store), timing_(timing),
       banks_(timing.ranks * timing.banksPerRank)
 {
 }

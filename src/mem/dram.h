@@ -46,7 +46,7 @@ public:
 
 class Dram final : public SimObject, public MemoryInterface {
 public:
-    Dram(std::string name, EventQueue& queue, BackingStore& store,
+    Dram(std::string name, SimContext& ctx, BackingStore& store,
          const DramTiming& timing = DramTiming{});
 
     /// Queues a line read. @p done fires when data is ready; read the bytes

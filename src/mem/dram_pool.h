@@ -16,14 +16,14 @@ namespace dscoh {
 
 class DramPool final : public MemoryInterface {
 public:
-    DramPool(const std::string& name, EventQueue& queue, BackingStore& store,
+    DramPool(const std::string& name, SimContext& ctx, BackingStore& store,
              const DramTiming& timing, std::uint32_t channels)
     {
         if (channels == 0 || (channels & (channels - 1)) != 0)
             throw std::invalid_argument("channel count must be a power of two");
         for (std::uint32_t c = 0; c < channels; ++c)
             channels_.push_back(std::make_unique<Dram>(
-                name + ".ch" + std::to_string(c), queue, store, timing));
+                name + ".ch" + std::to_string(c), ctx, store, timing));
     }
 
     std::uint32_t channels() const

@@ -32,8 +32,8 @@ const char* to_string(MsgType t)
     return "?";
 }
 
-Network::Network(std::string name, EventQueue& queue, NetworkParams params)
-    : SimObject(std::move(name), queue), params_(params)
+Network::Network(std::string name, SimContext& ctx, NetworkParams params)
+    : SimObject(std::move(name), ctx), params_(params)
 {
 }
 

@@ -28,7 +28,7 @@ class Network final : public SimObject {
 public:
     using Handler = std::function<void(const Message&)>;
 
-    Network(std::string name, EventQueue& queue, NetworkParams params);
+    Network(std::string name, SimContext& ctx, NetworkParams params);
 
     /// Registers @p handler as the receiver for node @p id. A node id may be
     /// registered once; ids are dense and assigned by the System builder.

@@ -1,11 +1,17 @@
 // Lightweight leveled logging with per-component enable flags.
 //
 // Logging is off by default (simulations are hot loops); tests and debugging
-// sessions turn on a component via Log::enable("coherence"). Messages carry
+// sessions turn on a component via sink.enable("coherence"). Messages carry
 // the current tick when a queue is attached.
+//
+// There is deliberately no global instance: every SimContext owns its own
+// LogSink, so concurrently running simulations (ExperimentEngine) never share
+// logging state, and a sink can never outlive the EventQueue it stamps ticks
+// from — both were real hazards of the old process-wide singleton.
 #pragma once
 
 #include <iostream>
+#include <ostream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -14,49 +20,57 @@
 
 namespace dscoh {
 
-class Log {
+class LogSink {
 public:
-    static Log& instance()
-    {
-        static Log log;
-        return log;
-    }
+    LogSink() = default;
+
+    LogSink(const LogSink&) = delete;
+    LogSink& operator=(const LogSink&) = delete;
 
     void enable(const std::string& component) { enabled_.insert(component); }
     void disable(const std::string& component) { enabled_.erase(component); }
     void disableAll() { enabled_.clear(); }
     bool isEnabled(const std::string& component) const
     {
+        if (enabled_.empty()) // fast path: the common all-off case
+            return false;
         return enabled_.count(component) != 0 || enabled_.count("*") != 0;
     }
 
     /// Attach the queue whose curTick() stamps messages (may be null).
     void attachQueue(const EventQueue* q) { queue_ = q; }
 
+    /// Redirect output (default: std::clog). Tests capture through this.
+    void streamTo(std::ostream& os) { os_ = &os; }
+
     void write(const std::string& component, const std::string& msg) const
     {
         if (!isEnabled(component))
             return;
         if (queue_ != nullptr)
-            std::clog << '[' << queue_->curTick() << "] ";
-        std::clog << component << ": " << msg << '\n';
+            *os_ << '[' << queue_->curTick() << "] ";
+        *os_ << component << ": " << msg << '\n';
     }
 
 private:
-    Log() = default;
     std::set<std::string> enabled_;
     const EventQueue* queue_ = nullptr;
+    std::ostream* os_ = &std::clog;
 };
 
-/// Usage: DSCOH_LOG("coherence", "GETS " << std::hex << addr);
+/// Usage: DSCOH_LOG_TO(sink, "coherence", "GETS " << std::hex << addr);
 /// The stream expression is only evaluated when the component is enabled.
-#define DSCOH_LOG(component, expr)                                          \
-    do {                                                                    \
-        if (::dscoh::Log::instance().isEnabled(component)) {                \
-            std::ostringstream dscoh_log_os;                                \
-            dscoh_log_os << expr;                                           \
-            ::dscoh::Log::instance().write(component, dscoh_log_os.str());  \
-        }                                                                   \
+#define DSCOH_LOG_TO(sink, component, expr)                                  \
+    do {                                                                     \
+        if ((sink).isEnabled(component)) {                                   \
+            std::ostringstream dscoh_log_os;                                 \
+            dscoh_log_os << expr;                                            \
+            (sink).write(component, dscoh_log_os.str());                     \
+        }                                                                    \
     } while (false)
+
+/// Member-function shorthand inside SimObject subclasses: logs through the
+/// owning SimContext's sink. DSCOH_LOG("coherence", "GETS " << addr);
+#define DSCOH_LOG(component, expr) DSCOH_LOG_TO(this->log(), component, expr)
 
 } // namespace dscoh

@@ -1,0 +1,25 @@
+// One simulation's private universe.
+//
+// A SimContext bundles the EventQueue that drives a simulated machine with
+// the LogSink its components write through. Every System owns exactly one;
+// nothing inside a context is shared with any other context, which is the
+// invariant the parallel ExperimentEngine relies on: independent simulations
+// may run concurrently on different threads with no synchronisation at all.
+#pragma once
+
+#include "sim/event_queue.h"
+#include "sim/log.h"
+
+namespace dscoh {
+
+struct SimContext {
+    SimContext() { log.attachQueue(&queue); }
+
+    SimContext(const SimContext&) = delete;
+    SimContext& operator=(const SimContext&) = delete;
+
+    EventQueue queue;
+    LogSink log;
+};
+
+} // namespace dscoh

@@ -1,22 +1,24 @@
 // Base class for every simulated component.
 //
-// A SimObject has a hierarchical name, a reference to the global EventQueue,
-// and a hook for registering its statistics. Construction order defines the
-// system; there is no separate elaboration phase.
+// A SimObject has a hierarchical name, a reference to its owning SimContext
+// (event queue + log sink), and a hook for registering its statistics.
+// Construction order defines the system; there is no separate elaboration
+// phase. Components belonging to different contexts share no state, so
+// independent simulations can run on different threads concurrently.
 #pragma once
 
 #include <string>
 #include <utility>
 
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/stats.h"
 
 namespace dscoh {
 
 class SimObject {
 public:
-    SimObject(std::string name, EventQueue& queue)
-        : name_(std::move(name)), queue_(queue)
+    SimObject(std::string name, SimContext& ctx)
+        : name_(std::move(name)), ctx_(ctx)
     {
     }
     virtual ~SimObject() = default;
@@ -25,9 +27,11 @@ public:
     SimObject& operator=(const SimObject&) = delete;
 
     const std::string& name() const { return name_; }
-    EventQueue& queue() { return queue_; }
-    const EventQueue& queue() const { return queue_; }
-    Tick curTick() const { return queue_.curTick(); }
+    SimContext& context() const { return ctx_; }
+    EventQueue& queue() { return ctx_.queue; }
+    const EventQueue& queue() const { return ctx_.queue; }
+    LogSink& log() const { return ctx_.log; }
+    Tick curTick() const { return ctx_.queue.curTick(); }
 
     /// Registers this component's statistics under its name.
     virtual void regStats(StatRegistry& registry) { static_cast<void>(registry); }
@@ -37,7 +41,7 @@ protected:
 
 private:
     std::string name_;
-    EventQueue& queue_;
+    SimContext& ctx_;
 };
 
 } // namespace dscoh

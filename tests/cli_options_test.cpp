@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "cli/options.h"
@@ -87,6 +88,75 @@ TEST(Options, RejectsValueOnFlag)
         p.addFlag("verbose", "v", &flag);
     });
     EXPECT_FALSE(r.ok);
+}
+
+TEST(JobCount, ParsesPositiveIntegers)
+{
+    unsigned n = 0;
+    std::string err;
+    EXPECT_TRUE(parseJobCount("1", n, err)) << err;
+    EXPECT_EQ(n, 1u);
+    EXPECT_TRUE(parseJobCount("64", n, err)) << err;
+    EXPECT_EQ(n, 64u);
+}
+
+TEST(JobCount, RejectsZero)
+{
+    unsigned n = 0;
+    std::string err;
+    EXPECT_FALSE(parseJobCount("0", n, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JobCount, RejectsNegative)
+{
+    unsigned n = 0;
+    std::string err;
+    EXPECT_FALSE(parseJobCount("-4", n, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JobCount, RejectsGarbage)
+{
+    unsigned n = 0;
+    std::string err;
+    EXPECT_FALSE(parseJobCount("", n, err));
+    EXPECT_FALSE(parseJobCount("abc", n, err));
+    EXPECT_FALSE(parseJobCount("4x", n, err));
+    EXPECT_FALSE(parseJobCount(" 4", n, err));
+    EXPECT_FALSE(parseJobCount("999999999999", n, err));
+}
+
+TEST(ResolveJobs, ExplicitFlagWinsOverEnvironment)
+{
+    ASSERT_EQ(setenv("DSCOH_JOBS", "7", 1), 0);
+    unsigned n = 0;
+    std::string err;
+    EXPECT_TRUE(resolveJobs("3", n, err)) << err;
+    EXPECT_EQ(n, 3u);
+    ASSERT_EQ(unsetenv("DSCOH_JOBS"), 0);
+}
+
+TEST(ResolveJobs, FallsBackToEnvironmentThenHardware)
+{
+    ASSERT_EQ(setenv("DSCOH_JOBS", "5", 1), 0);
+    unsigned n = 0;
+    std::string err;
+    EXPECT_TRUE(resolveJobs("", n, err)) << err;
+    EXPECT_EQ(n, 5u);
+    ASSERT_EQ(unsetenv("DSCOH_JOBS"), 0);
+    EXPECT_TRUE(resolveJobs("", n, err)) << err;
+    EXPECT_GE(n, 1u);
+}
+
+TEST(ResolveJobs, BadEnvironmentValueIsAnError)
+{
+    ASSERT_EQ(setenv("DSCOH_JOBS", "0", 1), 0);
+    unsigned n = 0;
+    std::string err;
+    EXPECT_FALSE(resolveJobs("", n, err));
+    EXPECT_NE(err.find("DSCOH_JOBS"), std::string::npos);
+    ASSERT_EQ(unsetenv("DSCOH_JOBS"), 0);
 }
 
 TEST(Options, HelpPrintsEveryOption)

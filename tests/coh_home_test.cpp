@@ -10,7 +10,7 @@
 #include "coherence/home_controller.h"
 #include "mem/dram.h"
 #include "net/network.h"
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 
 namespace dscoh {
 namespace {
@@ -20,12 +20,13 @@ constexpr NodeId kAgentB = 1;
 constexpr NodeId kHome = 2;
 
 struct HomeFixture : ::testing::Test {
-    EventQueue queue;
+    SimContext ctx;
+    EventQueue& queue = ctx.queue;
     BackingStore store{1 << 20};
-    Dram dram{"dram", queue, store};
-    Network req{"req", queue, NetworkParams{10, 32}};
-    Network fwd{"fwd", queue, NetworkParams{10, 32}};
-    Network resp{"resp", queue, NetworkParams{10, 32}};
+    Dram dram{"dram", ctx, store};
+    Network req{"req", ctx, NetworkParams{10, 32}};
+    Network fwd{"fwd", ctx, NetworkParams{10, 32}};
+    Network resp{"resp", ctx, NetworkParams{10, 32}};
     StatRegistry stats;
 
     std::unique_ptr<HomeController> home;
@@ -42,7 +43,7 @@ struct HomeFixture : ::testing::Test {
         hp.dram = &dram;
         hp.store = &store;
         hp.peersOf = [](Addr) { return std::vector<NodeId>{kAgentA, kAgentB}; };
-        home = std::make_unique<HomeController>("home", queue, std::move(hp));
+        home = std::make_unique<HomeController>("home", ctx, std::move(hp));
 
         CacheAgent::Params p;
         p.geometry.sizeBytes = 1024; // 4 sets x 2 ways: evictions are easy
@@ -54,9 +55,9 @@ struct HomeFixture : ::testing::Test {
         p.forwardNet = &fwd;
         p.responseNet = &resp;
         p.self = kAgentA;
-        a = std::make_unique<CacheAgent>("agentA", queue, p);
+        a = std::make_unique<CacheAgent>("agentA", ctx, p);
         p.self = kAgentB;
-        b = std::make_unique<CacheAgent>("agentB", queue, p);
+        b = std::make_unique<CacheAgent>("agentB", ctx, p);
 
         req.connect(kHome, [this](const Message& m) { home->handleRequest(m); });
         resp.connect(kHome, [this](const Message& m) { home->handleResponse(m); });

@@ -12,7 +12,7 @@
 #include "coherence/home_controller.h"
 #include "mem/dram.h"
 #include "net/network.h"
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 
 namespace dscoh {
@@ -23,12 +23,13 @@ constexpr NodeId kAgentB = 1;
 constexpr NodeId kHome = 2;
 
 struct Harness {
-    EventQueue queue;
+    SimContext ctx;
+    EventQueue& queue = ctx.queue;
     BackingStore store{1 << 20};
-    Dram dram{"dram", queue, store};
-    Network req{"req", queue, NetworkParams{10, 32}};
-    Network fwd{"fwd", queue, NetworkParams{10, 32}};
-    Network resp{"resp", queue, NetworkParams{10, 32}};
+    Dram dram{"dram", ctx, store};
+    Network req{"req", ctx, NetworkParams{10, 32}};
+    Network fwd{"fwd", ctx, NetworkParams{10, 32}};
+    Network resp{"resp", ctx, NetworkParams{10, 32}};
     std::unique_ptr<HomeController> home;
     std::vector<std::unique_ptr<CacheAgent>> agents;
 
@@ -42,7 +43,7 @@ struct Harness {
         hp.dram = &dram;
         hp.store = &store;
         hp.peersOf = [](Addr) { return std::vector<NodeId>{kAgentA, kAgentB}; };
-        home = std::make_unique<HomeController>("home", queue, std::move(hp));
+        home = std::make_unique<HomeController>("home", ctx, std::move(hp));
 
         for (NodeId id : {kAgentA, kAgentB}) {
             CacheAgent::Params p;
@@ -56,7 +57,7 @@ struct Harness {
             p.forwardNet = &fwd;
             p.responseNet = &resp;
             agents.push_back(std::make_unique<CacheAgent>(
-                "agent" + std::to_string(id), queue, p));
+                "agent" + std::to_string(id), ctx, p));
             CacheAgent* agent = agents.back().get();
             fwd.connect(id, [agent](const Message& m) { agent->handleForward(m); });
             resp.connect(id, [agent](const Message& m) { agent->handleResponse(m); });

@@ -1,17 +1,17 @@
 #include <gtest/gtest.h>
 
 #include "cpu/tlb.h"
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "vm/address_space.h"
 
 namespace dscoh {
 namespace {
 
 struct TlbFixture : ::testing::Test {
-    EventQueue queue;
+    SimContext ctx;
     AddressSpace space{64ull << 20};
     Tlb::Params params{4, 80}; // tiny TLB to exercise eviction
-    Tlb tlb{"tlb", queue, space, params};
+    Tlb tlb{"tlb", ctx, space, params};
 };
 
 TEST_F(TlbFixture, MissThenHit)

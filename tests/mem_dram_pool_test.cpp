@@ -1,26 +1,26 @@
 #include <gtest/gtest.h>
 
 #include "mem/dram_pool.h"
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 
 namespace dscoh {
 namespace {
 
 TEST(DramPool, RejectsNonPowerOfTwoChannels)
 {
-    EventQueue q;
+    SimContext ctx;
     BackingStore store(1 << 20);
-    EXPECT_THROW(DramPool("d", q, store, DramTiming{}, 3),
+    EXPECT_THROW(DramPool("d", ctx, store, DramTiming{}, 3),
                  std::invalid_argument);
-    EXPECT_THROW(DramPool("d", q, store, DramTiming{}, 0),
+    EXPECT_THROW(DramPool("d", ctx, store, DramTiming{}, 0),
                  std::invalid_argument);
 }
 
 TEST(DramPool, RoutesByLineInterleave)
 {
-    EventQueue q;
+    SimContext ctx;
     BackingStore store(1 << 20);
-    DramPool pool("d", q, store, DramTiming{}, 4);
+    DramPool pool("d", ctx, store, DramTiming{}, 4);
     EXPECT_EQ(&pool.channelOf(0 * kLineSize), &pool.channel(0));
     EXPECT_EQ(&pool.channelOf(1 * kLineSize), &pool.channel(1));
     EXPECT_EQ(&pool.channelOf(5 * kLineSize), &pool.channel(1));
@@ -31,9 +31,10 @@ TEST(DramPool, RoutesByLineInterleave)
 
 TEST(DramPool, WritesLandInBackingStore)
 {
-    EventQueue q;
+    SimContext ctx;
+    EventQueue& q = ctx.queue;
     BackingStore store(1 << 20);
-    DramPool pool("d", q, store, DramTiming{}, 2);
+    DramPool pool("d", ctx, store, DramTiming{}, 2);
     DataBlock d;
     d.write(0, 0x1234, 4);
     bool done = false;
@@ -46,9 +47,10 @@ TEST(DramPool, WritesLandInBackingStore)
 TEST(DramPool, MoreChannelsIncreaseStreamBandwidth)
 {
     auto run = [](std::uint32_t channels) {
-        EventQueue q;
+        SimContext ctx;
+        EventQueue& q = ctx.queue;
         BackingStore store(16 << 20);
-        DramPool pool("d", q, store, DramTiming{}, channels);
+        DramPool pool("d", ctx, store, DramTiming{}, channels);
         int done = 0;
         for (int i = 0; i < 1024; ++i)
             pool.read(static_cast<Addr>(i) * kLineSize, [&done] { ++done; });
@@ -63,9 +65,10 @@ TEST(DramPool, MoreChannelsIncreaseStreamBandwidth)
 
 TEST(DramPool, StatsPerChannel)
 {
-    EventQueue q;
+    SimContext ctx;
+    EventQueue& q = ctx.queue;
     BackingStore store(1 << 20);
-    DramPool pool("dram", q, store, DramTiming{}, 2);
+    DramPool pool("dram", ctx, store, DramTiming{}, 2);
     StatRegistry reg;
     pool.regStats(reg);
     pool.read(0, [] {});             // channel 0

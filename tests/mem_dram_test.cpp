@@ -1,16 +1,17 @@
 #include <gtest/gtest.h>
 
 #include "mem/dram.h"
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 
 namespace dscoh {
 namespace {
 
 struct DramFixture : ::testing::Test {
-    EventQueue queue;
+    SimContext ctx;
+    EventQueue& queue = ctx.queue;
     BackingStore store{64ull << 20};
     DramTiming timing{};
-    Dram dram{"dram", queue, store, timing};
+    Dram dram{"dram", ctx, store, timing};
 };
 
 TEST_F(DramFixture, ReadCompletesWithRowMissLatency)

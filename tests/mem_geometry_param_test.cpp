@@ -8,7 +8,7 @@
 
 #include "mem/cache_array.h"
 #include "mem/dram.h"
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 
 namespace dscoh {
@@ -146,12 +146,13 @@ class DramSweep : public ::testing::TestWithParam<DramParam> {};
 TEST_P(DramSweep, StreamCompletesAndBankCountHelps)
 {
     auto runStream = [](std::uint32_t ranks, std::uint32_t banks) {
-        EventQueue q;
+        SimContext ctx;
+        EventQueue& q = ctx.queue;
         BackingStore store(64ull << 20);
         DramTiming t;
         t.ranks = ranks;
         t.banksPerRank = banks;
-        Dram dram("d", q, store, t);
+        Dram dram("d", ctx, store, t);
         int done = 0;
         for (int i = 0; i < 512; ++i)
             dram.read(static_cast<Addr>(i) * kLineSize, [&done] { ++done; });

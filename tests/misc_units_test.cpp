@@ -4,6 +4,7 @@
 #include "gpu/sm.h"
 #include "mem/interleave.h"
 #include "net/message.h"
+#include "sim/sim_context.h"
 #include "sim/sim_object.h"
 
 namespace dscoh {
@@ -78,11 +79,12 @@ TEST(SimObject, StatNamesAreHierarchical)
         using SimObject::SimObject;
         std::string leaf(const std::string& l) const { return statName(l); }
     };
-    EventQueue q;
-    Probe p("gpu.l2.slice0", q);
+    SimContext ctx;
+    Probe p("gpu.l2.slice0", ctx);
     EXPECT_EQ(p.leaf("misses"), "gpu.l2.slice0.misses");
     EXPECT_EQ(p.name(), "gpu.l2.slice0");
-    EXPECT_EQ(&p.queue(), &q);
+    EXPECT_EQ(&p.queue(), &ctx.queue);
+    EXPECT_EQ(&p.log(), &ctx.log);
 }
 
 // ---------------------------------------------------------- line helpers --

@@ -3,15 +3,16 @@
 #include <vector>
 
 #include "net/network.h"
-#include "sim/event_queue.h"
+#include "sim/sim_context.h"
 
 namespace dscoh {
 namespace {
 
 struct NetFixture : ::testing::Test {
-    EventQueue queue;
+    SimContext ctx;
+    EventQueue& queue = ctx.queue;
     NetworkParams params{20, 32};
-    Network net{"net", queue, params};
+    Network net{"net", ctx, params};
 
     std::vector<Message> receivedAt1;
     std::vector<Tick> arrivalTicks;
@@ -109,8 +110,9 @@ TEST_F(NetFixture, StatsCountMessagesAndBytes)
 
 TEST(NetworkLatency, HopLatencyIsConfigurable)
 {
-    EventQueue queue;
-    Network fast("fast", queue, NetworkParams{5, 64});
+    SimContext ctx;
+    EventQueue& queue = ctx.queue;
+    Network fast("fast", ctx, NetworkParams{5, 64});
     Tick arrival = 0;
     fast.connect(0, [](const Message&) {});
     fast.connect(1, [&](const Message&) { arrival = queue.curTick(); });

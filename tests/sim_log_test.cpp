@@ -2,67 +2,94 @@
 
 #include <sstream>
 
-#include "sim/log.h"
+#include "sim/sim_context.h"
 
 namespace dscoh {
 namespace {
 
-/// Captures std::clog for the duration of a test.
-class ClogCapture {
-public:
-    ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
-    ~ClogCapture() { std::clog.rdbuf(old_); }
-    std::string text() const { return buffer_.str(); }
-
-private:
-    std::ostringstream buffer_;
-    std::streambuf* old_;
-};
-
 TEST(Log, DisabledComponentsProduceNothing)
 {
-    Log::instance().disableAll();
-    ClogCapture capture;
-    DSCOH_LOG("coherence", "should not appear " << 42);
-    EXPECT_TRUE(capture.text().empty());
+    LogSink sink;
+    std::ostringstream out;
+    sink.streamTo(out);
+    DSCOH_LOG_TO(sink, "coherence", "should not appear " << 42);
+    EXPECT_TRUE(out.str().empty());
 }
 
 TEST(Log, EnabledComponentLogsWithTick)
 {
-    Log::instance().disableAll();
-    Log::instance().enable("proto");
     EventQueue q;
-    Log::instance().attachQueue(&q);
-    ClogCapture capture;
-    q.schedule(123, [] { DSCOH_LOG("proto", "hello " << 7); });
+    LogSink sink;
+    sink.enable("proto");
+    sink.attachQueue(&q);
+    std::ostringstream out;
+    sink.streamTo(out);
+    q.schedule(123, [&sink] { DSCOH_LOG_TO(sink, "proto", "hello " << 7); });
     q.run();
-    const std::string out = capture.text();
-    EXPECT_NE(out.find("[123]"), std::string::npos);
-    EXPECT_NE(out.find("proto: hello 7"), std::string::npos);
-    Log::instance().disableAll();
-    Log::instance().attachQueue(nullptr);
+    EXPECT_NE(out.str().find("[123]"), std::string::npos);
+    EXPECT_NE(out.str().find("proto: hello 7"), std::string::npos);
 }
 
 TEST(Log, WildcardEnablesEverything)
 {
-    Log::instance().disableAll();
-    Log::instance().enable("*");
-    ClogCapture capture;
-    DSCOH_LOG("anything", "msg");
-    EXPECT_NE(capture.text().find("anything: msg"), std::string::npos);
-    Log::instance().disableAll();
+    LogSink sink;
+    sink.enable("*");
+    std::ostringstream out;
+    sink.streamTo(out);
+    DSCOH_LOG_TO(sink, "anything", "msg");
+    EXPECT_NE(out.str().find("anything: msg"), std::string::npos);
 }
 
 TEST(Log, StreamExpressionNotEvaluatedWhenDisabled)
 {
-    Log::instance().disableAll();
+    LogSink sink;
     int evaluations = 0;
     const auto sideEffect = [&evaluations] {
         ++evaluations;
         return 1;
     };
-    DSCOH_LOG("off", "value " << sideEffect());
+    DSCOH_LOG_TO(sink, "off", "value " << sideEffect());
     EXPECT_EQ(evaluations, 0) << "logging must be free when disabled";
+}
+
+TEST(Log, SinksAreIndependent)
+{
+    // The old Log was a process-wide singleton; enabling a component in one
+    // simulation leaked into every other. Sinks are now per-context.
+    LogSink a;
+    LogSink b;
+    a.enable("coherence");
+    std::ostringstream outA;
+    std::ostringstream outB;
+    a.streamTo(outA);
+    b.streamTo(outB);
+    DSCOH_LOG_TO(a, "coherence", "only in a");
+    DSCOH_LOG_TO(b, "coherence", "never in b");
+    EXPECT_NE(outA.str().find("only in a"), std::string::npos);
+    EXPECT_TRUE(outB.str().empty());
+}
+
+TEST(Log, SimContextWiresQueueIntoSink)
+{
+    SimContext ctx;
+    ctx.log.enable("x");
+    std::ostringstream out;
+    ctx.log.streamTo(out);
+    ctx.queue.schedule(77, [&ctx] { DSCOH_LOG_TO(ctx.log, "x", "at77"); });
+    ctx.queue.run();
+    EXPECT_NE(out.str().find("[77]"), std::string::npos);
+    EXPECT_NE(out.str().find("x: at77"), std::string::npos);
+}
+
+TEST(Log, DisableAllTurnsOffPreviouslyEnabled)
+{
+    LogSink sink;
+    sink.enable("a");
+    sink.disableAll();
+    std::ostringstream out;
+    sink.streamTo(out);
+    DSCOH_LOG_TO(sink, "a", "gone");
+    EXPECT_TRUE(out.str().empty());
 }
 
 } // namespace

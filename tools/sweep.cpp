@@ -1,24 +1,135 @@
 // sweep — run all 22 Table II benchmarks under both schemes and print
 // the speedup/miss-rate table (the development view of Fig. 4 + Fig. 5).
-//   dscoh_sweep [small|big]
+//
+//   dscoh_sweep [small|big] [--jobs N] [--only BP,VA,...] [--json FILE]
+//
+// Runs shard across a thread pool (default: all hardware threads; also
+// settable via DSCOH_JOBS). Every simulation is fully self-contained, so
+// the table is bit-identical for any --jobs value. Alongside the printed
+// table the tool writes machine-readable results (default: results.json).
 #include <cstdio>
-#include <chrono>
-#include "workloads/runner.h"
-int main(int argc, char** argv) {
-    using namespace dscoh;
-    const InputSize size = (argc > 1 && std::string(argv[1]) == "big") ? InputSize::kBig : InputSize::kSmall;
-    std::printf("%-4s %10s %10s %8s %8s %8s %7s\n", "code", "ccsm", "ds", "speedup%", "mrCCSM", "mrDS", "wall");
-    for (const auto& code : WorkloadRegistry::instance().codes()) {
-        auto t0 = std::chrono::steady_clock::now();
-        const auto cmp = compareModes(WorkloadRegistry::instance().get(code), size);
-        auto t1 = std::chrono::steady_clock::now();
-        std::printf("%-4s %10llu %10llu %8.1f %8.3f %8.3f %6.1fs\n", code.c_str(),
-            static_cast<unsigned long long>(cmp.ccsm.metrics.ticks),
-            static_cast<unsigned long long>(cmp.directStore.metrics.ticks),
-            (cmp.speedup() - 1.0) * 100.0,
-            cmp.ccsm.metrics.gpuL2MissRate, cmp.directStore.metrics.gpuL2MissRate,
-            std::chrono::duration<double>(t1 - t0).count());
-        std::fflush(stdout);
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/options.h"
+#include "exp/experiment_engine.h"
+
+using namespace dscoh;
+
+namespace {
+
+std::vector<std::string> splitCodes(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string jobsText;
+    std::string only;
+    std::string jsonPath = "results.json";
+    cli::OptionParser parser(
+        "dscoh_sweep",
+        "run the Table II benchmarks under CCSM and direct store");
+    parser.addString("jobs", "worker threads (default: hardware threads, or "
+                             "DSCOH_JOBS)", &jobsText);
+    parser.addString("only", "comma-separated benchmark codes (default: all)",
+                     &only);
+    parser.addString("json", "write machine-readable results here "
+                             "(default: results.json)", &jsonPath);
+    if (!parser.parse(argc, argv, std::cerr))
+        return 2;
+
+    InputSize size = InputSize::kSmall;
+    for (const std::string& arg : parser.positional()) {
+        if (arg == "big") {
+            size = InputSize::kBig;
+        } else if (arg != "small") {
+            std::cerr << "dscoh_sweep: unknown input size '" << arg
+                      << "' (expected small or big)\n";
+            return 2;
+        }
     }
-    return 0;
+
+    unsigned jobs = 0;
+    std::string error;
+    if (!cli::resolveJobs(jobsText, jobs, error)) {
+        std::cerr << "dscoh_sweep: " << error << "\n";
+        return 2;
+    }
+
+    std::vector<std::string> codes = only.empty()
+                                         ? WorkloadRegistry::instance().codes()
+                                         : splitCodes(only);
+    for (const std::string& code : codes) {
+        if (!WorkloadRegistry::instance().has(code)) {
+            std::cerr << "dscoh_sweep: unknown benchmark '" << code << "'\n";
+            return 2;
+        }
+    }
+
+    const std::vector<ExperimentJob> batch = makeSweepJobs(
+        codes, {size}, {CoherenceMode::kCcsm, CoherenceMode::kDirectStore});
+
+    ExperimentEngine engine(jobs);
+    engine.onProgress([](const ExperimentResult& r, std::size_t done,
+                         std::size_t total) {
+        std::fprintf(stderr, "  [%zu/%zu] %s %s %s %s(%.1fs)\n", done, total,
+                     r.job.code.c_str(), to_string(r.job.size),
+                     to_string(r.job.mode), r.ok ? "" : "FAILED ",
+                     r.wallSeconds);
+    });
+    std::fprintf(stderr, "sweep: %zu runs on %u threads\n", batch.size(),
+                 engine.threads());
+    const std::vector<ExperimentResult> results = engine.run(batch);
+
+    // Pair up (ccsm, ds) per code — makeSweepJobs keeps them adjacent.
+    // The table (and results.json) contain only simulation outputs, so both
+    // are bit-identical for any --jobs value; wall time goes to stderr.
+    int failures = 0;
+    std::printf("%-4s %10s %10s %8s %8s %8s\n", "code", "ccsm", "ds",
+                "speedup%", "mrCCSM", "mrDS");
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        const ExperimentResult& ccsm = results[i];
+        const ExperimentResult& ds = results[i + 1];
+        if (!ccsm.ok || !ds.ok) {
+            ++failures;
+            std::printf("%-4s FAILED: %s\n", ccsm.job.code.c_str(),
+                        (!ccsm.ok ? ccsm.error : ds.error).c_str());
+            continue;
+        }
+        const double speedup =
+            ds.run.metrics.ticks == 0
+                ? 0.0
+                : static_cast<double>(ccsm.run.metrics.ticks) /
+                          static_cast<double>(ds.run.metrics.ticks) -
+                      1.0;
+        std::printf("%-4s %10llu %10llu %8.1f %8.3f %8.3f\n",
+                    ccsm.job.code.c_str(),
+                    static_cast<unsigned long long>(ccsm.run.metrics.ticks),
+                    static_cast<unsigned long long>(ds.run.metrics.ticks),
+                    speedup * 100.0, ccsm.run.metrics.gpuL2MissRate,
+                    ds.run.metrics.gpuL2MissRate);
+    }
+
+    if (!jsonPath.empty()) {
+        std::ofstream json(jsonPath);
+        if (!json) {
+            std::cerr << "dscoh_sweep: cannot write " << jsonPath << "\n";
+            return 1;
+        }
+        writeResultsJson(json, results);
+    }
+    return failures == 0 ? 0 : 1;
 }
