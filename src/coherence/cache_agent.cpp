@@ -34,6 +34,15 @@ CacheAgent::CacheAgent(std::string name, SimContext& ctx, const Params& params)
     assert(params_.requestNet && params_.forwardNet && params_.responseNet);
 }
 
+void CacheAgent::noteTransition(CohState from, CohEvent event, CohState to,
+                                Addr base)
+{
+    recordTransition(from, event, to);
+    if (TraceSession* t = tracing(TraceCat::kCoherence))
+        t->transition(name(), to_string(event), to_string(from), to_string(to),
+                      curTick(), base);
+}
+
 bool CacheAgent::probeHit(Addr addr, bool exclusive) const
 {
     const Line* line = array_.find(addr);
@@ -62,9 +71,9 @@ void CacheAgent::access(Addr addr, bool exclusive, AccessDone done)
 
     Line* line = array_.find(base);
     if (line != nullptr && satisfies(line->meta.state, exclusive)) {
-        recordTransition(line->meta.state,
-                         exclusive ? CohEvent::kStore : CohEvent::kLoad,
-                         line->meta.state);
+        noteTransition(line->meta.state,
+                       exclusive ? CohEvent::kStore : CohEvent::kLoad,
+                       line->meta.state, base);
         array_.touch(base);
         done(*line);
         return;
@@ -92,11 +101,12 @@ void CacheAgent::startTransaction(Line* existing, Addr base, bool exclusive,
         // Upgrade from S/M/O (stores are not allowed in M, per the paper, so
         // M also upgrades through GetX). Data stays readable while SM_D.
         assert(exclusive && canRead(existing->meta.state));
-        recordTransition(existing->meta.state, CohEvent::kStore,
-                         CohState::kSM_D);
+        noteTransition(existing->meta.state, CohEvent::kStore,
+                       CohState::kSM_D, base);
         existing->meta.state = CohState::kSM_D;
         upgrades_.inc();
         auto& entry = mshr_.allocate(base);
+        entry.allocatedAt = curTick();
         entry.targets.push_back({exclusive, std::move(done)});
         getxIssued_.inc();
         sendToHome(MsgType::kGetX, base);
@@ -114,10 +124,11 @@ void CacheAgent::startTransaction(Line* existing, Addr base, bool exclusive,
     }
     Line& line = array_.install(*way, base);
     line.meta.state = exclusive ? CohState::kIM_D : CohState::kIS_D;
-    recordTransition(CohState::kI,
-                     exclusive ? CohEvent::kStore : CohEvent::kLoad,
-                     line.meta.state);
+    noteTransition(CohState::kI,
+                   exclusive ? CohEvent::kStore : CohEvent::kLoad,
+                   line.meta.state, base);
     auto& entry = mshr_.allocate(base);
+    entry.allocatedAt = curTick();
     entry.targets.push_back({exclusive, std::move(done)});
     if (exclusive) {
         getxIssued_.inc();
@@ -148,12 +159,14 @@ CacheAgent::Line* CacheAgent::makeRoom(Addr addr)
 
     onInvalidate(victim->base);
     if (needsWriteback(victim->meta.state)) {
-        recordTransition(victim->meta.state, CohEvent::kEvict,
-                         victim->meta.state == CohState::kMM ? CohState::kMI_A
-                                                             : CohState::kOI_A);
+        noteTransition(victim->meta.state, CohEvent::kEvict,
+                       victim->meta.state == CohState::kMM ? CohState::kMI_A
+                                                           : CohState::kOI_A,
+                       victim->base);
         issueWriteback(victim->base, victim->data, victim->meta.state);
     } else {
-        recordTransition(victim->meta.state, CohEvent::kEvict, CohState::kI);
+        noteTransition(victim->meta.state, CohEvent::kEvict, CohState::kI,
+                       victim->base);
     }
     array_.invalidate(*victim);
     return victim;
@@ -247,7 +260,8 @@ void CacheAgent::handleForward(const Message& msg)
     case MsgType::kWbAck: {
         const auto it = wbb_.find(msg.addr);
         assert(it != wbb_.end() && "WbAck for unknown writeback");
-        recordTransition(it->second.state, CohEvent::kWbAck, CohState::kI);
+        noteTransition(it->second.state, CohEvent::kWbAck, CohState::kI,
+                       msg.addr);
         wbb_.erase(it);
         replayBlocked();
         break;
@@ -276,8 +290,8 @@ void CacheAgent::handleSnoop(const Message& msg)
             suppliedData = true;
             wasSharer = true;
             if (wantsExclusive) {
-                recordTransition(entry.state, CohEvent::kSnpGetX,
-                                 CohState::kII_A);
+                noteTransition(entry.state, CohEvent::kSnpGetX,
+                               CohState::kII_A, base);
                 entry.state = CohState::kII_A;
             }
         }
@@ -292,21 +306,21 @@ void CacheAgent::handleSnoop(const Message& msg)
             suppliedData = true;
             wasSharer = true;
             if (wantsExclusive) {
-                recordTransition(line->meta.state, CohEvent::kSnpGetX,
-                                 CohState::kI);
+                noteTransition(line->meta.state, CohEvent::kSnpGetX,
+                               CohState::kI, base);
                 onInvalidate(base);
                 array_.invalidate(*line);
             } else {
-                recordTransition(line->meta.state, CohEvent::kSnpGetS,
-                                 CohState::kO);
+                noteTransition(line->meta.state, CohEvent::kSnpGetS,
+                               CohState::kO, base);
                 line->meta.state = CohState::kO;
             }
             break;
         case CohState::kS:
             wasSharer = true;
             if (wantsExclusive) {
-                recordTransition(CohState::kS, CohEvent::kSnpGetX,
-                                 CohState::kI);
+                noteTransition(CohState::kS, CohEvent::kSnpGetX,
+                               CohState::kI, base);
                 onInvalidate(base);
                 array_.invalidate(*line);
             }
@@ -316,8 +330,8 @@ void CacheAgent::handleSnoop(const Message& msg)
             // S copy and our transaction degrades to a full miss.
             wasSharer = true;
             if (wantsExclusive) {
-                recordTransition(CohState::kSM_D, CohEvent::kSnpGetX,
-                                 CohState::kIM_D);
+                noteTransition(CohState::kSM_D, CohEvent::kSnpGetX,
+                               CohState::kIM_D, base);
                 onInvalidate(base);
                 line->meta.state = CohState::kIM_D;
             }
@@ -364,7 +378,7 @@ void CacheAgent::handleData(const Message& msg)
         next = msg.exclusive ? CohState::kM : CohState::kS;
     else
         next = CohState::kMM;
-    recordTransition(prev, CohEvent::kFill, next);
+    noteTransition(prev, CohEvent::kFill, next, msg.addr);
     DSCOH_LOG("coherence", name() << " fill 0x" << std::hex << msg.addr
                                   << std::dec << ' ' << to_string(prev)
                                   << " -> " << to_string(next));
@@ -376,6 +390,12 @@ void CacheAgent::handleData(const Message& msg)
 
     sendToHome(MsgType::kUnblock, msg.addr,
                /*ownerFlag=*/next == CohState::kMM);
+
+    if (TraceSession* t = tracing(TraceCat::kMshr)) {
+        if (const auto* entry = mshr_.find(msg.addr))
+            t->span(TraceCat::kMshr, name(), "mshr", entry->allocatedAt,
+                    curTick(), msg.addr);
+    }
 
     // Serve the merged requests. Targets the fill does not satisfy (a store
     // merged into a GetS) restart as fresh accesses (upgrade).

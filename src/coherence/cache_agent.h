@@ -21,6 +21,7 @@
 #include <unordered_set>
 
 #include "coherence/protocol.h"
+#include "coherence/transition_coverage.h"
 #include "mem/cache_array.h"
 #include "mem/mshr.h"
 #include "net/network.h"
@@ -152,6 +153,12 @@ private:
     {
         return exclusive ? canWrite(s) : canRead(s);
     }
+
+    /// Records a protocol transition into both the thread-local
+    /// TransitionCoverage and (when enabled) this context's TraceSession —
+    /// every transition site in the agent goes through here.
+    void noteTransition(CohState from, CohEvent event, CohState to,
+                        Addr base);
 
     void startTransaction(Line* existing, Addr base, bool exclusive,
                           AccessDone done);

@@ -8,6 +8,7 @@
 #include "mem/dram.h"
 #include "mem/replacement.h"
 #include "net/network.h"
+#include "sim/log.h"
 #include "sim/types.h"
 
 namespace dscoh {
@@ -93,6 +94,10 @@ struct SystemConfig {
     bool directoryHome = false;
 
     // --- Misc ---
+    /// Threshold of the per-context LogSink (--log-level / DSCOH_LOG_LEVEL).
+    /// Only matters once a component is enabled on the sink; kInfo keeps
+    /// the historical behavior.
+    LogLevel logLevel = LogLevel::kInfo;
     std::size_t agentMshrs = 16;   ///< CPU-side outstanding line transactions
     std::size_t gpuL2Mshrs = 64;   ///< per-slice outstanding transactions
     std::size_t writebackEntries = 32;

@@ -42,9 +42,17 @@ void SystemConfig::printTable(std::ostream& os) const
        << "  Line size  " << kLineSize << "B across the whole system\n";
 }
 
+TraceSession& System::enableTracing(std::uint32_t catMask)
+{
+    if (ctx_.trace == nullptr)
+        ctx_.trace = std::make_unique<TraceSession>(catMask);
+    return *ctx_.trace;
+}
+
 System::System(const SystemConfig& config)
     : config_(config), interleave_(config.gpuL2Slices)
 {
+    ctx_.log.setThreshold(config_.logLevel);
     store_ = std::make_unique<BackingStore>(config_.memBytes);
     space_ = std::make_unique<AddressSpace>(config_.memBytes);
     dram_ = std::make_unique<DramPool>("dram", ctx_, *store_, config_.dram,

@@ -56,6 +56,14 @@ public:
     /// Per-system log sink: sys.log().enable("coherence") turns on a
     /// component's tracing for this simulation only.
     LogSink& log() { return ctx_.log; }
+
+    /// Attaches a TraceSession recording the categories in @p catMask to
+    /// this system's context and returns it. Call before running; the
+    /// session lives as long as the System. Without this call, tracing is
+    /// off and the hooks cost one pointer test each.
+    TraceSession& enableTracing(std::uint32_t catMask = kAllTraceCats);
+    /// The attached session, or nullptr when tracing is off.
+    TraceSession* trace() { return ctx_.trace.get(); }
     AddressSpace& addressSpace() { return *space_; }
     StatRegistry& stats() { return stats_; }
 

@@ -135,7 +135,11 @@ std::string jsonEscape(const std::string& s)
 void writeResultsJson(std::ostream& os,
                       const std::vector<ExperimentResult>& results)
 {
-    os << "{\n  \"schema\": \"dscoh-results-v1\",\n  \"results\": [";
+    // schemaVersion exists so downstream plot scripts can detect format
+    // drift without string-matching the schema name. v2 added the per-job
+    // "stats" counter snapshot.
+    os << "{\n  \"schema\": \"dscoh-results-v2\",\n  \"schemaVersion\": 2,\n"
+          "  \"results\": [";
     bool first = true;
     for (const ExperimentResult& r : results) {
         os << (first ? "\n" : ",\n");
@@ -164,7 +168,15 @@ void writeResultsJson(std::ostream& os,
            << ", \"dsNetworkMessages\": " << m.dsNetworkMessages
            << ", \"dramReads\": " << m.dramReads
            << ", \"dramWrites\": " << m.dramWrites
-           << "}, \"footprintBytes\": " << r.run.footprintBytes << "}";
+           << "}, \"footprintBytes\": " << r.run.footprintBytes
+           << ", \"stats\": {";
+        bool firstStat = true;
+        for (const auto& [name, value] : r.run.statCounters) {
+            os << (firstStat ? "" : ", ") << "\"" << jsonEscape(name)
+               << "\": " << value;
+            firstStat = false;
+        }
+        os << "}}";
     }
     os << "\n  ]\n}\n";
 }

@@ -73,8 +73,10 @@ makeSweepJobs(const std::vector<std::string>& codes,
               const std::vector<CoherenceMode>& modes,
               const SystemConfig& base = SystemConfig{});
 
-/// Machine-readable results (schema "dscoh-results-v1"): one object per
-/// job, in submission order, with the headline RunMetrics inlined.
+/// Machine-readable results (schema "dscoh-results-v2", with an explicit
+/// "schemaVersion" field so plots can detect format drift): one object per
+/// job, in submission order, with the headline RunMetrics inlined plus the
+/// full per-job counter snapshot under "stats".
 void writeResultsJson(std::ostream& os,
                       const std::vector<ExperimentResult>& results);
 

@@ -20,10 +20,13 @@ void GpuDevice::launch(const KernelDesc& kernel, std::function<void()> onDone)
     active_ = true;
     kernel_ = &kernel;
     nextBlock_ = 0;
+    launchedAt_ = curTick();
     onDone_ = std::move(onDone);
     kernelsLaunched_.inc();
     DSCOH_LOG("gpu", name() << " launching kernel (" << kernel.blocks
                             << " blocks)");
+    if (TraceSession* t = tracing(TraceCat::kKernel))
+        t->instant(TraceCat::kKernel, name(), "launch", curTick());
 
     queue().scheduleAfter(params_.launchLatency, [this] {
         for (StreamingMultiprocessor* sm : sms_) {
@@ -51,6 +54,9 @@ void GpuDevice::onSmIdle()
     for (const StreamingMultiprocessor* sm : sms_)
         if (!sm->idle())
             return;
+    if (TraceSession* t = tracing(TraceCat::kKernel))
+        t->span(TraceCat::kKernel, name(), "kernel", launchedAt_, curTick(),
+                "blocks", kernel_->blocks);
     active_ = false;
     kernel_ = nullptr;
     auto done = std::move(onDone_);

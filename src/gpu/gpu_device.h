@@ -36,6 +36,7 @@ private:
     const KernelDesc* kernel_ = nullptr;
     std::uint32_t nextBlock_ = 0;
     bool active_ = false;
+    Tick launchedAt_ = 0; ///< launch tick of the active kernel (trace span)
     std::function<void()> onDone_;
 
     Counter kernelsLaunched_;

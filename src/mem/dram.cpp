@@ -63,6 +63,8 @@ void Dram::read(Addr addr, DramCallback done)
 {
     reads_.inc();
     const Tick when = scheduleAccess(addr);
+    if (TraceSession* t = tracing(TraceCat::kDram))
+        t->span(TraceCat::kDram, name(), "read", curTick(), when, addr);
     queue().schedule(when, [cb = std::move(done)] { cb(); },
                      EventPriority::kController);
 }
@@ -71,6 +73,8 @@ void Dram::write(Addr addr, const DataBlock& data, DramCallback done)
 {
     writes_.inc();
     const Tick when = scheduleAccess(addr);
+    if (TraceSession* t = tracing(TraceCat::kDram))
+        t->span(TraceCat::kDram, name(), "write", curTick(), when, addr);
     // Functionally the write is applied at completion time.
     queue().schedule(when,
                      [this, addr, data, cb = std::move(done)] {
@@ -86,6 +90,8 @@ void Dram::writeMasked(Addr addr, const DataBlock& data, const ByteMask& mask,
 {
     writes_.inc();
     const Tick when = scheduleAccess(addr);
+    if (TraceSession* t = tracing(TraceCat::kDram))
+        t->span(TraceCat::kDram, name(), "write", curTick(), when, addr);
     queue().schedule(when,
                      [this, addr, data, mask, cb = std::move(done)] {
                          store_.writeMasked(addr, data, mask);

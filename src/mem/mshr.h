@@ -16,6 +16,7 @@ class MshrFile {
 public:
     struct Entry {
         Addr base = 0;
+        Tick allocatedAt = 0; ///< set by the owner; spans MSHR occupancy
         std::vector<TargetT> targets;
     };
 

@@ -68,6 +68,10 @@ void Network::send(Message msg)
         dataMessages_.inc();
     deliveryLatency_.sample(arrival - curTick());
 
+    if (TraceSession* t = tracing(TraceCat::kNet))
+        t->span(TraceCat::kNet, name(), to_string(msg.type), curTick(),
+                arrival, msg.addr);
+
     queue().schedule(arrival,
                      [this, m = std::move(msg)] { handlers_[m.dst](m); },
                      EventPriority::kMessageDelivery);

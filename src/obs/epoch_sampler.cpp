@@ -1,0 +1,88 @@
+#include "obs/epoch_sampler.h"
+
+#include <utility>
+
+namespace dscoh {
+
+EpochSampler::EpochSampler(EventQueue& queue, const StatRegistry& stats,
+                           Params params)
+    : queue_(queue), stats_(stats), params_(std::move(params))
+{
+}
+
+void EpochSampler::start()
+{
+    if (params_.epochTicks == 0)
+        return;
+    const std::vector<std::string> all = stats_.counterNames();
+    if (params_.selectors.empty()) {
+        names_ = all;
+    } else {
+        for (const std::string& name : all) {
+            for (const std::string& sel : params_.selectors) {
+                if (name.compare(0, sel.size(), sel) == 0) {
+                    names_.push_back(name);
+                    break;
+                }
+            }
+        }
+    }
+    takeSample();
+    arm();
+}
+
+void EpochSampler::takeSample()
+{
+    Sample s;
+    s.tick = queue_.curTick();
+    s.values.reserve(names_.size());
+    for (const std::string& name : names_)
+        s.values.push_back(stats_.counter(name));
+    samples_.push_back(std::move(s));
+}
+
+void EpochSampler::arm()
+{
+    queue_.scheduleAfter(params_.epochTicks,
+                         [this] {
+                             takeSample();
+                             // Re-arm only while the simulation still has
+                             // work: a lone sampler event must not keep the
+                             // queue spinning forever after the run drains.
+                             if (queue_.pending() > 0)
+                                 arm();
+                         },
+                         EventPriority::kStats);
+}
+
+void EpochSampler::writeJson(std::ostream& os) const
+{
+    os << "{\"epochTicks\": " << params_.epochTicks << ", \"names\": [";
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        os << (i == 0 ? "" : ", ") << "\"" << names_[i] << "\"";
+    os << "], \"samples\": [";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << "    {\"tick\": " << samples_[i].tick
+           << ", \"values\": [";
+        for (std::size_t v = 0; v < samples_[i].values.size(); ++v)
+            os << (v == 0 ? "" : ", ") << samples_[i].values[v];
+        os << "]}";
+    }
+    os << "\n  ]}";
+}
+
+void EpochSampler::writeCsv(std::ostream& os) const
+{
+    os << "tick";
+    for (const std::string& name : names_)
+        os << ',' << name;
+    os << '\n';
+    for (const Sample& s : samples_) {
+        os << s.tick;
+        for (const std::uint64_t v : s.values)
+            os << ',' << v;
+        os << '\n';
+    }
+}
+
+} // namespace dscoh

@@ -1,0 +1,71 @@
+// Epoch time-series sampling of StatRegistry counters.
+//
+// The bench/tool story for "why is mode X slower" needs time-resolved
+// curves, not end-of-run totals: miss rate over the run, traffic per
+// channel per epoch, and so on. An EpochSampler snapshots a selected set
+// of counters every N simulated ticks into a deterministic time series.
+//
+// The sampler rides the simulation's own EventQueue at kStats priority (so
+// it observes a tick *after* all real work at that tick) and re-arms itself
+// only while other events remain pending — it therefore never keeps an
+// otherwise-drained queue alive, and System::simulate() terminates exactly
+// as before.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace dscoh {
+
+class EpochSampler {
+public:
+    struct Params {
+        Tick epochTicks = 0; ///< sampling period; 0 disables the sampler
+        /// Counter-name prefixes to sample ("gpu.l2.", "net.ds.messages").
+        /// Empty = every registered counter.
+        std::vector<std::string> selectors;
+    };
+
+    struct Sample {
+        Tick tick = 0;
+        std::vector<std::uint64_t> values; ///< parallel to names()
+    };
+
+    /// The registry must outlive the sampler. Counters are resolved at
+    /// start(), so call it after every component registered its stats.
+    EpochSampler(EventQueue& queue, const StatRegistry& stats, Params params);
+
+    /// Takes the epoch-0 snapshot and arms the periodic event. No-op when
+    /// epochTicks == 0.
+    void start();
+
+    const std::vector<std::string>& names() const { return names_; }
+    const std::vector<Sample>& samples() const { return samples_; }
+    Tick epochTicks() const { return params_.epochTicks; }
+
+    /// One "epochs" JSON object: {"epochTicks": N, "names": [...],
+    /// "samples": [{"tick": T, "values": [...]}, ...]}. Values are
+    /// cumulative counter snapshots; consumers diff adjacent samples for
+    /// per-epoch rates.
+    void writeJson(std::ostream& os) const;
+
+    /// Header row plus one CSV row per epoch, for quick plotting.
+    void writeCsv(std::ostream& os) const;
+
+private:
+    void takeSample();
+    void arm();
+
+    EventQueue& queue_;
+    const StatRegistry& stats_;
+    Params params_;
+    std::vector<std::string> names_;
+    std::vector<Sample> samples_;
+};
+
+} // namespace dscoh

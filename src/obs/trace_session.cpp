@@ -1,0 +1,143 @@
+#include "obs/trace_session.h"
+
+namespace dscoh {
+
+const char* to_string(TraceCat c)
+{
+    switch (c) {
+    case TraceCat::kCoherence: return "coherence";
+    case TraceCat::kNet: return "net";
+    case TraceCat::kDram: return "dram";
+    case TraceCat::kMshr: return "mshr";
+    case TraceCat::kKernel: return "kernel";
+    }
+    return "?";
+}
+
+bool parseTraceFilter(const std::string& text, std::uint32_t& mask,
+                      std::string& error)
+{
+    if (text.empty()) {
+        error = "trace filter is empty";
+        return false;
+    }
+    std::uint32_t out = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(start, comma - start);
+        start = comma + 1;
+        if (item.empty()) {
+            error = "trace filter '" + text + "' has an empty category";
+            return false;
+        }
+        bool known = false;
+        for (std::size_t c = 0; c < kTraceCatCount; ++c) {
+            if (item == to_string(static_cast<TraceCat>(c))) {
+                out |= 1u << c;
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            error = "unknown trace category '" + item +
+                    "' (expected coherence|net|dram|mshr|kernel)";
+            return false;
+        }
+    }
+    if (out == 0) {
+        error = "trace filter '" + text + "' selects no category";
+        return false;
+    }
+    mask = out;
+    return true;
+}
+
+TraceSession::TraceEvent& TraceSession::push(TraceCat cat, char ph,
+                                             const std::string& track,
+                                             const char* name, Tick ts,
+                                             Tick dur)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ts = ts;
+    e.dur = dur;
+    e.track = trackId(track);
+    e.cat = cat;
+    e.ph = ph;
+    events_.push_back(e);
+    return events_.back();
+}
+
+std::uint32_t TraceSession::trackId(const std::string& name)
+{
+    const auto it = trackIds_.find(name);
+    if (it != trackIds_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(trackNames_.size());
+    trackNames_.push_back(name);
+    trackIds_.emplace(name, id);
+    return id;
+}
+
+void TraceSession::writeJson(std::ostream& os) const
+{
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    const auto sep = [&os, &first] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    sep();
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"args\": {\"name\": \"dscoh\"}}";
+    for (std::size_t t = 0; t < trackNames_.size(); ++t) {
+        sep();
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+              "\"tid\": " << t << ", \"args\": {\"name\": \""
+           << trackNames_[t] << "\"}}";
+    }
+    for (const TraceEvent& e : events_) {
+        sep();
+        os << "{\"name\": \"" << e.name << "\", \"cat\": \""
+           << to_string(e.cat) << "\", \"ph\": \"" << e.ph
+           << "\", \"pid\": 0, \"tid\": " << e.track << ", \"ts\": " << e.ts;
+        if (e.ph == 'X')
+            os << ", \"dur\": " << e.dur;
+        if (e.ph == 'i')
+            os << ", \"s\": \"t\"";
+        const bool hasArgs =
+            e.hasAddr || e.from != nullptr || e.valueKey != nullptr;
+        if (hasArgs) {
+            os << ", \"args\": {";
+            bool argFirst = true;
+            const auto argSep = [&os, &argFirst] {
+                if (!argFirst)
+                    os << ", ";
+                argFirst = false;
+            };
+            if (e.hasAddr) {
+                argSep();
+                os << "\"addr\": \"0x" << std::hex << e.addr << std::dec
+                   << "\"";
+            }
+            if (e.from != nullptr) {
+                argSep();
+                os << "\"from\": \"" << e.from << "\", \"to\": \"" << e.to
+                   << "\"";
+            }
+            if (e.valueKey != nullptr) {
+                argSep();
+                os << "\"" << e.valueKey << "\": " << e.value;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace dscoh

@@ -10,6 +10,7 @@
 // from — both were real hazards of the old process-wide singleton.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <ostream>
 #include <set>
@@ -19,6 +20,27 @@
 #include "sim/event_queue.h"
 
 namespace dscoh {
+
+/// Message severities, most severe first. A sink prints a message when its
+/// component is enabled *and* the message's level is at or above the sink's
+/// threshold (kError is always above; kDebug only when asked for).
+enum class LogLevel : std::uint8_t {
+    kError = 0,
+    kWarn = 1,
+    kInfo = 2,
+    kDebug = 3,
+};
+
+inline const char* to_string(LogLevel l)
+{
+    switch (l) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    }
+    return "?";
+}
 
 class LogSink {
 public:
@@ -30,9 +52,19 @@ public:
     void enable(const std::string& component) { enabled_.insert(component); }
     void disable(const std::string& component) { enabled_.erase(component); }
     void disableAll() { enabled_.clear(); }
-    bool isEnabled(const std::string& component) const
+
+    /// Threshold below which messages are dropped even for enabled
+    /// components. Default kInfo: DSCOH_LOG (info-level) behaves exactly as
+    /// it always has; kDebug additionally lets debug messages through.
+    void setThreshold(LogLevel l) { threshold_ = l; }
+    LogLevel threshold() const { return threshold_; }
+
+    bool isEnabled(const std::string& component,
+                   LogLevel lvl = LogLevel::kInfo) const
     {
         if (enabled_.empty()) // fast path: the common all-off case
+            return false;
+        if (lvl > threshold_)
             return false;
         return enabled_.count(component) != 0 || enabled_.count("*") != 0;
     }
@@ -43,9 +75,10 @@ public:
     /// Redirect output (default: std::clog). Tests capture through this.
     void streamTo(std::ostream& os) { os_ = &os; }
 
-    void write(const std::string& component, const std::string& msg) const
+    void write(const std::string& component, const std::string& msg,
+               LogLevel lvl = LogLevel::kInfo) const
     {
-        if (!isEnabled(component))
+        if (!isEnabled(component, lvl))
             return;
         if (queue_ != nullptr)
             *os_ << '[' << queue_->curTick() << "] ";
@@ -54,23 +87,32 @@ public:
 
 private:
     std::set<std::string> enabled_;
+    LogLevel threshold_ = LogLevel::kInfo;
     const EventQueue* queue_ = nullptr;
     std::ostream* os_ = &std::clog;
 };
 
 /// Usage: DSCOH_LOG_TO(sink, "coherence", "GETS " << std::hex << addr);
-/// The stream expression is only evaluated when the component is enabled.
-#define DSCOH_LOG_TO(sink, component, expr)                                  \
+/// The stream expression is only evaluated when the component is enabled
+/// at the given level (DSCOH_LOG_TO logs at kInfo).
+#define DSCOH_LOG_TO_AT(sink, level, component, expr)                        \
     do {                                                                     \
-        if ((sink).isEnabled(component)) {                                   \
+        if ((sink).isEnabled(component, level)) {                            \
             std::ostringstream dscoh_log_os;                                 \
             dscoh_log_os << expr;                                            \
-            (sink).write(component, dscoh_log_os.str());                     \
+            (sink).write(component, dscoh_log_os.str(), level);              \
         }                                                                    \
     } while (false)
+
+#define DSCOH_LOG_TO(sink, component, expr)                                  \
+    DSCOH_LOG_TO_AT(sink, ::dscoh::LogLevel::kInfo, component, expr)
 
 /// Member-function shorthand inside SimObject subclasses: logs through the
 /// owning SimContext's sink. DSCOH_LOG("coherence", "GETS " << addr);
 #define DSCOH_LOG(component, expr) DSCOH_LOG_TO(this->log(), component, expr)
+
+/// Leveled variant: DSCOH_LOG_AT(LogLevel::kDebug, "coherence", ...).
+#define DSCOH_LOG_AT(level, component, expr)                                 \
+    DSCOH_LOG_TO_AT(this->log(), level, component, expr)
 
 } // namespace dscoh

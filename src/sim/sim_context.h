@@ -1,12 +1,16 @@
 // One simulation's private universe.
 //
 // A SimContext bundles the EventQueue that drives a simulated machine with
-// the LogSink its components write through. Every System owns exactly one;
-// nothing inside a context is shared with any other context, which is the
-// invariant the parallel ExperimentEngine relies on: independent simulations
-// may run concurrently on different threads with no synchronisation at all.
+// the LogSink its components write through and the (optional) TraceSession
+// they record structured events into. Every System owns exactly one; nothing
+// inside a context is shared with any other context, which is the invariant
+// the parallel ExperimentEngine relies on: independent simulations may run
+// concurrently on different threads with no synchronisation at all.
 #pragma once
 
+#include <memory>
+
+#include "obs/trace_session.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
 
@@ -20,6 +24,11 @@ struct SimContext {
 
     EventQueue queue;
     LogSink log;
+
+    /// Structured event tracing. Null (the default) means tracing is off
+    /// and every hook in the components costs one pointer test; see
+    /// System::enableTracing().
+    std::unique_ptr<TraceSession> trace;
 };
 
 } // namespace dscoh

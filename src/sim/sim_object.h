@@ -33,6 +33,16 @@ public:
     LogSink& log() const { return ctx_.log; }
     Tick curTick() const { return ctx_.queue.curTick(); }
 
+    /// The context's trace session when one is attached *and* records
+    /// @p cat, else nullptr. The tracing hooks in hot paths are all of the
+    /// form `if (TraceSession* t = tracing(...)) t->...;` — one pointer
+    /// load and branch when tracing is off.
+    TraceSession* tracing(TraceCat cat) const
+    {
+        TraceSession* t = ctx_.trace.get();
+        return t != nullptr && t->enabled(cat) ? t : nullptr;
+    }
+
     /// Registers this component's statistics under its name.
     virtual void regStats(StatRegistry& registry) { static_cast<void>(registry); }
 

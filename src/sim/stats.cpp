@@ -24,6 +24,41 @@ void Histogram::reset()
     samples_ = sum_ = min_ = max_ = 0;
 }
 
+double Histogram::percentile(double p) const
+{
+    if (p < 0.0 || p > 100.0)
+        throw std::invalid_argument("percentile must be in [0, 100]");
+    if (samples_ == 0)
+        return 0.0;
+    if (p == 0.0)
+        return static_cast<double>(min());
+    if (p == 100.0)
+        return static_cast<double>(max_);
+
+    const double rank = p / 100.0 * static_cast<double>(samples_);
+    double below = 0.0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        if (counts_[b] == 0)
+            continue;
+        const double inBucket = static_cast<double>(counts_[b]);
+        if (rank > below + inBucket) {
+            below += inBucket;
+            continue;
+        }
+        // The rank lands in bucket b: interpolate linearly across it. The
+        // overflow bucket has no upper edge of its own; max() bounds it.
+        const double lo = static_cast<double>(b) * static_cast<double>(width_);
+        const double hi = b + 1 == counts_.size()
+                              ? static_cast<double>(max_)
+                              : lo + static_cast<double>(width_);
+        const double frac = (rank - below) / inBucket;
+        const double v = lo + frac * (std::max(hi, lo) - lo);
+        return std::clamp(v, static_cast<double>(min()),
+                          static_cast<double>(max_));
+    }
+    return static_cast<double>(max_);
+}
+
 void StatRegistry::registerCounter(std::string name, const Counter* c)
 {
     counters_.emplace(std::move(name), c);
@@ -76,6 +111,62 @@ void StatRegistry::dump(std::ostream& os) const
            << " mean=" << h->mean() << " min=" << h->min() << " max=" << h->max()
            << '\n';
     }
+}
+
+namespace {
+
+std::string jsonEscapeName(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void StatRegistry::dumpJson(std::ostream& os,
+                            const std::string& extraMember) const
+{
+    os << "{\n  \"schema\": \"dscoh-stats-v1\",\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscapeName(name)
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"scalars\": {";
+    first = true;
+    for (const auto& [name, s] : scalars_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscapeName(name)
+           << "\": " << s->value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscapeName(name)
+           << "\": {\"samples\": " << h->samples()
+           << ", \"mean\": " << h->mean() << ", \"min\": " << h->min()
+           << ", \"max\": " << h->max()
+           << ", \"p50\": " << h->percentile(50.0)
+           << ", \"p90\": " << h->percentile(90.0)
+           << ", \"p99\": " << h->percentile(99.0)
+           << ", \"bucketWidth\": " << h->bucketWidth() << ", \"buckets\": [";
+        const auto& buckets = h->buckets();
+        for (std::size_t b = 0; b < buckets.size(); ++b)
+            os << (b == 0 ? "" : ", ") << buckets[b];
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}";
+    if (!extraMember.empty())
+        os << ",\n  " << extraMember;
+    os << "\n}\n";
 }
 
 std::vector<std::string> StatRegistry::counterNames() const

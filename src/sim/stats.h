@@ -57,6 +57,14 @@ public:
     const std::vector<std::uint64_t>& buckets() const { return counts_; }
     void reset();
 
+    /// Estimated value at percentile @p p (0..100), linearly interpolated
+    /// within the bucket the rank falls into. Exact at the edges: p == 0
+    /// returns min(), p == 100 returns max(); results are clamped into
+    /// [min, max], which also bounds the overflow bucket's estimate.
+    /// Returns 0 with no samples; throws std::invalid_argument outside
+    /// [0, 100].
+    double percentile(double p) const;
+
 private:
     std::uint64_t width_;
     std::vector<std::uint64_t> counts_;
@@ -89,6 +97,14 @@ public:
 
     /// Writes a sorted, formatted report of every registered stat.
     void dump(std::ostream& os) const;
+
+    /// Writes every registered stat as one JSON object with a versioned
+    /// schema ("dscoh-stats-v1"): counters and scalars as name -> value
+    /// maps, histograms with samples/mean/min/max/p50/p90/p99 plus raw
+    /// buckets. @p extraMember, when non-empty, must be a pre-rendered
+    /// `"key": value` fragment and is appended as one more top-level member
+    /// (dscoh_run uses it to embed the epoch time-series).
+    void dumpJson(std::ostream& os, const std::string& extraMember = {}) const;
 
     std::vector<std::string> counterNames() const;
 

@@ -51,6 +51,8 @@ WorkloadRunResult runWorkload(const Workload& workload, InputSize size,
     result.footprintBytes = footprint;
     result.produceDoneAt = produceDoneAt;
     result.kernelDoneAt = std::move(kernelDoneAt);
+    for (const std::string& name : sys.stats().counterNames())
+        result.statCounters.emplace(name, sys.stats().counter(name));
 
     if (result.metrics.checkFailures != 0)
         throw std::runtime_error(

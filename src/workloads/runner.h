@@ -6,6 +6,8 @@
 // as one run, exactly like the paper's "total ticks".
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,10 @@ struct WorkloadRunResult {
     RunMetrics metrics;
     std::vector<std::string> violations; ///< coherence-invariant breaches
     std::uint64_t footprintBytes = 0;
+    /// Full snapshot of the run's StatRegistry counters (name -> value),
+    /// taken after the simulation quiesced. Ends up in results.json so
+    /// downstream analysis gets every counter, not just RunMetrics.
+    std::map<std::string, std::uint64_t> statCounters;
     /// Phase breakdown: tick at which the CPU produce phase finished, and
     /// the completion tick of each kernel (for the ablation narratives).
     Tick produceDoneAt = 0;

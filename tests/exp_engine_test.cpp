@@ -186,13 +186,31 @@ TEST(ExperimentEngine, JsonContainsEveryRunAndParses)
     std::ostringstream os;
     writeResultsJson(os, results);
     const std::string json = os.str();
-    EXPECT_NE(json.find("\"schema\": \"dscoh-results-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"dscoh-results-v2\""),
               std::string::npos);
+    EXPECT_NE(json.find("\"schemaVersion\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"code\": \"VA\""), std::string::npos);
     EXPECT_NE(json.find("\"ticks\": "), std::string::npos);
     EXPECT_NE(json.find("\"code\": \"NOPE\""), std::string::npos);
     EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
     EXPECT_NE(json.find("\"error\": "), std::string::npos);
+    // v2: the per-job stat snapshot rides along with the metrics.
+    EXPECT_NE(json.find("\"stats\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"dram.ch0.reads\": "), std::string::npos);
+}
+
+TEST(ExperimentEngine, ResultCarriesStatSnapshot)
+{
+    ExperimentJob job;
+    job.code = "VA";
+    const auto results = ExperimentEngine(1).run({job});
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    const auto& stats = results[0].run.statCounters;
+    EXPECT_FALSE(stats.empty());
+    const auto reads = stats.find("dram.ch0.reads");
+    ASSERT_NE(reads, stats.end());
+    EXPECT_EQ(reads->second, results[0].run.metrics.dramReads);
 }
 
 } // namespace

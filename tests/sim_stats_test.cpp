@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
+#include "obs/json_lite.h"
 #include "sim/stats.h"
 
 namespace dscoh {
@@ -83,6 +85,56 @@ TEST(StatRegistry, PrefixSum)
     EXPECT_EQ(reg.sumCounters("nope"), 0u);
 }
 
+TEST(Histogram, PercentileEdgesAreExactMinMax)
+{
+    Histogram h(10, 8);
+    h.sample(5);
+    h.sample(15);
+    h.sample(42);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 42.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBuckets)
+{
+    Histogram h(10, 10); // [0,10) [10,20) ... + overflow
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v); // uniform: percentile(p) ~ p
+    EXPECT_NEAR(h.percentile(50.0), 50.0, 10.0);
+    EXPECT_NEAR(h.percentile(90.0), 90.0, 10.0);
+    EXPECT_LE(h.percentile(50.0), h.percentile(90.0));
+    EXPECT_LE(h.percentile(90.0), h.percentile(99.0));
+}
+
+TEST(Histogram, PercentileOverflowBucketBoundedByMax)
+{
+    Histogram h(1, 4);
+    h.sample(0);
+    h.sample(1000000); // lands in the overflow bucket
+    const double p99 = h.percentile(99.0);
+    EXPECT_LE(p99, 1000000.0);
+    EXPECT_GE(p99, 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000000.0);
+}
+
+TEST(Histogram, PercentileNoSamplesAndBadInput)
+{
+    Histogram h(10, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    h.sample(7);
+    EXPECT_THROW(h.percentile(-0.1), std::invalid_argument);
+    EXPECT_THROW(h.percentile(100.1), std::invalid_argument);
+}
+
+TEST(Histogram, PercentileSingleSampleIsThatSample)
+{
+    Histogram h(16, 8);
+    h.sample(23);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 23.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 23.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 23.0);
+}
+
 TEST(StatRegistry, DumpContainsEveryStat)
 {
     StatRegistry reg;
@@ -101,6 +153,98 @@ TEST(StatRegistry, DumpContainsEveryStat)
     EXPECT_NE(text.find("a.counter"), std::string::npos);
     EXPECT_NE(text.find("a.scalar"), std::string::npos);
     EXPECT_NE(text.find("a.hist"), std::string::npos);
+}
+
+TEST(StatRegistry, DumpJsonIsWellFormedAndMatchesValues)
+{
+    StatRegistry reg;
+    Counter c;
+    Scalar s;
+    Histogram h(10, 8);
+    c.inc(41);
+    s.set(2.5);
+    h.sample(5);
+    h.sample(15);
+    h.sample(95);
+    reg.registerCounter("a.counter", &c);
+    reg.registerScalar("a.scalar", &s);
+    reg.registerHistogram("a.hist", &h);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    std::string error;
+    const jsonlite::ValuePtr root = jsonlite::parse(os.str(), error);
+    ASSERT_NE(root, nullptr) << error;
+
+    const jsonlite::Value* schema = root->get("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string, "dscoh-stats-v1");
+
+    const jsonlite::Value* counters = root->get("counters");
+    ASSERT_NE(counters, nullptr);
+    const jsonlite::Value* counter = counters->get("a.counter");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_EQ(counter->asUint(), 41u);
+
+    const jsonlite::Value* scalars = root->get("scalars");
+    ASSERT_NE(scalars, nullptr);
+    const jsonlite::Value* scalar = scalars->get("a.scalar");
+    ASSERT_NE(scalar, nullptr);
+    EXPECT_DOUBLE_EQ(scalar->number, 2.5);
+
+    const jsonlite::Value* hists = root->get("histograms");
+    ASSERT_NE(hists, nullptr);
+    const jsonlite::Value* hist = hists->get("a.hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->get("samples")->asUint(), 3u);
+    EXPECT_EQ(hist->get("min")->asUint(), 5u);
+    EXPECT_EQ(hist->get("max")->asUint(), 95u);
+    ASSERT_NE(hist->get("p50"), nullptr);
+    ASSERT_NE(hist->get("p90"), nullptr);
+    ASSERT_NE(hist->get("p99"), nullptr);
+    const jsonlite::Value* buckets = hist->get("buckets");
+    ASSERT_NE(buckets, nullptr);
+    EXPECT_EQ(buckets->array.size(), h.buckets().size());
+}
+
+TEST(StatRegistry, DumpJsonCountersMatchTextDumpExactly)
+{
+    StatRegistry reg;
+    Counter a;
+    Counter b;
+    a.inc(7);
+    b.inc(123456789);
+    reg.registerCounter("x.a", &a);
+    reg.registerCounter("x.b", &b);
+
+    std::ostringstream js;
+    reg.dumpJson(js);
+    std::string error;
+    const jsonlite::ValuePtr root = jsonlite::parse(js.str(), error);
+    ASSERT_NE(root, nullptr) << error;
+    const jsonlite::Value* counters = root->get("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_EQ(counters->object.size(), reg.counterNames().size());
+    for (const std::string& name : reg.counterNames()) {
+        const jsonlite::Value* v = counters->get(name);
+        ASSERT_NE(v, nullptr) << name;
+        EXPECT_EQ(v->asUint(), reg.counter(name)) << name;
+    }
+}
+
+TEST(StatRegistry, DumpJsonEmbedsExtraMember)
+{
+    StatRegistry reg;
+    Counter c;
+    reg.registerCounter("a", &c);
+    std::ostringstream os;
+    reg.dumpJson(os, "\"epochs\": {\"epochTicks\": 5}");
+    std::string error;
+    const jsonlite::ValuePtr root = jsonlite::parse(os.str(), error);
+    ASSERT_NE(root, nullptr) << error;
+    const jsonlite::Value* epochs = root->get("epochs");
+    ASSERT_NE(epochs, nullptr);
+    EXPECT_EQ(epochs->get("epochTicks")->asUint(), 5u);
 }
 
 } // namespace

@@ -6,9 +6,12 @@
 //   dscoh_run --workload NN --mode ccsm --prefetch 4 --ds-hop 80
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "cli/options.h"
 #include "core/config_io.h"
+#include "obs/epoch_sampler.h"
+#include "obs/trace_session.h"
 #include "trace/trace_format.h"
 #include "workloads/runner.h"
 
@@ -29,17 +32,61 @@ void printRun(const char* label, const WorkloadRunResult& r)
                 static_cast<unsigned long long>(r.metrics.coherenceMessages));
 }
 
-/// Runs and (optionally) dumps the full stats registry to @p statsPath.
-WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
-                          const SystemConfig& cfg, const std::string& statsPath)
+/// Observability outputs requested on the command line. Paths are empty
+/// when the corresponding output is off.
+struct ObsOptions {
+    std::string statsPath;    ///< text stats dump (--stats)
+    std::string statsJson;    ///< JSON stats dump (--stats-json)
+    std::string traceOut;     ///< Chrome trace-event file (--trace-out)
+    std::uint32_t traceMask = kAllTraceCats; ///< --trace-filter
+    Tick epochTicks = 0;      ///< --epoch-ticks (0 = no sampling)
+
+    bool any() const
+    {
+        return !statsPath.empty() || !statsJson.empty() ||
+               !traceOut.empty() || epochTicks != 0;
+    }
+
+    /// "s.json" -> "s.json.ccsm" for --mode both, matching the historical
+    /// --stats behavior.
+    ObsOptions withSuffix(const std::string& suffix) const
+    {
+        ObsOptions o = *this;
+        if (!o.statsPath.empty())
+            o.statsPath += suffix;
+        if (!o.statsJson.empty())
+            o.statsJson += suffix;
+        if (!o.traceOut.empty())
+            o.traceOut += suffix;
+        return o;
+    }
+};
+
+std::ofstream openOut(const std::string& path)
 {
-    if (statsPath.empty())
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write file: " + path);
+    return out;
+}
+
+/// Runs and writes whatever observability outputs were requested.
+WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
+                          const SystemConfig& cfg, const ObsOptions& obs)
+{
+    if (!obs.any())
         return runWorkload(w, size, mode, cfg);
 
-    // Re-run through a System we keep, so the registry can be dumped.
+    // Re-run through a System we keep, so the registry/trace can be dumped.
     SystemConfig c = cfg;
     c.mode = mode;
     System sys(c);
+    if (!obs.traceOut.empty())
+        sys.enableTracing(obs.traceMask);
+    EpochSampler::Params epochParams;
+    epochParams.epochTicks = obs.epochTicks;
+    EpochSampler sampler(sys.queue(), sys.stats(), epochParams);
+
     Workload::ArrayMap mem;
     for (const auto& spec : w.arrays(size))
         mem[spec.name] = sys.allocateArray(spec.bytes, spec.gpuShared);
@@ -51,12 +98,27 @@ WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
             sys.launchKernel(kernels[next++], [&] { launchNext(); });
     };
     sys.runCpuProgram(produce, [&] { launchNext(); });
+    sampler.start();
     sys.simulate();
 
-    std::ofstream out(statsPath);
-    if (!out)
-        throw std::runtime_error("cannot write stats file: " + statsPath);
-    sys.stats().dump(out);
+    if (!obs.statsPath.empty()) {
+        std::ofstream out = openOut(obs.statsPath);
+        sys.stats().dump(out);
+    }
+    if (!obs.statsJson.empty()) {
+        std::ofstream out = openOut(obs.statsJson);
+        std::string extra;
+        if (obs.epochTicks != 0) {
+            std::ostringstream epochs;
+            sampler.writeJson(epochs);
+            extra = "\"epochs\": " + epochs.str();
+        }
+        sys.stats().dumpJson(out, extra);
+    }
+    if (!obs.traceOut.empty()) {
+        std::ofstream out = openOut(obs.traceOut);
+        sys.trace()->writeJson(out);
+    }
 
     WorkloadRunResult r;
     r.code = w.info().code;
@@ -76,6 +138,10 @@ int main(int argc, char** argv)
     std::string sizeName = "small";
     std::string modeName = "both";
     std::string statsPath;
+    std::string statsJsonPath;
+    std::string traceOutPath;
+    std::string traceFilter;
+    std::string logLevelText;
     std::string configPath;
     bool csv = false;
     bool dumpCfg = false;
@@ -83,6 +149,7 @@ int main(int argc, char** argv)
     std::uint64_t prefetch = 0;
     std::uint64_t dsMinBytes = 0;
     std::uint64_t seed = 0;
+    std::uint64_t epochTicks = 0;
 
     cli::OptionParser parser("dscoh_run",
                              "simulate a workload under the paper's schemes");
@@ -92,6 +159,16 @@ int main(int argc, char** argv)
     parser.addString("mode", "ccsm|ds|dsonly|both", &modeName);
     parser.addString("stats", "dump the full stats registry to this file",
                      &statsPath);
+    parser.addString("stats-json", "dump the stats registry as JSON to this "
+                     "file", &statsJsonPath);
+    parser.addString("trace-out", "write a Chrome trace-event JSON file "
+                     "(open in Perfetto)", &traceOutPath);
+    parser.addString("trace-filter", "comma-separated trace categories "
+                     "(coherence,net,dram,mshr,kernel)", &traceFilter);
+    parser.addUint("epoch-ticks", "sample counters every N ticks into the "
+                   "stats JSON", &epochTicks);
+    parser.addString("log-level", "error|warn|info|debug (default: "
+                     "$DSCOH_LOG_LEVEL or info)", &logLevelText);
     parser.addString("config", "key=value config file (see --dump-config)",
                      &configPath);
     parser.addFlag("dump-config", "print the default configuration and exit",
@@ -140,6 +217,25 @@ int main(int argc, char** argv)
             if (!loadConfigFile(configPath, &cfg, &error))
                 throw std::runtime_error(error);
         }
+        {
+            std::string error;
+            if (!cli::resolveLogLevel(logLevelText, cfg.logLevel, error)) {
+                std::cerr << "dscoh_run: " << error << "\n";
+                return 2;
+            }
+        }
+        ObsOptions obs;
+        obs.statsPath = statsPath;
+        obs.statsJson = statsJsonPath;
+        obs.traceOut = traceOutPath;
+        obs.epochTicks = epochTicks;
+        if (!traceFilter.empty()) {
+            std::string error;
+            if (!parseTraceFilter(traceFilter, obs.traceMask, error)) {
+                std::cerr << "dscoh_run: --trace-filter: " << error << "\n";
+                return 2;
+            }
+        }
         if (dsHop != 0)
             cfg.dsNet.hopLatency = dsHop;
         cfg.gpuL2PrefetchDepth = static_cast<std::uint32_t>(prefetch);
@@ -158,10 +254,10 @@ int main(int argc, char** argv)
         };
 
         if (modeName == "both") {
-            const auto ccsm =
-                runOnce(*w, size, CoherenceMode::kCcsm, cfg, statsPath.empty() ? "" : statsPath + ".ccsm");
+            const auto ccsm = runOnce(*w, size, CoherenceMode::kCcsm, cfg,
+                                      obs.withSuffix(".ccsm"));
             const auto ds = runOnce(*w, size, CoherenceMode::kDirectStore, cfg,
-                                    statsPath.empty() ? "" : statsPath + ".ds");
+                                    obs.withSuffix(".ds"));
             const double speedup =
                 (static_cast<double>(ccsm.metrics.ticks) /
                      static_cast<double>(ds.metrics.ticks) -
@@ -182,7 +278,7 @@ int main(int argc, char** argv)
                 std::printf("speedup: %.1f%%\n", speedup);
             }
         } else {
-            const auto r = runOnce(*w, size, modeOf(modeName), cfg, statsPath);
+            const auto r = runOnce(*w, size, modeOf(modeName), cfg, obs);
             if (csv) {
                 std::printf("%s,%s,%s,%llu,%.4f\n", w->info().code.c_str(),
                             sizeName.c_str(), modeName.c_str(),

@@ -39,11 +39,14 @@ int main(int argc, char** argv)
     std::string jobsText;
     std::string only;
     std::string jsonPath = "results.json";
+    std::string logLevelText;
     cli::OptionParser parser(
         "dscoh_sweep",
         "run the Table II benchmarks under CCSM and direct store");
     parser.addString("jobs", "worker threads (default: hardware threads, or "
                              "DSCOH_JOBS)", &jobsText);
+    parser.addString("log-level", "error|warn|info|debug (default: "
+                     "$DSCOH_LOG_LEVEL or info)", &logLevelText);
     parser.addString("only", "comma-separated benchmark codes (default: all)",
                      &only);
     parser.addString("json", "write machine-readable results here "
@@ -69,6 +72,12 @@ int main(int argc, char** argv)
         return 2;
     }
 
+    SystemConfig base;
+    if (!cli::resolveLogLevel(logLevelText, base.logLevel, error)) {
+        std::cerr << "dscoh_sweep: " << error << "\n";
+        return 2;
+    }
+
     std::vector<std::string> codes = only.empty()
                                          ? WorkloadRegistry::instance().codes()
                                          : splitCodes(only);
@@ -80,7 +89,8 @@ int main(int argc, char** argv)
     }
 
     const std::vector<ExperimentJob> batch = makeSweepJobs(
-        codes, {size}, {CoherenceMode::kCcsm, CoherenceMode::kDirectStore});
+        codes, {size}, {CoherenceMode::kCcsm, CoherenceMode::kDirectStore},
+        base);
 
     ExperimentEngine engine(jobs);
     engine.onProgress([](const ExperimentResult& r, std::size_t done,

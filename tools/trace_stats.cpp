@@ -1,0 +1,152 @@
+// trace_stats — offline analyzer for dscoh trace-event files.
+//
+//   dscoh_run --workload VA --mode ds --trace-out t.json
+//   trace_stats t.json
+//
+// Parses a Chrome trace-event JSON file (as written by --trace-out),
+// validates its shape, and prints per-category event counts plus latency
+// percentiles for the span categories (net, dram, mshr, kernel). Uses the
+// same strict JSON reader the observability tests use, so a file this tool
+// accepts is a file Perfetto will load.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/options.h"
+#include "obs/json_lite.h"
+#include "sim/stats.h"
+
+using namespace dscoh;
+
+namespace {
+
+/// Per-category tally: event counts by phase plus a latency histogram over
+/// the completed spans.
+struct CategoryStats {
+    std::uint64_t instants = 0;
+    std::uint64_t spans = 0;
+    std::vector<std::uint64_t> durations;
+};
+
+/// Builds a histogram sized to the sample range so the interpolated
+/// percentiles stay tight even for long-tailed categories.
+Histogram buildHistogram(const std::vector<std::uint64_t>& durations)
+{
+    std::uint64_t maxDur = 0;
+    for (const std::uint64_t d : durations)
+        maxDur = std::max(maxDur, d);
+    const std::size_t buckets = 64;
+    const std::uint64_t width = maxDur / buckets + 1;
+    Histogram h(width, buckets);
+    for (const std::uint64_t d : durations)
+        h.sample(d);
+    return h;
+}
+
+int analyze(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "trace_stats: cannot open " << path << "\n";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    std::string error;
+    const jsonlite::ValuePtr root = jsonlite::parse(buf.str(), error);
+    if (!root) {
+        std::cerr << "trace_stats: " << path << ": " << error << "\n";
+        return 1;
+    }
+    const jsonlite::Value* events = root->get("traceEvents");
+    if (events == nullptr || !events->isArray()) {
+        std::cerr << "trace_stats: " << path
+                  << ": missing \"traceEvents\" array\n";
+        return 1;
+    }
+
+    std::map<std::string, CategoryStats> byCat;
+    std::map<std::string, std::string> tracks; ///< tid -> thread_name
+    std::uint64_t metadata = 0;
+    for (const jsonlite::ValuePtr& ev : events->array) {
+        const jsonlite::Value* ph = ev->get("ph");
+        if (ph == nullptr || !ph->isString()) {
+            std::cerr << "trace_stats: event without \"ph\" phase\n";
+            return 1;
+        }
+        if (ph->string == "M") {
+            ++metadata;
+            const jsonlite::Value* name = ev->get("name");
+            const jsonlite::Value* args = ev->get("args");
+            const jsonlite::Value* tid = ev->get("tid");
+            if (name != nullptr && name->string == "thread_name" &&
+                args != nullptr && tid != nullptr) {
+                if (const jsonlite::Value* n = args->get("name"))
+                    tracks[std::to_string(tid->asUint())] = n->string;
+            }
+            continue;
+        }
+        const jsonlite::Value* cat = ev->get("cat");
+        if (cat == nullptr || !cat->isString()) {
+            std::cerr << "trace_stats: non-metadata event without \"cat\"\n";
+            return 1;
+        }
+        CategoryStats& s = byCat[cat->string];
+        if (ph->string == "X") {
+            ++s.spans;
+            const jsonlite::Value* dur = ev->get("dur");
+            s.durations.push_back(dur != nullptr ? dur->asUint() : 0);
+        } else {
+            ++s.instants;
+        }
+    }
+
+    std::printf("%s: %zu events (%llu metadata), %zu tracks\n", path.c_str(),
+                events->array.size(),
+                static_cast<unsigned long long>(metadata), tracks.size());
+    std::printf("%-10s %10s %10s %8s %8s %8s %8s\n", "category", "instants",
+                "spans", "p50", "p90", "p99", "max");
+    for (auto& [name, s] : byCat) {
+        if (s.durations.empty()) {
+            std::printf("%-10s %10llu %10llu %8s %8s %8s %8s\n", name.c_str(),
+                        static_cast<unsigned long long>(s.instants),
+                        static_cast<unsigned long long>(s.spans), "-", "-",
+                        "-", "-");
+            continue;
+        }
+        const Histogram h = buildHistogram(s.durations);
+        std::printf("%-10s %10llu %10llu %8.0f %8.0f %8.0f %8llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(s.instants),
+                    static_cast<unsigned long long>(s.spans),
+                    h.percentile(50.0), h.percentile(90.0),
+                    h.percentile(99.0),
+                    static_cast<unsigned long long>(h.max()));
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    cli::OptionParser parser("trace_stats",
+                             "summarize a dscoh --trace-out JSON file");
+    if (!parser.parse(argc, argv, std::cerr))
+        return 2;
+    if (parser.positional().size() != 1) {
+        std::cerr << "usage: trace_stats TRACE.json (--help for details)\n";
+        return 2;
+    }
+    try {
+        return analyze(parser.positional().front());
+    } catch (const std::exception& e) {
+        std::cerr << "trace_stats: " << e.what() << "\n";
+        return 1;
+    }
+}
