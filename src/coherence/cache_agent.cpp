@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "check/coherence_checker.h"
 #include "coherence/transition_coverage.h"
 #include "sim/log.h"
 
@@ -27,6 +28,17 @@ const char* to_string(CohState s)
     return "?";
 }
 
+const char* to_string(InjectedBug b)
+{
+    switch (b) {
+    case InjectedBug::kNone: return "none";
+    case InjectedBug::kSkipRemoteStoreInval: return "skip-remote-store-inval";
+    case InjectedBug::kSkipSnoopInvalidate: return "skip-snoop-inval";
+    case InjectedBug::kDropWbAck: return "drop-wback";
+    }
+    return "?";
+}
+
 CacheAgent::CacheAgent(std::string name, SimContext& ctx, const Params& params)
     : SimObject(std::move(name), ctx), params_(params),
       array_(params.geometry), mshr_(params.mshrs)
@@ -41,6 +53,8 @@ void CacheAgent::noteTransition(CohState from, CohEvent event, CohState to,
     if (TraceSession* t = tracing(TraceCat::kCoherence))
         t->transition(name(), to_string(event), to_string(from), to_string(to),
                       curTick(), base);
+    if (CoherenceChecker* c = checking())
+        c->onTransition(name(), base, from, event, to, curTick());
 }
 
 bool CacheAgent::probeHit(Addr addr, bool exclusive) const
@@ -105,6 +119,8 @@ void CacheAgent::startTransaction(Line* existing, Addr base, bool exclusive,
                        CohState::kSM_D, base);
         existing->meta.state = CohState::kSM_D;
         upgrades_.inc();
+        if (CoherenceChecker* c = checking())
+            c->onMshrAllocate(name(), base, curTick());
         auto& entry = mshr_.allocate(base);
         entry.allocatedAt = curTick();
         entry.targets.push_back({exclusive, std::move(done)});
@@ -127,6 +143,8 @@ void CacheAgent::startTransaction(Line* existing, Addr base, bool exclusive,
     noteTransition(CohState::kI,
                    exclusive ? CohEvent::kStore : CohEvent::kLoad,
                    line.meta.state, base);
+    if (CoherenceChecker* c = checking())
+        c->onMshrAllocate(name(), base, curTick());
     auto& entry = mshr_.allocate(base);
     entry.allocatedAt = curTick();
     entry.targets.push_back({exclusive, std::move(done)});
@@ -258,6 +276,8 @@ void CacheAgent::handleForward(const Message& msg)
         }
         break;
     case MsgType::kWbAck: {
+        if (params_.injectBug == InjectedBug::kDropWbAck)
+            break; // deliberate bug: the writeback entry wedges forever
         const auto it = wbb_.find(msg.addr);
         assert(it != wbb_.end() && "WbAck for unknown writeback");
         noteTransition(it->second.state, CohEvent::kWbAck, CohState::kI,
@@ -306,6 +326,8 @@ void CacheAgent::handleSnoop(const Message& msg)
             suppliedData = true;
             wasSharer = true;
             if (wantsExclusive) {
+                if (params_.injectBug == InjectedBug::kSkipSnoopInvalidate)
+                    break; // deliberate bug: keep a second "exclusive" copy
                 noteTransition(line->meta.state, CohEvent::kSnpGetX,
                                CohState::kI, base);
                 onInvalidate(base);
@@ -372,18 +394,25 @@ void CacheAgent::handleData(const Message& msg)
     assert(prev == CohState::kIS_D || prev == CohState::kIM_D ||
            prev == CohState::kSM_D);
 
-    line->data = msg.data;
+    // An upgrade (SM_D) kept its copy — possibly the only up-to-date one
+    // when it started from M/MM/O, in which case the response carries a
+    // stale memory image. Only a true miss (IS_D/IM_D) takes the data; a
+    // raced-out upgrade was already degraded to IM_D by the snoop.
+    if (prev != CohState::kSM_D)
+        line->data = msg.data;
     CohState next;
     if (prev == CohState::kIS_D)
         next = msg.exclusive ? CohState::kM : CohState::kS;
     else
         next = CohState::kMM;
+    // State is committed before noteTransition so the checker's line scan
+    // sees the post-transition world.
+    line->meta.state = next;
+    line->meta.dsFilled = false;
     noteTransition(prev, CohEvent::kFill, next, msg.addr);
     DSCOH_LOG("coherence", name() << " fill 0x" << std::hex << msg.addr
                                   << std::dec << ' ' << to_string(prev)
                                   << " -> " << to_string(next));
-    line->meta.state = next;
-    line->meta.dsFilled = false;
     fills_.inc();
     noteFilled(msg.addr);
     onFill(*line);
@@ -399,6 +428,8 @@ void CacheAgent::handleData(const Message& msg)
 
     // Serve the merged requests. Targets the fill does not satisfy (a store
     // merged into a GetS) restart as fresh accesses (upgrade).
+    if (CoherenceChecker* c = checking())
+        c->onMshrRelease(name(), msg.addr, curTick());
     auto targets = mshr_.release(msg.addr);
     for (auto& target : targets) {
         if (satisfies(line->meta.state, target.exclusive)) {
@@ -433,6 +464,22 @@ CohState CacheAgent::stateOf(Addr addr) const
         return it->second.state;
     const Line* line = array_.find(addr);
     return line == nullptr ? CohState::kI : line->meta.state;
+}
+
+const DataBlock* CacheAgent::peekLine(Addr addr) const
+{
+    if (const Line* line = array_.find(addr))
+        return &line->data;
+    if (const auto it = wbb_.find(lineAlign(addr)); it != wbb_.end())
+        return &it->second.data;
+    return nullptr;
+}
+
+void CacheAgent::forEachWriteback(
+    const std::function<void(Addr, CohState, const DataBlock&)>& fn) const
+{
+    for (const auto& [base, entry] : wbb_)
+        fn(base, entry.state, entry.data);
 }
 
 void CacheAgent::regStats(StatRegistry& registry)

@@ -54,6 +54,9 @@ public:
         /// serialize, which is what keeps massively parallel consumers from
         /// hiding the pull latency.
         Tick dataSupplyInterval = 0;
+        /// Deliberate protocol mis-implementation for checker validation
+        /// (tests and the fuzzer only).
+        InjectedBug injectBug = InjectedBug::kNone;
     };
 
     CacheAgent(std::string name, SimContext& ctx, const Params& params);
@@ -92,6 +95,19 @@ public:
     /// in the writeback buffer; writeback-buffer entries report their
     /// transient state).
     CohState stateOf(Addr addr) const;
+
+    /// Debug/verification: the line's data if this agent holds any copy of
+    /// it (array first, then the writeback buffer), else nullptr.
+    const DataBlock* peekLine(Addr addr) const;
+
+    /// Debug/verification: invokes @p fn for every parked writeback-buffer
+    /// entry (MI_A/OI_A/II_A) — these hold data outside the array.
+    void forEachWriteback(
+        const std::function<void(Addr, CohState, const DataBlock&)>& fn) const;
+
+    std::size_t mshrInFlight() const { return mshr_.size(); }
+    std::size_t writebackBufferEntries() const { return wbb_.size(); }
+    std::size_t blockedRequests() const { return blocked_.size(); }
 
     std::uint64_t fills() const { return fills_.value(); }
     std::uint64_t writebacks() const { return writebacks_.value(); }
@@ -138,6 +154,13 @@ protected:
     /// Replays every deferred request (cheap; deferral is rare).
     void replayBlocked();
 
+    /// Records a protocol transition into the thread-local
+    /// TransitionCoverage, (when enabled) this context's TraceSession and
+    /// (when attached) the context's CoherenceChecker — every transition
+    /// site in the agent and its subclasses goes through here.
+    void noteTransition(CohState from, CohEvent event, CohState to,
+                        Addr base);
+
 private:
     struct MshrTarget {
         bool exclusive = false;
@@ -153,12 +176,6 @@ private:
     {
         return exclusive ? canWrite(s) : canRead(s);
     }
-
-    /// Records a protocol transition into both the thread-local
-    /// TransitionCoverage and (when enabled) this context's TraceSession —
-    /// every transition site in the agent goes through here.
-    void noteTransition(CohState from, CohEvent event, CohState to,
-                        Addr base);
 
     void startTransaction(Line* existing, Addr base, bool exclusive,
                           AccessDone done);

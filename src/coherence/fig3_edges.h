@@ -1,0 +1,107 @@
+// The paper's Fig. 3 as data: every (state, event) -> state edge the
+// protocol implementation is expected to take, expressed in the exact
+// triples the transition-coverage recorder sees. The gap-report test
+// (tests/coh_fig3_gap_test.cpp) sweeps workloads and directed scenarios and
+// fails listing any table row no run exercised — so a protocol change that
+// silently makes an edge unreachable (or a new edge that nothing tests)
+// shows up as a coverage gap, not as silence.
+//
+// The table covers the stable-state diagram (I, S, O, M, MM) including the
+// bold remote-store edges of the direct-store extension, spelled out as the
+// implementation's recorded transitions: a logical stable-to-stable edge
+// that passes through a transient appears as its request leg plus its
+// completion leg (e.g. I --Load--> IS_D and IS_D --Fill--> S for Fig. 3's
+// I -> S). Race-only transients (SM_D losing its upgrade, a snooped
+// writeback buffer entry) are listed separately in kRaceEdges: real,
+// tested-elsewhere behaviour, but not part of Fig. 3's stable diagram and
+// not reachable by directed single-pass programs.
+#pragma once
+
+#include <cstddef>
+
+#include "coherence/transition_coverage.h"
+
+namespace dscoh {
+
+struct Fig3Edge {
+    CohState from;
+    CohEvent event;
+    CohState to;
+    const char* note;
+};
+
+inline constexpr Fig3Edge kFig3StableEdges[] = {
+    // Misses out of I (request legs).
+    {CohState::kI, CohEvent::kLoad, CohState::kIS_D, "load miss"},
+    {CohState::kI, CohEvent::kStore, CohState::kIM_D, "store miss"},
+    // Fills (completion legs). A load fill grants M when no other sharer
+    // exists, S otherwise — both are Fig. 3 outcomes of the same edge.
+    {CohState::kIS_D, CohEvent::kFill, CohState::kM, "exclusive grant"},
+    {CohState::kIS_D, CohEvent::kFill, CohState::kS, "shared fill"},
+    {CohState::kIM_D, CohEvent::kFill, CohState::kMM, "store fill"},
+    // Upgrades: the paper forbids stores in M, so S, O and M all reach MM
+    // through a GetX (SM_D keeps its readable copy meanwhile).
+    {CohState::kS, CohEvent::kStore, CohState::kSM_D, "upgrade from S"},
+    {CohState::kO, CohEvent::kStore, CohState::kSM_D, "upgrade from O"},
+    {CohState::kM, CohEvent::kStore, CohState::kSM_D,
+     "upgrade from M (no stores in M)"},
+    {CohState::kSM_D, CohEvent::kFill, CohState::kMM, "upgrade completes"},
+    // Hits (Fig. 3 self-loops).
+    {CohState::kS, CohEvent::kLoad, CohState::kS, "read hit"},
+    {CohState::kO, CohEvent::kLoad, CohState::kO, "read hit as owner"},
+    {CohState::kM, CohEvent::kLoad, CohState::kM, "read hit exclusive"},
+    {CohState::kMM, CohEvent::kLoad, CohState::kMM, "read hit dirty"},
+    {CohState::kMM, CohEvent::kStore, CohState::kMM, "write hit"},
+    // Snoops.
+    {CohState::kM, CohEvent::kSnpGetS, CohState::kO, "reader downgrades M"},
+    {CohState::kMM, CohEvent::kSnpGetS, CohState::kO, "reader downgrades MM"},
+    {CohState::kO, CohEvent::kSnpGetS, CohState::kO, "owner keeps supplying"},
+    {CohState::kS, CohEvent::kSnpGetX, CohState::kI, "writer invalidates S"},
+    {CohState::kO, CohEvent::kSnpGetX, CohState::kI, "writer invalidates O"},
+    {CohState::kM, CohEvent::kSnpGetX, CohState::kI, "writer invalidates M"},
+    {CohState::kMM, CohEvent::kSnpGetX, CohState::kI,
+     "writer invalidates MM"},
+    // Replacement.
+    {CohState::kS, CohEvent::kEvict, CohState::kI, "clean drop"},
+    {CohState::kM, CohEvent::kEvict, CohState::kI, "clean-exclusive drop"},
+    {CohState::kMM, CohEvent::kEvict, CohState::kMI_A, "dirty writeback"},
+    {CohState::kO, CohEvent::kEvict, CohState::kOI_A, "owner writeback"},
+    {CohState::kMI_A, CohEvent::kWbAck, CohState::kI, "writeback acked"},
+    {CohState::kOI_A, CohEvent::kWbAck, CohState::kI, "owner wb acked"},
+    // Direct-store extension, CPU side (Fig. 3 bold edges): a remote store
+    // leaves the CPU in I from every starting state.
+    {CohState::kI, CohEvent::kRemoteStore, CohState::kI,
+     "DS line is never CPU-cached"},
+    {CohState::kS, CohEvent::kRemoteStore, CohState::kI, "drop clean copy"},
+    {CohState::kM, CohEvent::kRemoteStore, CohState::kI,
+     "drop clean-exclusive copy"},
+    {CohState::kMM, CohEvent::kRemoteStore, CohState::kI,
+     "flush dirty copy first"},
+    {CohState::kO, CohEvent::kRemoteStore, CohState::kI,
+     "flush owned copy first"},
+    // Direct-store extension, slice side (Fig. 3 blue edge): full-line
+    // install lands exclusive-clean (write-through), partial stores merge
+    // into a fetched exclusive copy.
+    {CohState::kI, CohEvent::kRemoteStore, CohState::kM,
+     "slice full-line install"},
+    {CohState::kMM, CohEvent::kRemoteStore, CohState::kMM,
+     "slice partial-line merge"},
+};
+
+inline constexpr std::size_t kFig3StableEdgeCount =
+    sizeof(kFig3StableEdges) / sizeof(kFig3StableEdges[0]);
+
+/// Transitions that exist only when requests race: not part of Fig. 3's
+/// stable diagram, excluded from the gap report, exercised by the fuzzer.
+inline constexpr Fig3Edge kRaceEdges[] = {
+    {CohState::kSM_D, CohEvent::kSnpGetX, CohState::kIM_D,
+     "upgrade lost the race"},
+    {CohState::kMI_A, CohEvent::kSnpGetX, CohState::kII_A,
+     "writeback snooped"},
+    {CohState::kOI_A, CohEvent::kSnpGetX, CohState::kII_A,
+     "owner writeback snooped"},
+    {CohState::kII_A, CohEvent::kWbAck, CohState::kI,
+     "superseded writeback acked"},
+};
+
+} // namespace dscoh

@@ -280,6 +280,17 @@ bool HomeController::quiescent() const
     return true;
 }
 
+std::size_t HomeController::busyLines() const
+{
+    std::size_t busy = 0;
+    for (const auto& [addr, ls] : lines_) {
+        static_cast<void>(addr);
+        if (ls.busy || !ls.pending.empty())
+            ++busy;
+    }
+    return busy;
+}
+
 void HomeController::regStats(StatRegistry& registry)
 {
     registry.registerCounter(statName("transactions"), &transactions_);

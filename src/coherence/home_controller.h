@@ -64,6 +64,10 @@ public:
     /// Debug/verification: no line is mid-transaction.
     bool quiescent() const;
 
+    /// Debug/verification: lines currently mid-transaction or with queued
+    /// requests (the CoherenceChecker's home-side outstanding-work probe).
+    std::size_t busyLines() const;
+
 private:
     struct LineState {
         bool busy = false;

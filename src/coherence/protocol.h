@@ -88,6 +88,26 @@ constexpr bool needsWriteback(CohState s)
     return s == CohState::kMM || s == CohState::kO;
 }
 
+/// Deliberate protocol bugs for checker/fuzzer validation. A CacheAgent (or
+/// its derived CPU agent) configured with one of these will *mis-implement*
+/// the protocol in a specific, realistic way; the CoherenceChecker must
+/// catch every one of them. Never enabled outside tests and the fuzzer.
+enum class InjectedBug : std::uint8_t {
+    kNone,
+    /// CPU side ignores the invalidation a full-line direct store implies:
+    /// the stale local copy survives a remote store (Fig. 3 kRemoteStore
+    /// edges dropped).
+    kSkipRemoteStoreInval,
+    /// A snoop-GetX still supplies data but leaves the local copy valid —
+    /// two exclusive owners after the requester's fill.
+    kSkipSnoopInvalidate,
+    /// Writeback acks are dropped on the floor: MI_A/OI_A entries wedge in
+    /// the writeback buffer forever (deadlock / leak detection).
+    kDropWbAck,
+};
+
+const char* to_string(InjectedBug b);
+
 /// Per-line metadata stored in a coherent cache array.
 struct CohMeta {
     CohState state = CohState::kI;

@@ -35,21 +35,49 @@ const char* to_string(CohEvent e);
 /// (ExperimentEngine workers) never contend or race on coverage state. Tests
 /// drive the simulation on their own thread and observe the same instance
 /// they enabled, exactly as before.
+///
+/// enable() is therefore invisible to ExperimentEngine workers with
+/// --jobs > 1: each worker thread has its own (disabled) instance. To
+/// collect coverage across a parallel sweep, call enableProcessWide()
+/// instead: every thread's instance then records locally (still
+/// contention-free), and each worker flushes its counts into a mutex-guarded
+/// process aggregate when the thread exits — ExperimentEngine joins its
+/// workers inside run(), so aggregateSnapshot() is complete as soon as
+/// run() returns. The snapshot also merges the calling thread's live
+/// counts, covering the single-threaded (run-on-caller) path.
 class TransitionCoverage {
 public:
+    using Key = std::tuple<CohState, CohEvent, CohState>;
+    using Counts = std::map<Key, std::uint64_t>;
+
     static TransitionCoverage& instance()
     {
         static thread_local TransitionCoverage coverage;
         return coverage;
     }
 
+    ~TransitionCoverage();
+
     void enable() { enabled_ = true; }
     void disable() { enabled_ = false; }
     void reset() { counts_.clear(); }
 
+    /// Makes every thread's instance record (ExperimentEngine --jobs > 1
+    /// included) and arms the exit-time flush into the process aggregate.
+    static void enableProcessWide();
+    static void disableProcessWide();
+    static bool processWideEnabled();
+    /// Aggregate of all flushed (exited) threads plus the calling thread's
+    /// live counts. Call after ExperimentEngine::run() returns.
+    static Counts aggregateSnapshot();
+    static void resetAggregate();
+    /// Moves this thread's counts into the aggregate now (also done
+    /// automatically when the thread exits while process-wide is enabled).
+    void flushToAggregate();
+
     void record(CohState from, CohEvent event, CohState to)
     {
-        if (!enabled_)
+        if (!enabled_ && !processWideEnabled())
             return;
         ++counts_[std::make_tuple(from, event, to)];
     }
@@ -72,7 +100,7 @@ public:
 private:
     TransitionCoverage() = default;
     bool enabled_ = false;
-    std::map<std::tuple<CohState, CohEvent, CohState>, std::uint64_t> counts_;
+    Counts counts_;
 };
 
 /// Shorthand used at the transition sites.

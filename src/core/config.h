@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <ostream>
 
+#include "coherence/protocol.h"
 #include "cpu/tlb.h"
 #include "mem/dram.h"
 #include "mem/replacement.h"
@@ -103,6 +104,13 @@ struct SystemConfig {
     std::size_t writebackEntries = 32;
     ReplacementKind replacement = ReplacementKind::kLru;
     std::uint64_t seed = 1;
+    /// Deliberate protocol mis-implementation, applied to the CPU cache
+    /// agent and GPU L2 slices (checker/fuzzer validation only).
+    InjectedBug injectBug = InjectedBug::kNone;
+    /// Non-zero: randomize same-(tick, priority) event ordering with this
+    /// seed (EventQueue::setTieBreakShuffle). The fuzzer's schedule
+    /// perturbation; 0 keeps deterministic insertion order.
+    std::uint64_t eventTieBreakSeed = 0;
 
     /// Table I defaults under the given scheme.
     static SystemConfig paper(CoherenceMode mode)

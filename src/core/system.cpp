@@ -49,10 +49,46 @@ TraceSession& System::enableTracing(std::uint32_t catMask)
     return *ctx_.trace;
 }
 
+CoherenceChecker& System::enableChecker(const CoherenceChecker::Params& params)
+{
+    if (ctx_.checker != nullptr)
+        return *ctx_.checker;
+    ctx_.checker = std::make_unique<CoherenceChecker>(params);
+    CoherenceChecker& checker = *ctx_.checker;
+    checker.setBackingStore(store_.get());
+    checker.setHomeProbe([this] { return home_->busyLines(); });
+
+    const auto addAgent = [&checker](const CacheAgent& agent,
+                                     std::string label) {
+        CoherenceChecker::AgentView view;
+        view.name = std::move(label);
+        view.stateOf = [&agent](Addr a) { return agent.stateOf(a); };
+        view.dataOf = [&agent](Addr a) { return agent.peekLine(a); };
+        view.mshrInFlight = [&agent] { return agent.mshrInFlight(); };
+        view.writebackEntries = [&agent] {
+            return agent.writebackBufferEntries();
+        };
+        view.blockedThunks = [&agent] { return agent.blockedRequests(); };
+        view.forEachLine = [&agent](const CoherenceChecker::LineFn& fn) {
+            agent.forEachLine([&fn](const CacheAgent::Line& line) {
+                fn(line.base, line.meta.state, line.data);
+            });
+            agent.forEachWriteback(fn);
+        };
+        checker.addAgent(std::move(view));
+    };
+    addAgent(*cpuAgent_, "cpu");
+    for (std::size_t s = 0; s < slices_.size(); ++s)
+        addAgent(*slices_[s], "slice" + std::to_string(s));
+    return checker;
+}
+
 System::System(const SystemConfig& config)
     : config_(config), interleave_(config.gpuL2Slices)
 {
     ctx_.log.setThreshold(config_.logLevel);
+    if (config_.eventTieBreakSeed != 0)
+        ctx_.queue.setTieBreakShuffle(config_.eventTieBreakSeed);
     store_ = std::make_unique<BackingStore>(config_.memBytes);
     space_ = std::make_unique<AddressSpace>(config_.memBytes);
     dram_ = std::make_unique<DramPool>("dram", ctx_, *store_, config_.dram,
@@ -108,6 +144,7 @@ System::System(const SystemConfig& config)
     cpuL2.snoopTagLatency = config_.cpuSnoopTagLatency;
     cpuL2.dataSupplyLatency = config_.cpuDataSupplyLatency;
     cpuL2.dataSupplyInterval = config_.cpuDataSupplyInterval;
+    cpuL2.injectBug = config_.injectBug;
 
     CpuCacheAgent::L1Params cpuL1;
     cpuL1.geometry.sizeBytes = config_.cpuL1dSize;
@@ -149,6 +186,7 @@ System::System(const SystemConfig& config)
         sliceAgent.snoopTagLatency = config_.gpuSnoopTagLatency;
         sliceAgent.dataSupplyLatency = config_.gpuDataSupplyLatency;
         sliceAgent.dataSupplyInterval = config_.gpuDataSupplyInterval;
+        sliceAgent.injectBug = config_.injectBug;
 
         GpuL2Slice::SliceParams sliceParams;
         sliceParams.tagLatency = config_.gpuL2TagLatency;

@@ -64,6 +64,17 @@ public:
     TraceSession& enableTracing(std::uint32_t catMask = kAllTraceCats);
     /// The attached session, or nullptr when tracing is off.
     TraceSession* trace() { return ctx_.trace.get(); }
+
+    /// Attaches a live CoherenceChecker wired to every coherent agent, the
+    /// home controller and the backing store, and returns it. Call before
+    /// running. Without this call, checking is off and each hook costs one
+    /// pointer test (the exact TraceSession discipline). Query violations
+    /// via checker()->violations() after simulate(), and call
+    /// checker()->finalize(queue().curTick()) once the queue has drained
+    /// for the end-of-run sweep.
+    CoherenceChecker& enableChecker(const CoherenceChecker::Params& params = {});
+    /// The attached checker, or nullptr when checking is off.
+    CoherenceChecker* checker() { return ctx_.checker.get(); }
     AddressSpace& addressSpace() { return *space_; }
     StatRegistry& stats() { return stats_; }
 

@@ -66,9 +66,13 @@ void CpuCacheAgent::prepareRemoteStore(Addr addr, std::function<void()> ready)
     Line* lineHit = array().find(base);
     if (lineHit == nullptr) {
         // Fig. 3: a remote store from I forwards the data and stays I.
-        recordTransition(CohState::kI, CohEvent::kRemoteStore, CohState::kI);
+        noteTransition(CohState::kI, CohEvent::kRemoteStore, CohState::kI,
+                       base);
         return ready();
     }
+
+    if (params().injectBug == InjectedBug::kSkipRemoteStoreInval)
+        return ready(); // deliberate bug: stale copy survives the remote store
 
     assert(isStable(lineHit->meta.state) &&
            "remote store racing a local transaction on the same line");
@@ -82,8 +86,8 @@ void CpuCacheAgent::prepareRemoteStore(Addr addr, std::function<void()> ready)
             return;
         }
         remoteStoreWritebacks_.inc();
-        recordTransition(lineHit->meta.state, CohEvent::kRemoteStore,
-                         CohState::kI);
+        noteTransition(lineHit->meta.state, CohEvent::kRemoteStore,
+                       CohState::kI, base);
         onInvalidate(base);
         issueWriteback(base, lineHit->data, lineHit->meta.state);
         array().invalidate(*lineHit);
@@ -96,7 +100,8 @@ void CpuCacheAgent::prepareRemoteStore(Addr addr, std::function<void()> ready)
     }
 
     // S or M: clean, silently droppable (Fig. 3: S/M --RemoteStore--> I).
-    recordTransition(lineHit->meta.state, CohEvent::kRemoteStore, CohState::kI);
+    noteTransition(lineHit->meta.state, CohEvent::kRemoteStore, CohState::kI,
+                   base);
     onInvalidate(base);
     array().invalidate(*lineHit);
     ready();

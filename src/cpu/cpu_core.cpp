@@ -144,6 +144,8 @@ void CpuCore::drainStoreEntry(Addr base)
                               });
                           assert(it != storeBuffer_.end());
                           it->mask.apply(line.data, it->data);
+                          if (CoherenceChecker* c = checking())
+                              c->onStoreApplied(base, it->data, it->mask);
                           storeBuffer_.erase(it);
                           cache_.l1Insert(base);
                           --inFlightStores_;

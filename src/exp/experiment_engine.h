@@ -58,6 +58,16 @@ public:
     /// Runs the batch, sharding across the pool. Results land in submission
     /// order. A throwing job fails only its own slot (ok == false); the
     /// pool and all other jobs are unaffected.
+    ///
+    /// Transition coverage: TransitionCoverage::instance() is thread_local,
+    /// so enable() on the calling thread sees nothing from a multi-threaded
+    /// run — the workers record into their own (disabled) instances. To
+    /// collect coverage across a sweep, call
+    /// TransitionCoverage::enableProcessWide() before run() and read
+    /// TransitionCoverage::aggregateSnapshot() after it returns: run()
+    /// joins its workers, and each flushes its counts into the process
+    /// aggregate at thread exit (the caller's own counts merge into the
+    /// snapshot too, covering the threads<=1 run-on-caller path).
     std::vector<ExperimentResult> run(const std::vector<ExperimentJob>& jobs) const;
 
 private:

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "check/coherence_checker.h"
 #include "coherence/transition_coverage.h"
 #include <utility>
 
@@ -81,6 +82,8 @@ void GpuL2Slice::serveStore(const Message& msg)
     noteDemand(msg.addr, /*exclusive=*/true);
     access(msg.addr, /*exclusive=*/true, [this, msg](Line& line) {
         msg.mask.apply(line.data, msg.data);
+        if (CoherenceChecker* c = checking())
+            c->onStoreApplied(line.base, msg.data, msg.mask);
         Message ack;
         ack.type = MsgType::kL1StoreAck;
         ack.addr = msg.addr;
@@ -137,6 +140,8 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
             pushed < array().ways() / 2 ? array().findFreeWay(base) : nullptr;
         if (way == nullptr) {
             dsBypassed_.inc();
+            if (CoherenceChecker* c = checking())
+                c->onStoreApplied(base, msg.data, msg.mask);
             slice_.dram->writeMasked(base, msg.data, msg.mask,
                                      [this, msg] { sendDsAck(msg); });
             return;
@@ -147,10 +152,13 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
         // is silent, and a later GPU store upgrades exactly like a store to
         // any other clean resident line. (Fig. 3 shows I->MM; our variant
         // write-through push makes M the faithful state — see DESIGN.md.)
-        recordTransition(CohState::kI, CohEvent::kRemoteStore, CohState::kM);
         installed.meta.state = CohState::kM;
         installed.meta.dsFilled = true;
         installed.data = msg.data;
+        if (CoherenceChecker* c = checking())
+            c->onStoreApplied(base, msg.data, msg.mask);
+        noteTransition(CohState::kI, CohEvent::kRemoteStore, CohState::kM,
+                       base);
         slice_.dram->writeMasked(base, msg.data, msg.mask, nullptr);
         noteFilled(base);
         dsFills_.inc();
@@ -165,10 +173,13 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
     dsMerges_.inc();
     access(base, /*exclusive=*/true, [this, msg](Line& owned) {
         msg.mask.apply(owned.data, msg.data);
-        recordTransition(owned.meta.state, CohEvent::kRemoteStore,
-                         CohState::kMM);
+        const CohState prev = owned.meta.state;
         owned.meta.state = CohState::kMM;
         owned.meta.dsFilled = true;
+        if (CoherenceChecker* c = checking())
+            c->onStoreApplied(owned.base, msg.data, msg.mask);
+        noteTransition(prev, CohEvent::kRemoteStore, CohState::kMM,
+                       owned.base);
         dsFills_.inc();
         sendDsAck(msg);
     });

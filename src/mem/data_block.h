@@ -97,6 +97,13 @@ public:
 
     void clear() { bits_ = {}; }
 
+    /// Ors another mask's bits into this one (mirror/validity tracking).
+    void merge(const ByteMask& other)
+    {
+        for (std::size_t i = 0; i < bits_.size(); ++i)
+            bits_[i] |= other.bits_[i];
+    }
+
     /// Merges masked bytes of @p src into @p dst.
     void apply(DataBlock& dst, const DataBlock& src) const
     {

@@ -71,9 +71,15 @@ void Network::send(Message msg)
     if (TraceSession* t = tracing(TraceCat::kNet))
         t->span(TraceCat::kNet, name(), to_string(msg.type), curTick(),
                 arrival, msg.addr);
+    if (CoherenceChecker* c = checking())
+        c->onMessageSent();
 
     queue().schedule(arrival,
-                     [this, m = std::move(msg)] { handlers_[m.dst](m); },
+                     [this, m = std::move(msg)] {
+                         if (CoherenceChecker* c = checking())
+                             c->onMessageDelivered();
+                         handlers_[m.dst](m);
+                     },
                      EventPriority::kMessageDelivery);
 }
 

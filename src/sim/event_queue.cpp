@@ -8,7 +8,16 @@ namespace dscoh {
 void EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
 {
     assert(when >= now_ && "cannot schedule into the past");
-    heap_.push(Entry{when, static_cast<std::int32_t>(prio), seq_++, std::move(cb)});
+    const std::uint64_t key = shuffleTies_ ? tieRng_.next() : seq_;
+    heap_.push(Entry{when, static_cast<std::int32_t>(prio), key, seq_++,
+                     std::move(cb)});
+}
+
+void EventQueue::setTieBreakShuffle(std::uint64_t seed)
+{
+    shuffleTies_ = seed != 0;
+    if (shuffleTies_)
+        tieRng_ = Rng(seed);
 }
 
 Tick EventQueue::run()

@@ -3,7 +3,10 @@
 // A single EventQueue drives the whole simulated machine. Events scheduled
 // for the same tick are ordered by (priority, insertion sequence), which makes
 // every simulation fully deterministic regardless of container iteration
-// order elsewhere.
+// order elsewhere. The fuzzer can replace the insertion-sequence tie-break
+// with a seeded random key (setTieBreakShuffle) to explore same-tick
+// orderings the protocol must not depend on — still fully deterministic for
+// a given seed.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/rng.h"
 #include "sim/types.h"
 
 namespace dscoh {
@@ -58,11 +62,20 @@ public:
     /// Drops all pending events (used between independent simulations).
     void clear();
 
+    /// Perturbs the ordering of same-(tick, priority) events: instead of
+    /// insertion order, ties break on a per-event key drawn from an Rng
+    /// seeded with @p seed (0 restores insertion order). Deterministic per
+    /// seed; call before scheduling anything. Correct protocol code must
+    /// produce functionally identical results under any tie-break order —
+    /// the fuzzer uses this to hunt same-tick ordering assumptions.
+    void setTieBreakShuffle(std::uint64_t seed);
+
 private:
     struct Entry {
         Tick when;
         std::int32_t prio;
-        std::uint64_t seq; // tie-breaker: insertion order
+        std::uint64_t key; // tie-breaker: seq, or a seeded random key
+        std::uint64_t seq; // final tie-break so shuffle stays a total order
         Callback cb;
     };
     struct Later {
@@ -72,6 +85,8 @@ private:
                 return a.when > b.when;
             if (a.prio != b.prio)
                 return a.prio > b.prio;
+            if (a.key != b.key)
+                return a.key > b.key;
             return a.seq > b.seq;
         }
     };
@@ -80,6 +95,8 @@ private:
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    bool shuffleTies_ = false;
+    Rng tieRng_{0};
 };
 
 } // namespace dscoh

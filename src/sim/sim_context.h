@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "check/coherence_checker.h"
 #include "obs/trace_session.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
@@ -29,6 +30,11 @@ struct SimContext {
     /// and every hook in the components costs one pointer test; see
     /// System::enableTracing().
     std::unique_ptr<TraceSession> trace;
+
+    /// Live coherence invariant oracle. Null (the default) means checking
+    /// is off at the same one-pointer-test cost as tracing; see
+    /// System::enableChecker().
+    std::unique_ptr<CoherenceChecker> checker;
 };
 
 } // namespace dscoh

@@ -43,6 +43,11 @@ public:
         return t != nullptr && t->enabled(cat) ? t : nullptr;
     }
 
+    /// The context's coherence checker when one is attached, else nullptr.
+    /// Checker hooks mirror the tracing hooks:
+    /// `if (CoherenceChecker* c = checking()) c->...;`.
+    CoherenceChecker* checking() const { return ctx_.checker.get(); }
+
     /// Registers this component's statistics under its name.
     virtual void regStats(StatRegistry& registry) { static_cast<void>(registry); }
 

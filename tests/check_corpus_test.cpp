@@ -1,0 +1,79 @@
+// Corpus regression: every scenario in tests/corpus/ must parse, run clean
+// under the oracle in both modes, and agree across modes on the output
+// array. Shrunk reproducers of future protocol bugs get added here once
+// fixed, turning each incident into a permanent regression test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+
+namespace dscoh {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpusFiles()
+{
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(DSCOH_CORPUS_DIR))
+        if (entry.path().extension() == ".scn")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(FuzzCorpus, DirectoryHasSeeds)
+{
+    EXPECT_GE(corpusFiles().size(), 5u);
+}
+
+TEST(FuzzCorpus, EveryScenarioParsesAndRoundTrips)
+{
+    for (const fs::path& path : corpusFiles()) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in) << path;
+        std::ostringstream text;
+        text << in.rdbuf();
+        FuzzScenario sc;
+        std::string error;
+        ASSERT_TRUE(parseScenario(text.str(), sc, error))
+            << path << ": " << error;
+        FuzzScenario back;
+        ASSERT_TRUE(parseScenario(serializeScenario(sc), back, error))
+            << path << ": " << error;
+        EXPECT_EQ(serializeScenario(back), serializeScenario(sc)) << path;
+    }
+}
+
+TEST(FuzzCorpus, EveryScenarioRunsCleanUnderOracle)
+{
+    for (const fs::path& path : corpusFiles()) {
+        std::ifstream in(path);
+        std::ostringstream text;
+        text << in.rdbuf();
+        FuzzScenario sc;
+        std::string error;
+        ASSERT_TRUE(parseScenario(text.str(), sc, error))
+            << path << ": " << error;
+        ASSERT_EQ(sc.bug, InjectedBug::kNone)
+            << path << ": corpus seeds must be clean scenarios";
+        const DifferentialReport d = runDifferential(sc);
+        EXPECT_FALSE(d.failed()) << path << ":\n"
+                                 << (d.ccsm.violations.empty()
+                                         ? ""
+                                         : d.ccsm.violations.front())
+                                 << (d.directStore.violations.empty()
+                                         ? ""
+                                         : d.directStore.violations.front());
+        EXPECT_EQ(d.ccsm.outWords, d.directStore.outWords) << path;
+    }
+}
+
+} // namespace
+} // namespace dscoh

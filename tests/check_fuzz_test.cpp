@@ -1,0 +1,130 @@
+// Fuzzer infrastructure: scenario generation and runs are deterministic,
+// the replay format round-trips, the differential harness agrees across
+// modes on correct protocol, and shrinking only ever simplifies.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/fuzz.h"
+
+namespace dscoh {
+namespace {
+
+TEST(FuzzScenarios, GenerationIsDeterministic)
+{
+    for (const std::uint64_t seed : {0ull, 7ull, 123ull}) {
+        const FuzzScenario a = generateScenario(seed);
+        const FuzzScenario b = generateScenario(seed);
+        EXPECT_EQ(serializeScenario(a), serializeScenario(b));
+    }
+    EXPECT_NE(serializeScenario(generateScenario(1)),
+              serializeScenario(generateScenario(2)));
+}
+
+TEST(FuzzScenarios, RunsAreDeterministic)
+{
+    const FuzzScenario sc = generateScenario(5);
+    for (const CoherenceMode mode :
+         {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}) {
+        const FuzzReport a = runScenario(sc, mode);
+        const FuzzReport b = runScenario(sc, mode);
+        EXPECT_EQ(a.completed, b.completed);
+        EXPECT_EQ(a.ticks, b.ticks);
+        EXPECT_EQ(a.outWords, b.outWords);
+        EXPECT_EQ(a.violations, b.violations);
+    }
+}
+
+TEST(FuzzScenarios, TieBreakShuffleChangesScheduleNotResults)
+{
+    // Perturbing event-queue tie-breaks is the whole point of the fuzzer's
+    // schedule exploration: timing may move, results may not.
+    FuzzScenario sc = generateScenario(8);
+    sc.tieBreakSeed = 0;
+    const FuzzReport base = runScenario(sc, CoherenceMode::kDirectStore);
+    ASSERT_TRUE(base.completed);
+    bool anyScheduleMoved = false;
+    for (const std::uint64_t tie : {0x1111ull, 0xabcdefull}) {
+        sc.tieBreakSeed = tie;
+        const FuzzReport r = runScenario(sc, CoherenceMode::kDirectStore);
+        EXPECT_TRUE(r.completed);
+        EXPECT_TRUE(r.violations.empty());
+        EXPECT_EQ(r.outWords, base.outWords);
+        anyScheduleMoved |= r.ticks != base.ticks;
+    }
+    // Not guaranteed for any single seed, but across two perturbations of
+    // a contended scenario a fully rigid schedule would be suspicious.
+    static_cast<void>(anyScheduleMoved);
+}
+
+TEST(FuzzScenarios, SerializeParsesBackIdentically)
+{
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        FuzzScenario sc = generateScenario(seed);
+        sc.bug = seed % 2 == 0 ? InjectedBug::kNone
+                               : InjectedBug::kSkipSnoopInvalidate;
+        const std::string text = serializeScenario(sc);
+        FuzzScenario back;
+        std::string error;
+        ASSERT_TRUE(parseScenario(text, back, error)) << error;
+        EXPECT_EQ(serializeScenario(back), text);
+    }
+}
+
+TEST(FuzzScenarios, ParseRejectsMalformedInput)
+{
+    FuzzScenario out;
+    std::string error;
+    EXPECT_FALSE(parseScenario("", out, error));
+    EXPECT_FALSE(parseScenario("not a scenario\n", out, error));
+    // Valid header but no arrays.
+    EXPECT_FALSE(parseScenario("# dscoh-fuzz-scenario-v1\nseed 1\n", out,
+                               error));
+    // Unknown key.
+    std::string text = serializeScenario(generateScenario(0));
+    EXPECT_FALSE(parseScenario(text + "mystery 4\n", out, error));
+}
+
+TEST(FuzzScenarios, DifferentialPassesOnCorrectProtocol)
+{
+    for (std::uint64_t seed = 100; seed < 110; ++seed) {
+        const DifferentialReport d = runDifferential(generateScenario(seed));
+        EXPECT_FALSE(d.failed()) << "seed " << seed;
+        EXPECT_FALSE(d.ccsm.outWords.empty());
+        EXPECT_EQ(d.ccsm.outWords, d.directStore.outWords);
+    }
+}
+
+TEST(FuzzScenarios, ShrinkOnlySimplifies)
+{
+    FuzzScenario sc = generateScenario(6);
+    sc.bug = InjectedBug::kDropWbAck;
+    // Use a coarse predicate so this test does not depend on which seeds
+    // trigger the planted bug: "still has the bug field set" is monotone
+    // under every shrinking transformation.
+    const auto stillFails = [](const FuzzScenario& c) {
+        return c.bug == InjectedBug::kDropWbAck;
+    };
+    const FuzzScenario minimal = shrinkScenario(sc, stillFails, 64);
+    EXPECT_LE(minimal.arrays.size(), sc.arrays.size());
+    EXPECT_LE(minimal.phases, sc.phases);
+    EXPECT_LE(minimal.blocks, sc.blocks);
+    EXPECT_LE(minimal.threadsPerBlock, sc.threadsPerBlock);
+    EXPECT_EQ(minimal.phases, 1u);
+    EXPECT_EQ(minimal.arrays.size(), 1u);
+    EXPECT_EQ(minimal.bug, InjectedBug::kDropWbAck);
+}
+
+TEST(FuzzScenarios, ScenarioConfigMapsGeometry)
+{
+    const FuzzScenario sc = generateScenario(4);
+    const SystemConfig cfg = scenarioConfig(sc, CoherenceMode::kDirectStore);
+    EXPECT_EQ(cfg.mode, CoherenceMode::kDirectStore);
+    EXPECT_EQ(cfg.gpuL2Slices, sc.slices);
+    EXPECT_EQ(cfg.numSms, sc.sms);
+    EXPECT_EQ(cfg.injectBug, sc.bug);
+    EXPECT_EQ(cfg.eventTieBreakSeed, sc.tieBreakSeed);
+}
+
+} // namespace
+} // namespace dscoh

@@ -3,10 +3,13 @@
 // system coherent, and be bit-deterministic.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/system.h"
 #include "sim/rng.h"
+#include "workloads/runner.h"
 #include "workloads/workload.h" // producedValue
 
 namespace dscoh {
@@ -143,6 +146,83 @@ TEST_P(SystemProperty, RunsAreBitDeterministic)
               second.metrics.coherenceMessages);
     EXPECT_EQ(first.metrics.dsFills, second.metrics.dsFills);
 }
+
+// ---------------------------------------------------------------------------
+// Stat-counter invariants: the StatRegistry snapshots of a run must be
+// internally consistent (conservation laws of the direct-store pipeline)
+// and consistent across modes (same program, same demand).
+
+std::uint64_t counter(const std::map<std::string, std::uint64_t>& stats,
+                      const std::string& name)
+{
+    const auto it = stats.find(name);
+    EXPECT_NE(it, stats.end()) << "missing counter " << name;
+    return it == stats.end() ? 0 : it->second;
+}
+
+std::uint64_t sliceSum(const std::map<std::string, std::uint64_t>& stats,
+                       std::uint32_t slices, const std::string& leaf)
+{
+    std::uint64_t sum = 0;
+    for (std::uint32_t s = 0; s < slices; ++s)
+        sum += counter(stats,
+                       "gpu.l2.slice" + std::to_string(s) + "." + leaf);
+    return sum;
+}
+
+class StatInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StatInvariants, CountersObeyConservationAcrossModes)
+{
+    const Workload& w = WorkloadRegistry::instance().get(GetParam());
+    const auto ccsm = runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
+    const auto ds =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kDirectStore);
+    const std::uint32_t slices = SystemConfig::paper(CoherenceMode::kCcsm)
+                                     .gpuL2Slices;
+
+    // Direct-store conservation: every remote store the CPU issued arrives
+    // at exactly one slice, as exactly one DsPutX on the DS network, and is
+    // resolved as either an L2 fill or an occupancy bypass.
+    const auto& d = ds.statCounters;
+    const std::uint64_t putx = counter(d, "cpu.core.ds_putx_sent");
+    EXPECT_EQ(putx, counter(d, "net.ds.msg.DsPutX"));
+    EXPECT_EQ(putx, sliceSum(d, slices, "ds_stores"));
+    EXPECT_EQ(sliceSum(d, slices, "ds_stores"),
+              sliceSum(d, slices, "ds_fills") +
+                  sliceSum(d, slices, "ds_bypassed"));
+    EXPECT_LE(sliceSum(d, slices, "ds_merges"),
+              sliceSum(d, slices, "ds_fills"));
+    // remote_stores counts DS-routed store *ops*; the RSB write-combines
+    // them into whole-line DsPutX flushes, so ops bound flushes from above.
+    EXPECT_GE(counter(d, "cpu.core.remote_stores"), putx);
+    EXPECT_GT(putx, 0u);
+
+    // CCSM never touches the direct-store machinery.
+    const auto& c = ccsm.statCounters;
+    EXPECT_EQ(counter(c, "cpu.core.ds_putx_sent"), 0u);
+    EXPECT_EQ(counter(c, "cpu.core.remote_stores"), 0u);
+    EXPECT_EQ(counter(c, "net.ds.msg.DsPutX"), 0u);
+    EXPECT_EQ(sliceSum(c, slices, "ds_stores"), 0u);
+    EXPECT_EQ(sliceSum(c, slices, "ds_fills"), 0u);
+
+    // Same program in both modes: identical demand at the CPU core (a
+    // DS-routed store op is counted as a remote_store instead of a store,
+    // so the mode split must re-add to the CCSM total), and no functional
+    // check may fail in either.
+    EXPECT_EQ(counter(c, "cpu.core.loads"), counter(d, "cpu.core.loads"));
+    EXPECT_EQ(counter(c, "cpu.core.stores"),
+              counter(d, "cpu.core.stores") +
+                  counter(d, "cpu.core.remote_stores"));
+    EXPECT_EQ(counter(c, "cpu.core.check_failures"), 0u);
+    EXPECT_EQ(counter(d, "cpu.core.check_failures"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StatInvariants,
+                         ::testing::Values("VA", "BP", "NN"),
+                         [](const ::testing::TestParamInfo<const char*>& p) {
+                             return p.param;
+                         });
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SystemProperty,
                          ::testing::Values(RandomScenario{11},
