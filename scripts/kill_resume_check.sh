@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Crash-recovery check for the sweep journal/checkpoint machinery:
+# SIGTERM a single-threaded sweep once it has journaled at least one
+# completed job, finish it with --resume, and require the resumed
+# results.json to be byte-identical to an uninterrupted reference sweep
+# (restore-determinism is the snap subsystem's keystone property).
+#
+# Usage: scripts/kill_resume_check.sh [build_dir]
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sweep="${repo_root}/${build_dir}/src/workloads/dscoh_sweep"
+[ -x "${sweep}" ] || {
+    echo "kill_resume_check: ${sweep} not built" >&2
+    exit 1
+}
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"' EXIT
+
+echo "kill_resume_check: reference sweep"
+"${sweep}" small --json "${work}/reference.json" > "${work}/reference.txt"
+
+# Single worker so the SIGTERM reliably lands mid-sweep.
+echo "kill_resume_check: interrupted sweep (will be killed)"
+"${sweep}" small --jobs 1 --json "${work}/resumed.json" \
+    > /dev/null 2>&1 &
+pid=$!
+
+journal="${work}/resumed.json.journal"
+tries=0
+while [ ! -s "${journal}" ]; do
+    tries=$((tries + 1))
+    if [ "${tries}" -gt 600 ]; then
+        echo "kill_resume_check: no journal after 60s" >&2
+        exit 1
+    fi
+    if ! kill -0 "${pid}" 2> /dev/null; then
+        echo "kill_resume_check: sweep finished before it could be killed" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -TERM "${pid}"
+wait "${pid}" || true
+
+if [ -f "${work}/resumed.json" ]; then
+    echo "kill_resume_check: killed sweep must not publish results.json" >&2
+    exit 1
+fi
+journaled="$(wc -l < "${journal}")"
+echo "kill_resume_check: killed after ${journaled} journaled jobs"
+
+echo "kill_resume_check: resuming"
+"${sweep}" small --resume --json "${work}/resumed.json" \
+    > "${work}/resumed.txt" 2> "${work}/resumed.log"
+grep "jobs replayed" "${work}/resumed.log" || {
+    echo "kill_resume_check: resume replayed nothing" >&2
+    exit 1
+}
+
+cmp "${work}/reference.json" "${work}/resumed.json" || {
+    echo "kill_resume_check: resumed results.json differs from reference" >&2
+    exit 1
+}
+cmp "${work}/reference.txt" "${work}/resumed.txt" || {
+    echo "kill_resume_check: resumed table differs from reference" >&2
+    exit 1
+}
+echo "kill_resume_check: resumed sweep is byte-identical to the reference"

@@ -45,6 +45,7 @@
 #include "coherence/transition_coverage.h"
 #include "mem/data_block.h"
 #include "sim/types.h"
+#include "snap/snapshot.h"
 
 namespace dscoh {
 
@@ -122,6 +123,13 @@ public:
     std::size_t inFlightMessages() const { return inFlight_; }
 
     void dump(std::ostream& os) const;
+
+    /// Oracle shadow state: the ground-truth store mirror, accumulated
+    /// violations and hook counters. MSHR live-sets and in-flight-message
+    /// counts must be zero at a safe point (checked, not saved). Restoring
+    /// keeps the oracle live across a checkpoint with full history.
+    void snapSave(snap::SnapWriter& w) const;
+    void snapRestore(snap::SnapReader& r);
 
 private:
     struct MirrorLine {

@@ -140,8 +140,9 @@ FuzzReport runScenario(const FuzzScenario& sc, CoherenceMode mode,
     // edge of Fig. 3 starts from — without it a DS-mode run never exercises
     // the CPU-side invalidation the protocol (and the injected
     // kSkipRemoteStoreInval bug) hinges on.
+    const bool restoring = options.phased && !options.restorePath.empty();
     Rng touchRng(sc.seed ^ 0xA5A5A5A500000001ull);
-    for (std::uint32_t a = 0; a < sc.arrays.size(); ++a) {
+    for (std::uint32_t a = 0; !restoring && a < sc.arrays.size(); ++a) {
         if (!sc.arrays[a].cpuPretouch)
             continue;
         const bool exclusive = touchRng.chance(0.5);
@@ -155,7 +156,8 @@ FuzzReport runScenario(const FuzzScenario& sc, CoherenceMode mode,
             sys.cpuCache().access(pa, exclusive, [](CacheAgent::Line&) {});
         }
     }
-    sys.simulate();
+    if (!restoring)
+        sys.simulate(); // pre-touch effects are inside the snapshot otherwise
 
     // Build every phase up front; storage must outlive the run.
     struct Phase {
@@ -225,33 +227,65 @@ FuzzReport runScenario(const FuzzScenario& sc, CoherenceMode mode,
                 cpuLoadCheck(out + gid * 4ull, outValue(gid, p), 4));
     }
 
-    std::uint32_t phasesDone = 0;
-    std::function<void(std::uint32_t)> runPhase = [&](std::uint32_t p) {
-        sys.runCpuProgram(phases[p].produce, [&, p] {
-            sys.launchKernel(phases[p].kernel, [&, p] {
-                sys.runCpuProgram(phases[p].readBack, [&, p] {
-                    ++phasesDone;
-                    if (p + 1 < sc.phases)
-                        runPhase(p + 1);
-                });
-            });
-        });
-    };
-    runPhase(0);
-
     // Sliced run loop: the horizon always advances, so a wedged system
     // cannot spin this loop, and the checker's no-progress watchdog fires
     // between slices.
     constexpr Tick kSlice = 200'000;
     Tick horizon = 0;
     bool watchdogFired = false;
-    while (!sys.queue().empty() && horizon < options.maxTicks) {
-        horizon += kSlice;
-        sys.queue().runUntil(horizon);
-        if (checker != nullptr &&
-            !checker->checkProgress(sys.queue().curTick())) {
-            watchdogFired = true;
-            break;
+    const auto drainSliced = [&] {
+        while (!sys.queue().empty() && horizon < options.maxTicks) {
+            horizon += kSlice;
+            sys.queue().runUntil(horizon);
+            if (checker != nullptr &&
+                !checker->checkProgress(sys.queue().curTick())) {
+                watchdogFired = true;
+                return;
+            }
+        }
+    };
+
+    std::uint32_t phasesDone = 0;
+    if (!options.phased) {
+        std::function<void(std::uint32_t)> runPhase = [&](std::uint32_t p) {
+            sys.runCpuProgram(phases[p].produce, [&, p] {
+                sys.launchKernel(phases[p].kernel, [&, p] {
+                    sys.runCpuProgram(phases[p].readBack, [&, p] {
+                        ++phasesDone;
+                        if (p + 1 < sc.phases)
+                            runPhase(p + 1);
+                    });
+                });
+            });
+        };
+        runPhase(0);
+        drainSliced();
+    } else {
+        // Phased: each round (produce -> kernel -> readback) drains fully
+        // before the next starts, so every round boundary is a safe point.
+        std::uint32_t startRound = 0;
+        if (restoring) {
+            sys.snapshotRestore(options.restorePath,
+                                [&startRound](snap::SnapReader& r) {
+                                    startRound = r.u32();
+                                });
+            phasesDone = startRound;
+            horizon = sys.queue().curTick();
+        }
+        for (std::uint32_t p = startRound;
+             p < sc.phases && !watchdogFired && horizon < options.maxTicks;
+             ++p) {
+            sys.runCpuProgram(phases[p].produce, [&, p] {
+                sys.launchKernel(phases[p].kernel, [&, p] {
+                    sys.runCpuProgram(phases[p].readBack,
+                                      [&phasesDone] { ++phasesDone; });
+                });
+            });
+            drainSliced();
+            if (phasesDone == p + 1 && !options.snapshotPath.empty() &&
+                options.snapshotAfterRound == p + 1)
+                sys.snapshotSave(options.snapshotPath,
+                                 [p](snap::SnapWriter& w) { w.u32(p + 1); });
         }
     }
 

@@ -71,6 +71,21 @@ struct FuzzOptions {
     bool oracle = true;          ///< attach the CoherenceChecker
     Tick maxTicks = 50'000'000;  ///< hang cut-off for the sliced run loop
     std::size_t maxViolations = 64;
+
+    /// Drain the event queue completely between rounds (produce -> kernel
+    /// -> readback) instead of chaining every round in one event cascade.
+    /// Round boundaries become safe points, enabling the two fields below.
+    /// Phased and chained runs are both deterministic but tick-shifted
+    /// relative to each other, so compare like with like.
+    bool phased = false;
+    /// With phased: snapshot (System::snapshotSave) after this many rounds
+    /// completed (1-based). 0 = never.
+    std::uint32_t snapshotAfterRound = 0;
+    std::string snapshotPath;
+    /// With phased: restore this snapshot (same scenario/mode/options) and
+    /// run only the remaining rounds. The oracle's shadow state travels
+    /// with the snapshot, so a restored run keeps full checking history.
+    std::string restorePath;
 };
 
 struct FuzzReport {

@@ -112,6 +112,13 @@ public:
     std::uint64_t fills() const { return fills_.value(); }
     std::uint64_t writebacks() const { return writebacks_.value(); }
 
+    /// Line states and data, replacement state, the compulsory-miss filter,
+    /// the transaction-id counter and the data-supply port reservation.
+    /// Transient structures (MSHRs, writeback buffer, deferred requests)
+    /// must be empty — a safe point has no transaction in flight.
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
+
 protected:
     /// Hook: a line was filled (protocol fill or direct-store install).
     virtual void onFill(Line& line) { static_cast<void>(line); }

@@ -68,6 +68,13 @@ public:
     /// requests (the CoherenceChecker's home-side outstanding-work probe).
     std::size_t busyLines() const;
 
+    /// Persistent cross-transaction state: the owner registry, directory
+    /// sharer sets and the transaction-id counter. Requires quiescent()
+    /// (no busy line, nothing queued) — active-transaction bookkeeping is
+    /// transient and never serialized.
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
+
 private:
     struct LineState {
         bool busy = false;

@@ -228,4 +228,79 @@ std::string dumpConfig(const SystemConfig& cfg)
     return os.str();
 }
 
+std::uint64_t configHashOf(const SystemConfig& cfg)
+{
+    // FNV-1a, folding every behavior-relevant field in declaration order.
+    // Hashed directly off the struct (not through the key=value field
+    // table) so fields without a text key — injectBug, eventTieBreakSeed,
+    // TLB and DRAM sub-structs, snoop/supply latencies — still count.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(static_cast<std::uint64_t>(cfg.mode));
+    mix(cfg.cpuCores);
+    mix(cfg.cpuL1dSize);
+    mix(cfg.cpuL1dWays);
+    mix(cfg.cpuL1iSize);
+    mix(cfg.cpuL1iWays);
+    mix(cfg.cpuL2Size);
+    mix(cfg.cpuL2Ways);
+    mix(cfg.cpuL1Latency);
+    mix(cfg.cpuL2Latency);
+    mix(cfg.cpuSnoopTagLatency);
+    mix(cfg.cpuDataSupplyLatency);
+    mix(cfg.cpuDataSupplyInterval);
+    mix(cfg.storeBufferEntries);
+    mix(cfg.rsbEntries);
+    mix(cfg.tlb.entries);
+    mix(cfg.tlb.walkLatency);
+    mix(cfg.numSms);
+    mix(cfg.lanesPerSm);
+    mix(cfg.gpuL1Size);
+    mix(cfg.gpuL1Ways);
+    mix(cfg.gpuSharedMemBytes);
+    mix(cfg.gpuL2Size);
+    mix(cfg.gpuL2Ways);
+    mix(cfg.gpuL2Slices);
+    mix(cfg.gpuL1Latency);
+    mix(cfg.gpuSmemLatency);
+    mix(cfg.gpuL2TagLatency);
+    mix(cfg.gpuSnoopTagLatency);
+    mix(cfg.gpuDataSupplyLatency);
+    mix(cfg.gpuDataSupplyInterval);
+    mix(cfg.gpuL2PrefetchDepth);
+    mix(cfg.maxResidentBlocks);
+    mix(cfg.maxOutstandingStores);
+    mix(cfg.kernelLaunchLatency);
+    mix(cfg.memBytes);
+    mix(cfg.dram.tRcd);
+    mix(cfg.dram.tCas);
+    mix(cfg.dram.tRp);
+    mix(cfg.dram.tBurst);
+    mix(cfg.dram.ranks);
+    mix(cfg.dram.banksPerRank);
+    mix(cfg.dram.rowBytes);
+    mix(cfg.memChannels);
+    mix(cfg.coherenceNet.hopLatency);
+    mix(cfg.coherenceNet.bytesPerTick);
+    mix(cfg.gpuNet.hopLatency);
+    mix(cfg.gpuNet.bytesPerTick);
+    mix(cfg.dsNet.hopLatency);
+    mix(cfg.dsNet.bytesPerTick);
+    mix(cfg.dsMinBytes);
+    mix(cfg.directoryHome ? 1 : 0);
+    mix(cfg.agentMshrs);
+    mix(cfg.gpuL2Mshrs);
+    mix(cfg.writebackEntries);
+    mix(static_cast<std::uint64_t>(cfg.replacement));
+    mix(cfg.seed);
+    mix(static_cast<std::uint64_t>(cfg.injectBug));
+    mix(cfg.eventTieBreakSeed);
+    return h;
+}
+
 } // namespace dscoh

@@ -4,6 +4,9 @@
 #include <map>
 #include <sstream>
 
+#include "core/config_io.h"
+#include "snap/serializer.h"
+
 namespace dscoh {
 
 const char* to_string(CoherenceMode m)
@@ -346,6 +349,115 @@ RunMetrics System::metrics() const
     for (const auto& smPtr : sms_)
         m.checkFailures += smPtr->checkFailures();
     return m;
+}
+
+std::uint64_t System::configHash() const
+{
+    return configHashOf(config_);
+}
+
+void System::snapshotSave(
+    const std::string& path,
+    const std::function<void(snap::SnapWriter&)>& extra) const
+{
+    snap::SnapWriter w(ctx_.queue.curTick(), configHash());
+    const auto section = [&w](const std::string& name, const auto& obj) {
+        w.beginSection(name);
+        obj.snapSave(w);
+        w.endSection();
+    };
+    section("queue", ctx_.queue);
+    section("space", *space_);
+    section("store", *store_);
+    section("dram", *dram_);
+    section("net.request", *requestNet_);
+    section("net.forward", *forwardNet_);
+    section("net.response", *responseNet_);
+    section("net.ds", *dsNet_);
+    section("net.gpu", *gpuNet_);
+    section("home", *home_);
+    section("cpu.cache", *cpuAgent_);
+    section("cpu.tlb", *tlb_);
+    section("cpu.core", *cpuCore_);
+    for (std::size_t s = 0; s < slices_.size(); ++s)
+        section("gpu.l2.slice" + std::to_string(s), *slices_[s]);
+    for (std::size_t i = 0; i < sms_.size(); ++i)
+        section("gpu.sm" + std::to_string(i), *sms_[i]);
+    section("gpu.device", *gpuDevice_);
+    section("stats", stats_);
+    if (ctx_.checker != nullptr)
+        section("checker", *ctx_.checker);
+    if (extra) {
+        w.beginSection("runner");
+        extra(w);
+        w.endSection();
+    }
+    w.writeFile(path);
+}
+
+void System::snapshotRestore(
+    const std::string& path,
+    const std::function<void(snap::SnapReader&)>& extra)
+{
+    if (ctx_.queue.curTick() != 0)
+        throw snap::SnapError(
+            "snapshotRestore requires a freshly constructed System "
+            "(the event queue already advanced to tick " +
+            std::to_string(ctx_.queue.curTick()) + ")");
+
+    snap::SnapReader r(path);
+    const std::uint64_t want = configHash();
+    if (r.configHash() != want) {
+        std::ostringstream os;
+        os << path << ": snapshot was taken under a different configuration"
+           << std::hex << " (snapshot config hash 0x" << r.configHash()
+           << ", this system hashes to 0x" << want
+           << ") — restore with the exact config the checkpoint was "
+              "written with";
+        throw snap::SnapError(os.str());
+    }
+    if (ctx_.checker != nullptr && !r.hasSection("checker"))
+        throw snap::SnapError(
+            path + ": a coherence checker is attached but the snapshot "
+                   "carries no oracle shadow state; the store mirror would "
+                   "be incomplete — snapshot with the checker enabled or "
+                   "restore without enableChecker()");
+
+    const auto section = [&r](const std::string& name, auto& obj) {
+        r.openSection(name);
+        obj.snapRestore(r);
+        r.closeSection();
+    };
+    section("queue", ctx_.queue);
+    section("space", *space_);
+    section("store", *store_);
+    section("dram", *dram_);
+    section("net.request", *requestNet_);
+    section("net.forward", *forwardNet_);
+    section("net.response", *responseNet_);
+    section("net.ds", *dsNet_);
+    section("net.gpu", *gpuNet_);
+    section("home", *home_);
+    section("cpu.cache", *cpuAgent_);
+    section("cpu.tlb", *tlb_);
+    section("cpu.core", *cpuCore_);
+    for (std::size_t s = 0; s < slices_.size(); ++s)
+        section("gpu.l2.slice" + std::to_string(s), *slices_[s]);
+    for (std::size_t i = 0; i < sms_.size(); ++i)
+        section("gpu.sm" + std::to_string(i), *sms_[i]);
+    section("gpu.device", *gpuDevice_);
+    section("stats", stats_);
+    if (ctx_.checker != nullptr)
+        section("checker", *ctx_.checker);
+    if (extra) {
+        if (!r.hasSection("runner"))
+            throw snap::SnapError(
+                path + ": no runner-progress section (this snapshot was "
+                       "not written by the workload runner)");
+        r.openSection("runner");
+        extra(r);
+        r.closeSection();
+    }
 }
 
 std::vector<std::string> System::checkCoherenceInvariants() const

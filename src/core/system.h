@@ -122,6 +122,31 @@ public:
     /// coherent).
     std::vector<std::string> checkCoherenceInvariants() const;
 
+    /// Hash of this system's configuration (configHashOf) — embedded in
+    /// snapshots and used to key the produce-phase snapshot cache.
+    std::uint64_t configHash() const;
+
+    /// Writes the complete simulator state to @p path (atomically). Only
+    /// valid at a safe point: event queue drained, all transient machinery
+    /// (MSHRs, store buffers, in-flight kernels) empty — throws
+    /// snap::SnapError naming the busy component otherwise. The workload
+    /// runner's phase boundaries are safe points by construction.
+    /// @p extra, when set, contributes an additional "runner" section for
+    /// driver-level progress (WorkloadRun phase position).
+    void snapshotSave(
+        const std::string& path,
+        const std::function<void(snap::SnapWriter&)>& extra = {}) const;
+
+    /// Restores a snapshot written by snapshotSave() into this System.
+    /// Must be called on a freshly constructed instance (nothing run yet)
+    /// built from a config with the same configHash() — mismatches throw
+    /// snap::SnapError naming both hashes. A system with a checker
+    /// attached requires the snapshot to carry the oracle's shadow state.
+    /// @p extra, when set, consumes the "runner" section (which must then
+    /// be present).
+    void snapshotRestore(const std::string& path,
+                         const std::function<void(snap::SnapReader&)>& extra = {});
+
     // Node-id layout (one global space across all networks).
     static constexpr NodeId kCpuAgentNode = 0;
     static constexpr NodeId kFirstSliceNode = 1;

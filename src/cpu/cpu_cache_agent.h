@@ -49,6 +49,18 @@ public:
     std::uint64_t l1Hits() const { return l1Hits_.value(); }
     std::uint64_t l1Misses() const { return l1Misses_.value(); }
 
+    /// L2 agent state plus the L1 tag filter.
+    void snapSave(snap::SnapWriter& w) const override
+    {
+        CacheAgent::snapSave(w);
+        l1_.snapSave(w, [](snap::SnapWriter&, const L1Meta&) {});
+    }
+    void snapRestore(snap::SnapReader& r) override
+    {
+        CacheAgent::snapRestore(r);
+        l1_.snapRestore(r, [](snap::SnapReader&, L1Meta&) {});
+    }
+
 protected:
     void onFill(Line& line) override;
     void onInvalidate(Addr base) override;

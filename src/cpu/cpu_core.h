@@ -51,6 +51,13 @@ public:
     std::uint64_t checkFailures() const { return checkFailures_.value(); }
     std::uint64_t remoteStores() const { return remoteStores_.value(); }
 
+    /// The core is purely transient state (program position, store/remote
+    /// buffers, pending loads) and all of it drains before a safe point, so
+    /// the section only asserts quiescence; counters live in the stats
+    /// section.
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
+
 private:
     /// Line-granular write-combining store-buffer entry: stores to the same
     /// line merge into one entry and drain as a single ownership request, so

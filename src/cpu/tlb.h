@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <list>
 #include <unordered_map>
 
@@ -48,6 +49,26 @@ public:
 
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
+
+    /// LRU recency order is machine state: after restore the next victim
+    /// must match the uninterrupted run.
+    void snapSave(snap::SnapWriter& w) const override
+    {
+        w.u64(lru_.size());
+        for (const Addr page : lru_) // front = most recent
+            w.u64(page);
+    }
+
+    void snapRestore(snap::SnapReader& r) override
+    {
+        lru_.clear();
+        entries_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            lru_.push_back(r.u64());
+            entries_[lru_.back()] = std::prev(lru_.end());
+        }
+    }
 
 private:
     const AddressSpace& space_;

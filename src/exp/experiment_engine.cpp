@@ -4,10 +4,42 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
+#include <fstream>
+#include <iomanip>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "core/config_io.h"
+#include "obs/json_lite.h"
+#include "snap/serializer.h"
+
 namespace dscoh {
+
+namespace {
+
+std::string journalKey(const std::string& code, InputSize size,
+                       CoherenceMode mode, std::uint64_t configHash)
+{
+    std::ostringstream os;
+    os << code << "|" << to_string(size) << "|" << to_string(mode) << "|"
+       << std::hex << configHash;
+    return os.str();
+}
+
+std::string jobCheckpointPath(const std::string& dir, const ExperimentJob& job,
+                              std::uint64_t configHash)
+{
+    std::ostringstream os;
+    os << dir << "/job-" << std::hex << std::setw(16) << std::setfill('0')
+       << configHash << "-" << job.code << "-" << to_string(job.size) << "-"
+       << to_string(job.mode) << ".snap";
+    return os.str();
+}
+
+} // namespace
 
 ExperimentEngine::ExperimentEngine(unsigned threads)
 {
@@ -19,6 +51,13 @@ ExperimentEngine::ExperimentEngine(unsigned threads)
 std::vector<ExperimentResult>
 ExperimentEngine::run(const std::vector<ExperimentJob>& jobs) const
 {
+    return run(jobs, EngineRunOptions{});
+}
+
+std::vector<ExperimentResult>
+ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
+                      const EngineRunOptions& options) const
+{
     std::vector<ExperimentResult> results(jobs.size());
     if (jobs.empty())
         return results;
@@ -27,24 +66,80 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs) const
     // it; afterwards it is immutable and safe to read concurrently.
     WorkloadRegistry::instance();
 
+    std::vector<std::uint64_t> hashes(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        hashes[i] = configHashOf(jobs[i].config);
+
+    // Resume: replay journaled jobs instead of re-simulating them. Matching
+    // is positional per key — a batch with duplicate (code, size, mode,
+    // config) jobs consumes one journal entry per duplicate.
+    std::vector<std::size_t> pending;
+    std::size_t replayed = 0;
+    if (options.resume && !options.journalPath.empty()) {
+        std::map<std::string, std::deque<JournalEntry>> byKey;
+        for (JournalEntry& e : readJournal(options.journalPath))
+            byKey[journalKey(e.result.job.code, e.result.job.size,
+                             e.result.job.mode, e.configHash)]
+                .push_back(std::move(e));
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const auto it = byKey.find(journalKey(jobs[i].code, jobs[i].size,
+                                                 jobs[i].mode, hashes[i]));
+            if (it == byKey.end() || it->second.empty()) {
+                pending.push_back(i);
+                continue;
+            }
+            results[i] = std::move(it->second.front().result);
+            it->second.pop_front();
+            results[i].job = jobs[i];
+            results[i].fromJournal = true;
+            ++replayed;
+        }
+    } else {
+        pending.resize(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            pending[i] = i;
+    }
+
     std::atomic<std::size_t> next{0};
-    std::size_t done = 0;
+    std::size_t done = replayed;
     std::mutex progressMutex;
+    std::mutex journalMutex;
 
     const auto worker = [&] {
         for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
+            const std::size_t slot = next.fetch_add(1);
+            if (slot >= pending.size())
                 return;
+            const std::size_t i = pending[slot];
             ExperimentResult& r = results[i];
             r.job = jobs[i];
+
+            WorkloadRunOptions runOpts;
+            if (options.forkProduce)
+                runOpts.produceCacheDir = options.snapDir;
+            std::string checkpoint;
+            if (options.jobCheckpoints) {
+                checkpoint =
+                    jobCheckpointPath(options.snapDir, jobs[i], hashes[i]);
+                runOpts.phaseCheckpointPath = checkpoint;
+                if (options.resume) {
+                    // A leftover checkpoint from a killed run resumes the
+                    // job from its last completed phase; anything stale or
+                    // unusable silently falls back to a fresh run.
+                    runOpts.restoreFrom = checkpoint;
+                    runOpts.restoreOptional = true;
+                }
+            }
+
             const auto t0 = std::chrono::steady_clock::now();
             try {
                 const Workload* w = jobs[i].workload;
                 if (w == nullptr)
                     w = &WorkloadRegistry::instance().get(jobs[i].code);
-                r.run = runWorkload(*w, jobs[i].size, jobs[i].mode,
-                                    jobs[i].config);
+                WorkloadRun wr(*w, jobs[i].size, jobs[i].mode, jobs[i].config,
+                               std::move(runOpts));
+                r.run = wr.run();
+                r.produceTicksSaved = wr.produceTicksSaved();
                 r.ok = true;
             } catch (const std::exception& e) {
                 r.error = e.what();
@@ -53,6 +148,15 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs) const
             }
             const auto t1 = std::chrono::steady_clock::now();
             r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+
+            if (!checkpoint.empty())
+                std::remove(checkpoint.c_str());
+            if (!options.journalPath.empty()) {
+                const std::lock_guard<std::mutex> lock(journalMutex);
+                std::ofstream out(options.journalPath, std::ios::app);
+                out << journalLine(r, hashes[i]);
+                out.flush();
+            }
             if (progress_) {
                 const std::lock_guard<std::mutex> lock(progressMutex);
                 progress_(r, ++done, jobs.size());
@@ -60,8 +164,7 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs) const
         }
     };
 
-    const std::size_t want =
-        std::min<std::size_t>(threads_, jobs.size());
+    const std::size_t want = std::min<std::size_t>(threads_, pending.size());
     if (want <= 1) {
         worker();
         return results;
@@ -130,6 +233,43 @@ std::string jsonEscape(const std::string& s)
     return out;
 }
 
+/// The per-job object shared by writeResultsJson() and journalLine(),
+/// WITHOUT the closing brace (the journal appends resume-only fields).
+void writeResultCore(std::ostream& os, const ExperimentResult& r)
+{
+    os << "{\"code\": \"" << jsonEscape(r.job.code) << "\""
+       << ", \"size\": \"" << to_string(r.job.size) << "\""
+       << ", \"mode\": \"" << to_string(r.job.mode) << "\""
+       << ", \"ok\": " << (r.ok ? "true" : "false");
+    if (!r.ok) {
+        os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        return;
+    }
+    const RunMetrics& m = r.run.metrics;
+    os << ", \"metrics\": {"
+       << "\"ticks\": " << m.ticks
+       << ", \"gpuL2Accesses\": " << m.gpuL2Accesses
+       << ", \"gpuL2Misses\": " << m.gpuL2Misses
+       << ", \"gpuL2Compulsory\": " << m.gpuL2Compulsory
+       << ", \"gpuL2MissRate\": " << m.gpuL2MissRate
+       << ", \"dsFills\": " << m.dsFills
+       << ", \"dsBypasses\": " << m.dsBypasses
+       << ", \"coherenceMessages\": " << m.coherenceMessages
+       << ", \"coherenceBytes\": " << m.coherenceBytes
+       << ", \"dsNetworkMessages\": " << m.dsNetworkMessages
+       << ", \"dramReads\": " << m.dramReads
+       << ", \"dramWrites\": " << m.dramWrites
+       << "}, \"footprintBytes\": " << r.run.footprintBytes
+       << ", \"stats\": {";
+    bool firstStat = true;
+    for (const auto& [name, value] : r.run.statCounters) {
+        os << (firstStat ? "" : ", ") << "\"" << jsonEscape(name)
+           << "\": " << value;
+        firstStat = false;
+    }
+    os << "}";
+}
+
 } // namespace
 
 void writeResultsJson(std::ostream& os,
@@ -146,39 +286,149 @@ void writeResultsJson(std::ostream& os,
         first = false;
         // No wall-clock time here: the file must be bit-identical across
         // runs and --jobs values. Timing is reported on stderr instead.
-        os << "    {\"code\": \"" << jsonEscape(r.job.code) << "\""
-           << ", \"size\": \"" << to_string(r.job.size) << "\""
-           << ", \"mode\": \"" << to_string(r.job.mode) << "\""
-           << ", \"ok\": " << (r.ok ? "true" : "false");
-        if (!r.ok) {
-            os << ", \"error\": \"" << jsonEscape(r.error) << "\"}";
-            continue;
-        }
-        const RunMetrics& m = r.run.metrics;
-        os << ", \"metrics\": {"
-           << "\"ticks\": " << m.ticks
-           << ", \"gpuL2Accesses\": " << m.gpuL2Accesses
-           << ", \"gpuL2Misses\": " << m.gpuL2Misses
-           << ", \"gpuL2Compulsory\": " << m.gpuL2Compulsory
-           << ", \"gpuL2MissRate\": " << m.gpuL2MissRate
-           << ", \"dsFills\": " << m.dsFills
-           << ", \"dsBypasses\": " << m.dsBypasses
-           << ", \"coherenceMessages\": " << m.coherenceMessages
-           << ", \"coherenceBytes\": " << m.coherenceBytes
-           << ", \"dsNetworkMessages\": " << m.dsNetworkMessages
-           << ", \"dramReads\": " << m.dramReads
-           << ", \"dramWrites\": " << m.dramWrites
-           << "}, \"footprintBytes\": " << r.run.footprintBytes
-           << ", \"stats\": {";
-        bool firstStat = true;
-        for (const auto& [name, value] : r.run.statCounters) {
-            os << (firstStat ? "" : ", ") << "\"" << jsonEscape(name)
-               << "\": " << value;
-            firstStat = false;
-        }
-        os << "}}";
+        os << "    ";
+        writeResultCore(os, r);
+        os << "}";
     }
     os << "\n  ]\n}\n";
+}
+
+void writeResultsJsonAtomic(const std::string& path,
+                            const std::vector<ExperimentResult>& results)
+{
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    snap::atomicWriteFile(path, os.str());
+}
+
+std::string journalLine(const ExperimentResult& r, std::uint64_t configHash)
+{
+    std::ostringstream os;
+    writeResultCore(os, r);
+    os << ", \"configHash\": \"0x" << std::hex << configHash << std::dec
+       << "\"";
+    if (r.ok) {
+        os << ", \"produceDoneAt\": " << r.run.produceDoneAt
+           << ", \"kernelDoneAt\": [";
+        for (std::size_t i = 0; i < r.run.kernelDoneAt.size(); ++i)
+            os << (i == 0 ? "" : ", ") << r.run.kernelDoneAt[i];
+        os << "], \"violations\": [";
+        for (std::size_t i = 0; i < r.run.violations.size(); ++i)
+            os << (i == 0 ? "" : ", ") << "\""
+               << jsonEscape(r.run.violations[i]) << "\"";
+        os << "]";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::vector<JournalEntry> readJournal(const std::string& path)
+{
+    std::vector<JournalEntry> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries;
+
+    const auto modeOf = [](const std::string& s, CoherenceMode* out) {
+        for (const CoherenceMode m :
+             {CoherenceMode::kCcsm, CoherenceMode::kDirectStore,
+              CoherenceMode::kDirectStoreOnly}) {
+            if (s == to_string(m)) {
+                *out = m;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string error;
+        const jsonlite::ValuePtr v = jsonlite::parse(line, error);
+        // A torn final line (process killed mid-append) parses as garbage;
+        // the job it described simply re-runs.
+        if (v == nullptr || !v->isObject())
+            continue;
+        const jsonlite::Value* code = v->get("code");
+        const jsonlite::Value* size = v->get("size");
+        const jsonlite::Value* mode = v->get("mode");
+        const jsonlite::Value* hash = v->get("configHash");
+        const jsonlite::Value* ok = v->get("ok");
+        if (code == nullptr || !code->isString() || size == nullptr ||
+            !size->isString() || mode == nullptr || !mode->isString() ||
+            hash == nullptr || !hash->isString() || ok == nullptr)
+            continue;
+
+        JournalEntry e;
+        ExperimentJob& job = e.result.job;
+        job.code = code->string;
+        job.size = size->string == "big" ? InputSize::kBig : InputSize::kSmall;
+        if (!modeOf(mode->string, &job.mode))
+            continue;
+        try {
+            e.configHash = std::stoull(hash->string, nullptr, 16);
+        } catch (const std::exception&) {
+            continue;
+        }
+
+        e.result.ok = ok->boolean;
+        if (!e.result.ok) {
+            if (const jsonlite::Value* err = v->get("error"))
+                e.result.error = err->string;
+            entries.push_back(std::move(e));
+            continue;
+        }
+
+        const jsonlite::Value* metrics = v->get("metrics");
+        const jsonlite::Value* stats = v->get("stats");
+        if (metrics == nullptr || !metrics->isObject() || stats == nullptr ||
+            !stats->isObject())
+            continue;
+        WorkloadRunResult& run = e.result.run;
+        run.code = job.code;
+        run.size = job.size;
+        run.mode = job.mode;
+        RunMetrics& m = run.metrics;
+        const auto uintOf = [metrics](const char* key) {
+            const jsonlite::Value* f = metrics->get(key);
+            return f == nullptr ? std::uint64_t{0} : f->asUint();
+        };
+        m.ticks = uintOf("ticks");
+        m.gpuL2Accesses = uintOf("gpuL2Accesses");
+        m.gpuL2Misses = uintOf("gpuL2Misses");
+        m.gpuL2Compulsory = uintOf("gpuL2Compulsory");
+        m.dsFills = uintOf("dsFills");
+        m.dsBypasses = uintOf("dsBypasses");
+        m.coherenceMessages = uintOf("coherenceMessages");
+        m.coherenceBytes = uintOf("coherenceBytes");
+        m.dsNetworkMessages = uintOf("dsNetworkMessages");
+        m.dramReads = uintOf("dramReads");
+        m.dramWrites = uintOf("dramWrites");
+        // Recomputed from the integer counters (not journaled as a float):
+        // the division below is bit-identical to System::metrics().
+        m.gpuL2MissRate = m.gpuL2Accesses == 0
+                              ? 0.0
+                              : static_cast<double>(m.gpuL2Misses) /
+                                    static_cast<double>(m.gpuL2Accesses);
+        if (const jsonlite::Value* fp = v->get("footprintBytes"))
+            run.footprintBytes = fp->asUint();
+        for (const auto& [name, value] : stats->object)
+            run.statCounters.emplace(name, value->asUint());
+        if (const jsonlite::Value* p = v->get("produceDoneAt"))
+            run.produceDoneAt = p->asUint();
+        if (const jsonlite::Value* k = v->get("kernelDoneAt");
+            k != nullptr && k->isArray())
+            for (const jsonlite::ValuePtr& t : k->array)
+                run.kernelDoneAt.push_back(t->asUint());
+        if (const jsonlite::Value* viol = v->get("violations");
+            viol != nullptr && viol->isArray())
+            for (const jsonlite::ValuePtr& s : viol->array)
+                run.violations.push_back(s->string);
+        entries.push_back(std::move(e));
+    }
+    return entries;
 }
 
 } // namespace dscoh

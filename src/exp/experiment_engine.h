@@ -40,6 +40,30 @@ struct ExperimentResult {
     /// deliberately kept out of writeResultsJson() so that file stays
     /// bit-identical across runs and thread counts.
     double wallSeconds = 0.0;
+    /// Replayed from a --resume journal (not re-simulated). Like
+    /// wallSeconds, kept out of writeResultsJson().
+    bool fromJournal = false;
+    /// Produce-phase ticks skipped via the fork-after-produce snapshot
+    /// cache (0 = cache off or miss). Kept out of writeResultsJson().
+    Tick produceTicksSaved = 0;
+};
+
+/// Checkpoint/resume options for a batch (all off by default).
+struct EngineRunOptions {
+    /// Append-only JSON-lines journal of completed jobs. Written as each
+    /// job finishes; with resume, jobs already journaled (matched on
+    /// code/size/mode/config hash) are replayed instead of re-simulated.
+    std::string journalPath;
+    bool resume = false;
+    /// Directory for snapshots (produce cache, rolling job checkpoints).
+    /// Must exist; required by the two flags below.
+    std::string snapDir;
+    /// Fork-after-produce: share the CPU produce phase across runs through
+    /// an on-disk snapshot cache keyed by (config hash, workload, size).
+    bool forkProduce = false;
+    /// Write a rolling per-job checkpoint at every phase boundary; with
+    /// resume, a killed job restarts from its last completed phase.
+    bool jobCheckpoints = false;
 };
 
 class ExperimentEngine {
@@ -70,10 +94,35 @@ public:
     /// snapshot too, covering the threads<=1 run-on-caller path).
     std::vector<ExperimentResult> run(const std::vector<ExperimentJob>& jobs) const;
 
+    /// run() with journaling / resume / snapshot options. Results are in
+    /// submission order and bit-identical to a plain run() regardless of
+    /// how many jobs were replayed from the journal or resumed from
+    /// checkpoints (restore-determinism is the snap subsystem's keystone
+    /// property).
+    std::vector<ExperimentResult> run(const std::vector<ExperimentJob>& jobs,
+                                      const EngineRunOptions& options) const;
+
 private:
     unsigned threads_ = 1;
     Progress progress_;
 };
+
+/// One parsed line of a completed-job journal.
+struct JournalEntry {
+    std::uint64_t configHash = 0;
+    ExperimentResult result; ///< job.code/size/mode set; config left default
+};
+
+/// Serializes one completed job as a single JSON line (the per-job object
+/// of writeResultsJson() plus configHash / produceDoneAt / kernelDoneAt /
+/// violations, so a resumed sweep reproduces the results file exactly).
+std::string journalLine(const ExperimentResult& r, std::uint64_t configHash);
+
+/// Parses a JSON-lines journal. Unparseable lines (a torn final line from
+/// a killed process) are skipped silently; a missing file yields an empty
+/// vector. gpuL2MissRate is recomputed from the integer counters so a
+/// replayed job is bit-identical to a simulated one.
+std::vector<JournalEntry> readJournal(const std::string& path);
 
 /// Cross product in deterministic order: for each code, for each size, for
 /// each mode — the order every bench prints its tables in.
@@ -89,5 +138,10 @@ makeSweepJobs(const std::vector<std::string>& codes,
 /// full per-job counter snapshot under "stats".
 void writeResultsJson(std::ostream& os,
                       const std::vector<ExperimentResult>& results);
+
+/// writeResultsJson() published atomically (temp + rename), so readers and
+/// crash recovery only ever see a complete results file.
+void writeResultsJsonAtomic(const std::string& path,
+                            const std::vector<ExperimentResult>& results);
 
 } // namespace dscoh

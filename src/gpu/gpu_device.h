@@ -26,6 +26,18 @@ public:
 
     void regStats(StatRegistry& registry) override;
 
+    /// Kernels never span a safe point; the device only asserts that.
+    void snapSave(snap::SnapWriter& w) const override
+    {
+        requireQuiesced(!active_, name() + " has an active kernel");
+        w.u8(1);
+    }
+    void snapRestore(snap::SnapReader& r) override
+    {
+        if (r.u8() != 1)
+            throw snap::SnapError(name() + ": bad quiescence marker");
+    }
+
 private:
     std::optional<std::uint32_t> nextBlock();
     void onSmIdle();

@@ -78,6 +78,15 @@ public:
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 
+    void snapSave(snap::SnapWriter& w) const
+    {
+        array_.snapSave(w, [](snap::SnapWriter&, const L1Meta&) {});
+    }
+    void snapRestore(snap::SnapReader& r)
+    {
+        array_.snapRestore(r, [](snap::SnapReader&, L1Meta&) {});
+    }
+
 private:
     CacheArray<L1Meta> array_;
     Counter accesses_;

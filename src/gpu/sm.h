@@ -42,6 +42,11 @@ public:
         return t;
     }
 
+    /// The carried remainder is machine state: restoring it keeps the
+    /// cycle-to-tick conversion bit-exact across a checkpoint.
+    std::uint64_t accumulator() const { return acc_; }
+    void setAccumulator(std::uint64_t a) { acc_ = a; }
+
 private:
     std::uint64_t acc_ = 0;
 };
@@ -81,6 +86,21 @@ public:
     std::uint64_t checkFailures() const { return checkFailures_.value(); }
     std::uint64_t warpsRetired() const { return warpsRetired_.value(); }
     GpuL1& l1() { return l1_; }
+
+    /// L1 contents plus the clock-conversion remainder. Everything else
+    /// (warps, block slots, outstanding lines/stores) exists only while a
+    /// kernel runs, and safe points are between kernels.
+    void snapSave(snap::SnapWriter& w) const override
+    {
+        requireQuiesced(idle(), name() + " is executing a kernel");
+        w.u64(clock_.accumulator());
+        l1_.snapSave(w);
+    }
+    void snapRestore(snap::SnapReader& r) override
+    {
+        clock_.setAccumulator(r.u64());
+        l1_.snapRestore(r);
+    }
 
 private:
     struct Warp {

@@ -3,10 +3,13 @@
 // evictions and the functional-correctness tests can compare end states.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/data_block.h"
 #include "sim/types.h"
+#include "snap/snapshot.h"
 
 namespace dscoh {
 
@@ -40,6 +43,47 @@ public:
     }
 
     std::size_t touchedLines() const { return lines_.size(); }
+
+    /// Serializes the sparse memory image in address order (iteration order
+    /// of the hash map is not deterministic; the file must be).
+    void snapSave(snap::SnapWriter& w) const
+    {
+        std::vector<Addr> bases;
+        bases.reserve(lines_.size());
+        for (const auto& [base, data] : lines_)
+            bases.push_back(base);
+        std::sort(bases.begin(), bases.end());
+        w.u64(bases.size());
+        for (const Addr base : bases) {
+            w.u64(base);
+            w.bytes(lines_.at(base).data(), kLineSize);
+        }
+    }
+
+    void snapRestore(snap::SnapReader& r)
+    {
+        lines_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Addr base = r.u64();
+            r.bytes(lines_[base].data(), kLineSize);
+        }
+    }
+
+    /// Byte equality of the full memory image, treating never-written lines
+    /// as zero (so a line explicitly written with zeros equals an untouched
+    /// one). Used by the restore-determinism tests.
+    bool sameImage(const BackingStore& other) const
+    {
+        static const DataBlock kZero;
+        for (const auto& [base, data] : lines_)
+            if (!(other.readLine(base) == data))
+                return false;
+        for (const auto& [base, data] : other.lines_)
+            if (lines_.find(base) == lines_.end() && !(data == kZero))
+                return false;
+        return true;
+    }
 
 private:
     std::uint64_t capacity_;

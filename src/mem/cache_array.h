@@ -13,6 +13,7 @@
 #include "mem/data_block.h"
 #include "mem/replacement.h"
 #include "sim/types.h"
+#include "snap/snapshot.h"
 
 namespace dscoh {
 
@@ -175,6 +176,42 @@ public:
         for (const auto& line : lines_)
             n += line.valid ? 1 : 0;
         return n;
+    }
+
+    /// Serializes every way in index order (tag, data, caller-encoded meta)
+    /// plus the replacement-policy state. Geometry is config-derived;
+    /// restore runs on an identically configured array.
+    void snapSave(snap::SnapWriter& w,
+                  const std::function<void(snap::SnapWriter&, const MetaT&)>&
+                      metaSave) const
+    {
+        for (const Line& line : lines_) {
+            w.u8(line.valid ? 1 : 0);
+            if (!line.valid)
+                continue;
+            w.u64(line.base);
+            metaSave(w, line.meta);
+            w.bytes(line.data.data(), kLineSize);
+        }
+        policy_->snapSave(w);
+    }
+
+    void snapRestore(snap::SnapReader& r,
+                     const std::function<void(snap::SnapReader&, MetaT&)>&
+                         metaRestore)
+    {
+        for (Line& line : lines_) {
+            line.valid = r.u8() != 0;
+            line.meta = MetaT{};
+            if (!line.valid) {
+                line.base = 0;
+                continue;
+            }
+            line.base = r.u64();
+            metaRestore(r, line.meta);
+            r.bytes(line.data.data(), kLineSize);
+        }
+        policy_->snapRestore(r);
     }
 
 private:

@@ -112,6 +112,11 @@ public:
                 dst.data()[i] = src.data()[i];
     }
 
+    /// Raw word access for serialization.
+    static constexpr std::size_t kWords = kLineSize / 64;
+    std::uint64_t word(std::size_t i) const { return bits_[i]; }
+    void setWord(std::size_t i, std::uint64_t v) { bits_[i] = v; }
+
 private:
     std::array<std::uint64_t, kLineSize / 64> bits_{};
 };

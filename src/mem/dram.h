@@ -68,6 +68,12 @@ public:
         return timing_.ranks * timing_.banksPerRank;
     }
 
+    /// Bank/bus timing state can legitimately reach into the future at a
+    /// safe point (the last access reserves the bus past its completion
+    /// event), so it is serialized rather than asserted empty.
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
+
 private:
     struct Bank {
         Tick readyAt = 0;   ///< when the bank can accept the next access

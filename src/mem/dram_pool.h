@@ -61,6 +61,17 @@ public:
             ch->regStats(registry);
     }
 
+    void snapSave(snap::SnapWriter& w) const
+    {
+        for (const auto& ch : channels_)
+            ch->snapSave(w);
+    }
+    void snapRestore(snap::SnapReader& r)
+    {
+        for (auto& ch : channels_)
+            ch->snapRestore(r);
+    }
+
     /// Direct channel access for tests.
     Dram& channel(std::size_t i) { return *channels_.at(i); }
 

@@ -12,6 +12,7 @@
 
 #include "sim/rng.h"
 #include "sim/types.h"
+#include "snap/snapshot.h"
 
 namespace dscoh {
 
@@ -43,6 +44,15 @@ public:
     std::uint32_t sets() const { return sets_; }
     std::uint32_t ways() const { return ways_; }
 
+    /// Victim choice is part of deterministic machine state (LRU stamps,
+    /// PLRU bits, the random policy's RNG), so it checkpoints with the
+    /// cache array that owns the policy.
+    virtual void snapSave(snap::SnapWriter& w) const
+    {
+        static_cast<void>(w);
+    }
+    virtual void snapRestore(snap::SnapReader& r) { static_cast<void>(r); }
+
     static std::unique_ptr<ReplacementPolicy> create(ReplacementKind kind,
                                                      std::uint32_t sets,
                                                      std::uint32_t ways,
@@ -69,6 +79,9 @@ public:
     std::uint32_t victim(std::uint32_t set,
                          const std::vector<bool>& candidates) override;
 
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
+
 private:
     std::size_t index(std::uint32_t set, std::uint32_t way) const
     {
@@ -88,6 +101,9 @@ public:
     std::uint32_t victim(std::uint32_t set,
                          const std::vector<bool>& candidates) override;
 
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
+
 private:
     // One bit per internal tree node, (ways - 1) nodes per set.
     std::vector<bool> bits_;
@@ -105,6 +121,9 @@ public:
     void touch(std::uint32_t, std::uint32_t) override {}
     std::uint32_t victim(std::uint32_t set,
                          const std::vector<bool>& candidates) override;
+
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
 
 private:
     Rng rng_;

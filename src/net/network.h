@@ -50,6 +50,12 @@ public:
 
     void regStats(StatRegistry& registry) override;
 
+    /// Messages never cross a safe point (delivery closures live in the
+    /// event queue, which is drained), but the per-destination port
+    /// reservations can extend past it and are timing state.
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
+
     std::uint64_t messagesSent() const { return messages_.value(); }
     std::uint64_t bytesSent() const { return bytes_.value(); }
     std::uint64_t messagesOfType(MsgType t) const

@@ -1,6 +1,8 @@
 #include "sim/event_queue.h"
 
+#include <array>
 #include <cassert>
+#include <string>
 #include <utility>
 
 namespace dscoh {
@@ -49,6 +51,34 @@ Tick EventQueue::runUntil(Tick limit)
 void EventQueue::clear()
 {
     heap_ = {};
+}
+
+void EventQueue::snapSave(snap::SnapWriter& w) const
+{
+    if (!heap_.empty())
+        throw snap::SnapError(
+            "EventQueue: " + std::to_string(heap_.size()) +
+            " pending events — snapshots only exist at drained safe points");
+    w.u64(now_);
+    w.u64(seq_);
+    w.u64(executed_);
+    w.u8(shuffleTies_ ? 1 : 0);
+    for (const std::uint64_t word : tieRng_.state())
+        w.u64(word);
+}
+
+void EventQueue::snapRestore(snap::SnapReader& r)
+{
+    if (!heap_.empty())
+        throw snap::SnapError("EventQueue: restore into a non-empty queue");
+    now_ = r.u64();
+    seq_ = r.u64();
+    executed_ = r.u64();
+    shuffleTies_ = r.u8() != 0;
+    std::array<std::uint64_t, 4> s;
+    for (auto& word : s)
+        word = r.u64();
+    tieRng_.setState(s);
 }
 
 } // namespace dscoh

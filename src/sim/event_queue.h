@@ -16,6 +16,7 @@
 
 #include "sim/rng.h"
 #include "sim/types.h"
+#include "snap/snapshot.h"
 
 namespace dscoh {
 
@@ -69,6 +70,15 @@ public:
     /// produce functionally identical results under any tie-break order —
     /// the fuzzer uses this to hunt same-tick ordering assumptions.
     void setTieBreakShuffle(std::uint64_t seed);
+
+    /// Checkpoints the queue at a safe point (must be empty — closures
+    /// cannot be serialized, which is exactly why safe points require a
+    /// drained queue). Saves the clock plus the insertion-sequence and
+    /// tie-break-RNG state: restoring them gives every post-restore event
+    /// the same (key, seq) tie-break identity it would have had in an
+    /// uninterrupted run, so same-tick ordering is bit-identical.
+    void snapSave(snap::SnapWriter& w) const;
+    void snapRestore(snap::SnapReader& r);
 
 private:
     struct Entry {

@@ -5,6 +5,8 @@
 // property tests rely on.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace dscoh {
@@ -69,6 +71,17 @@ public:
 
     /// True with probability p.
     bool chance(double p) { return unit() < p; }
+
+    /// Raw engine state, for checkpointing a stream mid-sequence.
+    std::array<std::uint64_t, 4> state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+    void setState(const std::array<std::uint64_t, 4>& s)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            s_[i] = s[i];
+    }
 
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k)

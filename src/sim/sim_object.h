@@ -12,10 +12,14 @@
 
 #include "sim/sim_context.h"
 #include "sim/stats.h"
+#include "snap/snapshot.h"
 
 namespace dscoh {
 
-class SimObject {
+/// Snapshottable gives every component snapSave/snapRestore hooks (no-op by
+/// default) that System::snapshotSave/snapshotRestore invoke in a fixed
+/// order, one named snapshot section per component.
+class SimObject : public snap::Snapshottable {
 public:
     SimObject(std::string name, SimContext& ctx)
         : name_(std::move(name)), ctx_(ctx)

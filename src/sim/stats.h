@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "snap/snapshot.h"
+
 namespace dscoh {
 
 /// Monotonically increasing event count.
@@ -20,6 +22,8 @@ public:
     void inc(std::uint64_t n = 1) { value_ += n; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /// Snapshot restore only — counters otherwise only ever increment.
+    void set(std::uint64_t v) { value_ = v; }
 
 private:
     std::uint64_t value_ = 0;
@@ -65,6 +69,11 @@ public:
     /// [0, 100].
     double percentile(double p) const;
 
+    /// Serializes counts/samples/sum/min/max (geometry is config-derived
+    /// and must already match on restore).
+    void snapSave(snap::SnapWriter& w) const;
+    void snapRestore(snap::SnapReader& r);
+
 private:
     std::uint64_t width_;
     std::vector<std::uint64_t> counts_;
@@ -79,9 +88,9 @@ private:
 /// registry's last use (components and registry are both owned by System).
 class StatRegistry {
 public:
-    void registerCounter(std::string name, const Counter* c);
-    void registerScalar(std::string name, const Scalar* s);
-    void registerHistogram(std::string name, const Histogram* h);
+    void registerCounter(std::string name, Counter* c);
+    void registerScalar(std::string name, Scalar* s);
+    void registerHistogram(std::string name, Histogram* h);
 
     /// Value of a registered counter; throws std::out_of_range if unknown.
     std::uint64_t counter(const std::string& name) const;
@@ -108,10 +117,17 @@ public:
 
     std::vector<std::string> counterNames() const;
 
+    /// Serializes every registered stat by name (sorted map order). The
+    /// restore side writes values back *through* the registered pointers
+    /// into the owning components, and insists the two registries hold
+    /// exactly the same names — a drifted stat set is a layout mismatch.
+    void snapSave(snap::SnapWriter& w) const;
+    void snapRestore(snap::SnapReader& r);
+
 private:
-    std::map<std::string, const Counter*> counters_;
-    std::map<std::string, const Scalar*> scalars_;
-    std::map<std::string, const Histogram*> histograms_;
+    std::map<std::string, Counter*> counters_;
+    std::map<std::string, Scalar*> scalars_;
+    std::map<std::string, Histogram*> histograms_;
 };
 
 } // namespace dscoh

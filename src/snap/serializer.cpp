@@ -1,0 +1,356 @@
+#include "snap/serializer.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace dscoh::snap {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'D', 'S', 'C', 'O',
+                                        'H', 'S', 'N', 'P'};
+
+std::array<std::uint32_t, 256> makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+void appendLe32(std::string& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void appendLe64(std::string& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+std::uint32_t readLe32(const std::string& in, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) |
+            static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(i)]);
+    return v;
+}
+
+std::uint64_t readLe64(const std::string& in, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) |
+            static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(i)]);
+    return v;
+}
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = seed ^ 0xffffffffu;
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void atomicWriteFile(const std::string& path, const std::string& contents)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SnapError("cannot open " + tmp + " for writing");
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        if (!out)
+            throw SnapError("short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        throw SnapError("rename " + tmp + " -> " + path + " failed: " +
+                        std::strerror(err));
+    }
+}
+
+// --------------------------------------------------------------------------
+// SnapWriter
+
+void SnapWriter::beginSection(const std::string& name)
+{
+    if (open_)
+        throw SnapError("beginSection('" + name + "') with '" +
+                        sections_.back().name + "' still open");
+    for (const Section& s : sections_)
+        if (s.name == name)
+            throw SnapError("duplicate snapshot section '" + name + "'");
+    sections_.push_back(Section{name, {}});
+    open_ = true;
+}
+
+void SnapWriter::endSection()
+{
+    if (!open_)
+        throw SnapError("endSection() with no open section");
+    open_ = false;
+}
+
+void SnapWriter::raw(const void* data, std::size_t size)
+{
+    if (!open_)
+        throw SnapError("snapshot write outside of a section");
+    sections_.back().payload.append(static_cast<const char*>(data), size);
+}
+
+void SnapWriter::u32(std::uint32_t v)
+{
+    if (!open_)
+        throw SnapError("snapshot write outside of a section");
+    appendLe32(sections_.back().payload, v);
+}
+
+void SnapWriter::u64(std::uint64_t v)
+{
+    if (!open_)
+        throw SnapError("snapshot write outside of a section");
+    appendLe64(sections_.back().payload, v);
+}
+
+void SnapWriter::f64(double v)
+{
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void SnapWriter::str(const std::string& s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+}
+
+void SnapWriter::bytes(const void* data, std::size_t size)
+{
+    raw(data, size);
+}
+
+std::string SnapWriter::finish() const
+{
+    if (open_)
+        throw SnapError("finish() with section '" + sections_.back().name +
+                        "' still open");
+    std::string out;
+    out.append(kMagic.data(), kMagic.size());
+    appendLe32(out, kFormatVersion);
+    appendLe64(out, tick_);
+    appendLe64(out, configHash_);
+    appendLe32(out, static_cast<std::uint32_t>(sections_.size()));
+    for (const Section& s : sections_) {
+        appendLe32(out, static_cast<std::uint32_t>(s.name.size()));
+        out.append(s.name);
+        appendLe64(out, s.payload.size());
+        out.append(s.payload);
+    }
+    appendLe32(out, crc32(out.data(), out.size()));
+    return out;
+}
+
+void SnapWriter::writeFile(const std::string& path) const
+{
+    atomicWriteFile(path, finish());
+}
+
+// --------------------------------------------------------------------------
+// SnapReader
+
+SnapReader::SnapReader(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SnapError("cannot open snapshot: " + path);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    data_ = std::move(data);
+
+    const std::size_t minSize = kMagic.size() + 4 + 8 + 8 + 4 + 4;
+    if (data_.size() < minSize)
+        throw SnapError(path + ": truncated snapshot (" +
+                        std::to_string(data_.size()) + " bytes)");
+    if (std::memcmp(data_.data(), kMagic.data(), kMagic.size()) != 0)
+        throw SnapError(path + ": not a dscoh snapshot (bad magic)");
+
+    const std::uint32_t storedCrc = readLe32(data_, data_.size() - 4);
+    const std::uint32_t actualCrc = crc32(data_.data(), data_.size() - 4);
+    if (storedCrc != actualCrc)
+        throw SnapError(path + ": CRC mismatch (file " +
+                        std::to_string(storedCrc) + ", computed " +
+                        std::to_string(actualCrc) + ") — corrupt snapshot");
+
+    std::size_t at = kMagic.size();
+    version_ = readLe32(data_, at);
+    at += 4;
+    if (version_ != kFormatVersion)
+        throw SnapError(path + ": snapshot format version " +
+                        std::to_string(version_) + ", this build reads " +
+                        std::to_string(kFormatVersion) +
+                        " — re-simulate instead of restoring");
+    tick_ = readLe64(data_, at);
+    at += 8;
+    configHash_ = readLe64(data_, at);
+    at += 8;
+    const std::uint32_t count = readLe32(data_, at);
+    at += 4;
+    const std::size_t end = data_.size() - 4; // CRC trailer
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (at + 4 > end)
+            throw SnapError(path + ": truncated section table");
+        const std::uint32_t nameLen = readLe32(data_, at);
+        at += 4;
+        if (at + nameLen + 8 > end)
+            throw SnapError(path + ": truncated section header");
+        std::string name = data_.substr(at, nameLen);
+        at += nameLen;
+        const std::uint64_t payloadLen = readLe64(data_, at);
+        at += 8;
+        if (payloadLen > end - at)
+            throw SnapError(path + ": section '" + name +
+                            "' overruns the file");
+        table_.push_back(SectionInfo{std::move(name), payloadLen});
+        offsets_.push_back(at);
+        at += payloadLen;
+    }
+    if (at != end)
+        throw SnapError(path + ": trailing garbage after last section");
+}
+
+bool SnapReader::hasSection(const std::string& name) const
+{
+    for (const SectionInfo& s : table_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+void SnapReader::openSection(const std::string& name)
+{
+    if (open_)
+        throw SnapError("openSection('" + name + "') with '" + openName_ +
+                        "' still open");
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        if (table_[i].name == name) {
+            cursor_ = offsets_[i];
+            sectionEnd_ = offsets_[i] + table_[i].bytes;
+            openName_ = name;
+            open_ = true;
+            return;
+        }
+    }
+    throw SnapError("snapshot has no section '" + name +
+                    "' — saved by an incompatible build?");
+}
+
+void SnapReader::closeSection()
+{
+    if (!open_)
+        throw SnapError("closeSection() with no open section");
+    if (cursor_ != sectionEnd_)
+        throw SnapError("section '" + openName_ + "': " +
+                        std::to_string(sectionEnd_ - cursor_) +
+                        " unconsumed bytes — reader/writer layout mismatch");
+    open_ = false;
+}
+
+void SnapReader::raw(void* out, std::size_t size)
+{
+    if (!open_)
+        throw SnapError("snapshot read outside of a section");
+    if (cursor_ + size > sectionEnd_)
+        throw SnapError("section '" + openName_ +
+                        "': read past end — reader/writer layout mismatch");
+    std::memcpy(out, data_.data() + cursor_, size);
+    cursor_ += size;
+}
+
+std::uint8_t SnapReader::u8()
+{
+    std::uint8_t v = 0;
+    raw(&v, 1);
+    return v;
+}
+
+std::uint32_t SnapReader::u32()
+{
+    std::uint8_t b[4];
+    raw(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+std::uint64_t SnapReader::u64()
+{
+    std::uint8_t b[8];
+    raw(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return v;
+}
+
+double SnapReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string SnapReader::str()
+{
+    const std::uint32_t n = u32();
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+}
+
+void SnapReader::bytes(void* out, std::size_t size)
+{
+    raw(out, size);
+}
+
+SnapshotHeader readSnapshotHeader(const std::string& path)
+{
+    SnapReader reader(path);
+    SnapshotHeader header;
+    header.formatVersion = reader.formatVersion();
+    header.tick = reader.tick();
+    header.configHash = reader.configHash();
+    header.sections = reader.sections();
+    std::uint64_t total = 0;
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (in)
+            total = static_cast<std::uint64_t>(in.tellg());
+    }
+    header.fileBytes = total;
+    return header;
+}
+
+} // namespace dscoh::snap

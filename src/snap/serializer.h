@@ -1,0 +1,154 @@
+// Versioned, CRC-checked binary serialization for simulator snapshots.
+//
+// A snapshot file is a header (magic, format version, tick, config hash)
+// followed by named component sections and a trailing CRC32 over everything
+// before it. Sections are length-prefixed, so a reader can index the file
+// (tools/inspect dumps the section table) without understanding any
+// payload. All integers are little-endian; payloads are written by the
+// components themselves through the primitive accessors below.
+//
+// Writing is atomic: the file image is assembled in memory and published
+// with write-temp-then-rename, so a killed process never leaves a torn
+// snapshot (or results file — atomicWriteFile is shared with the JSON
+// writers) behind.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dscoh::snap {
+
+/// Every failure in this subsystem (bad magic, CRC mismatch, truncated
+/// section, unquiesced component, config-hash mismatch) throws this.
+class SnapError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Current snapshot file format version. Bump on ANY layout change — there
+/// is deliberately no cross-version migration: a snapshot is a cache of a
+/// deterministic computation, never the only copy of anything, so readers
+/// reject other versions loudly and callers re-simulate.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Standard CRC-32 (IEEE 802.3, reflected). @p seed chains partial blocks.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Writes @p contents to @p path via a temporary file in the same
+/// directory plus rename(2), so concurrent readers (and crash recovery)
+/// only ever observe the old or the complete new file. Throws SnapError on
+/// I/O failure.
+void atomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Assembles a snapshot image section by section.
+class SnapWriter {
+public:
+    SnapWriter(Tick tick, std::uint64_t configHash)
+        : tick_(tick), configHash_(configHash)
+    {
+    }
+
+    /// Starts a new named section; primitives below land in it. Section
+    /// names must be unique within a file.
+    void beginSection(const std::string& name);
+    void endSection();
+    bool inSection() const { return open_; }
+
+    void u8(std::uint8_t v) { raw(&v, 1); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f64(double v);
+    void str(const std::string& s);
+    void bytes(const void* data, std::size_t size);
+
+    Tick tick() const { return tick_; }
+
+    /// The complete file image (header + sections + CRC).
+    std::string finish() const;
+
+    /// finish() + atomicWriteFile().
+    void writeFile(const std::string& path) const;
+
+private:
+    void raw(const void* data, std::size_t size);
+
+    struct Section {
+        std::string name;
+        std::string payload;
+    };
+
+    Tick tick_;
+    std::uint64_t configHash_;
+    std::vector<Section> sections_;
+    bool open_ = false;
+};
+
+/// One entry of a snapshot's section table.
+struct SectionInfo {
+    std::string name;
+    std::uint64_t bytes = 0;
+};
+
+/// Parses and validates a snapshot file; components then consume their
+/// sections. Every read is bounds-checked against its section; closing a
+/// section verifies it was consumed exactly, so a component whose layout
+/// drifted from the writer fails loudly instead of reading garbage.
+class SnapReader {
+public:
+    /// Reads @p path, validating magic, format version and the trailing
+    /// CRC. Throws SnapError with the reason on any mismatch.
+    explicit SnapReader(const std::string& path);
+
+    std::uint32_t formatVersion() const { return version_; }
+    Tick tick() const { return tick_; }
+    std::uint64_t configHash() const { return configHash_; }
+    const std::vector<SectionInfo>& sections() const { return table_; }
+    bool hasSection(const std::string& name) const;
+
+    /// Positions the cursor at the start of @p name. Throws if absent or
+    /// if another section is still open.
+    void openSection(const std::string& name);
+    /// Verifies the open section was consumed exactly.
+    void closeSection();
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+    void bytes(void* out, std::size_t size);
+
+private:
+    void raw(void* out, std::size_t size);
+
+    std::string data_;
+    std::uint32_t version_ = 0;
+    Tick tick_ = 0;
+    std::uint64_t configHash_ = 0;
+    std::vector<SectionInfo> table_;
+    std::vector<std::size_t> offsets_; ///< payload start per section
+    std::size_t cursor_ = 0;
+    std::size_t sectionEnd_ = 0;
+    std::string openName_;
+    bool open_ = false;
+};
+
+/// Snapshot header summary for tools (no payload validation beyond CRC).
+struct SnapshotHeader {
+    std::uint32_t formatVersion = 0;
+    Tick tick = 0;
+    std::uint64_t configHash = 0;
+    std::vector<SectionInfo> sections;
+    std::uint64_t fileBytes = 0;
+};
+
+/// Reads @p path's header and section table (CRC-validated — throws
+/// SnapError on corruption, exactly like SnapReader).
+SnapshotHeader readSnapshotHeader(const std::string& path);
+
+} // namespace dscoh::snap

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "sim/types.h"
+#include "snap/snapshot.h"
 
 namespace dscoh {
 
@@ -56,6 +57,33 @@ public:
     }
     std::uint64_t physBytes() const { return physBytes_; }
     std::uint64_t physAllocated() const { return nextPhysPage_ * kPageSize; }
+
+    /// Page table plus allocator cursors (std::map iterates in key order,
+    /// so the serialized form is deterministic).
+    void snapSave(snap::SnapWriter& w) const
+    {
+        w.u64(heapCursor_);
+        w.u64(dsCursor_);
+        w.u64(nextPhysPage_);
+        w.u64(pages_.size());
+        for (const auto& [va, pa] : pages_) {
+            w.u64(va);
+            w.u64(pa);
+        }
+    }
+
+    void snapRestore(snap::SnapReader& r)
+    {
+        heapCursor_ = r.u64();
+        dsCursor_ = r.u64();
+        nextPhysPage_ = r.u64();
+        pages_.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Addr va = r.u64();
+            pages_[va] = r.u64();
+        }
+    }
 
 private:
     void mapRange(Addr vaBase, std::uint64_t bytes);

@@ -1,70 +1,233 @@
 #include "workloads/runner.h"
 
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
 #include <stdexcept>
 
+#include "snap/serializer.h"
+
 namespace dscoh {
+
+WorkloadRun::WorkloadRun(const Workload& workload, InputSize size,
+                         CoherenceMode mode, const SystemConfig& config,
+                         WorkloadRunOptions options)
+    : workload_(workload), size_(size), mode_(mode), opts_(std::move(options)),
+      cfg_(config)
+{
+    cfg_.mode = mode;
+    build();
+}
+
+void WorkloadRun::build()
+{
+    sys_ = std::make_unique<System>(cfg_);
+    mem_.clear();
+    footprint_ = 0;
+
+    // Allocate the benchmark's arrays the way the (translated) program
+    // would: kernel-referenced arrays move to the DS region under DS mode.
+    // Allocation is deterministic (config + workload + size fix every
+    // address), so a restore re-runs it and then overwrites the address
+    // space with the identical snapshotted state.
+    for (const ArraySpec& spec : workload_.arrays(size_)) {
+        mem_[spec.name] = sys_->allocateArray(spec.bytes, spec.gpuShared);
+        footprint_ += spec.bytes;
+    }
+    produce_ = workload_.cpuProduce(size_, mem_);
+    kernels_ = workload_.kernels(size_, mem_);
+}
+
+WorkloadRun::~WorkloadRun() = default;
+
+std::string WorkloadRun::produceCachePath(const std::string& dir,
+                                          std::uint64_t configHash,
+                                          const std::string& code,
+                                          InputSize size)
+{
+    std::ostringstream os;
+    os << dir << "/produce-" << std::hex << std::setw(16) << std::setfill('0')
+       << configHash << "-" << code << "-" << to_string(size) << ".snap";
+    return os.str();
+}
+
+void WorkloadRun::writeCheckpoint(const std::string& path) const
+{
+    sys_->snapshotSave(path, [this](snap::SnapWriter& w) {
+        w.str(workload_.info().code);
+        w.u8(static_cast<std::uint8_t>(size_));
+        w.u8(static_cast<std::uint8_t>(mode_));
+        w.u32(static_cast<std::uint32_t>(phasesDone_));
+        w.u64(produceDoneAt_);
+        w.u32(static_cast<std::uint32_t>(kernelDoneAt_.size()));
+        for (Tick t : kernelDoneAt_)
+            w.u64(t);
+    });
+}
+
+bool WorkloadRun::tryRestore(const std::string& path, bool required)
+{
+    try {
+        sys_->snapshotRestore(path, [this, &path](snap::SnapReader& r) {
+            const std::string code = r.str();
+            const auto size = static_cast<InputSize>(r.u8());
+            const auto mode = static_cast<CoherenceMode>(r.u8());
+            if (code != workload_.info().code || size != size_ ||
+                mode != mode_)
+                throw snap::SnapError(
+                    path + ": checkpoint belongs to " + code + "/" +
+                    to_string(size) + "/" + to_string(mode) +
+                    ", not to this run (" + workload_.info().code + "/" +
+                    to_string(size_) + "/" + to_string(mode_) + ")");
+            phasesDone_ = r.u32();
+            produceDoneAt_ = r.u64();
+            kernelDoneAt_.resize(r.u32());
+            for (Tick& t : kernelDoneAt_)
+                t = r.u64();
+        });
+    } catch (const snap::SnapError&) {
+        if (required)
+            throw;
+        // A stale/corrupt/missing cache entry is not an error: rebuild the
+        // system (the failed restore may have partially mutated it) and
+        // run fresh; the entry gets rewritten below.
+        build();
+        phasesDone_ = 0;
+        produceDoneAt_ = 0;
+        kernelDoneAt_.clear();
+        return false;
+    }
+    if (phasesDone_ > phaseCount())
+        throw snap::SnapError(path + ": checkpoint claims " +
+                              std::to_string(phasesDone_) +
+                              " completed phases, run only has " +
+                              std::to_string(phaseCount()));
+    restoredAt_ = sys_->queue().curTick();
+    fromCheckpoint_ = true;
+    return true;
+}
+
+void WorkloadRun::drain()
+{
+    EventQueue& queue = sys_->queue();
+    if (opts_.maxIdleTicks == 0) {
+        queue.run();
+        return;
+    }
+    // Slice the run so a protocol hang surfaces as an error instead of an
+    // infinite loop. runUntil() preserves event order exactly (the slice
+    // boundary only bounds the clock), so the watchdog never perturbs the
+    // simulation.
+    while (!queue.empty()) {
+        const std::uint64_t before = queue.executedEvents();
+        queue.runUntil(queue.curTick() + opts_.maxIdleTicks);
+        if (!queue.empty() && queue.executedEvents() == before)
+            throw std::runtime_error(
+                workload_.info().code + " (" +
+                std::string(to_string(size_)) + ", " + to_string(mode_) +
+                "): no event executed for " +
+                std::to_string(opts_.maxIdleTicks) + " ticks with " +
+                std::to_string(queue.pending()) +
+                " still queued — deadlock/livelock at tick " +
+                std::to_string(queue.curTick()));
+    }
+}
+
+void WorkloadRun::runPhase(std::size_t phase)
+{
+    if (phase == 0) {
+        sys_->runCpuProgram(produce_, [this] {
+            produceDoneAt_ = sys_->queue().curTick();
+        });
+    } else {
+        sys_->launchKernel(kernels_[phase - 1], [this] {
+            kernelDoneAt_.push_back(sys_->queue().curTick());
+        });
+    }
+    drain();
+}
+
+void WorkloadRun::afterPhase(std::size_t phase)
+{
+    phasesDone_ = phase + 1;
+
+    if (phase == 0 && !opts_.produceCacheDir.empty() && restoredAt_ == 0) {
+        // Populate the fork-after-produce cache (atomic write: concurrent
+        // sweep jobs racing on the same key both publish a valid file).
+        writeCheckpoint(produceCachePath(opts_.produceCacheDir,
+                                         sys_->configHash(),
+                                         workload_.info().code, size_));
+    }
+    if (!opts_.phaseCheckpointPath.empty() && phasesDone_ < phaseCount())
+        writeCheckpoint(opts_.phaseCheckpointPath);
+
+    if (!opts_.checkpointOut.empty() && !checkpointWritten_) {
+        const bool tickHit = opts_.checkpointAtTick != 0 &&
+                             sys_->queue().curTick() >= opts_.checkpointAtTick;
+        const bool phaseHit =
+            opts_.checkpointAtPhase >= 0 &&
+            static_cast<std::size_t>(opts_.checkpointAtPhase) == phase;
+        if (tickHit || phaseHit) {
+            writeCheckpoint(opts_.checkpointOut);
+            checkpointWritten_ = true;
+        }
+    }
+}
+
+WorkloadRunResult WorkloadRun::run()
+{
+    bool restored = false;
+    if (!opts_.restoreFrom.empty())
+        restored = tryRestore(opts_.restoreFrom,
+                              /*required=*/!opts_.restoreOptional);
+    if (!restored && !opts_.produceCacheDir.empty()) {
+        const std::string cached =
+            produceCachePath(opts_.produceCacheDir, sys_->configHash(),
+                             workload_.info().code, size_);
+        if (tryRestore(cached, /*required=*/false))
+            produceTicksSaved_ = restoredAt_;
+    }
+    if (opts_.beforeFirstPhase)
+        opts_.beforeFirstPhase(*sys_);
+
+    for (std::size_t phase = phasesDone_; phase < phaseCount(); ++phase) {
+        runPhase(phase);
+        afterPhase(phase);
+    }
+
+    WorkloadRunResult result;
+    result.code = workload_.info().code;
+    result.size = size_;
+    result.mode = mode_;
+    result.metrics = sys_->metrics();
+    result.violations = sys_->checkCoherenceInvariants();
+    result.footprintBytes = footprint_;
+    result.produceDoneAt = produceDoneAt_;
+    result.kernelDoneAt = kernelDoneAt_;
+    result.restoredAt = restoredAt_;
+    result.simulatedTicks = result.metrics.ticks - restoredAt_;
+    result.fromCheckpoint = fromCheckpoint_;
+    for (const std::string& name : sys_->stats().counterNames())
+        result.statCounters.emplace(name, sys_->stats().counter(name));
+
+    if (result.metrics.checkFailures != 0)
+        throw std::runtime_error(
+            workload_.info().code + " (" + std::string(to_string(size_)) +
+            ", " + to_string(mode_) + "): " +
+            std::to_string(result.metrics.checkFailures) +
+            " value mismatches — functional bug, results untrustworthy");
+    if (!result.violations.empty())
+        throw std::runtime_error(workload_.info().code +
+                                 ": coherence invariant violated: " +
+                                 result.violations.front());
+    return result;
+}
 
 WorkloadRunResult runWorkload(const Workload& workload, InputSize size,
                               CoherenceMode mode, const SystemConfig& config)
 {
-    SystemConfig cfg = config;
-    cfg.mode = mode;
-    System sys(cfg);
-
-    // Allocate the benchmark's arrays the way the (translated) program
-    // would: kernel-referenced arrays move to the DS region under DS mode.
-    Workload::ArrayMap mem;
-    std::uint64_t footprint = 0;
-    for (const ArraySpec& spec : workload.arrays(size)) {
-        mem[spec.name] = sys.allocateArray(spec.bytes, spec.gpuShared);
-        footprint += spec.bytes;
-    }
-
-    const CpuProgram produce = workload.cpuProduce(size, mem);
-    const std::vector<KernelDesc> kernels = workload.kernels(size, mem);
-
-    // Chain: produce -> kernel 0 -> kernel 1 -> ...
-    Tick produceDoneAt = 0;
-    std::vector<Tick> kernelDoneAt;
-    std::size_t next = 0;
-    std::function<void()> launchNext = [&]() {
-        if (next >= kernels.size())
-            return;
-        const KernelDesc& k = kernels[next++];
-        sys.launchKernel(k, [&] {
-            kernelDoneAt.push_back(sys.queue().curTick());
-            launchNext();
-        });
-    };
-    sys.runCpuProgram(produce, [&] {
-        produceDoneAt = sys.queue().curTick();
-        launchNext();
-    });
-    sys.simulate();
-
-    WorkloadRunResult result;
-    result.code = workload.info().code;
-    result.size = size;
-    result.mode = mode;
-    result.metrics = sys.metrics();
-    result.violations = sys.checkCoherenceInvariants();
-    result.footprintBytes = footprint;
-    result.produceDoneAt = produceDoneAt;
-    result.kernelDoneAt = std::move(kernelDoneAt);
-    for (const std::string& name : sys.stats().counterNames())
-        result.statCounters.emplace(name, sys.stats().counter(name));
-
-    if (result.metrics.checkFailures != 0)
-        throw std::runtime_error(
-            workload.info().code + " (" + std::string(to_string(size)) + ", " +
-            to_string(mode) + "): " +
-            std::to_string(result.metrics.checkFailures) +
-            " value mismatches — functional bug, results untrustworthy");
-    if (!result.violations.empty())
-        throw std::runtime_error(workload.info().code +
-                                 ": coherence invariant violated: " +
-                                 result.violations.front());
-    return result;
+    WorkloadRun run(workload, size, mode, config);
+    return run.run();
 }
 
 ComparisonResult compareModes(const Workload& workload, InputSize size,

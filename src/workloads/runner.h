@@ -4,10 +4,18 @@
 // (§IV-B): the CPU produce phase runs first, then the kernels launch back to
 // back, then (implicitly) the host would inspect a few results — all timed
 // as one run, exactly like the paper's "total ticks".
+//
+// Every phase boundary is a *safe point*: the event queue is drained
+// completely before the next phase is scheduled, so the entire machine state
+// is plain data there and can be checkpointed (src/snap). Restoring a
+// checkpoint and running the remaining phases is byte-identical to the
+// uninterrupted run — the queue's event-identity state (clock, insertion
+// sequence, tie-break RNG) travels with the snapshot.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +39,125 @@ struct WorkloadRunResult {
     /// the completion tick of each kernel (for the ablation narratives).
     Tick produceDoneAt = 0;
     std::vector<Tick> kernelDoneAt;
+
+    // --- provenance (NOT serialized into results JSON: a restored run's
+    // results stay bit-identical to an uninterrupted one) ---
+    /// Tick the run resumed from (0 = ran from scratch).
+    Tick restoredAt = 0;
+    /// Ticks actually simulated by this process (metrics.ticks - restoredAt).
+    Tick simulatedTicks = 0;
+    /// The run started from a checkpoint or produce-cache snapshot.
+    bool fromCheckpoint = false;
+};
+
+/// Options controlling checkpoint/restore and hang detection for one run.
+/// Defaults reproduce the plain uninstrumented run.
+struct WorkloadRunOptions {
+    /// Restore this snapshot (written by a previous run of the same
+    /// workload/size/mode/config) and simulate only the remaining phases.
+    std::string restoreFrom;
+    /// Missing/corrupt/mismatched restoreFrom falls back to a fresh run
+    /// instead of throwing (how sweeps treat leftover job checkpoints).
+    bool restoreOptional = false;
+
+    /// Write a checkpoint to this path when the trigger below fires.
+    std::string checkpointOut;
+    /// Trigger: first safe point (phase boundary) at or after this tick.
+    /// 0 = no tick trigger.
+    Tick checkpointAtTick = 0;
+    /// Trigger: completion of this phase (0 = produce, k = kernel k-1).
+    /// -1 = no phase trigger.
+    int checkpointAtPhase = -1;
+
+    /// Rolling checkpoint: (re)written at EVERY phase boundary, so a killed
+    /// job resumes from its last completed phase (ExperimentEngine
+    /// --resume). Empty = off.
+    std::string phaseCheckpointPath;
+
+    /// Fork-after-produce: directory of produce-phase snapshots keyed by
+    /// (config hash, workload, size). A hit skips the produce phase
+    /// entirely; a miss runs it and populates the cache. Empty = off.
+    std::string produceCacheDir;
+
+    /// No-progress watchdog: abort (std::runtime_error) when this many
+    /// ticks pass without a single event executing while work is still
+    /// queued, instead of spinning forever on a protocol hang. 0 = off.
+    Tick maxIdleTicks = 0;
+
+    /// Invoked once inside run(), after any restore but before the first
+    /// phase is scheduled. Restore requires an empty event queue, so
+    /// drivers that schedule events up front (epoch samplers) must do it
+    /// here rather than before run().
+    std::function<void(System&)> beforeFirstPhase;
+};
+
+/// One workload execution, phase by phase, with optional checkpoint /
+/// restore / watchdog. runWorkload() below is the plain-run shorthand.
+class WorkloadRun {
+public:
+    WorkloadRun(const Workload& workload, InputSize size, CoherenceMode mode,
+                const SystemConfig& config = SystemConfig{},
+                WorkloadRunOptions options = WorkloadRunOptions{});
+    ~WorkloadRun();
+
+    WorkloadRun(const WorkloadRun&) = delete;
+    WorkloadRun& operator=(const WorkloadRun&) = delete;
+
+    /// Produce + every kernel: the number of safe points in the run.
+    std::size_t phaseCount() const { return 1 + kernels_.size(); }
+
+    /// Runs every (remaining) phase to completion and returns the result.
+    /// Throws std::runtime_error on functional failures (value mismatches)
+    /// or a watchdog-detected hang, snap::SnapError on checkpoint misuse.
+    WorkloadRunResult run();
+
+    /// The underlying system (for tracing/stat access between phases).
+    System& system() { return *sys_; }
+
+    /// Mutable options (e.g. to install beforeFirstPhase after seeing the
+    /// constructed System). Only meaningful before run().
+    WorkloadRunOptions& options() { return opts_; }
+
+    /// Produce ticks skipped via the produce-snapshot cache (0 on a cache
+    /// miss or when the cache is off). Valid after run().
+    Tick produceTicksSaved() const { return produceTicksSaved_; }
+
+    /// The produce-cache snapshot filename for a given key (exposed so
+    /// sweeps can report / prune the cache).
+    static std::string produceCachePath(const std::string& dir,
+                                        std::uint64_t configHash,
+                                        const std::string& code,
+                                        InputSize size);
+
+private:
+    void build();
+    void runPhase(std::size_t phase);
+    void drain();
+    void afterPhase(std::size_t phase);
+    void writeCheckpoint(const std::string& path) const;
+    /// Restores @p path; returns false when it is unusable (corrupt /
+    /// wrong shape) and @p required is false.
+    bool tryRestore(const std::string& path, bool required);
+
+    const Workload& workload_;
+    InputSize size_;
+    CoherenceMode mode_;
+    WorkloadRunOptions opts_;
+    SystemConfig cfg_;
+
+    std::unique_ptr<System> sys_;
+    Workload::ArrayMap mem_;
+    std::uint64_t footprint_ = 0;
+    CpuProgram produce_;
+    std::vector<KernelDesc> kernels_;
+
+    std::size_t phasesDone_ = 0; ///< next phase to run
+    Tick produceDoneAt_ = 0;
+    std::vector<Tick> kernelDoneAt_;
+    Tick restoredAt_ = 0;
+    bool fromCheckpoint_ = false;
+    bool checkpointWritten_ = false;
+    Tick produceTicksSaved_ = 0;
 };
 
 /// Runs @p workload at @p size under @p mode on a fresh System built from

@@ -1,0 +1,164 @@
+// Snapshots under the verification subsystem: phased fuzz-corpus runs must
+// be restore-deterministic (snapshot after round 1, restore, finish —
+// identical report), and the CoherenceChecker's shadow state (owner map,
+// mirrored memory, hook counters) must travel with the snapshot so a
+// restored run keeps full oracle checking history.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/coherence_checker.h"
+#include "check/fuzz.h"
+#include "core/system.h"
+#include "snap/serializer.h"
+
+namespace dscoh {
+namespace {
+
+FuzzScenario loadScenario(const std::string& name)
+{
+    std::ifstream in(std::string(DSCOH_CORPUS_DIR) + "/" + name);
+    EXPECT_TRUE(in) << name;
+    std::ostringstream text;
+    text << in.rdbuf();
+    FuzzScenario sc;
+    std::string error;
+    EXPECT_TRUE(parseScenario(text.str(), sc, error)) << name << ": " << error;
+    return sc;
+}
+
+void expectSameReport(const FuzzReport& a, const FuzzReport& b,
+                      const std::string& what)
+{
+    EXPECT_EQ(a.completed, b.completed) << what;
+    EXPECT_EQ(a.ticks, b.ticks) << what;
+    EXPECT_EQ(a.checkFailures, b.checkFailures) << what;
+    EXPECT_EQ(a.violations, b.violations) << what;
+    EXPECT_EQ(a.outWords, b.outWords) << what;
+}
+
+// Multi-round corpus scenarios: round boundaries are the safe points.
+const char* const kScenarios[] = {"directory_tiebreak.scn",
+                                  "hybrid_threshold.scn",
+                                  "multi_slice_contention.scn"};
+
+TEST(FuzzSnapshot, CorpusRestoreMatchesPhasedReference)
+{
+    for (const char* name : kScenarios) {
+        const FuzzScenario sc = loadScenario(name);
+        ASSERT_GE(sc.phases, 2u) << name << ": need a mid-run safe point";
+        for (const CoherenceMode mode :
+             {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}) {
+            const std::string what =
+                std::string(name) + "/" + to_string(mode);
+
+            FuzzOptions phased;
+            phased.phased = true;
+            const FuzzReport ref = runScenario(sc, mode, phased);
+            EXPECT_FALSE(ref.failed()) << what;
+
+            // Taking the snapshot must not perturb the run.
+            const std::string path = testing::TempDir() + "fuzz_" +
+                                     std::string(name) + "_" +
+                                     to_string(mode) + ".snap";
+            FuzzOptions save = phased;
+            save.snapshotAfterRound = 1;
+            save.snapshotPath = path;
+            const FuzzReport saved = runScenario(sc, mode, save);
+            expectSameReport(saved, ref, what + " (saving)");
+
+            // Restore round 1's boundary and run the remaining rounds:
+            // identical ticks, output words, and a clean oracle.
+            FuzzOptions restore = phased;
+            restore.restorePath = path;
+            const FuzzReport resumed = runScenario(sc, mode, restore);
+            expectSameReport(resumed, ref, what + " (restored)");
+            std::remove(path.c_str());
+        }
+    }
+}
+
+TEST(OracleSnapshot, ShadowStateSurvivesRoundTrip)
+{
+    const SystemConfig cfg = SystemConfig::paper(CoherenceMode::kCcsm);
+    const std::string path = testing::TempDir() + "oracle_roundtrip.snap";
+
+    // Run a produce phase under the oracle, snapshot at the drained queue.
+    System sys(cfg);
+    CoherenceChecker& checker = sys.enableChecker();
+    const Addr a = sys.allocateArray(4 * kLineSize, true);
+    CpuProgram prog;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        prog.push_back(cpuStore(a + static_cast<Addr>(i) * kLineSize, i, 4));
+    prog.push_back(cpuFence());
+    sys.runCpuProgram(prog, [] {});
+    sys.simulate();
+    const std::uint64_t transitions = checker.transitionsChecked();
+    const std::uint64_t stores = checker.storesMirrored();
+    EXPECT_GT(stores, 0u);
+    sys.snapshotSave(path);
+
+    // Restore into a fresh checker-attached system: the counters (and the
+    // shadow state behind them) must come back exactly.
+    System restored(cfg);
+    CoherenceChecker& checker2 = restored.enableChecker();
+    const Addr a2 = restored.allocateArray(4 * kLineSize, true);
+    ASSERT_EQ(a2, a);
+    restored.snapshotRestore(path);
+    EXPECT_EQ(checker2.transitionsChecked(), transitions);
+    EXPECT_EQ(checker2.storesMirrored(), stores);
+    EXPECT_TRUE(checker2.clean());
+
+    // Finish the run on both systems; the oracle must keep checking after
+    // restore and both must converge to the same clean final state.
+    KernelDesc k;
+    k.name = "touch";
+    k.blocks = 1;
+    k.threadsPerBlock = 32;
+    k.body = [a](ThreadBuilder& t, std::uint32_t, std::uint32_t tid) {
+        if (tid < 4)
+            t.ldCheck(a + static_cast<Addr>(tid) * kLineSize, tid, 4);
+    };
+    sys.launchKernel(k, [] {});
+    sys.simulate();
+    checker.finalize(sys.queue().curTick());
+    restored.launchKernel(k, [] {});
+    restored.simulate();
+    checker2.finalize(restored.queue().curTick());
+
+    EXPECT_EQ(restored.queue().curTick(), sys.queue().curTick());
+    EXPECT_TRUE(checker.clean());
+    EXPECT_TRUE(checker2.clean());
+    EXPECT_EQ(checker2.transitionsChecked(), checker.transitionsChecked());
+    EXPECT_GT(checker2.transitionsChecked(), transitions);
+    std::remove(path.c_str());
+}
+
+TEST(OracleSnapshot, CheckerlessSnapshotRejectedByCheckedSystem)
+{
+    const SystemConfig cfg = SystemConfig::paper(CoherenceMode::kCcsm);
+    const std::string path = testing::TempDir() + "oracle_absent.snap";
+
+    System plain(cfg);
+    const Addr a = plain.allocateArray(kLineSize, true);
+    CpuProgram prog;
+    prog.push_back(cpuStore(a, 7, 4));
+    prog.push_back(cpuFence());
+    plain.runCpuProgram(prog, [] {});
+    plain.simulate();
+    plain.snapshotSave(path);
+
+    // A checker-attached system cannot adopt a snapshot with no oracle
+    // shadow state — that would silently drop checking history.
+    System checked(cfg);
+    checked.enableChecker();
+    checked.allocateArray(kLineSize, true);
+    EXPECT_THROW(checked.snapshotRestore(path), snap::SnapError);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dscoh

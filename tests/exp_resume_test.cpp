@@ -1,0 +1,193 @@
+// Engine journal/resume: a replayed job must be bit-identical to a
+// simulated one all the way into results.json; torn journal lines (a
+// killed writer) are skipped; the atomic results writer publishes exactly
+// the stream writer's bytes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config_io.h"
+#include "exp/experiment_engine.h"
+
+namespace dscoh {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string resultsJson(const std::vector<ExperimentResult>& results)
+{
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    return os.str();
+}
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::vector<ExperimentJob> smallBatch()
+{
+    return makeSweepJobs({"VA", "BP"}, {InputSize::kSmall},
+                         {CoherenceMode::kCcsm,
+                          CoherenceMode::kDirectStore});
+}
+
+TEST(EngineResume, JournalLineRoundTripsIntoIdenticalResults)
+{
+    const std::vector<ExperimentJob> jobs = smallBatch();
+    const std::vector<ExperimentResult> ran = ExperimentEngine(2).run(jobs);
+    ASSERT_EQ(ran.size(), jobs.size());
+
+    const std::string path = testing::TempDir() + "roundtrip.journal";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (std::size_t i = 0; i < ran.size(); ++i) {
+            ASSERT_TRUE(ran[i].ok) << ran[i].error;
+            out << journalLine(ran[i], configHashOf(jobs[i].config));
+        }
+    }
+
+    const std::vector<JournalEntry> replayed = readJournal(path);
+    ASSERT_EQ(replayed.size(), ran.size());
+    std::vector<ExperimentResult> rebuilt;
+    for (std::size_t i = 0; i < replayed.size(); ++i) {
+        EXPECT_EQ(replayed[i].configHash, configHashOf(jobs[i].config));
+        EXPECT_EQ(replayed[i].result.job.code, jobs[i].code);
+        EXPECT_EQ(replayed[i].result.job.mode, jobs[i].mode);
+        EXPECT_EQ(replayed[i].result.run.produceDoneAt,
+                  ran[i].run.produceDoneAt);
+        EXPECT_EQ(replayed[i].result.run.kernelDoneAt,
+                  ran[i].run.kernelDoneAt);
+        EXPECT_EQ(replayed[i].result.run.statCounters,
+                  ran[i].run.statCounters);
+        rebuilt.push_back(replayed[i].result);
+    }
+    // The strong property: results.json built from the journal is byte-
+    // identical to results.json built from the live runs.
+    EXPECT_EQ(resultsJson(rebuilt), resultsJson(ran));
+    std::remove(path.c_str());
+}
+
+TEST(EngineResume, TornFinalJournalLineIsSkipped)
+{
+    const std::vector<ExperimentJob> jobs = smallBatch();
+    const std::vector<ExperimentResult> ran = ExperimentEngine(2).run(jobs);
+
+    const std::string path = testing::TempDir() + "torn.journal";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << journalLine(ran[0], configHashOf(jobs[0].config));
+        out << journalLine(ran[1], configHashOf(jobs[1].config));
+        const std::string full =
+            journalLine(ran[2], configHashOf(jobs[2].config));
+        out << full.substr(0, full.size() / 2); // killed mid-write
+    }
+    const std::vector<JournalEntry> entries = readJournal(path);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].result.job.code, ran[0].job.code);
+    EXPECT_EQ(entries[1].result.job.code, ran[1].job.code);
+    std::remove(path.c_str());
+}
+
+TEST(EngineResume, MissingJournalYieldsEmpty)
+{
+    EXPECT_TRUE(readJournal(testing::TempDir() + "nope.journal").empty());
+}
+
+TEST(EngineResume, ResumedSweepReproducesResultsExactly)
+{
+    const std::vector<ExperimentJob> jobs = smallBatch();
+    const std::vector<ExperimentResult> reference =
+        ExperimentEngine(2).run(jobs);
+
+    const std::string dir = testing::TempDir() + "resume_snapdir";
+    fs::create_directories(dir);
+    EngineRunOptions opts;
+    opts.journalPath = testing::TempDir() + "resume.journal";
+    opts.snapDir = dir;
+    opts.jobCheckpoints = true;
+    std::remove(opts.journalPath.c_str());
+
+    // "Interrupted" sweep: journal all four jobs, then keep only the first
+    // two lines, as if the process died after job 2.
+    ExperimentEngine(2).run(jobs, opts);
+    {
+        std::ifstream in(opts.journalPath);
+        std::string l1, l2;
+        ASSERT_TRUE(std::getline(in, l1));
+        ASSERT_TRUE(std::getline(in, l2));
+        in.close();
+        std::ofstream out(opts.journalPath, std::ios::trunc);
+        out << l1 << "\n" << l2 << "\n";
+    }
+
+    opts.resume = true;
+    const std::vector<ExperimentResult> resumed =
+        ExperimentEngine(2).run(jobs, opts);
+    ASSERT_EQ(resumed.size(), jobs.size());
+    std::size_t replayed = 0;
+    for (const ExperimentResult& r : resumed) {
+        ASSERT_TRUE(r.ok) << r.error;
+        replayed += r.fromJournal ? 1 : 0;
+    }
+    EXPECT_EQ(replayed, 2u);
+    EXPECT_EQ(resultsJson(resumed), resultsJson(reference));
+
+    std::remove(opts.journalPath.c_str());
+    fs::remove_all(dir);
+}
+
+TEST(EngineResume, AtomicResultsWriterMatchesStreamWriter)
+{
+    const std::vector<ExperimentJob> jobs =
+        makeSweepJobs({"VA"}, {InputSize::kSmall}, {CoherenceMode::kCcsm});
+    const std::vector<ExperimentResult> results =
+        ExperimentEngine(1).run(jobs);
+    const std::string path = testing::TempDir() + "atomic_results.json";
+    writeResultsJsonAtomic(path, results);
+    EXPECT_EQ(slurp(path), resultsJson(results));
+    std::remove(path.c_str());
+}
+
+TEST(EngineResume, ForkProduceSecondSweepSkipsProduceTicks)
+{
+    const std::vector<ExperimentJob> jobs =
+        makeSweepJobs({"BP"}, {InputSize::kSmall},
+                      {CoherenceMode::kCcsm, CoherenceMode::kDirectStore});
+    const std::vector<ExperimentResult> reference =
+        ExperimentEngine(2).run(jobs);
+
+    const std::string dir = testing::TempDir() + "fork_snapdir";
+    fs::create_directories(dir);
+    EngineRunOptions opts;
+    opts.snapDir = dir;
+    opts.forkProduce = true;
+
+    const std::vector<ExperimentResult> cold =
+        ExperimentEngine(2).run(jobs, opts);
+    const std::vector<ExperimentResult> warm =
+        ExperimentEngine(2).run(jobs, opts);
+    ASSERT_EQ(warm.size(), jobs.size());
+    Tick saved = 0;
+    for (const ExperimentResult& r : warm) {
+        ASSERT_TRUE(r.ok) << r.error;
+        saved += r.produceTicksSaved;
+    }
+    EXPECT_GT(saved, 0u);
+    // Shared produce phase, bit-identical results.
+    EXPECT_EQ(resultsJson(cold), resultsJson(reference));
+    EXPECT_EQ(resultsJson(warm), resultsJson(reference));
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace dscoh

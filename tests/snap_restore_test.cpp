@@ -1,0 +1,228 @@
+// Snapshot/restore keystone property: restoring a phase-boundary
+// checkpoint and running to completion is byte-identical to the
+// uninterrupted run — metrics, phase breakdown, the full stats-counter
+// snapshot, the stats JSON dump, and the final memory image. One
+// benchmark per suite (Rodinia, Parboil, Pannotia, NVIDIA SDK,
+// standalone), both coherence modes, plus the failure paths: config-hash
+// mismatch, missing snapshot, optional-restore fallback.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "snap/serializer.h"
+#include "workloads/runner.h"
+
+namespace dscoh {
+namespace {
+
+std::string statsJson(System& sys)
+{
+    std::ostringstream os;
+    sys.stats().dumpJson(os);
+    return os.str();
+}
+
+std::string tempSnap(const std::string& tag)
+{
+    return testing::TempDir() + "restore_" + tag + ".snap";
+}
+
+void expectSameRun(const WorkloadRunResult& restored,
+                   const WorkloadRunResult& reference,
+                   const std::string& what)
+{
+    EXPECT_EQ(restored.metrics.ticks, reference.metrics.ticks) << what;
+    EXPECT_EQ(restored.metrics.gpuL2Accesses, reference.metrics.gpuL2Accesses)
+        << what;
+    EXPECT_EQ(restored.metrics.gpuL2Misses, reference.metrics.gpuL2Misses)
+        << what;
+    EXPECT_EQ(restored.metrics.dramReads, reference.metrics.dramReads)
+        << what;
+    EXPECT_EQ(restored.metrics.dramWrites, reference.metrics.dramWrites)
+        << what;
+    EXPECT_EQ(restored.produceDoneAt, reference.produceDoneAt) << what;
+    EXPECT_EQ(restored.kernelDoneAt, reference.kernelDoneAt) << what;
+    EXPECT_EQ(restored.footprintBytes, reference.footprintBytes) << what;
+    EXPECT_EQ(restored.violations, reference.violations) << what;
+    // The full counter registry, not just the headline metrics.
+    EXPECT_EQ(restored.statCounters, reference.statCounters) << what;
+}
+
+// One representative per benchmark suite (Table II groups).
+const char* const kFamilyCodes[] = {"BP", "ST", "GC", "VA", "MM"};
+
+TEST(SnapRestore, RoundTripMatchesUninterruptedRunPerFamily)
+{
+    for (const char* code : kFamilyCodes) {
+        for (const CoherenceMode mode :
+             {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}) {
+            const std::string what =
+                std::string(code) + "_" + to_string(mode);
+            const Workload& w = WorkloadRegistry::instance().get(code);
+
+            WorkloadRun ref(w, InputSize::kSmall, mode);
+            const WorkloadRunResult refResult = ref.run();
+            EXPECT_EQ(refResult.restoredAt, 0u) << what;
+            EXPECT_FALSE(refResult.fromCheckpoint) << what;
+
+            // Checkpoint at the produce/kernel boundary; checkpointing must
+            // not perturb the run it is taken from.
+            const std::string path = tempSnap(what);
+            WorkloadRunOptions saveOpts;
+            saveOpts.checkpointOut = path;
+            saveOpts.checkpointAtPhase = 0;
+            WorkloadRun save(w, InputSize::kSmall, mode, SystemConfig{},
+                             saveOpts);
+            const WorkloadRunResult saveResult = save.run();
+            expectSameRun(saveResult, refResult, what + " (checkpointing)");
+
+            // Restore and finish: byte-identical to the uninterrupted run.
+            WorkloadRunOptions restoreOpts;
+            restoreOpts.restoreFrom = path;
+            WorkloadRun restored(w, InputSize::kSmall, mode, SystemConfig{},
+                                 restoreOpts);
+            const WorkloadRunResult restoredResult = restored.run();
+            EXPECT_TRUE(restoredResult.fromCheckpoint) << what;
+            EXPECT_GT(restoredResult.restoredAt, 0u) << what;
+            EXPECT_EQ(restoredResult.simulatedTicks,
+                      restoredResult.metrics.ticks - restoredResult.restoredAt)
+                << what;
+            expectSameRun(restoredResult, refResult, what + " (restored)");
+            EXPECT_EQ(statsJson(restored.system()), statsJson(ref.system()))
+                << what;
+            EXPECT_TRUE(restored.system().backingStore().sameImage(
+                ref.system().backingStore()))
+                << what;
+            std::remove(path.c_str());
+        }
+    }
+}
+
+TEST(SnapRestore, TickTriggerCheckpointsFirstSafePointAfterTick)
+{
+    const Workload& w = WorkloadRegistry::instance().get("VA");
+    const WorkloadRunResult ref =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
+
+    const std::string path = tempSnap("tick_trigger");
+    WorkloadRunOptions saveOpts;
+    saveOpts.checkpointOut = path;
+    saveOpts.checkpointAtTick = 1; // first phase boundary qualifies
+    WorkloadRun save(w, InputSize::kSmall, CoherenceMode::kCcsm,
+                     SystemConfig{}, saveOpts);
+    save.run();
+
+    const snap::SnapshotHeader h = snap::readSnapshotHeader(path);
+    EXPECT_GT(h.tick, 0u);
+    EXPECT_LT(h.tick, ref.metrics.ticks);
+
+    WorkloadRunOptions restoreOpts;
+    restoreOpts.restoreFrom = path;
+    WorkloadRun restored(w, InputSize::kSmall, CoherenceMode::kCcsm,
+                         SystemConfig{}, restoreOpts);
+    expectSameRun(restored.run(), ref, "VA tick-trigger");
+    std::remove(path.c_str());
+}
+
+TEST(SnapRestore, ConfigHashMismatchFailsLoudly)
+{
+    const Workload& w = WorkloadRegistry::instance().get("VA");
+    const std::string path = tempSnap("hash_mismatch");
+    WorkloadRunOptions saveOpts;
+    saveOpts.checkpointOut = path;
+    saveOpts.checkpointAtPhase = 0;
+    WorkloadRun save(w, InputSize::kSmall, CoherenceMode::kCcsm,
+                     SystemConfig{}, saveOpts);
+    save.run();
+
+    SystemConfig other;
+    other.gpuL2Size *= 2; // any behavior-relevant field flips the hash
+    WorkloadRunOptions restoreOpts;
+    restoreOpts.restoreFrom = path;
+    WorkloadRun restored(w, InputSize::kSmall, CoherenceMode::kCcsm, other,
+                         restoreOpts);
+    EXPECT_THROW(restored.run(), snap::SnapError);
+
+    // restoreOptional: same mismatch falls back to a bit-identical fresh
+    // run under the new config instead of throwing.
+    WorkloadRunOptions optionalOpts;
+    optionalOpts.restoreFrom = path;
+    optionalOpts.restoreOptional = true;
+    WorkloadRun fallback(w, InputSize::kSmall, CoherenceMode::kCcsm, other,
+                         optionalOpts);
+    const WorkloadRunResult fell = fallback.run();
+    EXPECT_FALSE(fell.fromCheckpoint);
+    const WorkloadRunResult plain =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm, other);
+    expectSameRun(fell, plain, "VA optional fallback");
+    std::remove(path.c_str());
+}
+
+TEST(SnapRestore, MissingSnapshotThrowsUnlessOptional)
+{
+    const Workload& w = WorkloadRegistry::instance().get("VA");
+    const std::string path = tempSnap("never_written");
+    std::remove(path.c_str());
+
+    WorkloadRunOptions required;
+    required.restoreFrom = path;
+    WorkloadRun mustRestore(w, InputSize::kSmall, CoherenceMode::kCcsm,
+                            SystemConfig{}, required);
+    EXPECT_THROW(mustRestore.run(), snap::SnapError);
+
+    WorkloadRunOptions optional;
+    optional.restoreFrom = path;
+    optional.restoreOptional = true;
+    WorkloadRun fresh(w, InputSize::kSmall, CoherenceMode::kCcsm,
+                      SystemConfig{}, optional);
+    const WorkloadRunResult result = fresh.run();
+    EXPECT_FALSE(result.fromCheckpoint);
+    const WorkloadRunResult plain =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
+    expectSameRun(result, plain, "VA missing-snapshot fallback");
+}
+
+TEST(SnapRestore, ProduceCacheSharesProducePhase)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = testing::TempDir() + "produce_cache_dir";
+    std::filesystem::create_directories(dir);
+    const Workload& w = WorkloadRegistry::instance().get("BP");
+    const WorkloadRunResult ref =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
+
+    WorkloadRunOptions opts;
+    opts.produceCacheDir = dir;
+    WorkloadRun cold(w, InputSize::kSmall, CoherenceMode::kCcsm,
+                     SystemConfig{}, opts);
+    const WorkloadRunResult coldResult = cold.run();
+    EXPECT_EQ(cold.produceTicksSaved(), 0u);
+    expectSameRun(coldResult, ref, "BP cold produce-cache");
+
+    WorkloadRun warm(w, InputSize::kSmall, CoherenceMode::kCcsm,
+                     SystemConfig{}, opts);
+    const WorkloadRunResult warmResult = warm.run();
+    EXPECT_GT(warm.produceTicksSaved(), 0u);
+    EXPECT_TRUE(warmResult.fromCheckpoint);
+    expectSameRun(warmResult, ref, "BP warm produce-cache");
+    fs::remove_all(dir);
+}
+
+TEST(SnapRestore, IdleWatchdogIsHarmlessOnHealthyRuns)
+{
+    const Workload& w = WorkloadRegistry::instance().get("VA");
+    const WorkloadRunResult ref =
+        runWorkload(w, InputSize::kSmall, CoherenceMode::kCcsm);
+    WorkloadRunOptions opts;
+    opts.maxIdleTicks = 10'000'000;
+    WorkloadRun guarded(w, InputSize::kSmall, CoherenceMode::kCcsm,
+                        SystemConfig{}, opts);
+    expectSameRun(guarded.run(), ref, "VA watchdog");
+}
+
+} // namespace
+} // namespace dscoh

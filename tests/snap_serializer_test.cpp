@@ -1,0 +1,237 @@
+// snap serializer: primitive round-trips, section hygiene, and every
+// rejection path a snapshot file can hit on disk — flipped bytes (CRC),
+// truncation, bad magic, wrong format version, missing sections — plus the
+// header inspection API and the atomic temp+rename publisher.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "snap/serializer.h"
+
+namespace dscoh::snap {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempPath(const std::string& name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void spit(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+}
+
+/// A two-section file exercising every primitive.
+std::string sampleImage()
+{
+    SnapWriter w(/*tick=*/12345, /*configHash=*/0xdeadbeefcafef00dULL);
+    w.beginSection("alpha");
+    w.u8(0x5a);
+    w.u32(0x01020304u);
+    w.u64(0x1122334455667788ULL);
+    w.f64(-2.5);
+    w.str("hello snapshot");
+    w.endSection();
+    w.beginSection("beta");
+    const unsigned char blob[5] = {1, 2, 3, 4, 5};
+    w.bytes(blob, sizeof blob);
+    w.endSection();
+    return w.finish();
+}
+
+TEST(SnapSerializer, Crc32KnownCheckValue)
+{
+    // The standard CRC-32 check value for the ASCII digits "123456789".
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    // Chaining partial blocks must equal one pass over the whole buffer.
+    const std::uint32_t head = crc32("12345", 5);
+    EXPECT_EQ(crc32("6789", 4, head), 0xcbf43926u);
+}
+
+TEST(SnapSerializer, PrimitivesRoundTrip)
+{
+    const std::string path = tempPath("prim.snap");
+    spit(path, sampleImage());
+
+    SnapReader r(path);
+    EXPECT_EQ(r.formatVersion(), kFormatVersion);
+    EXPECT_EQ(r.tick(), 12345u);
+    EXPECT_EQ(r.configHash(), 0xdeadbeefcafef00dULL);
+    ASSERT_EQ(r.sections().size(), 2u);
+    EXPECT_EQ(r.sections()[0].name, "alpha");
+    EXPECT_EQ(r.sections()[1].name, "beta");
+    EXPECT_TRUE(r.hasSection("alpha"));
+    EXPECT_FALSE(r.hasSection("gamma"));
+
+    r.openSection("alpha");
+    EXPECT_EQ(r.u8(), 0x5a);
+    EXPECT_EQ(r.u32(), 0x01020304u);
+    EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+    EXPECT_EQ(r.f64(), -2.5);
+    EXPECT_EQ(r.str(), "hello snapshot");
+    r.closeSection();
+
+    r.openSection("beta");
+    unsigned char blob[5] = {};
+    r.bytes(blob, sizeof blob);
+    EXPECT_EQ(blob[0], 1);
+    EXPECT_EQ(blob[4], 5);
+    r.closeSection();
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, SectionsReadableInAnyOrder)
+{
+    const std::string path = tempPath("order.snap");
+    spit(path, sampleImage());
+    SnapReader r(path);
+    r.openSection("beta");
+    unsigned char blob[5] = {};
+    r.bytes(blob, sizeof blob);
+    r.closeSection();
+    r.openSection("alpha");
+    EXPECT_EQ(r.u8(), 0x5a);
+    // Leaving the rest of "alpha" unconsumed must be caught at close.
+    EXPECT_THROW(r.closeSection(), SnapError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, OverreadPastSectionEndThrows)
+{
+    const std::string path = tempPath("overread.snap");
+    spit(path, sampleImage());
+    SnapReader r(path);
+    r.openSection("beta"); // 5 payload bytes
+    unsigned char blob[5] = {};
+    r.bytes(blob, sizeof blob);
+    EXPECT_THROW(r.u8(), SnapError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, MissingSectionThrows)
+{
+    const std::string path = tempPath("missing.snap");
+    spit(path, sampleImage());
+    SnapReader r(path);
+    EXPECT_THROW(r.openSection("gamma"), SnapError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, FlippedPayloadByteFailsCrc)
+{
+    std::string image = sampleImage();
+    image[image.size() / 2] = static_cast<char>(image[image.size() / 2] ^ 0x40);
+    const std::string path = tempPath("corrupt.snap");
+    spit(path, image);
+    EXPECT_THROW(SnapReader r(path), SnapError);
+    EXPECT_THROW(readSnapshotHeader(path), SnapError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, TruncatedFileRejected)
+{
+    const std::string image = sampleImage();
+    const std::string path = tempPath("trunc.snap");
+    spit(path, image.substr(0, image.size() - 8));
+    EXPECT_THROW(SnapReader r(path), SnapError);
+    // Even losing a single trailing byte must fail the CRC/length check.
+    spit(path, image.substr(0, image.size() - 1));
+    EXPECT_THROW(SnapReader r(path), SnapError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, BadMagicRejected)
+{
+    std::string image = sampleImage();
+    image[0] = 'X';
+    const std::string path = tempPath("magic.snap");
+    spit(path, image);
+    EXPECT_THROW(SnapReader r(path), SnapError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, MissingFileRejected)
+{
+    EXPECT_THROW(SnapReader r(tempPath("does_not_exist.snap")), SnapError);
+}
+
+TEST(SnapSerializer, WrongFormatVersionRejected)
+{
+    // Patch the version field (the u32 after the 8-byte magic) and re-seal
+    // the CRC, so the only defect is the version number itself.
+    std::string image = sampleImage();
+    const std::uint32_t bogus = kFormatVersion + 7;
+    for (std::size_t i = 0; i < 4; ++i)
+        image[8 + i] = static_cast<char>((bogus >> (8 * i)) & 0xff);
+    const std::uint32_t crc = crc32(image.data(), image.size() - 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        image[image.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+    const std::string path = tempPath("version.snap");
+    spit(path, image);
+    EXPECT_THROW(SnapReader r(path), SnapError);
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, ReadSnapshotHeaderMatchesFile)
+{
+    const std::string image = sampleImage();
+    const std::string path = tempPath("header.snap");
+    spit(path, image);
+    const SnapshotHeader h = readSnapshotHeader(path);
+    EXPECT_EQ(h.formatVersion, kFormatVersion);
+    EXPECT_EQ(h.tick, 12345u);
+    EXPECT_EQ(h.configHash, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(h.fileBytes, image.size());
+    ASSERT_EQ(h.sections.size(), 2u);
+    EXPECT_EQ(h.sections[0].name, "alpha");
+    EXPECT_EQ(h.sections[1].name, "beta");
+    EXPECT_EQ(h.sections[1].bytes, 5u);
+    std::remove(path.c_str());
+}
+
+TEST(SnapSerializer, AtomicWriteFilePublishesAndReplaces)
+{
+    const fs::path dir = fs::path(testing::TempDir()) / "snap_atomic_dir";
+    fs::create_directories(dir);
+    const std::string path = (dir / "out.bin").string();
+
+    atomicWriteFile(path, "first");
+    EXPECT_EQ(slurp(path), "first");
+    atomicWriteFile(path, "second, longer contents");
+    EXPECT_EQ(slurp(path), "second, longer contents");
+
+    // No temporary files may survive a successful publish.
+    std::size_t entries = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(SnapSerializer, AtomicWriteFileToBadDirectoryThrows)
+{
+    EXPECT_THROW(
+        atomicWriteFile(tempPath("no_such_dir/x/y/out.bin"), "data"),
+        SnapError);
+}
+
+} // namespace
+} // namespace dscoh::snap

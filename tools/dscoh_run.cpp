@@ -6,12 +6,14 @@
 //   dscoh_run --workload NN --mode ccsm --prefetch 4 --ds-hop 80
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "cli/options.h"
 #include "core/config_io.h"
 #include "obs/epoch_sampler.h"
 #include "obs/trace_session.h"
+#include "snap/serializer.h"
 #include "trace/trace_format.h"
 #include "workloads/runner.h"
 
@@ -62,71 +64,97 @@ struct ObsOptions {
     }
 };
 
-std::ofstream openOut(const std::string& path)
-{
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("cannot write file: " + path);
-    return out;
-}
-
-/// Runs and writes whatever observability outputs were requested.
+/// Runs one workload through WorkloadRun (checkpoint/restore/watchdog
+/// aware) and writes whatever observability outputs were requested. Stats
+/// dumps are published atomically (temp + rename), so a killed process
+/// never leaves a torn stats file next to a valid snapshot.
 WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
-                          const SystemConfig& cfg, const ObsOptions& obs)
+                          const SystemConfig& cfg, const ObsOptions& obs,
+                          WorkloadRunOptions runOpts)
 {
-    if (!obs.any())
-        return runWorkload(w, size, mode, cfg);
+    WorkloadRun run(w, size, mode, cfg, std::move(runOpts));
+    System& sys = run.system();
 
-    // Re-run through a System we keep, so the registry/trace can be dumped.
-    SystemConfig c = cfg;
-    c.mode = mode;
-    System sys(c);
     if (!obs.traceOut.empty())
         sys.enableTracing(obs.traceMask);
-    EpochSampler::Params epochParams;
-    epochParams.epochTicks = obs.epochTicks;
-    EpochSampler sampler(sys.queue(), sys.stats(), epochParams);
+    std::unique_ptr<EpochSampler> sampler;
+    if (obs.epochTicks != 0) {
+        EpochSampler::Params epochParams;
+        epochParams.epochTicks = obs.epochTicks;
+        sampler = std::make_unique<EpochSampler>(sys.queue(), sys.stats(),
+                                                 epochParams);
+        // start() schedules the first sampling event; that must happen
+        // after a restore (which requires an empty queue), so defer it.
+        run.options().beforeFirstPhase = [&sampler](System&) {
+            sampler->start();
+        };
+    }
 
-    Workload::ArrayMap mem;
-    for (const auto& spec : w.arrays(size))
-        mem[spec.name] = sys.allocateArray(spec.bytes, spec.gpuShared);
-    const CpuProgram produce = w.cpuProduce(size, mem);
-    const auto kernels = w.kernels(size, mem);
-    std::size_t next = 0;
-    std::function<void()> launchNext = [&] {
-        if (next < kernels.size())
-            sys.launchKernel(kernels[next++], [&] { launchNext(); });
-    };
-    sys.runCpuProgram(produce, [&] { launchNext(); });
-    sampler.start();
-    sys.simulate();
+    const WorkloadRunResult r = run.run();
 
     if (!obs.statsPath.empty()) {
-        std::ofstream out = openOut(obs.statsPath);
+        std::ostringstream out;
         sys.stats().dump(out);
+        snap::atomicWriteFile(obs.statsPath, out.str());
     }
     if (!obs.statsJson.empty()) {
-        std::ofstream out = openOut(obs.statsJson);
+        std::ostringstream out;
         std::string extra;
-        if (obs.epochTicks != 0) {
+        if (sampler != nullptr) {
             std::ostringstream epochs;
-            sampler.writeJson(epochs);
+            sampler->writeJson(epochs);
             extra = "\"epochs\": " + epochs.str();
         }
         sys.stats().dumpJson(out, extra);
+        snap::atomicWriteFile(obs.statsJson, out.str());
     }
     if (!obs.traceOut.empty()) {
-        std::ofstream out = openOut(obs.traceOut);
+        std::ostringstream out;
         sys.trace()->writeJson(out);
+        snap::atomicWriteFile(obs.traceOut, out.str());
     }
-
-    WorkloadRunResult r;
-    r.code = w.info().code;
-    r.size = size;
-    r.mode = mode;
-    r.metrics = sys.metrics();
-    r.violations = sys.checkCoherenceInvariants();
     return r;
+}
+
+/// "--checkpoint-at" syntax: a bare tick number, "phase:produce-done", or
+/// "phase:kernel<N>-done" (N is 1-based). Fills the matching trigger.
+bool parseCheckpointAt(const std::string& text, WorkloadRunOptions* opts,
+                       std::string* error)
+{
+    if (text.rfind("phase:", 0) == 0) {
+        const std::string phase = text.substr(6);
+        if (phase == "produce-done") {
+            opts->checkpointAtPhase = 0;
+            return true;
+        }
+        if (phase.rfind("kernel", 0) == 0 && phase.size() > 11 &&
+            phase.substr(phase.size() - 5) == "-done") {
+            const std::string num = phase.substr(6, phase.size() - 11);
+            try {
+                const int n = std::stoi(num);
+                if (n >= 1) {
+                    opts->checkpointAtPhase = n; // kernel N completes phase N
+                    return true;
+                }
+            } catch (const std::exception&) {
+            }
+        }
+        *error = "bad --checkpoint-at phase '" + phase +
+                 "' (produce-done or kernel<N>-done, N >= 1)";
+        return false;
+    }
+    try {
+        opts->checkpointAtTick = std::stoull(text);
+    } catch (const std::exception&) {
+        *error = "bad --checkpoint-at '" + text +
+                 "' (tick number or phase:...)";
+        return false;
+    }
+    if (opts->checkpointAtTick == 0) {
+        *error = "--checkpoint-at tick must be > 0";
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -150,6 +178,10 @@ int main(int argc, char** argv)
     std::uint64_t dsMinBytes = 0;
     std::uint64_t seed = 0;
     std::uint64_t epochTicks = 0;
+    std::string checkpointAt;
+    std::string checkpointOut;
+    std::string restorePath;
+    std::uint64_t maxIdleTicks = 0;
 
     cli::OptionParser parser("dscoh_run",
                              "simulate a workload under the paper's schemes");
@@ -179,6 +211,17 @@ int main(int argc, char** argv)
     parser.addUint("ds-min-bytes", "hybrid policy: push only arrays >= this",
                    &dsMinBytes);
     parser.addUint("seed", "replacement-policy seed", &seed);
+    parser.addString("checkpoint-at", "safe point to checkpoint at: a tick "
+                     "(first phase boundary at/after it), phase:produce-done "
+                     "or phase:kernel<N>-done", &checkpointAt);
+    parser.addString("checkpoint-out", "snapshot file written at the "
+                     "--checkpoint-at safe point", &checkpointOut);
+    parser.addString("restore", "resume from a snapshot written by "
+                     "--checkpoint-out (same workload/size/mode/config)",
+                     &restorePath);
+    parser.addUint("max-idle-ticks", "abort when this many ticks pass with "
+                   "no event executing (deadlock watchdog, 0 = off)",
+                   &maxIdleTicks);
     if (!parser.parse(argc, argv, std::cerr))
         return 2;
     if (dumpCfg) {
@@ -243,6 +286,33 @@ int main(int argc, char** argv)
         if (seed != 0)
             cfg.seed = seed;
 
+        WorkloadRunOptions runOpts;
+        runOpts.restoreFrom = restorePath;
+        runOpts.checkpointOut = checkpointOut;
+        runOpts.maxIdleTicks = maxIdleTicks;
+        if (!checkpointAt.empty()) {
+            if (checkpointOut.empty()) {
+                std::cerr << "dscoh_run: --checkpoint-at needs "
+                             "--checkpoint-out <file>\n";
+                return 2;
+            }
+            std::string error;
+            if (!parseCheckpointAt(checkpointAt, &runOpts, &error)) {
+                std::cerr << "dscoh_run: " << error << "\n";
+                return 2;
+            }
+        } else if (!checkpointOut.empty()) {
+            std::cerr << "dscoh_run: --checkpoint-out needs "
+                         "--checkpoint-at <trigger>\n";
+            return 2;
+        }
+        if (modeName == "both" &&
+            (!restorePath.empty() || !checkpointOut.empty())) {
+            std::cerr << "dscoh_run: checkpoint/restore needs a single "
+                         "--mode (a snapshot belongs to one mode)\n";
+            return 2;
+        }
+
         const auto modeOf = [](const std::string& m) {
             if (m == "ccsm")
                 return CoherenceMode::kCcsm;
@@ -255,9 +325,9 @@ int main(int argc, char** argv)
 
         if (modeName == "both") {
             const auto ccsm = runOnce(*w, size, CoherenceMode::kCcsm, cfg,
-                                      obs.withSuffix(".ccsm"));
+                                      obs.withSuffix(".ccsm"), runOpts);
             const auto ds = runOnce(*w, size, CoherenceMode::kDirectStore, cfg,
-                                    obs.withSuffix(".ds"));
+                                    obs.withSuffix(".ds"), runOpts);
             const double speedup =
                 (static_cast<double>(ccsm.metrics.ticks) /
                      static_cast<double>(ds.metrics.ticks) -
@@ -278,7 +348,8 @@ int main(int argc, char** argv)
                 std::printf("speedup: %.1f%%\n", speedup);
             }
         } else {
-            const auto r = runOnce(*w, size, modeOf(modeName), cfg, obs);
+            const auto r = runOnce(*w, size, modeOf(modeName), cfg, obs,
+                                   runOpts);
             if (csv) {
                 std::printf("%s,%s,%s,%llu,%.4f\n", w->info().code.c_str(),
                             sizeName.c_str(), modeName.c_str(),

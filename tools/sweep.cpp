@@ -2,12 +2,21 @@
 // the speedup/miss-rate table (the development view of Fig. 4 + Fig. 5).
 //
 //   dscoh_sweep [small|big] [--jobs N] [--only BP,VA,...] [--json FILE]
+//               [--resume] [--fork-produce] [--snap-dir DIR]
 //
 // Runs shard across a thread pool (default: all hardware threads; also
 // settable via DSCOH_JOBS). Every simulation is fully self-contained, so
 // the table is bit-identical for any --jobs value. Alongside the printed
 // table the tool writes machine-readable results (default: results.json).
+//
+// A completed-job journal (<json>.journal) and rolling per-job checkpoints
+// make a killed sweep cheap to finish: --resume replays journaled jobs and
+// restarts interrupted ones from their last phase boundary, producing the
+// exact results.json an uninterrupted sweep would have written. The journal
+// is deleted once the results file is published. --fork-produce shares the
+// CPU produce phase across runs through a snapshot cache in --snap-dir.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -51,6 +60,17 @@ int main(int argc, char** argv)
                      &only);
     parser.addString("json", "write machine-readable results here "
                              "(default: results.json)", &jsonPath);
+    bool resume = false;
+    bool forkProduce = false;
+    std::string snapDir;
+    parser.addFlag("resume", "replay completed jobs from <json>.journal and "
+                   "restart interrupted ones from their last checkpoint",
+                   &resume);
+    parser.addFlag("fork-produce", "share the CPU produce phase across runs "
+                   "via a snapshot cache (needs --snap-dir)", &forkProduce);
+    parser.addString("snap-dir", "directory for produce-cache and per-job "
+                     "checkpoint snapshots (default: <json>.snapdir)",
+                     &snapDir);
     if (!parser.parse(argc, argv, std::cerr))
         return 2;
 
@@ -92,6 +112,27 @@ int main(int argc, char** argv)
         codes, {size}, {CoherenceMode::kCcsm, CoherenceMode::kDirectStore},
         base);
 
+    EngineRunOptions engineOpts;
+    if (!jsonPath.empty()) {
+        engineOpts.journalPath = jsonPath + ".journal";
+        engineOpts.resume = resume;
+        engineOpts.snapDir = snapDir.empty() ? jsonPath + ".snapdir" : snapDir;
+        engineOpts.forkProduce = forkProduce;
+        engineOpts.jobCheckpoints = true;
+        std::error_code ec;
+        std::filesystem::create_directories(engineOpts.snapDir, ec);
+        if (ec) {
+            std::cerr << "dscoh_sweep: cannot create snapshot dir "
+                      << engineOpts.snapDir << ": " << ec.message() << "\n";
+            return 1;
+        }
+        if (!resume)
+            std::remove(engineOpts.journalPath.c_str());
+    } else if (resume || forkProduce) {
+        std::cerr << "dscoh_sweep: --resume/--fork-produce need --json\n";
+        return 2;
+    }
+
     ExperimentEngine engine(jobs);
     engine.onProgress([](const ExperimentResult& r, std::size_t done,
                          std::size_t total) {
@@ -102,7 +143,22 @@ int main(int argc, char** argv)
     });
     std::fprintf(stderr, "sweep: %zu runs on %u threads\n", batch.size(),
                  engine.threads());
-    const std::vector<ExperimentResult> results = engine.run(batch);
+    const std::vector<ExperimentResult> results =
+        engine.run(batch, engineOpts);
+
+    std::size_t replayed = 0;
+    unsigned long long produceSaved = 0;
+    for (const ExperimentResult& r : results) {
+        replayed += r.fromJournal ? 1 : 0;
+        produceSaved += r.produceTicksSaved;
+    }
+    if (replayed != 0)
+        std::fprintf(stderr, "sweep: %zu of %zu jobs replayed from %s\n",
+                     replayed, results.size(),
+                     engineOpts.journalPath.c_str());
+    if (forkProduce)
+        std::fprintf(stderr, "sweep: fork-produce saved %llu simulated "
+                             "produce ticks\n", produceSaved);
 
     // Pair up (ccsm, ds) per code — makeSweepJobs keeps them adjacent.
     // The table (and results.json) contain only simulation outputs, so both
@@ -134,12 +190,19 @@ int main(int argc, char** argv)
     }
 
     if (!jsonPath.empty()) {
-        std::ofstream json(jsonPath);
-        if (!json) {
-            std::cerr << "dscoh_sweep: cannot write " << jsonPath << "\n";
+        try {
+            writeResultsJsonAtomic(jsonPath, results);
+        } catch (const std::exception& e) {
+            std::cerr << "dscoh_sweep: cannot write " << jsonPath << ": "
+                      << e.what() << "\n";
             return 1;
         }
-        writeResultsJson(json, results);
+        // The results file is published; the crash-recovery journal is
+        // obsolete. The snap dir keeps any produce-cache entries (they
+        // accelerate the next sweep) but goes away when empty.
+        std::remove(engineOpts.journalPath.c_str());
+        std::error_code ec;
+        std::filesystem::remove(engineOpts.snapDir, ec);
     }
     return failures == 0 ? 0 : 1;
 }
