@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Crash-recovery check for the sweep journal/checkpoint machinery:
-# SIGTERM a single-threaded sweep once it has journaled at least one
-# completed job, finish it with --resume, and require the resumed
-# results.json to be byte-identical to an uninterrupted reference sweep
-# (restore-determinism is the snap subsystem's keystone property).
+# Crash-recovery check for the sweep journal/checkpoint machinery: kill a
+# single-threaded sweep once it has journaled at least one completed job,
+# finish it with --resume, and require the resumed results.json to be
+# byte-identical to an uninterrupted reference sweep (restore-determinism
+# is the snap subsystem's keystone property). Runs twice: once with
+# SIGTERM (graceful shutdown path) and once with SIGKILL (the process gets
+# no chance to clean up — the journal alone must carry the recovery).
 #
 # Usage: scripts/kill_resume_check.sh [build_dir]
 set -eu
@@ -22,50 +24,60 @@ trap 'rm -rf "${work}"' EXIT
 echo "kill_resume_check: reference sweep"
 "${sweep}" small --json "${work}/reference.json" > "${work}/reference.txt"
 
-# Single worker so the SIGTERM reliably lands mid-sweep.
-echo "kill_resume_check: interrupted sweep (will be killed)"
-"${sweep}" small --jobs 1 --json "${work}/resumed.json" \
-    > /dev/null 2>&1 &
-pid=$!
+# Interrupts a sweep with $1 (TERM or KILL) and verifies that --resume
+# reconstructs the byte-identical reference output.
+kill_and_resume() {
+    sig="$1"
+    out="${work}/resumed_${sig}"
 
-journal="${work}/resumed.json.journal"
-tries=0
-while [ ! -s "${journal}" ]; do
-    tries=$((tries + 1))
-    if [ "${tries}" -gt 600 ]; then
-        echo "kill_resume_check: no journal after 60s" >&2
+    # Single worker so the signal reliably lands mid-sweep.
+    echo "kill_resume_check: interrupted sweep (will be killed with SIG${sig})"
+    "${sweep}" small --jobs 1 --json "${out}.json" > /dev/null 2>&1 &
+    pid=$!
+
+    journal="${out}.json.journal"
+    tries=0
+    while [ ! -s "${journal}" ]; do
+        tries=$((tries + 1))
+        if [ "${tries}" -gt 600 ]; then
+            echo "kill_resume_check: no journal after 60s" >&2
+            exit 1
+        fi
+        if ! kill -0 "${pid}" 2> /dev/null; then
+            echo "kill_resume_check: sweep finished before it could be killed" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    kill "-${sig}" "${pid}"
+    wait "${pid}" || true
+
+    if [ -f "${out}.json" ]; then
+        echo "kill_resume_check: killed sweep must not publish results.json" >&2
         exit 1
     fi
-    if ! kill -0 "${pid}" 2> /dev/null; then
-        echo "kill_resume_check: sweep finished before it could be killed" >&2
+    journaled="$(wc -l < "${journal}")"
+    echo "kill_resume_check: SIG${sig} after ${journaled} journaled jobs"
+
+    echo "kill_resume_check: resuming"
+    "${sweep}" small --resume --json "${out}.json" \
+        > "${out}.txt" 2> "${out}.log"
+    grep "jobs replayed" "${out}.log" || {
+        echo "kill_resume_check: resume replayed nothing" >&2
         exit 1
-    fi
-    sleep 0.1
-done
-kill -TERM "${pid}"
-wait "${pid}" || true
+    }
 
-if [ -f "${work}/resumed.json" ]; then
-    echo "kill_resume_check: killed sweep must not publish results.json" >&2
-    exit 1
-fi
-journaled="$(wc -l < "${journal}")"
-echo "kill_resume_check: killed after ${journaled} journaled jobs"
-
-echo "kill_resume_check: resuming"
-"${sweep}" small --resume --json "${work}/resumed.json" \
-    > "${work}/resumed.txt" 2> "${work}/resumed.log"
-grep "jobs replayed" "${work}/resumed.log" || {
-    echo "kill_resume_check: resume replayed nothing" >&2
-    exit 1
+    cmp "${work}/reference.json" "${out}.json" || {
+        echo "kill_resume_check: resumed results.json differs from reference" >&2
+        exit 1
+    }
+    cmp "${work}/reference.txt" "${out}.txt" || {
+        echo "kill_resume_check: resumed table differs from reference" >&2
+        exit 1
+    }
+    echo "kill_resume_check: SIG${sig}-resumed sweep is byte-identical" \
+         "to the reference"
 }
 
-cmp "${work}/reference.json" "${work}/resumed.json" || {
-    echo "kill_resume_check: resumed results.json differs from reference" >&2
-    exit 1
-}
-cmp "${work}/reference.txt" "${work}/resumed.txt" || {
-    echo "kill_resume_check: resumed table differs from reference" >&2
-    exit 1
-}
-echo "kill_resume_check: resumed sweep is byte-identical to the reference"
+kill_and_resume TERM
+kill_and_resume KILL

@@ -87,6 +87,45 @@ FuzzScenario generateScenario(std::uint64_t seed)
     return sc;
 }
 
+FuzzScenario generateFaultScenario(std::uint64_t seed)
+{
+    FuzzScenario sc = generateScenario(seed);
+    Rng rng(seed * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull);
+
+    // The faults live on the DS network; give them traffic to hit.
+    bool anyShared = false;
+    for (const FuzzArray& arr : sc.arrays)
+        anyShared = anyShared || arr.gpuShared;
+    if (!anyShared)
+        sc.arrays.front().gpuShared = true;
+    sc.dsMinWords = 0; // no hybrid threshold: every shared array is pushed
+
+    // Hardening must be armed: a drop with no retransmit story is a hang by
+    // construction (that inversion is the CI calibration check, not a fuzz
+    // scenario).
+    sc.dsAckTimeout = 2000 + rng.below(6000);
+    sc.dsMaxRetries = 3 + static_cast<std::uint32_t>(rng.below(4));
+    sc.faultSeed = rng.next() | 1;
+
+    sc.faultDropPpm = rng.chance(0.7)
+        ? 20'000 + static_cast<std::uint32_t>(rng.below(180'000)) : 0;
+    sc.faultDupPpm = rng.chance(0.5)
+        ? 10'000 + static_cast<std::uint32_t>(rng.below(90'000)) : 0;
+    sc.faultCorruptPpm = rng.chance(0.4)
+        ? 5'000 + static_cast<std::uint32_t>(rng.below(45'000)) : 0;
+    sc.faultDelayPpm = rng.chance(0.6)
+        ? 50'000 + static_cast<std::uint32_t>(rng.below(300'000)) : 0;
+    sc.faultDelayTicks = 50 + rng.below(1450);
+    if (rng.chance(0.25)) {
+        sc.faultLinkDownFrom = 1000 + rng.below(50'000);
+        sc.faultLinkDownUntil =
+            sc.faultLinkDownFrom + 2000 + rng.below(30'000);
+    }
+    if (!sc.faultsEnabled())
+        sc.faultDropPpm = 50'000; // at least one fault class is always on
+    return sc;
+}
+
 SystemConfig scenarioConfig(const FuzzScenario& sc, CoherenceMode mode)
 {
     SystemConfig cfg = SystemConfig::paper(mode);
@@ -105,6 +144,16 @@ SystemConfig scenarioConfig(const FuzzScenario& sc, CoherenceMode mode)
     cfg.eventTieBreakSeed = sc.tieBreakSeed;
     cfg.injectBug = sc.bug;
     cfg.seed = sc.seed + 1; // replacement-policy seeds
+    cfg.faults.dropPpm = sc.faultDropPpm;
+    cfg.faults.dupPpm = sc.faultDupPpm;
+    cfg.faults.corruptPpm = sc.faultCorruptPpm;
+    cfg.faults.delayPpm = sc.faultDelayPpm;
+    cfg.faults.delayTicks = sc.faultDelayTicks;
+    cfg.faults.linkDownFrom = sc.faultLinkDownFrom;
+    cfg.faults.linkDownUntil = sc.faultLinkDownUntil;
+    cfg.faults.seed = sc.faultSeed;
+    cfg.dsAckTimeout = sc.dsAckTimeout;
+    cfg.dsMaxRetries = sc.dsMaxRetries;
     return cfg;
 }
 
@@ -372,6 +421,19 @@ void serializeScenario(const FuzzScenario& sc, std::ostream& os)
        << "dsMinWords " << sc.dsMinWords << "\n"
        << "tieBreakSeed " << sc.tieBreakSeed << "\n"
        << "bug " << to_string(sc.bug) << "\n";
+    // The fault block only appears when something is armed, so fault-free
+    // scenario files (and existing corpora) stay byte-identical.
+    if (sc.faultsEnabled() || sc.dsAckTimeout != 0)
+        os << "faultDropPpm " << sc.faultDropPpm << "\n"
+           << "faultDupPpm " << sc.faultDupPpm << "\n"
+           << "faultCorruptPpm " << sc.faultCorruptPpm << "\n"
+           << "faultDelayPpm " << sc.faultDelayPpm << "\n"
+           << "faultDelayTicks " << sc.faultDelayTicks << "\n"
+           << "faultLinkDownFrom " << sc.faultLinkDownFrom << "\n"
+           << "faultLinkDownUntil " << sc.faultLinkDownUntil << "\n"
+           << "faultSeed " << sc.faultSeed << "\n"
+           << "dsAckTimeout " << sc.dsAckTimeout << "\n"
+           << "dsMaxRetries " << sc.dsMaxRetries << "\n";
     for (const FuzzArray& arr : sc.arrays)
         os << "array " << arr.words << ' ' << (arr.gpuShared ? 1 : 0) << ' '
            << (arr.cpuPretouch ? 1 : 0) << "\n";
@@ -462,6 +524,26 @@ bool parseScenario(const std::string& text, FuzzScenario& out,
             ok = readU64(sc.dsMinWords);
         else if (key == "tieBreakSeed")
             ok = readU64(sc.tieBreakSeed);
+        else if (key == "faultDropPpm")
+            ok = readU32(sc.faultDropPpm);
+        else if (key == "faultDupPpm")
+            ok = readU32(sc.faultDupPpm);
+        else if (key == "faultCorruptPpm")
+            ok = readU32(sc.faultCorruptPpm);
+        else if (key == "faultDelayPpm")
+            ok = readU32(sc.faultDelayPpm);
+        else if (key == "faultDelayTicks")
+            ok = readU64(sc.faultDelayTicks);
+        else if (key == "faultLinkDownFrom")
+            ok = readU64(sc.faultLinkDownFrom);
+        else if (key == "faultLinkDownUntil")
+            ok = readU64(sc.faultLinkDownUntil);
+        else if (key == "faultSeed")
+            ok = readU64(sc.faultSeed);
+        else if (key == "dsAckTimeout")
+            ok = readU64(sc.dsAckTimeout);
+        else if (key == "dsMaxRetries")
+            ok = readU32(sc.dsMaxRetries);
         else if (key == "bug") {
             std::string name;
             ls >> name;
@@ -567,6 +649,42 @@ shrinkScenario(const FuzzScenario& failing,
         if (sc.dsMinWords != 0) {
             FuzzScenario c = sc;
             c.dsMinWords = 0;
+            out.push_back(std::move(c));
+        }
+        // Faults shrink one class at a time; the hardening itself is only
+        // offered for removal once no fault class remains that needs it
+        // (otherwise the candidate hangs by construction and the shrink
+        // would chase a different failure).
+        if (sc.faultDupPpm != 0) {
+            FuzzScenario c = sc;
+            c.faultDupPpm = 0;
+            out.push_back(std::move(c));
+        }
+        if (sc.faultDelayPpm != 0) {
+            FuzzScenario c = sc;
+            c.faultDelayPpm = 0;
+            out.push_back(std::move(c));
+        }
+        if (sc.faultDropPpm != 0) {
+            FuzzScenario c = sc;
+            c.faultDropPpm = 0;
+            out.push_back(std::move(c));
+        }
+        if (sc.faultCorruptPpm != 0) {
+            FuzzScenario c = sc;
+            c.faultCorruptPpm = 0;
+            out.push_back(std::move(c));
+        }
+        if (sc.faultLinkDownUntil != 0) {
+            FuzzScenario c = sc;
+            c.faultLinkDownFrom = 0;
+            c.faultLinkDownUntil = 0;
+            out.push_back(std::move(c));
+        }
+        if (sc.dsAckTimeout != 0 && sc.faultDropPpm == 0 &&
+            sc.faultCorruptPpm == 0 && sc.faultLinkDownUntil == 0) {
+            FuzzScenario c = sc;
+            c.dsAckTimeout = 0;
             out.push_back(std::move(c));
         }
         if (sc.sms > 1) {

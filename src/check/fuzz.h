@@ -61,11 +61,39 @@ struct FuzzScenario {
     std::uint64_t tieBreakSeed = 0; ///< EventQueue::setTieBreakShuffle
     InjectedBug bug = InjectedBug::kNone;
 
+    // Fault injection on the direct-store network plus the delivery
+    // hardening that must absorb it (PROTOCOL.md "Delivery hardening").
+    // All zero = no faults, hardening off — the scenario file then carries
+    // no fault block, keeping pre-fault corpora byte-identical.
+    std::uint32_t faultDropPpm = 0;
+    std::uint32_t faultDupPpm = 0;
+    std::uint32_t faultCorruptPpm = 0;
+    std::uint32_t faultDelayPpm = 0;
+    std::uint64_t faultDelayTicks = 200;
+    std::uint64_t faultLinkDownFrom = 0;
+    std::uint64_t faultLinkDownUntil = 0; ///< 0 = no outage
+    std::uint64_t faultSeed = 1;
+    std::uint64_t dsAckTimeout = 0; ///< 0 = delivery hardening off
+    std::uint32_t dsMaxRetries = 4;
+
+    bool faultsEnabled() const
+    {
+        return faultDropPpm != 0 || faultDupPpm != 0 || faultCorruptPpm != 0 ||
+               faultDelayPpm != 0 || faultLinkDownUntil != 0;
+    }
+
     std::vector<FuzzArray> arrays; ///< last array is the kernel output
 };
 
 /// Expands @p seed into a randomized scenario (pure function of the seed).
 FuzzScenario generateScenario(std::uint64_t seed);
+
+/// Like generateScenario(), but layers randomized DS-network faults (drops,
+/// duplicates, corruption, delays, an optional link outage) on top and arms
+/// the delivery hardening (ACK/timeout/retransmit) that must absorb them.
+/// Always routes at least one array through the DS region so the faults
+/// have traffic to hit.
+FuzzScenario generateFaultScenario(std::uint64_t seed);
 
 struct FuzzOptions {
     bool oracle = true;          ///< attach the CoherenceChecker

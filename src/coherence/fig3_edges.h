@@ -86,6 +86,14 @@ inline constexpr Fig3Edge kFig3StableEdges[] = {
      "slice full-line install"},
     {CohState::kMM, CohEvent::kRemoteStore, CohState::kMM,
      "slice partial-line merge"},
+    // Delivery hardening (PROTOCOL.md "Delivery hardening"): the recovery
+    // edges of the ACK/timeout/retransmit machinery under fault injection.
+    {CohState::kI, CohEvent::kFallbackStore, CohState::kMM,
+     "CPU store degraded to the coherent pull path"},
+    {CohState::kI, CohEvent::kCorruptPush, CohState::kI,
+     "corrupt DsPutX detected by checksum, NACKed"},
+    {CohState::kMM, CohEvent::kDupPush, CohState::kMM,
+     "duplicate DsPutX squashed, ack replayed"},
 };
 
 inline constexpr std::size_t kFig3StableEdgeCount =

@@ -89,6 +89,9 @@ const char* to_string(CohEvent e)
     case CohEvent::kEvict: return "Evict";
     case CohEvent::kRemoteStore: return "RemoteStore";
     case CohEvent::kWbAck: return "WbAck";
+    case CohEvent::kFallbackStore: return "FallbackStore";
+    case CohEvent::kDupPush: return "DupPush";
+    case CohEvent::kCorruptPush: return "CorruptPush";
     }
     return "?";
 }

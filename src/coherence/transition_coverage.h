@@ -23,6 +23,12 @@ enum class CohEvent : std::uint8_t {
     kEvict,       ///< replacement victim
     kRemoteStore, ///< the paper's direct-store transitions (Fig. 3 bold/blue)
     kWbAck,       ///< writeback acknowledged
+
+    // Delivery-hardening edges (fault injection; PROTOCOL.md "Delivery
+    // hardening").
+    kFallbackStore, ///< DS push abandoned, store re-done via the pull path
+    kDupPush,       ///< duplicate DsPutX squashed at the slice
+    kCorruptPush,   ///< DsPutX failed its checksum at the slice, NACKed
 };
 
 const char* to_string(CohEvent e);

@@ -6,6 +6,7 @@
 
 #include "coherence/protocol.h"
 #include "cpu/tlb.h"
+#include "fault/fault_config.h"
 #include "mem/dram.h"
 #include "mem/replacement.h"
 #include "net/network.h"
@@ -111,6 +112,22 @@ struct SystemConfig {
     /// seed (EventQueue::setTieBreakShuffle). The fuzzer's schedule
     /// perturbation; 0 keeps deterministic insertion order.
     std::uint64_t eventTieBreakSeed = 0;
+
+    // --- Fault injection & direct-store delivery hardening ---
+    /// What the injector may do to in-flight messages. Inert by default.
+    FaultConfig faults{};
+    /// Which networks get an injector (kFaultNet* bits). Unsafe faults
+    /// (drop/dup/corrupt/link-down) only ever apply to the DS network; on
+    /// coherence/GPU vnets the injector degrades to delay-only.
+    std::uint32_t faultNets = kFaultNetDs;
+    /// Non-zero enables the hardened direct-store path: the CPU tracks each
+    /// forwarded store, the slice acks it by transaction id, and this many
+    /// ticks without an ack retransmits (capped exponential backoff).
+    Tick dsAckTimeout = 0;
+    /// Retransmits before a store degrades to the pull-based fallback path.
+    std::uint32_t dsMaxRetries = 4;
+    /// Bound on simultaneously in-flight hardened stores (excess queue up).
+    std::size_t dsInFlightMax = 8;
 
     /// Table I defaults under the given scheme.
     static SystemConfig paper(CoherenceMode mode)

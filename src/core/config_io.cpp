@@ -42,6 +42,19 @@ Field numField(T SystemConfig::* member)
     };
 }
 
+template <typename T>
+Field faultField(T FaultConfig::* member)
+{
+    return Field{
+        [member](SystemConfig& cfg, const std::string& value) {
+            return parseNumber(value, &(cfg.faults.*member));
+        },
+        [member](const SystemConfig& cfg) {
+            return std::to_string(cfg.faults.*member);
+        },
+    };
+}
+
 const std::map<std::string, Field>& fields()
 {
     static const std::map<std::string, Field> table = [] {
@@ -136,6 +149,25 @@ const std::map<std::string, Field>& fields()
             [](const SystemConfig& cfg) {
                 return std::to_string(cfg.gpuNet.hopLatency);
             }});
+
+        f.emplace("fault-drop-ppm", faultField(&FaultConfig::dropPpm));
+        f.emplace("fault-dup-ppm", faultField(&FaultConfig::dupPpm));
+        f.emplace("fault-corrupt-ppm", faultField(&FaultConfig::corruptPpm));
+        f.emplace("fault-delay-ppm", faultField(&FaultConfig::delayPpm));
+        f.emplace("fault-delay-ticks", faultField(&FaultConfig::delayTicks));
+        f.emplace("fault-window-start", faultField(&FaultConfig::windowStart));
+        f.emplace("fault-window-end", faultField(&FaultConfig::windowEnd));
+        f.emplace("fault-src", faultField(&FaultConfig::srcFilter));
+        f.emplace("fault-dst", faultField(&FaultConfig::dstFilter));
+        f.emplace("fault-link-down-from",
+                  faultField(&FaultConfig::linkDownFrom));
+        f.emplace("fault-link-down-until",
+                  faultField(&FaultConfig::linkDownUntil));
+        f.emplace("fault-seed", faultField(&FaultConfig::seed));
+        f.emplace("fault-nets", numField(&SystemConfig::faultNets));
+        f.emplace("ds-ack-timeout", numField(&SystemConfig::dsAckTimeout));
+        f.emplace("ds-max-retries", numField(&SystemConfig::dsMaxRetries));
+        f.emplace("ds-inflight-max", numField(&SystemConfig::dsInFlightMax));
 
         f.emplace("ds-min-bytes", numField(&SystemConfig::dsMinBytes));
         f.emplace("agent-mshrs", numField(&SystemConfig::agentMshrs));
@@ -300,6 +332,24 @@ std::uint64_t configHashOf(const SystemConfig& cfg)
     mix(cfg.seed);
     mix(static_cast<std::uint64_t>(cfg.injectBug));
     mix(cfg.eventTieBreakSeed);
+    mix(cfg.faults.dropPpm);
+    mix(cfg.faults.dupPpm);
+    mix(cfg.faults.corruptPpm);
+    mix(cfg.faults.delayPpm);
+    mix(cfg.faults.delayTicks);
+    mix(cfg.faults.windowStart);
+    mix(cfg.faults.windowEnd);
+    mix(cfg.faults.srcFilter);
+    mix(cfg.faults.dstFilter);
+    mix(cfg.faults.linkDownFrom);
+    mix(cfg.faults.linkDownUntil);
+    mix(cfg.faults.linkDownSrc);
+    mix(cfg.faults.linkDownDst);
+    mix(cfg.faults.seed);
+    mix(cfg.faultNets);
+    mix(cfg.dsAckTimeout);
+    mix(cfg.dsMaxRetries);
+    mix(cfg.dsInFlightMax);
     return h;
 }
 

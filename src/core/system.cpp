@@ -106,6 +106,39 @@ System::System(const SystemConfig& config)
     dsNet_ = std::make_unique<Network>("net.ds", ctx_, config_.dsNet);
     gpuNet_ = std::make_unique<Network>("net.gpu", ctx_, config_.gpuNet);
 
+    // --- fault injection ---------------------------------------------------
+    // One injector per selected network, each on its own salted RNG stream.
+    // Unsafe fault classes (drop/dup/corrupt/link-down) only make sense on
+    // the dedicated DS network, whose protocol this PR hardens against
+    // them; on the coherence and GPU vnets the injector degrades to
+    // delay-only (delays never violate the protocols' ordering
+    // assumptions: per-(src,dst) FIFO is preserved).
+    const auto attachFault = [this](Network& net, std::uint32_t bit,
+                                    bool unsafeAllowed, std::uint64_t salt) {
+        if ((config_.faultNets & bit) == 0)
+            return static_cast<FaultInjector*>(nullptr);
+        FaultConfig fc = config_.faults;
+        if (!unsafeAllowed) {
+            fc.dropPpm = 0;
+            fc.dupPpm = 0;
+            fc.corruptPpm = 0;
+            fc.linkDownFrom = 0;
+            fc.linkDownUntil = 0;
+        }
+        if (!fc.enabled())
+            return static_cast<FaultInjector*>(nullptr);
+        faults_.push_back(std::make_unique<FaultInjector>(
+            net.name() + ".fault", ctx_, fc, salt));
+        FaultInjector* inj = faults_.back().get();
+        net.attachFaultInjector(inj);
+        return inj;
+    };
+    attachFault(*requestNet_, kFaultNetRequest, false, 0);
+    attachFault(*forwardNet_, kFaultNetForward, false, 1);
+    attachFault(*responseNet_, kFaultNetResponse, false, 2);
+    dsFault_ = attachFault(*dsNet_, kFaultNetDs, true, 3);
+    attachFault(*gpuNet_, kFaultNetGpu, false, 4);
+
     // --- home controller -------------------------------------------------
     HomeController::Params homeParams;
     homeParams.self = homeNode();
@@ -167,6 +200,29 @@ System::System(const SystemConfig& config)
     coreParams.self = cpuCoreNode();
     coreParams.dsNet = dsNet_.get();
     coreParams.sliceOf = [this](Addr a) { return sliceNodeOf(a); };
+    coreParams.dsAckTimeout = config_.dsAckTimeout;
+    coreParams.dsMaxRetries = config_.dsMaxRetries;
+    coreParams.dsInFlightMax = config_.dsInFlightMax;
+    // Only kDirectStore retains the baseline coherent path to degrade to;
+    // under kDirectStoreOnly the push network is the sole mechanism and the
+    // CPU must keep retrying through an outage.
+    coreParams.dsFallback = config_.mode == CoherenceMode::kDirectStore;
+    // Drain window before a fallback applies: the longest a stale DsPutX
+    // copy can still be on the wire (hop + fault delay + slice tag lookup)
+    // plus generous slack for port-serialization backlog. Correctness does
+    // not hinge on the bound — the slice's merge-only mode keeps even a
+    // straggler coherent — it just avoids needless churn.
+    coreParams.dsMslTicks = config_.dsNet.hopLatency +
+                            config_.faults.delayTicks +
+                            config_.gpuL2TagLatency + 2048;
+    coreParams.dsVerifyChecksum =
+        config_.dsAckTimeout != 0 && dsFault_ != nullptr;
+    if (dsFault_ != nullptr) {
+        FaultInjector* inj = dsFault_;
+        coreParams.dsNetDown = [this, inj] {
+            return inj->linkDownNow(ctx_.queue.curTick());
+        };
+    }
     cpuCore_ = std::make_unique<CpuCore>("cpu.core", ctx_,
                                          std::move(coreParams), *tlb_,
                                          *cpuAgent_);
@@ -198,6 +254,11 @@ System::System(const SystemConfig& config)
         sliceParams.dram = dram_.get();
         sliceParams.prefetchDepth = config_.gpuL2PrefetchDepth;
         sliceParams.slices = config_.gpuL2Slices;
+        sliceParams.harden = config_.dsAckTimeout != 0;
+        sliceParams.mergeOnly = sliceParams.harden &&
+                                config_.mode == CoherenceMode::kDirectStore;
+        sliceParams.verifyChecksum =
+            sliceParams.harden && dsFault_ != nullptr;
         slices_.push_back(std::make_unique<GpuL2Slice>(
             "gpu.l2.slice" + std::to_string(s), ctx_, sliceAgent,
             sliceParams));
@@ -273,6 +334,8 @@ System::System(const SystemConfig& config)
     responseNet_->regStats(stats_);
     dsNet_->regStats(stats_);
     gpuNet_->regStats(stats_);
+    for (auto& faultPtr : faults_)
+        faultPtr->regStats(stats_);
     home_->regStats(stats_);
     cpuAgent_->regStats(stats_);
     tlb_->regStats(stats_);
@@ -375,6 +438,10 @@ void System::snapshotSave(
     section("net.response", *responseNet_);
     section("net.ds", *dsNet_);
     section("net.gpu", *gpuNet_);
+    // Which injectors exist is a pure function of the config, and the
+    // config hash gates restore, so the section list stays in lockstep.
+    for (const auto& faultPtr : faults_)
+        section(faultPtr->name(), *faultPtr);
     section("home", *home_);
     section("cpu.cache", *cpuAgent_);
     section("cpu.tlb", *tlb_);
@@ -437,6 +504,8 @@ void System::snapshotRestore(
     section("net.response", *responseNet_);
     section("net.ds", *dsNet_);
     section("net.gpu", *gpuNet_);
+    for (const auto& faultPtr : faults_)
+        section(faultPtr->name(), *faultPtr);
     section("home", *home_);
     section("cpu.cache", *cpuAgent_);
     section("cpu.tlb", *tlb_);
@@ -458,6 +527,40 @@ void System::snapshotRestore(
         extra(r);
         r.closeSection();
     }
+}
+
+std::string System::describeOutstandingWork() const
+{
+    std::vector<std::string> items;
+    if (const std::size_t busy = home_->busyLines(); busy > 0)
+        items.push_back("home: " + std::to_string(busy) + " busy lines");
+
+    const auto probeAgent = [&items](const CacheAgent& agent,
+                                     const std::string& label) {
+        if (const std::size_t n = agent.mshrInFlight(); n > 0)
+            items.push_back(label + ": " + std::to_string(n) +
+                            " MSHR entries in flight");
+        if (const std::size_t n = agent.writebackBufferEntries(); n > 0)
+            items.push_back(label + ": " + std::to_string(n) +
+                            " writebacks draining");
+        if (const std::size_t n = agent.blockedRequests(); n > 0)
+            items.push_back(label + ": " + std::to_string(n) +
+                            " requests blocked on resources");
+    };
+    probeAgent(*cpuAgent_, "cpu.cache");
+    for (std::size_t s = 0; s < slices_.size(); ++s)
+        probeAgent(*slices_[s], "gpu.l2.slice" + std::to_string(s));
+
+    if (std::string core = cpuCore_->outstandingWork(); !core.empty())
+        items.push_back("cpu.core: " + core);
+
+    std::string out;
+    for (const std::string& item : items) {
+        if (!out.empty())
+            out += "; ";
+        out += item;
+    }
+    return out;
 }
 
 std::vector<std::string> System::checkCoherenceInvariants() const

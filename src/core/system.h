@@ -16,6 +16,7 @@
 #include "core/config.h"
 #include "coherence/home_controller.h"
 #include "cpu/cpu_core.h"
+#include "fault/fault_injector.h"
 #include "gpu/gpu_device.h"
 #include "gpu/gpu_l2_slice.h"
 #include "mem/dram_pool.h"
@@ -110,6 +111,9 @@ public:
     HomeController& home() { return *home_; }
     BackingStore& backingStore() { return *store_; }
     Network& dsNetwork() { return *dsNet_; }
+    /// The DS network's fault injector, or nullptr when faults are off (or
+    /// not selected for that network).
+    FaultInjector* dsFaultInjector() { return dsFault_; }
 
     NodeId sliceNodeOf(Addr pa) const
     {
@@ -121,6 +125,12 @@ public:
     /// copies matching memory. Returns human-readable violations (empty ==
     /// coherent).
     std::vector<std::string> checkCoherenceInvariants() const;
+
+    /// Names what is still pending across the machine (home busy lines,
+    /// agent MSHRs/writebacks/blocked requests, CPU-core buffers). Empty
+    /// when nothing is outstanding. The no-progress watchdog appends this
+    /// to its deadlock report so the stalled component is named.
+    std::string describeOutstandingWork() const;
 
     /// Hash of this system's configuration (configHashOf) — embedded in
     /// snapshots and used to key the produce-phase snapshot cache.
@@ -169,6 +179,9 @@ private:
     std::unique_ptr<Network> responseNet_;
     std::unique_ptr<Network> dsNet_;
     std::unique_ptr<Network> gpuNet_;
+
+    std::vector<std::unique_ptr<FaultInjector>> faults_;
+    FaultInjector* dsFault_ = nullptr;
 
     std::unique_ptr<HomeController> home_;
     std::unique_ptr<CpuCacheAgent> cpuAgent_;

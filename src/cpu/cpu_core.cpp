@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "coherence/transition_coverage.h"
+
 namespace dscoh {
 
 CpuCore::CpuCore(std::string name, SimContext& ctx, Params params, Tlb& tlb,
@@ -194,7 +196,18 @@ void CpuCore::flushRsbEntry(std::size_t index)
     assert(index < rsb_.size());
     RsbEntry entry = std::move(rsb_[index]);
     rsb_.erase(rsb_.begin() + static_cast<std::ptrdiff_t>(index));
+    // Counts the store from here until it is globally performed (acked or
+    // applied through the fallback path), backlog time included.
     ++pendingDsAcks_;
+
+    if (hardened()) {
+        if (dsInFlight_.size() >= params_.dsInFlightMax) {
+            dsBacklog_.push_back(std::move(entry));
+            return;
+        }
+        startDsStore(std::move(entry));
+        return;
+    }
 
     // Fig. 3: give up any local copy first (I/S/M/MM -> I), then push the
     // line over the dedicated network to the slice that owns the address.
@@ -212,6 +225,148 @@ void CpuCore::flushRsbEntry(std::size_t index)
         params_.dsNet->send(std::move(msg));
         dsPutxSent_.inc();
     });
+}
+
+// ------------------------------------------------ hardened store delivery --
+
+void CpuCore::startDsStore(RsbEntry entry)
+{
+    cache_.prepareRemoteStore(entry.base, [this, e = std::move(entry)] {
+        const std::uint64_t txn = nextDsTxn_++;
+        DsInFlight& f = dsInFlight_[txn];
+        f.base = e.base;
+        f.data = e.data;
+        f.mask = e.mask;
+        sendDsPutX(txn);
+    });
+}
+
+void CpuCore::sendDsPutX(std::uint64_t txn)
+{
+    const auto it = dsInFlight_.find(txn);
+    assert(it != dsInFlight_.end());
+    DsInFlight& f = it->second;
+    if (dsNetMarkedDown()) {
+        // Don't even put it on the wire: degrade immediately.
+        beginDsFallback(txn);
+        return;
+    }
+    Message msg;
+    msg.type = MsgType::kDsPutX;
+    msg.addr = f.base;
+    msg.src = params_.self;
+    msg.dst = params_.sliceOf(f.base);
+    msg.requester = params_.self;
+    msg.txn = txn;
+    msg.data = f.data;
+    msg.mask = f.mask;
+    msg.hasData = true;
+    msg.dirty = true;
+    params_.dsNet->send(std::move(msg));
+    dsPutxSent_.inc();
+    armDsTimeout(txn);
+}
+
+void CpuCore::armDsTimeout(std::uint64_t txn)
+{
+    const auto it = dsInFlight_.find(txn);
+    assert(it != dsInFlight_.end());
+    const DsInFlight& f = it->second;
+    const Tick wait = params_.dsAckTimeout
+                      << std::min<std::uint32_t>(f.retries, 6);
+    queue().scheduleAfter(wait,
+                          [this, txn, seq = f.seq] { onDsTimeout(txn, seq); },
+                          EventPriority::kCore);
+}
+
+void CpuCore::onDsTimeout(std::uint64_t txn, std::uint64_t seq)
+{
+    const auto it = dsInFlight_.find(txn);
+    if (it == dsInFlight_.end() || it->second.seq != seq ||
+        it->second.fallbackPending)
+        return; // acked meanwhile, superseded, or already degrading
+    dsTimeouts_.inc();
+    if (TraceSession* t = tracing(TraceCat::kNet))
+        t->instant(TraceCat::kNet, name(), "ds.timeout", curTick(),
+                   it->second.base);
+    retryDsStore(txn);
+}
+
+void CpuCore::retryDsStore(std::uint64_t txn)
+{
+    DsInFlight& f = dsInFlight_.at(txn);
+    if (f.retries >= params_.dsMaxRetries && params_.dsFallback) {
+        beginDsFallback(txn);
+        return;
+    }
+    // Without a fallback path (dsonly mode) keep retrying at the backoff
+    // cap: the outage is the only thing that can un-wedge the workload.
+    if (f.retries < params_.dsMaxRetries)
+        ++f.retries;
+    ++f.seq;
+    dsRetries_.inc();
+    if (TraceSession* t = tracing(TraceCat::kNet))
+        t->instant(TraceCat::kNet, name(), "ds.retransmit", curTick(), f.base);
+    sendDsPutX(txn);
+}
+
+void CpuCore::beginDsFallback(std::uint64_t txn)
+{
+    assert(params_.dsFallback);
+    DsInFlight& f = dsInFlight_.at(txn);
+    f.fallbackPending = true;
+    ++f.seq; // disarm any in-flight timeout
+    if (TraceSession* t = tracing(TraceCat::kNet))
+        t->instant(TraceCat::kNet, name(), "ds.fallback-arm", curTick(),
+                   f.base);
+    // Wait out the maximum-segment-lifetime window first so no copy of the
+    // abandoned push is still on the wire when the pull path takes over. A
+    // late ack arriving during the window cancels the fallback.
+    queue().scheduleAfter(params_.dsMslTicks,
+                          [this, txn] { applyDsFallback(txn); },
+                          EventPriority::kCore);
+}
+
+void CpuCore::applyDsFallback(std::uint64_t txn)
+{
+    const auto it = dsInFlight_.find(txn);
+    if (it == dsInFlight_.end())
+        return; // an ack landed during the drain window and completed it
+    const DsInFlight f = std::move(it->second);
+    dsInFlight_.erase(it);
+    dsFallbackStores_.inc();
+    if (TraceSession* t = tracing(TraceCat::kNet))
+        t->instant(TraceCat::kNet, name(), "ds.fallback", curTick(), f.base);
+    // The baseline pull-based write: acquire ownership through the regular
+    // coherence protocol and apply the combined bytes locally. The GPU will
+    // pull the line back on demand, exactly as under CCSM.
+    cache_.access(f.base, /*exclusive=*/true,
+                  [this, f](CacheAgent::Line& line) {
+                      f.mask.apply(line.data, f.data);
+                      if (CoherenceChecker* c = checking())
+                          c->onStoreApplied(f.base, f.data, f.mask);
+                      recordTransition(CohState::kI, CohEvent::kFallbackStore,
+                                       CohState::kMM);
+                      completeDsStore();
+                  });
+}
+
+void CpuCore::completeDsStore()
+{
+    assert(pendingDsAcks_ > 0);
+    --pendingDsAcks_;
+    if (!dsBacklog_.empty() && dsInFlight_.size() < params_.dsInFlightMax) {
+        RsbEntry e = std::move(dsBacklog_.front());
+        dsBacklog_.pop_front();
+        startDsStore(std::move(e));
+    }
+    if (pendingDsAcks_ == 0) {
+        std::deque<std::function<void()>> thunks;
+        thunks.swap(awaitingDsDrain_);
+        for (auto& t : thunks)
+            t();
+    }
+    maybeFinishFence();
 }
 
 void CpuCore::flushAllRsb()
@@ -312,6 +467,21 @@ void CpuCore::doUncachedLoad(Addr pa, const CpuOp& op, Tick extraLatency)
     ucReads_.inc();
     assert(!pendingUcLoad_ && "in-order core: one uncached load at a time");
     queue().scheduleAfter(extraLatency, [this, pa, op] {
+        pendingUcLoad_ = [this, pa, op](const Message& reply) {
+            const std::uint64_t value = reply.data.read(lineOffset(pa), op.size);
+            checkLoadedValue(op, value);
+            loadLatency_.sample(curTick() - loadStart_);
+            finishOp();
+        };
+        if (hardened()) {
+            ucPa_ = pa;
+            ucOp_ = op;
+            ucRetries_ = 0;
+            ucTxn_ = nextDsTxn_++;
+            ++ucSeq_;
+            sendUcRead();
+            return;
+        }
         Message msg;
         msg.type = MsgType::kUcRead;
         msg.addr = lineAlign(pa);
@@ -319,13 +489,69 @@ void CpuCore::doUncachedLoad(Addr pa, const CpuOp& op, Tick extraLatency)
         msg.dst = params_.sliceOf(pa);
         msg.requester = params_.self;
         params_.dsNet->send(std::move(msg));
-        pendingUcLoad_ = [this, pa, op](const Message& reply) {
-            const std::uint64_t value = reply.data.read(lineOffset(pa), op.size);
-            checkLoadedValue(op, value);
-            loadLatency_.sample(curTick() - loadStart_);
-            finishOp();
-        };
     }, EventPriority::kCore);
+}
+
+// ------------------------------------------------- hardened uncached loads --
+
+void CpuCore::sendUcRead()
+{
+    if (dsNetMarkedDown()) {
+        fallbackUcLoad();
+        return;
+    }
+    Message msg;
+    msg.type = MsgType::kUcRead;
+    msg.addr = lineAlign(ucPa_);
+    msg.src = params_.self;
+    msg.dst = params_.sliceOf(ucPa_);
+    msg.requester = params_.self;
+    msg.txn = ucTxn_;
+    params_.dsNet->send(std::move(msg));
+    const Tick wait = params_.dsAckTimeout
+                      << std::min<std::uint32_t>(ucRetries_, 6);
+    queue().scheduleAfter(
+        wait, [this, txn = ucTxn_, seq = ucSeq_] { onUcTimeout(txn, seq); },
+        EventPriority::kCore);
+}
+
+void CpuCore::onUcTimeout(std::uint64_t txn, std::uint64_t seq)
+{
+    if (!pendingUcLoad_ || ucTxn_ != txn || ucSeq_ != seq)
+        return; // completed or superseded
+    dsTimeouts_.inc();
+    if (TraceSession* t = tracing(TraceCat::kNet))
+        t->instant(TraceCat::kNet, name(), "ds.timeout", curTick(), ucPa_);
+    retryUcLoad();
+}
+
+void CpuCore::retryUcLoad()
+{
+    if (ucRetries_ >= params_.dsMaxRetries && params_.dsFallback) {
+        fallbackUcLoad();
+        return;
+    }
+    if (ucRetries_ < params_.dsMaxRetries)
+        ++ucRetries_;
+    ++ucSeq_;
+    dsRetries_.inc();
+    if (TraceSession* t = tracing(TraceCat::kNet))
+        t->instant(TraceCat::kNet, name(), "ds.retransmit", curTick(), ucPa_);
+    sendUcRead();
+}
+
+void CpuCore::fallbackUcLoad()
+{
+    assert(pendingUcLoad_);
+    pendingUcLoad_ = nullptr;
+    ++ucSeq_; // disarm any in-flight timeout
+    dsFallbackLoads_.inc();
+    if (TraceSession* t = tracing(TraceCat::kNet))
+        t->instant(TraceCat::kNet, name(), "ds.fallback", curTick(), ucPa_);
+    // Degrade to a regular coherent load; it completes the op itself. No
+    // drain window is needed: a late UcData reply carries a stale txn and
+    // is ignored.
+    doLocalLoad(ucPa_, ucOp_, 0);
 }
 
 void CpuCore::checkLoadedValue(const CpuOp& op, std::uint64_t value)
@@ -344,7 +570,20 @@ void CpuCore::handleDsMessage(const Message& msg)
 {
     switch (msg.type) {
     case MsgType::kDsAck: {
-        assert(pendingDsAcks_ > 0);
+        if (hardened()) {
+            const auto it = dsInFlight_.find(msg.txn);
+            if (it == dsInFlight_.end())
+                break; // duplicate or post-fallback straggler
+            // An ack always wins, including during a fallback drain window:
+            // the push was globally performed after all.
+            dsInFlight_.erase(it);
+            completeDsStore();
+            break;
+        }
+        // Legacy path: tolerate stray acks (a duplication fault can echo
+        // one even with hardening off).
+        if (pendingDsAcks_ == 0)
+            break;
         --pendingDsAcks_;
         if (pendingDsAcks_ == 0) {
             std::deque<std::function<void()>> thunks;
@@ -355,8 +594,32 @@ void CpuCore::handleDsMessage(const Message& msg)
         maybeFinishFence();
         break;
     }
+    case MsgType::kDsNack: {
+        // The slice rejected a corrupt push; resend (or degrade) as if the
+        // timeout had fired.
+        const auto it = dsInFlight_.find(msg.txn);
+        if (it == dsInFlight_.end() || it->second.fallbackPending)
+            break;
+        retryDsStore(msg.txn);
+        break;
+    }
     case MsgType::kUcData: {
-        assert(pendingUcLoad_);
+        if (hardened()) {
+            if (!pendingUcLoad_ || msg.txn != ucTxn_)
+                break; // stale reply from a superseded attempt
+            if (params_.dsVerifyChecksum &&
+                msg.checksum != messageChecksum(msg)) {
+                retryUcLoad();
+                break;
+            }
+            ++ucSeq_; // disarm the timeout
+            auto handler = std::move(pendingUcLoad_);
+            pendingUcLoad_ = nullptr;
+            handler(msg);
+            break;
+        }
+        if (!pendingUcLoad_)
+            break; // stray duplicate of an already-served reply
         auto handler = std::move(pendingUcLoad_);
         pendingUcLoad_ = nullptr;
         handler(msg);
@@ -365,6 +628,33 @@ void CpuCore::handleDsMessage(const Message& msg)
     default:
         assert(false && "unexpected DS-network message at the CPU");
     }
+}
+
+std::string CpuCore::outstandingWork() const
+{
+    std::string out;
+    const auto item = [&out](const std::string& what) {
+        if (!out.empty())
+            out += ", ";
+        out += what;
+    };
+    if (program_ != nullptr)
+        item("executing op " + std::to_string(pc_) + "/" +
+             std::to_string(program_->size()));
+    if (!storeBuffer_.empty() || inFlightStores_ != 0)
+        item(std::to_string(storeBuffer_.size()) + " buffered / " +
+             std::to_string(inFlightStores_) + " in-flight local stores");
+    if (!stalledStores_.empty())
+        item(std::to_string(stalledStores_.size()) + " stalled stores");
+    if (!rsb_.empty())
+        item(std::to_string(rsb_.size()) + " write-combining entries");
+    if (pendingDsAcks_ != 0)
+        item(std::to_string(pendingDsAcks_) + " unacked direct stores (" +
+             std::to_string(dsInFlight_.size()) + " in flight, " +
+             std::to_string(dsBacklog_.size()) + " backlogged)");
+    if (pendingUcLoad_)
+        item("an outstanding uncached load");
+    return out;
 }
 
 void CpuCore::regStats(StatRegistry& registry)
@@ -376,6 +666,16 @@ void CpuCore::regStats(StatRegistry& registry)
     registry.registerCounter(statName("uc_reads"), &ucReads_);
     registry.registerCounter(statName("store_forwards"), &storeForwards_);
     registry.registerCounter(statName("check_failures"), &checkFailures_);
+    if (hardened()) {
+        // Only present on the hardened path so the legacy stat set (and its
+        // JSON dump) stays byte-identical.
+        registry.registerCounter(statName("ds_retries"), &dsRetries_);
+        registry.registerCounter(statName("ds_timeouts"), &dsTimeouts_);
+        registry.registerCounter(statName("ds_fallback_stores"),
+                                 &dsFallbackStores_);
+        registry.registerCounter(statName("ds_fallback_loads"),
+                                 &dsFallbackLoads_);
+    }
     registry.registerHistogram(statName("load_latency"), &loadLatency_);
 }
 
@@ -386,6 +686,8 @@ void CpuCore::snapSave(snap::SnapWriter& w) const
     requireQuiesced(stalledStores_.empty() && awaitingDsDrain_.empty() &&
                         !pendingUcLoad_,
                     name() + " has pending memory operations");
+    requireQuiesced(dsInFlight_.empty() && dsBacklog_.empty(),
+                    name() + " has unacknowledged direct stores");
     w.u8(1); // quiescence marker: the core itself carries no state
 }
 

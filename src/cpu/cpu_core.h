@@ -8,10 +8,19 @@
 // the owning GPU L2 slice as a DsPutX over the dedicated network. Loads from
 // the DS region are uncached round-trips to the slice (§III-E: the region
 // can never be cached on the CPU).
+// With a non-zero ackTimeout the direct-store delivery path is *hardened*
+// (PROTOCOL.md "Delivery hardening"): every DsPutX carries a transaction id
+// and sits in a bounded in-flight table until its ack returns; a timeout
+// retransmits with capped exponential backoff, and after maxRetries failed
+// attempts (or while the DS network is marked down) the store degrades to
+// the baseline coherent pull-based write path. Uncached DS-region loads get
+// the same treatment. With ackTimeout == 0 the legacy fire-and-forget path
+// runs byte-identically to before.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -32,6 +41,18 @@ public:
         NodeId self = kInvalidNode;         ///< this core's id on the DS network
         Network* dsNet = nullptr;           ///< dedicated CPU -> GPU L2 network
         std::function<NodeId(Addr)> sliceOf; ///< PA -> owning slice's node id
+
+        // --- delivery hardening (0 / empty = legacy fire-and-forget) ---
+        Tick dsAckTimeout = 0;         ///< ticks before a retransmit fires
+        std::uint32_t dsMaxRetries = 4;
+        std::size_t dsInFlightMax = 8; ///< bound on tracked DsPutX stores
+        bool dsFallback = false;       ///< pull-path degradation allowed
+        /// Drain window between deciding to fall back and applying it: long
+        /// enough that no copy of the abandoned push is still on the wire
+        /// (System computes it from the network and fault parameters).
+        Tick dsMslTicks = 0;
+        std::function<bool()> dsNetDown; ///< DS-network outage probe
+        bool dsVerifyChecksum = false;   ///< verify UcData payload integrity
     };
 
     CpuCore(std::string name, SimContext& ctx, Params params, Tlb& tlb,
@@ -50,6 +71,11 @@ public:
     bool idle() const { return program_ == nullptr; }
     std::uint64_t checkFailures() const { return checkFailures_.value(); }
     std::uint64_t remoteStores() const { return remoteStores_.value(); }
+
+    /// One-line summary of what the core is still waiting on; empty when
+    /// nothing is pending. Used by the no-progress watchdog to name the
+    /// stalled component.
+    std::string outstandingWork() const;
 
     /// The core is purely transient state (program position, store/remote
     /// buffers, pending loads) and all of it drains before a safe point, so
@@ -74,6 +100,16 @@ private:
         ByteMask mask;
     };
 
+    /// One hardened store from push until ack / fallback application.
+    struct DsInFlight {
+        Addr base = 0;
+        DataBlock data;
+        ByteMask mask;
+        std::uint32_t retries = 0;
+        bool fallbackPending = false; ///< waiting out the drain window
+        std::uint64_t seq = 0;        ///< bumped to invalidate armed timeouts
+    };
+
     void step();
     void finishOp();
     void execLoad(const CpuOp& op);
@@ -86,6 +122,24 @@ private:
     void remoteStore(Addr pa, const CpuOp& op);
     void flushRsbEntry(std::size_t index);
     void flushAllRsb();
+
+    bool hardened() const { return params_.dsAckTimeout != 0; }
+    bool dsNetMarkedDown() const
+    {
+        return params_.dsFallback && params_.dsNetDown && params_.dsNetDown();
+    }
+    void startDsStore(RsbEntry entry);
+    void sendDsPutX(std::uint64_t txn);
+    void armDsTimeout(std::uint64_t txn);
+    void onDsTimeout(std::uint64_t txn, std::uint64_t seq);
+    void retryDsStore(std::uint64_t txn);
+    void beginDsFallback(std::uint64_t txn);
+    void applyDsFallback(std::uint64_t txn);
+    void completeDsStore();
+    void sendUcRead();
+    void onUcTimeout(std::uint64_t txn, std::uint64_t seq);
+    void retryUcLoad();
+    void fallbackUcLoad();
     bool storesDrained() const
     {
         return storeBuffer_.empty() && inFlightStores_ == 0 && rsb_.empty() &&
@@ -110,7 +164,19 @@ private:
     std::vector<RsbEntry> rsb_; ///< FIFO write-combining entries
     std::size_t pendingDsAcks_ = 0;
 
+    // Hardened-path state (all empty/idle on the legacy path). Transaction
+    // ids are opaque and never surface in stats or traces, so a restored
+    // run may restart them from scratch.
+    std::map<std::uint64_t, DsInFlight> dsInFlight_; ///< keyed by txn
+    std::deque<RsbEntry> dsBacklog_; ///< overflow past dsInFlightMax
+    std::uint64_t nextDsTxn_ = 1;
+
     std::function<void(const Message&)> pendingUcLoad_;
+    std::uint64_t ucTxn_ = 0; ///< txn of the outstanding hardened UcRead
+    std::uint64_t ucSeq_ = 0; ///< bumped to invalidate armed UcRead timeouts
+    std::uint32_t ucRetries_ = 0;
+    Addr ucPa_ = 0;
+    CpuOp ucOp_{};
     std::deque<std::function<void()>> awaitingDsDrain_;
 
     Counter loads_;
@@ -120,6 +186,10 @@ private:
     Counter ucReads_;
     Counter storeForwards_;
     Counter checkFailures_;
+    Counter dsRetries_;
+    Counter dsTimeouts_;
+    Counter dsFallbackStores_;
+    Counter dsFallbackLoads_;
     Histogram loadLatency_{16, 64};
     Tick loadStart_ = 0;
 };

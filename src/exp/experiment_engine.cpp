@@ -14,6 +14,7 @@
 
 #include "core/config_io.h"
 #include "obs/json_lite.h"
+#include "sim/errors.h"
 #include "snap/serializer.h"
 
 namespace dscoh {
@@ -141,10 +142,21 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
                 r.run = wr.run();
                 r.produceTicksSaved = wr.produceTicksSaved();
                 r.ok = true;
+            } catch (const DeadlockError& e) {
+                r.error = e.what();
+                r.errorClass = kExitDeadlock;
+            } catch (const OracleError& e) {
+                r.error = e.what();
+                r.errorClass = kExitOracle;
+            } catch (const snap::SnapError& e) {
+                r.error = e.what();
+                r.errorClass = kExitIo;
             } catch (const std::exception& e) {
                 r.error = e.what();
+                r.errorClass = kExitFailure;
             } catch (...) {
                 r.error = "unknown error";
+                r.errorClass = kExitFailure;
             }
             const auto t1 = std::chrono::steady_clock::now();
             r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
@@ -242,7 +254,8 @@ void writeResultCore(std::ostream& os, const ExperimentResult& r)
        << ", \"mode\": \"" << to_string(r.job.mode) << "\""
        << ", \"ok\": " << (r.ok ? "true" : "false");
     if (!r.ok) {
-        os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+        os << ", \"error\": \"" << jsonEscape(r.error) << "\""
+           << ", \"errorClass\": " << r.errorClass;
         return;
     }
     const RunMetrics& m = r.run.metrics;
@@ -377,6 +390,9 @@ std::vector<JournalEntry> readJournal(const std::string& path)
         if (!e.result.ok) {
             if (const jsonlite::Value* err = v->get("error"))
                 e.result.error = err->string;
+            if (const jsonlite::Value* cls = v->get("errorClass");
+                cls != nullptr && cls->isNumber())
+                e.result.errorClass = static_cast<int>(cls->number);
             entries.push_back(std::move(e));
             continue;
         }

@@ -35,6 +35,10 @@ struct ExperimentResult {
     ExperimentJob job;
     bool ok = false;
     std::string error; ///< what() of the failure when !ok
+    /// Failure class when !ok, as a sim/errors.h exit code (kExitDeadlock,
+    /// kExitOracle, kExitIo, or kExitFailure for anything unclassified).
+    /// The sweep tool exits with the first failing job's class.
+    int errorClass = 0;
     WorkloadRunResult run; ///< valid only when ok
     /// Host time spent on this job. For progress display only — it is
     /// deliberately kept out of writeResultsJson() so that file stays

@@ -100,6 +100,8 @@ void GpuL2Slice::handleDsMessage(const Message& msg)
     queue().scheduleAfter(slice_.tagLatency, [this, msg] {
         switch (msg.type) {
         case MsgType::kDsPutX:
+            if (slice_.harden && !admitDirectStore(msg))
+                break;
             serveDirectStore(msg);
             break;
         case MsgType::kUcRead:
@@ -109,6 +111,60 @@ void GpuL2Slice::handleDsMessage(const Message& msg)
             assert(false && "unexpected DS-network message at L2 slice");
         }
     }, EventPriority::kController);
+}
+
+bool GpuL2Slice::admitDirectStore(const Message& msg)
+{
+    if (slice_.verifyChecksum && msg.checksum != messageChecksum(msg)) {
+        // A corruption fault flipped a payload byte in flight. Reject; the
+        // CPU's retransmit (or its fallback) re-delivers the real bytes.
+        dsNacks_.inc();
+        noteTransition(CohState::kI, CohEvent::kCorruptPush, CohState::kI,
+                       msg.addr);
+        Message nack;
+        nack.type = MsgType::kDsNack;
+        nack.addr = msg.addr;
+        nack.src = params().self;
+        nack.dst = msg.src;
+        nack.requester = msg.src;
+        nack.txn = msg.txn;
+        slice_.dsNet->send(std::move(nack));
+        return false;
+    }
+    if (msg.txn != 0) {
+        const auto it = dsSeen_.find(msg.txn);
+        if (it != dsSeen_.end()) {
+            // Duplicate (wire echo or retransmit crossing the ack). Squash
+            // idempotently; when the original was already served, replay
+            // the ack so a retransmitting CPU can complete.
+            dsDupSquashed_.inc();
+            if (it->second) {
+                noteTransition(CohState::kMM, CohEvent::kDupPush,
+                               CohState::kMM, msg.addr);
+                sendDsAck(msg);
+            }
+            return false;
+        }
+        dsSeen_.emplace(msg.txn, false);
+        dsSeenOrder_.push_back(msg.txn);
+        trimDsSeen();
+    }
+    return true;
+}
+
+void GpuL2Slice::trimDsSeen()
+{
+    // Bounded dedup memory: old *acked* transactions age out (the CPU has
+    // stopped retransmitting them long ago); in-service entries stay.
+    while (dsSeenOrder_.size() > 256) {
+        const std::uint64_t oldest = dsSeenOrder_.front();
+        const auto it = dsSeen_.find(oldest);
+        if (it != dsSeen_.end() && !it->second)
+            break;
+        if (it != dsSeen_.end())
+            dsSeen_.erase(it);
+        dsSeenOrder_.pop_front();
+    }
 }
 
 void GpuL2Slice::serveDirectStore(const Message& msg)
@@ -125,7 +181,7 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
 
     Line* line = array().find(base);
 
-    if (line == nullptr && msg.mask.full()) {
+    if (line == nullptr && msg.mask.full() && !slice_.mergeOnly) {
         // Fig. 3 blue transition: install the pushed full line, no fetch
         // needed. This is the payoff path of the whole paper.
         //
@@ -187,6 +243,11 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
 
 void GpuL2Slice::sendDsAck(const Message& msg)
 {
+    if (slice_.harden && msg.txn != 0) {
+        const auto it = dsSeen_.find(msg.txn);
+        if (it != dsSeen_.end())
+            it->second = true;
+    }
     Message ack;
     ack.type = MsgType::kDsAck;
     ack.addr = msg.addr;
@@ -232,6 +293,11 @@ void GpuL2Slice::regStats(StatRegistry& registry)
     registry.registerCounter(statName("ds_merges"), &dsMerges_);
     registry.registerCounter(statName("uc_reads"), &ucReads_);
     registry.registerCounter(statName("prefetches"), &prefetches_);
+    if (slice_.harden) {
+        registry.registerCounter(statName("ds_duplicates_squashed"),
+                                 &dsDupSquashed_);
+        registry.registerCounter(statName("ds_nacks"), &dsNacks_);
+    }
 }
 
 } // namespace dscoh

@@ -8,6 +8,8 @@
 // the GPU L2 cache is full, the system writes data to DRAM").
 #pragma once
 
+#include <deque>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "coherence/cache_agent.h"
@@ -27,6 +29,17 @@ public:
         /// direct store beats prefetching; bench/ablation_prefetch checks).
         std::uint32_t prefetchDepth = 0;
         std::uint32_t slices = 4; ///< stride between slice-local lines
+
+        // --- delivery hardening (PROTOCOL.md "Delivery hardening") ---
+        /// Track DsPutX transaction ids, squash duplicates idempotently and
+        /// replay the ack for already-served pushes.
+        bool harden = false;
+        /// Serve every push through the coherent fetch-merge path (skip the
+        /// bare install) so an arbitrarily late or reordered copy can never
+        /// create a second owner behind the fallback pull path.
+        bool mergeOnly = false;
+        /// Verify each DsPutX payload checksum; a mismatch is NACKed.
+        bool verifyChecksum = false;
     };
 
     GpuL2Slice(std::string name, SimContext& ctx,
@@ -60,8 +73,19 @@ private:
     void serveUncachedRead(const Message& msg);
     void noteDemand(Addr addr, bool exclusive);
     void sendDsAck(const Message& msg);
+    /// Hardened admission control, run once per *network arrival* of a
+    /// DsPutX (never from a deferred retry, which would squash its own
+    /// in-service transaction): checksum verify, then duplicate squash.
+    /// Returns false when the message was consumed (NACKed or squashed).
+    bool admitDirectStore(const Message& msg);
+    void trimDsSeen();
 
     SliceParams slice_;
+
+    /// Served-or-in-service DsPutX transaction ids (hardened path); value =
+    /// "ack already sent". Bounded FIFO; only acked entries are evicted.
+    std::unordered_map<std::uint64_t, bool> dsSeen_;
+    std::deque<std::uint64_t> dsSeenOrder_;
 
     Counter accesses_;
     Counter misses_;
@@ -72,6 +96,8 @@ private:
     Counter dsMerges_;
     Counter ucReads_;
     Counter prefetches_;
+    Counter dsDupSquashed_;
+    Counter dsNacks_;
 };
 
 } // namespace dscoh

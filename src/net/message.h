@@ -42,7 +42,12 @@ enum class MsgType : std::uint8_t {
     kL1LoadResp, ///< line data back to the SM
     kL1Store,    ///< write-through store (data+mask)
     kL1StoreAck, ///< store globally performed at the slice
+
+    // Delivery hardening (only ever sent when fault injection is on).
+    kDsNack, ///< slice -> CPU: DsPutX rejected (checksum mismatch), resend
 };
+
+inline constexpr std::size_t kMsgTypeCount = 19;
 
 const char* to_string(MsgType t);
 
@@ -83,11 +88,39 @@ struct Message {
 
     Tick sentAt = 0;
 
+    /// End-to-end integrity check over the fields a corruption fault may
+    /// touch. Zero (never stamped) when fault injection is off; receivers
+    /// only verify it when hardening is on, so the field is otherwise inert.
+    std::uint32_t checksum = 0;
+
     /// On-wire size: 8 B control header (+line payload when data-carrying).
     std::uint32_t wireBytes() const
     {
         return carriesData(type) ? 8 + kLineSize : 8;
     }
 };
+
+/// FNV-1a over the delivery-relevant identity and payload of @p msg,
+/// folded to 32 bits. Excludes msg.checksum itself and timing fields.
+inline std::uint32_t messageChecksum(const Message& msg)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(static_cast<std::uint64_t>(msg.type));
+    mix(msg.addr);
+    mix(msg.txn);
+    for (std::size_t i = 0; i < kLineSize; ++i) {
+        h ^= msg.data.data()[i];
+        h *= 0x100000001b3ull;
+    }
+    for (std::size_t i = 0; i < ByteMask::kWords; ++i)
+        mix(msg.mask.word(i));
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
 
 } // namespace dscoh

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/fault_injector.h"
+
 namespace dscoh {
 
 const char* to_string(MsgType t)
@@ -28,6 +30,7 @@ const char* to_string(MsgType t)
     case MsgType::kL1LoadResp: return "L1LoadResp";
     case MsgType::kL1Store: return "L1Store";
     case MsgType::kL1StoreAck: return "L1StoreAck";
+    case MsgType::kDsNack: return "DsNack";
     }
     return "?";
 }
@@ -51,14 +54,63 @@ void Network::connect(NodeId id, Handler handler)
 
 void Network::send(Message msg)
 {
+    if (fault_ == nullptr) {
+        deliver(std::move(msg), 0);
+        return;
+    }
+
+    // Stamp before deciding so a corruption fault leaves the checksum stale
+    // and the receiver can detect it.
+    fault_->stampChecksum(msg);
+    const FaultDecision d = fault_->decide(msg.src, msg.dst, curTick());
+    if (d.drop) {
+        // The message never existed as far as the network's traffic
+        // accounting, the port reservations and the checker's in-flight
+        // count are concerned: decide() already counted it under the
+        // injector's own stats.
+        if (TraceSession* t = tracing(TraceCat::kNet))
+            t->instant(TraceCat::kNet, name(),
+                       d.linkDown ? "fault.linkdown-drop" : "fault.drop",
+                       curTick(), msg.addr);
+        return;
+    }
+    if (d.corrupt) {
+        fault_->corruptPayload(msg);
+        if (TraceSession* t = tracing(TraceCat::kNet))
+            t->instant(TraceCat::kNet, name(), "fault.corrupt", curTick(),
+                       msg.addr);
+    }
+    if (d.extraDelay != 0) {
+        if (TraceSession* t = tracing(TraceCat::kNet))
+            t->instant(TraceCat::kNet, name(), "fault.delay", curTick(),
+                       msg.addr);
+    }
+    if (d.duplicate) {
+        // The echo is a real wire-level message: it consumes bandwidth and
+        // is visible to the checker like any other.
+        if (TraceSession* t = tracing(TraceCat::kNet))
+            t->instant(TraceCat::kNet, name(), "fault.duplicate", curTick(),
+                       msg.addr);
+        deliver(msg, d.extraDelay);
+    }
+    deliver(std::move(msg), d.extraDelay);
+}
+
+void Network::deliver(Message msg, Tick extraDelay)
+{
     assert(isConnected(msg.dst) && "message sent to unconnected node");
     msg.sentAt = curTick();
 
     const Tick serialization =
         (msg.wireBytes() + params_.bytesPerTick - 1) / params_.bytesPerTick;
     Tick& portFree = portFreeAt_[msg.dst];
+    // A fault's extra delay lengthens the hop, not the port: it still
+    // partakes in the max against the port reservation, so deliveries to one
+    // destination stay monotonic and per-(src,dst) FIFO holds even with
+    // delay faults on.
     const Tick arrival =
-        std::max(curTick() + params_.hopLatency, portFree) + serialization;
+        std::max(curTick() + params_.hopLatency + extraDelay, portFree) +
+        serialization;
     portFree = arrival;
 
     messages_.inc();
@@ -89,6 +141,10 @@ void Network::regStats(StatRegistry& registry)
     registry.registerCounter(statName("bytes"), &bytes_);
     registry.registerCounter(statName("data_messages"), &dataMessages_);
     for (std::size_t t = 0; t < byType_.size(); ++t) {
+        // DsNack exists only under fault injection; keep the disabled stat
+        // set (and its JSON dump) byte-identical to what it always was.
+        if (static_cast<MsgType>(t) == MsgType::kDsNack && fault_ == nullptr)
+            continue;
         registry.registerCounter(
             statName(std::string("msg.") + to_string(static_cast<MsgType>(t))),
             &byType_[t]);

@@ -19,6 +19,8 @@
 
 namespace dscoh {
 
+class FaultInjector;
+
 struct NetworkParams {
     Tick hopLatency = 20;          ///< fixed traversal latency, ticks
     std::uint32_t bytesPerTick = 32; ///< per-destination-port bandwidth
@@ -48,6 +50,12 @@ public:
     const NetworkParams& params() const { return params_; }
     void setHopLatency(Tick l) { params_.hopLatency = l; }
 
+    /// Attaches a fault injector consulted on every send. Must happen before
+    /// regStats (the injector's presence decides which counters exist).
+    /// Without one, send() costs a single null-pointer test extra.
+    void attachFaultInjector(FaultInjector* f) { fault_ = f; }
+    FaultInjector* faultInjector() const { return fault_; }
+
     void regStats(StatRegistry& registry) override;
 
     /// Messages never cross a safe point (delivery closures live in the
@@ -64,14 +72,20 @@ public:
     }
 
 private:
+    /// The pre-fault send path: computes arrival (with @p extraDelay folded
+    /// in before the port max, preserving per-destination monotonicity),
+    /// accounts traffic, and schedules the handler.
+    void deliver(Message msg, Tick extraDelay);
+
     NetworkParams params_;
     std::vector<Handler> handlers_;
     std::vector<Tick> portFreeAt_; ///< per-destination serialization point
+    FaultInjector* fault_ = nullptr;
 
     Counter messages_;
     Counter bytes_;
     Counter dataMessages_;
-    std::array<Counter, 18> byType_; ///< indexed by MsgType
+    std::array<Counter, kMsgTypeCount> byType_; ///< indexed by MsgType
     Histogram deliveryLatency_{8, 32};
 };
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/errors.h"
 #include "snap/serializer.h"
 
 namespace dscoh {
@@ -121,15 +122,20 @@ void WorkloadRun::drain()
     while (!queue.empty()) {
         const std::uint64_t before = queue.executedEvents();
         queue.runUntil(queue.curTick() + opts_.maxIdleTicks);
-        if (!queue.empty() && queue.executedEvents() == before)
-            throw std::runtime_error(
+        if (!queue.empty() && queue.executedEvents() == before) {
+            std::string msg =
                 workload_.info().code + " (" +
                 std::string(to_string(size_)) + ", " + to_string(mode_) +
                 "): no event executed for " +
                 std::to_string(opts_.maxIdleTicks) + " ticks with " +
                 std::to_string(queue.pending()) +
                 " still queued — deadlock/livelock at tick " +
-                std::to_string(queue.curTick()));
+                std::to_string(queue.curTick());
+            if (std::string stalled = sys_->describeOutstandingWork();
+                !stalled.empty())
+                msg += " [outstanding: " + stalled + "]";
+            throw DeadlockError(msg);
+        }
     }
 }
 
@@ -211,15 +217,15 @@ WorkloadRunResult WorkloadRun::run()
         result.statCounters.emplace(name, sys_->stats().counter(name));
 
     if (result.metrics.checkFailures != 0)
-        throw std::runtime_error(
+        throw OracleError(
             workload_.info().code + " (" + std::string(to_string(size_)) +
             ", " + to_string(mode_) + "): " +
             std::to_string(result.metrics.checkFailures) +
             " value mismatches — functional bug, results untrustworthy");
     if (!result.violations.empty())
-        throw std::runtime_error(workload_.info().code +
-                                 ": coherence invariant violated: " +
-                                 result.violations.front());
+        throw OracleError(workload_.info().code +
+                          ": coherence invariant violated: " +
+                          result.violations.front());
     return result;
 }
 

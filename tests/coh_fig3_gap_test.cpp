@@ -273,6 +273,54 @@ void runDirectStoreScenario()
     ASSERT_EQ(ready, 4);
 }
 
+/// The delivery-hardening edges (PROTOCOL.md "Delivery hardening"): a
+/// whole-run DS outage degrades every push to the pull path
+/// (I --FallbackStore--> MM), a corrupted push is nacked in place
+/// (I --CorruptPush--> I), and a retransmit crossing a lost ack is squashed
+/// at the slice as an already-served duplicate (MM --DupPush--> MM).
+void runHardenedDeliveryScenario()
+{
+    const auto pushLines = [](SystemConfig cfg) {
+        System sys(std::move(cfg));
+        const Addr ds = sys.allocateArray(2 * kLineSize, true);
+        CpuProgram p;
+        for (std::uint32_t i = 0; i < 2 * kLineSize / 4; ++i)
+            p.push_back(cpuStore(ds + i * 4ull, i, 4));
+        p.push_back(cpuFence());
+        sys.runCpuProgram(p, [] {});
+        sys.simulate();
+    };
+
+    // DS network down for the whole run: pushes never go on the wire and
+    // degrade straight to the coherent fallback store.
+    SystemConfig outage = SystemConfig::paper(CoherenceMode::kDirectStore);
+    outage.faults.linkDownFrom = 0;
+    outage.faults.linkDownUntil = 2'000'000'000;
+    outage.dsAckTimeout = 2000;
+    outage.dsMaxRetries = 1;
+    pushLines(outage);
+
+    // Half the DS messages are corrupted in flight: the slice's checksum
+    // check rejects them until a clean retransmit lands.
+    SystemConfig corrupt = SystemConfig::paper(CoherenceMode::kDirectStore);
+    corrupt.faults.corruptPpm = 500'000;
+    corrupt.dsAckTimeout = 4000;
+    pushLines(corrupt);
+
+    // Every CPU-bound message (i.e. every DsAck) is dropped early on: the
+    // slice serves the push, the ack vanishes, and the CPU's retransmit
+    // arrives as a duplicate of an already-served transaction — squashed,
+    // with the ack replayed once the outage window has passed.
+    SystemConfig lostAcks = SystemConfig::paper(CoherenceMode::kDirectStore);
+    lostAcks.faults.dropPpm = 1'000'000;
+    lostAcks.faults.dstFilter =
+        System::kFirstSliceNode + lostAcks.gpuL2Slices + 1; // the CPU core
+    lostAcks.faults.windowStart = 0;
+    lostAcks.faults.windowEnd = 6000;
+    lostAcks.dsAckTimeout = 20'000;
+    pushLines(lostAcks);
+}
+
 TEST_F(Fig3GapReport, AllStableEdgesCovered)
 {
     // Real workloads first (broad, incidental coverage)...
@@ -285,6 +333,7 @@ TEST_F(Fig3GapReport, AllStableEdgesCovered)
     runContentionScenario();
     runEvictionScenario();
     runDirectStoreScenario();
+    runHardenedDeliveryScenario();
 
     const TransitionCoverage& cov = TransitionCoverage::instance();
     std::vector<const Fig3Edge*> gaps;

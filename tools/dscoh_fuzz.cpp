@@ -3,6 +3,7 @@
 //   dscoh_fuzz --seeds 0:200 --check          # fuzz a seed range
 //   dscoh_fuzz --replay repro_seed7.scn       # re-run a saved reproducer
 //   dscoh_fuzz --seeds 0:50 --inject-bug skip-remote-store-inval
+//   dscoh_fuzz --seeds 0:60 --check --faults  # randomized DS-network faults
 //
 // Each seed expands to a randomized scenario (see src/check/fuzz.h) which
 // runs under CCSM and direct store; with --check the CoherenceChecker
@@ -96,6 +97,8 @@ int main(int argc, char** argv)
     std::string outDir = ".";
     bool check = false;
     bool noShrink = false;
+    bool faults = false;
+    bool faultDropsOnly = false;
     std::uint64_t maxTicks = 50'000'000;
     std::uint64_t shrinkBudget = 96;
 
@@ -118,6 +121,13 @@ int main(int argc, char** argv)
     parser.addString("out", "directory for shrunk reproducer files", &outDir);
     parser.addFlag("no-shrink", "report failures without shrinking them",
                    &noShrink);
+    parser.addFlag("faults", "inject randomized DS-network faults (drops, "
+                   "duplicates, corruption, delays, link outages) with the "
+                   "delivery hardening armed", &faults);
+    parser.addFlag("fault-drops-only", "with --faults: drop every DsPutX and "
+                   "disarm the retransmit hardening — every seed MUST fail "
+                   "(fault-calibration check that the harness can see a real "
+                   "delivery bug)", &faultDropsOnly);
     parser.addUint("max-ticks", "per-run hang cut-off (simulated ticks)",
                    &maxTicks);
     parser.addUint("shrink-budget", "max candidate runs while shrinking",
@@ -138,6 +148,10 @@ int main(int argc, char** argv)
     }
     rc.options.oracle = check;
     rc.options.maxTicks = maxTicks;
+    if (faultDropsOnly && !faults) {
+        std::cerr << "dscoh_fuzz: --fault-drops-only needs --faults\n";
+        return 2;
+    }
 
     bool bugOk = false;
     InjectedBug bug = InjectedBug::kNone;
@@ -191,8 +205,22 @@ int main(int argc, char** argv)
 
     std::uint64_t failures = 0;
     for (std::uint64_t seed = lo; seed < hi; ++seed) {
-        FuzzScenario sc = generateScenario(seed);
+        FuzzScenario sc =
+            faults ? generateFaultScenario(seed) : generateScenario(seed);
         sc.bug = bug;
+        if (faultDropsOnly) {
+            // Calibration inversion: every DsPutX/UcRead vanishes and the
+            // retransmit machinery is disarmed, so every seed must fail. A
+            // clean seed here means the harness cannot see a real delivery
+            // bug either.
+            sc.faultDropPpm = 1'000'000;
+            sc.faultDupPpm = 0;
+            sc.faultCorruptPpm = 0;
+            sc.faultDelayPpm = 0;
+            sc.faultLinkDownFrom = 0;
+            sc.faultLinkDownUntil = 0;
+            sc.dsAckTimeout = 0;
+        }
         const Outcome o = runOnce(sc, rc);
         if (!o.failed)
             continue;
@@ -224,5 +252,17 @@ int main(int argc, char** argv)
 
     std::cout << "dscoh_fuzz: " << (hi - lo) << " seeds, " << failures
               << " failure(s)" << (check ? " [oracle on]" : "") << "\n";
+    if (faultDropsOnly) {
+        // Inverted exit: success means every planted fault was caught.
+        if (failures == hi - lo) {
+            std::cout << "fault calibration ok: every seed failed as "
+                         "planted\n";
+            return 0;
+        }
+        std::cout << "fault calibration FAILED: " << (hi - lo - failures)
+                  << " seed(s) completed despite 100% DsPutX drops with the "
+                     "hardening disarmed\n";
+        return 1;
+    }
     return failures == 0 ? 0 : 1;
 }

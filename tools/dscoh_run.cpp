@@ -13,6 +13,7 @@
 #include "core/config_io.h"
 #include "obs/epoch_sampler.h"
 #include "obs/trace_session.h"
+#include "sim/errors.h"
 #include "snap/serializer.h"
 #include "trace/trace_format.h"
 #include "workloads/runner.h"
@@ -223,10 +224,10 @@ int main(int argc, char** argv)
                    "no event executing (deadlock watchdog, 0 = off)",
                    &maxIdleTicks);
     if (!parser.parse(argc, argv, std::cerr))
-        return 2;
+        return kExitUsage;
     if (dumpCfg) {
         std::printf("%s", dumpConfig(SystemConfig{}).c_str());
-        return 0;
+        return kExitOk;
     }
 
     try {
@@ -238,18 +239,23 @@ int main(int argc, char** argv)
         } else if (!workload.empty()) {
             if (!WorkloadRegistry::instance().has(workload)) {
                 std::cerr << "unknown workload '" << workload << "'\n";
-                return 2;
+                return kExitUsage;
             }
             w = &WorkloadRegistry::instance().get(workload);
         } else {
             std::cerr << "need --workload <code> or --trace <file> "
                          "(--help for usage)\n";
-            return 2;
+            return kExitUsage;
         }
 
         if (sizeName != "small" && sizeName != "big") {
             std::cerr << "--size must be small or big\n";
-            return 2;
+            return kExitUsage;
+        }
+        if (modeName != "ccsm" && modeName != "ds" && modeName != "dsonly" &&
+            modeName != "both") {
+            std::cerr << "bad --mode (ccsm|ds|dsonly|both)\n";
+            return kExitUsage;
         }
         const InputSize size =
             sizeName == "big" ? InputSize::kBig : InputSize::kSmall;
@@ -257,14 +263,16 @@ int main(int argc, char** argv)
         SystemConfig cfg;
         if (!configPath.empty()) {
             std::string error;
-            if (!loadConfigFile(configPath, &cfg, &error))
-                throw std::runtime_error(error);
+            if (!loadConfigFile(configPath, &cfg, &error)) {
+                std::cerr << "dscoh_run: " << error << "\n";
+                return kExitUsage;
+            }
         }
         {
             std::string error;
             if (!cli::resolveLogLevel(logLevelText, cfg.logLevel, error)) {
                 std::cerr << "dscoh_run: " << error << "\n";
-                return 2;
+                return kExitUsage;
             }
         }
         ObsOptions obs;
@@ -276,7 +284,7 @@ int main(int argc, char** argv)
             std::string error;
             if (!parseTraceFilter(traceFilter, obs.traceMask, error)) {
                 std::cerr << "dscoh_run: --trace-filter: " << error << "\n";
-                return 2;
+                return kExitUsage;
             }
         }
         if (dsHop != 0)
@@ -294,33 +302,29 @@ int main(int argc, char** argv)
             if (checkpointOut.empty()) {
                 std::cerr << "dscoh_run: --checkpoint-at needs "
                              "--checkpoint-out <file>\n";
-                return 2;
+                return kExitUsage;
             }
             std::string error;
             if (!parseCheckpointAt(checkpointAt, &runOpts, &error)) {
                 std::cerr << "dscoh_run: " << error << "\n";
-                return 2;
+                return kExitUsage;
             }
         } else if (!checkpointOut.empty()) {
             std::cerr << "dscoh_run: --checkpoint-out needs "
                          "--checkpoint-at <trigger>\n";
-            return 2;
+            return kExitUsage;
         }
         if (modeName == "both" &&
             (!restorePath.empty() || !checkpointOut.empty())) {
             std::cerr << "dscoh_run: checkpoint/restore needs a single "
                          "--mode (a snapshot belongs to one mode)\n";
-            return 2;
+            return kExitUsage;
         }
 
         const auto modeOf = [](const std::string& m) {
-            if (m == "ccsm")
-                return CoherenceMode::kCcsm;
-            if (m == "ds")
-                return CoherenceMode::kDirectStore;
-            if (m == "dsonly")
-                return CoherenceMode::kDirectStoreOnly;
-            throw std::runtime_error("bad --mode (ccsm|ds|dsonly|both)");
+            return m == "ccsm" ? CoherenceMode::kCcsm
+                 : m == "ds"   ? CoherenceMode::kDirectStore
+                               : CoherenceMode::kDirectStoreOnly;
         };
 
         if (modeName == "both") {
@@ -359,9 +363,18 @@ int main(int argc, char** argv)
                 printRun(modeName.c_str(), r);
             }
         }
-        return 0;
+        return kExitOk;
+    } catch (const DeadlockError& e) {
+        std::cerr << "deadlock: " << e.what() << "\n";
+        return kExitDeadlock;
+    } catch (const OracleError& e) {
+        std::cerr << "oracle: " << e.what() << "\n";
+        return kExitOracle;
+    } catch (const snap::SnapError& e) {
+        std::cerr << "io: " << e.what() << "\n";
+        return kExitIo;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return kExitFailure;
     }
 }

@@ -25,6 +25,7 @@
 
 #include "cli/options.h"
 #include "exp/experiment_engine.h"
+#include "sim/errors.h"
 
 using namespace dscoh;
 
@@ -72,7 +73,7 @@ int main(int argc, char** argv)
                      "checkpoint snapshots (default: <json>.snapdir)",
                      &snapDir);
     if (!parser.parse(argc, argv, std::cerr))
-        return 2;
+        return kExitUsage;
 
     InputSize size = InputSize::kSmall;
     for (const std::string& arg : parser.positional()) {
@@ -81,7 +82,7 @@ int main(int argc, char** argv)
         } else if (arg != "small") {
             std::cerr << "dscoh_sweep: unknown input size '" << arg
                       << "' (expected small or big)\n";
-            return 2;
+            return kExitUsage;
         }
     }
 
@@ -89,13 +90,13 @@ int main(int argc, char** argv)
     std::string error;
     if (!cli::resolveJobs(jobsText, jobs, error)) {
         std::cerr << "dscoh_sweep: " << error << "\n";
-        return 2;
+        return kExitUsage;
     }
 
     SystemConfig base;
     if (!cli::resolveLogLevel(logLevelText, base.logLevel, error)) {
         std::cerr << "dscoh_sweep: " << error << "\n";
-        return 2;
+        return kExitUsage;
     }
 
     std::vector<std::string> codes = only.empty()
@@ -104,7 +105,7 @@ int main(int argc, char** argv)
     for (const std::string& code : codes) {
         if (!WorkloadRegistry::instance().has(code)) {
             std::cerr << "dscoh_sweep: unknown benchmark '" << code << "'\n";
-            return 2;
+            return kExitUsage;
         }
     }
 
@@ -124,13 +125,13 @@ int main(int argc, char** argv)
         if (ec) {
             std::cerr << "dscoh_sweep: cannot create snapshot dir "
                       << engineOpts.snapDir << ": " << ec.message() << "\n";
-            return 1;
+            return kExitIo;
         }
         if (!resume)
             std::remove(engineOpts.journalPath.c_str());
     } else if (resume || forkProduce) {
         std::cerr << "dscoh_sweep: --resume/--fork-produce need --json\n";
-        return 2;
+        return kExitUsage;
     }
 
     ExperimentEngine engine(jobs);
@@ -164,6 +165,7 @@ int main(int argc, char** argv)
     // The table (and results.json) contain only simulation outputs, so both
     // are bit-identical for any --jobs value; wall time goes to stderr.
     int failures = 0;
+    int exitClass = kExitOk;
     std::printf("%-4s %10s %10s %8s %8s %8s\n", "code", "ccsm", "ds",
                 "speedup%", "mrCCSM", "mrDS");
     for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
@@ -171,8 +173,14 @@ int main(int argc, char** argv)
         const ExperimentResult& ds = results[i + 1];
         if (!ccsm.ok || !ds.ok) {
             ++failures;
+            const ExperimentResult& failed = !ccsm.ok ? ccsm : ds;
+            // The process exit code reports the first failure's class
+            // (kExitDeadlock / kExitIo / kExitOracle / kExitFailure).
+            if (exitClass == kExitOk)
+                exitClass = failed.errorClass != 0 ? failed.errorClass
+                                                   : kExitFailure;
             std::printf("%-4s FAILED: %s\n", ccsm.job.code.c_str(),
-                        (!ccsm.ok ? ccsm.error : ds.error).c_str());
+                        failed.error.c_str());
             continue;
         }
         const double speedup =
@@ -195,7 +203,7 @@ int main(int argc, char** argv)
         } catch (const std::exception& e) {
             std::cerr << "dscoh_sweep: cannot write " << jsonPath << ": "
                       << e.what() << "\n";
-            return 1;
+            return kExitIo;
         }
         // The results file is published; the crash-recovery journal is
         // obsolete. The snap dir keeps any produce-cache entries (they
@@ -204,5 +212,5 @@ int main(int argc, char** argv)
         std::error_code ec;
         std::filesystem::remove(engineOpts.snapDir, ec);
     }
-    return failures == 0 ? 0 : 1;
+    return failures == 0 ? kExitOk : exitClass;
 }
