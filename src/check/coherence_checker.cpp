@@ -80,8 +80,15 @@ void CoherenceChecker::record(const char* category, const std::string& what,
         ++suppressed_;
         return;
     }
-    violations_.push_back("[" + std::string(category) + "] tick " +
-                          std::to_string(now) + ": " + what);
+    std::string v;
+    v.reserve(what.size() + 32);
+    v += '[';
+    v += category;
+    v += "] tick ";
+    v += std::to_string(now);
+    v += ": ";
+    v += what;
+    violations_.push_back(std::move(v));
 }
 
 void CoherenceChecker::onTransition(const std::string& agent, Addr base,

@@ -255,11 +255,14 @@ void CacheAgent::sendDataTo(NodeId dst, Addr base, const DataBlock& data,
     // pull, and concurrent pulls serialize behind each other.
     const Tick start = std::max(curTick(), supplyPortFreeAt_);
     supplyPortFreeAt_ = start + params_.dataSupplyInterval;
-    queue().schedule(start + params_.dataSupplyLatency,
-                     [this, m = std::move(msg)]() mutable {
-                         params_.responseNet->send(std::move(m));
-                     },
-                     EventPriority::kController);
+    Message* slot = context().msgPool.acquire();
+    *slot = std::move(msg);
+    queue().scheduleInline(start + params_.dataSupplyLatency,
+                           [this, slot] {
+                               params_.responseNet->send(std::move(*slot));
+                               context().msgPool.release(slot);
+                           },
+                           EventPriority::kController);
 }
 
 void CacheAgent::handleForward(const Message& msg)
@@ -270,9 +273,14 @@ void CacheAgent::handleForward(const Message& msg)
         if (params_.snoopTagLatency == 0) {
             handleSnoop(msg);
         } else {
-            queue().scheduleAfter(params_.snoopTagLatency,
-                                  [this, msg] { handleSnoop(msg); },
-                                  EventPriority::kController);
+            Message* m = context().msgPool.acquire();
+            *m = msg;
+            queue().scheduleAfterInline(params_.snoopTagLatency,
+                                        [this, m] {
+                                            handleSnoop(*m);
+                                            context().msgPool.release(m);
+                                        },
+                                        EventPriority::kController);
         }
         break;
     case MsgType::kWbAck: {

@@ -292,39 +292,43 @@ System::System(const SystemConfig& config)
                                              std::move(smPtrs));
 
     // --- wiring -------------------------------------------------------------
-    requestNet_->connect(homeNode(),
-                         [this](const Message& m) { home_->handleRequest(m); });
-    responseNet_->connect(homeNode(),
-                          [this](const Message& m) { home_->handleResponse(m); });
-    forwardNet_->connect(kCpuAgentNode, [this](const Message& m) {
-        cpuAgent_->handleForward(m);
-    });
-    responseNet_->connect(kCpuAgentNode, [this](const Message& m) {
-        cpuAgent_->handleResponse(m);
-    });
-    dsNet_->connect(cpuCoreNode(), [this](const Message& m) {
-        cpuCore_->handleDsMessage(m);
-    });
+    // Every controller connects through a compile-time member binding: the
+    // per-message hop is one indirect call, with no std::function in the way.
+    requestNet_->connect(
+        homeNode(),
+        Network::handlerFor<&HomeController::handleRequest>(home_.get()));
+    responseNet_->connect(
+        homeNode(),
+        Network::handlerFor<&HomeController::handleResponse>(home_.get()));
+    forwardNet_->connect(
+        kCpuAgentNode,
+        Network::handlerFor<&CacheAgent::handleForward>(cpuAgent_.get()));
+    responseNet_->connect(
+        kCpuAgentNode,
+        Network::handlerFor<&CacheAgent::handleResponse>(cpuAgent_.get()));
+    dsNet_->connect(
+        cpuCoreNode(),
+        Network::handlerFor<&CpuCore::handleDsMessage>(cpuCore_.get()));
     for (std::uint32_t s = 0; s < config_.gpuL2Slices; ++s) {
         GpuL2Slice* slicePtr = slices_[s].get();
-        forwardNet_->connect(kFirstSliceNode + s, [slicePtr](const Message& m) {
-            slicePtr->handleForward(m);
-        });
-        responseNet_->connect(kFirstSliceNode + s, [slicePtr](const Message& m) {
-            slicePtr->handleResponse(m);
-        });
-        dsNet_->connect(kFirstSliceNode + s, [slicePtr](const Message& m) {
-            slicePtr->handleDsMessage(m);
-        });
-        gpuNet_->connect(kFirstSliceNode + s, [slicePtr](const Message& m) {
-            slicePtr->handleGpuMessage(m);
-        });
+        forwardNet_->connect(
+            kFirstSliceNode + s,
+            Network::handlerFor<&GpuL2Slice::handleForward>(slicePtr));
+        responseNet_->connect(
+            kFirstSliceNode + s,
+            Network::handlerFor<&GpuL2Slice::handleResponse>(slicePtr));
+        dsNet_->connect(
+            kFirstSliceNode + s,
+            Network::handlerFor<&GpuL2Slice::handleDsMessage>(slicePtr));
+        gpuNet_->connect(
+            kFirstSliceNode + s,
+            Network::handlerFor<&GpuL2Slice::handleGpuMessage>(slicePtr));
     }
     for (std::uint32_t i = 0; i < config_.numSms; ++i) {
-        StreamingMultiprocessor* smPtr = sms_[i].get();
-        gpuNet_->connect(firstSmNode() + i, [smPtr](const Message& m) {
-            smPtr->handleGpuMessage(m);
-        });
+        gpuNet_->connect(
+            firstSmNode() + i,
+            Network::handlerFor<&StreamingMultiprocessor::handleGpuMessage>(
+                sms_[i].get()));
     }
 
     // --- statistics ----------------------------------------------------------

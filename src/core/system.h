@@ -79,6 +79,13 @@ public:
     AddressSpace& addressSpace() { return *space_; }
     StatRegistry& stats() { return stats_; }
 
+    /// Registers the event engine's own counters ("queue.*": schedule calls,
+    /// executed events, peak pending, heap-spilled callbacks) with the stat
+    /// registry. Opt-in, same discipline as enableTracing/enableChecker: the
+    /// default stat set — and every byte of stats JSON, results.json and
+    /// snapshots derived from it — stays exactly what it always was.
+    void enableQueueStats() { ctx_.queue.regStats(stats_); }
+
     /// Allocates a data array the way the (translated) program would:
     /// under kDirectStore, kernel-referenced arrays (@p gpuShared) go into
     /// the reserved DS region via mmap; everything else — and everything

@@ -21,13 +21,13 @@ void CpuCore::run(const CpuProgram& program, std::function<void()> onDone)
     program_ = &program;
     pc_ = 0;
     onDone_ = std::move(onDone);
-    queue().scheduleAfter(0, [this] { step(); }, EventPriority::kCore);
+    queue().scheduleAfterInline(0, [this] { step(); }, EventPriority::kCore);
 }
 
 void CpuCore::finishOp()
 {
     ++pc_;
-    queue().scheduleAfter(1, [this] { step(); }, EventPriority::kCore);
+    queue().scheduleAfterInline(1, [this] { step(); }, EventPriority::kCore);
 }
 
 void CpuCore::step()
@@ -45,7 +45,7 @@ void CpuCore::step()
     const CpuOp& op = (*program_)[pc_];
     switch (op.kind) {
     case CpuOp::Kind::kCompute:
-        queue().scheduleAfter(op.delay, [this] { finishOp(); },
+        queue().scheduleAfterInline(op.delay, [this] { finishOp(); },
                               EventPriority::kCore);
         break;
     case CpuOp::Kind::kFence:
@@ -90,7 +90,7 @@ void CpuCore::execStore(const CpuOp& op)
     const TlbResult tr = tlb_.translate(op.vaddr);
     const Tick extra = tr.latency;
     if (tr.translation.dsRegion) {
-        queue().scheduleAfter(extra, [this, pa = tr.translation.paddr, op] {
+        queue().scheduleAfterInline(extra, [this, pa = tr.translation.paddr, op] {
             remoteStore(pa, op);
             finishOp();
         }, EventPriority::kCore);
@@ -102,7 +102,7 @@ void CpuCore::execStore(const CpuOp& op)
         stalledStores_.push_back(op);
         return;
     }
-    queue().scheduleAfter(extra, [this, pa = tr.translation.paddr, op] {
+    queue().scheduleAfterInline(extra, [this, pa = tr.translation.paddr, op] {
         pushStoreBuffer(pa, op);
         finishOp();
     }, EventPriority::kCore);
@@ -135,7 +135,7 @@ void CpuCore::drainStoreEntry(Addr base)
     const Tick lookup = cache_.l1Hit(base)
                             ? params_.l1Latency
                             : params_.l1Latency + params_.l2Latency;
-    queue().scheduleAfter(lookup, [this, base] {
+    queue().scheduleAfterInline(lookup, [this, base] {
         cache_.access(base, /*exclusive=*/true,
                       [this, base](CacheAgent::Line& line) {
                           // Apply every byte combined into the entry so far.
@@ -274,7 +274,7 @@ void CpuCore::armDsTimeout(std::uint64_t txn)
     const DsInFlight& f = it->second;
     const Tick wait = params_.dsAckTimeout
                       << std::min<std::uint32_t>(f.retries, 6);
-    queue().scheduleAfter(wait,
+    queue().scheduleAfterInline(wait,
                           [this, txn, seq = f.seq] { onDsTimeout(txn, seq); },
                           EventPriority::kCore);
 }
@@ -322,7 +322,7 @@ void CpuCore::beginDsFallback(std::uint64_t txn)
     // Wait out the maximum-segment-lifetime window first so no copy of the
     // abandoned push is still on the wire when the pull path takes over. A
     // late ack arriving during the window cancels the fallback.
-    queue().scheduleAfter(params_.dsMslTicks,
+    queue().scheduleAfterInline(params_.dsMslTicks,
                           [this, txn] { applyDsFallback(txn); },
                           EventPriority::kCore);
 }
@@ -400,7 +400,7 @@ void CpuCore::execLoad(const CpuOp& op)
             break; // partially buffered: let the access path order it
         storeForwards_.inc();
         const std::uint64_t value = entry.data.read(lineOffset(pa), op.size);
-        queue().scheduleAfter(tr.latency + params_.l1Latency,
+        queue().scheduleAfterInline(tr.latency + params_.l1Latency,
                               [this, op, value] {
                                   checkLoadedValue(op, value);
                                   loadLatency_.sample(curTick() - loadStart_);
@@ -417,7 +417,7 @@ void CpuCore::doLocalLoad(Addr pa, const CpuOp& op, Tick extraLatency)
     const Tick lookup = cache_.l1Hit(pa)
                             ? params_.l1Latency
                             : params_.l1Latency + params_.l2Latency;
-    queue().scheduleAfter(extraLatency + lookup, [this, pa, op] {
+    queue().scheduleAfterInline(extraLatency + lookup, [this, pa, op] {
         cache_.access(pa, /*exclusive=*/false,
                       [this, pa, op](CacheAgent::Line& line) {
                           const std::uint64_t value =
@@ -442,7 +442,7 @@ void CpuCore::doUncachedLoad(Addr pa, const CpuOp& op, Tick extraLatency)
             covered = covered && entry.mask.test(lineOffset(pa) + i);
         if (covered) {
             const std::uint64_t value = entry.data.read(lineOffset(pa), op.size);
-            queue().scheduleAfter(extraLatency + params_.l1Latency,
+            queue().scheduleAfterInline(extraLatency + params_.l1Latency,
                                   [this, op, value] {
                                       checkLoadedValue(op, value);
                                       loadLatency_.sample(curTick() - loadStart_);
@@ -466,7 +466,7 @@ void CpuCore::doUncachedLoad(Addr pa, const CpuOp& op, Tick extraLatency)
 
     ucReads_.inc();
     assert(!pendingUcLoad_ && "in-order core: one uncached load at a time");
-    queue().scheduleAfter(extraLatency, [this, pa, op] {
+    queue().scheduleAfterInline(extraLatency, [this, pa, op] {
         pendingUcLoad_ = [this, pa, op](const Message& reply) {
             const std::uint64_t value = reply.data.read(lineOffset(pa), op.size);
             checkLoadedValue(op, value);
@@ -510,7 +510,7 @@ void CpuCore::sendUcRead()
     params_.dsNet->send(std::move(msg));
     const Tick wait = params_.dsAckTimeout
                       << std::min<std::uint32_t>(ucRetries_, 6);
-    queue().scheduleAfter(
+    queue().scheduleAfterInline(
         wait, [this, txn = ucTxn_, seq = ucSeq_] { onUcTimeout(txn, seq); },
         EventPriority::kCore);
 }

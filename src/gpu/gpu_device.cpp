@@ -28,7 +28,7 @@ void GpuDevice::launch(const KernelDesc& kernel, std::function<void()> onDone)
     if (TraceSession* t = tracing(TraceCat::kKernel))
         t->instant(TraceCat::kKernel, name(), "launch", curTick());
 
-    queue().scheduleAfter(params_.launchLatency, [this] {
+    queue().scheduleAfterInline(params_.launchLatency, [this] {
         for (StreamingMultiprocessor* sm : sms_) {
             sm->beginKernel(*kernel_, [this] { return nextBlock(); },
                             [this] { onSmIdle(); });

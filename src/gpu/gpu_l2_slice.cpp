@@ -44,18 +44,23 @@ void GpuL2Slice::maybePrefetch(Addr missAddr)
 
 void GpuL2Slice::handleGpuMessage(const Message& msg)
 {
-    // Charge the front-side tag latency, then serve.
-    queue().scheduleAfter(slice_.tagLatency, [this, msg] {
-        switch (msg.type) {
+    // Charge the front-side tag latency, then serve. The message moves into
+    // a pooled slot (the delivery slot we were handed is recycled as soon as
+    // this handler returns), so the latency event captures one pointer.
+    Message* m = context().msgPool.acquire();
+    *m = msg;
+    queue().scheduleAfterInline(slice_.tagLatency, [this, m] {
+        switch (m->type) {
         case MsgType::kL1Load:
-            serveLoad(msg);
+            serveLoad(*m);
             break;
         case MsgType::kL1Store:
-            serveStore(msg);
+            serveStore(*m);
             break;
         default:
             assert(false && "unexpected GPU-network message at L2 slice");
         }
+        context().msgPool.release(m);
     }, EventPriority::kController);
 }
 
@@ -97,19 +102,22 @@ void GpuL2Slice::serveStore(const Message& msg)
 
 void GpuL2Slice::handleDsMessage(const Message& msg)
 {
-    queue().scheduleAfter(slice_.tagLatency, [this, msg] {
-        switch (msg.type) {
+    Message* m = context().msgPool.acquire();
+    *m = msg;
+    queue().scheduleAfterInline(slice_.tagLatency, [this, m] {
+        switch (m->type) {
         case MsgType::kDsPutX:
-            if (slice_.harden && !admitDirectStore(msg))
+            if (slice_.harden && !admitDirectStore(*m))
                 break;
-            serveDirectStore(msg);
+            serveDirectStore(*m);
             break;
         case MsgType::kUcRead:
-            serveUncachedRead(msg);
+            serveUncachedRead(*m);
             break;
         default:
             assert(false && "unexpected DS-network message at L2 slice");
         }
+        context().msgPool.release(m);
     }, EventPriority::kController);
 }
 

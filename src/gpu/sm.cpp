@@ -102,7 +102,7 @@ void StreamingMultiprocessor::scheduleIssue(Tick delay)
     if (issueScheduled_)
         return;
     issueScheduled_ = true;
-    queue().scheduleAfter(delay, [this] {
+    queue().scheduleAfterInline(delay, [this] {
         issueScheduled_ = false;
         issue();
     }, EventPriority::kCore);
@@ -184,7 +184,7 @@ void StreamingMultiprocessor::execStep(Warp& warp)
 
 void StreamingMultiprocessor::stepDone(Warp& warp, Tick latency)
 {
-    queue().scheduleAfter(latency, [this, &warp] { advanceWarp(warp); },
+    queue().scheduleAfterInline(latency, [this, &warp] { advanceWarp(warp); },
                           EventPriority::kCore);
 }
 

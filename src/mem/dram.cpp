@@ -65,8 +65,8 @@ void Dram::read(Addr addr, DramCallback done)
     const Tick when = scheduleAccess(addr);
     if (TraceSession* t = tracing(TraceCat::kDram))
         t->span(TraceCat::kDram, name(), "read", curTick(), when, addr);
-    queue().schedule(when, [cb = std::move(done)] { cb(); },
-                     EventPriority::kController);
+    queue().scheduleInline(when, [cb = std::move(done)] { cb(); },
+                           EventPriority::kController);
 }
 
 void Dram::write(Addr addr, const DataBlock& data, DramCallback done)
@@ -75,14 +75,22 @@ void Dram::write(Addr addr, const DataBlock& data, DramCallback done)
     const Tick when = scheduleAccess(addr);
     if (TraceSession* t = tracing(TraceCat::kDram))
         t->span(TraceCat::kDram, name(), "write", curTick(), when, addr);
-    // Functionally the write is applied at completion time.
-    queue().schedule(when,
-                     [this, addr, data, cb = std::move(done)] {
-                         store_.writeLine(addr, data);
-                         if (cb)
-                             cb();
-                     },
-                     EventPriority::kController);
+    // Functionally the write is applied at completion time. The line data
+    // parks in a pooled slot; the event captures only the pointer.
+    PendingWrite* p = writePool_.acquire();
+    p->addr = addr;
+    p->data = data;
+    p->done = std::move(done);
+    queue().scheduleInline(when,
+                           [this, p] {
+                               store_.writeLine(p->addr, p->data);
+                               DramCallback cb = std::move(p->done);
+                               p->done = nullptr;
+                               writePool_.release(p);
+                               if (cb)
+                                   cb();
+                           },
+                           EventPriority::kController);
 }
 
 void Dram::writeMasked(Addr addr, const DataBlock& data, const ByteMask& mask,
@@ -92,13 +100,21 @@ void Dram::writeMasked(Addr addr, const DataBlock& data, const ByteMask& mask,
     const Tick when = scheduleAccess(addr);
     if (TraceSession* t = tracing(TraceCat::kDram))
         t->span(TraceCat::kDram, name(), "write", curTick(), when, addr);
-    queue().schedule(when,
-                     [this, addr, data, mask, cb = std::move(done)] {
-                         store_.writeMasked(addr, data, mask);
-                         if (cb)
-                             cb();
-                     },
-                     EventPriority::kController);
+    PendingWrite* p = writePool_.acquire();
+    p->addr = addr;
+    p->data = data;
+    p->mask = mask;
+    p->done = std::move(done);
+    queue().scheduleInline(when,
+                           [this, p] {
+                               store_.writeMasked(p->addr, p->data, p->mask);
+                               DramCallback cb = std::move(p->done);
+                               p->done = nullptr;
+                               writePool_.release(p);
+                               if (cb)
+                                   cb();
+                           },
+                           EventPriority::kController);
 }
 
 void Dram::regStats(StatRegistry& registry)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mem/backing_store.h"
+#include "sim/object_pool.h"
 #include "sim/sim_object.h"
 #include "sim/stats.h"
 #include "sim/types.h"
@@ -81,6 +82,16 @@ private:
         std::uint64_t openRow = 0;
     };
 
+    /// A queued write's payload (line data + mask + completion callback is
+    /// far too big for an inline event capture), parked in a pooled slot so
+    /// the completion event captures only the slot pointer.
+    struct PendingWrite {
+        Addr addr = 0;
+        DataBlock data;
+        ByteMask mask;
+        DramCallback done;
+    };
+
     std::uint32_t bankOf(Addr addr) const;
     std::uint64_t rowOf(Addr addr) const;
 
@@ -91,6 +102,7 @@ private:
     DramTiming timing_;
     std::vector<Bank> banks_;
     Tick busFreeAt_ = 0;
+    ObjectPool<PendingWrite> writePool_;
 
     Counter reads_;
     Counter writes_;

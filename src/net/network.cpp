@@ -49,7 +49,7 @@ void Network::connect(NodeId id, Handler handler)
     if (handlers_[id])
         throw std::logic_error(name() + ": node already connected: " +
                                std::to_string(id));
-    handlers_[id] = std::move(handler);
+    handlers_[id] = handler;
 }
 
 void Network::send(Message msg)
@@ -126,13 +126,21 @@ void Network::deliver(Message msg, Tick extraDelay)
     if (CoherenceChecker* c = checking())
         c->onMessageSent();
 
-    queue().schedule(arrival,
-                     [this, m = std::move(msg)] {
-                         if (CoherenceChecker* c = checking())
-                             c->onMessageDelivered();
-                         handlers_[m.dst](m);
-                     },
-                     EventPriority::kMessageDelivery);
+    // Move the message into a pooled slot and capture only the pointer: the
+    // delivery closure stays inline in the event entry and the message body
+    // is written exactly once, with the slot recycled as soon as the handler
+    // returns.
+    Message* slot = context().msgPool.acquire();
+    *slot = std::move(msg);
+    queue().scheduleInline(
+        arrival,
+        [this, slot] {
+            if (CoherenceChecker* c = checking())
+                c->onMessageDelivered();
+            handlers_[slot->dst](*slot);
+            context().msgPool.release(slot);
+        },
+        EventPriority::kMessageDelivery);
 }
 
 void Network::regStats(StatRegistry& registry)

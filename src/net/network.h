@@ -9,8 +9,10 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -28,7 +30,30 @@ struct NetworkParams {
 
 class Network final : public SimObject {
 public:
-    using Handler = std::function<void(const Message&)>;
+    /// Devirtualized receiver: a plain (function pointer, object) pair, so
+    /// the per-message handler hop is one indirect call with no
+    /// std::function dispatch or allocation. Controllers register through
+    /// handlerFor<&T::method>; callables (tests, probes) go through the
+    /// templated connect overload, which owns them.
+    struct Handler {
+        using Fn = void (*)(void*, const Message&);
+        Fn fn = nullptr;
+        void* obj = nullptr;
+
+        void operator()(const Message& m) const { fn(obj, m); }
+        explicit operator bool() const { return fn != nullptr; }
+    };
+
+    /// Binds a member function at compile time:
+    /// `net.connect(id, Network::handlerFor<&HomeController::handleRequest>(home))`.
+    template <auto Method, typename T>
+    static Handler handlerFor(T* obj)
+    {
+        return Handler{[](void* o, const Message& m) {
+                           (static_cast<T*>(o)->*Method)(m);
+                       },
+                       obj};
+    }
 
     Network(std::string name, SimContext& ctx, NetworkParams params);
 
@@ -36,9 +61,24 @@ public:
     /// registered once; ids are dense and assigned by the System builder.
     void connect(NodeId id, Handler handler);
 
+    /// Convenience overload for arbitrary callables: the network takes
+    /// ownership of @p f and routes through a per-type thunk. Same delivery
+    /// cost as a member-function handler.
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Handler>>>
+    void connect(NodeId id, F&& f)
+    {
+        using D = std::decay_t<F>;
+        auto holder = std::make_unique<Holder<D>>(std::forward<F>(f));
+        const Handler h{&Holder<D>::call, holder.get()};
+        owned_.push_back(std::move(holder));
+        connect(id, h);
+    }
+
     bool isConnected(NodeId id) const
     {
-        return id < handlers_.size() && handlers_[id] != nullptr;
+        return id < handlers_.size() && static_cast<bool>(handlers_[id]);
     }
 
     /// Sends @p msg; it is delivered to msg.dst after hop latency plus
@@ -72,6 +112,19 @@ public:
     }
 
 private:
+    struct HolderBase {
+        virtual ~HolderBase() = default;
+    };
+    template <typename F>
+    struct Holder final : HolderBase {
+        explicit Holder(F f) : fn(std::move(f)) {}
+        static void call(void* o, const Message& m)
+        {
+            static_cast<Holder*>(o)->fn(m);
+        }
+        F fn;
+    };
+
     /// The pre-fault send path: computes arrival (with @p extraDelay folded
     /// in before the port max, preserving per-destination monotonicity),
     /// accounts traffic, and schedules the handler.
@@ -79,6 +132,7 @@ private:
 
     NetworkParams params_;
     std::vector<Handler> handlers_;
+    std::vector<std::unique_ptr<HolderBase>> owned_;
     std::vector<Tick> portFreeAt_; ///< per-destination serialization point
     FaultInjector* fault_ = nullptr;
 

@@ -1,0 +1,172 @@
+// Small-buffer-optimized type-erased callback for the event engine.
+//
+// The event queue executes tens of millions of callbacks per simulated run;
+// std::function's allocation behavior (heap for any capture beyond ~16 bytes)
+// made every network delivery and most controller steps pay a malloc/free
+// pair. InlineCallback stores captures up to kInlineSize bytes inside the
+// object itself — enough for every hot scheduling site in the simulator —
+// and falls back to the heap only for oversized or throwing-move captures.
+// The queue counts those spills (queue.heap_spilled_callbacks) so a capture
+// that silently outgrows the buffer shows up in the stats, and the hot sites
+// additionally static_assert the fit via EventQueue::scheduleInline.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dscoh {
+
+class InlineCallback {
+public:
+    /// Inline capture budget, sized to the largest hot capture in the tree
+    /// ([this, pa, op] in the CPU core: 8 + 8 + sizeof(CpuOp)=48 bytes).
+    /// Anything bigger belongs in a pooled slot (see sim/object_pool.h).
+    static constexpr std::size_t kInlineSize = 64;
+    static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+    /// True when a callable of type F would live in the inline buffer.
+    /// Inline storage additionally requires a noexcept move constructor:
+    /// queue containers relocate entries while reheapifying, and those
+    /// operations must not throw half-way through.
+    template <typename F>
+    static constexpr bool fitsInline()
+    {
+        using D = std::decay_t<F>;
+        return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    InlineCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F&& f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using D = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, D&>,
+                      "callback must be invocable as void()");
+        if constexpr (fitsInline<F>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            ops_ = &InlineModel<D>::kOps;
+        } else {
+            ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+            ops_ = &HeapModel<D>::kOps;
+        }
+    }
+
+    InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            // Almost every capture in the simulator is trivially copyable
+            // (pointers + PODs), so a move is a fixed-size memcpy the
+            // compiler turns into a few vector loads — no indirect call.
+            if (ops_->trivialMove)
+                std::memcpy(storage_, other.storage_, kInlineSize);
+            else
+                ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineCallback& operator=(InlineCallback&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                if (ops_->trivialMove)
+                    std::memcpy(storage_, other.storage_, kInlineSize);
+                else
+                    ops_->relocate(storage_, other.storage_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback&) = delete;
+    InlineCallback& operator=(const InlineCallback&) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void operator()()
+    {
+        assert(ops_ != nullptr && "invoking an empty InlineCallback");
+        ops_->invoke(storage_);
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /// True when the capture spilled to a heap allocation (too big or a
+    /// throwing move). The queue surfaces this as a counter.
+    bool onHeap() const { return ops_ != nullptr && ops_->heap; }
+
+private:
+    struct Ops {
+        void (*invoke)(void* storage);
+        /// Move-construct into @p dst from @p src and destroy @p src. Only
+        /// consulted when trivialMove is false.
+        void (*relocate)(void* dst, void* src) noexcept;
+        /// Null when the stored state is trivially destructible, so the
+        /// destructor of the common case is a load and a taken-predictable
+        /// branch.
+        void (*destroy)(void* storage) noexcept;
+        bool heap;
+        /// True when a move is a plain byte copy of the storage: trivially
+        /// copyable inline captures, and the heap model's stored pointer.
+        bool trivialMove;
+    };
+
+    template <typename D>
+    struct InlineModel {
+        static D* self(void* s)
+        {
+            return std::launder(static_cast<D*>(s));
+        }
+        static void invoke(void* s) { (*self(s))(); }
+        static void relocate(void* dst, void* src) noexcept
+        {
+            ::new (dst) D(std::move(*self(src)));
+            self(src)->~D();
+        }
+        static void destroy(void* s) noexcept { self(s)->~D(); }
+        static constexpr Ops kOps{
+            &invoke, &relocate,
+            std::is_trivially_destructible_v<D> ? nullptr : &destroy, false,
+            std::is_trivially_copyable_v<D>};
+    };
+
+    template <typename D>
+    struct HeapModel {
+        static D* self(void* s)
+        {
+            return *std::launder(static_cast<D**>(s));
+        }
+        static void invoke(void* s) { (*self(s))(); }
+        static void relocate(void* dst, void* src) noexcept
+        {
+            ::new (dst) D*(self(src));
+        }
+        static void destroy(void* s) noexcept { delete self(s); }
+        static constexpr Ops kOps{&invoke, &relocate, &destroy, true, true};
+    };
+
+    void reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            if (ops_->destroy != nullptr)
+                ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+    const Ops* ops_ = nullptr;
+};
+
+} // namespace dscoh

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iostream>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "sim/event_queue.h"
 
@@ -49,9 +51,21 @@ public:
     LogSink(const LogSink&) = delete;
     LogSink& operator=(const LogSink&) = delete;
 
-    void enable(const std::string& component) { enabled_.insert(component); }
-    void disable(const std::string& component) { enabled_.erase(component); }
-    void disableAll() { enabled_.clear(); }
+    void enable(const std::string& component)
+    {
+        enabled_.insert(component);
+        anyOn_ = true;
+    }
+    void disable(const std::string& component)
+    {
+        enabled_.erase(component);
+        anyOn_ = !enabled_.empty();
+    }
+    void disableAll()
+    {
+        enabled_.clear();
+        anyOn_ = false;
+    }
 
     /// Threshold below which messages are dropped even for enabled
     /// components. Default kInfo: DSCOH_LOG (info-level) behaves exactly as
@@ -59,14 +73,22 @@ public:
     void setThreshold(LogLevel l) { threshold_ = l; }
     LogLevel threshold() const { return threshold_; }
 
-    bool isEnabled(const std::string& component,
+    /// The one-load fast gate the logging macros test first: false in the
+    /// common all-off case, making a disabled log site a single branch with
+    /// no string construction, lookup, or formatting of any kind.
+    bool anyEnabled() const { return anyOn_; }
+
+    /// Components are looked up by string_view through the set's transparent
+    /// comparator, so checking never materializes a std::string.
+    bool isEnabled(std::string_view component,
                    LogLevel lvl = LogLevel::kInfo) const
     {
-        if (enabled_.empty()) // fast path: the common all-off case
+        if (!anyOn_) // fast path: the common all-off case
             return false;
         if (lvl > threshold_)
             return false;
-        return enabled_.count(component) != 0 || enabled_.count("*") != 0;
+        return enabled_.find(component) != enabled_.end() ||
+               enabled_.find(std::string_view("*")) != enabled_.end();
     }
 
     /// Attach the queue whose curTick() stamps messages (may be null).
@@ -75,7 +97,7 @@ public:
     /// Redirect output (default: std::clog). Tests capture through this.
     void streamTo(std::ostream& os) { os_ = &os; }
 
-    void write(const std::string& component, const std::string& msg,
+    void write(std::string_view component, std::string_view msg,
                LogLevel lvl = LogLevel::kInfo) const
     {
         if (!isEnabled(component, lvl))
@@ -86,7 +108,8 @@ public:
     }
 
 private:
-    std::set<std::string> enabled_;
+    std::set<std::string, std::less<>> enabled_;
+    bool anyOn_ = false;
     LogLevel threshold_ = LogLevel::kInfo;
     const EventQueue* queue_ = nullptr;
     std::ostream* os_ = &std::clog;
@@ -94,10 +117,12 @@ private:
 
 /// Usage: DSCOH_LOG_TO(sink, "coherence", "GETS " << std::hex << addr);
 /// The stream expression is only evaluated when the component is enabled
-/// at the given level (DSCOH_LOG_TO logs at kInfo).
+/// at the given level (DSCOH_LOG_TO logs at kInfo). The anyEnabled() gate
+/// runs first: with logging off (the hot-loop default) a log site costs one
+/// bool load and a predictable branch — no string, no lookup, no stream.
 #define DSCOH_LOG_TO_AT(sink, level, component, expr)                        \
     do {                                                                     \
-        if ((sink).isEnabled(component, level)) {                            \
+        if ((sink).anyEnabled() && (sink).isEnabled(component, level)) {     \
             std::ostringstream dscoh_log_os;                                 \
             dscoh_log_os << expr;                                            \
             (sink).write(component, dscoh_log_os.str(), level);              \

@@ -1,0 +1,62 @@
+// Freelist arena for hot-path payload objects.
+//
+// The event engine keeps captures small (see inline_callback.h) by moving
+// bulky payloads — network Messages, pending DRAM writes — into pooled slots
+// and capturing only the slot pointer. Slots come from chunked arrays owned
+// by the pool, so steady-state simulation performs no allocation at all on
+// the message path: acquire/release are a vector push/pop.
+//
+// The pool hands out *stale* slots: the caller assigns the full object on
+// acquire. Slots lost to EventQueue::clear() (events dropped between
+// independent simulations) simply stay owned by their chunk; the memory is
+// reclaimed when the pool dies with its SimContext.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace dscoh {
+
+template <typename T>
+class ObjectPool {
+public:
+    ObjectPool() = default;
+
+    ObjectPool(const ObjectPool&) = delete;
+    ObjectPool& operator=(const ObjectPool&) = delete;
+
+    /// Returns a slot with unspecified (stale) contents; assign before use.
+    T* acquire()
+    {
+        if (free_.empty())
+            grow();
+        T* slot = free_.back();
+        free_.pop_back();
+        return slot;
+    }
+
+    void release(T* slot) { free_.push_back(slot); }
+
+    /// Total slots ever created (for tests and sizing diagnostics).
+    std::size_t capacity() const { return chunks_.size() * kChunk; }
+
+private:
+    static constexpr std::size_t kChunk = 128;
+
+    void grow()
+    {
+        // for_overwrite: slots are stale by contract (assigned on acquire),
+        // so value-initializing a fresh chunk would be pure memset waste.
+        chunks_.push_back(std::make_unique_for_overwrite<T[]>(kChunk));
+        T* base = chunks_.back().get();
+        free_.reserve(free_.size() + kChunk);
+        for (std::size_t i = kChunk; i > 0; --i)
+            free_.push_back(base + (i - 1));
+    }
+
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    std::vector<T*> free_;
+};
+
+} // namespace dscoh

@@ -11,9 +11,11 @@
 #include <memory>
 
 #include "check/coherence_checker.h"
+#include "net/message.h"
 #include "obs/trace_session.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
+#include "sim/object_pool.h"
 
 namespace dscoh {
 
@@ -25,6 +27,13 @@ struct SimContext {
 
     EventQueue queue;
     LogSink log;
+
+    /// Arena of Message slots shared by every network and agent in this
+    /// context: send -> deliver moves a message into a pooled slot and the
+    /// delivery event captures only the slot pointer, so the hot message
+    /// path performs no per-message allocation and fits the event queue's
+    /// inline callback buffer.
+    ObjectPool<Message> msgPool;
 
     /// Structured event tracing. Null (the default) means tracing is off
     /// and every hook in the components costs one pointer test; see

@@ -595,13 +595,13 @@ TranslateResult SourceTranslator::translateProject(
 
                 std::string sizeExpr;
                 if (isCalloc && args.size() == 2) {
-                    sizeExpr = "(" +
-                               sourceSlice(src, toks[args[0].first],
-                                           toks[args[0].second - 1]) +
-                               ") * (" +
-                               sourceSlice(src, toks[args[1].first],
-                                           toks[args[1].second - 1]) +
-                               ")";
+                    sizeExpr = "(";
+                    sizeExpr += sourceSlice(src, toks[args[0].first],
+                                            toks[args[0].second - 1]);
+                    sizeExpr += ") * (";
+                    sizeExpr += sourceSlice(src, toks[args[1].first],
+                                            toks[args[1].second - 1]);
+                    sizeExpr += ")";
                 } else if (!isCalloc && args.size() == 1) {
                     sizeExpr = sourceSlice(src, toks[args[0].first],
                                            toks[args[0].second - 1]);

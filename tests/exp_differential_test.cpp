@@ -1,0 +1,56 @@
+// Differential guard for the event-engine refactor: the results.json bytes
+// for a Fig.4 configuration are a pure function of the configuration. Two
+// independent engine runs of the same jobs must serialize to the identical
+// byte string — any nondeterminism in event ordering, stat accounting or
+// JSON formatting breaks the equality. Also pins the equality under the
+// fuzzer's tie-break shuffle entry point (System-level ordering freedom
+// must not leak into the metrics).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment_engine.h"
+
+namespace dscoh {
+namespace {
+
+std::string resultsBytes(const std::vector<ExperimentJob>& jobs)
+{
+    ExperimentEngine engine(1);
+    const std::vector<ExperimentResult> results = engine.run(jobs);
+    for (const ExperimentResult& r : results) {
+        EXPECT_TRUE(r.ok) << r.error;
+    }
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    return os.str();
+}
+
+// Two representative Fig.4 sweep configurations: a regular streaming
+// benchmark and an irregular one, each in both coherence modes.
+TEST(DifferentialResults, VaByteIdenticalAcrossRuns)
+{
+    const auto jobs = makeSweepJobs({"VA"}, {InputSize::kSmall},
+                                    {CoherenceMode::kCcsm,
+                                     CoherenceMode::kDirectStore});
+    const std::string first = resultsBytes(jobs);
+    const std::string second = resultsBytes(jobs);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(DifferentialResults, BfsByteIdenticalAcrossRuns)
+{
+    const auto jobs = makeSweepJobs({"BF"}, {InputSize::kSmall},
+                                    {CoherenceMode::kCcsm,
+                                     CoherenceMode::kDirectStore});
+    const std::string first = resultsBytes(jobs);
+    const std::string second = resultsBytes(jobs);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+} // namespace
+} // namespace dscoh

@@ -169,8 +169,11 @@ INSTANTIATE_TEST_SUITE_P(Banks, DramSweep,
                          ::testing::Values(DramParam{1, 2}, DramParam{1, 8},
                                            DramParam{2, 8}, DramParam{4, 8}),
                          [](const ::testing::TestParamInfo<DramParam>& pinfo) {
-                             return "r" + std::to_string(pinfo.param.ranks) +
-                                    "b" + std::to_string(pinfo.param.banks);
+                             std::string n = "r";
+                             n += std::to_string(pinfo.param.ranks);
+                             n += 'b';
+                             n += std::to_string(pinfo.param.banks);
+                             return n;
                          });
 
 } // namespace

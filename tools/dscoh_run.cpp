@@ -43,11 +43,12 @@ struct ObsOptions {
     std::string traceOut;     ///< Chrome trace-event file (--trace-out)
     std::uint32_t traceMask = kAllTraceCats; ///< --trace-filter
     Tick epochTicks = 0;      ///< --epoch-ticks (0 = no sampling)
+    bool queueStats = false;  ///< --queue-stats
 
     bool any() const
     {
         return !statsPath.empty() || !statsJson.empty() ||
-               !traceOut.empty() || epochTicks != 0;
+               !traceOut.empty() || epochTicks != 0 || queueStats;
     }
 
     /// "s.json" -> "s.json.ccsm" for --mode both, matching the historical
@@ -78,6 +79,8 @@ WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
 
     if (!obs.traceOut.empty())
         sys.enableTracing(obs.traceMask);
+    if (obs.queueStats)
+        sys.enableQueueStats();
     std::unique_ptr<EpochSampler> sampler;
     if (obs.epochTicks != 0) {
         EpochSampler::Params epochParams;
@@ -200,6 +203,10 @@ int main(int argc, char** argv)
                      "(coherence,net,dram,mshr,kernel)", &traceFilter);
     parser.addUint("epoch-ticks", "sample counters every N ticks into the "
                    "stats JSON", &epochTicks);
+    bool queueStats = false;
+    parser.addFlag("queue-stats", "add the event engine's own counters "
+                   "(queue.*) to the stat registry; use consistently across "
+                   "a checkpoint/restore pair", &queueStats);
     parser.addString("log-level", "error|warn|info|debug (default: "
                      "$DSCOH_LOG_LEVEL or info)", &logLevelText);
     parser.addString("config", "key=value config file (see --dump-config)",
@@ -280,6 +287,7 @@ int main(int argc, char** argv)
         obs.statsJson = statsJsonPath;
         obs.traceOut = traceOutPath;
         obs.epochTicks = epochTicks;
+        obs.queueStats = queueStats;
         if (!traceFilter.empty()) {
             std::string error;
             if (!parseTraceFilter(traceFilter, obs.traceMask, error)) {
