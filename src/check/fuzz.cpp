@@ -9,6 +9,7 @@
 #include "check/coherence_checker.h"
 #include "core/system.h"
 #include "sim/rng.h"
+#include "snap/serializer.h"
 #include "workloads/workload.h" // producedValue
 
 namespace dscoh {
@@ -171,6 +172,8 @@ FuzzReport runScenario(const FuzzScenario& sc, CoherenceMode mode,
         cp.maxViolations = options.maxViolations;
         checker = &sys.enableChecker(cp);
     }
+    if (!options.txnProfilePath.empty())
+        sys.enableTxnProfiler();
 
     std::vector<Addr> bases;
     std::vector<std::uint32_t> words;
@@ -363,6 +366,12 @@ FuzzReport runScenario(const FuzzScenario& sc, CoherenceMode mode,
     for (std::uint32_t gid = 0; gid < outWords; ++gid)
         report.outWords.push_back(static_cast<std::uint32_t>(
             readGlobalWord(sys, out + gid * 4ull)));
+
+    if (!options.txnProfilePath.empty()) {
+        std::ostringstream prof;
+        sys.txnProfiler()->writeJson(prof);
+        snap::atomicWriteFile(options.txnProfilePath, prof.str());
+    }
     return report;
 }
 
@@ -370,8 +379,17 @@ DifferentialReport runDifferential(const FuzzScenario& sc,
                                    const FuzzOptions& options)
 {
     DifferentialReport diff;
-    diff.ccsm = runScenario(sc, CoherenceMode::kCcsm, options);
-    diff.directStore = runScenario(sc, CoherenceMode::kDirectStore, options);
+    // Both modes run with the same options; the profile output (one file
+    // per run) gets a per-mode suffix so the second run cannot clobber the
+    // first.
+    FuzzOptions ccsmOpts = options;
+    FuzzOptions dsOpts = options;
+    if (!options.txnProfilePath.empty()) {
+        ccsmOpts.txnProfilePath += ".ccsm";
+        dsOpts.txnProfilePath += ".ds";
+    }
+    diff.ccsm = runScenario(sc, CoherenceMode::kCcsm, ccsmOpts);
+    diff.directStore = runScenario(sc, CoherenceMode::kDirectStore, dsOpts);
     const std::size_t n =
         std::min(diff.ccsm.outWords.size(), diff.directStore.outWords.size());
     for (std::size_t i = 0; i < n; ++i) {

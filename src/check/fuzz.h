@@ -114,6 +114,13 @@ struct FuzzOptions {
     /// run only the remaining rounds. The oracle's shadow state travels
     /// with the snapshot, so a restored run keeps full checking history.
     std::string restorePath;
+
+    /// When non-empty, attach a TxnProfiler to the run and atomically
+    /// publish its dscoh-txnprof-v1 JSON here afterwards (feed the file to
+    /// txn_report). The profiler state rides in snapshots, so a
+    /// snapshot/restore pair reproduces the uninterrupted run's profile
+    /// byte for byte.
+    std::string txnProfilePath;
 };
 
 struct FuzzReport {
@@ -150,7 +157,8 @@ struct DifferentialReport {
 };
 
 /// Runs @p scenario under kCcsm and kDirectStore and compares the final
-/// output array across modes.
+/// output array across modes. With options.txnProfilePath set, the two
+/// runs' profiles land in "<path>.ccsm" and "<path>.ds".
 DifferentialReport runDifferential(const FuzzScenario& scenario,
                                    const FuzzOptions& options = {});
 

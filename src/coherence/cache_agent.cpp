@@ -125,7 +125,10 @@ void CacheAgent::startTransaction(Line* existing, Addr base, bool exclusive,
         entry.allocatedAt = curTick();
         entry.targets.push_back({exclusive, std::move(done)});
         getxIssued_.inc();
-        sendToHome(MsgType::kGetX, base);
+        std::uint64_t prof = 0;
+        if (TxnProfiler* p = profiling())
+            prof = p->begin(TxnKind::kUpgrade, base, name(), curTick());
+        sendToHome(MsgType::kGetX, base, /*ownerFlag=*/false, prof);
         return;
     }
 
@@ -148,12 +151,16 @@ void CacheAgent::startTransaction(Line* existing, Addr base, bool exclusive,
     auto& entry = mshr_.allocate(base);
     entry.allocatedAt = curTick();
     entry.targets.push_back({exclusive, std::move(done)});
+    std::uint64_t prof = 0;
+    if (TxnProfiler* p = profiling())
+        prof = p->begin(exclusive ? TxnKind::kGetX : TxnKind::kGetS, base,
+                        name(), curTick());
     if (exclusive) {
         getxIssued_.inc();
-        sendToHome(MsgType::kGetX, base);
+        sendToHome(MsgType::kGetX, base, /*ownerFlag=*/false, prof);
     } else {
         getsIssued_.inc();
-        sendToHome(MsgType::kGetS, base);
+        sendToHome(MsgType::kGetS, base, /*ownerFlag=*/false, prof);
     }
 }
 
@@ -212,10 +219,13 @@ void CacheAgent::issueWriteback(Addr base, const DataBlock& data,
     msg.hasData = true;
     msg.dirty = true;
     msg.txn = nextTxn_++;
+    if (TxnProfiler* p = profiling())
+        msg.prof = p->begin(TxnKind::kWriteback, base, name(), curTick());
     params_.requestNet->send(std::move(msg));
 }
 
-void CacheAgent::sendToHome(MsgType type, Addr base, bool ownerFlag)
+void CacheAgent::sendToHome(MsgType type, Addr base, bool ownerFlag,
+                            std::uint64_t prof)
 {
     Message msg;
     msg.type = type;
@@ -227,11 +237,13 @@ void CacheAgent::sendToHome(MsgType type, Addr base, bool ownerFlag)
     // the line's owner (MM)" so home can maintain its owner registry.
     msg.exclusive = ownerFlag;
     msg.txn = nextTxn_++;
+    msg.prof = prof;
     params_.requestNet->send(std::move(msg));
 }
 
 void CacheAgent::sendDataTo(NodeId dst, Addr base, const DataBlock& data,
-                            bool dirty, bool exclusive, std::uint64_t txn)
+                            bool dirty, bool exclusive, std::uint64_t txn,
+                            std::uint64_t prof)
 {
     Message msg;
     msg.type = MsgType::kData;
@@ -245,8 +257,11 @@ void CacheAgent::sendDataTo(NodeId dst, Addr base, const DataBlock& data,
     msg.dirty = dirty;
     msg.exclusive = exclusive;
     msg.txn = txn;
+    msg.prof = prof;
     dataSupplied_.inc();
     if (params_.dataSupplyLatency == 0 && params_.dataSupplyInterval == 0) {
+        if (TxnProfiler* p = profiling())
+            p->hop(prof, TxnStage::kSupplySend, name(), curTick());
         params_.responseNet->send(std::move(msg));
         return;
     }
@@ -259,6 +274,9 @@ void CacheAgent::sendDataTo(NodeId dst, Addr base, const DataBlock& data,
     *slot = std::move(msg);
     queue().scheduleInline(start + params_.dataSupplyLatency,
                            [this, slot] {
+                               if (TxnProfiler* p = profiling())
+                                   p->hop(slot->prof, TxnStage::kSupplySend,
+                                          name(), curTick());
                                params_.responseNet->send(std::move(*slot));
                                context().msgPool.release(slot);
                            },
@@ -291,6 +309,10 @@ void CacheAgent::handleForward(const Message& msg)
         noteTransition(it->second.state, CohEvent::kWbAck, CohState::kI,
                        msg.addr);
         wbb_.erase(it);
+        if (TxnProfiler* p = profiling()) {
+            p->hop(msg.prof, TxnStage::kAckArrive, name(), curTick());
+            p->end(msg.prof, curTick());
+        }
         replayBlocked();
         break;
     }
@@ -304,6 +326,8 @@ void CacheAgent::handleSnoop(const Message& msg)
     snoops_.inc();
     const Addr base = msg.addr;
     const bool wantsExclusive = msg.type == MsgType::kSnpGetX;
+    if (TxnProfiler* p = profiling())
+        p->hop(msg.prof, TxnStage::kSnpArrive, name(), curTick());
 
     bool suppliedData = false;
     bool wasSharer = false;
@@ -314,7 +338,7 @@ void CacheAgent::handleSnoop(const Message& msg)
         WbEntry& entry = it->second;
         if (entry.state != CohState::kII_A) {
             sendDataTo(msg.requester, base, entry.data, /*dirty=*/true,
-                       wantsExclusive, msg.txn);
+                       wantsExclusive, msg.txn, msg.prof);
             suppliedData = true;
             wasSharer = true;
             if (wantsExclusive) {
@@ -330,7 +354,7 @@ void CacheAgent::handleSnoop(const Message& msg)
         case CohState::kO:
             sendDataTo(msg.requester, base, line->data,
                        /*dirty=*/line->meta.state != CohState::kM,
-                       wantsExclusive, msg.txn);
+                       wantsExclusive, msg.txn, msg.prof);
             suppliedData = true;
             wasSharer = true;
             if (wantsExclusive) {
@@ -385,6 +409,7 @@ void CacheAgent::handleSnoop(const Message& msg)
     resp.suppliedData = suppliedData;
     resp.wasSharer = wasSharer;
     resp.txn = msg.txn;
+    resp.prof = msg.prof;
     params_.responseNet->send(std::move(resp));
 }
 
@@ -424,6 +449,10 @@ void CacheAgent::handleData(const Message& msg)
     fills_.inc();
     noteFilled(msg.addr);
     onFill(*line);
+    if (TxnProfiler* p = profiling()) {
+        p->hop(msg.prof, TxnStage::kDataArrive, name(), curTick());
+        p->end(msg.prof, curTick());
+    }
 
     sendToHome(MsgType::kUnblock, msg.addr,
                /*ownerFlag=*/next == CohState::kMM);

@@ -188,9 +188,10 @@ private:
                           AccessDone done);
     void handleSnoop(const Message& msg);
     void handleData(const Message& msg);
-    void sendToHome(MsgType type, Addr base, bool ownerFlag = false);
+    void sendToHome(MsgType type, Addr base, bool ownerFlag = false,
+                    std::uint64_t prof = 0);
     void sendDataTo(NodeId dst, Addr base, const DataBlock& data, bool dirty,
-                    bool exclusive, std::uint64_t txn);
+                    bool exclusive, std::uint64_t txn, std::uint64_t prof = 0);
 
     Params params_;
     CacheArray<CohMeta> array_;

@@ -30,6 +30,9 @@ void HomeController::handleRequest(const Message& msg)
         return;
     }
 
+    if (TxnProfiler* p = profiling())
+        p->hop(msg.prof, TxnStage::kHomeArrive, name(), curTick());
+
     if (ls.busy) {
         queued_.inc();
         ls.pending.push_back(msg);
@@ -40,6 +43,8 @@ void HomeController::handleRequest(const Message& msg)
 
 void HomeController::process(const Message& msg, LineState& ls)
 {
+    if (TxnProfiler* p = profiling())
+        p->hop(msg.prof, TxnStage::kHomeStart, name(), curTick());
     DSCOH_LOG("home", name() << ' ' << to_string(msg.type) << " 0x"
                              << std::hex << msg.addr << std::dec << " from "
                              << msg.src);
@@ -83,6 +88,8 @@ std::vector<NodeId> HomeController::snoopTargets(const Message& msg,
 void HomeController::issueMemRead(Addr addr, LineState& ls)
 {
     ls.memReadIssued = true;
+    if (TxnProfiler* p = profiling())
+        p->hop(ls.req.prof, TxnStage::kDramIssue, name(), curTick());
     params_.dram->read(addr, [this, addr, txn = ls.activeTxn] {
         onMemData(addr, txn);
     });
@@ -111,9 +118,14 @@ void HomeController::startTransaction(const Message& msg, LineState& ls)
         snp.dst = peer;
         snp.requester = msg.src;
         snp.txn = msg.txn;
+        snp.prof = msg.prof;
         params_.forwardNet->send(std::move(snp));
         snoopsSent_.inc();
         ++ls.snpOutstanding;
+    }
+    if (ls.snpOutstanding > 0) {
+        if (TxnProfiler* p = profiling())
+            p->hop(msg.prof, TxnStage::kSnpSend, name(), curTick());
     }
 
     // Hammer reads DRAM speculatively in parallel with the snoops. The
@@ -131,6 +143,8 @@ void HomeController::handleResponse(const Message& msg)
     assert(msg.type == MsgType::kSnpResp);
     LineState& ls = line(msg.addr);
     assert(ls.busy && ls.snpOutstanding > 0);
+    if (TxnProfiler* p = profiling())
+        p->hop(msg.prof, TxnStage::kSnpRespArrive, name(), curTick());
     --ls.snpOutstanding;
     ls.anySharer = ls.anySharer || msg.wasSharer;
     ls.dataSupplied = ls.dataSupplied || msg.suppliedData;
@@ -144,6 +158,8 @@ void HomeController::onMemData(Addr addr, std::uint64_t txn)
     if (!ls.busy || ls.activeTxn != txn)
         return; // transaction already finished off cache-supplied data
     ls.memDataReady = true;
+    if (TxnProfiler* p = profiling())
+        p->hop(ls.req.prof, TxnStage::kDramDone, name(), curTick());
     maybeRespond(addr, ls);
 }
 
@@ -182,6 +198,9 @@ void HomeController::maybeRespond(Addr addr, LineState& ls)
     }
     data.exclusive = ls.req.type == MsgType::kGetX || !anySharer;
     data.txn = ls.req.txn;
+    data.prof = ls.req.prof;
+    if (TxnProfiler* p = profiling())
+        p->hop(ls.req.prof, TxnStage::kDataSend, name(), curTick());
     params_.responseNet->send(std::move(data));
     memDataSent_.inc();
 }
@@ -206,12 +225,17 @@ void HomeController::processPut(const Message& msg, LineState& ls)
         ls.owner = kInvalidNode;
         ls.busy = true;
         params_.dram->write(msg.addr, msg.data, [this, msg] {
+            if (TxnProfiler* p = profiling()) {
+                p->hop(msg.prof, TxnStage::kDramWrite, name(), curTick());
+                p->hop(msg.prof, TxnStage::kAckSend, name(), curTick());
+            }
             Message ack;
             ack.type = MsgType::kWbAck;
             ack.addr = msg.addr;
             ack.src = params_.self;
             ack.dst = msg.src;
             ack.txn = msg.txn;
+            ack.prof = msg.prof;
             params_.forwardNet->send(std::move(ack));
             LineState& state = line(msg.addr);
             state.busy = false;
@@ -220,12 +244,15 @@ void HomeController::processPut(const Message& msg, LineState& ls)
     } else {
         // Stale: a snoop already moved ownership elsewhere; drop the data.
         putsStale_.inc();
+        if (TxnProfiler* p = profiling())
+            p->hop(msg.prof, TxnStage::kAckSend, name(), curTick());
         Message ack;
         ack.type = MsgType::kWbAck;
         ack.addr = msg.addr;
         ack.src = params_.self;
         ack.dst = msg.src;
         ack.txn = msg.txn;
+        ack.prof = msg.prof;
         params_.forwardNet->send(std::move(ack));
     }
 }

@@ -49,7 +49,28 @@ TraceSession& System::enableTracing(std::uint32_t catMask)
 {
     if (ctx_.trace == nullptr)
         ctx_.trace = std::make_unique<TraceSession>(catMask);
+    // Either enable order works: whichever of tracing/profiling comes
+    // second completes the flow-event cross-wiring.
+    if (ctx_.txnprof != nullptr)
+        ctx_.txnprof->attachTrace(ctx_.trace.get());
     return *ctx_.trace;
+}
+
+TxnProfiler& System::enableTxnProfiler(const TxnProfiler::Params& params)
+{
+    if (ctx_.txnprof == nullptr)
+        ctx_.txnprof = std::make_unique<TxnProfiler>(params);
+    if (ctx_.trace != nullptr)
+        ctx_.txnprof->attachTrace(ctx_.trace.get());
+    return *ctx_.txnprof;
+}
+
+EpochSampler& System::enableEpochSampler(EpochSampler::Params params)
+{
+    if (sampler_ == nullptr)
+        sampler_ = std::make_unique<EpochSampler>(ctx_.queue, stats_,
+                                                  std::move(params));
+    return *sampler_;
 }
 
 CoherenceChecker& System::enableChecker(const CoherenceChecker::Params& params)
@@ -458,6 +479,13 @@ void System::snapshotSave(
     section("stats", stats_);
     if (ctx_.checker != nullptr)
         section("checker", *ctx_.checker);
+    // Observability sections are conditional like the checker's: snapshots
+    // taken without a profiler/sampler attached stay byte-identical to
+    // what they always were.
+    if (ctx_.txnprof != nullptr)
+        section("obs.txnprof", *ctx_.txnprof);
+    if (sampler_ != nullptr)
+        section("obs.epochs", *sampler_);
     if (extra) {
         w.beginSection("runner");
         extra(w);
@@ -493,6 +521,20 @@ void System::snapshotRestore(
                    "carries no oracle shadow state; the store mirror would "
                    "be incomplete — snapshot with the checker enabled or "
                    "restore without enableChecker()");
+    if (ctx_.txnprof != nullptr && !r.hasSection("obs.txnprof"))
+        throw snap::SnapError(
+            path + ": a transaction profiler is attached but the snapshot "
+                   "carries no profile state; the restored profile would "
+                   "miss every pre-checkpoint transaction — snapshot with "
+                   "the profiler enabled or restore without "
+                   "enableTxnProfiler()");
+    if (sampler_ != nullptr && !r.hasSection("obs.epochs"))
+        throw snap::SnapError(
+            path + ": an epoch sampler is attached but the snapshot "
+                   "carries no epoch series; the restored series would "
+                   "miss every pre-checkpoint sample — snapshot with the "
+                   "sampler enabled or restore without "
+                   "enableEpochSampler()");
 
     const auto section = [&r](const std::string& name, auto& obj) {
         r.openSection(name);
@@ -522,6 +564,10 @@ void System::snapshotRestore(
     section("stats", stats_);
     if (ctx_.checker != nullptr)
         section("checker", *ctx_.checker);
+    if (ctx_.txnprof != nullptr)
+        section("obs.txnprof", *ctx_.txnprof);
+    if (sampler_ != nullptr)
+        section("obs.epochs", *sampler_);
     if (extra) {
         if (!r.hasSection("runner"))
             throw snap::SnapError(

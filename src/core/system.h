@@ -21,6 +21,7 @@
 #include "gpu/gpu_l2_slice.h"
 #include "mem/dram_pool.h"
 #include "mem/interleave.h"
+#include "obs/epoch_sampler.h"
 #include "vm/address_space.h"
 
 namespace dscoh {
@@ -76,6 +77,27 @@ public:
     CoherenceChecker& enableChecker(const CoherenceChecker::Params& params = {});
     /// The attached checker, or nullptr when checking is off.
     CoherenceChecker* checker() { return ctx_.checker.get(); }
+
+    /// Attaches a TxnProfiler stamping every coherence transaction with a
+    /// span id and per-hop timestamps (latency histograms, critical-path
+    /// stage breakdown, per-page counters — see obs/txn_profiler.h). Call
+    /// before running; same zero-cost-off discipline as enableTracing.
+    /// When a TraceSession recording TraceCat::kTxn is also attached (in
+    /// either order), closed spans appear in the Chrome trace as flow
+    /// events.
+    TxnProfiler& enableTxnProfiler(const TxnProfiler::Params& params = {});
+    /// The attached profiler, or nullptr when profiling is off.
+    TxnProfiler* txnProfiler() { return ctx_.txnprof.get(); }
+
+    /// Attaches an EpochSampler recording the selected counters every
+    /// params.epochTicks into a time series. System ownership makes the
+    /// series snapshot-state: it travels in the checkpoint and a restored
+    /// run's epoch output is byte-identical to the uninterrupted run's.
+    /// Call sampler->start() once the run begins (after any restore) —
+    /// WorkloadRunOptions::beforeFirstPhase is the right place.
+    EpochSampler& enableEpochSampler(EpochSampler::Params params);
+    /// The attached sampler, or nullptr when sampling is off.
+    EpochSampler* epochSampler() { return sampler_.get(); }
     AddressSpace& addressSpace() { return *space_; }
     StatRegistry& stats() { return stats_; }
 
@@ -176,6 +198,7 @@ private:
     SimContext ctx_;
     StatRegistry stats_;
     SliceInterleave interleave_;
+    std::unique_ptr<EpochSampler> sampler_;
 
     std::unique_ptr<BackingStore> store_;
     std::unique_ptr<AddressSpace> space_;

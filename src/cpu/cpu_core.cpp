@@ -199,9 +199,13 @@ void CpuCore::flushRsbEntry(std::size_t index)
     // Counts the store from here until it is globally performed (acked or
     // applied through the fallback path), backlog time included.
     ++pendingDsAcks_;
+    if (TxnProfiler* p = profiling())
+        entry.prof = p->begin(TxnKind::kDsPush, entry.base, name(), curTick());
 
     if (hardened()) {
         if (dsInFlight_.size() >= params_.dsInFlightMax) {
+            if (TxnProfiler* p = profiling())
+                p->hop(entry.prof, TxnStage::kBacklog, name(), curTick());
             dsBacklog_.push_back(std::move(entry));
             return;
         }
@@ -222,6 +226,9 @@ void CpuCore::flushRsbEntry(std::size_t index)
         msg.mask = e.mask;
         msg.hasData = true;
         msg.dirty = true;
+        msg.prof = e.prof;
+        if (TxnProfiler* p = profiling())
+            p->hop(e.prof, TxnStage::kIssue, name(), curTick());
         params_.dsNet->send(std::move(msg));
         dsPutxSent_.inc();
     });
@@ -237,6 +244,7 @@ void CpuCore::startDsStore(RsbEntry entry)
         f.base = e.base;
         f.data = e.data;
         f.mask = e.mask;
+        f.prof = e.prof;
         sendDsPutX(txn);
     });
 }
@@ -262,6 +270,9 @@ void CpuCore::sendDsPutX(std::uint64_t txn)
     msg.mask = f.mask;
     msg.hasData = true;
     msg.dirty = true;
+    msg.prof = f.prof;
+    if (TxnProfiler* p = profiling())
+        p->hop(f.prof, TxnStage::kIssue, name(), curTick());
     params_.dsNet->send(std::move(msg));
     dsPutxSent_.inc();
     armDsTimeout(txn);
@@ -305,6 +316,8 @@ void CpuCore::retryDsStore(std::uint64_t txn)
         ++f.retries;
     ++f.seq;
     dsRetries_.inc();
+    if (TxnProfiler* p = profiling())
+        p->hop(f.prof, TxnStage::kRetry, name(), curTick());
     if (TraceSession* t = tracing(TraceCat::kNet))
         t->instant(TraceCat::kNet, name(), "ds.retransmit", curTick(), f.base);
     sendDsPutX(txn);
@@ -316,6 +329,8 @@ void CpuCore::beginDsFallback(std::uint64_t txn)
     DsInFlight& f = dsInFlight_.at(txn);
     f.fallbackPending = true;
     ++f.seq; // disarm any in-flight timeout
+    if (TxnProfiler* p = profiling())
+        p->hop(f.prof, TxnStage::kFallbackArm, name(), curTick());
     if (TraceSession* t = tracing(TraceCat::kNet))
         t->instant(TraceCat::kNet, name(), "ds.fallback-arm", curTick(),
                    f.base);
@@ -335,6 +350,8 @@ void CpuCore::applyDsFallback(std::uint64_t txn)
     const DsInFlight f = std::move(it->second);
     dsInFlight_.erase(it);
     dsFallbackStores_.inc();
+    if (TxnProfiler* p = profiling())
+        p->hop(f.prof, TxnStage::kFallback, name(), curTick());
     if (TraceSession* t = tracing(TraceCat::kNet))
         t->instant(TraceCat::kNet, name(), "ds.fallback", curTick(), f.base);
     // The baseline pull-based write: acquire ownership through the regular
@@ -347,6 +364,8 @@ void CpuCore::applyDsFallback(std::uint64_t txn)
                           c->onStoreApplied(f.base, f.data, f.mask);
                       recordTransition(CohState::kI, CohEvent::kFallbackStore,
                                        CohState::kMM);
+                      if (TxnProfiler* p = profiling())
+                          p->end(f.prof, curTick());
                       completeDsStore();
                   });
 }
@@ -466,6 +485,11 @@ void CpuCore::doUncachedLoad(Addr pa, const CpuOp& op, Tick extraLatency)
 
     ucReads_.inc();
     assert(!pendingUcLoad_ && "in-order core: one uncached load at a time");
+    // The span id rides in ucProf_ rather than the event capture (in-order
+    // core: one uncached load at a time) to keep the event inline-sized.
+    ucProf_ = 0;
+    if (TxnProfiler* p = profiling())
+        ucProf_ = p->begin(TxnKind::kUcRead, lineAlign(pa), name(), curTick());
     queue().scheduleAfterInline(extraLatency, [this, pa, op] {
         pendingUcLoad_ = [this, pa, op](const Message& reply) {
             const std::uint64_t value = reply.data.read(lineOffset(pa), op.size);
@@ -488,6 +512,9 @@ void CpuCore::doUncachedLoad(Addr pa, const CpuOp& op, Tick extraLatency)
         msg.src = params_.self;
         msg.dst = params_.sliceOf(pa);
         msg.requester = params_.self;
+        msg.prof = ucProf_;
+        if (TxnProfiler* p = profiling())
+            p->hop(ucProf_, TxnStage::kIssue, name(), curTick());
         params_.dsNet->send(std::move(msg));
     }, EventPriority::kCore);
 }
@@ -507,6 +534,9 @@ void CpuCore::sendUcRead()
     msg.dst = params_.sliceOf(ucPa_);
     msg.requester = params_.self;
     msg.txn = ucTxn_;
+    msg.prof = ucProf_;
+    if (TxnProfiler* p = profiling())
+        p->hop(ucProf_, TxnStage::kIssue, name(), curTick());
     params_.dsNet->send(std::move(msg));
     const Tick wait = params_.dsAckTimeout
                       << std::min<std::uint32_t>(ucRetries_, 6);
@@ -535,6 +565,8 @@ void CpuCore::retryUcLoad()
         ++ucRetries_;
     ++ucSeq_;
     dsRetries_.inc();
+    if (TxnProfiler* p = profiling())
+        p->hop(ucProf_, TxnStage::kRetry, name(), curTick());
     if (TraceSession* t = tracing(TraceCat::kNet))
         t->instant(TraceCat::kNet, name(), "ds.retransmit", curTick(), ucPa_);
     sendUcRead();
@@ -546,6 +578,10 @@ void CpuCore::fallbackUcLoad()
     pendingUcLoad_ = nullptr;
     ++ucSeq_; // disarm any in-flight timeout
     dsFallbackLoads_.inc();
+    if (TxnProfiler* p = profiling()) {
+        p->hop(ucProf_, TxnStage::kFallback, name(), curTick());
+        p->end(ucProf_, curTick());
+    }
     if (TraceSession* t = tracing(TraceCat::kNet))
         t->instant(TraceCat::kNet, name(), "ds.fallback", curTick(), ucPa_);
     // Degrade to a regular coherent load; it completes the op itself. No
@@ -576,6 +612,10 @@ void CpuCore::handleDsMessage(const Message& msg)
                 break; // duplicate or post-fallback straggler
             // An ack always wins, including during a fallback drain window:
             // the push was globally performed after all.
+            if (TxnProfiler* p = profiling()) {
+                p->hop(msg.prof, TxnStage::kAckArrive, name(), curTick());
+                p->end(msg.prof, curTick());
+            }
             dsInFlight_.erase(it);
             completeDsStore();
             break;
@@ -584,6 +624,10 @@ void CpuCore::handleDsMessage(const Message& msg)
         // one even with hardening off).
         if (pendingDsAcks_ == 0)
             break;
+        if (TxnProfiler* p = profiling()) {
+            p->hop(msg.prof, TxnStage::kAckArrive, name(), curTick());
+            p->end(msg.prof, curTick());
+        }
         --pendingDsAcks_;
         if (pendingDsAcks_ == 0) {
             std::deque<std::function<void()>> thunks;
@@ -613,6 +657,10 @@ void CpuCore::handleDsMessage(const Message& msg)
                 break;
             }
             ++ucSeq_; // disarm the timeout
+            if (TxnProfiler* p = profiling()) {
+                p->hop(msg.prof, TxnStage::kDataArrive, name(), curTick());
+                p->end(msg.prof, curTick());
+            }
             auto handler = std::move(pendingUcLoad_);
             pendingUcLoad_ = nullptr;
             handler(msg);
@@ -620,6 +668,10 @@ void CpuCore::handleDsMessage(const Message& msg)
         }
         if (!pendingUcLoad_)
             break; // stray duplicate of an already-served reply
+        if (TxnProfiler* p = profiling()) {
+            p->hop(msg.prof, TxnStage::kDataArrive, name(), curTick());
+            p->end(msg.prof, curTick());
+        }
         auto handler = std::move(pendingUcLoad_);
         pendingUcLoad_ = nullptr;
         handler(msg);

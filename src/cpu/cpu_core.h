@@ -98,6 +98,7 @@ private:
         Addr base = 0; ///< line-aligned physical address
         DataBlock data;
         ByteMask mask;
+        std::uint64_t prof = 0; ///< TxnProfiler span (0 when profiling off)
     };
 
     /// One hardened store from push until ack / fallback application.
@@ -108,6 +109,7 @@ private:
         std::uint32_t retries = 0;
         bool fallbackPending = false; ///< waiting out the drain window
         std::uint64_t seq = 0;        ///< bumped to invalidate armed timeouts
+        std::uint64_t prof = 0;       ///< TxnProfiler span
     };
 
     void step();
@@ -175,6 +177,7 @@ private:
     std::uint64_t ucTxn_ = 0; ///< txn of the outstanding hardened UcRead
     std::uint64_t ucSeq_ = 0; ///< bumped to invalidate armed UcRead timeouts
     std::uint32_t ucRetries_ = 0;
+    std::uint64_t ucProf_ = 0; ///< TxnProfiler span of the outstanding UcRead
     Addr ucPa_ = 0;
     CpuOp ucOp_{};
     std::deque<std::function<void()>> awaitingDsDrain_;

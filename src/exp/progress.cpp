@@ -1,0 +1,32 @@
+#include "exp/progress.h"
+
+#include <cstdio>
+
+#include "snap/serializer.h"
+
+namespace dscoh {
+
+std::string renderProgressJson(const ProgressSnapshot& s)
+{
+    const double rate = (s.done > 0 && s.elapsedSeconds > 0.0)
+                            ? static_cast<double>(s.done) / s.elapsedSeconds
+                            : 0.0;
+    const std::size_t left = s.total > s.done ? s.total - s.done : 0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"schema\": \"dscoh-progress-v1\", \"total\": %zu, "
+                  "\"done\": %zu, \"failed\": %zu, "
+                  "\"elapsedSeconds\": %.3f, \"jobsPerSecond\": %.3f, "
+                  "\"etaSeconds\": %.1f}\n",
+                  s.total, s.done, s.failed, s.elapsedSeconds, rate, eta);
+    return buf;
+}
+
+void ProgressPublisher::publish(const ProgressSnapshot& s) const
+{
+    snap::atomicWriteFile(path_, renderProgressJson(s));
+}
+
+} // namespace dscoh

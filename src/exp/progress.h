@@ -1,0 +1,51 @@
+// Live sweep progress publication.
+//
+// A long sweep is opaque from the outside: the table prints only at the
+// end, and stderr interleaves worker messages. ProgressPublisher gives
+// dashboards and wrapper scripts a machine-readable view: after every
+// completed job it atomically rewrites one small "dscoh-progress-v1" JSON
+// file (temp + rename, via snap::atomicWriteFile), so a reader polling the
+// path always sees a complete, internally consistent document — never a
+// torn write.
+//
+// The schema is deliberately tiny and derived from three counters plus the
+// wall clock: total jobs, done, failed, elapsed seconds, jobs/second and
+// the ETA extrapolated from the mean completion rate. Rendering is split
+// out as a pure function (renderProgressJson) so tests can pin the format
+// without touching the filesystem.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dscoh {
+
+/// One observation of a running batch.
+struct ProgressSnapshot {
+    std::size_t total = 0;
+    std::size_t done = 0;   ///< completed jobs, failed ones included
+    std::size_t failed = 0;
+    double elapsedSeconds = 0.0;
+};
+
+/// The "dscoh-progress-v1" JSON document for @p s (one object, trailing
+/// newline). jobsPerSecond/etaSeconds are 0 while no job has finished or
+/// no time has passed; etaSeconds is 0 once done == total.
+std::string renderProgressJson(const ProgressSnapshot& s);
+
+/// Publishes snapshots to a file. Each publish() atomically replaces the
+/// whole file; throws snap::SnapError when the path is unwritable (surface
+/// the error once at startup rather than silently dropping updates).
+class ProgressPublisher {
+public:
+    explicit ProgressPublisher(std::string path) : path_(std::move(path)) {}
+
+    const std::string& path() const { return path_; }
+
+    void publish(const ProgressSnapshot& s) const;
+
+private:
+    std::string path_;
+};
+
+} // namespace dscoh

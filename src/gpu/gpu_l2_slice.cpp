@@ -19,7 +19,10 @@ GpuL2Slice::GpuL2Slice(std::string name, SimContext& ctx,
 void GpuL2Slice::noteDemand(Addr addr, bool exclusive)
 {
     accesses_.inc();
-    if (!probeHit(addr, exclusive)) {
+    const bool miss = !probeHit(addr, exclusive);
+    if (TxnProfiler* p = profiling())
+        p->noteGpuDemand(addr, miss);
+    if (miss) {
         misses_.inc();
         if (!everFilled(addr))
             compulsory_.inc();
@@ -44,6 +47,8 @@ void GpuL2Slice::maybePrefetch(Addr missAddr)
 
 void GpuL2Slice::handleGpuMessage(const Message& msg)
 {
+    if (TxnProfiler* p = profiling())
+        p->hop(msg.prof, TxnStage::kSliceArrive, name(), curTick());
     // Charge the front-side tag latency, then serve. The message moves into
     // a pooled slot (the delivery slot we were handed is recycled as soon as
     // this handler returns), so the latency event captures one pointer.
@@ -78,6 +83,9 @@ void GpuL2Slice::serveLoad(const Message& msg)
         resp.mask.set(0, kLineSize);
         resp.hasData = true;
         resp.txn = msg.txn;
+        resp.prof = msg.prof;
+        if (TxnProfiler* p = profiling())
+            p->hop(msg.prof, TxnStage::kSupplySend, name(), curTick());
         slice_.gpuNet->send(std::move(resp));
     });
 }
@@ -102,6 +110,8 @@ void GpuL2Slice::serveStore(const Message& msg)
 
 void GpuL2Slice::handleDsMessage(const Message& msg)
 {
+    if (TxnProfiler* p = profiling())
+        p->hop(msg.prof, TxnStage::kSliceArrive, name(), curTick());
     Message* m = context().msgPool.acquire();
     *m = msg;
     queue().scheduleAfterInline(slice_.tagLatency, [this, m] {
@@ -136,6 +146,7 @@ bool GpuL2Slice::admitDirectStore(const Message& msg)
         nack.dst = msg.src;
         nack.requester = msg.src;
         nack.txn = msg.txn;
+        nack.prof = msg.prof;
         slice_.dsNet->send(std::move(nack));
         return false;
     }
@@ -206,8 +217,11 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
             dsBypassed_.inc();
             if (CoherenceChecker* c = checking())
                 c->onStoreApplied(base, msg.data, msg.mask);
-            slice_.dram->writeMasked(base, msg.data, msg.mask,
-                                     [this, msg] { sendDsAck(msg); });
+            slice_.dram->writeMasked(base, msg.data, msg.mask, [this, msg] {
+                if (TxnProfiler* p = profiling())
+                    p->hop(msg.prof, TxnStage::kDramWrite, name(), curTick());
+                sendDsAck(msg);
+            });
             return;
         }
         Line& installed = array().install(*way, base);
@@ -227,6 +241,8 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
         noteFilled(base);
         dsFills_.inc();
         onFill(installed);
+        if (TxnProfiler* p = profiling())
+            p->hop(msg.prof, TxnStage::kInstall, name(), curTick());
         sendDsAck(msg);
         return;
     }
@@ -245,6 +261,8 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
         noteTransition(prev, CohEvent::kRemoteStore, CohState::kMM,
                        owned.base);
         dsFills_.inc();
+        if (TxnProfiler* p = profiling())
+            p->hop(msg.prof, TxnStage::kMerge, name(), curTick());
         sendDsAck(msg);
     });
 }
@@ -263,6 +281,9 @@ void GpuL2Slice::sendDsAck(const Message& msg)
     ack.dst = msg.src;
     ack.requester = msg.src;
     ack.txn = msg.txn;
+    ack.prof = msg.prof;
+    if (TxnProfiler* p = profiling())
+        p->hop(msg.prof, TxnStage::kAckSend, name(), curTick());
     slice_.dsNet->send(std::move(ack));
 }
 
@@ -280,6 +301,9 @@ void GpuL2Slice::serveUncachedRead(const Message& msg)
         resp.mask.set(0, kLineSize);
         resp.hasData = true;
         resp.txn = msg.txn;
+        resp.prof = msg.prof;
+        if (TxnProfiler* p = profiling())
+            p->hop(msg.prof, TxnStage::kSupplySend, name(), curTick());
         slice_.dsNet->send(std::move(resp));
     });
 }

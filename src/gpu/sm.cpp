@@ -276,6 +276,9 @@ void StreamingMultiprocessor::execLoads(Warp& warp)
             req.src = params_.self;
             req.dst = params_.sliceOf(lineAddr);
             req.requester = params_.self;
+            if (TxnProfiler* p = profiling())
+                req.prof = p->begin(TxnKind::kGpuLoad, lineAddr, name(),
+                                    curTick());
             params_.gpuNet->send(std::move(req));
         }
     }
@@ -327,6 +330,10 @@ void StreamingMultiprocessor::handleGpuMessage(const Message& msg)
 {
     switch (msg.type) {
     case MsgType::kL1LoadResp: {
+        if (TxnProfiler* p = profiling()) {
+            p->hop(msg.prof, TxnStage::kDataArrive, name(), curTick());
+            p->end(msg.prof, curTick());
+        }
         l1_.fill(msg.addr, msg.data);
         const auto it = outstandingLines_.find(msg.addr);
         assert(it != outstandingLines_.end());

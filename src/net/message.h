@@ -88,6 +88,12 @@ struct Message {
 
     Tick sentAt = 0;
 
+    /// TxnProfiler span id this message's transaction belongs to. 0 (the
+    /// default, and always when no profiler is attached) is inert: every
+    /// profiling hook ignores it. Excluded from messageChecksum like the
+    /// timing fields — it is observability metadata, not protocol state.
+    std::uint64_t prof = 0;
+
     /// End-to-end integrity check over the fields a corruption fault may
     /// touch. Zero (never stamped) when fault injection is off; receivers
     /// only verify it when hardening is on, so the field is otherwise inert.

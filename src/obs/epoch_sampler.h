@@ -41,7 +41,11 @@ public:
     EpochSampler(EventQueue& queue, const StatRegistry& stats, Params params);
 
     /// Takes the epoch-0 snapshot and arms the periodic event. No-op when
-    /// epochTicks == 0.
+    /// epochTicks == 0, and after snapRestore(): the sampler's event always
+    /// dies during the drain that precedes a safe point (it only re-arms
+    /// while other work is pending), so a restored run's time series is
+    /// complete in the snapshot — restarting it would sample epochs the
+    /// uninterrupted run never saw.
     void start();
 
     const std::vector<std::string>& names() const { return names_; }
@@ -57,6 +61,14 @@ public:
     /// Header row plus one CSV row per epoch, for quick plotting.
     void writeCsv(std::ostream& os) const;
 
+    /// Serializes epochTicks (verified on restore), the resolved counter
+    /// names and every sample taken so far. Safe points never have the
+    /// sampling event armed, so there is no transient state to lose.
+    void snapSave(snap::SnapWriter& w) const;
+    /// Restores the series and freezes the sampler (see start()).
+    void snapRestore(snap::SnapReader& r);
+    bool restored() const { return restored_; }
+
 private:
     void takeSample();
     void arm();
@@ -66,6 +78,7 @@ private:
     Params params_;
     std::vector<std::string> names_;
     std::vector<Sample> samples_;
+    bool restored_ = false;
 };
 
 } // namespace dscoh

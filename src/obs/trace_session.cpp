@@ -10,6 +10,7 @@ const char* to_string(TraceCat c)
     case TraceCat::kDram: return "dram";
     case TraceCat::kMshr: return "mshr";
     case TraceCat::kKernel: return "kernel";
+    case TraceCat::kTxn: return "txn";
     }
     return "?";
 }
@@ -43,7 +44,7 @@ bool parseTraceFilter(const std::string& text, std::uint32_t& mask,
         }
         if (!known) {
             error = "unknown trace category '" + item +
-                    "' (expected coherence|net|dram|mshr|kernel)";
+                    "' (expected coherence|net|dram|mshr|kernel|txn)";
             return false;
         }
     }
@@ -109,6 +110,13 @@ void TraceSession::writeJson(std::ostream& os) const
             os << ", \"dur\": " << e.dur;
         if (e.ph == 'i')
             os << ", \"s\": \"t\"";
+        if (e.isFlow) {
+            os << ", \"id\": " << e.value;
+            // Bind the finish point to the enclosing slice's end, the
+            // convention Perfetto expects for terminating arrows.
+            if (e.ph == 'f')
+                os << ", \"bp\": \"e\"";
+        }
         const bool hasArgs =
             e.hasAddr || e.from != nullptr || e.valueKey != nullptr;
         if (hasArgs) {

@@ -30,8 +30,9 @@ enum class TraceCat : std::uint8_t {
     kDram,      ///< DRAM channel accesses
     kMshr,      ///< MSHR allocate -> release lifetimes
     kKernel,    ///< kernel launch / retire
+    kTxn,       ///< transaction-span flow arrows (TxnProfiler)
 };
-constexpr std::size_t kTraceCatCount = 5;
+constexpr std::size_t kTraceCatCount = 6;
 
 const char* to_string(TraceCat c);
 
@@ -116,6 +117,18 @@ public:
         e.value = value;
     }
 
+    /// One point of a flow-event arrow chain: @p ph is 's' (start), 't'
+    /// (step) or 'f' (finish), and @p id binds the points of one flow
+    /// together (the TxnProfiler passes its span id). Rendered by Perfetto
+    /// as arrows following the transaction across component tracks.
+    void flow(TraceCat cat, const std::string& track, const char* name,
+              Tick ts, char ph, std::uint64_t id)
+    {
+        TraceEvent& e = push(cat, ph, track, name, ts, 0);
+        e.value = id;
+        e.isFlow = true;
+    }
+
     std::size_t eventCount() const { return events_.size(); }
 
     /// Writes the whole session as a Chrome trace-event JSON object:
@@ -137,6 +150,7 @@ private:
         TraceCat cat = TraceCat::kCoherence;
         char ph = 'i';
         bool hasAddr = false;
+        bool isFlow = false; ///< value is the flow id, not an arg
     };
 
     TraceEvent& push(TraceCat cat, char ph, const std::string& track,

@@ -1,0 +1,418 @@
+#include "obs/txn_profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/trace_session.h"
+#include "snap/serializer.h"
+
+namespace dscoh {
+
+const char* to_string(TxnKind k)
+{
+    switch (k) {
+    case TxnKind::kGetS: return "GetS";
+    case TxnKind::kGetX: return "GetX";
+    case TxnKind::kUpgrade: return "Upgrade";
+    case TxnKind::kWriteback: return "Writeback";
+    case TxnKind::kDsPush: return "DsPush";
+    case TxnKind::kUcRead: return "UcRead";
+    case TxnKind::kGpuLoad: return "GpuLoad";
+    }
+    return "?";
+}
+
+const char* to_string(TxnStage s)
+{
+    switch (s) {
+    case TxnStage::kIssue: return "issue";
+    case TxnStage::kBacklog: return "backlog";
+    case TxnStage::kHomeArrive: return "home-arrive";
+    case TxnStage::kHomeStart: return "home-start";
+    case TxnStage::kSnpSend: return "snoop-send";
+    case TxnStage::kSnpArrive: return "snoop-arrive";
+    case TxnStage::kSupplySend: return "supply-send";
+    case TxnStage::kSnpRespArrive: return "snoop-resp-arrive";
+    case TxnStage::kDramIssue: return "dram-issue";
+    case TxnStage::kDramDone: return "dram-done";
+    case TxnStage::kDataSend: return "data-send";
+    case TxnStage::kDataArrive: return "data-arrive";
+    case TxnStage::kSliceArrive: return "slice-arrive";
+    case TxnStage::kDramWrite: return "dram-write";
+    case TxnStage::kMerge: return "merge";
+    case TxnStage::kInstall: return "install";
+    case TxnStage::kAckSend: return "ack-send";
+    case TxnStage::kAckArrive: return "ack-arrive";
+    case TxnStage::kRetry: return "retry";
+    case TxnStage::kFallbackArm: return "fallback-arm";
+    case TxnStage::kFallback: return "fallback";
+    case TxnStage::kDone: return "done";
+    }
+    return "?";
+}
+
+const char* to_string(StageBucket b)
+{
+    switch (b) {
+    case StageBucket::kQueue: return "queue";
+    case StageBucket::kNetwork: return "network";
+    case StageBucket::kDirectory: return "directory";
+    case StageBucket::kDram: return "dram";
+    case StageBucket::kSupply: return "supply";
+    case StageBucket::kInstall: return "install";
+    case StageBucket::kMerge: return "merge";
+    case StageBucket::kRetry: return "retry";
+    case StageBucket::kBackoff: return "backoff";
+    }
+    return "?";
+}
+
+TxnProfiler::TxnProfiler() : TxnProfiler(Params{}) {}
+
+TxnProfiler::TxnProfiler(Params params) : params_(params)
+{
+    for (KindStats& k : kinds_)
+        k.latency = Histogram(params_.histBucketTicks, params_.histBuckets);
+}
+
+std::uint32_t TxnProfiler::trackId(const std::string& name)
+{
+    const auto it = trackIds_.find(name);
+    if (it != trackIds_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(trackNames_.size());
+    trackNames_.push_back(name);
+    trackIds_.emplace(name, id);
+    return id;
+}
+
+std::uint64_t TxnProfiler::begin(TxnKind kind, Addr addr,
+                                 const std::string& track, Tick now)
+{
+    const std::uint64_t id = nextSpan_++;
+    ++begun_;
+    SpanRecord& rec = open_[id];
+    rec.id = id;
+    rec.kind = kind;
+    rec.addr = addr;
+    rec.beginTick = now;
+    rec.beginTrack = trackId(track);
+
+    RegionStats& region = regionOf(addr);
+    switch (kind) {
+    case TxnKind::kDsPush: ++region.pushes; break;
+    case TxnKind::kUcRead: ++region.ucReads; break;
+    case TxnKind::kGetS:
+    case TxnKind::kGetX:
+    case TxnKind::kUpgrade: ++region.pulls; break;
+    default: break;
+    }
+    return id;
+}
+
+void TxnProfiler::hop(std::uint64_t id, TxnStage stage,
+                      const std::string& track, Tick now)
+{
+    if (id == 0)
+        return;
+    const auto it = open_.find(id);
+    if (it == open_.end())
+        return; // already closed (duplicate/replayed ack) — inert
+    it->second.hops.push_back(Hop{stage, now, trackId(track)});
+}
+
+void TxnProfiler::end(std::uint64_t id, Tick now)
+{
+    if (id == 0)
+        return;
+    const auto it = open_.find(id);
+    if (it == open_.end())
+        return;
+    SpanRecord rec = std::move(it->second);
+    open_.erase(it);
+    rec.endTick = now;
+    const std::uint32_t doneTrack =
+        rec.hops.empty() ? rec.beginTrack : rec.hops.back().track;
+    rec.hops.push_back(Hop{TxnStage::kDone, now, doneTrack});
+
+    KindStats& ks = kinds_[static_cast<std::size_t>(rec.kind)];
+    ++ks.count;
+    ks.latency.sample(rec.latency());
+    Tick prev = rec.beginTick;
+    for (const Hop& h : rec.hops) {
+        const auto bucket = static_cast<std::size_t>(bucketOf(h.stage));
+        ks.stageTicks[bucket] += h.at - prev;
+        prev = h.at;
+    }
+
+    RegionStats& region = regionOf(rec.addr);
+    ++region.completed;
+    region.latencyTicks += rec.latency();
+    if (rec.kind == TxnKind::kDsPush) {
+        for (const Hop& h : rec.hops) {
+            switch (h.stage) {
+            case TxnStage::kInstall: ++region.installs; break;
+            case TxnStage::kDramWrite: ++region.bypasses; break;
+            case TxnStage::kMerge: ++region.merges; break;
+            case TxnStage::kFallback: ++region.fallbacks; break;
+            default: break;
+            }
+        }
+    } else if (rec.kind == TxnKind::kUcRead) {
+        for (const Hop& h : rec.hops)
+            if (h.stage == TxnStage::kFallback)
+                ++region.fallbacks;
+    }
+
+    ++completed_;
+    emitFlow(rec);
+    insertTopK(std::move(rec));
+}
+
+void TxnProfiler::noteGpuDemand(Addr addr, bool miss)
+{
+    RegionStats& region = regionOf(addr);
+    ++region.gpuAccesses;
+    if (miss)
+        ++region.gpuMisses;
+}
+
+void TxnProfiler::insertTopK(SpanRecord&& rec)
+{
+    if (params_.topK == 0)
+        return;
+    const auto worse = [](const SpanRecord& a, const SpanRecord& b) {
+        if (a.latency() != b.latency())
+            return a.latency() > b.latency();
+        return a.id < b.id;
+    };
+    if (slowest_.size() >= params_.topK && !worse(rec, slowest_.back()))
+        return;
+    const auto pos =
+        std::lower_bound(slowest_.begin(), slowest_.end(), rec, worse);
+    slowest_.insert(pos, std::move(rec));
+    if (slowest_.size() > params_.topK)
+        slowest_.pop_back();
+}
+
+void TxnProfiler::emitFlow(const SpanRecord& rec) const
+{
+    if (trace_ == nullptr || !trace_->enabled(TraceCat::kTxn))
+        return;
+    const char* name = to_string(rec.kind);
+    trace_->flow(TraceCat::kTxn, trackNames_[rec.beginTrack], name,
+                 rec.beginTick, 's', rec.id);
+    for (std::size_t i = 0; i < rec.hops.size(); ++i) {
+        const Hop& h = rec.hops[i];
+        const char ph = i + 1 == rec.hops.size() ? 'f' : 't';
+        trace_->flow(TraceCat::kTxn, trackNames_[h.track], name, h.at, ph,
+                     rec.id);
+    }
+}
+
+namespace {
+
+/// Deterministic fixed-point double rendering for the JSON output.
+std::string fmt1(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return buf;
+}
+
+} // namespace
+
+void TxnProfiler::writeJson(std::ostream& os) const
+{
+    os << "{\n  \"schema\": \"dscoh-txnprof-v1\",\n";
+    os << "  \"spans\": {\"begun\": " << begun_ << ", \"completed\": "
+       << completed_ << ", \"open\": " << open_.size() << "},\n";
+
+    os << "  \"kinds\": [\n";
+    for (std::size_t k = 0; k < kTxnKindCount; ++k) {
+        const KindStats& ks = kinds_[k];
+        os << "    {\"kind\": \"" << to_string(static_cast<TxnKind>(k))
+           << "\", \"count\": " << ks.count;
+        os << ", \"latency\": {\"mean\": " << fmt1(ks.latency.mean())
+           << ", \"min\": " << ks.latency.min()
+           << ", \"max\": " << ks.latency.max()
+           << ", \"p50\": " << fmt1(ks.latency.percentile(50.0))
+           << ", \"p95\": " << fmt1(ks.latency.percentile(95.0))
+           << ", \"p99\": " << fmt1(ks.latency.percentile(99.0)) << "}";
+        os << ", \"stages\": {";
+        for (std::size_t b = 0; b < kStageBucketCount; ++b)
+            os << (b == 0 ? "" : ", ") << "\""
+               << to_string(static_cast<StageBucket>(b))
+               << "\": " << ks.stageTicks[b];
+        os << "}}" << (k + 1 < kTxnKindCount ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"slowest\": [\n";
+    for (std::size_t i = 0; i < slowest_.size(); ++i) {
+        const SpanRecord& rec = slowest_[i];
+        os << "    {\"id\": " << rec.id << ", \"kind\": \""
+           << to_string(rec.kind) << "\", \"addr\": \"0x" << std::hex
+           << rec.addr << std::dec << "\", \"begin\": " << rec.beginTick
+           << ", \"end\": " << rec.endTick
+           << ", \"latency\": " << rec.latency() << ", \"track\": \""
+           << trackNames_[rec.beginTrack] << "\", \"hops\": [";
+        for (std::size_t h = 0; h < rec.hops.size(); ++h) {
+            const Hop& hop = rec.hops[h];
+            os << (h == 0 ? "" : ", ") << "{\"stage\": \""
+               << to_string(hop.stage) << "\", \"at\": " << hop.at
+               << ", \"track\": \"" << trackNames_[hop.track] << "\"}";
+        }
+        os << "]}" << (i + 1 < slowest_.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"regionShift\": " << params_.regionShift << ",\n";
+    os << "  \"regions\": [\n";
+    std::size_t i = 0;
+    for (const auto& [page, r] : regions_) {
+        os << "    {\"page\": \"0x" << std::hex
+           << (page << params_.regionShift) << std::dec << "\""
+           << ", \"pushes\": " << r.pushes << ", \"installs\": " << r.installs
+           << ", \"bypasses\": " << r.bypasses << ", \"merges\": " << r.merges
+           << ", \"fallbacks\": " << r.fallbacks
+           << ", \"ucReads\": " << r.ucReads << ", \"pulls\": " << r.pulls
+           << ", \"gpuAccesses\": " << r.gpuAccesses
+           << ", \"gpuMisses\": " << r.gpuMisses
+           << ", \"completed\": " << r.completed
+           << ", \"latencyTicks\": " << r.latencyTicks << "}"
+           << (++i < regions_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+void TxnProfiler::snapSave(snap::SnapWriter& w) const
+{
+    if (!open_.empty())
+        throw snap::SnapError(
+            "snapshot off a safe point: txnprof has " +
+            std::to_string(open_.size()) + " open span(s)");
+    w.u64(params_.topK);
+    w.u64(params_.histBucketTicks);
+    w.u64(params_.histBuckets);
+    w.u32(params_.regionShift);
+    w.u64(nextSpan_);
+    w.u64(begun_);
+    w.u64(completed_);
+
+    w.u64(trackNames_.size());
+    for (const std::string& t : trackNames_)
+        w.str(t);
+
+    for (const KindStats& ks : kinds_) {
+        w.u64(ks.count);
+        ks.latency.snapSave(w);
+        for (const std::uint64_t ticks : ks.stageTicks)
+            w.u64(ticks);
+    }
+
+    w.u64(slowest_.size());
+    for (const SpanRecord& rec : slowest_) {
+        w.u64(rec.id);
+        w.u8(static_cast<std::uint8_t>(rec.kind));
+        w.u64(rec.addr);
+        w.u64(rec.beginTick);
+        w.u64(rec.endTick);
+        w.u32(rec.beginTrack);
+        w.u64(rec.hops.size());
+        for (const Hop& h : rec.hops) {
+            w.u8(static_cast<std::uint8_t>(h.stage));
+            w.u64(h.at);
+            w.u32(h.track);
+        }
+    }
+
+    w.u64(regions_.size());
+    for (const auto& [page, r] : regions_) {
+        w.u64(page);
+        w.u64(r.pushes);
+        w.u64(r.installs);
+        w.u64(r.bypasses);
+        w.u64(r.merges);
+        w.u64(r.fallbacks);
+        w.u64(r.ucReads);
+        w.u64(r.pulls);
+        w.u64(r.gpuAccesses);
+        w.u64(r.gpuMisses);
+        w.u64(r.completed);
+        w.u64(r.latencyTicks);
+    }
+}
+
+void TxnProfiler::snapRestore(snap::SnapReader& r)
+{
+    const std::uint64_t topK = r.u64();
+    const std::uint64_t bucketTicks = r.u64();
+    const std::uint64_t buckets = r.u64();
+    const std::uint32_t regionShift = r.u32();
+    if (topK != params_.topK || bucketTicks != params_.histBucketTicks ||
+        buckets != params_.histBuckets || regionShift != params_.regionShift)
+        throw snap::SnapError("txnprof params differ from the snapshot's");
+    nextSpan_ = r.u64();
+    begun_ = r.u64();
+    completed_ = r.u64();
+
+    trackNames_.clear();
+    trackIds_.clear();
+    const std::uint64_t tracks = r.u64();
+    for (std::uint64_t i = 0; i < tracks; ++i) {
+        trackNames_.push_back(r.str());
+        trackIds_.emplace(trackNames_.back(),
+                          static_cast<std::uint32_t>(i));
+    }
+
+    for (KindStats& ks : kinds_) {
+        ks.count = r.u64();
+        ks.latency.snapRestore(r);
+        for (std::uint64_t& ticks : ks.stageTicks)
+            ticks = r.u64();
+    }
+
+    slowest_.clear();
+    const std::uint64_t nSlow = r.u64();
+    for (std::uint64_t i = 0; i < nSlow; ++i) {
+        SpanRecord rec;
+        rec.id = r.u64();
+        rec.kind = static_cast<TxnKind>(r.u8());
+        rec.addr = r.u64();
+        rec.beginTick = r.u64();
+        rec.endTick = r.u64();
+        rec.beginTrack = r.u32();
+        const std::uint64_t nHops = r.u64();
+        rec.hops.reserve(nHops);
+        for (std::uint64_t h = 0; h < nHops; ++h) {
+            Hop hop;
+            hop.stage = static_cast<TxnStage>(r.u8());
+            hop.at = r.u64();
+            hop.track = r.u32();
+            rec.hops.push_back(hop);
+        }
+        slowest_.push_back(std::move(rec));
+    }
+
+    regions_.clear();
+    const std::uint64_t nRegions = r.u64();
+    for (std::uint64_t i = 0; i < nRegions; ++i) {
+        const Addr page = r.u64();
+        RegionStats& reg = regions_[page];
+        reg.pushes = r.u64();
+        reg.installs = r.u64();
+        reg.bypasses = r.u64();
+        reg.merges = r.u64();
+        reg.fallbacks = r.u64();
+        reg.ucReads = r.u64();
+        reg.pulls = r.u64();
+        reg.gpuAccesses = r.u64();
+        reg.gpuMisses = r.u64();
+        reg.completed = r.u64();
+        reg.latencyTicks = r.u64();
+    }
+}
+
+} // namespace dscoh

@@ -13,6 +13,7 @@
 #include "check/coherence_checker.h"
 #include "net/message.h"
 #include "obs/trace_session.h"
+#include "obs/txn_profiler.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
 #include "sim/object_pool.h"
@@ -44,6 +45,11 @@ struct SimContext {
     /// is off at the same one-pointer-test cost as tracing; see
     /// System::enableChecker().
     std::unique_ptr<CoherenceChecker> checker;
+
+    /// Transaction-span latency profiler. Null (the default) means
+    /// profiling is off at the same one-pointer-test cost as tracing; see
+    /// System::enableTxnProfiler().
+    std::unique_ptr<TxnProfiler> txnprof;
 };
 
 } // namespace dscoh

@@ -52,6 +52,11 @@ public:
     /// `if (CoherenceChecker* c = checking()) c->...;`.
     CoherenceChecker* checking() const { return ctx_.checker.get(); }
 
+    /// The context's transaction profiler when one is attached, else
+    /// nullptr. Profiling hooks mirror the tracing hooks:
+    /// `if (TxnProfiler* p = profiling()) p->...;`.
+    TxnProfiler* profiling() const { return ctx_.txnprof.get(); }
+
     /// Registers this component's statistics under its name.
     virtual void regStats(StatRegistry& registry) { static_cast<void>(registry); }
 

@@ -1,0 +1,76 @@
+// Live sweep progress: renderProgressJson is a pure function pinned here
+// field by field, and ProgressPublisher must atomically publish exactly
+// that document (and fail loudly on an unwritable path, so the sweep can
+// reject a bad --progress-json at startup instead of silently dropping
+// every update).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/progress.h"
+#include "obs/json_lite.h"
+#include "snap/serializer.h"
+
+namespace dscoh {
+namespace {
+
+const jsonlite::ValuePtr parseOrDie(const std::string& text)
+{
+    std::string error;
+    jsonlite::ValuePtr v = jsonlite::parse(text, error);
+    EXPECT_NE(v, nullptr) << error;
+    return v;
+}
+
+TEST(ProgressJson, RendersRateAndEtaFromTheCounters)
+{
+    const std::string json =
+        renderProgressJson({/*total=*/44, /*done=*/11, /*failed=*/2,
+                            /*elapsedSeconds=*/22.0});
+    const jsonlite::ValuePtr doc = parseOrDie(json);
+    EXPECT_EQ(doc->get("schema")->string, "dscoh-progress-v1");
+    EXPECT_EQ(doc->get("total")->asUint(), 44u);
+    EXPECT_EQ(doc->get("done")->asUint(), 11u);
+    EXPECT_EQ(doc->get("failed")->asUint(), 2u);
+    EXPECT_DOUBLE_EQ(doc->get("jobsPerSecond")->number, 0.5);
+    EXPECT_DOUBLE_EQ(doc->get("etaSeconds")->number, 66.0);
+}
+
+TEST(ProgressJson, ZeroDoneAndFinishedBatchesHaveNoRateOrEta)
+{
+    const jsonlite::ValuePtr fresh =
+        parseOrDie(renderProgressJson({10, 0, 0, 5.0}));
+    EXPECT_DOUBLE_EQ(fresh->get("jobsPerSecond")->number, 0.0);
+    EXPECT_DOUBLE_EQ(fresh->get("etaSeconds")->number, 0.0);
+
+    const jsonlite::ValuePtr finished =
+        parseOrDie(renderProgressJson({10, 10, 1, 5.0}));
+    EXPECT_DOUBLE_EQ(finished->get("etaSeconds")->number, 0.0);
+}
+
+TEST(ProgressPublisher, PublishesTheRenderedDocumentAtomically)
+{
+    const std::string path = testing::TempDir() + "progress_test.json";
+    const ProgressPublisher publisher(path);
+    const ProgressSnapshot snap{4, 1, 0, 2.0};
+    publisher.publish(snap);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), renderProgressJson(snap));
+    std::remove(path.c_str());
+}
+
+TEST(ProgressPublisher, UnwritablePathThrows)
+{
+    const ProgressPublisher publisher("/nonexistent-dir/progress.json");
+    EXPECT_THROW(publisher.publish({1, 0, 0, 0.0}), snap::SnapError);
+}
+
+} // namespace
+} // namespace dscoh

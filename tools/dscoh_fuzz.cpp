@@ -2,6 +2,7 @@
 //
 //   dscoh_fuzz --seeds 0:200 --check          # fuzz a seed range
 //   dscoh_fuzz --replay repro_seed7.scn       # re-run a saved reproducer
+//   dscoh_fuzz --replay r.scn --txn-profile p.json  # + latency attribution
 //   dscoh_fuzz --seeds 0:50 --inject-bug skip-remote-store-inval
 //   dscoh_fuzz --seeds 0:60 --check --faults  # randomized DS-network faults
 //
@@ -10,6 +11,13 @@
 // oracle is attached and the final output arrays of the two modes are
 // compared word-by-word. Failing scenarios are automatically shrunk to a
 // minimal reproducer and written next to --out as a --replay file.
+//
+// --txn-profile FILE attaches the transaction profiler and writes the
+// dscoh-txnprof-v1 latency attribution (see txn_report). With --mode both
+// the two runs land in FILE.ccsm and FILE.ds; when fuzzing a seed range
+// the file is rewritten per seed, so it is mainly useful with --replay or
+// a single-seed range. Profiling never alters simulation behavior, so a
+// replayed reproducer fails identically with it on.
 //
 // Exit codes: 0 all seeds clean, 1 at least one failure, 2 usage error.
 #include <fstream>
@@ -101,6 +109,7 @@ int main(int argc, char** argv)
     bool faultDropsOnly = false;
     std::uint64_t maxTicks = 50'000'000;
     std::uint64_t shrinkBudget = 96;
+    std::string txnProfile;
 
     cli::OptionParser parser(
         "dscoh_fuzz",
@@ -132,6 +141,9 @@ int main(int argc, char** argv)
                    &maxTicks);
     parser.addUint("shrink-budget", "max candidate runs while shrinking",
                    &shrinkBudget);
+    parser.addString("txn-profile", "write per-transaction latency "
+                     "attribution (dscoh-txnprof-v1; .ccsm/.ds suffixes "
+                     "with --mode both; feed to txn_report)", &txnProfile);
     if (!parser.parse(argc, argv, std::cerr))
         return 2;
 
@@ -148,6 +160,7 @@ int main(int argc, char** argv)
     }
     rc.options.oracle = check;
     rc.options.maxTicks = maxTicks;
+    rc.options.txnProfilePath = txnProfile;
     if (faultDropsOnly && !faults) {
         std::cerr << "dscoh_fuzz: --fault-drops-only needs --faults\n";
         return 2;

@@ -41,6 +41,7 @@ struct ObsOptions {
     std::string statsPath;    ///< text stats dump (--stats)
     std::string statsJson;    ///< JSON stats dump (--stats-json)
     std::string traceOut;     ///< Chrome trace-event file (--trace-out)
+    std::string txnProfile;   ///< dscoh-txnprof-v1 JSON file (--txn-profile)
     std::uint32_t traceMask = kAllTraceCats; ///< --trace-filter
     Tick epochTicks = 0;      ///< --epoch-ticks (0 = no sampling)
     bool queueStats = false;  ///< --queue-stats
@@ -48,7 +49,8 @@ struct ObsOptions {
     bool any() const
     {
         return !statsPath.empty() || !statsJson.empty() ||
-               !traceOut.empty() || epochTicks != 0 || queueStats;
+               !traceOut.empty() || !txnProfile.empty() || epochTicks != 0 ||
+               queueStats;
     }
 
     /// "s.json" -> "s.json.ccsm" for --mode both, matching the historical
@@ -62,6 +64,8 @@ struct ObsOptions {
             o.statsJson += suffix;
         if (!o.traceOut.empty())
             o.traceOut += suffix;
+        if (!o.txnProfile.empty())
+            o.txnProfile += suffix;
         return o;
     }
 };
@@ -81,16 +85,17 @@ WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
         sys.enableTracing(obs.traceMask);
     if (obs.queueStats)
         sys.enableQueueStats();
-    std::unique_ptr<EpochSampler> sampler;
+    if (!obs.txnProfile.empty())
+        sys.enableTxnProfiler();
     if (obs.epochTicks != 0) {
         EpochSampler::Params epochParams;
         epochParams.epochTicks = obs.epochTicks;
-        sampler = std::make_unique<EpochSampler>(sys.queue(), sys.stats(),
-                                                 epochParams);
+        sys.enableEpochSampler(std::move(epochParams));
         // start() schedules the first sampling event; that must happen
-        // after a restore (which requires an empty queue), so defer it.
-        run.options().beforeFirstPhase = [&sampler](System&) {
-            sampler->start();
+        // after a restore (which requires an empty queue, and freezes a
+        // restored sampler), so defer it to the first phase boundary.
+        run.options().beforeFirstPhase = [](System& s) {
+            s.epochSampler()->start();
         };
     }
 
@@ -104,9 +109,9 @@ WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
     if (!obs.statsJson.empty()) {
         std::ostringstream out;
         std::string extra;
-        if (sampler != nullptr) {
+        if (sys.epochSampler() != nullptr) {
             std::ostringstream epochs;
-            sampler->writeJson(epochs);
+            sys.epochSampler()->writeJson(epochs);
             extra = "\"epochs\": " + epochs.str();
         }
         sys.stats().dumpJson(out, extra);
@@ -116,6 +121,11 @@ WorkloadRunResult runOnce(const Workload& w, InputSize size, CoherenceMode mode,
         std::ostringstream out;
         sys.trace()->writeJson(out);
         snap::atomicWriteFile(obs.traceOut, out.str());
+    }
+    if (!obs.txnProfile.empty()) {
+        std::ostringstream out;
+        sys.txnProfiler()->writeJson(out);
+        snap::atomicWriteFile(obs.txnProfile, out.str());
     }
     return r;
 }
@@ -172,6 +182,7 @@ int main(int argc, char** argv)
     std::string statsPath;
     std::string statsJsonPath;
     std::string traceOutPath;
+    std::string txnProfilePath;
     std::string traceFilter;
     std::string logLevelText;
     std::string configPath;
@@ -200,7 +211,10 @@ int main(int argc, char** argv)
     parser.addString("trace-out", "write a Chrome trace-event JSON file "
                      "(open in Perfetto)", &traceOutPath);
     parser.addString("trace-filter", "comma-separated trace categories "
-                     "(coherence,net,dram,mshr,kernel)", &traceFilter);
+                     "(coherence,net,dram,mshr,kernel,txn)", &traceFilter);
+    parser.addString("txn-profile", "write per-transaction latency "
+                     "attribution (dscoh-txnprof-v1 JSON; feed to "
+                     "txn_report)", &txnProfilePath);
     parser.addUint("epoch-ticks", "sample counters every N ticks into the "
                    "stats JSON", &epochTicks);
     bool queueStats = false;
@@ -286,6 +300,7 @@ int main(int argc, char** argv)
         obs.statsPath = statsPath;
         obs.statsJson = statsJsonPath;
         obs.traceOut = traceOutPath;
+        obs.txnProfile = txnProfilePath;
         obs.epochTicks = epochTicks;
         obs.queueStats = queueStats;
         if (!traceFilter.empty()) {

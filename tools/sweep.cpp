@@ -3,6 +3,7 @@
 //
 //   dscoh_sweep [small|big] [--jobs N] [--only BP,VA,...] [--json FILE]
 //               [--resume] [--fork-produce] [--snap-dir DIR]
+//               [--progress-json FILE]
 //
 // Runs shard across a thread pool (default: all hardware threads; also
 // settable via DSCOH_JOBS). Every simulation is fully self-contained, so
@@ -15,6 +16,12 @@
 // exact results.json an uninterrupted sweep would have written. The journal
 // is deleted once the results file is published. --fork-produce shares the
 // CPU produce phase across runs through a snapshot cache in --snap-dir.
+//
+// --progress-json FILE publishes live progress for dashboards: after every
+// completed job the file is atomically replaced with one small
+// "dscoh-progress-v1" object (jobs done/failed, throughput, ETA), so a
+// poller never reads a torn document.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +32,7 @@
 
 #include "cli/options.h"
 #include "exp/experiment_engine.h"
+#include "exp/progress.h"
 #include "sim/errors.h"
 
 using namespace dscoh;
@@ -72,6 +80,10 @@ int main(int argc, char** argv)
     parser.addString("snap-dir", "directory for produce-cache and per-job "
                      "checkpoint snapshots (default: <json>.snapdir)",
                      &snapDir);
+    std::string progressPath;
+    parser.addString("progress-json", "atomically publish live progress "
+                     "here after every completed job (dscoh-progress-v1: "
+                     "done/failed counts, jobs/second, ETA)", &progressPath);
     if (!parser.parse(argc, argv, std::cerr))
         return kExitUsage;
 
@@ -134,18 +146,65 @@ int main(int argc, char** argv)
         return kExitUsage;
     }
 
+    // Live progress file: published before the first job (so pollers find
+    // it immediately), after every completed job, and once more after the
+    // batch. An unwritable path is a startup error; a later publish
+    // failure only warns — losing one update must not kill the sweep.
+    const auto sweepStart = std::chrono::steady_clock::now();
+    const auto elapsed = [sweepStart] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - sweepStart)
+            .count();
+    };
+    ProgressPublisher progress(progressPath);
+    std::size_t failedJobs = 0;
+    if (!progressPath.empty()) {
+        try {
+            progress.publish({batch.size(), 0, 0, 0.0});
+        } catch (const std::exception& e) {
+            std::cerr << "dscoh_sweep: cannot write progress file "
+                      << progressPath << ": " << e.what() << "\n";
+            return kExitIo;
+        }
+    }
+
     ExperimentEngine engine(jobs);
-    engine.onProgress([](const ExperimentResult& r, std::size_t done,
-                         std::size_t total) {
+    // onProgress calls are serialized by the engine, so the counters need
+    // no further locking.
+    engine.onProgress([&](const ExperimentResult& r, std::size_t done,
+                          std::size_t total) {
         std::fprintf(stderr, "  [%zu/%zu] %s %s %s %s(%.1fs)\n", done, total,
                      r.job.code.c_str(), to_string(r.job.size),
                      to_string(r.job.mode), r.ok ? "" : "FAILED ",
                      r.wallSeconds);
+        if (!r.ok)
+            ++failedJobs;
+        if (progressPath.empty())
+            return;
+        try {
+            progress.publish({total, done, failedJobs, elapsed()});
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "dscoh_sweep: progress publish failed: %s\n",
+                         e.what());
+        }
     });
     std::fprintf(stderr, "sweep: %zu runs on %u threads\n", batch.size(),
                  engine.threads());
     const std::vector<ExperimentResult> results =
         engine.run(batch, engineOpts);
+
+    if (!progressPath.empty()) {
+        std::size_t failed = 0;
+        for (const ExperimentResult& r : results)
+            failed += r.ok ? 0 : 1;
+        try {
+            progress.publish({results.size(), results.size(), failed,
+                              elapsed()});
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "dscoh_sweep: progress publish failed: %s\n",
+                         e.what());
+        }
+    }
 
     std::size_t replayed = 0;
     unsigned long long produceSaved = 0;

@@ -5,9 +5,13 @@
 //
 // Parses a Chrome trace-event JSON file (as written by --trace-out),
 // validates its shape, and prints per-category event counts plus latency
-// percentiles for the span categories (net, dram, mshr, kernel). Uses the
-// same strict JSON reader the observability tests use, so a file this tool
-// accepts is a file Perfetto will load.
+// percentiles for the span categories (net, dram, mshr, kernel). Flow
+// events ('s'/'t'/'f' — the arrows --txn-profile interleaves under the txn
+// category) are tallied in their own column. Phases this tool does not
+// know are counted under "other" and reported; --strict turns them into a
+// hard error instead, the old behavior. Uses the same strict JSON reader
+// the observability tests use, so a file this tool accepts is a file
+// Perfetto will load.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -29,6 +33,8 @@ namespace {
 struct CategoryStats {
     std::uint64_t instants = 0;
     std::uint64_t spans = 0;
+    std::uint64_t flows = 0; ///< 's'/'t'/'f' flow-arrow events
+    std::uint64_t other = 0; ///< phases this tool does not model
     std::vector<std::uint64_t> durations;
 };
 
@@ -47,7 +53,7 @@ Histogram buildHistogram(const std::vector<std::uint64_t>& durations)
     return h;
 }
 
-int analyze(const std::string& path)
+int analyze(const std::string& path, bool strict)
 {
     std::ifstream in(path);
     if (!in) {
@@ -101,33 +107,52 @@ int analyze(const std::string& path)
             ++s.spans;
             const jsonlite::Value* dur = ev->get("dur");
             s.durations.push_back(dur != nullptr ? dur->asUint() : 0);
-        } else {
+        } else if (ph->string == "s" || ph->string == "t" ||
+                   ph->string == "f") {
+            ++s.flows;
+        } else if (ph->string == "i" || ph->string == "C") {
             ++s.instants;
+        } else if (strict) {
+            std::cerr << "trace_stats: unknown event phase \""
+                      << ph->string << "\" (category " << cat->string
+                      << ")\n";
+            return 1;
+        } else {
+            ++s.other;
         }
     }
 
     std::printf("%s: %zu events (%llu metadata), %zu tracks\n", path.c_str(),
                 events->array.size(),
                 static_cast<unsigned long long>(metadata), tracks.size());
-    std::printf("%-10s %10s %10s %8s %8s %8s %8s\n", "category", "instants",
-                "spans", "p50", "p90", "p99", "max");
+    std::uint64_t unknown = 0;
+    std::printf("%-10s %10s %10s %8s %8s %8s %8s %8s\n", "category",
+                "instants", "spans", "flows", "p50", "p90", "p99", "max");
     for (auto& [name, s] : byCat) {
+        unknown += s.other;
         if (s.durations.empty()) {
-            std::printf("%-10s %10llu %10llu %8s %8s %8s %8s\n", name.c_str(),
+            std::printf("%-10s %10llu %10llu %8llu %8s %8s %8s %8s\n",
+                        name.c_str(),
                         static_cast<unsigned long long>(s.instants),
-                        static_cast<unsigned long long>(s.spans), "-", "-",
+                        static_cast<unsigned long long>(s.spans),
+                        static_cast<unsigned long long>(s.flows), "-", "-",
                         "-", "-");
             continue;
         }
         const Histogram h = buildHistogram(s.durations);
-        std::printf("%-10s %10llu %10llu %8.0f %8.0f %8.0f %8llu\n",
+        std::printf("%-10s %10llu %10llu %8llu %8.0f %8.0f %8.0f %8llu\n",
                     name.c_str(),
                     static_cast<unsigned long long>(s.instants),
                     static_cast<unsigned long long>(s.spans),
+                    static_cast<unsigned long long>(s.flows),
                     h.percentile(50.0), h.percentile(90.0),
                     h.percentile(99.0),
                     static_cast<unsigned long long>(h.max()));
     }
+    if (unknown != 0)
+        std::printf("(%llu event(s) with phases this tool does not model; "
+                    "--strict rejects them)\n",
+                    static_cast<unsigned long long>(unknown));
     return 0;
 }
 
@@ -135,8 +160,11 @@ int analyze(const std::string& path)
 
 int main(int argc, char** argv)
 {
+    bool strict = false;
     cli::OptionParser parser("trace_stats",
                              "summarize a dscoh --trace-out JSON file");
+    parser.addFlag("strict", "error out on event phases this tool does not "
+                   "model instead of counting them as \"other\"", &strict);
     if (!parser.parse(argc, argv, std::cerr))
         return 2;
     if (parser.positional().size() != 1) {
@@ -144,7 +172,7 @@ int main(int argc, char** argv)
         return 2;
     }
     try {
-        return analyze(parser.positional().front());
+        return analyze(parser.positional().front(), strict);
     } catch (const std::exception& e) {
         std::cerr << "trace_stats: " << e.what() << "\n";
         return 1;
