@@ -7,10 +7,16 @@
 # SIGTERM (graceful shutdown path) and once with SIGKILL (the process gets
 # no chance to clean up — the journal alone must carry the recovery).
 #
-# Usage: scripts/kill_resume_check.sh [build_dir]
+# Usage: scripts/kill_resume_check.sh [build_dir] [extra sweep args...]
+#
+# Extra arguments are passed through to every dscoh_sweep invocation, so
+# e.g. `kill_resume_check.sh build --gpus 2 --ts-lease-ticks 20000` runs
+# the whole crash-recovery property against a sharded multi-GPU sweep
+# (see kill_resume_multigpu_check.sh).
 set -eu
 
 build_dir="${1:-build}"
+[ "$#" -gt 0 ] && shift
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 sweep="${repo_root}/${build_dir}/src/workloads/dscoh_sweep"
 [ -x "${sweep}" ] || {
@@ -22,17 +28,18 @@ work="$(mktemp -d)"
 trap 'rm -rf "${work}"' EXIT
 
 echo "kill_resume_check: reference sweep"
-"${sweep}" small --json "${work}/reference.json" > "${work}/reference.txt"
+"${sweep}" small --json "${work}/reference.json" "$@" > "${work}/reference.txt"
 
 # Interrupts a sweep with $1 (TERM or KILL) and verifies that --resume
 # reconstructs the byte-identical reference output.
 kill_and_resume() {
     sig="$1"
+    shift # remaining args go through to the sweep
     out="${work}/resumed_${sig}"
 
     # Single worker so the signal reliably lands mid-sweep.
     echo "kill_resume_check: interrupted sweep (will be killed with SIG${sig})"
-    "${sweep}" small --jobs 1 --json "${out}.json" > /dev/null 2>&1 &
+    "${sweep}" small --jobs 1 --json "${out}.json" "$@" > /dev/null 2>&1 &
     pid=$!
 
     journal="${out}.json.journal"
@@ -60,7 +67,7 @@ kill_and_resume() {
     echo "kill_resume_check: SIG${sig} after ${journaled} journaled jobs"
 
     echo "kill_resume_check: resuming"
-    "${sweep}" small --resume --json "${out}.json" \
+    "${sweep}" small --resume --json "${out}.json" "$@" \
         > "${out}.txt" 2> "${out}.log"
     grep "jobs replayed" "${out}.log" || {
         echo "kill_resume_check: resume replayed nothing" >&2
@@ -79,5 +86,5 @@ kill_and_resume() {
          "to the reference"
 }
 
-kill_and_resume TERM
-kill_and_resume KILL
+kill_and_resume TERM "$@"
+kill_and_resume KILL "$@"

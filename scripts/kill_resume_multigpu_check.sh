@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Crash-recovery check against a sharded multi-GPU sweep: the same
+# kill/resume byte-identity property as kill_resume_check.sh, but with the
+# DS region split across 2 GPUs (page-interleaved directory shards), 2 CPU
+# cores, the ring DS network and the timestamp fast path armed — so the
+# journal/checkpoint machinery has to carry per-shard in-flight state and
+# lease epochs through the restore.
+#
+# Usage: scripts/kill_resume_multigpu_check.sh [build_dir]
+set -eu
+
+exec "$(dirname "$0")/kill_resume_check.sh" "${1:-build}" \
+    --gpus 2 --cpu-cores 2 --shard-policy page --ds-topology ring \
+    --ts-lease-ticks 20000

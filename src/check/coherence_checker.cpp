@@ -141,6 +141,69 @@ void CoherenceChecker::onStoreApplied(Addr base, const DataBlock& data,
     line.valid.merge(mask);
 }
 
+void CoherenceChecker::onLeaseGrant(const std::string& agent, Addr base,
+                                    Tick expiry, Tick now)
+{
+    ++activity_;
+    if (expiry <= now)
+        record("lease", agent + " granted an already-expired lease on line " +
+                            hexAddr(base) + " (expiry tick " +
+                            std::to_string(expiry) + ")",
+               now);
+    for (const AgentView& v : agents_) {
+        if (v.name != agent)
+            continue;
+        const CohState s = v.stateOf(base);
+        if (!isOwner(s))
+            record("lease", agent + " granted a lease on line " +
+                                hexAddr(base) + " it does not own (state " +
+                                to_string(s) + ")",
+                   now);
+        break;
+    }
+}
+
+void CoherenceChecker::onLeaseServe(const std::string& agent, Addr base,
+                                    const DataBlock& data, Tick expiry,
+                                    Tick now)
+{
+    ++activity_;
+    if (now >= expiry) {
+        record("lease", agent + " served line " + hexAddr(base) +
+                            " from a lease that expired at tick " +
+                            std::to_string(expiry),
+               now);
+        return;
+    }
+    if (!params_.trackData)
+        return;
+    const auto it = mirror_.find(lineAlign(base));
+    if (it == mirror_.end())
+        return;
+    for (std::uint32_t i = 0; i < kLineSize; ++i) {
+        if (!it->second.valid.test(i))
+            continue;
+        if (data.read(i, 1) != it->second.data.read(i, 1)) {
+            record("lease",
+                   agent + " served stale leased data for line " +
+                       hexAddr(base) + ": byte " + std::to_string(i) +
+                       " is " + std::to_string(data.read(i, 1)) +
+                       ", ground truth " +
+                       std::to_string(it->second.data.read(i, 1)) +
+                       " (lease expiry tick " + std::to_string(expiry) + ")",
+                   now);
+            break;
+        }
+    }
+}
+
+void CoherenceChecker::reportExternal(const std::string& agent,
+                                      const std::string& what, Tick now)
+{
+    ++activity_;
+    record("shard", agent + ": " + what, now);
+}
+
 void CoherenceChecker::checkLine(Addr base, const char* when, Tick now)
 {
     struct Copy {

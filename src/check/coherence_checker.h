@@ -96,6 +96,23 @@ public:
     /// A store's bytes were applied at a coherent agent (the global
     /// linearization point for that line). Updates the ground-truth mirror.
     void onStoreApplied(Addr base, const DataBlock& data, const ByteMask& mask);
+    /// Timestamp fast path (multi-GPU): a home slice granted a lease on
+    /// @p base until @p expiry. Epoch validity: the grant must lie in the
+    /// future and the grantor must hold the line in an owner state.
+    void onLeaseGrant(const std::string& agent, Addr base, Tick expiry,
+                      Tick now);
+    /// A leaseholder served @p data for @p base under a lease expiring at
+    /// @p expiry. Serves must strictly precede expiry, and (with data
+    /// tracking) the served bytes must match the ground-truth mirror —
+    /// this is what turns a skipped lease hold into a reported violation
+    /// rather than just a wrong workload result.
+    void onLeaseServe(const std::string& agent, Addr base,
+                      const DataBlock& data, Tick expiry, Tick now);
+    /// A component detected a structural violation itself (misrouted
+    /// direct store, request at the wrong directory shard). Recorded like
+    /// any invariant breach.
+    void reportExternal(const std::string& agent, const std::string& what,
+                        Tick now);
     void onMessageSent() { ++inFlight_; ++activity_; }
     void onMessageDelivered()
     {

@@ -85,6 +85,16 @@ FuzzScenario generateScenario(std::uint64_t seed)
         arr.cpuPretouch = rng.chance(0.25);
         sc.arrays.push_back(arr);
     }
+
+    // Multi-GPU scale-out, drawn strictly after everything above so a
+    // single-GPU expansion of any historical seed is unchanged up to the
+    // new draws. Roughly a third of scenarios scale out.
+    if (rng.chance(1.0 / 3)) {
+        sc.gpus = 2 + static_cast<std::uint32_t>(rng.below(3)); // 2..4
+        sc.shardPolicy = static_cast<std::uint32_t>(rng.below(3));
+        sc.tsLeaseTicks = rng.chance(0.5) ? 1024 + rng.below(7169) : 0;
+        sc.dsTopology = rng.chance(0.3) ? 1 : 0; // ring less common
+    }
     return sc;
 }
 
@@ -100,6 +110,11 @@ FuzzScenario generateFaultScenario(std::uint64_t seed)
     if (!anyShared)
         sc.arrays.front().gpuShared = true;
     sc.dsMinWords = 0; // no hybrid threshold: every shared array is pushed
+    // The timestamp fast path carries no delivery hardening (PROTOCOL.md:
+    // leases assume a fault-free DS network), so fault scenarios keep it
+    // off. Multi-GPU shapes themselves stay — per-shard hardening is
+    // exactly what fault fuzzing must exercise.
+    sc.tsLeaseTicks = 0;
 
     // Hardening must be armed: a drop with no retransmit story is a hang by
     // construction (that inversion is the CI calibration check, not a fuzz
@@ -141,6 +156,10 @@ SystemConfig scenarioConfig(const FuzzScenario& sc, CoherenceMode mode)
     cfg.dsNet.hopLatency = sc.dsHop;
     cfg.gpuNet.hopLatency = sc.gpuHop;
     cfg.directoryHome = sc.directory;
+    cfg.numGpus = sc.gpus;
+    cfg.shardPolicy = static_cast<ShardPolicy>(sc.shardPolicy);
+    cfg.tsLeaseTicks = sc.tsLeaseTicks;
+    cfg.dsTopology = static_cast<DsTopology>(sc.dsTopology);
     cfg.dsMinBytes = sc.dsMinWords * 4;
     cfg.eventTieBreakSeed = sc.tieBreakSeed;
     cfg.injectBug = sc.bug;
@@ -237,6 +256,7 @@ FuzzReport runScenario(const FuzzScenario& sc, CoherenceMode mode,
         k.name = "fuzz_phase" + std::to_string(p);
         k.blocks = sc.blocks;
         k.threadsPerBlock = sc.threadsPerBlock;
+        k.gpu = sc.gpus > 1 ? p % sc.gpus : 0; // rotate phases over devices
         const std::uint64_t bodySeed = rng.next();
         const std::uint32_t tpb = sc.threadsPerBlock;
         const std::uint32_t maxOps = sc.opsPerThread;
@@ -409,7 +429,8 @@ InjectedBug bugFromName(const std::string& name, bool& ok)
     ok = true;
     for (const InjectedBug b :
          {InjectedBug::kNone, InjectedBug::kSkipRemoteStoreInval,
-          InjectedBug::kSkipSnoopInvalidate, InjectedBug::kDropWbAck}) {
+          InjectedBug::kSkipSnoopInvalidate, InjectedBug::kDropWbAck,
+          InjectedBug::kCrossShardOrder}) {
         if (name == to_string(b))
             return b;
     }
@@ -439,6 +460,13 @@ void serializeScenario(const FuzzScenario& sc, std::ostream& os)
        << "dsMinWords " << sc.dsMinWords << "\n"
        << "tieBreakSeed " << sc.tieBreakSeed << "\n"
        << "bug " << to_string(sc.bug) << "\n";
+    // The multi-GPU block only appears when something scales out, so
+    // single-GPU scenario files (and existing corpora) stay byte-identical.
+    if (sc.multiGpu())
+        os << "gpus " << sc.gpus << "\n"
+           << "shardPolicy " << sc.shardPolicy << "\n"
+           << "tsLeaseTicks " << sc.tsLeaseTicks << "\n"
+           << "dsTopology " << sc.dsTopology << "\n";
     // The fault block only appears when something is armed, so fault-free
     // scenario files (and existing corpora) stay byte-identical.
     if (sc.faultsEnabled() || sc.dsAckTimeout != 0)
@@ -542,6 +570,14 @@ bool parseScenario(const std::string& text, FuzzScenario& out,
             ok = readU64(sc.dsMinWords);
         else if (key == "tieBreakSeed")
             ok = readU64(sc.tieBreakSeed);
+        else if (key == "gpus")
+            ok = readU32(sc.gpus);
+        else if (key == "shardPolicy")
+            ok = readU32(sc.shardPolicy);
+        else if (key == "tsLeaseTicks")
+            ok = readU64(sc.tsLeaseTicks);
+        else if (key == "dsTopology")
+            ok = readU32(sc.dsTopology);
         else if (key == "faultDropPpm")
             ok = readU32(sc.faultDropPpm);
         else if (key == "faultDupPpm")
@@ -591,8 +627,12 @@ bool parseScenario(const std::string& text, FuzzScenario& out,
     if (sc.phases == 0 || sc.blocks == 0 || sc.threadsPerBlock == 0 ||
         sc.slices == 0 || sc.sms == 0 || sc.opsPerThread == 0 ||
         sc.mshrs == 0 || sc.wbEntries == 0 || sc.cpuL2KB == 0 ||
-        sc.gpuL2KB == 0) {
+        sc.gpuL2KB == 0 || sc.gpus == 0) {
         error = "scenario has a zero-sized field";
+        return false;
+    }
+    if (sc.shardPolicy > 2 || sc.dsTopology > 1) {
+        error = "scenario has an out-of-range enum field";
         return false;
     }
     out = std::move(sc);
@@ -667,6 +707,37 @@ shrinkScenario(const FuzzScenario& failing,
         if (sc.dsMinWords != 0) {
             FuzzScenario c = sc;
             c.dsMinWords = 0;
+            out.push_back(std::move(c));
+        }
+        // Multi-GPU simplifications: try collapsing back to the original
+        // single-GPU machine first (the biggest win), then peel the axes
+        // off one at a time.
+        if (sc.multiGpu()) {
+            FuzzScenario c = sc;
+            c.gpus = 1;
+            c.shardPolicy = 0;
+            c.tsLeaseTicks = 0;
+            c.dsTopology = 0;
+            out.push_back(std::move(c));
+        }
+        if (sc.gpus > 2) {
+            FuzzScenario c = sc;
+            c.gpus = 2;
+            out.push_back(std::move(c));
+        }
+        if (sc.tsLeaseTicks != 0) {
+            FuzzScenario c = sc;
+            c.tsLeaseTicks = 0;
+            out.push_back(std::move(c));
+        }
+        if (sc.dsTopology != 0) {
+            FuzzScenario c = sc;
+            c.dsTopology = 0;
+            out.push_back(std::move(c));
+        }
+        if (sc.gpus > 1 && sc.shardPolicy != 0) {
+            FuzzScenario c = sc;
+            c.shardPolicy = 0;
             out.push_back(std::move(c));
         }
         // Faults shrink one class at a time; the hardening itself is only

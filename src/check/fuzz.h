@@ -57,6 +57,20 @@ struct FuzzScenario {
     std::uint32_t opsPerThread = 3;
     std::uint64_t dsMinWords = 0; ///< hybrid §III-H threshold, in words
 
+    // Multi-GPU scale-out. All-default = the original single-GPU machine;
+    // the scenario file then carries no multi-GPU block, keeping
+    // pre-multi-GPU corpora byte-identical.
+    std::uint32_t gpus = 1;        ///< GPUs sharing the DS region
+    std::uint32_t shardPolicy = 0; ///< ShardPolicy enum value (page/line/range)
+    std::uint64_t tsLeaseTicks = 0; ///< timestamp fast-path lease (0 = off)
+    std::uint32_t dsTopology = 0;  ///< DsTopology enum value (crossbar/ring)
+
+    bool multiGpu() const
+    {
+        return gpus > 1 || shardPolicy != 0 || tsLeaseTicks != 0 ||
+               dsTopology != 0;
+    }
+
     // Perturbation / bug injection.
     std::uint64_t tieBreakSeed = 0; ///< EventQueue::setTieBreakShuffle
     InjectedBug bug = InjectedBug::kNone;

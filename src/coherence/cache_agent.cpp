@@ -35,6 +35,7 @@ const char* to_string(InjectedBug b)
     case InjectedBug::kSkipRemoteStoreInval: return "skip-remote-store-inval";
     case InjectedBug::kSkipSnoopInvalidate: return "skip-snoop-inval";
     case InjectedBug::kDropWbAck: return "drop-wback";
+    case InjectedBug::kCrossShardOrder: return "cross-shard-order";
     }
     return "?";
 }
@@ -173,6 +174,11 @@ CacheAgent::Line* CacheAgent::makeRoom(Addr addr)
     Line* victim = array_.selectVictim(addr, [this, wbbFull](const Line& l) {
         if (!isStable(l.meta.state))
             return false;
+        // A line under a granted timestamp lease is pinned: evicting it
+        // would let another agent take ownership and write while remote
+        // leaseholders still read the old epoch's data.
+        if (holdUntil(l.base) > curTick())
+            return false;
         // A dirty victim needs a writeback-buffer slot and must not collide
         // with a line already draining.
         if (needsWriteback(l.meta.state) && (wbbFull || inWriteback(l.base)))
@@ -212,7 +218,7 @@ void CacheAgent::issueWriteback(Addr base, const DataBlock& data,
     msg.type = MsgType::kPut;
     msg.addr = base;
     msg.src = params_.self;
-    msg.dst = params_.home;
+    msg.dst = homeFor(base);
     msg.requester = params_.self;
     msg.data = data;
     msg.mask.set(0, kLineSize);
@@ -231,7 +237,7 @@ void CacheAgent::sendToHome(MsgType type, Addr base, bool ownerFlag,
     msg.type = type;
     msg.addr = base;
     msg.src = params_.self;
-    msg.dst = params_.home;
+    msg.dst = homeFor(base);
     msg.requester = params_.self;
     // For kUnblock, `exclusive` carries "requester ended the transaction as
     // the line's owner (MM)" so home can maintain its owner registry.
@@ -288,6 +294,22 @@ void CacheAgent::handleForward(const Message& msg)
     switch (msg.type) {
     case MsgType::kSnpGetS:
     case MsgType::kSnpGetX:
+        // A granted timestamp lease freezes the line: the snoop (and with
+        // it the competing writer) waits out the epoch so every remote
+        // leaseholder reads consistent data until its own expiry. Re-checks
+        // on arrival in case the line was re-leased meanwhile; grants never
+        // extend an active lease, so the wait is bounded.
+        if (const Tick hold = holdUntil(msg.addr); hold > curTick()) {
+            Message* m = context().msgPool.acquire();
+            *m = msg;
+            queue().scheduleInline(hold + 1,
+                                   [this, m] {
+                                       handleForward(*m);
+                                       context().msgPool.release(m);
+                                   },
+                                   EventPriority::kController);
+            break;
+        }
         if (params_.snoopTagLatency == 0) {
             handleSnoop(msg);
         } else {
@@ -404,7 +426,7 @@ void CacheAgent::handleSnoop(const Message& msg)
     resp.type = MsgType::kSnpResp;
     resp.addr = base;
     resp.src = params_.self;
-    resp.dst = params_.home;
+    resp.dst = homeFor(base);
     resp.requester = msg.requester;
     resp.suppliedData = suppliedData;
     resp.wasSharer = wasSharer;
@@ -422,10 +444,28 @@ void CacheAgent::handleResponse(const Message& msg)
 void CacheAgent::handleData(const Message& msg)
 {
     Line* line = array_.find(msg.addr);
-    assert(line != nullptr && "data for a line with no transaction");
+    // A correct protocol delivers exactly one data response per
+    // transaction. An injected bug can break that — e.g. skipped snoop
+    // invalidations leave two stale "owners" in a multi-GPU system and a
+    // broadcast snoop makes both supply — so a second kData can land after
+    // the fill already released the MSHR. Drop strays instead of tripping
+    // over the missing bookkeeping: the oracle reports the underlying
+    // single-writer violation.
+    if (line == nullptr || mshr_.find(msg.addr) == nullptr) {
+        DSCOH_LOG("coherence", name() << " stray data response for 0x"
+                                      << std::hex << msg.addr << std::dec
+                                      << " dropped");
+        return;
+    }
     const CohState prev = line->meta.state;
-    assert(prev == CohState::kIS_D || prev == CohState::kIM_D ||
-           prev == CohState::kSM_D);
+    if (prev != CohState::kIS_D && prev != CohState::kIM_D &&
+        prev != CohState::kSM_D) {
+        DSCOH_LOG("coherence", name() << " data response in state "
+                                      << to_string(prev) << " for 0x"
+                                      << std::hex << msg.addr << std::dec
+                                      << " dropped");
+        return;
+    }
 
     // An upgrade (SM_D) kept its copy — possibly the only up-to-date one
     // when it started from M/MM/O, in which case the response carries a

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "coherence/home_map.h"
 #include "coherence/protocol.h"
 #include "coherence/transition_coverage.h"
 #include "mem/cache_array.h"
@@ -39,7 +40,12 @@ public:
         std::size_t mshrs = 16;
         std::size_t writebackEntries = 8;
         NodeId self = kInvalidNode;
+        /// Node id of directory shard 0. With a sharded directory the shard
+        /// nodes are contiguous from here and homeMap picks the one that
+        /// orders a given line; a default (single-shard) map makes this the
+        /// lone home for every address, exactly the pre-sharding behavior.
         NodeId home = kInvalidNode;
+        HomeMap homeMap{};
         Network* requestNet = nullptr;  ///< agent -> home (GetS/GetX/Put/Unblock)
         Network* forwardNet = nullptr;  ///< home -> agent (snoops, WbAck)
         Network* responseNet = nullptr; ///< data / acks / snoop responses
@@ -125,6 +131,20 @@ protected:
     /// Hook: a line is leaving the array (eviction or snoop-invalidate);
     /// upper non-coherent levels (CPU L1 filter) must drop their copy.
     virtual void onInvalidate(Addr base) { static_cast<void>(base); }
+    /// Hook: latest tick until which @p base is frozen by a granted
+    /// timestamp lease (multi-GPU fast path): snoops wait and eviction
+    /// skips the line until then. 0 / past ticks mean no hold.
+    virtual Tick holdUntil(Addr base) const
+    {
+        static_cast<void>(base);
+        return 0;
+    }
+
+    /// Directory shard ordering @p base (params().home + homeMap lookup).
+    NodeId homeFor(Addr base) const
+    {
+        return params_.home + params_.homeMap.homeOf(base);
+    }
 
     CacheArray<CohMeta>& array() { return array_; }
     const CacheArray<CohMeta>& array() const { return array_; }

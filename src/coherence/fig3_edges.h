@@ -94,6 +94,26 @@ inline constexpr Fig3Edge kFig3StableEdges[] = {
      "corrupt DsPutX detected by checksum, NACKed"},
     {CohState::kMM, CohEvent::kDupPush, CohState::kMM,
      "duplicate DsPutX squashed, ack replayed"},
+    // Multi-GPU directory sharding + timestamp fast path (PROTOCOL.md
+    // "Directory sharding across GPUs"): a slice touching a remotely-homed
+    // line pulls through that line's home shard, and GPU<->GPU reads may
+    // ride a timestamp lease instead.
+    {CohState::kI, CohEvent::kRemoteGetS, CohState::kIS_D,
+     "slice load miss on a remotely-homed line"},
+    {CohState::kI, CohEvent::kRemoteGetX, CohState::kIM_D,
+     "slice store miss on a remotely-homed line"},
+    {CohState::kM, CohEvent::kTsGrant, CohState::kM,
+     "home slice leases its clean-exclusive copy"},
+    {CohState::kMM, CohEvent::kTsGrant, CohState::kMM,
+     "home slice leases its dirty copy"},
+    {CohState::kI, CohEvent::kTsFill, CohState::kI,
+     "requester installs leased data in its epoch buffer"},
+    {CohState::kI, CohEvent::kTsExpire, CohState::kI,
+     "leased copy self-invalidates at epoch expiry"},
+    {CohState::kI, CohEvent::kTsFallback, CohState::kI,
+     "no lease available, requester takes the pull path"},
+    {CohState::kMM, CohEvent::kLeaseHold, CohState::kMM,
+     "write on the home GPU stalls until the lease expires"},
 };
 
 inline constexpr std::size_t kFig3StableEdgeCount =
@@ -110,6 +130,13 @@ inline constexpr Fig3Edge kRaceEdges[] = {
      "owner writeback snooped"},
     {CohState::kII_A, CohEvent::kWbAck, CohState::kI,
      "superseded writeback acked"},
+    // A write can also catch a leased line still clean-exclusive (DS push
+    // leased before any local store) or owned-shared — same hold, but only
+    // the MM flavour is a stable Fig. 3 row.
+    {CohState::kM, CohEvent::kLeaseHold, CohState::kM,
+     "write to a leased clean-exclusive line stalls"},
+    {CohState::kO, CohEvent::kLeaseHold, CohState::kO,
+     "write to a leased owned line stalls"},
 };
 
 } // namespace dscoh

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "check/coherence_checker.h"
 #include "sim/log.h"
 
 namespace dscoh {
@@ -17,6 +18,15 @@ HomeController::HomeController(std::string name, SimContext& ctx, Params params)
 
 void HomeController::handleRequest(const Message& msg)
 {
+    if (params_.shardOf && params_.shardOf(msg.addr) != params_.shardId) {
+        if (CoherenceChecker* c = checking())
+            c->reportExternal(name(),
+                              "request " + std::string(to_string(msg.type)) +
+                                  " for a line this shard does not order "
+                                  "(shard " + std::to_string(params_.shardId) +
+                                  ")",
+                              curTick());
+    }
     LineState& ls = line(msg.addr);
 
     if (msg.type == MsgType::kUnblock) {

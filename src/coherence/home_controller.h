@@ -49,6 +49,13 @@ public:
         /// broadcasting, and skip the speculative DRAM read when an owner
         /// should supply.
         bool directoryMode = false;
+        /// Sharded directory (multi-GPU): this controller's shard index,
+        /// and the address->shard map. When shardOf is set, a request for
+        /// an address this shard does not order is reported to the
+        /// attached checker (misroute detection) — it is still processed,
+        /// so the divergence is observable rather than fatal.
+        std::uint32_t shardId = 0;
+        std::function<std::uint32_t(Addr)> shardOf;
     };
 
     HomeController(std::string name, SimContext& ctx, Params params);

@@ -104,6 +104,12 @@ enum class InjectedBug : std::uint8_t {
     /// Writeback acks are dropped on the floor: MI_A/OI_A entries wedge in
     /// the writeback buffer forever (deadlock / leak detection).
     kDropWbAck,
+    /// Multi-GPU: the home slice grants timestamp leases but skips every
+    /// lease-hold protection (write stall, snoop hold, eviction pin), so a
+    /// write on the home GPU lands while remote leaseholders still serve
+    /// the old epoch's data — a cross-shard ordering violation the fuzzer
+    /// must catch via stale reads / mode divergence.
+    kCrossShardOrder,
 };
 
 const char* to_string(InjectedBug b);

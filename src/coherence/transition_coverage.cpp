@@ -92,6 +92,13 @@ const char* to_string(CohEvent e)
     case CohEvent::kFallbackStore: return "FallbackStore";
     case CohEvent::kDupPush: return "DupPush";
     case CohEvent::kCorruptPush: return "CorruptPush";
+    case CohEvent::kRemoteGetS: return "RemoteGetS";
+    case CohEvent::kRemoteGetX: return "RemoteGetX";
+    case CohEvent::kTsGrant: return "TsGrant";
+    case CohEvent::kTsFill: return "TsFill";
+    case CohEvent::kTsExpire: return "TsExpire";
+    case CohEvent::kTsFallback: return "TsFallback";
+    case CohEvent::kLeaseHold: return "LeaseHold";
     }
     return "?";
 }

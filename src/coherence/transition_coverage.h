@@ -29,6 +29,16 @@ enum class CohEvent : std::uint8_t {
     kFallbackStore, ///< DS push abandoned, store re-done via the pull path
     kDupPush,       ///< duplicate DsPutX squashed at the slice
     kCorruptPush,   ///< DsPutX failed its checksum at the slice, NACKed
+
+    // Multi-GPU cross-shard edges (directory sharding + timestamp fast
+    // path; PROTOCOL.md "Directory sharding across GPUs").
+    kRemoteGetS,  ///< slice misses a remotely-homed line, pulls via its home
+    kRemoteGetX,  ///< slice writes a remotely-homed line, GetX via its home
+    kTsGrant,     ///< home slice granted a timestamp lease on its copy
+    kTsFill,      ///< requesting slice installed leased data (epoch buffer)
+    kTsExpire,    ///< leased copy self-invalidated at epoch expiry
+    kTsFallback,  ///< lease NACKed, requester took the home-directory pull
+    kLeaseHold,   ///< write on the home GPU stalled until lease expiry
 };
 
 const char* to_string(CohEvent e);

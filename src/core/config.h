@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <ostream>
 
+#include "coherence/home_map.h"
 #include "coherence/protocol.h"
 #include "cpu/tlb.h"
 #include "fault/fault_config.h"
@@ -84,6 +85,24 @@ struct SystemConfig {
     /// The paper's added dedicated network (§III-G), "exactly the same
     /// characteristics as the network used in many cache coherence systems".
     NetworkParams dsNet{40, 32};
+
+    // --- Multi-GPU scale-out ---
+    /// GPUs sharing the DS region. Each GPU owns its own L2 slice group,
+    /// SMs and device front end; the DS range is split across them by
+    /// shardPolicy with one directory/ordering-point shard per home GPU.
+    /// 1 keeps the original single-GPU system bit for bit.
+    std::uint32_t numGpus = 1;
+    /// Which GPU homes a given physical address (see coherence/home_map.h).
+    ShardPolicy shardPolicy = ShardPolicy::kPage;
+    /// DS-network shape: full crossbar (uniform hop) or a ring over the
+    /// CPU cores + slices with distance-proportional latency.
+    DsTopology dsTopology = DsTopology::kCrossbar;
+    /// Non-zero enables the timestamp-assisted fast path for GPU<->GPU
+    /// reads of remotely-homed lines: the home slice grants a data lease of
+    /// this many ticks (stalling its own writes until expiry) and the
+    /// requesting slice self-invalidates the copy when the epoch runs out,
+    /// falling back to the home-directory pull path on a miss/NACK.
+    Tick tsLeaseTicks = 0;
 
     /// Hybrid policy (SIII-H): only kernel-referenced arrays of at least
     /// this size move to the direct-store region; smaller ones stay on the

@@ -169,6 +169,24 @@ const std::map<std::string, Field>& fields()
         f.emplace("ds-max-retries", numField(&SystemConfig::dsMaxRetries));
         f.emplace("ds-inflight-max", numField(&SystemConfig::dsInFlightMax));
 
+        f.emplace("cpu-cores", numField(&SystemConfig::cpuCores));
+        f.emplace("num-gpus", numField(&SystemConfig::numGpus));
+        f.emplace("ts-lease-ticks", numField(&SystemConfig::tsLeaseTicks));
+        f.emplace("shard-policy", Field{
+            [](SystemConfig& cfg, const std::string& v) {
+                return parseShardPolicy(v, cfg.shardPolicy);
+            },
+            [](const SystemConfig& cfg) -> std::string {
+                return to_string(cfg.shardPolicy);
+            }});
+        f.emplace("ds-topology", Field{
+            [](SystemConfig& cfg, const std::string& v) {
+                return parseDsTopology(v, cfg.dsTopology);
+            },
+            [](const SystemConfig& cfg) -> std::string {
+                return to_string(cfg.dsTopology);
+            }});
+
         f.emplace("ds-min-bytes", numField(&SystemConfig::dsMinBytes));
         f.emplace("agent-mshrs", numField(&SystemConfig::agentMshrs));
         f.emplace("writeback-entries",
@@ -350,6 +368,26 @@ std::uint64_t configHashOf(const SystemConfig& cfg)
     mix(cfg.dsAckTimeout);
     mix(cfg.dsMaxRetries);
     mix(cfg.dsInFlightMax);
+    // Multi-GPU knobs are appended only when set off their defaults, each
+    // under a distinct tag: every pre-existing config keeps its exact
+    // historical hash (snapshots, sweep journals and the produce-snapshot
+    // cache all key on it), while any multi-GPU setting changes it.
+    if (cfg.numGpus != 1) {
+        mix(0x6e756d2d67707573ull); // "num-gpus"
+        mix(cfg.numGpus);
+    }
+    if (cfg.shardPolicy != ShardPolicy::kPage) {
+        mix(0x73686172642d706full); // "shard-po"
+        mix(static_cast<std::uint64_t>(cfg.shardPolicy));
+    }
+    if (cfg.dsTopology != DsTopology::kCrossbar) {
+        mix(0x64732d746f706f6cull); // "ds-topol"
+        mix(static_cast<std::uint64_t>(cfg.dsTopology));
+    }
+    if (cfg.tsLeaseTicks != 0) {
+        mix(0x74732d6c65617365ull); // "ts-lease"
+        mix(cfg.tsLeaseTicks);
+    }
     return h;
 }
 

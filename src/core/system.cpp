@@ -80,7 +80,12 @@ CoherenceChecker& System::enableChecker(const CoherenceChecker::Params& params)
     ctx_.checker = std::make_unique<CoherenceChecker>(params);
     CoherenceChecker& checker = *ctx_.checker;
     checker.setBackingStore(store_.get());
-    checker.setHomeProbe([this] { return home_->busyLines(); });
+    checker.setHomeProbe([this] {
+        std::size_t busy = 0;
+        for (const auto& homePtr : homes_)
+            busy += homePtr->busyLines();
+        return busy;
+    });
 
     const auto addAgent = [&checker](const CacheAgent& agent,
                                      std::string label) {
@@ -102,14 +107,31 @@ CoherenceChecker& System::enableChecker(const CoherenceChecker::Params& params)
         checker.addAgent(std::move(view));
     };
     addAgent(*cpuAgent_, "cpu");
-    for (std::size_t s = 0; s < slices_.size(); ++s)
-        addAgent(*slices_[s], "slice" + std::to_string(s));
+    for (std::size_t i = 0; i < slices_.size(); ++i)
+        addAgent(*slices_[i], sliceCheckerLabel(i));
     return checker;
 }
 
-System::System(const SystemConfig& config)
-    : config_(config), interleave_(config.gpuL2Slices)
+std::string System::sliceCheckerLabel(std::size_t flatIndex) const
 {
+    const std::size_t g = flatIndex / config_.gpuL2Slices;
+    const std::size_t s = flatIndex % config_.gpuL2Slices;
+    if (g == 0)
+        return "slice" + std::to_string(s);
+    return "gpu" + std::to_string(g) + ".slice" + std::to_string(s);
+}
+
+System::System(const SystemConfig& config)
+    : config_(config), interleave_(config.gpuL2Slices),
+      homeMap_(config.numGpus, config.shardPolicy)
+{
+    // Instance-0 component names are the historical single-GPU strings so
+    // every stat key, snapshot section and checker label of a 1-GPU /
+    // 1-core config stays byte-identical to the pre-sharding simulator.
+    const auto gpuPrefix = [](std::uint32_t g) {
+        return g == 0 ? std::string("gpu.")
+                      : "gpu" + std::to_string(g) + ".";
+    };
     ctx_.log.setThreshold(config_.logLevel);
     if (config_.eventTieBreakSeed != 0)
         ctx_.queue.setTieBreakShuffle(config_.eventTieBreakSeed);
@@ -160,30 +182,48 @@ System::System(const SystemConfig& config)
     dsFault_ = attachFault(*dsNet_, kFaultNetDs, true, 3);
     attachFault(*gpuNet_, kFaultNetGpu, false, 4);
 
-    // --- home controller -------------------------------------------------
-    HomeController::Params homeParams;
-    homeParams.self = homeNode();
-    homeParams.requestNet = requestNet_.get();
-    homeParams.forwardNet = forwardNet_.get();
-    homeParams.responseNet = responseNet_.get();
-    homeParams.dram = dram_.get();
-    homeParams.store = store_.get();
-    homeParams.directoryMode = config_.directoryHome;
-    if (config_.mode == CoherenceMode::kDirectStoreOnly) {
-        // SIII-H replacement mode: there is no CPU<->GPU coherence to keep.
-        // The CPU only caches private data (which no slice may hold) and
-        // the slices partition the shared addresses among themselves, so
-        // the home never needs to snoop anyone: every transaction is a
-        // plain memory fetch. This is the protocol-simplicity claim made
-        // concrete (see bench/ablation_replacement).
-        homeParams.peersOf = [](Addr) { return std::vector<NodeId>{}; };
-    } else {
-        homeParams.peersOf = [this](Addr a) {
-            return std::vector<NodeId>{kCpuAgentNode, sliceNodeOf(a)};
-        };
+    // --- home controllers (one directory shard per GPU) -------------------
+    for (std::uint32_t h = 0; h < config_.numGpus; ++h) {
+        HomeController::Params homeParams;
+        homeParams.self = homeNode(h);
+        homeParams.requestNet = requestNet_.get();
+        homeParams.forwardNet = forwardNet_.get();
+        homeParams.responseNet = responseNet_.get();
+        homeParams.dram = dram_.get();
+        homeParams.store = store_.get();
+        homeParams.directoryMode = config_.directoryHome;
+        if (config_.mode == CoherenceMode::kDirectStoreOnly) {
+            // SIII-H replacement mode: there is no CPU<->GPU coherence to
+            // keep. The CPU only caches private data (which no slice may
+            // hold) and the slices partition the shared addresses among
+            // themselves, so the home never needs to snoop anyone: every
+            // transaction is a plain memory fetch. This is the
+            // protocol-simplicity claim made concrete (see
+            // bench/ablation_replacement).
+            homeParams.peersOf = [](Addr) { return std::vector<NodeId>{}; };
+        } else {
+            // Hammer broadcast reaches every cache that may hold the line:
+            // the CPU agent and the matching slice of every GPU.
+            homeParams.peersOf = [this](Addr a) {
+                std::vector<NodeId> peers;
+                peers.reserve(1 + config_.numGpus);
+                peers.push_back(kCpuAgentNode);
+                for (std::uint32_t g = 0; g < config_.numGpus; ++g)
+                    peers.push_back(sliceNodeOf(a, g));
+                return peers;
+            };
+        }
+        // Misrouted requests (a bug in homeFor routing, or a scenario
+        // mutation) are reported to the attached checker instead of being
+        // silently ordered by the wrong shard.
+        homeParams.shardId = h;
+        if (config_.numGpus > 1) {
+            homeParams.shardOf = [this](Addr a) { return homeMap_.homeOf(a); };
+        }
+        homes_.push_back(std::make_unique<HomeController>(
+            h == 0 ? std::string("home") : "home" + std::to_string(h), ctx_,
+            std::move(homeParams)));
     }
-    home_ = std::make_unique<HomeController>("home", ctx_,
-                                             std::move(homeParams));
 
     // --- CPU side ---------------------------------------------------------
     CacheAgent::Params cpuL2;
@@ -194,7 +234,8 @@ System::System(const SystemConfig& config)
     cpuL2.mshrs = config_.agentMshrs;
     cpuL2.writebackEntries = config_.writebackEntries;
     cpuL2.self = kCpuAgentNode;
-    cpuL2.home = homeNode();
+    cpuL2.home = homeNode(0);
+    cpuL2.homeMap = homeMap_;
     cpuL2.requestNet = requestNet_.get();
     cpuL2.forwardNet = forwardNet_.get();
     cpuL2.responseNet = responseNet_.get();
@@ -213,144 +254,185 @@ System::System(const SystemConfig& config)
 
     tlb_ = std::make_unique<Tlb>("cpu.tlb", ctx_, *space_, config_.tlb);
 
-    CpuCore::Params coreParams;
-    coreParams.l1Latency = config_.cpuL1Latency;
-    coreParams.l2Latency = config_.cpuL2Latency;
-    coreParams.storeBufferEntries = config_.storeBufferEntries;
-    coreParams.rsbEntries = config_.rsbEntries;
-    coreParams.self = cpuCoreNode();
-    coreParams.dsNet = dsNet_.get();
-    coreParams.sliceOf = [this](Addr a) { return sliceNodeOf(a); };
-    coreParams.dsAckTimeout = config_.dsAckTimeout;
-    coreParams.dsMaxRetries = config_.dsMaxRetries;
-    coreParams.dsInFlightMax = config_.dsInFlightMax;
-    // Only kDirectStore retains the baseline coherent path to degrade to;
-    // under kDirectStoreOnly the push network is the sole mechanism and the
-    // CPU must keep retrying through an outage.
-    coreParams.dsFallback = config_.mode == CoherenceMode::kDirectStore;
-    // Drain window before a fallback applies: the longest a stale DsPutX
-    // copy can still be on the wire (hop + fault delay + slice tag lookup)
-    // plus generous slack for port-serialization backlog. Correctness does
-    // not hinge on the bound — the slice's merge-only mode keeps even a
-    // straggler coherent — it just avoids needless churn.
-    coreParams.dsMslTicks = config_.dsNet.hopLatency +
-                            config_.faults.delayTicks +
-                            config_.gpuL2TagLatency + 2048;
-    coreParams.dsVerifyChecksum =
-        config_.dsAckTimeout != 0 && dsFault_ != nullptr;
-    if (dsFault_ != nullptr) {
-        FaultInjector* inj = dsFault_;
-        coreParams.dsNetDown = [this, inj] {
-            return inj->linkDownNow(ctx_.queue.curTick());
-        };
+    for (std::uint32_t c = 0; c < config_.cpuCores; ++c) {
+        CpuCore::Params coreParams;
+        coreParams.l1Latency = config_.cpuL1Latency;
+        coreParams.l2Latency = config_.cpuL2Latency;
+        coreParams.storeBufferEntries = config_.storeBufferEntries;
+        coreParams.rsbEntries = config_.rsbEntries;
+        coreParams.self = cpuCoreNode(c);
+        coreParams.dsNet = dsNet_.get();
+        coreParams.sliceOf = [this](Addr a) { return sliceNodeOf(a); };
+        coreParams.dsAckTimeout = config_.dsAckTimeout;
+        coreParams.dsMaxRetries = config_.dsMaxRetries;
+        coreParams.dsInFlightMax = config_.dsInFlightMax;
+        // Only kDirectStore retains the baseline coherent path to degrade
+        // to; under kDirectStoreOnly the push network is the sole mechanism
+        // and the CPU must keep retrying through an outage.
+        coreParams.dsFallback = config_.mode == CoherenceMode::kDirectStore;
+        // Drain window before a fallback applies: the longest a stale
+        // DsPutX copy can still be on the wire (hop + fault delay + slice
+        // tag lookup) plus generous slack for port-serialization backlog.
+        // Correctness does not hinge on the bound — the slice's merge-only
+        // mode keeps even a straggler coherent — it just avoids needless
+        // churn.
+        coreParams.dsMslTicks = config_.dsNet.hopLatency +
+                                config_.faults.delayTicks +
+                                config_.gpuL2TagLatency + 2048;
+        coreParams.dsVerifyChecksum =
+            config_.dsAckTimeout != 0 && dsFault_ != nullptr;
+        if (dsFault_ != nullptr) {
+            FaultInjector* inj = dsFault_;
+            coreParams.dsNetDown = [this, inj] {
+                return inj->linkDownNow(ctx_.queue.curTick());
+            };
+        }
+        cpuCores_.push_back(std::make_unique<CpuCore>(
+            c == 0 ? std::string("cpu.core") : "cpu.core" + std::to_string(c),
+            ctx_, std::move(coreParams), *tlb_, *cpuAgent_));
     }
-    cpuCore_ = std::make_unique<CpuCore>("cpu.core", ctx_,
-                                         std::move(coreParams), *tlb_,
-                                         *cpuAgent_);
 
     // --- GPU side ----------------------------------------------------------
-    for (std::uint32_t s = 0; s < config_.gpuL2Slices; ++s) {
-        CacheAgent::Params sliceAgent;
-        sliceAgent.geometry.sizeBytes = config_.gpuL2Size / config_.gpuL2Slices;
-        sliceAgent.geometry.ways = config_.gpuL2Ways;
-        sliceAgent.geometry.setShift = interleave_.bits();
-        sliceAgent.geometry.replacement = config_.replacement;
-        sliceAgent.geometry.replacementSeed = config_.seed + 10 + s;
-        sliceAgent.mshrs = config_.gpuL2Mshrs;
-        sliceAgent.writebackEntries = config_.writebackEntries;
-        sliceAgent.self = kFirstSliceNode + s;
-        sliceAgent.home = homeNode();
-        sliceAgent.requestNet = requestNet_.get();
-        sliceAgent.forwardNet = forwardNet_.get();
-        sliceAgent.responseNet = responseNet_.get();
-        sliceAgent.snoopTagLatency = config_.gpuSnoopTagLatency;
-        sliceAgent.dataSupplyLatency = config_.gpuDataSupplyLatency;
-        sliceAgent.dataSupplyInterval = config_.gpuDataSupplyInterval;
-        sliceAgent.injectBug = config_.injectBug;
+    for (std::uint32_t g = 0; g < config_.numGpus; ++g) {
+        for (std::uint32_t s = 0; s < config_.gpuL2Slices; ++s) {
+            CacheAgent::Params sliceAgent;
+            sliceAgent.geometry.sizeBytes =
+                config_.gpuL2Size / config_.gpuL2Slices;
+            sliceAgent.geometry.ways = config_.gpuL2Ways;
+            sliceAgent.geometry.setShift = interleave_.bits();
+            sliceAgent.geometry.replacement = config_.replacement;
+            sliceAgent.geometry.replacementSeed =
+                config_.seed + 10 + g * config_.gpuL2Slices + s;
+            sliceAgent.mshrs = config_.gpuL2Mshrs;
+            sliceAgent.writebackEntries = config_.writebackEntries;
+            sliceAgent.self = sliceNode(g, s);
+            sliceAgent.home = homeNode(0);
+            sliceAgent.homeMap = homeMap_;
+            sliceAgent.requestNet = requestNet_.get();
+            sliceAgent.forwardNet = forwardNet_.get();
+            sliceAgent.responseNet = responseNet_.get();
+            sliceAgent.snoopTagLatency = config_.gpuSnoopTagLatency;
+            sliceAgent.dataSupplyLatency = config_.gpuDataSupplyLatency;
+            sliceAgent.dataSupplyInterval = config_.gpuDataSupplyInterval;
+            sliceAgent.injectBug = config_.injectBug;
 
-        GpuL2Slice::SliceParams sliceParams;
-        sliceParams.tagLatency = config_.gpuL2TagLatency;
-        sliceParams.gpuNet = gpuNet_.get();
-        sliceParams.dsNet = dsNet_.get();
-        sliceParams.dram = dram_.get();
-        sliceParams.prefetchDepth = config_.gpuL2PrefetchDepth;
-        sliceParams.slices = config_.gpuL2Slices;
-        sliceParams.harden = config_.dsAckTimeout != 0;
-        sliceParams.mergeOnly = sliceParams.harden &&
-                                config_.mode == CoherenceMode::kDirectStore;
-        sliceParams.verifyChecksum =
-            sliceParams.harden && dsFault_ != nullptr;
-        slices_.push_back(std::make_unique<GpuL2Slice>(
-            "gpu.l2.slice" + std::to_string(s), ctx_, sliceAgent,
-            sliceParams));
+            GpuL2Slice::SliceParams sliceParams;
+            sliceParams.tagLatency = config_.gpuL2TagLatency;
+            sliceParams.gpuNet = gpuNet_.get();
+            sliceParams.dsNet = dsNet_.get();
+            sliceParams.dram = dram_.get();
+            sliceParams.prefetchDepth = config_.gpuL2PrefetchDepth;
+            sliceParams.slices = config_.gpuL2Slices;
+            sliceParams.harden = config_.dsAckTimeout != 0;
+            sliceParams.mergeOnly =
+                sliceParams.harden &&
+                config_.mode == CoherenceMode::kDirectStore;
+            sliceParams.verifyChecksum =
+                sliceParams.harden && dsFault_ != nullptr;
+            sliceParams.tsLeaseTicks = config_.tsLeaseTicks;
+            sliceParams.myGpu = g;
+            sliceParams.firstSliceNode = kFirstSliceNode;
+            slices_.push_back(std::make_unique<GpuL2Slice>(
+                gpuPrefix(g) + "l2.slice" + std::to_string(s), ctx_,
+                sliceAgent, sliceParams));
+        }
+
+        for (std::uint32_t i = 0; i < config_.numSms; ++i) {
+            StreamingMultiprocessor::Params smParams;
+            smParams.lanes = config_.lanesPerSm;
+            smParams.maxResidentBlocks = config_.maxResidentBlocks;
+            smParams.l1Latency = config_.gpuL1Latency;
+            smParams.smemLatency = config_.gpuSmemLatency;
+            smParams.maxOutstandingStores = config_.maxOutstandingStores;
+            smParams.self = smNode(g, i);
+            smParams.gpuNet = gpuNet_.get();
+            smParams.sliceOf = [this, g](Addr a) {
+                return sliceNodeOf(a, g);
+            };
+            smParams.l1Geometry.sizeBytes = config_.gpuL1Size;
+            smParams.l1Geometry.ways = config_.gpuL1Ways;
+            smParams.l1Geometry.replacement = config_.replacement;
+            smParams.l1Geometry.replacementSeed =
+                config_.seed + 100 + g * config_.numSms + i;
+            sms_.push_back(std::make_unique<StreamingMultiprocessor>(
+                gpuPrefix(g) + "sm" + std::to_string(i), ctx_,
+                std::move(smParams), *space_));
+        }
+
+        std::vector<StreamingMultiprocessor*> smPtrs;
+        for (std::uint32_t i = 0; i < config_.numSms; ++i)
+            smPtrs.push_back(sms_[g * config_.numSms + i].get());
+        GpuDevice::Params devParams;
+        devParams.launchLatency = config_.kernelLaunchLatency;
+        gpuDevices_.push_back(std::make_unique<GpuDevice>(
+            gpuPrefix(g) + "device", ctx_, devParams, std::move(smPtrs)));
     }
-
-    for (std::uint32_t i = 0; i < config_.numSms; ++i) {
-        StreamingMultiprocessor::Params smParams;
-        smParams.lanes = config_.lanesPerSm;
-        smParams.maxResidentBlocks = config_.maxResidentBlocks;
-        smParams.l1Latency = config_.gpuL1Latency;
-        smParams.smemLatency = config_.gpuSmemLatency;
-        smParams.maxOutstandingStores = config_.maxOutstandingStores;
-        smParams.self = firstSmNode() + i;
-        smParams.gpuNet = gpuNet_.get();
-        smParams.sliceOf = [this](Addr a) { return sliceNodeOf(a); };
-        smParams.l1Geometry.sizeBytes = config_.gpuL1Size;
-        smParams.l1Geometry.ways = config_.gpuL1Ways;
-        smParams.l1Geometry.replacement = config_.replacement;
-        smParams.l1Geometry.replacementSeed = config_.seed + 100 + i;
-        sms_.push_back(std::make_unique<StreamingMultiprocessor>(
-            "gpu.sm" + std::to_string(i), ctx_, std::move(smParams),
-            *space_));
-    }
-
-    std::vector<StreamingMultiprocessor*> smPtrs;
-    for (auto& sm : sms_)
-        smPtrs.push_back(sm.get());
-    GpuDevice::Params devParams;
-    devParams.launchLatency = config_.kernelLaunchLatency;
-    gpuDevice_ = std::make_unique<GpuDevice>("gpu.device", ctx_, devParams,
-                                             std::move(smPtrs));
 
     // --- wiring -------------------------------------------------------------
     // Every controller connects through a compile-time member binding: the
     // per-message hop is one indirect call, with no std::function in the way.
-    requestNet_->connect(
-        homeNode(),
-        Network::handlerFor<&HomeController::handleRequest>(home_.get()));
-    responseNet_->connect(
-        homeNode(),
-        Network::handlerFor<&HomeController::handleResponse>(home_.get()));
+    for (std::uint32_t h = 0; h < config_.numGpus; ++h) {
+        HomeController* homePtr = homes_[h].get();
+        requestNet_->connect(
+            homeNode(h),
+            Network::handlerFor<&HomeController::handleRequest>(homePtr));
+        responseNet_->connect(
+            homeNode(h),
+            Network::handlerFor<&HomeController::handleResponse>(homePtr));
+    }
     forwardNet_->connect(
         kCpuAgentNode,
         Network::handlerFor<&CacheAgent::handleForward>(cpuAgent_.get()));
     responseNet_->connect(
         kCpuAgentNode,
         Network::handlerFor<&CacheAgent::handleResponse>(cpuAgent_.get()));
-    dsNet_->connect(
-        cpuCoreNode(),
-        Network::handlerFor<&CpuCore::handleDsMessage>(cpuCore_.get()));
-    for (std::uint32_t s = 0; s < config_.gpuL2Slices; ++s) {
-        GpuL2Slice* slicePtr = slices_[s].get();
-        forwardNet_->connect(
-            kFirstSliceNode + s,
-            Network::handlerFor<&GpuL2Slice::handleForward>(slicePtr));
-        responseNet_->connect(
-            kFirstSliceNode + s,
-            Network::handlerFor<&GpuL2Slice::handleResponse>(slicePtr));
+    for (std::uint32_t c = 0; c < config_.cpuCores; ++c) {
         dsNet_->connect(
-            kFirstSliceNode + s,
-            Network::handlerFor<&GpuL2Slice::handleDsMessage>(slicePtr));
-        gpuNet_->connect(
-            kFirstSliceNode + s,
-            Network::handlerFor<&GpuL2Slice::handleGpuMessage>(slicePtr));
+            cpuCoreNode(c),
+            Network::handlerFor<&CpuCore::handleDsMessage>(
+                cpuCores_[c].get()));
     }
-    for (std::uint32_t i = 0; i < config_.numSms; ++i) {
+    for (std::uint32_t g = 0; g < config_.numGpus; ++g) {
+        for (std::uint32_t s = 0; s < config_.gpuL2Slices; ++s) {
+            GpuL2Slice* slicePtr =
+                slices_[g * config_.gpuL2Slices + s].get();
+            forwardNet_->connect(
+                sliceNode(g, s),
+                Network::handlerFor<&GpuL2Slice::handleForward>(slicePtr));
+            responseNet_->connect(
+                sliceNode(g, s),
+                Network::handlerFor<&GpuL2Slice::handleResponse>(slicePtr));
+            dsNet_->connect(
+                sliceNode(g, s),
+                Network::handlerFor<&GpuL2Slice::handleDsMessage>(slicePtr));
+            gpuNet_->connect(
+                sliceNode(g, s),
+                Network::handlerFor<&GpuL2Slice::handleGpuMessage>(slicePtr));
+        }
+    }
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
         gpuNet_->connect(
-            firstSmNode() + i,
+            smNode(static_cast<std::uint32_t>(i / config_.numSms),
+                   static_cast<std::uint32_t>(i % config_.numSms)),
             Network::handlerFor<&StreamingMultiprocessor::handleGpuMessage>(
                 sms_[i].get()));
     }
+
+    // --- DS-network topology & timestamp stats ------------------------------
+    if (config_.dsTopology == DsTopology::kRing) {
+        // Ring order: CPU cores, then each GPU's slices in shard order.
+        // Distance-proportional extra hops model the scale-out fabric; a
+        // crossbar config never calls setRing and keeps historical timing.
+        std::vector<NodeId> ring;
+        for (std::uint32_t c = 0; c < config_.cpuCores; ++c)
+            ring.push_back(cpuCoreNode(c));
+        for (std::uint32_t g = 0; g < config_.numGpus; ++g)
+            for (std::uint32_t s = 0; s < config_.gpuL2Slices; ++s)
+                ring.push_back(sliceNode(g, s));
+        dsNet_->setRing(ring);
+    }
+    if (config_.tsLeaseTicks != 0)
+        dsNet_->enableTsStats();
 
     // --- statistics ----------------------------------------------------------
     dram_->regStats(stats_);
@@ -361,15 +443,18 @@ System::System(const SystemConfig& config)
     gpuNet_->regStats(stats_);
     for (auto& faultPtr : faults_)
         faultPtr->regStats(stats_);
-    home_->regStats(stats_);
+    for (auto& homePtr : homes_)
+        homePtr->regStats(stats_);
     cpuAgent_->regStats(stats_);
     tlb_->regStats(stats_);
-    cpuCore_->regStats(stats_);
+    for (auto& corePtr : cpuCores_)
+        corePtr->regStats(stats_);
     for (auto& slicePtr : slices_)
         slicePtr->regStats(stats_);
     for (auto& smPtr : sms_)
         smPtr->regStats(stats_);
-    gpuDevice_->regStats(stats_);
+    for (auto& devPtr : gpuDevices_)
+        devPtr->regStats(stats_);
 }
 
 System::~System() = default;
@@ -390,16 +475,52 @@ Addr System::allocateArray(std::uint64_t bytes, bool gpuShared)
     return space_->heapAlloc(bytes);
 }
 
+Addr System::allocateArrayHomed(std::uint64_t bytes, std::uint32_t gpu)
+{
+    const bool dsMode = config_.mode == CoherenceMode::kDirectStore ||
+                        config_.mode == CoherenceMode::kDirectStoreOnly;
+    // A single shard means every placement is "homed"; the line policy
+    // interleaves below any array granularity, so there is nothing to aim
+    // for. Both fall back to ordinary placement.
+    if (!dsMode || homeMap_.shards() <= 1 ||
+        config_.shardPolicy == ShardPolicy::kLine)
+        return allocateArray(bytes, /*gpuShared=*/true);
+    const std::uint64_t granule =
+        config_.shardPolicy == ShardPolicy::kRange
+            ? static_cast<std::uint64_t>(HomeMap::kRangePages) * kPageSize
+            : kPageSize;
+    // Pad the DS cursor page by page until a mapping would start exactly on
+    // a granule homed at @p gpu. Bounded: homes rotate every granule, so at
+    // most shards * (granule / page) probe pages are burned. Arrays larger
+    // than one granule stripe across the shards from there — the homing
+    // aims the first (hottest) granule, exactly like the translator does.
+    for (;;) {
+        const Addr probe = space_->dsMmap(kPageSize);
+        const Addr pa = space_->translate(probe).paddr;
+        if (pa % granule == 0 && homeMap_.homeOf(pa) == gpu) {
+            if (bytes > kPageSize)
+                space_->dsMmapFixed(probe + kPageSize, bytes - kPageSize);
+            return probe;
+        }
+    }
+}
+
 void System::runCpuProgram(const CpuProgram& program,
                            std::function<void()> onDone)
 {
-    cpuCore_->run(program, std::move(onDone));
+    cpuCores_[0]->run(program, std::move(onDone));
+}
+
+void System::runCpuProgramOn(std::uint32_t core, const CpuProgram& program,
+                             std::function<void()> onDone)
+{
+    cpuCores_.at(core)->run(program, std::move(onDone));
 }
 
 void System::launchKernel(const KernelDesc& kernel,
                           std::function<void()> onDone)
 {
-    gpuDevice_->launch(kernel, std::move(onDone));
+    gpuDevices_.at(kernel.gpu)->launch(kernel, std::move(onDone));
 }
 
 Tick System::simulate()
@@ -433,7 +554,8 @@ RunMetrics System::metrics() const
         m.dramReads += stats_.counter(prefix + ".reads");
         m.dramWrites += stats_.counter(prefix + ".writes");
     }
-    m.checkFailures = cpuCore_->checkFailures();
+    for (const auto& corePtr : cpuCores_)
+        m.checkFailures += corePtr->checkFailures();
     for (const auto& smPtr : sms_)
         m.checkFailures += smPtr->checkFailures();
     return m;
@@ -467,15 +589,18 @@ void System::snapshotSave(
     // config hash gates restore, so the section list stays in lockstep.
     for (const auto& faultPtr : faults_)
         section(faultPtr->name(), *faultPtr);
-    section("home", *home_);
+    for (const auto& homePtr : homes_)
+        section(homePtr->name(), *homePtr);
     section("cpu.cache", *cpuAgent_);
     section("cpu.tlb", *tlb_);
-    section("cpu.core", *cpuCore_);
-    for (std::size_t s = 0; s < slices_.size(); ++s)
-        section("gpu.l2.slice" + std::to_string(s), *slices_[s]);
-    for (std::size_t i = 0; i < sms_.size(); ++i)
-        section("gpu.sm" + std::to_string(i), *sms_[i]);
-    section("gpu.device", *gpuDevice_);
+    for (const auto& corePtr : cpuCores_)
+        section(corePtr->name(), *corePtr);
+    for (const auto& slicePtr : slices_)
+        section(slicePtr->name(), *slicePtr);
+    for (const auto& smPtr : sms_)
+        section(smPtr->name(), *smPtr);
+    for (const auto& devPtr : gpuDevices_)
+        section(devPtr->name(), *devPtr);
     section("stats", stats_);
     if (ctx_.checker != nullptr)
         section("checker", *ctx_.checker);
@@ -552,15 +677,18 @@ void System::snapshotRestore(
     section("net.gpu", *gpuNet_);
     for (const auto& faultPtr : faults_)
         section(faultPtr->name(), *faultPtr);
-    section("home", *home_);
+    for (const auto& homePtr : homes_)
+        section(homePtr->name(), *homePtr);
     section("cpu.cache", *cpuAgent_);
     section("cpu.tlb", *tlb_);
-    section("cpu.core", *cpuCore_);
-    for (std::size_t s = 0; s < slices_.size(); ++s)
-        section("gpu.l2.slice" + std::to_string(s), *slices_[s]);
-    for (std::size_t i = 0; i < sms_.size(); ++i)
-        section("gpu.sm" + std::to_string(i), *sms_[i]);
-    section("gpu.device", *gpuDevice_);
+    for (const auto& corePtr : cpuCores_)
+        section(corePtr->name(), *corePtr);
+    for (const auto& slicePtr : slices_)
+        section(slicePtr->name(), *slicePtr);
+    for (const auto& smPtr : sms_)
+        section(smPtr->name(), *smPtr);
+    for (const auto& devPtr : gpuDevices_)
+        section(devPtr->name(), *devPtr);
     section("stats", stats_);
     if (ctx_.checker != nullptr)
         section("checker", *ctx_.checker);
@@ -582,8 +710,11 @@ void System::snapshotRestore(
 std::string System::describeOutstandingWork() const
 {
     std::vector<std::string> items;
-    if (const std::size_t busy = home_->busyLines(); busy > 0)
-        items.push_back("home: " + std::to_string(busy) + " busy lines");
+    for (const auto& homePtr : homes_) {
+        if (const std::size_t busy = homePtr->busyLines(); busy > 0)
+            items.push_back(homePtr->name() + ": " + std::to_string(busy) +
+                            " busy lines");
+    }
 
     const auto probeAgent = [&items](const CacheAgent& agent,
                                      const std::string& label) {
@@ -598,11 +729,13 @@ std::string System::describeOutstandingWork() const
                             " requests blocked on resources");
     };
     probeAgent(*cpuAgent_, "cpu.cache");
-    for (std::size_t s = 0; s < slices_.size(); ++s)
-        probeAgent(*slices_[s], "gpu.l2.slice" + std::to_string(s));
+    for (const auto& slicePtr : slices_)
+        probeAgent(*slicePtr, slicePtr->name());
 
-    if (std::string core = cpuCore_->outstandingWork(); !core.empty())
-        items.push_back("cpu.core: " + core);
+    for (const auto& corePtr : cpuCores_) {
+        if (std::string core = corePtr->outstandingWork(); !core.empty())
+            items.push_back(corePtr->name() + ": " + core);
+    }
 
     std::string out;
     for (const std::string& item : items) {
@@ -616,8 +749,11 @@ std::string System::describeOutstandingWork() const
 std::vector<std::string> System::checkCoherenceInvariants() const
 {
     std::vector<std::string> violations;
-    if (!home_->quiescent())
-        violations.push_back("home controller not quiescent");
+    for (const auto& homePtr : homes_) {
+        if (!homePtr->quiescent())
+            violations.push_back(homePtr->name() +
+                                 " controller not quiescent");
+    }
 
     struct Copy {
         std::string agent;
@@ -633,8 +769,8 @@ std::vector<std::string> System::checkCoherenceInvariants() const
         });
     };
     collect(*cpuAgent_, "cpu");
-    for (std::size_t s = 0; s < slices_.size(); ++s)
-        collect(*slices_[s], "slice" + std::to_string(s));
+    for (std::size_t i = 0; i < slices_.size(); ++i)
+        collect(*slices_[i], sliceCheckerLabel(i));
 
     for (const auto& [addr, lineCopies] : copies) {
         int owners = 0;

@@ -114,13 +114,26 @@ public:
     /// under kCcsm — comes from the ordinary heap.
     Addr allocateArray(std::uint64_t bytes, bool gpuShared);
 
-    /// Runs @p program on the CPU core; @p onDone fires when it (and its
+    /// Allocates a GPU-shared array homed on @p gpu's directory shard: the
+    /// DS region cursor is padded until the placement lands every page of
+    /// the array on that shard (what the source translator's per-kernel
+    /// array homing does). Falls back to plain allocateArray placement when
+    /// the system has a single shard or the policy interleaves below array
+    /// granularity (kLine).
+    Addr allocateArrayHomed(std::uint64_t bytes, std::uint32_t gpu);
+
+    /// Runs @p program on CPU core 0; @p onDone fires when it (and its
     /// trailing implicit fence) completes. Program storage must outlive the
     /// run.
     void runCpuProgram(const CpuProgram& program, std::function<void()> onDone);
 
-    /// Launches @p kernel on the GPU; @p onDone fires at grid completion.
-    /// Kernel storage must outlive the run.
+    /// Runs @p program on CPU core @p core (multi-core scale-out).
+    void runCpuProgramOn(std::uint32_t core, const CpuProgram& program,
+                         std::function<void()> onDone);
+
+    /// Launches @p kernel on the GPU its descriptor names (kernel.gpu);
+    /// @p onDone fires at grid completion. Kernel storage must outlive the
+    /// run.
     void launchKernel(const KernelDesc& kernel, std::function<void()> onDone);
 
     /// Drains the event queue (runs the simulation to completion) and
@@ -129,24 +142,47 @@ public:
 
     RunMetrics metrics() const;
 
-    // Component access for tests, benches and advanced callers.
-    CpuCore& cpu() { return *cpuCore_; }
+    // Component access for tests, benches and advanced callers. The
+    // unqualified singular accessors name instance 0, which is the whole
+    // machine in the default 1-GPU / 1-core configuration.
+    CpuCore& cpu() { return *cpuCores_[0]; }
+    CpuCore& cpuCore(std::size_t c) { return *cpuCores_[c]; }
+    std::size_t cpuCoreCount() const { return cpuCores_.size(); }
     CpuCacheAgent& cpuCache() { return *cpuAgent_; }
-    GpuDevice& gpu() { return *gpuDevice_; }
+    GpuDevice& gpu() { return *gpuDevices_[0]; }
+    GpuDevice& gpuDevice(std::size_t g) { return *gpuDevices_[g]; }
+    std::size_t gpuCount() const { return gpuDevices_.size(); }
+    /// Slices are indexed flat: GPU g's slice s is slice(g * slicesPerGpu +
+    /// s); sliceCount() spans every GPU.
     GpuL2Slice& slice(std::size_t i) { return *slices_[i]; }
     std::size_t sliceCount() const { return slices_.size(); }
     StreamingMultiprocessor& sm(std::size_t i) { return *sms_[i]; }
     std::size_t smCount() const { return sms_.size(); }
-    HomeController& home() { return *home_; }
+    HomeController& home() { return *homes_[0]; }
+    HomeController& homeShard(std::size_t h) { return *homes_[h]; }
+    std::size_t homeShardCount() const { return homes_.size(); }
+    /// The static interleaving that assigns each address a home GPU/shard.
+    const HomeMap& homeMap() const { return homeMap_; }
     BackingStore& backingStore() { return *store_; }
     Network& dsNetwork() { return *dsNet_; }
     /// The DS network's fault injector, or nullptr when faults are off (or
     /// not selected for that network).
     FaultInjector* dsFaultInjector() { return dsFault_; }
 
+    /// The slice where a direct store / uncached read for @p pa lands: the
+    /// address's home GPU, then the slice interleave within that GPU.
     NodeId sliceNodeOf(Addr pa) const
     {
-        return kFirstSliceNode + interleave_.sliceOf(pa);
+        return kFirstSliceNode +
+               homeMap_.homeOf(pa) * config_.gpuL2Slices +
+               interleave_.sliceOf(pa);
+    }
+
+    /// GPU @p g's slice serving @p pa (the SM-side routing).
+    NodeId sliceNodeOf(Addr pa, std::uint32_t g) const
+    {
+        return kFirstSliceNode + g * config_.gpuL2Slices +
+               interleave_.sliceOf(pa);
     }
 
     /// Verifies protocol invariants over the quiesced system (no in-flight
@@ -186,18 +222,42 @@ public:
     void snapshotRestore(const std::string& path,
                          const std::function<void(snap::SnapReader&)>& extra = {});
 
-    // Node-id layout (one global space across all networks).
+    // Node-id layout (one global space across all networks). With G GPUs,
+    // S slices per GPU and C CPU cores: the CPU cache agent is node 0,
+    // GPU g's slice s is 1 + g*S + s, directory shard h is 1 + G*S + h
+    // (one shard per GPU), CPU core c is 1 + G*S + G + c, and GPU g's
+    // SM i follows the cores. At G=1, C=1 this is exactly the historical
+    // layout.
     static constexpr NodeId kCpuAgentNode = 0;
     static constexpr NodeId kFirstSliceNode = 1;
-    NodeId homeNode() const { return kFirstSliceNode + config_.gpuL2Slices; }
-    NodeId cpuCoreNode() const { return homeNode() + 1; }
-    NodeId firstSmNode() const { return cpuCoreNode() + 1; }
+    NodeId sliceNode(std::uint32_t g, std::uint32_t s) const
+    {
+        return kFirstSliceNode + g * config_.gpuL2Slices + s;
+    }
+    NodeId homeNode(std::uint32_t h = 0) const
+    {
+        return kFirstSliceNode + config_.numGpus * config_.gpuL2Slices + h;
+    }
+    NodeId cpuCoreNode(std::uint32_t c = 0) const
+    {
+        return homeNode(0) + config_.numGpus + c;
+    }
+    NodeId firstSmNode() const { return cpuCoreNode(0) + config_.cpuCores; }
+    NodeId smNode(std::uint32_t g, std::uint32_t i) const
+    {
+        return firstSmNode() + g * config_.numSms + i;
+    }
 
 private:
+    /// Checker/invariant label for the slice at flat index @p flatIndex
+    /// ("slice<s>" on GPU 0, "gpu<g>.slice<s>" beyond).
+    std::string sliceCheckerLabel(std::size_t flatIndex) const;
+
     SystemConfig config_;
     SimContext ctx_;
     StatRegistry stats_;
     SliceInterleave interleave_;
+    HomeMap homeMap_;
     std::unique_ptr<EpochSampler> sampler_;
 
     std::unique_ptr<BackingStore> store_;
@@ -213,13 +273,18 @@ private:
     std::vector<std::unique_ptr<FaultInjector>> faults_;
     FaultInjector* dsFault_ = nullptr;
 
-    std::unique_ptr<HomeController> home_;
+    /// One directory shard per GPU ("home" is shard 0).
+    std::vector<std::unique_ptr<HomeController>> homes_;
     std::unique_ptr<CpuCacheAgent> cpuAgent_;
     std::unique_ptr<Tlb> tlb_;
-    std::unique_ptr<CpuCore> cpuCore_;
+    /// CPU cores share the coherent cpuAgent_ hierarchy ("cpu.core" is
+    /// core 0).
+    std::vector<std::unique_ptr<CpuCore>> cpuCores_;
+    /// Flat across GPUs: GPU g's slice s at index g * slicesPerGpu + s.
     std::vector<std::unique_ptr<GpuL2Slice>> slices_;
+    /// Flat across GPUs: GPU g's SM i at index g * numSms + i.
     std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
-    std::unique_ptr<GpuDevice> gpuDevice_;
+    std::vector<std::unique_ptr<GpuDevice>> gpuDevices_;
 };
 
 } // namespace dscoh

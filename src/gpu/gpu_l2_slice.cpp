@@ -1,5 +1,6 @@
 #include "gpu/gpu_l2_slice.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "check/coherence_checker.h"
@@ -71,28 +72,66 @@ void GpuL2Slice::handleGpuMessage(const Message& msg)
 
 void GpuL2Slice::serveLoad(const Message& msg)
 {
+    // Timestamp fast path (multi-GPU): a read of a remotely-homed line
+    // that misses locally may ride a lease instead of pulling through the
+    // remote home directory.
+    if (slice_.tsLeaseTicks != 0 && remoteHomed(msg.addr) &&
+        !probeHit(msg.addr, /*exclusive=*/false)) {
+        if (tryServeLeased(msg))
+            return;
+        startTsRead(msg);
+        return;
+    }
+    serveLoadCoherent(msg);
+}
+
+void GpuL2Slice::serveLoadCoherent(const Message& msg)
+{
     noteDemand(msg.addr, /*exclusive=*/false);
+    noteRemoteMiss(msg.addr, /*exclusive=*/false);
     access(msg.addr, /*exclusive=*/false, [this, msg](Line& line) {
-        Message resp;
-        resp.type = MsgType::kL1LoadResp;
-        resp.addr = msg.addr;
-        resp.src = params().self;
-        resp.dst = msg.src;
-        resp.requester = msg.src;
-        resp.data = line.data;
-        resp.mask.set(0, kLineSize);
-        resp.hasData = true;
-        resp.txn = msg.txn;
-        resp.prof = msg.prof;
-        if (TxnProfiler* p = profiling())
-            p->hop(msg.prof, TxnStage::kSupplySend, name(), curTick());
-        slice_.gpuNet->send(std::move(resp));
+        sendLoadResp(msg, line.data);
     });
+}
+
+void GpuL2Slice::sendLoadResp(const Message& msg, const DataBlock& data)
+{
+    Message resp;
+    resp.type = MsgType::kL1LoadResp;
+    resp.addr = msg.addr;
+    resp.src = params().self;
+    resp.dst = msg.src;
+    resp.requester = msg.src;
+    resp.data = data;
+    resp.mask.set(0, kLineSize);
+    resp.hasData = true;
+    resp.txn = msg.txn;
+    resp.prof = msg.prof;
+    if (TxnProfiler* p = profiling())
+        p->hop(msg.prof, TxnStage::kSupplySend, name(), curTick());
+    slice_.gpuNet->send(std::move(resp));
 }
 
 void GpuL2Slice::serveStore(const Message& msg)
 {
+    const Addr base = lineAlign(msg.addr);
+    if (const Tick hold = holdUntil(base); hold > curTick()) {
+        // A granted lease freezes the line: remote leaseholders may keep
+        // serving their copy until the epoch expires, so the write waits
+        // (skipped only by the injected cross-shard bug).
+        tsHolds_.inc();
+        noteTransition(stateOf(base), CohEvent::kLeaseHold, stateOf(base),
+                       base);
+        Message* m = context().msgPool.acquire();
+        *m = msg;
+        queue().scheduleInline(hold + 1, [this, m] {
+            serveStore(*m);
+            context().msgPool.release(m);
+        }, EventPriority::kController);
+        return;
+    }
     noteDemand(msg.addr, /*exclusive=*/true);
+    noteRemoteMiss(msg.addr, /*exclusive=*/true);
     access(msg.addr, /*exclusive=*/true, [this, msg](Line& line) {
         msg.mask.apply(line.data, msg.data);
         if (CoherenceChecker* c = checking())
@@ -123,6 +162,15 @@ void GpuL2Slice::handleDsMessage(const Message& msg)
             break;
         case MsgType::kUcRead:
             serveUncachedRead(*m);
+            break;
+        case MsgType::kTsRead:
+            serveTsRead(*m);
+            break;
+        case MsgType::kTsData:
+            handleTsData(*m);
+            break;
+        case MsgType::kTsNack:
+            handleTsNack(*m);
             break;
         default:
             assert(false && "unexpected DS-network message at L2 slice");
@@ -188,6 +236,20 @@ void GpuL2Slice::trimDsSeen()
 
 void GpuL2Slice::serveDirectStore(const Message& msg)
 {
+    if (const Tick hold = holdUntil(msg.addr); hold > curTick()) {
+        // Same freeze as a local store: the push lands only after every
+        // outstanding lease on the line has expired.
+        tsHolds_.inc();
+        noteTransition(stateOf(msg.addr), CohEvent::kLeaseHold,
+                       stateOf(msg.addr), msg.addr);
+        Message* m = context().msgPool.acquire();
+        *m = msg;
+        queue().scheduleInline(hold + 1, [this, m] {
+            serveDirectStore(*m);
+            context().msgPool.release(m);
+        }, EventPriority::kController);
+        return;
+    }
     dsStores_.inc();
     const Addr base = msg.addr;
 
@@ -200,7 +262,17 @@ void GpuL2Slice::serveDirectStore(const Message& msg)
 
     Line* line = array().find(base);
 
-    if (line == nullptr && msg.mask.full() && !slice_.mergeOnly) {
+    // The no-fetch install below is sound only when the pushing CPU was the
+    // sole other agent that could hold the line (it self-invalidates before
+    // pushing). With a sharded directory another GPU's slice may own the
+    // line coherently — e.g. it upgraded via GetX and this slice was
+    // invalidated — and a blind install would create a second owner. Multi-
+    // GPU pushes therefore obtain ownership through the home ordering
+    // point (fetch-merge), which snoops every peer slice; a line already
+    // resident here takes the same path and usually upgrades in place.
+    const bool sharded = params().homeMap.shards() > 1;
+
+    if (line == nullptr && msg.mask.full() && !slice_.mergeOnly && !sharded) {
         // Fig. 3 blue transition: install the pushed full line, no fetch
         // needed. This is the payoff path of the whole paper.
         //
@@ -308,9 +380,232 @@ void GpuL2Slice::serveUncachedRead(const Message& msg)
     });
 }
 
+bool GpuL2Slice::remoteHomed(Addr addr) const
+{
+    return params().homeMap.homeOf(addr) != slice_.myGpu;
+}
+
+NodeId GpuL2Slice::homeSliceFor(Addr base) const
+{
+    const std::uint32_t homeGpu = params().homeMap.homeOf(base);
+    const std::uint32_t sliceIndex = static_cast<std::uint32_t>(
+        lineNumber(base) % slice_.slices);
+    return slice_.firstSliceNode + homeGpu * slice_.slices + sliceIndex;
+}
+
+Tick GpuL2Slice::holdUntil(Addr base) const
+{
+    if (params().injectBug == InjectedBug::kCrossShardOrder)
+        return 0;
+    const auto it = tsGranted_.find(base);
+    return it == tsGranted_.end() ? 0 : it->second;
+}
+
+void GpuL2Slice::pruneExpiredGrants()
+{
+    for (auto it = tsGranted_.begin(); it != tsGranted_.end();) {
+        if (it->second <= curTick())
+            it = tsGranted_.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool GpuL2Slice::tryServeLeased(const Message& msg)
+{
+    const Addr base = lineAlign(msg.addr);
+    const auto it = tsLeased_.find(base);
+    if (it == tsLeased_.end())
+        return false;
+    if (curTick() >= it->second.expiry) {
+        // Lazy self-invalidation at epoch expiry: no invalidation traffic
+        // ever reaches a leaseholder, it just stops believing the copy.
+        tsExpired_.inc();
+        noteTransition(CohState::kI, CohEvent::kTsExpire, CohState::kI,
+                       base);
+        tsLeased_.erase(it);
+        return false;
+    }
+    accesses_.inc();
+    tsHits_.inc();
+    if (CoherenceChecker* c = checking())
+        c->onLeaseServe(name(), base, it->second.data, it->second.expiry,
+                        curTick());
+    sendLoadResp(msg, it->second.data);
+    return true;
+}
+
+void GpuL2Slice::startTsRead(const Message& msg)
+{
+    const Addr base = lineAlign(msg.addr);
+    auto& waiting = tsWaiting_[base];
+    waiting.push_back(msg);
+    if (waiting.size() > 1)
+        return; // a kTsRead for this line is already in flight
+    tsReads_.inc();
+    Message req;
+    req.type = MsgType::kTsRead;
+    req.addr = base;
+    req.src = params().self;
+    req.dst = homeSliceFor(base);
+    req.requester = params().self;
+    slice_.dsNet->send(std::move(req));
+}
+
+void GpuL2Slice::serveTsRead(const Message& msg)
+{
+    const Addr base = msg.addr;
+    pruneExpiredGrants();
+    const Line* line = array().find(base);
+    const bool canLease = line != nullptr && isStable(line->meta.state) &&
+                          isOwner(line->meta.state) && !inWriteback(base);
+    if (!canLease) {
+        tsNacksSent_.inc();
+        Message nack;
+        nack.type = MsgType::kTsNack;
+        nack.addr = base;
+        nack.src = params().self;
+        nack.dst = msg.src;
+        nack.requester = msg.src;
+        slice_.dsNet->send(std::move(nack));
+        return;
+    }
+    // A lease never extends: while one is active, later readers share its
+    // expiry, so a popular line cannot freeze the home slice indefinitely.
+    Tick expiry;
+    const auto it = tsGranted_.find(base);
+    if (it != tsGranted_.end() && it->second > curTick()) {
+        expiry = it->second;
+    } else {
+        expiry = curTick() + slice_.tsLeaseTicks;
+        tsGranted_[base] = expiry;
+    }
+    tsGrants_.inc();
+    noteTransition(line->meta.state, CohEvent::kTsGrant, line->meta.state,
+                   base);
+    if (CoherenceChecker* c = checking())
+        c->onLeaseGrant(name(), base, expiry, curTick());
+    Message resp;
+    resp.type = MsgType::kTsData;
+    resp.addr = base;
+    resp.src = params().self;
+    resp.dst = msg.src;
+    resp.requester = msg.src;
+    resp.data = line->data;
+    resp.mask.set(0, kLineSize);
+    resp.hasData = true;
+    resp.txn = expiry; // the lease expiry rides in the txn field
+    slice_.dsNet->send(std::move(resp));
+}
+
+void GpuL2Slice::handleTsData(const Message& msg)
+{
+    const Addr base = msg.addr;
+    const Tick expiry = msg.txn;
+    std::vector<Message> waiting = std::move(tsWaiting_[base]);
+    tsWaiting_.erase(base);
+    if (curTick() >= expiry) {
+        // The grant expired in flight; its data may already be stale.
+        tsExpired_.inc();
+        noteTransition(CohState::kI, CohEvent::kTsExpire, CohState::kI,
+                       base);
+        for (const Message& w : waiting)
+            serveLoadCoherent(w);
+        return;
+    }
+    tsFills_.inc();
+    noteTransition(CohState::kI, CohEvent::kTsFill, CohState::kI, base);
+    LeasedLine& lease = tsLeased_[base];
+    lease.data = msg.data;
+    lease.expiry = expiry;
+    for (const Message& w : waiting) {
+        accesses_.inc();
+        misses_.inc();
+        tsHits_.inc();
+        if (CoherenceChecker* c = checking())
+            c->onLeaseServe(name(), base, lease.data, lease.expiry,
+                            curTick());
+        sendLoadResp(w, lease.data);
+    }
+}
+
+void GpuL2Slice::handleTsNack(const Message& msg)
+{
+    const Addr base = msg.addr;
+    tsFallbacks_.inc();
+    noteTransition(CohState::kI, CohEvent::kTsFallback, CohState::kI, base);
+    std::vector<Message> waiting = std::move(tsWaiting_[base]);
+    tsWaiting_.erase(base);
+    for (const Message& w : waiting)
+        serveLoadCoherent(w);
+}
+
+void GpuL2Slice::noteRemoteMiss(Addr addr, bool exclusive)
+{
+    if (params().homeMap.shards() <= 1 || !remoteHomed(addr))
+        return;
+    if (stateOf(addr) != CohState::kI || inWriteback(addr))
+        return;
+    noteTransition(CohState::kI,
+                   exclusive ? CohEvent::kRemoteGetX : CohEvent::kRemoteGetS,
+                   exclusive ? CohState::kIM_D : CohState::kIS_D,
+                   lineAlign(addr));
+}
+
 void GpuL2Slice::onFill(Line& line)
 {
     static_cast<void>(line);
+}
+
+void GpuL2Slice::snapSave(snap::SnapWriter& w) const
+{
+    CacheAgent::snapSave(w);
+    if (slice_.tsLeaseTicks == 0)
+        return;
+    requireQuiesced(tsWaiting_.empty(),
+                    name() + " has in-flight lease requests");
+    std::vector<Addr> bases;
+    bases.reserve(tsLeased_.size());
+    for (const auto& [base, lease] : tsLeased_)
+        bases.push_back(base);
+    std::sort(bases.begin(), bases.end());
+    w.u64(bases.size());
+    for (const Addr base : bases) {
+        const LeasedLine& lease = tsLeased_.at(base);
+        w.u64(base);
+        w.u64(lease.expiry);
+        w.bytes(lease.data.data(), kLineSize);
+    }
+    bases.clear();
+    for (const auto& [base, expiry] : tsGranted_)
+        bases.push_back(base);
+    std::sort(bases.begin(), bases.end());
+    w.u64(bases.size());
+    for (const Addr base : bases) {
+        w.u64(base);
+        w.u64(tsGranted_.at(base));
+    }
+}
+
+void GpuL2Slice::snapRestore(snap::SnapReader& r)
+{
+    CacheAgent::snapRestore(r);
+    if (slice_.tsLeaseTicks == 0)
+        return;
+    tsLeased_.clear();
+    const std::uint64_t leased = r.u64();
+    for (std::uint64_t i = 0; i < leased; ++i) {
+        const Addr base = r.u64();
+        LeasedLine& lease = tsLeased_[base];
+        lease.expiry = r.u64();
+        r.bytes(lease.data.data(), kLineSize);
+    }
+    tsGranted_.clear();
+    const std::uint64_t granted = r.u64();
+    for (std::uint64_t i = 0; i < granted; ++i) {
+        const Addr base = r.u64();
+        tsGranted_[base] = r.u64();
+    }
 }
 
 void GpuL2Slice::regStats(StatRegistry& registry)
@@ -329,6 +624,16 @@ void GpuL2Slice::regStats(StatRegistry& registry)
         registry.registerCounter(statName("ds_duplicates_squashed"),
                                  &dsDupSquashed_);
         registry.registerCounter(statName("ds_nacks"), &dsNacks_);
+    }
+    if (slice_.tsLeaseTicks != 0) {
+        registry.registerCounter(statName("ts_reads"), &tsReads_);
+        registry.registerCounter(statName("ts_fills"), &tsFills_);
+        registry.registerCounter(statName("ts_lease_hits"), &tsHits_);
+        registry.registerCounter(statName("ts_grants"), &tsGrants_);
+        registry.registerCounter(statName("ts_nacks"), &tsNacksSent_);
+        registry.registerCounter(statName("ts_expired"), &tsExpired_);
+        registry.registerCounter(statName("ts_fallbacks"), &tsFallbacks_);
+        registry.registerCounter(statName("ts_lease_holds"), &tsHolds_);
     }
 }
 

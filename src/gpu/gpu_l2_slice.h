@@ -11,6 +11,7 @@
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "coherence/cache_agent.h"
 #include "mem/dram.h"
@@ -40,6 +41,20 @@ public:
         bool mergeOnly = false;
         /// Verify each DsPutX payload checksum; a mismatch is NACKed.
         bool verifyChecksum = false;
+
+        // --- multi-GPU scale-out (PROTOCOL.md "Directory sharding across
+        // GPUs") ---
+        /// Timestamp-lease length in ticks for the GPU<->GPU read fast
+        /// path. 0 disables the fast path: remote-homed reads always take
+        /// the home-directory pull path.
+        Tick tsLeaseTicks = 0;
+        /// Which GPU this slice belongs to (the shard index the agent's
+        /// homeMap reports for locally-homed addresses).
+        std::uint32_t myGpu = 0;
+        /// Node id of GPU 0's slice 0: slice s of GPU g is firstSliceNode +
+        /// g * slices + s, which is how a requester addresses the remote
+        /// home slice of a line.
+        NodeId firstSliceNode = 1;
     };
 
     GpuL2Slice(std::string name, SimContext& ctx,
@@ -62,8 +77,23 @@ public:
     std::uint64_t dsBypasses() const { return dsBypassed_.value(); }
     std::uint64_t prefetchesIssued() const { return prefetches_.value(); }
 
+    // Timestamp fast path (multi-GPU): lease traffic observed by tests.
+    std::uint64_t tsReadsSent() const { return tsReads_.value(); }
+    std::uint64_t tsLeaseHits() const { return tsHits_.value(); }
+    std::uint64_t tsGrantsIssued() const { return tsGrants_.value(); }
+    std::uint64_t tsLeaseHolds() const { return tsHolds_.value(); }
+
+    /// Adds the lease buffer and the granted-lease table to the coherent
+    /// agent's snapshot (only when the fast path is configured, so 1-GPU
+    /// snapshot bytes are unchanged).
+    void snapSave(snap::SnapWriter& w) const override;
+    void snapRestore(snap::SnapReader& r) override;
+
 protected:
     void onFill(Line& line) override;
+    /// Granted-lease freeze (write stall / snoop hold / eviction pin in the
+    /// base agent). The injected cross-shard bug reports no hold.
+    Tick holdUntil(Addr base) const override;
 
 private:
     void serveLoad(const Message& msg);
@@ -80,12 +110,50 @@ private:
     bool admitDirectStore(const Message& msg);
     void trimDsSeen();
 
+    // --- timestamp fast path (multi-GPU) ---
+    /// Is @p addr ordered by another GPU's directory shard?
+    bool remoteHomed(Addr addr) const;
+    /// The remote home slice holding @p base (same slice interleave there).
+    NodeId homeSliceFor(Addr base) const;
+    /// Serve a load from the lease buffer if a valid epoch covers it;
+    /// expired entries self-invalidate lazily (HALCONE-style).
+    bool tryServeLeased(const Message& msg);
+    /// Park the load and (for the first waiter) send kTsRead to the home
+    /// slice.
+    void startTsRead(const Message& msg);
+    /// Home-slice side: grant a lease on an owned stable line, else NACK.
+    void serveTsRead(const Message& msg);
+    void handleTsData(const Message& msg);
+    void handleTsNack(const Message& msg);
+    /// The pre-sharding load path (demand counters + coherent access).
+    void serveLoadCoherent(const Message& msg);
+    void sendLoadResp(const Message& msg, const DataBlock& data);
+    /// Record the Fig. 3 cross-shard request edge when a coherent miss
+    /// targets a remotely-homed line.
+    void noteRemoteMiss(Addr addr, bool exclusive);
+    void pruneExpiredGrants();
+
     SliceParams slice_;
 
     /// Served-or-in-service DsPutX transaction ids (hardened path); value =
     /// "ack already sent". Bounded FIFO; only acked entries are evicted.
     std::unordered_map<std::uint64_t, bool> dsSeen_;
     std::deque<std::uint64_t> dsSeenOrder_;
+
+    /// Leased (non-coherent) copy of a remotely-homed line; readable
+    /// strictly before @c expiry, self-invalidated lazily at or after it.
+    struct LeasedLine {
+        DataBlock data;
+        Tick expiry = 0;
+    };
+    std::unordered_map<Addr, LeasedLine> tsLeased_;
+    /// Leases this slice granted on its own lines: base -> expiry. Until
+    /// then the line is write-stalled, snoop-held and eviction-pinned —
+    /// and re-grants reply with the same expiry (a lease never extends),
+    /// so every hold is bounded by the first grant.
+    std::unordered_map<Addr, Tick> tsGranted_;
+    /// Loads parked on an in-flight kTsRead, replayed on kTsData/kTsNack.
+    std::unordered_map<Addr, std::vector<Message>> tsWaiting_;
 
     Counter accesses_;
     Counter misses_;
@@ -98,6 +166,14 @@ private:
     Counter prefetches_;
     Counter dsDupSquashed_;
     Counter dsNacks_;
+    Counter tsReads_;
+    Counter tsFills_;
+    Counter tsHits_;
+    Counter tsGrants_;
+    Counter tsNacksSent_;
+    Counter tsExpired_;
+    Counter tsFallbacks_;
+    Counter tsHolds_;
 };
 
 } // namespace dscoh

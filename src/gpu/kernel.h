@@ -106,6 +106,9 @@ struct KernelDesc {
     std::string name;
     std::uint32_t blocks = 1;
     std::uint32_t threadsPerBlock = 32;
+    /// Which GPU device runs this kernel (multi-GPU scale-out; 0 is the
+    /// only device in the default configuration).
+    std::uint32_t gpu = 0;
     /// Table II "Shared" column: the kernel stages data in the SM-local
     /// scratchpad, largely bypassing the L2 for its inner loops.
     bool usesSharedMemory = false;

@@ -45,9 +45,15 @@ enum class MsgType : std::uint8_t {
 
     // Delivery hardening (only ever sent when fault injection is on).
     kDsNack, ///< slice -> CPU: DsPutX rejected (checksum mismatch), resend
+
+    // Multi-GPU timestamp fast path (slice <-> remote home slice over the
+    // DS network; only ever sent when tsLeaseTicks is configured).
+    kTsRead, ///< slice -> home slice: lease request for a remotely-homed line
+    kTsData, ///< home slice -> slice: leased data, txn = expiry tick
+    kTsNack, ///< home slice -> slice: no lease, take the pull path
 };
 
-inline constexpr std::size_t kMsgTypeCount = 19;
+inline constexpr std::size_t kMsgTypeCount = 22;
 
 const char* to_string(MsgType t);
 
@@ -62,6 +68,7 @@ constexpr bool carriesData(MsgType t)
     case MsgType::kUcData:
     case MsgType::kL1LoadResp:
     case MsgType::kL1Store:
+    case MsgType::kTsData:
         return true;
     default:
         return false;

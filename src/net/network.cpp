@@ -31,6 +31,9 @@ const char* to_string(MsgType t)
     case MsgType::kL1Store: return "L1Store";
     case MsgType::kL1StoreAck: return "L1StoreAck";
     case MsgType::kDsNack: return "DsNack";
+    case MsgType::kTsRead: return "TsRead";
+    case MsgType::kTsData: return "TsData";
+    case MsgType::kTsNack: return "TsNack";
     }
     return "?";
 }
@@ -96,10 +99,41 @@ void Network::send(Message msg)
     deliver(std::move(msg), d.extraDelay);
 }
 
+void Network::setRing(const std::vector<NodeId>& order)
+{
+    ringPos_.clear();
+    ringSize_ = order.size();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const NodeId n = order[i];
+        if (n >= ringPos_.size())
+            ringPos_.resize(n + 1, -1);
+        if (ringPos_[n] != -1)
+            throw std::logic_error(name() + ": node on ring twice: " +
+                                   std::to_string(n));
+        ringPos_[n] = static_cast<std::int32_t>(i);
+    }
+}
+
+Tick Network::ringExtraHops(NodeId src, NodeId dst) const
+{
+    if (ringSize_ < 2 || src >= ringPos_.size() || dst >= ringPos_.size())
+        return 0;
+    const std::int32_t a = ringPos_[src];
+    const std::int32_t b = ringPos_[dst];
+    if (a < 0 || b < 0)
+        return 0;
+    const std::size_t fwd = static_cast<std::size_t>(
+        b >= a ? b - a : static_cast<std::int32_t>(ringSize_) + b - a);
+    const std::size_t hops = std::min(fwd, ringSize_ - fwd);
+    return hops > 1 ? static_cast<Tick>(hops - 1) : 0;
+}
+
 void Network::deliver(Message msg, Tick extraDelay)
 {
     assert(isConnected(msg.dst) && "message sent to unconnected node");
     msg.sentAt = curTick();
+    if (ringSize_ != 0)
+        extraDelay += params_.hopLatency * ringExtraHops(msg.src, msg.dst);
 
     const Tick serialization =
         (msg.wireBytes() + params_.bytesPerTick - 1) / params_.bytesPerTick;
@@ -149,9 +183,16 @@ void Network::regStats(StatRegistry& registry)
     registry.registerCounter(statName("bytes"), &bytes_);
     registry.registerCounter(statName("data_messages"), &dataMessages_);
     for (std::size_t t = 0; t < byType_.size(); ++t) {
-        // DsNack exists only under fault injection; keep the disabled stat
-        // set (and its JSON dump) byte-identical to what it always was.
-        if (static_cast<MsgType>(t) == MsgType::kDsNack && fault_ == nullptr)
+        // DsNack exists only under fault injection, and the timestamp
+        // fast-path types only under a lease-enabled config; keep the
+        // disabled stat set (and its JSON dump) byte-identical to what it
+        // always was.
+        const MsgType mt = static_cast<MsgType>(t);
+        if (mt == MsgType::kDsNack && fault_ == nullptr)
+            continue;
+        if ((mt == MsgType::kTsRead || mt == MsgType::kTsData ||
+             mt == MsgType::kTsNack) &&
+            !tsStats_)
             continue;
         registry.registerCounter(
             statName(std::string("msg.") + to_string(static_cast<MsgType>(t))),

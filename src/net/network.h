@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -27,6 +28,32 @@ struct NetworkParams {
     Tick hopLatency = 20;          ///< fixed traversal latency, ticks
     std::uint32_t bytesPerTick = 32; ///< per-destination-port bandwidth
 };
+
+/// Shape of the dedicated DS network once several GPUs share it: a full
+/// crossbar (every endpoint one hop from every other, the single-GPU
+/// behavior) or a ring with latency proportional to the hop distance.
+enum class DsTopology : std::uint8_t {
+    kCrossbar = 0,
+    kRing = 1,
+};
+
+constexpr const char* to_string(DsTopology t)
+{
+    return t == DsTopology::kRing ? "ring" : "crossbar";
+}
+
+/// Inverse of to_string, for --ds-topology style flags. Returns false on
+/// anything but the exact names.
+inline bool parseDsTopology(std::string_view text, DsTopology& out)
+{
+    if (text == "crossbar")
+        out = DsTopology::kCrossbar;
+    else if (text == "ring")
+        out = DsTopology::kRing;
+    else
+        return false;
+    return true;
+}
 
 class Network final : public SimObject {
 public:
@@ -90,6 +117,19 @@ public:
     const NetworkParams& params() const { return params_; }
     void setHopLatency(Tick l) { params_.hopLatency = l; }
 
+    /// Lays the listed nodes out on a ring: a message between two ring
+    /// members pays hopLatency per traversed link (shortest direction)
+    /// instead of the flat crossbar hop. Nodes not on the ring (and every
+    /// network without a ring) keep the single-hop behavior, so a
+    /// crossbar-configured system is bit-identical to the pre-ring code.
+    void setRing(const std::vector<NodeId>& order);
+
+    /// Enables the per-type counters of the timestamp fast-path messages
+    /// (kTsRead/kTsData/kTsNack). Like the fault injector's kDsNack rule,
+    /// this must precede regStats: when the fast path is off the counters
+    /// are never registered and the stats JSON stays byte-identical.
+    void enableTsStats() { tsStats_ = true; }
+
     /// Attaches a fault injector consulted on every send. Must happen before
     /// regStats (the injector's presence decides which counters exist).
     /// Without one, send() costs a single null-pointer test extra.
@@ -130,11 +170,18 @@ private:
     /// accounts traffic, and schedules the handler.
     void deliver(Message msg, Tick extraDelay);
 
+    /// Extra links beyond the first between @p src and @p dst on the
+    /// configured ring (0 when no ring is set or either node is off it).
+    Tick ringExtraHops(NodeId src, NodeId dst) const;
+
     NetworkParams params_;
     std::vector<Handler> handlers_;
     std::vector<std::unique_ptr<HolderBase>> owned_;
     std::vector<Tick> portFreeAt_; ///< per-destination serialization point
     FaultInjector* fault_ = nullptr;
+    std::vector<std::int32_t> ringPos_; ///< node -> ring index (-1 off-ring)
+    std::size_t ringSize_ = 0;
+    bool tsStats_ = false;
 
     Counter messages_;
     Counter bytes_;

@@ -33,6 +33,21 @@ inline void* ds_mmap(std::uint64_t, std::uint64_t)
 }
 #endif
 
+/// Multi-GPU variant: maps @p bytes at @p addr, tagged with the GPU that
+/// should home the allocation. On a real machine the tag would steer the
+/// range's physical pages to the named device's L2 (the driver picks frames
+/// whose home-map entry is @p home_gpu); in the simulator the same policy
+/// lives in System::allocateArrayHomed, which pads the direct-store cursor
+/// until the allocation starts on a granule homed at the requested GPU.
+/// The kernel-support fallback here simply ignores the tag — single-GPU
+/// hosts degenerate to plain ds_mmap.
+inline void* ds_mmap_homed(std::uint64_t addr, std::uint64_t bytes,
+                           std::uint32_t home_gpu)
+{
+    (void)home_gpu;
+    return ds_mmap(addr, bytes);
+}
+
 #ifndef __CUDACC__
 // Hosts without CUDA headers still need the status type the rewritten
 // CUDA_CHECK(cudaMalloc(...)) expression yields.

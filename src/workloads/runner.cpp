@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/coherence_checker.h"
 #include "sim/errors.h"
 #include "snap/serializer.h"
 
@@ -23,6 +24,8 @@ WorkloadRun::WorkloadRun(const Workload& workload, InputSize size,
 void WorkloadRun::build()
 {
     sys_ = std::make_unique<System>(cfg_);
+    if (opts_.oracle)
+        sys_->enableChecker();
     mem_.clear();
     footprint_ = 0;
 
@@ -37,6 +40,14 @@ void WorkloadRun::build()
     }
     produce_ = workload_.cpuProduce(size_, mem_);
     kernels_ = workload_.kernels(size_, mem_);
+    // Multi-GPU scale-out: spread the workload's kernel phases round-robin
+    // across the configured devices. Phase order (and hence the coherence
+    // traffic each phase generates) is unchanged — only the launching
+    // device rotates, so every GPU's L2 and the sharded directory get
+    // exercised.
+    if (cfg_.numGpus > 1)
+        for (std::size_t i = 0; i < kernels_.size(); ++i)
+            kernels_[i].gpu = static_cast<std::uint32_t>(i % cfg_.numGpus);
 }
 
 WorkloadRun::~WorkloadRun() = default;
@@ -206,7 +217,15 @@ WorkloadRunResult WorkloadRun::run()
     result.size = size_;
     result.mode = mode_;
     result.metrics = sys_->metrics();
-    result.violations = sys_->checkCoherenceInvariants();
+    if (CoherenceChecker* checker = sys_->checker(); checker != nullptr) {
+        checker->finalize(sys_->queue().curTick());
+        result.violations = checker->violations();
+    }
+    {
+        const auto quiesced = sys_->checkCoherenceInvariants();
+        result.violations.insert(result.violations.end(), quiesced.begin(),
+                                 quiesced.end());
+    }
     result.footprintBytes = footprint_;
     result.produceDoneAt = produceDoneAt_;
     result.kernelDoneAt = kernelDoneAt_;

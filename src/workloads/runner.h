@@ -84,6 +84,13 @@ struct WorkloadRunOptions {
     /// queued, instead of spinning forever on a protocol hang. 0 = off.
     Tick maxIdleTicks = 0;
 
+    /// Attach the live CoherenceChecker oracle for the whole run. Any
+    /// violation it records surfaces in WorkloadRunResult::violations and
+    /// makes run() throw OracleError, exactly like an end-state invariant
+    /// breach. Changes simulated behavior not at all, but costs shadow
+    /// bookkeeping per access — off by default.
+    bool oracle = false;
+
     /// Invoked once inside run(), after any restore but before the first
     /// phase is scheduled. Restore requires an empty event queue, so
     /// drivers that schedule events up front (epoch samplers) must do it

@@ -321,6 +321,97 @@ void runHardenedDeliveryScenario()
     pushLines(lostAcks);
 }
 
+/// The multi-GPU edges: cross-shard request routing (RemoteGetS/RemoteGetX)
+/// and the timestamp fast path (TsGrant out of M and MM, TsFill, TsExpire,
+/// TsFallback, and the write hold against an active lease).
+void runMultiGpuScenario()
+{
+    SystemConfig cfg = SystemConfig::paper(CoherenceMode::kDirectStore);
+    cfg.numGpus = 2;
+    cfg.shardPolicy = ShardPolicy::kPage;
+    cfg.tsLeaseTicks = 100'000;
+    System sys(cfg);
+
+    // One page homed at GPU 0; GPU 1 is the remote reader throughout.
+    const Addr arr = sys.allocateArrayHomed(kPageSize, 0);
+    const auto lineVa = [arr](std::uint32_t i) {
+        return arr + static_cast<Addr>(i) * kLineSize;
+    };
+
+    CpuProgram produce; // full-line pushes: lines 0..1 -> MM at GPU0's slice
+    for (std::uint32_t i = 0; i < 2 * kLineSize / 4; ++i)
+        produce.push_back(cpuStore(arr + i * 4ull, i, 4));
+    produce.push_back(cpuFence());
+
+    KernelDesc warm; // GPU0 cold-loads line 2 -> clean-exclusive M locally
+    warm.name = "warm";
+    warm.blocks = 1;
+    warm.threadsPerBlock = 32;
+    warm.gpu = 0;
+    warm.body = [lineVa](ThreadBuilder& t, std::uint32_t, std::uint32_t tid) {
+        if (tid == 0)
+            t.ld(lineVa(2), 4);
+        else
+            t.nop();
+    };
+
+    KernelDesc lease; // GPU1: leases out of MM and M, a NACKed line, and a
+    lease.name = "lease"; // remote store miss
+    lease.blocks = 1;
+    lease.threadsPerBlock = 32;
+    lease.gpu = 1;
+    lease.body = [lineVa](ThreadBuilder& t, std::uint32_t, std::uint32_t tid) {
+        if (tid == 0)
+            t.ld(lineVa(0), 4); // MM --TsGrant--> MM, I --TsFill--> I
+        else if (tid == 1)
+            t.ld(lineVa(2), 4); // M --TsGrant--> M
+        else if (tid == 2)
+            t.ld(lineVa(3), 4); // home slice I: TsFallback + RemoteGetS
+        else if (tid == 3)
+            t.st(lineVa(4), 9, 4); // I --RemoteGetX--> IM_D
+        else
+            t.nop();
+    };
+
+    KernelDesc hold; // GPU0 writes line 0 while GPU1's lease is live:
+    hold.name = "hold"; // MM --LeaseHold--> MM, applied at lease expiry
+    hold.blocks = 1;
+    hold.threadsPerBlock = 32;
+    hold.gpu = 0;
+    hold.body = [lineVa](ThreadBuilder& t, std::uint32_t, std::uint32_t tid) {
+        if (tid == 0)
+            t.st(lineVa(0), 7, 4);
+        else
+            t.nop();
+    };
+
+    KernelDesc expire; // GPU1 re-reads after the hold drained past expiry:
+    expire.name = "expire"; // I --TsExpire--> I, then a fresh pull
+    expire.blocks = 1;
+    expire.threadsPerBlock = 32;
+    expire.gpu = 1;
+    expire.body = [lineVa](ThreadBuilder& t, std::uint32_t,
+                           std::uint32_t tid) {
+        if (tid == 0)
+            t.ldCheck(lineVa(0), 7, 4);
+        else
+            t.nop();
+    };
+
+    sys.runCpuProgram(produce, [&] {
+        sys.launchKernel(warm, [&] {
+            sys.launchKernel(lease, [&] {
+                sys.launchKernel(hold, [&] {
+                    sys.launchKernel(expire, [] {});
+                });
+            });
+        });
+    });
+    sys.simulate();
+    EXPECT_EQ(sys.metrics().checkFailures, 0u);
+    EXPECT_TRUE(sys.checkCoherenceInvariants().empty());
+}
+
 TEST_F(Fig3GapReport, AllStableEdgesCovered)
 {
     // Real workloads first (broad, incidental coverage)...
@@ -334,6 +425,7 @@ TEST_F(Fig3GapReport, AllStableEdgesCovered)
     runEvictionScenario();
     runDirectStoreScenario();
     runHardenedDeliveryScenario();
+    runMultiGpuScenario();
 
     const TransitionCoverage& cov = TransitionCoverage::instance();
     std::vector<const Fig3Edge*> gaps;

@@ -8,6 +8,7 @@
 
 #include "coherence/cache_agent.h"
 #include "coherence/home_controller.h"
+#include "coherence/home_map.h"
 #include "mem/dram.h"
 #include "net/network.h"
 #include "sim/sim_context.h"
@@ -178,6 +179,65 @@ TEST_F(HomeFixture, SnoopCountsMatchBroadcastSet)
     // One other agent in the broadcast set -> exactly one snoop.
     EXPECT_EQ(stats.counter("home.snoops_sent"), 1u);
     EXPECT_EQ(stats.counter("home.transactions"), 1u);
+}
+
+TEST(HomeMapPolicies, SingleShardHomesEverythingAtZero)
+{
+    for (const ShardPolicy p :
+         {ShardPolicy::kPage, ShardPolicy::kLine, ShardPolicy::kRange}) {
+        const HomeMap map(1, p);
+        EXPECT_EQ(map.homeOf(0), 0u);
+        EXPECT_EQ(map.homeOf(0xdead'beef), 0u);
+    }
+    // shards == 0 degenerates to the single-GPU map instead of dividing
+    // by zero.
+    EXPECT_EQ(HomeMap(0, ShardPolicy::kPage).shards(), 1u);
+}
+
+TEST(HomeMapPolicies, PageInterleavesByPageNumber)
+{
+    const HomeMap map(4, ShardPolicy::kPage);
+    for (std::uint64_t page = 0; page < 16; ++page) {
+        const Addr base = page * kPageSize;
+        const std::uint32_t home = map.homeOf(base);
+        EXPECT_EQ(home, page % 4);
+        // Every line of a page shares its home.
+        EXPECT_EQ(map.homeOf(base + kLineSize), home);
+        EXPECT_EQ(map.homeOf(base + kPageSize - 1), home);
+    }
+}
+
+TEST(HomeMapPolicies, LineInterleavesByLineNumber)
+{
+    const HomeMap map(2, ShardPolicy::kLine);
+    EXPECT_EQ(map.homeOf(0), 0u);
+    EXPECT_EQ(map.homeOf(kLineSize), 1u);
+    EXPECT_EQ(map.homeOf(2 * kLineSize), 0u);
+    // Sub-line offsets never change the home.
+    EXPECT_EQ(map.homeOf(kLineSize + kLineSize - 1), 1u);
+}
+
+TEST(HomeMapPolicies, RangeKeepsContiguousPageRunsTogether)
+{
+    const HomeMap map(2, ShardPolicy::kRange);
+    const Addr rangeBytes = HomeMap::kRangePages * kPageSize;
+    EXPECT_EQ(map.homeOf(0), 0u);
+    EXPECT_EQ(map.homeOf(rangeBytes - 1), 0u);
+    EXPECT_EQ(map.homeOf(rangeBytes), 1u);
+    EXPECT_EQ(map.homeOf(2 * rangeBytes - 1), 1u);
+    EXPECT_EQ(map.homeOf(2 * rangeBytes), 0u);
+}
+
+TEST(HomeMapPolicies, ParseShardPolicyRoundTrips)
+{
+    ShardPolicy p = ShardPolicy::kPage;
+    for (const ShardPolicy want :
+         {ShardPolicy::kLine, ShardPolicy::kRange, ShardPolicy::kPage}) {
+        EXPECT_TRUE(parseShardPolicy(to_string(want), p));
+        EXPECT_EQ(p, want);
+    }
+    EXPECT_FALSE(parseShardPolicy("diagonal", p));
+    EXPECT_EQ(p, ShardPolicy::kPage) << "failed parse must not write";
 }
 
 TEST_F(HomeFixture, QuiescentReflectsInFlightTransactions)

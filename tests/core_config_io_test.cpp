@@ -83,6 +83,53 @@ TEST(ConfigIo, LoadsFromFile)
     EXPECT_FALSE(loadConfigFile("/no/such/file.cfg", &cfg, &error));
 }
 
+TEST(ConfigIo, MultiGpuKeysRoundTrip)
+{
+    SystemConfig original;
+    original.numGpus = 4;
+    original.cpuCores = 2;
+    original.shardPolicy = ShardPolicy::kRange;
+    original.dsTopology = DsTopology::kRing;
+    original.tsLeaseTicks = 50'000;
+
+    const std::string text = dumpConfig(original);
+    SystemConfig restored;
+    std::string error;
+    ASSERT_TRUE(applyConfigText(text, &restored, &error)) << error;
+    EXPECT_EQ(restored.numGpus, 4u);
+    EXPECT_EQ(restored.cpuCores, 2u);
+    EXPECT_EQ(restored.shardPolicy, ShardPolicy::kRange);
+    EXPECT_EQ(restored.dsTopology, DsTopology::kRing);
+    EXPECT_EQ(restored.tsLeaseTicks, 50'000u);
+
+    SystemConfig cfg;
+    EXPECT_FALSE(applyConfigText("shard-policy = spiral\n", &cfg, &error));
+    EXPECT_FALSE(applyConfigText("ds-topology = mesh\n", &cfg, &error));
+}
+
+TEST(ConfigIo, MultiGpuFieldsFlipTheConfigHash)
+{
+    // Single-GPU defaults must hash exactly as before the scale-out fields
+    // existed (old snapshots stay loadable), while every multi-GPU setting
+    // produces a distinct hash so a restore cannot cross configurations.
+    const std::uint64_t base = configHashOf(SystemConfig{});
+    SystemConfig cfg;
+    cfg.numGpus = 2;
+    const std::uint64_t twoGpus = configHashOf(cfg);
+    EXPECT_NE(twoGpus, base);
+    cfg.shardPolicy = ShardPolicy::kLine;
+    const std::uint64_t lineShards = configHashOf(cfg);
+    EXPECT_NE(lineShards, twoGpus);
+    cfg.dsTopology = DsTopology::kRing;
+    const std::uint64_t ring = configHashOf(cfg);
+    EXPECT_NE(ring, lineShards);
+    cfg.tsLeaseTicks = 1000;
+    EXPECT_NE(configHashOf(cfg), ring);
+    SystemConfig cores;
+    cores.cpuCores = 2;
+    EXPECT_NE(configHashOf(cores), base);
+}
+
 TEST(ConfigIo, DumpedDefaultsBuildTableISystem)
 {
     SystemConfig cfg;

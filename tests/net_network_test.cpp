@@ -211,5 +211,65 @@ TEST(MsgTypeNames, AllNamed)
     EXPECT_STREQ(to_string(MsgType::kL1StoreAck), "L1StoreAck");
 }
 
+TEST(RingTopology, LatencyGrowsWithRingDistance)
+{
+    SimContext ctx;
+    NetworkParams params{20, 32};
+    Network net("ring", ctx, params);
+    std::vector<Tick> arrival(4, 0);
+    for (NodeId n = 0; n < 4; ++n)
+        net.connect(n, [&arrival, n, &ctx](const Message&) {
+            arrival[n] = ctx.queue.curTick();
+        });
+    net.setRing({0, 1, 2, 3});
+
+    const auto sendFrom0 = [&net](NodeId dst) {
+        Message m;
+        m.type = MsgType::kGetS; // 8 bytes -> 1 serialization tick
+        m.src = 0;
+        m.dst = dst;
+        net.send(m);
+    };
+    sendFrom0(1); // adjacent: same cost as the crossbar
+    sendFrom0(2); // opposite side: one extra hop
+    sendFrom0(3); // adjacent the short way round (wrap)
+    ctx.queue.run();
+
+    EXPECT_EQ(arrival[1], params.hopLatency + 1);
+    EXPECT_EQ(arrival[2], 2 * params.hopLatency + 1);
+    EXPECT_EQ(arrival[3], params.hopLatency + 1)
+        << "ring distance is the shorter way around";
+}
+
+TEST(RingTopology, OffRingNodesKeepCrossbarLatency)
+{
+    SimContext ctx;
+    NetworkParams params{20, 32};
+    Network net("ring", ctx, params);
+    Tick arrival = 0;
+    net.connect(0, [](const Message&) {});
+    net.connect(5, [&](const Message&) { arrival = ctx.queue.curTick(); });
+    net.connect(6, [](const Message&) {});
+    net.setRing({0, 6}); // 5 is not part of the ring
+    Message m;
+    m.type = MsgType::kGetS;
+    m.src = 0;
+    m.dst = 5;
+    net.send(m);
+    ctx.queue.run();
+    EXPECT_EQ(arrival, params.hopLatency + 1);
+}
+
+TEST(RingTopology, ParseDsTopologyRoundTrips)
+{
+    DsTopology t = DsTopology::kCrossbar;
+    EXPECT_TRUE(parseDsTopology("ring", t));
+    EXPECT_EQ(t, DsTopology::kRing);
+    EXPECT_TRUE(parseDsTopology(to_string(DsTopology::kCrossbar), t));
+    EXPECT_EQ(t, DsTopology::kCrossbar);
+    EXPECT_FALSE(parseDsTopology("mesh", t));
+    EXPECT_EQ(t, DsTopology::kCrossbar) << "failed parse must not write";
+}
+
 } // namespace
 } // namespace dscoh

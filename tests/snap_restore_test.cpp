@@ -102,6 +102,51 @@ TEST(SnapRestore, RoundTripMatchesUninterruptedRunPerFamily)
     }
 }
 
+TEST(SnapRestore, MultiGpuRoundTripMatchesUninterruptedRun)
+{
+    // The sharded system has per-shard in-flight directory state, remote
+    // slice groups and (with tsLeaseTicks) timestamp lease epochs; all of
+    // it must survive a mid-flight checkpoint byte for bit. CCSM runs the
+    // crossbar, direct store additionally the ring + timestamp fast path.
+    for (const CoherenceMode mode :
+         {CoherenceMode::kCcsm, CoherenceMode::kDirectStore}) {
+        SystemConfig cfg;
+        cfg.numGpus = 4;
+        cfg.cpuCores = 2;
+        cfg.shardPolicy = ShardPolicy::kPage;
+        if (mode == CoherenceMode::kDirectStore) {
+            cfg.dsTopology = DsTopology::kRing;
+            cfg.tsLeaseTicks = 50'000;
+        }
+        const std::string what = std::string("VA_4gpu_") + to_string(mode);
+        const Workload& w = WorkloadRegistry::instance().get("VA");
+
+        WorkloadRun ref(w, InputSize::kSmall, mode, cfg);
+        const WorkloadRunResult refResult = ref.run();
+        EXPECT_FALSE(refResult.fromCheckpoint) << what;
+
+        const std::string path = tempSnap(what);
+        WorkloadRunOptions saveOpts;
+        saveOpts.checkpointOut = path;
+        saveOpts.checkpointAtPhase = 0;
+        WorkloadRun save(w, InputSize::kSmall, mode, cfg, saveOpts);
+        expectSameRun(save.run(), refResult, what + " (checkpointing)");
+
+        WorkloadRunOptions restoreOpts;
+        restoreOpts.restoreFrom = path;
+        WorkloadRun restored(w, InputSize::kSmall, mode, cfg, restoreOpts);
+        const WorkloadRunResult restoredResult = restored.run();
+        EXPECT_TRUE(restoredResult.fromCheckpoint) << what;
+        expectSameRun(restoredResult, refResult, what + " (restored)");
+        EXPECT_EQ(statsJson(restored.system()), statsJson(ref.system()))
+            << what;
+        EXPECT_TRUE(restored.system().backingStore().sameImage(
+            ref.system().backingStore()))
+            << what;
+        std::remove(path.c_str());
+    }
+}
+
 TEST(SnapRestore, TickTriggerCheckpointsFirstSafePointAfterTick)
 {
     const Workload& w = WorkloadRegistry::instance().get("VA");

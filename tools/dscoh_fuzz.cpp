@@ -109,6 +109,7 @@ int main(int argc, char** argv)
     bool faultDropsOnly = false;
     std::uint64_t maxTicks = 50'000'000;
     std::uint64_t shrinkBudget = 96;
+    std::uint64_t forceGpus = 0;
     std::string txnProfile;
 
     cli::OptionParser parser(
@@ -125,8 +126,11 @@ int main(int argc, char** argv)
                      &replay);
     parser.addString("inject-bug",
                      "none|skip-remote-store-inval|skip-snoop-inval|"
-                     "drop-wback (oracle validation)",
+                     "drop-wback|cross-shard-order (oracle validation)",
                      &injectBug);
+    parser.addUint("gpus", "force every generated scenario to this many "
+                   "GPUs (0 = let the seed decide; >1 shards the DS "
+                   "directory)", &forceGpus);
     parser.addString("out", "directory for shrunk reproducer files", &outDir);
     parser.addFlag("no-shrink", "report failures without shrinking them",
                    &noShrink);
@@ -170,7 +174,8 @@ int main(int argc, char** argv)
     InjectedBug bug = InjectedBug::kNone;
     for (const InjectedBug b :
          {InjectedBug::kNone, InjectedBug::kSkipRemoteStoreInval,
-          InjectedBug::kSkipSnoopInvalidate, InjectedBug::kDropWbAck}) {
+          InjectedBug::kSkipSnoopInvalidate, InjectedBug::kDropWbAck,
+          InjectedBug::kCrossShardOrder}) {
         if (injectBug == to_string(b)) {
             bug = b;
             bugOk = true;
@@ -221,6 +226,21 @@ int main(int argc, char** argv)
         FuzzScenario sc =
             faults ? generateFaultScenario(seed) : generateScenario(seed);
         sc.bug = bug;
+        if (forceGpus != 0)
+            sc.gpus = static_cast<std::uint32_t>(forceGpus);
+        if (bug == InjectedBug::kCrossShardOrder && !faults) {
+            // The planted bug drops the lease-hold ordering protections, so
+            // give every seed the surface it needs: at least two GPUs, the
+            // timestamp fast path armed with a lease long enough to span a
+            // produce phase (the bug lets those pushes land mid-lease), and
+            // enough phases for the leasing GPU to come back around and
+            // re-read its now-stale lease (kernels rotate over devices).
+            if (sc.gpus < 2)
+                sc.gpus = 2;
+            sc.tsLeaseTicks = 1'000'000;
+            if (sc.phases < 3)
+                sc.phases = 3;
+        }
         if (faultDropsOnly) {
             // Calibration inversion: every DsPutX/UcRead vanishes and the
             // retransmit machinery is disarmed, so every seed must fail. A

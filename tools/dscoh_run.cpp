@@ -193,6 +193,11 @@ int main(int argc, char** argv)
     std::uint64_t dsMinBytes = 0;
     std::uint64_t seed = 0;
     std::uint64_t epochTicks = 0;
+    std::uint64_t gpus = 0;
+    std::uint64_t cpuCores = 0;
+    std::uint64_t tsLeaseTicks = 0;
+    std::string shardPolicy;
+    std::string dsTopology;
     std::string checkpointAt;
     std::string checkpointOut;
     std::string restorePath;
@@ -228,11 +233,24 @@ int main(int argc, char** argv)
     parser.addFlag("dump-config", "print the default configuration and exit",
                    &dumpCfg);
     parser.addFlag("csv", "print one machine-readable CSV row", &csv);
+    bool check = false;
+    parser.addFlag("check", "attach the live CoherenceChecker oracle; any "
+                   "violation fails the run (exit 5)", &check);
     parser.addUint("ds-hop", "dedicated-network hop latency override", &dsHop);
     parser.addUint("prefetch", "GPU L2 next-line prefetch depth", &prefetch);
     parser.addUint("ds-min-bytes", "hybrid policy: push only arrays >= this",
                    &dsMinBytes);
     parser.addUint("seed", "replacement-policy seed", &seed);
+    parser.addUint("gpus", "GPUs sharing the DS region (multi-GPU "
+                   "scale-out; 0 = keep config default)", &gpus);
+    parser.addUint("cpu-cores", "CPU cores (0 = keep config default)",
+                   &cpuCores);
+    parser.addString("shard-policy", "page|line|range — which GPU homes a "
+                     "DS line (multi-GPU)", &shardPolicy);
+    parser.addString("ds-topology", "crossbar|ring — DS network shape",
+                     &dsTopology);
+    parser.addUint("ts-lease-ticks", "timestamp fast-path lease length for "
+                   "remotely-homed reads (0 = off)", &tsLeaseTicks);
     parser.addString("checkpoint-at", "safe point to checkpoint at: a tick "
                      "(first phase boundary at/after it), phase:produce-done "
                      "or phase:kernel<N>-done", &checkpointAt);
@@ -316,11 +334,30 @@ int main(int argc, char** argv)
         cfg.dsMinBytes = dsMinBytes;
         if (seed != 0)
             cfg.seed = seed;
+        if (gpus != 0)
+            cfg.numGpus = static_cast<std::uint32_t>(gpus);
+        if (cpuCores != 0)
+            cfg.cpuCores = static_cast<std::uint32_t>(cpuCores);
+        if (tsLeaseTicks != 0)
+            cfg.tsLeaseTicks = tsLeaseTicks;
+        if (!shardPolicy.empty() &&
+            !parseShardPolicy(shardPolicy, cfg.shardPolicy)) {
+            std::cerr << "dscoh_run: bad --shard-policy '" << shardPolicy
+                      << "' (page|line|range)\n";
+            return kExitUsage;
+        }
+        if (!dsTopology.empty() &&
+            !parseDsTopology(dsTopology, cfg.dsTopology)) {
+            std::cerr << "dscoh_run: bad --ds-topology '" << dsTopology
+                      << "' (crossbar|ring)\n";
+            return kExitUsage;
+        }
 
         WorkloadRunOptions runOpts;
         runOpts.restoreFrom = restorePath;
         runOpts.checkpointOut = checkpointOut;
         runOpts.maxIdleTicks = maxIdleTicks;
+        runOpts.oracle = check;
         if (!checkpointAt.empty()) {
             if (checkpointOut.empty()) {
                 std::cerr << "dscoh_run: --checkpoint-at needs "

@@ -84,6 +84,21 @@ int main(int argc, char** argv)
     parser.addString("progress-json", "atomically publish live progress "
                      "here after every completed job (dscoh-progress-v1: "
                      "done/failed counts, jobs/second, ETA)", &progressPath);
+    std::uint64_t gpus = 0;
+    std::uint64_t cpuCores = 0;
+    std::uint64_t tsLeaseTicks = 0;
+    std::string shardPolicy;
+    std::string dsTopology;
+    parser.addUint("gpus", "GPUs sharing the DS region (multi-GPU "
+                   "scale-out; 0 = keep config default)", &gpus);
+    parser.addUint("cpu-cores", "CPU cores (0 = keep config default)",
+                   &cpuCores);
+    parser.addString("shard-policy", "page|line|range — which GPU homes a "
+                     "DS line (multi-GPU)", &shardPolicy);
+    parser.addString("ds-topology", "crossbar|ring — DS network shape",
+                     &dsTopology);
+    parser.addUint("ts-lease-ticks", "timestamp fast-path lease length for "
+                   "remotely-homed reads (0 = off)", &tsLeaseTicks);
     if (!parser.parse(argc, argv, std::cerr))
         return kExitUsage;
 
@@ -108,6 +123,23 @@ int main(int argc, char** argv)
     SystemConfig base;
     if (!cli::resolveLogLevel(logLevelText, base.logLevel, error)) {
         std::cerr << "dscoh_sweep: " << error << "\n";
+        return kExitUsage;
+    }
+    if (gpus != 0)
+        base.numGpus = static_cast<std::uint32_t>(gpus);
+    if (cpuCores != 0)
+        base.cpuCores = static_cast<std::uint32_t>(cpuCores);
+    if (tsLeaseTicks != 0)
+        base.tsLeaseTicks = tsLeaseTicks;
+    if (!shardPolicy.empty() &&
+        !parseShardPolicy(shardPolicy, base.shardPolicy)) {
+        std::cerr << "dscoh_sweep: bad --shard-policy '" << shardPolicy
+                  << "' (page|line|range)\n";
+        return kExitUsage;
+    }
+    if (!dsTopology.empty() && !parseDsTopology(dsTopology, base.dsTopology)) {
+        std::cerr << "dscoh_sweep: bad --ds-topology '" << dsTopology
+                  << "' (crossbar|ring)\n";
         return kExitUsage;
     }
 
