@@ -1,0 +1,121 @@
+#!/usr/bin/env sh
+# Crash-recovery check for the sweep SERVICE: start the daemon, submit two
+# tenants' requests at mixed priorities, SIGKILL the daemon mid-flight
+# (no chance to clean up — the service WAL plus each request's journal
+# must carry the recovery), restart it on the same state directory, and
+# require every request's results.json to be byte-identical to the same
+# request run on a never-killed daemon.
+#
+# Usage: scripts/svc_kill_resume_check.sh [build_dir]
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+svc="${repo_root}/${build_dir}/src/svc/dscoh_svc"
+client="${repo_root}/${build_dir}/src/svc/dscoh_client"
+[ -x "${svc}" ] && [ -x "${client}" ] || {
+    echo "svc_kill_resume_check: ${svc} / ${client} not built" >&2
+    exit 1
+}
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "${daemon_pid}" ] && kill -9 "${daemon_pid}" 2> /dev/null || true
+    rm -rf "${work}"
+}
+trap cleanup EXIT
+
+# Waits until the daemon behind $1 answers a ping.
+wait_ping() {
+    tries=0
+    while ! "${client}" --socket "$1" ping > /dev/null 2>&1; do
+        tries=$((tries + 1))
+        if [ "${tries}" -gt 300 ]; then
+            echo "svc_kill_resume_check: daemon never answered ping" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# --- Reference: the same two requests on a daemon that is never killed.
+ref_state="${work}/ref"
+echo "svc_kill_resume_check: reference daemon"
+"${svc}" --state "${ref_state}" --jobs 2 > "${work}/ref_daemon.log" 2>&1 &
+daemon_pid=$!
+wait_ping "${ref_state}/svc.sock"
+"${client}" --socket "${ref_state}/svc.sock" submit \
+    --tenant alice --priority 1 --only VA,NN > /dev/null
+"${client}" --socket "${ref_state}/svc.sock" submit \
+    --tenant bob --weight 2 --only BP > /dev/null
+"${client}" --socket "${ref_state}/svc.sock" drain > /dev/null
+"${client}" --socket "${ref_state}/svc.sock" shutdown > /dev/null
+wait "${daemon_pid}" || true
+daemon_pid=""
+[ -f "${ref_state}/jobs/r000001/results.json" ] &&
+    [ -f "${ref_state}/jobs/r000002/results.json" ] || {
+    echo "svc_kill_resume_check: reference daemon published nothing" >&2
+    exit 1
+}
+
+# --- Victim: same submissions, single worker so the kill lands mid-queue,
+# SIGKILL once the first request's journal shows a completed job.
+state="${work}/victim"
+echo "svc_kill_resume_check: victim daemon (will be killed with SIGKILL)"
+"${svc}" --state "${state}" --jobs 1 > "${work}/victim_daemon.log" 2>&1 &
+daemon_pid=$!
+wait_ping "${state}/svc.sock"
+"${client}" --socket "${state}/svc.sock" submit \
+    --tenant alice --priority 1 --only VA,NN > /dev/null
+"${client}" --socket "${state}/svc.sock" submit \
+    --tenant bob --weight 2 --only BP > /dev/null
+
+tries=0
+while ! [ -s "${state}/jobs/r000001/journal" ] &&
+      ! [ -s "${state}/jobs/r000002/journal" ]; do
+    tries=$((tries + 1))
+    if [ "${tries}" -gt 600 ]; then
+        echo "svc_kill_resume_check: no journaled job after 60s" >&2
+        exit 1
+    fi
+    if ! kill -0 "${daemon_pid}" 2> /dev/null; then
+        echo "svc_kill_resume_check: daemon died on its own" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "${daemon_pid}"
+wait "${daemon_pid}" 2> /dev/null || true
+daemon_pid=""
+echo "svc_kill_resume_check: killed mid-flight"
+
+# Both requests were accepted but at most one can have published.
+published=0
+[ -f "${state}/jobs/r000001/results.json" ] && published=$((published + 1))
+[ -f "${state}/jobs/r000002/results.json" ] && published=$((published + 1))
+[ "${published}" -lt 2 ] || {
+    echo "svc_kill_resume_check: daemon finished before it could be killed" >&2
+    exit 1
+}
+
+# --- Restart on the same state dir; recovery re-admits and finishes
+# everything the WAL says is owed.
+echo "svc_kill_resume_check: restarting on the same state dir"
+"${svc}" --state "${state}" --jobs 2 > "${work}/restart_daemon.log" 2>&1 &
+daemon_pid=$!
+wait_ping "${state}/svc.sock"
+"${client}" --socket "${state}/svc.sock" drain > /dev/null
+"${client}" --socket "${state}/svc.sock" shutdown > /dev/null
+wait "${daemon_pid}" || true
+daemon_pid=""
+
+for id in r000001 r000002; do
+    cmp "${ref_state}/jobs/${id}/results.json" \
+        "${state}/jobs/${id}/results.json" || {
+        echo "svc_kill_resume_check: ${id} results differ from reference" >&2
+        exit 1
+    }
+done
+echo "svc_kill_resume_check: recovered results are byte-identical" \
+     "to the never-killed daemon"

@@ -42,6 +42,96 @@ std::string jobCheckpointPath(const std::string& dir, const ExperimentJob& job,
 
 } // namespace
 
+std::vector<std::size_t>
+replayJournal(const std::vector<ExperimentJob>& jobs,
+              const std::vector<std::uint64_t>& hashes,
+              const std::string& path,
+              std::vector<ExperimentResult>* results)
+{
+    // Matching is positional per key — a batch with duplicate (code, size,
+    // mode, config) jobs consumes one journal entry per duplicate.
+    std::map<std::string, std::deque<JournalEntry>> byKey;
+    for (JournalEntry& e : readJournal(path))
+        byKey[journalKey(e.result.job.code, e.result.job.size,
+                         e.result.job.mode, e.configHash)]
+            .push_back(std::move(e));
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto it = byKey.find(
+            journalKey(jobs[i].code, jobs[i].size, jobs[i].mode, hashes[i]));
+        if (it == byKey.end() || it->second.empty()) {
+            pending.push_back(i);
+            continue;
+        }
+        (*results)[i] = std::move(it->second.front().result);
+        it->second.pop_front();
+        (*results)[i].job = jobs[i];
+        (*results)[i].fromJournal = true;
+    }
+    return pending;
+}
+
+ExperimentResult runExperimentJob(const ExperimentJob& job,
+                                  std::uint64_t configHash,
+                                  const JobRunOptions& options)
+{
+    ExperimentResult r;
+    r.job = job;
+
+    WorkloadRunOptions runOpts;
+    if (options.forkProduce) {
+        runOpts.produceCacheDir = options.produceCacheDir.empty()
+                                      ? options.snapDir
+                                      : options.produceCacheDir;
+        runOpts.produceCacheMaxBytes = options.produceCacheMaxBytes;
+    }
+    std::string checkpoint;
+    if (options.jobCheckpoint) {
+        checkpoint = jobCheckpointPath(options.snapDir, job, configHash);
+        runOpts.phaseCheckpointPath = checkpoint;
+        if (options.resumeCheckpoint) {
+            // A leftover checkpoint from a killed run resumes the job from
+            // its last completed phase; anything stale or unusable silently
+            // falls back to a fresh run.
+            runOpts.restoreFrom = checkpoint;
+            runOpts.restoreOptional = true;
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        const Workload* w = job.workload;
+        if (w == nullptr)
+            w = &WorkloadRegistry::instance().get(job.code);
+        WorkloadRun wr(*w, job.size, job.mode, job.config,
+                       std::move(runOpts));
+        r.run = wr.run();
+        r.produceTicksSaved = wr.produceTicksSaved();
+        r.ok = true;
+    } catch (const DeadlockError& e) {
+        r.error = e.what();
+        r.errorClass = kExitDeadlock;
+    } catch (const OracleError& e) {
+        r.error = e.what();
+        r.errorClass = kExitOracle;
+    } catch (const snap::SnapError& e) {
+        r.error = e.what();
+        r.errorClass = kExitIo;
+    } catch (const std::exception& e) {
+        r.error = e.what();
+        r.errorClass = kExitFailure;
+    } catch (...) {
+        r.error = "unknown error";
+        r.errorClass = kExitFailure;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+
+    if (!checkpoint.empty())
+        std::remove(checkpoint.c_str());
+    return r;
+}
+
 ExperimentEngine::ExperimentEngine(unsigned threads)
 {
     if (threads == 0)
@@ -71,30 +161,12 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
     for (std::size_t i = 0; i < jobs.size(); ++i)
         hashes[i] = configHashOf(jobs[i].config);
 
-    // Resume: replay journaled jobs instead of re-simulating them. Matching
-    // is positional per key — a batch with duplicate (code, size, mode,
-    // config) jobs consumes one journal entry per duplicate.
+    // Resume: replay journaled jobs instead of re-simulating them.
     std::vector<std::size_t> pending;
     std::size_t replayed = 0;
     if (options.resume && !options.journalPath.empty()) {
-        std::map<std::string, std::deque<JournalEntry>> byKey;
-        for (JournalEntry& e : readJournal(options.journalPath))
-            byKey[journalKey(e.result.job.code, e.result.job.size,
-                             e.result.job.mode, e.configHash)]
-                .push_back(std::move(e));
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            const auto it = byKey.find(journalKey(jobs[i].code, jobs[i].size,
-                                                 jobs[i].mode, hashes[i]));
-            if (it == byKey.end() || it->second.empty()) {
-                pending.push_back(i);
-                continue;
-            }
-            results[i] = std::move(it->second.front().result);
-            it->second.pop_front();
-            results[i].job = jobs[i];
-            results[i].fromJournal = true;
-            ++replayed;
-        }
+        pending = replayJournal(jobs, hashes, options.journalPath, &results);
+        replayed = jobs.size() - pending.size();
     } else {
         pending.resize(jobs.size());
         for (std::size_t i = 0; i < jobs.size(); ++i)
@@ -106,6 +178,12 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
     std::mutex progressMutex;
     std::mutex journalMutex;
 
+    JobRunOptions jobOpts;
+    jobOpts.snapDir = options.snapDir;
+    jobOpts.forkProduce = options.forkProduce;
+    jobOpts.jobCheckpoint = options.jobCheckpoints;
+    jobOpts.resumeCheckpoint = options.resume;
+
     const auto worker = [&] {
         for (;;) {
             const std::size_t slot = next.fetch_add(1);
@@ -113,56 +191,7 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
                 return;
             const std::size_t i = pending[slot];
             ExperimentResult& r = results[i];
-            r.job = jobs[i];
-
-            WorkloadRunOptions runOpts;
-            if (options.forkProduce)
-                runOpts.produceCacheDir = options.snapDir;
-            std::string checkpoint;
-            if (options.jobCheckpoints) {
-                checkpoint =
-                    jobCheckpointPath(options.snapDir, jobs[i], hashes[i]);
-                runOpts.phaseCheckpointPath = checkpoint;
-                if (options.resume) {
-                    // A leftover checkpoint from a killed run resumes the
-                    // job from its last completed phase; anything stale or
-                    // unusable silently falls back to a fresh run.
-                    runOpts.restoreFrom = checkpoint;
-                    runOpts.restoreOptional = true;
-                }
-            }
-
-            const auto t0 = std::chrono::steady_clock::now();
-            try {
-                const Workload* w = jobs[i].workload;
-                if (w == nullptr)
-                    w = &WorkloadRegistry::instance().get(jobs[i].code);
-                WorkloadRun wr(*w, jobs[i].size, jobs[i].mode, jobs[i].config,
-                               std::move(runOpts));
-                r.run = wr.run();
-                r.produceTicksSaved = wr.produceTicksSaved();
-                r.ok = true;
-            } catch (const DeadlockError& e) {
-                r.error = e.what();
-                r.errorClass = kExitDeadlock;
-            } catch (const OracleError& e) {
-                r.error = e.what();
-                r.errorClass = kExitOracle;
-            } catch (const snap::SnapError& e) {
-                r.error = e.what();
-                r.errorClass = kExitIo;
-            } catch (const std::exception& e) {
-                r.error = e.what();
-                r.errorClass = kExitFailure;
-            } catch (...) {
-                r.error = "unknown error";
-                r.errorClass = kExitFailure;
-            }
-            const auto t1 = std::chrono::steady_clock::now();
-            r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-
-            if (!checkpoint.empty())
-                std::remove(checkpoint.c_str());
+            r = runExperimentJob(jobs[i], hashes[i], jobOpts);
             if (!options.journalPath.empty()) {
                 const std::lock_guard<std::mutex> lock(journalMutex);
                 std::ofstream out(options.journalPath, std::ios::app);
@@ -188,6 +217,48 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
     for (std::thread& t : pool)
         t.join();
     return results;
+}
+
+ResidentEngine::ResidentEngine(unsigned threads, Source source)
+{
+    if (threads == 0)
+        threads = std::thread::hardware_concurrency();
+    if (threads == 0)
+        threads = 1;
+    // Force the registry's one-time construction before workers race to
+    // use it (same reason as the batch path).
+    WorkloadRegistry::instance();
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([source] {
+            while (std::optional<Admitted> a = source()) {
+                ExperimentResult r = runExperimentJob(a->job, a->configHash,
+                                                      a->options);
+                if (a->done)
+                    a->done(std::move(r));
+            }
+        });
+}
+
+ResidentEngine::~ResidentEngine()
+{
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void finalizeJournal(const std::string& journalPath, bool hadFailures)
+{
+    if (journalPath.empty())
+        return;
+    if (!hadFailures) {
+        std::remove(journalPath.c_str());
+        return;
+    }
+    // Keep the failure set replayable: a later --resume against the
+    // restored name can retry exactly the jobs that failed. rename(2)
+    // replaces an older .failed journal atomically.
+    const std::string kept = journalPath + ".failed";
+    std::rename(journalPath.c_str(), kept.c_str());
 }
 
 std::vector<ExperimentJob>

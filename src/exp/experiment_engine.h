@@ -9,9 +9,12 @@
 // order — output is bit-identical whether it ran on 1 thread or N.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "workloads/runner.h"
@@ -70,6 +73,35 @@ struct EngineRunOptions {
     bool jobCheckpoints = false;
 };
 
+/// Snapshot-related options for a SINGLE job — the per-job slice of
+/// EngineRunOptions, shared by the batch worker and the resident mode the
+/// sweep service runs the engine in.
+struct JobRunOptions {
+    /// Directory for rolling job checkpoints; required by jobCheckpoint.
+    std::string snapDir;
+    /// Directory of the produce-phase snapshot cache. Empty falls back to
+    /// snapDir (the batch engine's historical behaviour); the service
+    /// points it at one store shared across every tenant.
+    std::string produceCacheDir;
+    /// Share the CPU produce phase through that snapshot cache.
+    bool forkProduce = false;
+    /// Byte budget for the cache (0 = unbounded); see snap::SnapshotCache.
+    std::uint64_t produceCacheMaxBytes = 0;
+    /// Keep a rolling per-job checkpoint at every phase boundary.
+    bool jobCheckpoint = false;
+    /// Restore a leftover checkpoint from a killed run when usable.
+    bool resumeCheckpoint = false;
+};
+
+/// Runs one job to completion (or classified failure) with the same
+/// semantics as one slot of ExperimentEngine::run(): exceptions land in
+/// ExperimentResult::error/errorClass, never escape, and a successful job
+/// removes its rolling checkpoint. @p configHash must be
+/// configHashOf(job.config) (hoisted out so batch callers hash once).
+ExperimentResult runExperimentJob(const ExperimentJob& job,
+                                  std::uint64_t configHash,
+                                  const JobRunOptions& options);
+
 class ExperimentEngine {
 public:
     /// @p threads == 0 picks std::thread::hardware_concurrency().
@@ -111,6 +143,54 @@ private:
     Progress progress_;
 };
 
+/// The engine's resident mode: a persistent worker pool that pulls jobs
+/// from a caller-supplied blocking source instead of sharding one fixed
+/// batch. This is the admission hook the sweep service schedules through —
+/// ordering policy (tenants, priorities, fair sharing) lives entirely in
+/// the source; the pool only executes. Cancellation of queued work is the
+/// source's job too (a cancelled job is simply never handed out); a job
+/// already running always completes and reports through its callback.
+class ResidentEngine {
+public:
+    /// One admitted unit of work. @p done runs on the worker thread that
+    /// executed the job; it must do its own locking.
+    struct Admitted {
+        ExperimentJob job;
+        std::uint64_t configHash = 0;
+        JobRunOptions options;
+        std::function<void(ExperimentResult&&)> done;
+    };
+
+    /// Blocks until work is available and returns it, or returns nullopt
+    /// to retire the calling worker (shutdown). Called concurrently from
+    /// every worker; must be thread-safe.
+    using Source = std::function<std::optional<Admitted>()>;
+
+    /// Spawns @p threads workers (0 = hardware concurrency) that loop on
+    /// @p source until it returns nullopt.
+    ResidentEngine(unsigned threads, Source source);
+    /// Joins the pool. The source must already be returning nullopt (or do
+    /// so promptly) or this blocks forever — stop the source first.
+    ~ResidentEngine();
+
+    ResidentEngine(const ResidentEngine&) = delete;
+    ResidentEngine& operator=(const ResidentEngine&) = delete;
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+private:
+    std::vector<std::thread> workers_;
+};
+
+/// Disposes of a finished batch's crash-recovery journal. A fully
+/// successful batch deletes it (the published results.json supersedes it);
+/// a batch with failed jobs keeps it renamed "<path>.failed" so the
+/// failure set stays replayable instead of vanishing with the publication.
+void finalizeJournal(const std::string& journalPath, bool hadFailures);
+
 /// One parsed line of a completed-job journal.
 struct JournalEntry {
     std::uint64_t configHash = 0;
@@ -127,6 +207,19 @@ std::string journalLine(const ExperimentResult& r, std::uint64_t configHash);
 /// vector. gpuL2MissRate is recomputed from the integer counters so a
 /// replayed job is bit-identical to a simulated one.
 std::vector<JournalEntry> readJournal(const std::string& path);
+
+/// Fills completed slots of @p results from the journal at @p path:
+/// entries match jobs positionally per (code, size, mode, config-hash) key
+/// — a batch with duplicate keys consumes one entry per duplicate. Matched
+/// slots get fromJournal = true; the returned indices are the jobs the
+/// journal does NOT cover (the work a resumed batch still owes). This is
+/// the resume step of ExperimentEngine::run(), exported so the sweep
+/// service can recover each request's journal after a restart.
+std::vector<std::size_t>
+replayJournal(const std::vector<ExperimentJob>& jobs,
+              const std::vector<std::uint64_t>& hashes,
+              const std::string& path,
+              std::vector<ExperimentResult>* results);
 
 /// Cross product in deterministic order: for each code, for each size, for
 /// each mode — the order every bench prints its tables in.

@@ -1,6 +1,7 @@
 #include "exp/progress.h"
 
 #include <cstdio>
+#include <sstream>
 
 #include "snap/serializer.h"
 
@@ -14,14 +15,31 @@ std::string renderProgressJson(const ProgressSnapshot& s)
     const std::size_t left = s.total > s.done ? s.total - s.done : 0;
     const double eta =
         rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
-    char buf[256];
+    std::string state = s.state;
+    if (state.empty())
+        state = s.done < s.total ? "running"
+                                 : (s.failed != 0 ? "failed" : "done");
+
+    std::ostringstream os;
+    os << "{\"schema\": \"dscoh-progress-v2\", \"state\": \"" << state
+       << "\"";
+    if (!s.id.empty())
+        os << ", \"id\": \"" << s.id << "\"";
+    if (!s.tenant.empty())
+        os << ", \"tenant\": \"" << s.tenant << "\"";
+    char buf[160];
     std::snprintf(buf, sizeof buf,
-                  "{\"schema\": \"dscoh-progress-v1\", \"total\": %zu, "
-                  "\"done\": %zu, \"failed\": %zu, "
-                  "\"elapsedSeconds\": %.3f, \"jobsPerSecond\": %.3f, "
-                  "\"etaSeconds\": %.1f}\n",
+                  ", \"jobsTotal\": %zu, \"jobsDone\": %zu, "
+                  "\"jobsFailed\": %zu, \"elapsedSeconds\": %.3f, "
+                  "\"jobsPerSecond\": %.3f, \"etaSeconds\": %.1f",
                   s.total, s.done, s.failed, s.elapsedSeconds, rate, eta);
-    return buf;
+    os << buf;
+    // v1 aliases, kept for one release (dropped in v3).
+    std::snprintf(buf, sizeof buf,
+                  ", \"total\": %zu, \"done\": %zu, \"failed\": %zu}\n",
+                  s.total, s.done, s.failed);
+    os << buf;
+    return os.str();
 }
 
 void ProgressPublisher::publish(const ProgressSnapshot& s) const

@@ -1,18 +1,24 @@
-// Live sweep progress publication.
+// Live progress publication, shared by batch sweeps and the sweep service.
 //
 // A long sweep is opaque from the outside: the table prints only at the
 // end, and stderr interleaves worker messages. ProgressPublisher gives
 // dashboards and wrapper scripts a machine-readable view: after every
-// completed job it atomically rewrites one small "dscoh-progress-v1" JSON
-// file (temp + rename, via snap::atomicWriteFile), so a reader polling the
-// path always sees a complete, internally consistent document — never a
-// torn write.
+// completed job it atomically rewrites one small JSON file (temp + rename,
+// via snap::atomicWriteFile), so a reader polling the path always sees a
+// complete, internally consistent document — never a torn write.
 //
-// The schema is deliberately tiny and derived from three counters plus the
-// wall clock: total jobs, done, failed, elapsed seconds, jobs/second and
-// the ETA extrapolated from the mean completion rate. Rendering is split
-// out as a pure function (renderProgressJson) so tests can pin the format
-// without touching the filesystem.
+// The "dscoh-progress-v2" schema is the one status document for BOTH
+// execution modes: `dscoh_sweep --progress-json` publishes it per batch,
+// and the service publishes the identical shape per request (status.json
+// in the request directory, and embedded in `status` protocol responses).
+// One poller/dashboard format covers batch and daemon. v2 renamed the
+// counters to jobsTotal/jobsDone/jobsFailed and added state/id/tenant; the
+// v1 names (total/done/failed) are kept as aliases for one release and
+// will be dropped in v3.
+//
+// Rendering is split out as a pure function (renderProgressJson) so tests
+// can pin the format without touching the filesystem, and so the ETA
+// fields are a deterministic function of the counters — no hidden clock.
 #pragma once
 
 #include <cstddef>
@@ -20,17 +26,27 @@
 
 namespace dscoh {
 
-/// One observation of a running batch.
+/// One observation of a running batch or service request.
 struct ProgressSnapshot {
     std::size_t total = 0;
     std::size_t done = 0;   ///< completed jobs, failed ones included
     std::size_t failed = 0;
     double elapsedSeconds = 0.0;
+
+    // --- daemon-mode fields (defaulted in batch mode) ---
+    /// queued | running | done | failed | cancelled. Empty = derived:
+    /// "running" until done == total, then "done" or "failed" (any
+    /// failures). The service sets it explicitly for queued/cancelled.
+    std::string state;
+    std::string id;     ///< service request id; omitted from JSON if empty
+    std::string tenant; ///< submitting tenant; omitted from JSON if empty
 };
 
-/// The "dscoh-progress-v1" JSON document for @p s (one object, trailing
+/// The "dscoh-progress-v2" JSON document for @p s (one object, trailing
 /// newline). jobsPerSecond/etaSeconds are 0 while no job has finished or
-/// no time has passed; etaSeconds is 0 once done == total.
+/// no time has passed; etaSeconds is 0 once done == total. Pure function
+/// of the snapshot — bit-identical for identical inputs regardless of
+/// thread count or wall clock.
 std::string renderProgressJson(const ProgressSnapshot& s);
 
 /// Publishes snapshots to a file. Each publish() atomically replaces the

@@ -1,0 +1,161 @@
+#include "snap/snap_cache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "snap/serializer.h"
+
+namespace dscoh::snap {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kLockFile = ".cache.lock";
+
+/// RAII advisory lock on the store's lock file. Lock failure (exotic
+/// filesystems without flock) degrades to lockless operation — the
+/// individual operations are still rename-atomic, only concurrent eviction
+/// loses its serialization.
+class StoreLock {
+public:
+    explicit StoreLock(const std::string& dir)
+    {
+        const std::string path = dir + "/" + kLockFile;
+        fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~StoreLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+    StoreLock(const StoreLock&) = delete;
+    StoreLock& operator=(const StoreLock&) = delete;
+
+private:
+    int fd_ = -1;
+};
+
+bool isEntry(const fs::directory_entry& e)
+{
+    if (!e.is_regular_file())
+        return false;
+    const std::string name = e.path().filename().string();
+    if (name == kLockFile)
+        return false;
+    // Skip in-flight atomicWriteFile temporaries ("<entry>.tmp").
+    return name.size() < 4 || name.compare(name.size() - 4, 4, ".tmp") != 0;
+}
+
+} // namespace
+
+SnapshotCache::SnapshotCache(std::string dir, std::uint64_t maxBytes)
+    : dir_(std::move(dir)), maxBytes_(maxBytes)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        throw SnapError("snapshot cache: cannot create " + dir_ + ": " +
+                        ec.message());
+}
+
+std::string SnapshotCache::pathFor(const std::string& file) const
+{
+    return dir_ + "/" + file;
+}
+
+bool SnapshotCache::touch(const std::string& file)
+{
+    const fs::path path = pathFor(file);
+    std::error_code ec;
+    if (!fs::is_regular_file(path, ec)) {
+        ++counters_.misses;
+        return false;
+    }
+    // Refresh the shared LRU stamp. A racing eviction may have removed the
+    // file between the check and the stamp; that's still just a miss for
+    // the caller's subsequent read, never an error here.
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    ++counters_.hits;
+    return true;
+}
+
+void SnapshotCache::insert(const std::string& file,
+                           const std::string& contents)
+{
+    atomicWriteFile(pathFor(file), contents);
+    ++counters_.inserts;
+    if (maxBytes_ != 0)
+        evictToBudget(file);
+}
+
+std::size_t SnapshotCache::evictToBudget(const std::string& keep)
+{
+    if (maxBytes_ == 0)
+        return 0;
+    const StoreLock lock(dir_);
+
+    struct Entry {
+        fs::path path;
+        fs::file_time_type stamp;
+        std::uint64_t bytes = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec)) {
+        if (!isEntry(e))
+            continue;
+        Entry entry;
+        entry.path = e.path();
+        entry.stamp = e.last_write_time(ec);
+        entry.bytes = e.file_size(ec);
+        total += entry.bytes;
+        entries.push_back(std::move(entry));
+    }
+    if (total <= maxBytes_)
+        return 0;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                  return a.stamp != b.stamp ? a.stamp < b.stamp
+                                            : a.path < b.path;
+              });
+    std::size_t evicted = 0;
+    for (const Entry& e : entries) {
+        if (total <= maxBytes_)
+            break;
+        if (!keep.empty() && e.path.filename().string() == keep)
+            continue;
+        if (fs::remove(e.path, ec)) {
+            total -= e.bytes;
+            ++evicted;
+        }
+    }
+    counters_.evictions += evicted;
+    return evicted;
+}
+
+std::uint64_t SnapshotCache::totalBytes() const
+{
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const fs::directory_entry& e : fs::directory_iterator(dir_, ec))
+        if (isEntry(e))
+            total += e.file_size(ec);
+    return total;
+}
+
+} // namespace dscoh::snap

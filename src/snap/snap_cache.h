@@ -1,0 +1,78 @@
+// A shared, size-bounded snapshot store.
+//
+// The produce-phase snapshot cache started life as "a directory of .snap
+// files": every writer published atomically and every reader either hit or
+// missed, which is already safe across processes. What a *service* sharing
+// that directory across tenants additionally needs is a byte budget — the
+// cache must not grow without bound under heavy traffic — and a safe way
+// to enforce it while several processes insert concurrently. SnapshotCache
+// wraps the directory with exactly that:
+//
+//  - lookups bump the entry's LRU stamp (its mtime), so recency is shared
+//    across every process using the directory;
+//  - inserts publish atomically (temp + rename) and then evict
+//    oldest-stamp entries until the directory fits the budget again;
+//  - eviction runs under an advisory flock(2) on "<dir>/.cache.lock", so
+//    two processes trimming at once never double-delete or race the scan.
+//
+// Evicting a file another process is mid-restore from is harmless on
+// POSIX: the open descriptor keeps the data alive, and a subsequent miss
+// just re-populates. The cache holds only derived data by construction
+// (snapshots of deterministic computations), so any entry is always safe
+// to drop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dscoh::snap {
+
+class SnapshotCache {
+public:
+    /// Uses (and creates, if needed) @p dir. @p maxBytes of 0 means
+    /// unbounded — the store degenerates to the plain shared directory.
+    /// Entry files are whatever callers name them; the lock file and
+    /// temporaries are excluded from the budget and from eviction.
+    explicit SnapshotCache(std::string dir, std::uint64_t maxBytes = 0);
+
+    const std::string& dir() const { return dir_; }
+    std::uint64_t maxBytes() const { return maxBytes_; }
+
+    /// Full path of entry @p file inside the store.
+    std::string pathFor(const std::string& file) const;
+
+    /// Hit test: true when the entry exists, refreshing its LRU stamp so
+    /// hot entries survive eviction. Counts a hit or a miss either way.
+    bool touch(const std::string& file);
+
+    /// Publishes @p contents as entry @p file (atomic temp + rename; a
+    /// concurrent insert of the same key leaves one valid file either
+    /// way), then evicts down to the byte budget. Throws SnapError on I/O
+    /// failure.
+    void insert(const std::string& file, const std::string& contents);
+
+    /// Oldest-stamp-first eviction until the store fits maxBytes (no-op
+    /// when unbounded). @p keep, when non-empty, names one entry exempt
+    /// from this pass (the insert that triggered it). Returns the number
+    /// of entries removed.
+    std::size_t evictToBudget(const std::string& keep = {});
+
+    /// Total bytes of entry files currently in the store.
+    std::uint64_t totalBytes() const;
+
+    /// Per-instance (not per-directory) traffic counters.
+    struct Counters {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+    };
+    const Counters& counters() const { return counters_; }
+
+private:
+    std::string dir_;
+    std::uint64_t maxBytes_ = 0;
+    Counters counters_;
+};
+
+} // namespace dscoh::snap

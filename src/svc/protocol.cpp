@@ -1,0 +1,88 @@
+#include "svc/protocol.h"
+
+#include "obs/json_lite.h"
+
+namespace dscoh::svc {
+
+namespace {
+
+std::string fail(const std::string& error)
+{
+    return "{\"ok\": false, \"error\": \"" + jsonEscape(error) + "\"}";
+}
+
+} // namespace
+
+std::string handleRequestLine(SweepService& svc, const std::string& line,
+                              bool* shutdown)
+{
+    std::string parseError;
+    const jsonlite::ValuePtr v = jsonlite::parse(line, parseError);
+    if (v == nullptr || !v->isObject())
+        return fail("bad protocol line: " +
+                    (parseError.empty() ? "not an object" : parseError));
+    const jsonlite::Value* op = v->get("op");
+    if (op == nullptr || !op->isString())
+        return fail("missing string field 'op'");
+
+    if (op->string == "ping")
+        return std::string("{\"ok\": true, \"schema\": \"") +
+               kProtocolSchema +
+               "\", \"workers\": " + std::to_string(svc.workers()) + "}";
+
+    if (op->string == "submit") {
+        const jsonlite::Value* reqVal = v->get("request");
+        if (reqVal == nullptr || !reqVal->isString())
+            return fail("submit needs a string field 'request' holding the "
+                        "rendered request object");
+        SweepRequest r;
+        std::string error;
+        if (!parseRequestJson(reqVal->string, &r, &error))
+            return fail(error);
+        std::string id;
+        if (!svc.submit(std::move(r), &id, &error))
+            return fail(error);
+        return "{\"ok\": true, \"id\": \"" + jsonEscape(id) +
+               "\", \"dir\": \"" + jsonEscape(svc.requestDir(id)) + "\"}";
+    }
+
+    if (op->string == "status" || op->string == "cancel") {
+        const jsonlite::Value* id = v->get("id");
+        if (id == nullptr || !id->isString())
+            return fail(op->string + " needs a string field 'id'");
+        std::string error;
+        if (op->string == "status") {
+            std::string status;
+            if (!svc.statusJson(id->string, &status, &error))
+                return fail(error);
+            while (!status.empty() && status.back() == '\n')
+                status.pop_back();
+            return "{\"ok\": true, \"status\": " + status + "}";
+        }
+        if (!svc.cancel(id->string, &error))
+            return fail(error);
+        return "{\"ok\": true, \"id\": \"" + jsonEscape(id->string) + "\"}";
+    }
+
+    if (op->string == "list")
+        return "{\"ok\": true, \"list\": " + svc.listJson() + "}";
+
+    if (op->string == "stats")
+        return "{\"ok\": true, \"stats\": " + svc.statsJson() + "}";
+
+    if (op->string == "drain") {
+        svc.drain();
+        return "{\"ok\": true}";
+    }
+
+    if (op->string == "shutdown") {
+        svc.beginShutdown();
+        if (shutdown != nullptr)
+            *shutdown = true;
+        return "{\"ok\": true}";
+    }
+
+    return fail("unknown op '" + op->string + "'");
+}
+
+} // namespace dscoh::svc

@@ -1,0 +1,38 @@
+// The dscoh-svc-v1 wire protocol: line-delimited JSON over a Unix-domain
+// stream socket.
+//
+// Each request is one JSON object on one line; each reply is one JSON
+// object on one line. Replies always carry "ok" (bool); failures add
+// "error" (string), successes add op-specific fields. Ops:
+//
+//   {"op": "ping"}                      -> {"ok": true, "schema": "dscoh-svc-v1", "workers": N}
+//   {"op": "submit", "request": "..."}  -> {"ok": true, "id": "r000001", "dir": "<stateDir>/jobs/r000001"}
+//       ("request" is a rendered SweepRequest object as a JSON string —
+//        the same document renderRequestJson() produces / spool files hold)
+//   {"op": "status", "id": "r000001"}   -> {"ok": true, "status": {<dscoh-progress-v2>}}
+//   {"op": "list"}                      -> {"ok": true, "list": {<dscoh-svc-list-v1>}}
+//   {"op": "cancel", "id": "r000001"}   -> {"ok": true, "id": "r000001"}
+//   {"op": "stats"}                     -> {"ok": true, "stats": {<dscoh-svc-stats-v1>}}
+//   {"op": "drain"}                     -> {"ok": true}   (blocks until idle)
+//   {"op": "shutdown"}                  -> {"ok": true}   (server exits after replying)
+//
+// The handler is a pure function of (service, line) so protocol tests need
+// no sockets; the socket server is a thin line pump around it.
+#pragma once
+
+#include <string>
+
+#include "svc/service.h"
+
+namespace dscoh::svc {
+
+inline constexpr char kProtocolSchema[] = "dscoh-svc-v1";
+
+/// Executes one protocol line against @p svc and returns the reply line
+/// (no trailing newline). Malformed input yields an ok:false reply, never
+/// a throw. Sets @p *shutdown (when non-null) on a shutdown op, after
+/// calling svc.beginShutdown().
+std::string handleRequestLine(SweepService& svc, const std::string& line,
+                              bool* shutdown);
+
+} // namespace dscoh::svc

@@ -1,0 +1,111 @@
+#include "svc/server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/errors.h"
+#include "svc/protocol.h"
+
+namespace dscoh::svc {
+
+namespace {
+
+int listenOn(const std::string& path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    ::unlink(path.c_str()); // the daemon owns this path; replace stale files
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(fd, 16) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/// Reads bytes until '\n' or EOF; false on error/timeout/overlong line.
+bool readLine(int fd, std::string* line)
+{
+    line->clear();
+    char c = 0;
+    while (line->size() < 1u << 20) {
+        const ssize_t n = ::recv(fd, &c, 1, 0);
+        if (n <= 0)
+            return false;
+        if (c == '\n')
+            return true;
+        line->push_back(c);
+    }
+    return false;
+}
+
+bool writeAll(int fd, const std::string& data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+int serveSocket(SweepService& svc, const ServerOptions& options,
+                const std::atomic<bool>& stop)
+{
+    const int listenFd = listenOn(options.socketPath);
+    if (listenFd < 0)
+        return kExitIo;
+
+    bool shutdown = false;
+    while (!shutdown && !stop.load()) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, options.pollMs);
+        if (ready < 0 && errno != EINTR)
+            break;
+        svc.scanSpool();
+        if (ready <= 0 || (pfd.revents & POLLIN) == 0)
+            continue;
+
+        const int conn = ::accept(listenFd, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        timeval tv{options.recvTimeoutMs / 1000,
+                   (options.recvTimeoutMs % 1000) * 1000};
+        ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+        std::string line;
+        while (!shutdown && readLine(conn, &line)) {
+            if (line.empty())
+                continue;
+            const std::string reply =
+                handleRequestLine(svc, line, &shutdown);
+            if (!writeAll(conn, reply + "\n"))
+                break;
+        }
+        ::close(conn);
+    }
+    if (stop.load())
+        svc.beginShutdown();
+    ::close(listenFd);
+    ::unlink(options.socketPath.c_str());
+    return kExitOk;
+}
+
+} // namespace dscoh::svc

@@ -1,0 +1,33 @@
+// Unix-domain socket front end for the sweep service.
+//
+// serveSocket() is the daemon's main loop: it listens on a stream socket,
+// pumps dscoh-svc-v1 lines through handleRequestLine(), and between
+// connections scans the spool directory so file-drop submission works with
+// no client at all. Connections are handled one at a time — the protocol
+// is strictly one-line-in / one-line-out, clients connect per call, and a
+// short receive timeout bounds how long a stalled peer can hold the loop.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "svc/service.h"
+
+namespace dscoh::svc {
+
+struct ServerOptions {
+    std::string socketPath;
+    /// poll() timeout between accepts; each timeout runs a spool scan.
+    int pollMs = 500;
+    /// Per-connection receive timeout (a wedged client gets dropped).
+    int recvTimeoutMs = 30000;
+};
+
+/// Runs the accept loop until a shutdown op arrives or @p stop becomes
+/// true (signal handlers set it). Replaces any stale socket file at
+/// @p socketPath (the daemon owns that path). Returns 0 on a clean stop,
+/// kExitIo when the socket cannot be created.
+int serveSocket(SweepService& svc, const ServerOptions& options,
+                const std::atomic<bool>& stop);
+
+} // namespace dscoh::svc

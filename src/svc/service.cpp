@@ -1,0 +1,521 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/config_io.h"
+#include "obs/json_lite.h"
+#include "snap/serializer.h"
+
+namespace fs = std::filesystem;
+
+namespace dscoh::svc {
+
+namespace {
+
+std::string readWholeFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/// Strips the trailing newline renderProgressJson() appends, for embedding
+/// progress documents inside larger JSON values.
+std::string chomp(std::string s)
+{
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+    return s;
+}
+
+void histogramJson(std::ostringstream& os, const char* name,
+                   const Histogram& h)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\": {\"samples\": %llu, \"mean\": %.1f, "
+                  "\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, "
+                  "\"max\": %llu}",
+                  name, static_cast<unsigned long long>(h.samples()),
+                  h.mean(), h.percentile(50.0), h.percentile(90.0),
+                  h.percentile(99.0),
+                  static_cast<unsigned long long>(h.max()));
+    os << buf;
+}
+
+} // namespace
+
+SweepService::SweepService(const ServiceOptions& options) : opts_(options)
+{
+    if (opts_.stateDir.empty())
+        throw std::runtime_error("sweep service: stateDir is required");
+    std::error_code ec;
+    for (const std::string sub : {"", "/jobs", "/cache", "/spool"}) {
+        fs::create_directories(opts_.stateDir + sub, ec);
+        if (ec)
+            throw std::runtime_error("sweep service: cannot create " +
+                                     opts_.stateDir + sub + ": " +
+                                     ec.message());
+    }
+    sched_ = FairScheduler(opts_.maxQueuedJobs);
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        recover();
+    }
+    engine_ = std::make_unique<ResidentEngine>(
+        opts_.workers, [this] { return pullNext(); });
+}
+
+SweepService::~SweepService()
+{
+    beginShutdown();
+    engine_.reset(); // joins the pool
+}
+
+unsigned SweepService::workers() const
+{
+    return engine_ ? engine_->threads() : 0;
+}
+
+std::string SweepService::requestDir(const std::string& id) const
+{
+    return opts_.stateDir + "/jobs/" + id;
+}
+
+std::string SweepService::journalPath(const std::string& id) const
+{
+    return requestDir(id) + "/journal";
+}
+
+void SweepService::walAppendLocked(const std::string& line)
+{
+    std::ofstream out(opts_.stateDir + "/svc.journal", std::ios::app);
+    out << line << "\n";
+    out.flush();
+}
+
+void SweepService::recover()
+{
+    // Pass 1: find every accepted request and its latest terminal event.
+    const std::string wal = readWholeFile(opts_.stateDir + "/svc.journal");
+    std::vector<SweepRequest> accepted; // WAL order
+    std::map<std::string, std::string> terminal;
+    std::istringstream lines(wal);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        std::string err;
+        const jsonlite::ValuePtr v = jsonlite::parse(line, err);
+        if (v == nullptr || !v->isObject())
+            continue; // torn final line from a kill — ignore
+        const jsonlite::Value* ev = v->get("event");
+        const jsonlite::Value* id = v->get("id");
+        if (ev == nullptr || !ev->isString() || id == nullptr ||
+            !id->isString())
+            continue;
+        if (ev->string == "accepted") {
+            const jsonlite::Value* reqVal = v->get("request");
+            SweepRequest r;
+            // The request is embedded as an object; re-render it so the
+            // existing parser applies (requests are tiny).
+            std::string reqErr;
+            if (reqVal == nullptr)
+                continue;
+            // jsonlite has no serializer; the WAL stores the request
+            // pre-rendered as a string field instead.
+            if (!reqVal->isString() ||
+                !parseRequestJson(reqVal->string, &r, &reqErr))
+                continue;
+            r.id = id->string;
+            accepted.push_back(std::move(r));
+        } else {
+            terminal[id->string] = ev->string;
+        }
+    }
+
+    // Pass 2: re-admit everything with no terminal line, in WAL order, so
+    // ids and scheduling order replay deterministically.
+    for (SweepRequest& r : accepted) {
+        // Keep nextId_ ahead of every id ever issued, terminal or not.
+        unsigned long long n = 0;
+        if (r.id.size() > 1 &&
+            std::sscanf(r.id.c_str(), "r%llu", &n) == 1)
+            nextId_ = std::max<std::uint64_t>(nextId_, n + 1);
+        if (terminal.count(r.id) != 0)
+            continue;
+        std::string idOut, err;
+        if (!admitLocked(std::move(r), /*fromWal=*/true, &idOut, &err))
+            // An unreplayable request (e.g. a benchmark removed between
+            // versions) is terminally failed rather than wedged forever.
+            walAppendLocked("{\"event\": \"failed\", \"id\": \"" +
+                            jsonEscape(idOut) + "\"}");
+    }
+}
+
+bool SweepService::submit(SweepRequest r, std::string* idOut,
+                          std::string* error)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || draining_) {
+        *error = "service is shutting down";
+        return false;
+    }
+    r.id.clear(); // ids are assigned here, never by the client
+    return admitLocked(std::move(r), /*fromWal=*/false, idOut, error);
+}
+
+bool SweepService::admitLocked(SweepRequest r, bool fromWal,
+                               std::string* idOut, std::string* error)
+{
+    RequestState rs;
+    *idOut = r.id;
+    if (!expandJobs(r, &rs.jobs, error))
+        return false;
+    if (r.id.empty()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "r%06llu",
+                      static_cast<unsigned long long>(nextId_++));
+        r.id = buf;
+    }
+    const std::string id = r.id;
+
+    rs.hashes.reserve(rs.jobs.size());
+    for (const ExperimentJob& j : rs.jobs)
+        rs.hashes.push_back(configHashOf(j.config));
+    rs.results.resize(rs.jobs.size());
+
+    // Anything this request's journal already covers (recovery, or a crash
+    // straight after the last job) is replayed, not re-simulated.
+    const std::vector<std::size_t> pending =
+        replayJournal(rs.jobs, rs.hashes, journalPath(id), &rs.results);
+    rs.done = rs.jobs.size() - pending.size();
+    for (const ExperimentResult& res : rs.results)
+        if (res.fromJournal && !res.ok)
+            ++rs.failed;
+    rs.remaining = pending.size();
+    rs.req = r;
+    rs.admittedAt = std::chrono::steady_clock::now();
+
+    if (!pending.empty()) {
+        if (!sched_.enqueue(id, r.tenant, r.priority, r.weight,
+                            pending.size(), error))
+            return false; // backpressure: nothing recorded
+        // enqueue() numbers units 0..n-1; map them back to job indices.
+        // FairScheduler hands out unit k for this request exactly once, so
+        // unit k IS pending[k].
+    }
+
+    std::error_code ec;
+    fs::create_directories(requestDir(id), ec);
+    if (!fromWal) {
+        snap::atomicWriteFile(requestDir(id) + "/request.json",
+                              renderRequestJson(r) + "\n");
+        walAppendLocked("{\"event\": \"accepted\", \"id\": \"" +
+                        jsonEscape(id) + "\", \"request\": \"" +
+                        jsonEscape(renderRequestJson(r)) + "\"}");
+    }
+
+    auto [it, inserted] = requests_.emplace(id, std::move(rs));
+    RequestState& state = it->second;
+    if (state.remaining == 0) {
+        // Fully covered by the journal (crash between the last journal
+        // line and publication): publish immediately.
+        finishLocked(id, state);
+    } else {
+        publishStatusLocked(id, state);
+    }
+    *idOut = id;
+    cv_.notify_all();
+    return true;
+}
+
+std::optional<ResidentEngine::Admitted> SweepService::pullNext()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (stop_)
+            return std::nullopt;
+        if (std::optional<JobUnit> unit = sched_.next()) {
+            auto it = requests_.find(unit->requestId);
+            if (it == requests_.end())
+                continue; // cancelled between enqueue and dispatch
+            RequestState& rs = it->second;
+            // The scheduler numbers this request's units 0..n-1 in the
+            // order enqueued — map unit k to the k-th pending job index.
+            std::size_t jobIndex = 0, seen = 0;
+            for (std::size_t i = 0; i < rs.results.size(); ++i) {
+                if (rs.results[i].fromJournal)
+                    continue;
+                if (seen++ == unit->jobIndex) {
+                    jobIndex = i;
+                    break;
+                }
+            }
+            if (rs.state == "queued") {
+                rs.state = "running";
+                publishStatusLocked(unit->requestId, rs);
+            }
+            ++inflight_;
+
+            ResidentEngine::Admitted a;
+            a.job = rs.jobs[jobIndex];
+            a.configHash = rs.hashes[jobIndex];
+            a.options.snapDir = requestDir(unit->requestId);
+            a.options.produceCacheDir = opts_.stateDir + "/cache";
+            a.options.forkProduce = opts_.forkProduce;
+            a.options.produceCacheMaxBytes = opts_.cacheMaxBytes;
+            a.options.jobCheckpoint = opts_.jobCheckpoints;
+            a.options.resumeCheckpoint = opts_.jobCheckpoints;
+            const std::string id = unit->requestId;
+            a.done = [this, id, jobIndex](ExperimentResult&& r) {
+                onJobDone(id, jobIndex, std::move(r));
+            };
+            return a;
+        }
+        cv_.wait(lock);
+    }
+}
+
+void SweepService::onJobDone(const std::string& id, std::size_t jobIndex,
+                             ExperimentResult&& r)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    auto it = requests_.find(id);
+    if (it == requests_.end()) {
+        cv_.notify_all();
+        return;
+    }
+    RequestState& rs = it->second;
+
+    jobLatencyMs_.sample(static_cast<std::uint64_t>(r.wallSeconds * 1e3));
+    if (opts_.forkProduce) {
+        if (r.produceTicksSaved > 0)
+            ++cacheHits_;
+        else
+            ++cacheMisses_;
+    }
+
+    rs.results[jobIndex] = std::move(r);
+    {
+        // Same append-and-flush discipline as the batch engine: the
+        // journal gains the line before counters advance, so a kill here
+        // replays the job instead of losing it.
+        std::ofstream out(journalPath(id), std::ios::app);
+        out << journalLine(rs.results[jobIndex], rs.hashes[jobIndex]);
+        out.flush();
+    }
+    ++rs.done;
+    if (!rs.results[jobIndex].ok)
+        ++rs.failed;
+    --rs.remaining;
+
+    if (rs.remaining == 0)
+        finishLocked(id, rs);
+    else
+        publishStatusLocked(id, rs);
+    cv_.notify_all();
+}
+
+void SweepService::finishLocked(const std::string& id, RequestState& rs)
+{
+    const bool cancelled = rs.state == "cancelled";
+    if (!cancelled) {
+        // Order matters for crash safety: publish results first, then the
+        // WAL terminal line, then dispose of the journal. A kill between
+        // any two steps re-runs only replay + republication, which is
+        // byte-identical by engine determinism.
+        writeResultsJsonAtomic(requestDir(id) + "/results.json",
+                               rs.results);
+        rs.state = rs.failed != 0 ? "failed" : "done";
+    }
+    walAppendLocked("{\"event\": \"" + rs.state + "\", \"id\": \"" +
+                    jsonEscape(id) + "\"}");
+    finalizeJournal(journalPath(id), rs.failed != 0);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - rs.admittedAt)
+            .count();
+    requestLatencyMs_.sample(static_cast<std::uint64_t>(ms));
+    publishStatusLocked(id, rs);
+}
+
+ProgressSnapshot SweepService::snapshotLocked(const std::string& id,
+                                              const RequestState& rs) const
+{
+    ProgressSnapshot s;
+    s.total = rs.jobs.size();
+    s.done = rs.done;
+    s.failed = rs.failed;
+    s.elapsedSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - rs.admittedAt)
+                           .count();
+    s.state = rs.state;
+    s.id = id;
+    s.tenant = rs.req.tenant;
+    return s;
+}
+
+void SweepService::publishStatusLocked(const std::string& id,
+                                       const RequestState& rs) const
+{
+    snap::atomicWriteFile(requestDir(id) + "/status.json",
+                          renderProgressJson(snapshotLocked(id, rs)));
+}
+
+bool SweepService::statusJson(const std::string& id, std::string* out,
+                              std::string* error) const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = requests_.find(id);
+    if (it == requests_.end()) {
+        *error = "unknown request id '" + id + "'";
+        return false;
+    }
+    *out = renderProgressJson(snapshotLocked(id, it->second));
+    return true;
+}
+
+std::string SweepService::listJson() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    os << "{\"schema\": \"dscoh-svc-list-v1\", \"requests\": [";
+    bool first = true;
+    for (const auto& [id, rs] : requests_) {
+        os << (first ? "" : ", ")
+           << chomp(renderProgressJson(snapshotLocked(id, rs)));
+        first = false;
+    }
+    os << "]}";
+    return os.str();
+}
+
+bool SweepService::cancel(const std::string& id, std::string* error)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = requests_.find(id);
+    if (it == requests_.end()) {
+        *error = "unknown request id '" + id + "'";
+        return false;
+    }
+    RequestState& rs = it->second;
+    if (rs.state == "done" || rs.state == "failed" ||
+        rs.state == "cancelled") {
+        *error = "request " + id + " is already " + rs.state;
+        return false;
+    }
+    const std::size_t dropped = sched_.cancel(id);
+    rs.remaining -= dropped;
+    rs.state = "cancelled";
+    if (rs.remaining == 0)
+        finishLocked(id, rs); // nothing in flight: terminal now
+    else
+        publishStatusLocked(id, rs); // in-flight jobs finish, then terminal
+    cv_.notify_all();
+    return true;
+}
+
+std::string SweepService::statsJson() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t queued = 0, running = 0, done = 0, failed = 0,
+                cancelled = 0;
+    for (const auto& [id, rs] : requests_) {
+        if (rs.state == "queued")
+            ++queued;
+        else if (rs.state == "running")
+            ++running;
+        else if (rs.state == "done")
+            ++done;
+        else if (rs.state == "failed")
+            ++failed;
+        else if (rs.state == "cancelled")
+            ++cancelled;
+    }
+    std::ostringstream os;
+    os << "{\"schema\": \"dscoh-svc-stats-v1\", \"queuedJobs\": "
+       << sched_.queuedJobs() << ", \"runningJobs\": " << inflight_
+       << ", \"workers\": " << (engine_ ? engine_->threads() : 0)
+       << ", \"requests\": {\"total\": " << requests_.size()
+       << ", \"queued\": " << queued << ", \"running\": " << running
+       << ", \"done\": " << done << ", \"failed\": " << failed
+       << ", \"cancelled\": " << cancelled << "}"
+       << ", \"produceCache\": {\"hits\": " << cacheHits_
+       << ", \"misses\": " << cacheMisses_ << "}";
+    os << ", \"tenants\": [";
+    bool first = true;
+    for (const FairScheduler::TenantShare& s : sched_.shares()) {
+        os << (first ? "" : ", ") << "{\"tenant\": \""
+           << jsonEscape(s.tenant) << "\", \"weight\": " << s.weight
+           << ", \"queued\": " << s.queued
+           << ", \"dispatched\": " << s.dispatched << "}";
+        first = false;
+    }
+    os << "], ";
+    histogramJson(os, "jobLatencyMs", jobLatencyMs_);
+    os << ", ";
+    histogramJson(os, "requestLatencyMs", requestLatencyMs_);
+    os << "}";
+    return os.str();
+}
+
+void SweepService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true; // rejects new submits while we wait
+    cv_.wait(lock, [this] {
+        return sched_.queuedJobs() == 0 && inflight_ == 0;
+    });
+    // Idle reached; the service accepts work again (a drain is a fence,
+    // not a shutdown — dscoh_client drain between batches must not wedge
+    // the daemon).
+    draining_ = false;
+}
+
+void SweepService::beginShutdown()
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+}
+
+std::size_t SweepService::scanSpool()
+{
+    const std::string spool = opts_.stateDir + "/spool";
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const fs::directory_entry& e : fs::directory_iterator(spool, ec)) {
+        const std::string name = e.path().filename().string();
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    std::size_t admitted = 0;
+    for (const std::string& path : files) {
+        SweepRequest r;
+        std::string id, error;
+        const bool ok = parseRequestJson(readWholeFile(path), &r, &error) &&
+                        submit(std::move(r), &id, &error);
+        if (ok) {
+            ++admitted;
+            fs::remove(path, ec);
+        } else {
+            fs::rename(path, path + ".rejected", ec);
+            snap::atomicWriteFile(path + ".error", error + "\n");
+        }
+    }
+    return admitted;
+}
+
+} // namespace dscoh::svc

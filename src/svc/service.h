@@ -1,0 +1,186 @@
+// The sweep service: a resident, multi-tenant front end to the
+// ExperimentEngine.
+//
+// SweepService owns everything between "a tenant submitted a request" and
+// "that request's results.json is published": admission (expansion +
+// bounded-queue backpressure), scheduling (FairScheduler, per-job
+// granularity), execution (ResidentEngine worker pool), the shared
+// produce-phase snapshot cache, per-request crash journals, and a
+// service-level write-ahead journal so a SIGKILLed daemon restarts into
+// exactly the queue it was killed with.
+//
+// Durability contract (the PR's keystone): every admitted request
+// eventually publishes a results.json byte-identical to what a fresh,
+// uninterrupted run of the same request would publish — no matter how many
+// times the daemon is killed and restarted in between. The pieces:
+//
+//   1. Admission appends an "accepted" WAL line embedding the full request
+//      BEFORE the request is queued; terminal states append "done" /
+//      "failed" / "cancelled" AFTER results are published. Recovery
+//      re-admits every request with no terminal line.
+//   2. Each request has its own completed-job journal (jobs/<id>/journal,
+//      the PR 4 format); recovery replays it so finished jobs are never
+//      re-simulated, and in-flight jobs restart from their rolling phase
+//      checkpoint.
+//   3. Engine determinism (results in submission order, bit-identical
+//      across thread counts, restore-determinism for checkpoints) makes
+//      the replayed+resumed result stream identical to the uninterrupted
+//      one.
+//
+// State directory layout:
+//   <stateDir>/svc.journal        service WAL (JSON lines)
+//   <stateDir>/jobs/<id>/         per-request: request.json, journal,
+//                                 status.json, results.json
+//   <stateDir>/cache/             shared produce-phase snapshot cache
+//   <stateDir>/spool/             drop-a-file request intake
+//
+// Thread safety: every public method is safe to call from any thread
+// (protocol handler, spool scanner, tests); internal state is guarded by
+// one mutex, and job execution happens outside it on the worker pool.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment_engine.h"
+#include "exp/progress.h"
+#include "sim/stats.h"
+#include "svc/request.h"
+#include "svc/scheduler.h"
+
+namespace dscoh::svc {
+
+struct ServiceOptions {
+    std::string stateDir;
+    /// Worker threads (0 = hardware concurrency).
+    unsigned workers = 0;
+    /// Backpressure: max queued-but-undispatched jobs across all tenants
+    /// (0 = unbounded). Submits that would exceed it are rejected.
+    std::size_t maxQueuedJobs = 0;
+    /// Share the CPU produce phase across tenants through the cache dir.
+    bool forkProduce = true;
+    /// Byte budget for that cache (0 = unbounded), LRU-evicted.
+    std::uint64_t cacheMaxBytes = 0;
+    /// Per-job produce checkpoints inside each request dir. The WAL plus
+    /// the per-request journal already resume at job granularity; this
+    /// only saves re-running the one job a crash interrupted, at a
+    /// snapshot write per job — too slow to be the default.
+    bool jobCheckpoints = false;
+};
+
+class SweepService {
+public:
+    /// Creates the state directory tree, replays the WAL (re-admitting
+    /// every non-terminal request), and starts the worker pool. Throws
+    /// std::runtime_error when the state dir cannot be created.
+    explicit SweepService(const ServiceOptions& options);
+    /// Finishes in-flight jobs (queued ones stay journaled for the next
+    /// start), then joins the pool. Prefer drain() first for a clean stop.
+    ~SweepService();
+
+    SweepService(const SweepService&) = delete;
+    SweepService& operator=(const SweepService&) = delete;
+
+    /// Admits a request: validates (expandJobs), assigns the next id,
+    /// journals it, queues its jobs. On success returns true and fills
+    /// @p r.id (also echoed via @p idOut). Rejections (bad request, queue
+    /// full, draining) leave the service untouched.
+    bool submit(SweepRequest r, std::string* idOut, std::string* error);
+
+    /// One-line dscoh-progress-v2 document for the request, or false +
+    /// @p error for an unknown id.
+    bool statusJson(const std::string& id, std::string* out,
+                    std::string* error) const;
+
+    /// Every known request as a JSON array document (dscoh-svc-list-v1),
+    /// ordered by id.
+    std::string listJson() const;
+
+    /// Drops the request's still-queued jobs; running jobs complete but
+    /// the request finishes "cancelled" and publishes no results. False
+    /// for unknown or already-terminal ids.
+    bool cancel(const std::string& id, std::string* error);
+
+    /// Service counters: queue depth, per-tenant shares, produce-cache
+    /// hits, job/request latency histograms (dscoh-svc-stats-v1).
+    std::string statsJson() const;
+
+    /// Stops admission and blocks until every queued and running job has
+    /// finished. Safe to call repeatedly; submit() fails while draining.
+    void drain();
+
+    /// Stops handing out work (running jobs still complete; queued jobs
+    /// remain journaled for the next start). Returns immediately; the
+    /// destructor joins the pool.
+    void beginShutdown();
+
+    /// Scans <stateDir>/spool for "*.json" request files (sorted by name),
+    /// submitting each and deleting it; malformed/rejected files are
+    /// renamed "<name>.rejected" with the reason in "<name>.error".
+    /// Returns the number of requests admitted.
+    std::size_t scanSpool();
+
+    /// The request directory for @p id (where results.json lands).
+    std::string requestDir(const std::string& id) const;
+
+    unsigned workers() const;
+
+private:
+    struct RequestState {
+        SweepRequest req;
+        std::vector<ExperimentJob> jobs;
+        std::vector<std::uint64_t> hashes;
+        std::vector<ExperimentResult> results;
+        std::size_t done = 0;   ///< completed jobs (replayed ones included)
+        std::size_t failed = 0;
+        /// Queued + running jobs still owed; terminal when it reaches 0.
+        std::size_t remaining = 0;
+        /// queued | running | done | failed | cancelled
+        std::string state = "queued";
+        std::chrono::steady_clock::time_point admittedAt;
+    };
+
+    /// Re-admits every non-terminal WAL request (locked ctor context).
+    void recover();
+    /// Core admission; assumes @p mu_ is held. @p fromWal skips the WAL
+    /// append (the line is already there) and preserves r.id.
+    bool admitLocked(SweepRequest r, bool fromWal, std::string* idOut,
+                     std::string* error);
+    /// Marks terminal state, publishes results, appends the WAL terminal
+    /// line, finalizes the journal. Assumes @p mu_ is held.
+    void finishLocked(const std::string& id, RequestState& rs);
+    void publishStatusLocked(const std::string& id,
+                             const RequestState& rs) const;
+    ProgressSnapshot snapshotLocked(const std::string& id,
+                                    const RequestState& rs) const;
+    void walAppendLocked(const std::string& line);
+    std::optional<ResidentEngine::Admitted> pullNext();
+    void onJobDone(const std::string& id, std::size_t jobIndex,
+                   ExperimentResult&& r);
+    std::string journalPath(const std::string& id) const;
+
+    ServiceOptions opts_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    bool draining_ = false;
+    std::uint64_t nextId_ = 1;
+    std::size_t inflight_ = 0;
+    FairScheduler sched_;
+    std::map<std::string, RequestState> requests_;
+    std::uint64_t cacheHits_ = 0;
+    std::uint64_t cacheMisses_ = 0;
+    Histogram jobLatencyMs_{100, 64};     ///< per-job wall ms
+    Histogram requestLatencyMs_{500, 64}; ///< admit-to-publish wall ms
+    /// Last member: workers start pulling the moment this constructs.
+    std::unique_ptr<ResidentEngine> engine_;
+};
+
+} // namespace dscoh::svc

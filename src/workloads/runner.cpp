@@ -8,6 +8,7 @@
 #include "check/coherence_checker.h"
 #include "sim/errors.h"
 #include "snap/serializer.h"
+#include "snap/snap_cache.h"
 
 namespace dscoh {
 
@@ -52,15 +53,22 @@ void WorkloadRun::build()
 
 WorkloadRun::~WorkloadRun() = default;
 
+std::string WorkloadRun::produceCacheFile(std::uint64_t configHash,
+                                          const std::string& code,
+                                          InputSize size)
+{
+    std::ostringstream os;
+    os << "produce-" << std::hex << std::setw(16) << std::setfill('0')
+       << configHash << "-" << code << "-" << to_string(size) << ".snap";
+    return os.str();
+}
+
 std::string WorkloadRun::produceCachePath(const std::string& dir,
                                           std::uint64_t configHash,
                                           const std::string& code,
                                           InputSize size)
 {
-    std::ostringstream os;
-    os << dir << "/produce-" << std::hex << std::setw(16) << std::setfill('0')
-       << configHash << "-" << code << "-" << to_string(size) << ".snap";
-    return os.str();
+    return dir + "/" + produceCacheFile(configHash, code, size);
 }
 
 void WorkloadRun::writeCheckpoint(const std::string& path) const
@@ -170,10 +178,15 @@ void WorkloadRun::afterPhase(std::size_t phase)
 
     if (phase == 0 && !opts_.produceCacheDir.empty() && restoredAt_ == 0) {
         // Populate the fork-after-produce cache (atomic write: concurrent
-        // sweep jobs racing on the same key both publish a valid file).
-        writeCheckpoint(produceCachePath(opts_.produceCacheDir,
-                                         sys_->configHash(),
-                                         workload_.info().code, size_));
+        // sweep jobs racing on the same key both publish a valid file),
+        // then trim the shared store back under its byte budget — the
+        // fresh entry itself is exempt from this eviction pass.
+        snap::SnapshotCache cache(opts_.produceCacheDir,
+                                  opts_.produceCacheMaxBytes);
+        const std::string file = produceCacheFile(
+            sys_->configHash(), workload_.info().code, size_);
+        writeCheckpoint(cache.pathFor(file));
+        cache.evictToBudget(file);
     }
     if (!opts_.phaseCheckpointPath.empty() && phasesDone_ < phaseCount())
         writeCheckpoint(opts_.phaseCheckpointPath);
@@ -198,10 +211,14 @@ WorkloadRunResult WorkloadRun::run()
         restored = tryRestore(opts_.restoreFrom,
                               /*required=*/!opts_.restoreOptional);
     if (!restored && !opts_.produceCacheDir.empty()) {
-        const std::string cached =
-            produceCachePath(opts_.produceCacheDir, sys_->configHash(),
-                             workload_.info().code, size_);
-        if (tryRestore(cached, /*required=*/false))
+        snap::SnapshotCache cache(opts_.produceCacheDir,
+                                  opts_.produceCacheMaxBytes);
+        const std::string file = produceCacheFile(
+            sys_->configHash(), workload_.info().code, size_);
+        // touch() refreshes the entry's shared LRU stamp on a hit, so
+        // entries hot across tenants survive eviction.
+        if (cache.touch(file) &&
+            tryRestore(cache.pathFor(file), /*required=*/false))
             produceTicksSaved_ = restoredAt_;
     }
     if (opts_.beforeFirstPhase)

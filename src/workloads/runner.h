@@ -77,7 +77,12 @@ struct WorkloadRunOptions {
     /// Fork-after-produce: directory of produce-phase snapshots keyed by
     /// (config hash, workload, size). A hit skips the produce phase
     /// entirely; a miss runs it and populates the cache. Empty = off.
+    /// The directory is a snap::SnapshotCache — shared across processes,
+    /// with hits refreshing the entry's LRU stamp.
     std::string produceCacheDir;
+    /// Byte budget for that cache (0 = unbounded): after each populate,
+    /// oldest-stamp entries are evicted until the directory fits.
+    std::uint64_t produceCacheMaxBytes = 0;
 
     /// No-progress watchdog: abort (std::runtime_error) when this many
     /// ticks pass without a single event executing while work is still
@@ -133,6 +138,11 @@ public:
     /// sweeps can report / prune the cache).
     static std::string produceCachePath(const std::string& dir,
                                         std::uint64_t configHash,
+                                        const std::string& code,
+                                        InputSize size);
+    /// The bare cache-entry name produceCachePath() appends to the dir
+    /// (the key format of the shared snap::SnapshotCache).
+    static std::string produceCacheFile(std::uint64_t configHash,
                                         const std::string& code,
                                         InputSize size);
 

@@ -4,9 +4,12 @@
 // the stream writer's bytes.
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -156,6 +159,126 @@ TEST(EngineResume, AtomicResultsWriterMatchesStreamWriter)
     writeResultsJsonAtomic(path, results);
     EXPECT_EQ(slurp(path), resultsJson(results));
     std::remove(path.c_str());
+}
+
+TEST(EngineResume, ReplayJournalReportsExactlyTheOwedJobs)
+{
+    const std::vector<ExperimentJob> jobs = smallBatch();
+    const std::vector<ExperimentResult> ran = ExperimentEngine(2).run(jobs);
+    std::vector<std::uint64_t> hashes;
+    for (const ExperimentJob& j : jobs)
+        hashes.push_back(configHashOf(j.config));
+
+    // Journal jobs 0 and 2 only; replay must fill exactly those slots and
+    // return {1, 3} as still owed.
+    const std::string path = testing::TempDir() + "replay_partial.journal";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << journalLine(ran[0], hashes[0]);
+        out << journalLine(ran[2], hashes[2]);
+    }
+    std::vector<ExperimentResult> results(jobs.size());
+    const std::vector<std::size_t> pending =
+        replayJournal(jobs, hashes, path, &results);
+    EXPECT_EQ(pending, (std::vector<std::size_t>{1, 3}));
+    EXPECT_TRUE(results[0].fromJournal);
+    EXPECT_FALSE(results[1].fromJournal);
+    EXPECT_TRUE(results[2].fromJournal);
+    EXPECT_EQ(results[2].job.code, jobs[2].code);
+    std::remove(path.c_str());
+
+    // No journal at all: everything is owed.
+    std::vector<ExperimentResult> fresh(jobs.size());
+    EXPECT_EQ(replayJournal(jobs, hashes,
+                            testing::TempDir() + "replay_none.journal",
+                            &fresh)
+                  .size(),
+              jobs.size());
+}
+
+TEST(EngineResume, FinalizeJournalKeepsFailedSweepsReplayable)
+{
+    const std::string path = testing::TempDir() + "finalize.journal";
+
+    // Failure: the journal survives, renamed .failed (regression: it used
+    // to be deleted unconditionally, losing the failure set with it).
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"code\": \"VA\"}\n";
+    }
+    finalizeJournal(path, /*hadFailures=*/true);
+    EXPECT_FALSE(fs::exists(path));
+    ASSERT_TRUE(fs::exists(path + ".failed"));
+    EXPECT_EQ(slurp(path + ".failed"), "{\"code\": \"VA\"}\n");
+
+    // A later failed sweep replaces the kept journal atomically.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"code\": \"NN\"}\n";
+    }
+    finalizeJournal(path, true);
+    EXPECT_EQ(slurp(path + ".failed"), "{\"code\": \"NN\"}\n");
+
+    // Success: the journal is simply deleted.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"code\": \"BP\"}\n";
+    }
+    finalizeJournal(path, /*hadFailures=*/false);
+    EXPECT_FALSE(fs::exists(path));
+
+    // Missing file and empty path are no-ops, not errors.
+    finalizeJournal(path, false);
+    finalizeJournal(path, true);
+    finalizeJournal("", false);
+    std::remove((path + ".failed").c_str());
+}
+
+TEST(EngineResume, ResidentEngineDrainsASourceAndRetires)
+{
+    // The service's execution substrate: a pool pulling from a blocking
+    // source must run every admitted job exactly once, report through the
+    // per-job callback, and retire cleanly when the source dries up.
+    const std::vector<ExperimentJob> jobs = smallBatch();
+    std::vector<std::uint64_t> hashes;
+    for (const ExperimentJob& j : jobs)
+        hashes.push_back(configHashOf(j.config));
+
+    std::mutex mu;
+    std::size_t nextJob = 0;
+    std::vector<ExperimentResult> results(jobs.size());
+    std::size_t doneCount = 0;
+    std::condition_variable cv;
+    {
+        ResidentEngine engine(
+            2, [&]() -> std::optional<ResidentEngine::Admitted> {
+                const std::lock_guard<std::mutex> lock(mu);
+                if (nextJob >= jobs.size())
+                    return std::nullopt; // retire the worker
+                const std::size_t i = nextJob++;
+                ResidentEngine::Admitted a;
+                a.job = jobs[i];
+                a.configHash = hashes[i];
+                a.done = [&, i](ExperimentResult&& r) {
+                    const std::lock_guard<std::mutex> lock2(mu);
+                    results[i] = std::move(r);
+                    ++doneCount;
+                    cv.notify_all();
+                };
+                return a;
+            });
+        EXPECT_EQ(engine.threads(), 2u);
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return doneCount == jobs.size(); });
+    } // ~ResidentEngine joins against the dried-up source
+
+    const std::vector<ExperimentResult> reference =
+        ExperimentEngine(2).run(jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(results[i].ok) << results[i].error;
+        EXPECT_EQ(results[i].run.metrics.ticks,
+                  reference[i].run.metrics.ticks);
+    }
 }
 
 TEST(EngineResume, ForkProduceSecondSweepSkipsProduceTicks)

@@ -1,0 +1,154 @@
+// SnapshotCache: the shared, size-bounded store under the produce-phase
+// cache. Pins the budget/eviction/LRU semantics the sweep service depends
+// on when many tenants pound one directory.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "snap/snap_cache.h"
+
+namespace dscoh::snap {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+public:
+    explicit ScratchDir(const std::string& name)
+        : path_(testing::TempDir() + name)
+    {
+        fs::remove_all(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+/// Backdates an entry's LRU stamp so eviction order is deterministic
+/// without sleeping.
+void ageEntry(const SnapshotCache& cache, const std::string& file,
+              int seconds)
+{
+    const fs::path p = cache.pathFor(file);
+    fs::last_write_time(p, fs::last_write_time(p) -
+                               std::chrono::seconds(seconds));
+}
+
+TEST(SnapshotCache, InsertThenTouchIsAHit)
+{
+    ScratchDir dir("snap_cache_hit");
+    SnapshotCache cache(dir.path());
+    EXPECT_FALSE(cache.touch("a.snap"));
+    cache.insert("a.snap", "payload");
+    EXPECT_TRUE(cache.touch("a.snap"));
+    EXPECT_EQ(cache.counters().hits, 1u);
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().inserts, 1u);
+    std::ifstream in(cache.pathFor("a.snap"));
+    std::string contents;
+    std::getline(in, contents);
+    EXPECT_EQ(contents, "payload");
+}
+
+TEST(SnapshotCache, UnboundedStoreNeverEvicts)
+{
+    ScratchDir dir("snap_cache_unbounded");
+    SnapshotCache cache(dir.path(), 0);
+    cache.insert("a.snap", std::string(4096, 'a'));
+    cache.insert("b.snap", std::string(4096, 'b'));
+    EXPECT_EQ(cache.evictToBudget(), 0u);
+    EXPECT_EQ(cache.totalBytes(), 8192u);
+}
+
+TEST(SnapshotCache, EvictsOldestStampFirstDownToBudget)
+{
+    ScratchDir dir("snap_cache_lru");
+    SnapshotCache cache(dir.path(), 10000);
+    cache.insert("old.snap", std::string(4096, 'o'));
+    cache.insert("mid.snap", std::string(4096, 'm'));
+    ageEntry(cache, "old.snap", 200);
+    ageEntry(cache, "mid.snap", 100);
+    // Third insert overflows the 10000-byte budget; the oldest entry goes.
+    cache.insert("new.snap", std::string(4096, 'n'));
+    EXPECT_FALSE(cache.touch("old.snap"));
+    EXPECT_TRUE(cache.touch("mid.snap"));
+    EXPECT_TRUE(cache.touch("new.snap"));
+    EXPECT_LE(cache.totalBytes(), 10000u);
+    EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(SnapshotCache, TouchRefreshesTheLruStamp)
+{
+    ScratchDir dir("snap_cache_refresh");
+    SnapshotCache cache(dir.path(), 10000);
+    cache.insert("a.snap", std::string(4096, 'a'));
+    cache.insert("b.snap", std::string(4096, 'b'));
+    ageEntry(cache, "a.snap", 200);
+    ageEntry(cache, "b.snap", 100);
+    // A hit on the older entry makes it the newest...
+    EXPECT_TRUE(cache.touch("a.snap"));
+    // ...so the overflow evicts b, not a.
+    cache.insert("c.snap", std::string(4096, 'c'));
+    EXPECT_TRUE(cache.touch("a.snap"));
+    EXPECT_FALSE(cache.touch("b.snap"));
+}
+
+TEST(SnapshotCache, KeepExemptsTheTriggeringEntry)
+{
+    ScratchDir dir("snap_cache_keep");
+    // Budget below a single entry: without the exemption the just-written
+    // entry would evict itself and every insert would be wasted.
+    SnapshotCache cache(dir.path(), 1000);
+    cache.insert("only.snap", std::string(4096, 'x'));
+    EXPECT_TRUE(cache.touch("only.snap"));
+    // An explicit pass with no exemption is allowed to drop it.
+    EXPECT_EQ(cache.evictToBudget(), 1u);
+    EXPECT_FALSE(cache.touch("only.snap"));
+}
+
+TEST(SnapshotCache, LockAndTempFilesAreNotEntries)
+{
+    ScratchDir dir("snap_cache_skip");
+    SnapshotCache cache(dir.path(), 100);
+    cache.insert("a.snap", "tiny");
+    {
+        std::ofstream tmp(dir.path() + "/b.snap.tmp");
+        tmp << std::string(4096, 't');
+    }
+    // Neither the lock file nor the temp file counts toward the budget or
+    // gets evicted.
+    EXPECT_EQ(cache.totalBytes(), 4u);
+    EXPECT_EQ(cache.evictToBudget(), 0u);
+    EXPECT_TRUE(fs::exists(dir.path() + "/b.snap.tmp"));
+}
+
+TEST(SnapshotCache, ConcurrentInsertersConvergeUnderTheLock)
+{
+    ScratchDir dir("snap_cache_race");
+    const std::uint64_t budget = 3 * 4096;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t)
+        writers.emplace_back([&, t] {
+            SnapshotCache cache(dir.path(), budget);
+            for (int i = 0; i < 8; ++i) {
+                std::string name = "t";
+                name += std::to_string(t);
+                name += "-";
+                name += std::to_string(i);
+                name += ".snap";
+                cache.insert(name, std::string(4096, 'x'));
+            }
+        });
+    for (std::thread& w : writers)
+        w.join();
+    SnapshotCache check(dir.path(), budget);
+    EXPECT_LE(check.totalBytes(), budget);
+}
+
+} // namespace
+} // namespace dscoh::snap

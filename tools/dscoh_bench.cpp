@@ -22,17 +22,32 @@
 // repeats each run and keeps the fastest repetition (the standard way to
 // strip scheduler noise from a throughput number); simulation outputs are
 // deterministic, so repetitions differ only in wall time.
+//
+// --service-overhead N additionally measures the sweep-service tax: N
+// back-to-back small VA sweeps submitted to an in-process daemon over its
+// Unix socket vs. the same N sweeps run directly on the engine. The
+// amortized daemon wall time must stay within --max-service-overhead-pct
+// (default 5) of embedded or the tool exits 1; the measurement lands in
+// the report's "service" member.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/options.h"
+#include "exp/experiment_engine.h"
 #include "obs/json_lite.h"
 #include "sim/errors.h"
+#include "svc/client.h"
+#include "svc/request.h"
+#include "svc/server.h"
+#include "svc/service.h"
 #include "workloads/runner.h"
 
 using namespace dscoh;
@@ -106,8 +121,135 @@ BenchRun timeRun(const std::string& code, CoherenceMode mode,
     return best;
 }
 
+/// Daemon-vs-embedded measurement of --service-overhead.
+struct ServiceBench {
+    std::uint64_t sweeps = 0;
+    std::uint64_t jobsPerSweep = 0;
+    double embeddedSeconds = 0.0;
+    double serviceSeconds = 0.0;
+
+    double overheadPct() const
+    {
+        return embeddedSeconds > 0.0
+                   ? (serviceSeconds / embeddedSeconds - 1.0) * 100.0
+                   : 0.0;
+    }
+};
+
+/// Runs @p sweeps identical small VA sweeps two ways — directly on the
+/// engine, and submitted through an in-process daemon over its socket —
+/// and fills @p out with the amortized wall times. The two paths
+/// ALTERNATE, one embedded batch then one daemon batch per rep, fastest
+/// of each kept: run back to back instead, the later phase measures the
+/// thermal state the earlier one left behind (observed as a phantom
+/// 10-20%% "overhead" that reverses with the phase order), not the
+/// daemon. Returns an exit code; nonzero when the daemon path cannot be
+/// driven at all.
+int benchServiceOverhead(std::uint64_t sweeps, std::uint64_t reps,
+                         ServiceBench* out)
+{
+    const std::vector<ExperimentJob> jobs = makeSweepJobs(
+        {"VA"}, {InputSize::kSmall},
+        {CoherenceMode::kCcsm, CoherenceMode::kDirectStore});
+    out->sweeps = sweeps;
+    out->jobsPerSweep = jobs.size();
+
+    // Warm allocators and page cache once, untimed, so neither path pays
+    // first-run costs the other does not.
+    ExperimentEngine(1).run(jobs);
+
+    // The daemon path: a real SweepService behind a real socket loop, one
+    // worker so the engine-side work matches the single-threaded embedded
+    // runs. The produce cache is off — on, the daemon would win outright
+    // on repeated sweeps and hide the per-request machinery this measures.
+    namespace fs = std::filesystem;
+    const std::string stateDir =
+        (fs::temp_directory_path() / "dscoh_bench_svc").string();
+    fs::remove_all(stateDir);
+    svc::ServiceOptions svcOpts;
+    svcOpts.stateDir = stateDir;
+    svcOpts.workers = 1;
+    svcOpts.forkProduce = false;
+    svc::SweepService service(svcOpts);
+    svc::ServerOptions serverOpts;
+    serverOpts.socketPath = stateDir + "/svc.sock";
+    serverOpts.pollMs = 20;
+    std::atomic<bool> stop{false};
+    int serveExit = kExitOk;
+    std::thread server([&] {
+        serveExit = svc::serveSocket(service, serverOpts, stop);
+    });
+
+    const svc::SvcClient client(serverOpts.socketPath);
+    std::string reply;
+    std::string error;
+    bool up = false;
+    for (int i = 0; i < 200 && !up; ++i) {
+        up = client.call("{\"op\": \"ping\"}", &reply, &error);
+        if (!up)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!up) {
+        std::cerr << "dscoh_bench: daemon never answered: " << error << "\n";
+        stop = true;
+        server.join();
+        fs::remove_all(stateDir);
+        return kExitIo;
+    }
+
+    svc::SweepRequest req;
+    req.tenant = "bench";
+    req.codes = {"VA"};
+    const std::string submitLine =
+        "{\"op\": \"submit\", \"request\": \"" +
+        svc::jsonEscape(svc::renderRequestJson(req)) + "\"}";
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < sweeps; ++i)
+            ExperimentEngine(1).run(jobs);
+        const double embeddedWall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (rep == 0 || embeddedWall < out->embeddedSeconds)
+            out->embeddedSeconds = embeddedWall;
+
+        start = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < sweeps; ++i) {
+            if (!client.call(submitLine, &reply, &error) ||
+                reply.find("\"ok\": true") == std::string::npos) {
+                std::cerr << "dscoh_bench: submit failed: " << error
+                          << reply << "\n";
+                stop = true;
+                server.join();
+                fs::remove_all(stateDir);
+                return kExitIo;
+            }
+        }
+        if (!client.call("{\"op\": \"drain\"}", &reply, &error)) {
+            std::cerr << "dscoh_bench: drain failed: " << error << "\n";
+            stop = true;
+            server.join();
+            fs::remove_all(stateDir);
+            return kExitIo;
+        }
+        const double serviceWall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (rep == 0 || serviceWall < out->serviceSeconds)
+            out->serviceSeconds = serviceWall;
+    }
+
+    client.call("{\"op\": \"shutdown\"}", &reply, &error);
+    stop = true;
+    server.join();
+    fs::remove_all(stateDir);
+    return serveExit;
+}
+
 void writeJson(std::ostream& os, const std::vector<BenchRun>& runs,
-               bool quick, std::uint64_t reps)
+               bool quick, std::uint64_t reps, const ServiceBench* service)
 {
     std::uint64_t events = 0;
     std::uint64_t ticks = 0;
@@ -146,8 +288,18 @@ void writeJson(std::ostream& os, const std::vector<BenchRun>& runs,
     os << ", \"events_per_second\": " << buf;
     std::snprintf(buf, sizeof buf, "%.1f",
                   wall > 0.0 ? static_cast<double>(ticks) / wall : 0.0);
-    os << ", \"sim_ticks_per_second\": " << buf << "}\n";
-    os << "}\n";
+    os << ", \"sim_ticks_per_second\": " << buf << "}";
+    if (service != nullptr) {
+        os << ",\n  \"service\": {\"sweeps\": " << service->sweeps
+           << ", \"jobs_per_sweep\": " << service->jobsPerSweep;
+        std::snprintf(buf, sizeof buf, "%.6f", service->embeddedSeconds);
+        os << ", \"embedded_wall_seconds\": " << buf;
+        std::snprintf(buf, sizeof buf, "%.6f", service->serviceSeconds);
+        os << ", \"service_wall_seconds\": " << buf;
+        std::snprintf(buf, sizeof buf, "%.2f", service->overheadPct());
+        os << ", \"overhead_pct\": " << buf << "}";
+    }
+    os << "\n}\n";
 }
 
 /// Compares this invocation's runs against a baseline file over their
@@ -231,6 +383,8 @@ int main(int argc, char** argv)
     std::string comparePath;
     std::uint64_t maxRegressPct = 15;
     std::string only;
+    std::uint64_t serviceSweeps = 0;
+    std::uint64_t maxServiceOverheadPct = 5;
     cli::OptionParser parser("dscoh_bench",
                              "engine throughput baseline over the Fig. 4 "
                              "sweep (events/sec, ticks/sec, wall-clock)");
@@ -246,6 +400,11 @@ int main(int argc, char** argv)
                    "percent (default 15)", &maxRegressPct);
     parser.addString("only", "comma-separated benchmark codes (default: "
                      "all, or the quick subset)", &only);
+    parser.addUint("service-overhead", "also time N sweeps through the "
+                   "daemon vs embedded; exit 1 when the daemon is more "
+                   "than --max-service-overhead-pct slower", &serviceSweeps);
+    parser.addUint("max-service-overhead-pct", "allowed daemon overhead in "
+                   "percent (default 5)", &maxServiceOverheadPct);
     if (!parser.parse(argc, argv, std::cerr))
         return kExitUsage;
     if (reps == 0)
@@ -304,18 +463,45 @@ int main(int argc, char** argv)
                 wall > 0.0 ? static_cast<double>(events) / wall : 0.0,
                 wall > 0.0 ? static_cast<double>(ticks) / wall : 0.0);
 
+    ServiceBench service;
+    if (serviceSweeps > 0) {
+        const int rc = benchServiceOverhead(serviceSweeps, reps, &service);
+        if (rc != kExitOk)
+            return rc;
+        std::printf("service: %llu sweeps x %llu jobs, embedded %.3fs, "
+                    "daemon %.3fs (%+.1f%%)\n",
+                    static_cast<unsigned long long>(service.sweeps),
+                    static_cast<unsigned long long>(service.jobsPerSweep),
+                    service.embeddedSeconds, service.serviceSeconds,
+                    service.overheadPct());
+    }
+
     if (!outPath.empty()) {
         std::ofstream out(outPath);
         if (!out) {
             std::cerr << "dscoh_bench: cannot write " << outPath << "\n";
             return kExitIo;
         }
-        writeJson(out, runs, quick, reps);
+        writeJson(out, runs, quick, reps,
+                  serviceSweeps > 0 ? &service : nullptr);
         std::fprintf(stderr, "wrote %s\n", outPath.c_str());
     }
 
-    if (!comparePath.empty())
-        return compareAgainst(comparePath, runs,
-                              static_cast<double>(maxRegressPct));
+    if (!comparePath.empty()) {
+        const int rc = compareAgainst(comparePath, runs,
+                                      static_cast<double>(maxRegressPct));
+        if (rc != kExitOk)
+            return rc;
+    }
+    if (serviceSweeps > 0 &&
+        service.overheadPct() >
+            static_cast<double>(maxServiceOverheadPct)) {
+        std::fprintf(stderr,
+                     "dscoh_bench: daemon overhead %.1f%% exceeds the "
+                     "%llu%% budget\n",
+                     service.overheadPct(),
+                     static_cast<unsigned long long>(maxServiceOverheadPct));
+        return kExitFailure;
+    }
     return kExitOk;
 }
