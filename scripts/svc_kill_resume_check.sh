@@ -119,3 +119,71 @@ for id in r000001 r000002; do
 done
 echo "svc_kill_resume_check: recovered results are byte-identical" \
      "to the never-killed daemon"
+
+# --- ENOSPC pass: the same submissions on a daemon whose disk "fills up"
+# shortly after the accepts land (deterministic injection, every durable
+# write from op 25 on fails with ENOSPC). The daemon must degrade — stay
+# up, answer stats, reject new submits with the degraded exit code — not
+# crash or corrupt state. A SIGKILL plus a clean-disk restart then owes
+# exactly the same bytes as the never-killed reference.
+echo "svc_kill_resume_check: ENOSPC victim (disk fills after op 25)"
+estate="${work}/enospc"
+"${svc}" --state "${estate}" --jobs 1 \
+    --iofault "enospc-ppm=1000000,op-start=25" \
+    > "${work}/enospc_daemon.log" 2>&1 &
+daemon_pid=$!
+wait_ping "${estate}/svc.sock"
+"${client}" --socket "${estate}/svc.sock" submit \
+    --tenant alice --priority 1 --only VA,NN > /dev/null
+"${client}" --socket "${estate}/svc.sock" submit \
+    --tenant bob --weight 2 --only BP > /dev/null
+
+tries=0
+until "${client}" --socket "${estate}/svc.sock" stats 2> /dev/null |
+    grep -q '"degraded": true'; do
+    tries=$((tries + 1))
+    if [ "${tries}" -gt 600 ]; then
+        echo "svc_kill_resume_check: daemon never degraded under ENOSPC" >&2
+        exit 1
+    fi
+    if ! kill -0 "${daemon_pid}" 2> /dev/null; then
+        echo "svc_kill_resume_check: daemon died under ENOSPC" \
+             "instead of degrading" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "svc_kill_resume_check: daemon degraded and stayed up"
+
+# A degraded daemon sheds new work with the dedicated exit code (7).
+rc=0
+"${client}" --socket "${estate}/svc.sock" submit \
+    --tenant carol --only MT > /dev/null 2>&1 || rc=$?
+[ "${rc}" -eq 7 ] || {
+    echo "svc_kill_resume_check: degraded submit exited ${rc}, want 7" >&2
+    exit 1
+}
+
+kill -9 "${daemon_pid}"
+wait "${daemon_pid}" 2> /dev/null || true
+daemon_pid=""
+
+echo "svc_kill_resume_check: restarting the ENOSPC victim on a clean disk"
+"${svc}" --state "${estate}" --jobs 2 > "${work}/enospc_restart.log" 2>&1 &
+daemon_pid=$!
+wait_ping "${estate}/svc.sock"
+"${client}" --socket "${estate}/svc.sock" drain > /dev/null
+"${client}" --socket "${estate}/svc.sock" shutdown > /dev/null
+wait "${daemon_pid}" || true
+daemon_pid=""
+
+for id in r000001 r000002; do
+    cmp "${ref_state}/jobs/${id}/results.json" \
+        "${estate}/jobs/${id}/results.json" || {
+        echo "svc_kill_resume_check: ENOSPC ${id} results differ" \
+             "from reference" >&2
+        exit 1
+    }
+done
+echo "svc_kill_resume_check: ENOSPC recovery is byte-identical" \
+     "to the never-killed daemon"

@@ -8,6 +8,7 @@
 #include "coherence/protocol.h"
 #include "cpu/tlb.h"
 #include "fault/fault_config.h"
+#include "fault/io_fault_config.h"
 #include "mem/dram.h"
 #include "mem/replacement.h"
 #include "net/network.h"
@@ -147,6 +148,12 @@ struct SystemConfig {
     std::uint32_t dsMaxRetries = 4;
     /// Bound on simultaneously in-flight hardened stores (excess queue up).
     std::size_t dsInFlightMax = 8;
+
+    /// Storage-fault model for the durable-write path (snapshots, WALs,
+    /// results). Inert by default; tools install the process injector from
+    /// it when enabled (see fault/io_fault.h). Hashed only when enabled so
+    /// every pre-existing config keeps its historical hash.
+    fault::IoFaultConfig ioFaults{};
 
     /// Table I defaults under the given scheme.
     static SystemConfig paper(CoherenceMode mode)

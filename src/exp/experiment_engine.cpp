@@ -79,6 +79,7 @@ ExperimentResult runExperimentJob(const ExperimentJob& job,
     r.job = job;
 
     WorkloadRunOptions runOpts;
+    runOpts.cancelFlag = options.cancel;
     if (options.forkProduce) {
         runOpts.produceCacheDir = options.produceCacheDir.empty()
                                       ? options.snapDir
@@ -108,6 +109,9 @@ ExperimentResult runExperimentJob(const ExperimentJob& job,
         r.run = wr.run();
         r.produceTicksSaved = wr.produceTicksSaved();
         r.ok = true;
+    } catch (const CancelledError& e) {
+        r.error = e.what();
+        r.errorClass = kExitFailure;
     } catch (const DeadlockError& e) {
         r.error = e.what();
         r.errorClass = kExitDeadlock;
@@ -177,6 +181,7 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
     std::size_t done = replayed;
     std::mutex progressMutex;
     std::mutex journalMutex;
+    std::string journalError; // first append failure (under journalMutex)
 
     JobRunOptions jobOpts;
     jobOpts.snapDir = options.snapDir;
@@ -194,9 +199,18 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
             r = runExperimentJob(jobs[i], hashes[i], jobOpts);
             if (!options.journalPath.empty()) {
                 const std::lock_guard<std::mutex> lock(journalMutex);
-                std::ofstream out(options.journalPath, std::ios::app);
-                out << journalLine(r, hashes[i]);
-                out.flush();
+                // Durable append (fsync'ed, torn-safe): a kill right after
+                // this returns can only replay, never corrupt. A failing
+                // journal no longer silently forgets completed work — the
+                // batch finishes, then run() throws with the first error
+                // (workers must not throw across the pool).
+                try {
+                    snap::durableAppendLine(options.journalPath,
+                                            journalLine(r, hashes[i]));
+                } catch (const snap::SnapError& e) {
+                    if (journalError.empty())
+                        journalError = e.what();
+                }
             }
             if (progress_) {
                 const std::lock_guard<std::mutex> lock(progressMutex);
@@ -208,14 +222,16 @@ ExperimentEngine::run(const std::vector<ExperimentJob>& jobs,
     const std::size_t want = std::min<std::size_t>(threads_, pending.size());
     if (want <= 1) {
         worker();
-        return results;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(want);
+        for (std::size_t t = 0; t < want; ++t)
+            pool.emplace_back(worker);
+        for (std::thread& t : pool)
+            t.join();
     }
-    std::vector<std::thread> pool;
-    pool.reserve(want);
-    for (std::size_t t = 0; t < want; ++t)
-        pool.emplace_back(worker);
-    for (std::thread& t : pool)
-        t.join();
+    if (!journalError.empty())
+        throw snap::SnapError("journal append failed: " + journalError);
     return results;
 }
 
@@ -256,9 +272,16 @@ void finalizeJournal(const std::string& journalPath, bool hadFailures)
     }
     // Keep the failure set replayable: a later --resume against the
     // restored name can retry exactly the jobs that failed. rename(2)
-    // replaces an older .failed journal atomically.
+    // replaces an older .failed journal atomically; syncing the directory
+    // makes the disposal itself crash-durable.
     const std::string kept = journalPath + ".failed";
     std::rename(journalPath.c_str(), kept.c_str());
+    try {
+        snap::fsyncDir(snap::dirOf(journalPath));
+    } catch (const snap::SnapError&) {
+        // Disposal durability is best-effort: a re-found journal on the
+        // next start only causes a harmless replay.
+    }
 }
 
 std::vector<ExperimentJob>

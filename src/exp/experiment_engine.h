@@ -91,6 +91,11 @@ struct JobRunOptions {
     bool jobCheckpoint = false;
     /// Restore a leftover checkpoint from a killed run when usable.
     bool resumeCheckpoint = false;
+    /// Cooperative cancel flag threaded into the run (see
+    /// WorkloadRunOptions::cancelFlag). A cancelled job reports as a
+    /// failed result whose error names the cancellation. Null = not
+    /// cancellable.
+    const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Runs one job to completion (or classified failure) with the same

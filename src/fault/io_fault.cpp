@@ -1,0 +1,255 @@
+#include "fault/io_fault.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace dscoh::fault {
+
+namespace {
+
+std::unique_ptr<IoFaultInjector> g_injector;
+std::atomic<IoFaultInjector*> g_injectorPtr{nullptr};
+std::function<void(const std::string&)> g_crashHandler;
+
+} // namespace
+
+IoFaultInjector::IoFaultInjector(const IoFaultConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    if (cfg_.tornOffsetPct > 100)
+        cfg_.tornOffsetPct = 100;
+}
+
+bool IoFaultInjector::eligibleLocked(const std::string& path)
+{
+    if (!cfg_.pathFilter.empty() &&
+        path.find(cfg_.pathFilter) == std::string::npos)
+        return false;
+    const std::uint64_t op = stats_.ops++;
+    if (op < cfg_.opStart)
+        return false;
+    if (cfg_.opEnd != 0 && op >= cfg_.opEnd)
+        return false;
+    if (cfg_.maxFaults != 0 && stats_.injected() >= cfg_.maxFaults)
+        return false;
+    return true;
+}
+
+bool IoFaultInjector::drawLocked(const std::string&, std::uint32_t ppm)
+{
+    // One RNG draw per configured fault class, in fixed order, so the
+    // schedule is a pure function of (seed, eligible-op sequence).
+    if (ppm == 0)
+        return false;
+    return rng_.below(1'000'000) < ppm;
+}
+
+IoFaultInjector::WriteDecision
+IoFaultInjector::onWrite(const std::string& path, std::size_t bytes)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    WriteDecision d;
+    if (!eligibleLocked(path))
+        return d;
+    const std::size_t keep =
+        bytes * std::min<std::uint32_t>(cfg_.tornOffsetPct, 100) / 100;
+    if (drawLocked(path, cfg_.enospcPpm)) {
+        ++stats_.enospc;
+        d.kind = WriteDecision::Kind::kEnospc;
+        return d;
+    }
+    if (drawLocked(path, cfg_.eioPpm)) {
+        ++stats_.eio;
+        d.kind = WriteDecision::Kind::kEio;
+        return d;
+    }
+    if (drawLocked(path, cfg_.tornWritePpm)) {
+        ++stats_.tornWrites;
+        d.kind = WriteDecision::Kind::kTornCrash;
+        d.keepBytes = keep;
+        return d;
+    }
+    if (drawLocked(path, cfg_.shortWritePpm)) {
+        ++stats_.shortWrites;
+        d.kind = WriteDecision::Kind::kShortWrite;
+        d.keepBytes = keep;
+        return d;
+    }
+    return d;
+}
+
+bool IoFaultInjector::onFsync(const std::string& path)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!eligibleLocked(path))
+        return false;
+    if (drawLocked(path, cfg_.fsyncFailPpm)) {
+        ++stats_.fsyncFails;
+        return true;
+    }
+    return false;
+}
+
+IoFaultInjector::RenameDecision
+IoFaultInjector::onRename(const std::string& path)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!eligibleLocked(path))
+        return RenameDecision::kNone;
+    if (drawLocked(path, cfg_.crashBeforeRenamePpm)) {
+        ++stats_.crashesBefore;
+        return RenameDecision::kCrashBefore;
+    }
+    if (drawLocked(path, cfg_.crashAfterRenamePpm)) {
+        ++stats_.crashesAfter;
+        return RenameDecision::kCrashAfter;
+    }
+    return RenameDecision::kNone;
+}
+
+IoFaultInjector::Stats IoFaultInjector::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+IoFaultInjector* ioFaultInjector()
+{
+    return g_injectorPtr.load(std::memory_order_relaxed);
+}
+
+void installIoFaults(const IoFaultConfig& cfg)
+{
+    if (!cfg.enabled()) {
+        clearIoFaults();
+        return;
+    }
+    g_injectorPtr.store(nullptr, std::memory_order_relaxed);
+    g_injector = std::make_unique<IoFaultInjector>(cfg);
+    g_injectorPtr.store(g_injector.get(), std::memory_order_release);
+}
+
+void clearIoFaults()
+{
+    g_injectorPtr.store(nullptr, std::memory_order_relaxed);
+    g_injector.reset();
+}
+
+void ioFaultCrash(const std::string& where)
+{
+    if (g_crashHandler) {
+        g_crashHandler(where); // tests throw out of here
+        return;                // a returning handler still dies below
+    }
+    // No flush, no destructors, no atexit — the whole point is to model
+    // SIGKILL at the narrowest window.
+    std::_Exit(kIoFaultCrashExit);
+}
+
+void setIoFaultCrashHandler(std::function<void(const std::string&)> handler)
+{
+    g_crashHandler = std::move(handler);
+}
+
+bool parseIoFaultSpec(const std::string& spec, IoFaultConfig* out,
+                      std::string* error)
+{
+    IoFaultConfig cfg;
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            *error = "iofault spec item '" + item + "' is not key=value";
+            return false;
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "path") {
+            cfg.pathFilter = value;
+            continue;
+        }
+        std::uint64_t n = 0;
+        try {
+            std::size_t used = 0;
+            n = std::stoull(value, &used);
+            if (used != value.size())
+                throw std::invalid_argument(value);
+        } catch (const std::exception&) {
+            *error = "iofault spec: '" + key + "' needs an unsigned number, "
+                     "got '" + value + "'";
+            return false;
+        }
+        const auto ppm = [&](std::uint32_t IoFaultConfig::* member) {
+            cfg.*member = static_cast<std::uint32_t>(n);
+        };
+        if (key == "short-write-ppm")
+            ppm(&IoFaultConfig::shortWritePpm);
+        else if (key == "torn-write-ppm")
+            ppm(&IoFaultConfig::tornWritePpm);
+        else if (key == "enospc-ppm")
+            ppm(&IoFaultConfig::enospcPpm);
+        else if (key == "eio-ppm")
+            ppm(&IoFaultConfig::eioPpm);
+        else if (key == "fsync-fail-ppm")
+            ppm(&IoFaultConfig::fsyncFailPpm);
+        else if (key == "crash-before-rename-ppm")
+            ppm(&IoFaultConfig::crashBeforeRenamePpm);
+        else if (key == "crash-after-rename-ppm")
+            ppm(&IoFaultConfig::crashAfterRenamePpm);
+        else if (key == "torn-offset-pct")
+            ppm(&IoFaultConfig::tornOffsetPct);
+        else if (key == "op-start")
+            cfg.opStart = n;
+        else if (key == "op-end")
+            cfg.opEnd = n;
+        else if (key == "max-faults")
+            cfg.maxFaults = n;
+        else if (key == "seed")
+            cfg.seed = n;
+        else {
+            *error = "iofault spec: unknown key '" + key + "'";
+            return false;
+        }
+    }
+    *out = cfg;
+    return true;
+}
+
+std::string renderIoFaultSpec(const IoFaultConfig& cfg)
+{
+    std::ostringstream os;
+    const char* sep = "";
+    const auto field = [&](const char* key, std::uint64_t v,
+                           std::uint64_t dflt) {
+        if (v == dflt)
+            return;
+        os << sep << key << "=" << v;
+        sep = ",";
+    };
+    field("short-write-ppm", cfg.shortWritePpm, 0);
+    field("torn-write-ppm", cfg.tornWritePpm, 0);
+    field("enospc-ppm", cfg.enospcPpm, 0);
+    field("eio-ppm", cfg.eioPpm, 0);
+    field("fsync-fail-ppm", cfg.fsyncFailPpm, 0);
+    field("crash-before-rename-ppm", cfg.crashBeforeRenamePpm, 0);
+    field("crash-after-rename-ppm", cfg.crashAfterRenamePpm, 0);
+    field("torn-offset-pct", cfg.tornOffsetPct, 50);
+    field("op-start", cfg.opStart, 0);
+    field("op-end", cfg.opEnd, 0);
+    field("max-faults", cfg.maxFaults, 0);
+    field("seed", cfg.seed, 1);
+    if (!cfg.pathFilter.empty()) {
+        os << sep << "path=" << cfg.pathFilter;
+        sep = ",";
+    }
+    return os.str();
+}
+
+} // namespace dscoh::fault

@@ -1,0 +1,121 @@
+// Deterministic storage-fault injection for the durable-write path.
+//
+// IoFaultInjector is the storage-layer sibling of FaultInjector: a seeded
+// private RNG stream draws one decision per operation, so a (config, call
+// sequence) pair replays the exact same fault schedule on every run — the
+// chaos harness and the unit tests rely on that.
+//
+// Unlike the network injector (per-System, woven into Network::send), IO
+// faults are PROCESS-LEVEL: one injector, installed by a tool at startup,
+// consulted by every hardened write primitive (snap::atomicWriteFile,
+// snap::durableAppendLine) through ioFaultInjector(). When nothing is
+// installed the check is a single relaxed atomic load of a null pointer —
+// zero cost on the hot path, byte-identical behaviour to a build without
+// the layer.
+//
+// Crash faults (torn write, crash before/after rename) model SIGKILL at
+// the narrowest window: by default they terminate the process immediately
+// via _Exit(kIoFaultCrashExit) so no destructor, flush, or atexit handler
+// can tidy up — exactly like the kill. Tests install a crash handler that
+// throws instead, so the same schedule is exercisable in-process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "fault/io_fault_config.h"
+#include "sim/rng.h"
+
+namespace dscoh::fault {
+
+/// Exit code of an injected crash (distinct from every sim/errors.h code
+/// and from shell signal codes, so the chaos harness can tell an injected
+/// death from a real one).
+inline constexpr int kIoFaultCrashExit = 86;
+
+class IoFaultInjector {
+public:
+    explicit IoFaultInjector(const IoFaultConfig& cfg);
+
+    struct WriteDecision {
+        enum class Kind {
+            kNone,
+            kShortWrite, ///< write keepBytes, then fail the call (EIO-like)
+            kTornCrash,  ///< write keepBytes, then die mid-write
+            kEnospc,     ///< fail the call, non-retryable
+            kEio,        ///< fail the call, retryable
+        };
+        Kind kind = Kind::kNone;
+        std::size_t keepBytes = 0; ///< prefix that lands (short/torn only)
+    };
+    /// One decision for a write of @p bytes to @p path. Thread-safe.
+    WriteDecision onWrite(const std::string& path, std::size_t bytes);
+
+    /// True when this fsync must fail. Thread-safe.
+    bool onFsync(const std::string& path);
+
+    enum class RenameDecision { kNone, kCrashBefore, kCrashAfter };
+    /// One decision for a temp+rename publication of @p path. Thread-safe.
+    RenameDecision onRename(const std::string& path);
+
+    struct Stats {
+        std::uint64_t ops = 0; ///< injector calls on eligible paths
+        std::uint64_t shortWrites = 0;
+        std::uint64_t tornWrites = 0;
+        std::uint64_t enospc = 0;
+        std::uint64_t eio = 0;
+        std::uint64_t fsyncFails = 0;
+        std::uint64_t crashesBefore = 0;
+        std::uint64_t crashesAfter = 0;
+        std::uint64_t injected() const
+        {
+            return shortWrites + tornWrites + enospc + eio + fsyncFails +
+                   crashesBefore + crashesAfter;
+        }
+    };
+    Stats stats() const;
+
+    const IoFaultConfig& config() const { return cfg_; }
+
+private:
+    /// Counts the op, applies the path filter / op window / fault cap, and
+    /// draws one ppm event. Caller holds mu_.
+    bool drawLocked(const std::string& path, std::uint32_t ppm);
+    bool eligibleLocked(const std::string& path);
+
+    IoFaultConfig cfg_;
+    mutable std::mutex mu_;
+    Rng rng_;
+    Stats stats_;
+};
+
+/// The process-level injector, or nullptr when storage faults are off.
+/// The null check is the entire cost of the layer when disabled.
+IoFaultInjector* ioFaultInjector();
+
+/// Installs a process-level injector built from @p cfg (replacing any
+/// previous one). A disabled config uninstalls. NOT thread-safe against
+/// concurrent durable writes — install at startup or in quiesced tests.
+void installIoFaults(const IoFaultConfig& cfg);
+void clearIoFaults();
+
+/// Terminates the process the way an injected crash fault demands (default
+/// _Exit(kIoFaultCrashExit)), or runs the registered crash handler.
+/// Handlers that throw make the crash observable in-process for tests; a
+/// handler that returns falls through to _Exit.
+void ioFaultCrash(const std::string& where);
+void setIoFaultCrashHandler(std::function<void(const std::string&)> handler);
+
+/// Parses a compact "key=value[,key=value...]" spec (the --iofault CLI
+/// flag): short-write-ppm, torn-write-ppm, enospc-ppm, eio-ppm,
+/// fsync-fail-ppm, crash-before-rename-ppm, crash-after-rename-ppm,
+/// torn-offset-pct, op-start, op-end, max-faults, path, seed.
+bool parseIoFaultSpec(const std::string& spec, IoFaultConfig* out,
+                      std::string* error);
+
+/// Deterministic inverse of parseIoFaultSpec (debugging / logging).
+std::string renderIoFaultSpec(const IoFaultConfig& cfg);
+
+} // namespace dscoh::fault

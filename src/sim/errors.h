@@ -18,6 +18,8 @@ inline constexpr int kExitUsage = 2;    ///< bad CLI flag or config file
 inline constexpr int kExitDeadlock = 3; ///< --max-idle-ticks watchdog tripped
 inline constexpr int kExitIo = 4;       ///< snapshot/results file I/O failure
 inline constexpr int kExitOracle = 5;   ///< coherence/functional violation
+inline constexpr int kExitShed = 6;     ///< service shed the request (retry)
+inline constexpr int kExitDegraded = 7; ///< service is degraded (read-only)
 
 /// The no-progress watchdog fired: no event executed for the idle budget
 /// while work was still queued. The message names the stalled component(s)
@@ -30,6 +32,13 @@ public:
 /// The coherence oracle (or the functional value check) flagged the run:
 /// results are untrustworthy.
 class OracleError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// A cooperative cancel flag was raised mid-run (deadline expiry, client
+/// cancel): the run stopped early and produced no result.
+class CancelledError : public std::runtime_error {
 public:
     using std::runtime_error::runtime_error;
 };

@@ -6,6 +6,12 @@
 #include <cstring>
 #include <fstream>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fault/io_fault.h"
+
 namespace dscoh::snap {
 
 namespace {
@@ -67,25 +73,239 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed)
     return c ^ 0xffffffffu;
 }
 
+namespace {
+
+/// Transient failures (EIO, short writes, failed fsync) get this many
+/// attempts before the error propagates; ENOSPC never retries.
+constexpr int kDurableRetries = 3;
+
+struct WriteAttempt {
+    bool ok = false;
+    bool retryable = false;
+    std::string error;
+};
+
+/// Writes [data, data+size) to @p fd, consulting the io-fault injector
+/// before each write(2). Injected torn writes land their prefix and then
+/// kill the process (or throw, under a test crash handler).
+WriteAttempt writeAllFd(int fd, const std::string& name, const char* data,
+                        std::size_t size)
+{
+    WriteAttempt a;
+    std::size_t off = 0;
+    while (off < size) {
+        const std::size_t want = size - off;
+        if (fault::IoFaultInjector* inj = fault::ioFaultInjector()) {
+            using Kind = fault::IoFaultInjector::WriteDecision::Kind;
+            const auto d = inj->onWrite(name, want);
+            if (d.kind != Kind::kNone) {
+                if (d.kind == Kind::kTornCrash ||
+                    d.kind == Kind::kShortWrite) {
+                    // The prefix really lands — that is what makes the
+                    // record torn rather than merely missing.
+                    std::size_t landed = 0;
+                    while (landed < d.keepBytes) {
+                        const ssize_t n = ::write(fd, data + off + landed,
+                                                  d.keepBytes - landed);
+                        if (n <= 0)
+                            break;
+                        landed += static_cast<std::size_t>(n);
+                    }
+                }
+                switch (d.kind) {
+                case Kind::kTornCrash:
+                    fault::ioFaultCrash("torn write to " + name);
+                    a.error = name + ": injected torn write";
+                    a.retryable = true; // crash handler returned (tests)
+                    return a;
+                case Kind::kShortWrite:
+                    a.error = name + ": injected short write";
+                    a.retryable = true;
+                    return a;
+                case Kind::kEnospc:
+                    a.error = name +
+                              ": injected ENOSPC (no space left on device)";
+                    a.retryable = false;
+                    return a;
+                case Kind::kEio:
+                    a.error = name + ": injected EIO";
+                    a.retryable = true;
+                    return a;
+                case Kind::kNone:
+                    break;
+                }
+            }
+        }
+        const ssize_t n = ::write(fd, data + off, want);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            a.error = "write " + name + " failed: " + std::strerror(err);
+            a.retryable = err != ENOSPC;
+            return a;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    a.ok = true;
+    return a;
+}
+
+/// fsync(fd) with fault injection. Fills @p a on failure.
+bool fsyncFd(int fd, const std::string& name, WriteAttempt* a)
+{
+    if (fault::IoFaultInjector* inj = fault::ioFaultInjector()) {
+        if (inj->onFsync(name)) {
+            a->error = name + ": injected fsync failure";
+            a->retryable = true;
+            return false;
+        }
+    }
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        a->error = "fsync " + name + " failed: " + std::strerror(err);
+        a->retryable = err != ENOSPC;
+        return false;
+    }
+    return true;
+}
+
+/// One attempt at assembling the temp file: open-trunc, write, fsync.
+WriteAttempt writeTmpOnce(const std::string& tmp,
+                          const std::string& contents)
+{
+    WriteAttempt a;
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        a.error = "cannot open " + tmp + " for writing: " +
+                  std::strerror(errno);
+        return a;
+    }
+    a = writeAllFd(fd, tmp, contents.data(), contents.size());
+    if (a.ok && !fsyncFd(fd, tmp, &a))
+        a.ok = false;
+    if (::close(fd) != 0 && a.ok) {
+        a.ok = false;
+        a.retryable = true;
+        a.error = "close " + tmp + " failed: " + std::strerror(errno);
+    }
+    return a;
+}
+
+} // namespace
+
+std::string dirOf(const std::string& path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+void fsyncDir(const std::string& dirPath)
+{
+    const int fd =
+        ::open(dirPath.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0)
+        return; // not every filesystem lets you open a directory
+    WriteAttempt a;
+    const bool ok = fsyncFd(fd, dirPath, &a);
+    ::close(fd);
+    if (!ok)
+        throw SnapError(a.error);
+}
+
 void atomicWriteFile(const std::string& path, const std::string& contents)
 {
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            throw SnapError("cannot open " + tmp + " for writing");
-        out.write(contents.data(),
-                  static_cast<std::streamsize>(contents.size()));
-        out.flush();
-        if (!out)
-            throw SnapError("short write to " + tmp);
+    WriteAttempt last;
+    for (int attempt = 0; attempt < kDurableRetries; ++attempt) {
+        last = writeTmpOnce(tmp, contents);
+        if (last.ok)
+            break;
+        if (!last.retryable)
+            break;
     }
+    if (!last.ok) {
+        std::remove(tmp.c_str());
+        throw SnapError(last.error);
+    }
+
+    if (fault::IoFaultInjector* inj = fault::ioFaultInjector()) {
+        using R = fault::IoFaultInjector::RenameDecision;
+        const R d = inj->onRename(path);
+        if (d == R::kCrashBefore) {
+            fault::ioFaultCrash("crash before rename of " + path);
+            // Test crash handler returned without throwing: the temp file
+            // stays behind, the publication never happened.
+            std::remove(tmp.c_str());
+            throw SnapError(path + ": injected crash before rename");
+        }
+        if (d == R::kCrashAfter) {
+            if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+                const int err = errno;
+                std::remove(tmp.c_str());
+                throw SnapError("rename " + tmp + " -> " + path +
+                                " failed: " + std::strerror(err));
+            }
+            fault::ioFaultCrash("crash after rename of " + path);
+            // Handler returned: the file IS published, but its directory
+            // entry may not be durable — exactly the window satellite 1
+            // closes. Fall through to the directory fsync.
+            fsyncDir(dirOf(path));
+            return;
+        }
+    }
+
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         const int err = errno;
         std::remove(tmp.c_str());
         throw SnapError("rename " + tmp + " -> " + path + " failed: " +
                         std::strerror(err));
     }
+    // A crash between rename and directory fsync can roll the rename back;
+    // syncing the parent closes the last window of the publication.
+    fsyncDir(dirOf(path));
+}
+
+void durableAppendLine(const std::string& path, const std::string& data)
+{
+    WriteAttempt last;
+    for (int attempt = 0; attempt < kDurableRetries; ++attempt) {
+        const int fd = ::open(path.c_str(),
+                              O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                              0644);
+        if (fd < 0) {
+            last.error = "cannot open " + path + " for append: " +
+                         std::strerror(errno);
+            last.retryable = true;
+            continue;
+        }
+        const off_t origSize = ::lseek(fd, 0, SEEK_END);
+        last = writeAllFd(fd, path, data.data(), data.size());
+        if (last.ok && !fsyncFd(fd, path, &last))
+            last.ok = false;
+        if (!last.ok) {
+            // Undo the partial append so a retry (or the next record)
+            // never produces a duplicated or interleaved prefix. Torn
+            // records therefore come only from real (or injected) crashes,
+            // which replay handles by truncation.
+            if (origSize >= 0)
+                (void)::ftruncate(fd, origSize);
+            ::close(fd);
+            if (!last.retryable)
+                break;
+            continue;
+        }
+        ::close(fd);
+        if (origSize == 0)
+            fsyncDir(dirOf(path)); // first creation: make the entry durable
+        return;
+    }
+    throw SnapError(last.error);
 }
 
 // --------------------------------------------------------------------------

@@ -41,9 +41,29 @@ std::uint32_t crc32(const void* data, std::size_t size,
 
 /// Writes @p contents to @p path via a temporary file in the same
 /// directory plus rename(2), so concurrent readers (and crash recovery)
-/// only ever observe the old or the complete new file. Throws SnapError on
-/// I/O failure.
+/// only ever observe the old or the complete new file. Durable: the temp
+/// file is fsync'ed before the rename and the containing directory after
+/// it, so a crash straight after return cannot lose the publication.
+/// Transient failures (EIO, short write) are retried a bounded number of
+/// times; persistent failures and ENOSPC throw SnapError. Consults the
+/// process io-fault injector (fault/io_fault.h) when one is installed.
 void atomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Appends @p data to @p path and fsyncs it. Torn-safe retry: a failed or
+/// short append is undone with ftruncate back to the pre-append length
+/// before the bounded retry, so the file never gains a duplicated or
+/// interleaved record. Creating the file also fsyncs its directory. This
+/// is the primitive under every WAL/journal append. Throws SnapError when
+/// retries are exhausted or the disk is full.
+void durableAppendLine(const std::string& path, const std::string& data);
+
+/// fsyncs the directory itself so a rename/creation inside it survives a
+/// crash. A directory that cannot be opened is skipped (not every
+/// filesystem supports it); a failing fsync throws SnapError.
+void fsyncDir(const std::string& dirPath);
+
+/// The containing directory of @p path ("." when it has none).
+std::string dirOf(const std::string& path);
 
 /// Assembles a snapshot image section by section.
 class SnapWriter {

@@ -11,11 +11,74 @@ std::string fail(const std::string& error)
     return "{\"ok\": false, \"error\": \"" + jsonEscape(error) + "\"}";
 }
 
+/// Rejection reply for a shed/degraded submit: machine-readable flags so
+/// clients can tell "back off and retry" from "your request is broken".
+std::string failSubmit(const std::string& error, const SubmitInfo& info)
+{
+    std::string reply =
+        "{\"ok\": false, \"error\": \"" + jsonEscape(error) + "\"";
+    if (info.shed) {
+        reply += ", \"shed\": true, \"retryAfterMs\": " +
+                 std::to_string(info.retryAfterMs);
+    }
+    if (info.degraded)
+        reply += ", \"degraded\": true";
+    return reply + "}";
+}
+
+/// True when @p line is clean wire input: bounded and free of NUL /
+/// non-whitespace control bytes. The socket reader enforces this per byte
+/// (LineFramer); re-checking here keeps the guarantee for embedded callers
+/// (tests, spool-style line sources) that bypass the framer.
+bool validLine(const std::string& line, std::string* error)
+{
+    if (line.size() > kMaxProtocolLineBytes) {
+        *error = "protocol line exceeds " +
+                 std::to_string(kMaxProtocolLineBytes) + " bytes";
+        return false;
+    }
+    for (const char c : line) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u == 0 || (u < 0x20 && c != '\t')) {
+            *error = "protocol line contains control byte 0x" +
+                     std::string(1, "0123456789abcdef"[u >> 4]) +
+                     std::string(1, "0123456789abcdef"[u & 0xf]);
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
+
+LineFramer::Result LineFramer::push(char c, std::string* line)
+{
+    if (c == '\n') {
+        if (!buf_.empty() && buf_.back() == '\r')
+            buf_.pop_back();
+        *line = std::move(buf_);
+        buf_.clear();
+        return Result::kLine;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u == 0 || (u < 0x20 && c != '\t' && c != '\r')) {
+        buf_.clear();
+        return Result::kBadByte;
+    }
+    if (buf_.size() >= maxBytes_) {
+        buf_.clear();
+        return Result::kTooLong;
+    }
+    buf_.push_back(c);
+    return Result::kNeedMore;
+}
 
 std::string handleRequestLine(SweepService& svc, const std::string& line,
                               bool* shutdown)
 {
+    std::string lineError;
+    if (!validLine(line, &lineError))
+        return fail(lineError);
     std::string parseError;
     const jsonlite::ValuePtr v = jsonlite::parse(line, parseError);
     if (v == nullptr || !v->isObject())
@@ -40,8 +103,9 @@ std::string handleRequestLine(SweepService& svc, const std::string& line,
         if (!parseRequestJson(reqVal->string, &r, &error))
             return fail(error);
         std::string id;
-        if (!svc.submit(std::move(r), &id, &error))
-            return fail(error);
+        SubmitInfo info;
+        if (!svc.submit(std::move(r), &id, &error, &info))
+            return failSubmit(error, info);
         return "{\"ok\": true, \"id\": \"" + jsonEscape(id) +
                "\", \"dir\": \"" + jsonEscape(svc.requestDir(id)) + "\"}";
     }

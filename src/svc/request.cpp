@@ -55,7 +55,10 @@ std::string renderRequestJson(const SweepRequest& r)
     os << "], \"modes\": [";
     for (std::size_t i = 0; i < r.modes.size(); ++i)
         os << (i == 0 ? "" : ", ") << "\"" << to_string(r.modes[i]) << "\"";
-    os << "], \"config\": \"" << jsonEscape(r.configText) << "\"}";
+    os << "], \"config\": \"" << jsonEscape(r.configText) << "\"";
+    if (r.deadlineMs != 0)
+        os << ", \"deadlineMs\": " << r.deadlineMs;
+    os << "}";
     return os.str();
 }
 
@@ -151,6 +154,13 @@ bool parseRequestJson(const std::string& text, SweepRequest* out,
                 return false;
             }
         }
+    }
+    if (const jsonlite::Value* d = v->get("deadlineMs"); d != nullptr) {
+        if (!d->isNumber() || d->number < 0.0) {
+            *error = "request field 'deadlineMs' must be a number >= 0";
+            return false;
+        }
+        r.deadlineMs = static_cast<std::uint64_t>(d->number);
     }
     if (const jsonlite::Value* cfg = v->get("config"); cfg != nullptr) {
         if (!cfg->isString()) {

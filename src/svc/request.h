@@ -13,6 +13,7 @@
 // journal — so render/parse round-trip exactly.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,10 @@ struct SweepRequest {
     /// "key = value" config lines applied over the Table I defaults
     /// (core/config_io); empty = defaults.
     std::string configText;
+    /// Wall-clock budget from admission, milliseconds; past it the service
+    /// cancels the request (queued jobs dropped, running jobs told to stop
+    /// via their cooperative cancel flag). 0 = no deadline.
+    std::uint64_t deadlineMs = 0;
 };
 
 /// One line of JSON (no trailing newline), deterministic field order;

@@ -46,9 +46,17 @@ bool FairScheduler::enqueue(const std::string& requestId,
 
 std::optional<JobUnit> FairScheduler::next()
 {
+    return next(nullptr);
+}
+
+std::optional<JobUnit> FairScheduler::next(
+    const std::function<bool(const std::string& tenant)>& eligible)
+{
     Tenant* best = nullptr;
     for (auto& [name, t] : tenants_) {
         if (t.requests.empty())
+            continue;
+        if (eligible && !eligible(name))
             continue;
         // Map iteration is name-ordered, so strict < makes the name the
         // deterministic tie-break.

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -54,6 +55,14 @@ public:
     /// Pops the next unit under the fairness policy, or nullopt when no
     /// work is queued. Never blocks.
     std::optional<JobUnit> next();
+
+    /// Like next(), but only tenants for which @p eligible returns true
+    /// compete. The service's memory-budget gate: a tenant whose running
+    /// jobs exhaust its byte budget is passed over (its virtual time does
+    /// not advance, so it loses no share — the work just waits). A null
+    /// predicate admits everyone.
+    std::optional<JobUnit>
+    next(const std::function<bool(const std::string& tenant)>& eligible);
 
     /// Drops every still-queued unit of @p requestId; units already handed
     /// out by next() are the caller's problem (they run to completion).

@@ -9,6 +9,7 @@
 #include "core/config_io.h"
 #include "obs/json_lite.h"
 #include "snap/serializer.h"
+#include "svc/wal.h"
 
 namespace fs = std::filesystem;
 
@@ -48,6 +49,27 @@ void histogramJson(std::ostringstream& os, const char* name,
                   h.percentile(99.0),
                   static_cast<unsigned long long>(h.max()));
     os << buf;
+}
+
+/// Modelled peak footprint of one job of the request: the largest
+/// sum-of-arrays across its jobs (jobs run one at a time per unit, so the
+/// per-tenant budget gates on per-job, not per-request, bytes).
+std::uint64_t maxJobBytes(const std::vector<ExperimentJob>& jobs)
+{
+    std::uint64_t worst = 0;
+    for (const ExperimentJob& j : jobs) {
+        const Workload* w = j.workload;
+        if (w == nullptr) {
+            if (!WorkloadRegistry::instance().has(j.code))
+                continue;
+            w = &WorkloadRegistry::instance().get(j.code);
+        }
+        std::uint64_t total = 0;
+        for (const ArraySpec& a : w->arrays(j.size))
+            total += a.bytes;
+        worst = std::max(worst, total);
+    }
+    return worst;
 }
 
 } // namespace
@@ -94,28 +116,61 @@ std::string SweepService::journalPath(const std::string& id) const
     return requestDir(id) + "/journal";
 }
 
-void SweepService::walAppendLocked(const std::string& line)
+void SweepService::walAppendLocked(const std::string& payload)
 {
-    std::ofstream out(opts_.stateDir + "/svc.journal", std::ios::app);
-    out << line << "\n";
-    out.flush();
+    // Durable CRC-framed append; a SnapError propagates to the caller,
+    // which decides between rollback (admission) and degrade (terminal).
+    snap::durableAppendLine(opts_.stateDir + "/svc.journal",
+                            walFrame(payload));
+}
+
+void SweepService::degradeLocked(const std::string& reason)
+{
+    if (degraded_)
+        return;
+    degraded_ = true;
+    degradedReason_ = reason;
+}
+
+std::uint64_t SweepService::retryAfterMsLocked() const
+{
+    // Backlog drain estimate: queued+running jobs x mean job latency over
+    // the worker pool. With no samples yet there is nothing to extrapolate
+    // from, so suggest the floor.
+    const std::uint64_t backlog = sched_.queuedJobs() + inflight_;
+    const unsigned pool = std::max(1u, engine_ ? engine_->threads() : 1u);
+    const double meanMs =
+        jobLatencyMs_.samples() != 0 ? std::max(1.0, jobLatencyMs_.mean())
+                                     : 0.0;
+    const double est = static_cast<double>(backlog) * meanMs /
+                       static_cast<double>(pool);
+    return std::clamp<std::uint64_t>(static_cast<std::uint64_t>(est), 250,
+                                     60000);
 }
 
 void SweepService::recover()
 {
+    // Pass 0: validate the log's framing; a torn tail (the final record of
+    // a killed write, or an injected torn append) is cut off so replay
+    // only trusts complete records.
+    const std::string walPath = opts_.stateDir + "/svc.journal";
+    WalReadResult wal = readWal(walPath);
+    if (wal.truncated) {
+        std::string err;
+        if (!truncateWal(walPath, wal.validBytes, &err))
+            throw std::runtime_error("sweep service: WAL has a torn tail (" +
+                                     wal.reason +
+                                     ") that cannot be cut: " + err);
+    }
+
     // Pass 1: find every accepted request and its latest terminal event.
-    const std::string wal = readWholeFile(opts_.stateDir + "/svc.journal");
     std::vector<SweepRequest> accepted; // WAL order
     std::map<std::string, std::string> terminal;
-    std::istringstream lines(wal);
-    std::string line;
-    while (std::getline(lines, line)) {
-        if (line.empty())
-            continue;
+    for (const std::string& payload : wal.payloads) {
         std::string err;
-        const jsonlite::ValuePtr v = jsonlite::parse(line, err);
+        const jsonlite::ValuePtr v = jsonlite::parse(payload, err);
         if (v == nullptr || !v->isObject())
-            continue; // torn final line from a kill — ignore
+            continue; // legacy torn line (pre-CRC log) — ignore
         const jsonlite::Value* ev = v->get("event");
         const jsonlite::Value* id = v->get("id");
         if (ev == nullptr || !ev->isString() || id == nullptr ||
@@ -124,8 +179,6 @@ void SweepService::recover()
         if (ev->string == "accepted") {
             const jsonlite::Value* reqVal = v->get("request");
             SweepRequest r;
-            // The request is embedded as an object; re-render it so the
-            // existing parser applies (requests are tiny).
             std::string reqErr;
             if (reqVal == nullptr)
                 continue;
@@ -141,8 +194,8 @@ void SweepService::recover()
         }
     }
 
-    // Pass 2: re-admit everything with no terminal line, in WAL order, so
-    // ids and scheduling order replay deterministically.
+    // Pass 2: re-admit everything with no terminal record, in WAL order,
+    // so ids and scheduling order replay deterministically.
     for (SweepRequest& r : accepted) {
         // Keep nextId_ ahead of every id ever issued, terminal or not.
         unsigned long long n = 0;
@@ -152,7 +205,8 @@ void SweepService::recover()
         if (terminal.count(r.id) != 0)
             continue;
         std::string idOut, err;
-        if (!admitLocked(std::move(r), /*fromWal=*/true, &idOut, &err))
+        if (!admitLocked(std::move(r), /*fromWal=*/true, &idOut, &err,
+                         nullptr))
             // An unreplayable request (e.g. a benchmark removed between
             // versions) is terminally failed rather than wedged forever.
             walAppendLocked("{\"event\": \"failed\", \"id\": \"" +
@@ -161,19 +215,33 @@ void SweepService::recover()
 }
 
 bool SweepService::submit(SweepRequest r, std::string* idOut,
-                          std::string* error)
+                          std::string* error, SubmitInfo* info)
 {
     const std::lock_guard<std::mutex> lock(mu_);
+    if (degraded_) {
+        *error = "service is degraded (storage failure: " + degradedReason_ +
+                 "); submissions are rejected until the disk recovers";
+        ++degradedRejects_;
+        if (info != nullptr)
+            info->degraded = true;
+        return false;
+    }
     if (stop_ || draining_) {
         *error = "service is shutting down";
+        ++shedSubmits_;
+        if (info != nullptr) {
+            info->shed = true;
+            info->retryAfterMs = retryAfterMsLocked();
+        }
         return false;
     }
     r.id.clear(); // ids are assigned here, never by the client
-    return admitLocked(std::move(r), /*fromWal=*/false, idOut, error);
+    return admitLocked(std::move(r), /*fromWal=*/false, idOut, error, info);
 }
 
 bool SweepService::admitLocked(SweepRequest r, bool fromWal,
-                               std::string* idOut, std::string* error)
+                               std::string* idOut, std::string* error,
+                               SubmitInfo* info)
 {
     RequestState rs;
     *idOut = r.id;
@@ -191,6 +259,7 @@ bool SweepService::admitLocked(SweepRequest r, bool fromWal,
     for (const ExperimentJob& j : rs.jobs)
         rs.hashes.push_back(configHashOf(j.config));
     rs.results.resize(rs.jobs.size());
+    rs.jobMemBytes = maxJobBytes(rs.jobs);
 
     // Anything this request's journal already covers (recovery, or a crash
     // straight after the last job) is replayed, not re-simulated.
@@ -203,11 +272,24 @@ bool SweepService::admitLocked(SweepRequest r, bool fromWal,
     rs.remaining = pending.size();
     rs.req = r;
     rs.admittedAt = std::chrono::steady_clock::now();
+    const std::uint64_t deadline =
+        r.deadlineMs != 0 ? r.deadlineMs : opts_.defaultDeadlineMs;
+    if (deadline != 0)
+        rs.deadlineAt = rs.admittedAt + std::chrono::milliseconds(deadline);
+    rs.cancelFlag = std::make_shared<std::atomic<bool>>(false);
 
     if (!pending.empty()) {
         if (!sched_.enqueue(id, r.tenant, r.priority, r.weight,
-                            pending.size(), error))
-            return false; // backpressure: nothing recorded
+                            pending.size(), error)) {
+            // Backpressure: nothing recorded. This is load shedding, not a
+            // client error — tell the client when to come back.
+            ++shedSubmits_;
+            if (info != nullptr) {
+                info->shed = true;
+                info->retryAfterMs = retryAfterMsLocked();
+            }
+            return false;
+        }
         // enqueue() numbers units 0..n-1; map them back to job indices.
         // FairScheduler hands out unit k for this request exactly once, so
         // unit k IS pending[k].
@@ -216,11 +298,25 @@ bool SweepService::admitLocked(SweepRequest r, bool fromWal,
     std::error_code ec;
     fs::create_directories(requestDir(id), ec);
     if (!fromWal) {
-        snap::atomicWriteFile(requestDir(id) + "/request.json",
-                              renderRequestJson(r) + "\n");
-        walAppendLocked("{\"event\": \"accepted\", \"id\": \"" +
-                        jsonEscape(id) + "\", \"request\": \"" +
-                        jsonEscape(renderRequestJson(r)) + "\"}");
+        try {
+            snap::atomicWriteFile(requestDir(id) + "/request.json",
+                                  renderRequestJson(r) + "\n");
+            walAppendLocked("{\"event\": \"accepted\", \"id\": \"" +
+                            jsonEscape(id) + "\", \"request\": \"" +
+                            jsonEscape(renderRequestJson(r)) + "\"}");
+        } catch (const snap::SnapError& e) {
+            // The request is NOT durably accepted; roll the queue back and
+            // reject, and flip degraded so subsequent submits fail fast.
+            // (The torn WAL tail, if any, is cut on the next recovery.)
+            sched_.cancel(id);
+            degradeLocked(e.what());
+            ++degradedRejects_;
+            *error = "cannot journal the request (storage failure: " +
+                     std::string(e.what()) + ")";
+            if (info != nullptr)
+                info->degraded = true;
+            return false;
+        }
     }
 
     auto [it, inserted] = requests_.emplace(id, std::move(rs));
@@ -243,7 +339,18 @@ std::optional<ResidentEngine::Admitted> SweepService::pullNext()
     for (;;) {
         if (stop_)
             return std::nullopt;
-        if (std::optional<JobUnit> unit = sched_.next()) {
+        // Memory-budget gate: a tenant whose running jobs exhaust its byte
+        // budget is skipped (soft — an idle tenant always gets one job, so
+        // a single job bigger than the whole budget still runs).
+        const auto eligible = [this](const std::string& tenant) {
+            if (opts_.tenantMemBudgetBytes == 0)
+                return true;
+            const auto it = tenantRunningBytes_.find(tenant);
+            const std::uint64_t running =
+                it == tenantRunningBytes_.end() ? 0 : it->second;
+            return running == 0 || running < opts_.tenantMemBudgetBytes;
+        };
+        if (std::optional<JobUnit> unit = sched_.next(eligible)) {
             auto it = requests_.find(unit->requestId);
             if (it == requests_.end())
                 continue; // cancelled between enqueue and dispatch
@@ -261,9 +368,14 @@ std::optional<ResidentEngine::Admitted> SweepService::pullNext()
             }
             if (rs.state == "queued") {
                 rs.state = "running";
-                publishStatusLocked(unit->requestId, rs);
+                try {
+                    publishStatusLocked(unit->requestId, rs);
+                } catch (const snap::SnapError& e) {
+                    degradeLocked(e.what()); // status is advisory; run on
+                }
             }
             ++inflight_;
+            tenantRunningBytes_[rs.req.tenant] += rs.jobMemBytes;
 
             ResidentEngine::Admitted a;
             a.job = rs.jobs[jobIndex];
@@ -274,6 +386,7 @@ std::optional<ResidentEngine::Admitted> SweepService::pullNext()
             a.options.produceCacheMaxBytes = opts_.cacheMaxBytes;
             a.options.jobCheckpoint = opts_.jobCheckpoints;
             a.options.resumeCheckpoint = opts_.jobCheckpoints;
+            a.options.cancel = rs.cancelFlag.get();
             const std::string id = unit->requestId;
             a.done = [this, id, jobIndex](ExperimentResult&& r) {
                 onJobDone(id, jobIndex, std::move(r));
@@ -295,6 +408,13 @@ void SweepService::onJobDone(const std::string& id, std::size_t jobIndex,
         return;
     }
     RequestState& rs = it->second;
+    auto tenantBytes = tenantRunningBytes_.find(rs.req.tenant);
+    if (tenantBytes != tenantRunningBytes_.end()) {
+        tenantBytes->second -=
+            std::min(tenantBytes->second, rs.jobMemBytes);
+        if (tenantBytes->second == 0)
+            tenantRunningBytes_.erase(tenantBytes);
+    }
 
     jobLatencyMs_.sample(static_cast<std::uint64_t>(r.wallSeconds * 1e3));
     if (opts_.forkProduce) {
@@ -305,13 +425,18 @@ void SweepService::onJobDone(const std::string& id, std::size_t jobIndex,
     }
 
     rs.results[jobIndex] = std::move(r);
-    {
-        // Same append-and-flush discipline as the batch engine: the
-        // journal gains the line before counters advance, so a kill here
-        // replays the job instead of losing it.
-        std::ofstream out(journalPath(id), std::ios::app);
-        out << journalLine(rs.results[jobIndex], rs.hashes[jobIndex]);
-        out.flush();
+    try {
+        // Same durable append-before-count discipline as the batch engine:
+        // the journal gains the line before counters advance, so a kill
+        // here replays the job instead of losing it.
+        snap::durableAppendLine(
+            journalPath(id),
+            journalLine(rs.results[jobIndex], rs.hashes[jobIndex]));
+    } catch (const snap::SnapError& e) {
+        // The in-memory result is still good — the request can finish; only
+        // crash-replay coverage of this job is lost. Degrade so no new work
+        // is accepted while the disk misbehaves.
+        degradeLocked(e.what());
     }
     ++rs.done;
     if (!rs.results[jobIndex].ok)
@@ -320,32 +445,135 @@ void SweepService::onJobDone(const std::string& id, std::size_t jobIndex,
 
     if (rs.remaining == 0)
         finishLocked(id, rs);
-    else
-        publishStatusLocked(id, rs);
+    else {
+        try {
+            publishStatusLocked(id, rs);
+        } catch (const snap::SnapError& e) {
+            degradeLocked(e.what());
+        }
+    }
     cv_.notify_all();
 }
 
 void SweepService::finishLocked(const std::string& id, RequestState& rs)
 {
     const bool cancelled = rs.state == "cancelled";
-    if (!cancelled) {
-        // Order matters for crash safety: publish results first, then the
-        // WAL terminal line, then dispose of the journal. A kill between
-        // any two steps re-runs only replay + republication, which is
-        // byte-identical by engine determinism.
-        writeResultsJsonAtomic(requestDir(id) + "/results.json",
-                               rs.results);
-        rs.state = rs.failed != 0 ? "failed" : "done";
+    try {
+        if (!cancelled) {
+            // Order matters for crash safety: publish results first, then
+            // the WAL terminal record, then dispose of the journal. A kill
+            // between any two steps re-runs only replay + republication,
+            // which is byte-identical by engine determinism.
+            writeResultsJsonAtomic(requestDir(id) + "/results.json",
+                                   rs.results);
+            rs.state = rs.failed != 0 ? "failed" : "done";
+        }
+        walAppendLocked("{\"event\": \"" + rs.state + "\", \"id\": \"" +
+                        jsonEscape(id) + "\"}");
+    } catch (const snap::SnapError& e) {
+        // The publication is owed, not lost: park it and let tick() retry
+        // once the storage probe succeeds. In-memory state stays
+        // non-terminal-looking to recovery (no terminal WAL record), which
+        // is exactly right — a restart would re-admit and re-publish.
+        if (!cancelled)
+            rs.state = "running";
+        rs.finishPending = true;
+        degradeLocked(e.what());
+        return;
     }
-    walAppendLocked("{\"event\": \"" + rs.state + "\", \"id\": \"" +
-                    jsonEscape(id) + "\"}");
+    rs.finishPending = false;
     finalizeJournal(journalPath(id), rs.failed != 0);
     const double ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - rs.admittedAt)
             .count();
     requestLatencyMs_.sample(static_cast<std::uint64_t>(ms));
-    publishStatusLocked(id, rs);
+    try {
+        publishStatusLocked(id, rs);
+    } catch (const snap::SnapError& e) {
+        degradeLocked(e.what()); // results are published; status is advisory
+    }
+}
+
+void SweepService::cancelLocked(const std::string& id, RequestState& rs)
+{
+    const std::size_t dropped = sched_.cancel(id);
+    rs.remaining -= dropped;
+    rs.state = "cancelled";
+    if (rs.cancelFlag)
+        rs.cancelFlag->store(true, std::memory_order_relaxed);
+    if (rs.remaining == 0)
+        finishLocked(id, rs); // nothing in flight: terminal now
+    else {
+        try {
+            publishStatusLocked(id, rs); // in-flight jobs stop, then terminal
+        } catch (const snap::SnapError& e) {
+            degradeLocked(e.what());
+        }
+    }
+    cv_.notify_all();
+}
+
+bool SweepService::cancel(const std::string& id, std::string* error)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = requests_.find(id);
+    if (it == requests_.end()) {
+        *error = "unknown request id '" + id + "'";
+        return false;
+    }
+    RequestState& rs = it->second;
+    if (rs.state == "done" || rs.state == "failed" ||
+        rs.state == "cancelled") {
+        *error = "request " + id + " is already " + rs.state;
+        return false;
+    }
+    cancelLocked(id, rs);
+    return true;
+}
+
+void SweepService::tick()
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+
+    // Deadline sweep: a request past its wall-clock budget is cancelled
+    // exactly like a client cancel (queued jobs dropped, running jobs
+    // flagged down).
+    for (auto& [id, rs] : requests_) {
+        if (!rs.deadlineAt || now < *rs.deadlineAt)
+            continue;
+        if (rs.state != "queued" && rs.state != "running")
+            continue;
+        ++deadlineCancels_;
+        cancelLocked(id, rs);
+    }
+
+    if (!degraded_)
+        return;
+    // Storage probe: one small atomic write through the full hardened
+    // path. While it fails the service stays read-only; once it succeeds,
+    // clear the flag and retry every publication the failure interrupted.
+    try {
+        snap::atomicWriteFile(opts_.stateDir + "/.storage-probe", "ok\n");
+    } catch (const snap::SnapError&) {
+        return; // still sick
+    }
+    degraded_ = false;
+    degradedReason_.clear();
+    for (auto& [id, rs] : requests_) {
+        if (!rs.finishPending)
+            continue;
+        finishLocked(id, rs);
+        if (degraded_)
+            return; // relapsed mid-retry; the rest wait for the next probe
+    }
+}
+
+bool SweepService::degraded() const
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    return degraded_;
 }
 
 ProgressSnapshot SweepService::snapshotLocked(const std::string& id,
@@ -399,31 +627,6 @@ std::string SweepService::listJson() const
     return os.str();
 }
 
-bool SweepService::cancel(const std::string& id, std::string* error)
-{
-    const std::lock_guard<std::mutex> lock(mu_);
-    auto it = requests_.find(id);
-    if (it == requests_.end()) {
-        *error = "unknown request id '" + id + "'";
-        return false;
-    }
-    RequestState& rs = it->second;
-    if (rs.state == "done" || rs.state == "failed" ||
-        rs.state == "cancelled") {
-        *error = "request " + id + " is already " + rs.state;
-        return false;
-    }
-    const std::size_t dropped = sched_.cancel(id);
-    rs.remaining -= dropped;
-    rs.state = "cancelled";
-    if (rs.remaining == 0)
-        finishLocked(id, rs); // nothing in flight: terminal now
-    else
-        publishStatusLocked(id, rs); // in-flight jobs finish, then terminal
-    cv_.notify_all();
-    return true;
-}
-
 std::string SweepService::statsJson() const
 {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -445,19 +648,30 @@ std::string SweepService::statsJson() const
     os << "{\"schema\": \"dscoh-svc-stats-v1\", \"queuedJobs\": "
        << sched_.queuedJobs() << ", \"runningJobs\": " << inflight_
        << ", \"workers\": " << (engine_ ? engine_->threads() : 0)
-       << ", \"requests\": {\"total\": " << requests_.size()
+       << ", \"degraded\": " << (degraded_ ? "true" : "false");
+    if (degraded_)
+        os << ", \"degradedReason\": \"" << jsonEscape(degradedReason_)
+           << "\"";
+    os << ", \"requests\": {\"total\": " << requests_.size()
        << ", \"queued\": " << queued << ", \"running\": " << running
        << ", \"done\": " << done << ", \"failed\": " << failed
        << ", \"cancelled\": " << cancelled << "}"
        << ", \"produceCache\": {\"hits\": " << cacheHits_
-       << ", \"misses\": " << cacheMisses_ << "}";
+       << ", \"misses\": " << cacheMisses_ << "}"
+       << ", \"overload\": {\"shedSubmits\": " << shedSubmits_
+       << ", \"degradedRejects\": " << degradedRejects_
+       << ", \"deadlineCancels\": " << deadlineCancels_
+       << ", \"retryAfterMs\": " << retryAfterMsLocked() << "}";
     os << ", \"tenants\": [";
     bool first = true;
     for (const FairScheduler::TenantShare& s : sched_.shares()) {
+        const auto rb = tenantRunningBytes_.find(s.tenant);
         os << (first ? "" : ", ") << "{\"tenant\": \""
            << jsonEscape(s.tenant) << "\", \"weight\": " << s.weight
            << ", \"queued\": " << s.queued
-           << ", \"dispatched\": " << s.dispatched << "}";
+           << ", \"dispatched\": " << s.dispatched
+           << ", \"runningBytes\": "
+           << (rb == tenantRunningBytes_.end() ? 0 : rb->second) << "}";
         first = false;
     }
     os << "], ";
@@ -492,29 +706,89 @@ std::size_t SweepService::scanSpool()
 {
     const std::string spool = opts_.stateDir + "/spool";
     std::vector<std::string> files;
+    std::vector<std::string> quarantined;
     std::error_code ec;
     for (const fs::directory_entry& e : fs::directory_iterator(spool, ec)) {
         const std::string name = e.path().filename().string();
         if (name.size() > 5 &&
             name.compare(name.size() - 5, 5, ".json") == 0)
             files.push_back(e.path().string());
+        else if (name.size() > 9 &&
+                 name.compare(name.size() - 9, 9, ".rejected") == 0)
+            quarantined.push_back(e.path().string());
     }
     std::sort(files.begin(), files.end());
 
+    // Self-heal quarantine notes: the .error beside a .rejected is written
+    // best-effort at quarantine time, so a crash right there can leave a
+    // rejected file with no explanation. The original reason died with
+    // that process; repair with a generic note so the quarantine contract
+    // (.rejected implies .error) holds across crashes.
+    for (const std::string& rej : quarantined) {
+        const std::string errPath =
+            rej.substr(0, rej.size() - 9) + ".error";
+        if (fs::exists(errPath, ec))
+            continue;
+        try {
+            snap::atomicWriteFile(errPath,
+                                  "quarantined (reason lost to a crash)\n");
+        } catch (const snap::SnapError&) {
+            // Still advisory; a later healthy scan repairs it.
+        }
+    }
+
     std::size_t admitted = 0;
+    std::map<std::string, std::pair<std::uint64_t, unsigned>> stillAging;
     for (const std::string& path : files) {
+        const std::string contents = readWholeFile(path);
+        // A writer mid-copy leaves a file without its terminal newline (or
+        // empty). Give it spoolQuarantineScans unchanged scans to finish
+        // before quarantining — losing a request to a slow cp would
+        // violate "no accepted request lost", and absorbing a prefix would
+        // be worse.
+        if (contents.empty() || contents.back() != '\n') {
+            auto [size, scans] = spoolAging_.count(path) != 0
+                                     ? spoolAging_[path]
+                                     : std::make_pair(std::uint64_t{0}, 0u);
+            if (contents.size() != size)
+                scans = 0; // still growing: restart the clock
+            ++scans;
+            if (scans <= opts_.spoolQuarantineScans) {
+                stillAging[path] = {contents.size(), scans};
+                continue;
+            }
+            fs::rename(path, path + ".rejected", ec);
+            try {
+                snap::atomicWriteFile(path + ".error",
+                                      contents.empty()
+                                          ? "empty file\n"
+                                          : "incomplete submission (no "
+                                            "terminal newline)\n");
+            } catch (const snap::SnapError&) {
+                // Quarantine note is advisory; the rename already happened.
+            }
+            continue;
+        }
         SweepRequest r;
         std::string id, error;
-        const bool ok = parseRequestJson(readWholeFile(path), &r, &error) &&
-                        submit(std::move(r), &id, &error);
+        SubmitInfo info;
+        const bool ok = parseRequestJson(contents, &r, &error) &&
+                        submit(std::move(r), &id, &error, &info);
         if (ok) {
             ++admitted;
             fs::remove(path, ec);
+        } else if (info.shed || info.degraded) {
+            // Transient rejection: leave the file for a later scan rather
+            // than quarantining a perfectly good request.
         } else {
             fs::rename(path, path + ".rejected", ec);
-            snap::atomicWriteFile(path + ".error", error + "\n");
+            try {
+                snap::atomicWriteFile(path + ".error", error + "\n");
+            } catch (const snap::SnapError&) {
+            }
         }
     }
+    spoolAging_ = std::move(stillAging);
     return admitted;
 }
 

@@ -3,32 +3,44 @@
 //
 // SweepService owns everything between "a tenant submitted a request" and
 // "that request's results.json is published": admission (expansion +
-// bounded-queue backpressure), scheduling (FairScheduler, per-job
-// granularity), execution (ResidentEngine worker pool), the shared
-// produce-phase snapshot cache, per-request crash journals, and a
-// service-level write-ahead journal so a SIGKILLed daemon restarts into
-// exactly the queue it was killed with.
+// bounded-queue backpressure + overload shedding), scheduling
+// (FairScheduler, per-job granularity, per-tenant memory budgets),
+// execution (ResidentEngine worker pool with cooperative cancellation),
+// the shared produce-phase snapshot cache, per-request crash journals, and
+// a CRC-framed service write-ahead journal so a SIGKILLed daemon restarts
+// into exactly the queue it was killed with.
 //
-// Durability contract (the PR's keystone): every admitted request
-// eventually publishes a results.json byte-identical to what a fresh,
-// uninterrupted run of the same request would publish — no matter how many
-// times the daemon is killed and restarted in between. The pieces:
+// Durability contract (the PR 9 keystone, now storage-fault hardened):
+// every admitted request eventually publishes a results.json byte-identical
+// to what a fresh, uninterrupted run of the same request would publish — no
+// matter how many times the daemon is killed and restarted in between, and
+// no matter what the disk does short of losing fsync'ed data. The pieces:
 //
-//   1. Admission appends an "accepted" WAL line embedding the full request
-//      BEFORE the request is queued; terminal states append "done" /
-//      "failed" / "cancelled" AFTER results are published. Recovery
-//      re-admits every request with no terminal line.
+//   1. Admission appends an "accepted" WAL record embedding the full
+//      request BEFORE the request is queued; terminal states append "done"
+//      / "failed" / "cancelled" AFTER results are published. Every record
+//      is CRC-framed (svc/wal.h) and fsync'ed (snap::durableAppendLine);
+//      recovery validates the log, truncates a torn tail, and re-admits
+//      every request with no terminal record.
 //   2. Each request has its own completed-job journal (jobs/<id>/journal,
-//      the PR 4 format); recovery replays it so finished jobs are never
-//      re-simulated, and in-flight jobs restart from their rolling phase
-//      checkpoint.
+//      the PR 4 format, durably appended); recovery replays it so finished
+//      jobs are never re-simulated, and in-flight jobs restart from their
+//      rolling phase checkpoint.
 //   3. Engine determinism (results in submission order, bit-identical
 //      across thread counts, restore-determinism for checkpoints) makes
 //      the replayed+resumed result stream identical to the uninterrupted
 //      one.
 //
+// Overload & failure behaviour: a persistent storage failure (ENOSPC,
+// repeated EIO) flips the service DEGRADED instead of crashing it —
+// submits are rejected with a "degraded" reply, status/list/stats keep
+// answering from memory, and a periodic storage probe (tick()) restores
+// full service (including any publication the failure interrupted) once
+// the disk recovers. Queue-full and draining rejections carry an explicit
+// retry-after hint sized from the live job-latency histogram.
+//
 // State directory layout:
-//   <stateDir>/svc.journal        service WAL (JSON lines)
+//   <stateDir>/svc.journal        service WAL (CRC-framed JSON lines)
 //   <stateDir>/jobs/<id>/         per-request: request.json, journal,
 //                                 status.json, results.json
 //   <stateDir>/cache/             shared produce-phase snapshot cache
@@ -39,6 +51,7 @@
 // one mutex, and job execution happens outside it on the worker pool.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -62,7 +75,8 @@ struct ServiceOptions {
     /// Worker threads (0 = hardware concurrency).
     unsigned workers = 0;
     /// Backpressure: max queued-but-undispatched jobs across all tenants
-    /// (0 = unbounded). Submits that would exceed it are rejected.
+    /// (0 = unbounded). Submits that would exceed it are shed with a
+    /// retry-after hint.
     std::size_t maxQueuedJobs = 0;
     /// Share the CPU produce phase across tenants through the cache dir.
     bool forkProduce = true;
@@ -73,13 +87,38 @@ struct ServiceOptions {
     /// only saves re-running the one job a crash interrupted, at a
     /// snapshot write per job — too slow to be the default.
     bool jobCheckpoints = false;
+    /// Soft per-tenant in-flight memory budget, bytes (0 = unbounded): a
+    /// tenant whose RUNNING jobs' modelled footprints reach it is passed
+    /// over by the scheduler until one finishes. Soft: a tenant with
+    /// nothing running always gets one job, so an oversized single job
+    /// still executes rather than wedging.
+    std::uint64_t tenantMemBudgetBytes = 0;
+    /// Deadline applied to requests that do not carry their own (ms,
+    /// 0 = none). Past its deadline a request is cancelled: queued jobs
+    /// dropped, running jobs stopped through their cancel flag.
+    std::uint64_t defaultDeadlineMs = 0;
+    /// Spool scans an incomplete file (empty, or no terminal newline) must
+    /// survive unchanged before it is quarantined as ".rejected" — gives a
+    /// slow writer time to finish.
+    unsigned spoolQuarantineScans = 3;
+};
+
+/// Why (and how) a submit was rejected, for protocol replies and clients.
+struct SubmitInfo {
+    /// Load shedding (queue full / draining): same request later is fine.
+    bool shed = false;
+    /// Storage-degraded: writes are failing, service is read-only.
+    bool degraded = false;
+    /// When shed: suggested client backoff, from live service latency.
+    std::uint64_t retryAfterMs = 0;
 };
 
 class SweepService {
 public:
-    /// Creates the state directory tree, replays the WAL (re-admitting
-    /// every non-terminal request), and starts the worker pool. Throws
-    /// std::runtime_error when the state dir cannot be created.
+    /// Creates the state directory tree, replays the WAL (truncating a
+    /// torn tail, re-admitting every non-terminal request), and starts the
+    /// worker pool. Throws std::runtime_error when the state dir cannot be
+    /// created.
     explicit SweepService(const ServiceOptions& options);
     /// Finishes in-flight jobs (queued ones stay journaled for the next
     /// start), then joins the pool. Prefer drain() first for a clean stop.
@@ -91,8 +130,11 @@ public:
     /// Admits a request: validates (expandJobs), assigns the next id,
     /// journals it, queues its jobs. On success returns true and fills
     /// @p r.id (also echoed via @p idOut). Rejections (bad request, queue
-    /// full, draining) leave the service untouched.
-    bool submit(SweepRequest r, std::string* idOut, std::string* error);
+    /// full, degraded, draining) leave the service untouched; when
+    /// @p info is non-null it says whether the rejection was shedding or
+    /// degradation and what backoff to suggest.
+    bool submit(SweepRequest r, std::string* idOut, std::string* error,
+                SubmitInfo* info = nullptr);
 
     /// One-line dscoh-progress-v2 document for the request, or false +
     /// @p error for an unknown id.
@@ -103,14 +145,24 @@ public:
     /// ordered by id.
     std::string listJson() const;
 
-    /// Drops the request's still-queued jobs; running jobs complete but
-    /// the request finishes "cancelled" and publishes no results. False
-    /// for unknown or already-terminal ids.
+    /// Drops the request's still-queued jobs and raises its cancel flag so
+    /// running jobs stop at their next check; the request finishes
+    /// "cancelled" and publishes no results. False for unknown or
+    /// already-terminal ids.
     bool cancel(const std::string& id, std::string* error);
 
     /// Service counters: queue depth, per-tenant shares, produce-cache
-    /// hits, job/request latency histograms (dscoh-svc-stats-v1).
+    /// hits, job/request latency histograms, overload/degraded state
+    /// (dscoh-svc-stats-v1).
     std::string statsJson() const;
+
+    /// Periodic maintenance, called from the server's poll loop (and
+    /// tests): expires request deadlines, probes the disk while degraded
+    /// and, on recovery, finishes publications the failure interrupted.
+    void tick();
+
+    /// True while storage writes are failing (submits rejected).
+    bool degraded() const;
 
     /// Stops admission and blocks until every queued and running job has
     /// finished. Safe to call repeatedly; submit() fails while draining.
@@ -124,6 +176,8 @@ public:
     /// Scans <stateDir>/spool for "*.json" request files (sorted by name),
     /// submitting each and deleting it; malformed/rejected files are
     /// renamed "<name>.rejected" with the reason in "<name>.error".
+    /// Incomplete files (empty, or missing the terminal newline) are given
+    /// spoolQuarantineScans scans to finish before the same quarantine.
     /// Returns the number of requests admitted.
     std::size_t scanSpool();
 
@@ -145,22 +199,40 @@ private:
         /// queued | running | done | failed | cancelled
         std::string state = "queued";
         std::chrono::steady_clock::time_point admittedAt;
+        /// Deadline expiry (when the request or options set one).
+        std::optional<std::chrono::steady_clock::time_point> deadlineAt;
+        /// Raised on cancel/deadline; running jobs poll it between slices.
+        /// shared_ptr: workers outlive the map entry on late completion.
+        std::shared_ptr<std::atomic<bool>> cancelFlag;
+        /// Modelled peak footprint of one job (max over the request's
+        /// jobs), for the tenant memory budget.
+        std::uint64_t jobMemBytes = 0;
+        /// Terminal work (publish + WAL + journal disposal) is owed but
+        /// failed on a degraded disk; retried by tick() on recovery.
+        bool finishPending = false;
     };
 
     /// Re-admits every non-terminal WAL request (locked ctor context).
     void recover();
     /// Core admission; assumes @p mu_ is held. @p fromWal skips the WAL
-    /// append (the line is already there) and preserves r.id.
+    /// append (the record is already there) and preserves r.id.
     bool admitLocked(SweepRequest r, bool fromWal, std::string* idOut,
-                     std::string* error);
+                     std::string* error, SubmitInfo* info);
     /// Marks terminal state, publishes results, appends the WAL terminal
-    /// line, finalizes the journal. Assumes @p mu_ is held.
+    /// record, finalizes the journal. On storage failure the request is
+    /// parked finishPending and the service degrades. Assumes @p mu_ held.
     void finishLocked(const std::string& id, RequestState& rs);
     void publishStatusLocked(const std::string& id,
                              const RequestState& rs) const;
     ProgressSnapshot snapshotLocked(const std::string& id,
                                     const RequestState& rs) const;
-    void walAppendLocked(const std::string& line);
+    void walAppendLocked(const std::string& payload);
+    /// Flips the service degraded (idempotent). Assumes @p mu_ is held.
+    void degradeLocked(const std::string& reason);
+    /// Suggested client backoff from queue depth and live job latency.
+    std::uint64_t retryAfterMsLocked() const;
+    /// Cancel core shared by client cancels and deadline expiry.
+    void cancelLocked(const std::string& id, RequestState& rs);
     std::optional<ResidentEngine::Admitted> pullNext();
     void onJobDone(const std::string& id, std::size_t jobIndex,
                    ExperimentResult&& r);
@@ -175,6 +247,15 @@ private:
     std::size_t inflight_ = 0;
     FairScheduler sched_;
     std::map<std::string, RequestState> requests_;
+    /// Modelled bytes of each tenant's RUNNING jobs (memory budget gate).
+    std::map<std::string, std::uint64_t> tenantRunningBytes_;
+    bool degraded_ = false;
+    std::string degradedReason_;
+    std::uint64_t shedSubmits_ = 0;    ///< submits rejected for load
+    std::uint64_t deadlineCancels_ = 0;
+    std::uint64_t degradedRejects_ = 0;
+    /// Incomplete spool files: name -> (last size, unchanged-scan count).
+    std::map<std::string, std::pair<std::uint64_t, unsigned>> spoolAging_;
     std::uint64_t cacheHits_ = 0;
     std::uint64_t cacheMisses_ = 0;
     Histogram jobLatencyMs_{100, 64};     ///< per-job wall ms

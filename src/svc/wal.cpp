@@ -1,0 +1,122 @@
+#include "svc/wal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "snap/serializer.h"
+
+namespace dscoh::svc {
+
+namespace {
+
+bool parseHex32(const std::string& s, std::uint32_t* out)
+{
+    if (s.size() != 8)
+        return false;
+    std::uint32_t v = 0;
+    for (const char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint32_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+std::string walFrame(const std::string& payload)
+{
+    char crc[16];
+    std::snprintf(crc, sizeof crc, "!%08x ",
+                  snap::crc32(payload.data(), payload.size()));
+    return crc + payload + "\n";
+}
+
+WalReadResult readWal(const std::string& path)
+{
+    WalReadResult r;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return r;
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string data = os.str();
+
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::size_t nl = data.find('\n', pos);
+        if (nl == std::string::npos) {
+            // No terminator: the record was mid-append when the process
+            // died. Cut here.
+            r.truncated = true;
+            r.reason = "incomplete final record";
+            break;
+        }
+        const std::string line = data.substr(pos, nl - pos);
+        if (line.empty()) {
+            pos = nl + 1;
+            r.validBytes = pos;
+            continue;
+        }
+        if (line[0] == '!') {
+            std::uint32_t want = 0;
+            if (line.size() < 10 || line[9] != ' ' ||
+                !parseHex32(line.substr(1, 8), &want)) {
+                r.truncated = true;
+                r.reason = "malformed record frame";
+                break;
+            }
+            const std::string payload = line.substr(10);
+            if (snap::crc32(payload.data(), payload.size()) != want) {
+                r.truncated = true;
+                r.reason = "record CRC mismatch";
+                break;
+            }
+            r.payloads.push_back(payload);
+        } else if (line[0] == '{') {
+            // Legacy unframed record (pre-CRC logs).
+            r.payloads.push_back(line);
+        } else {
+            r.truncated = true;
+            r.reason = "unrecognized record framing";
+            break;
+        }
+        pos = nl + 1;
+        r.validBytes = pos;
+    }
+    return r;
+}
+
+bool truncateWal(const std::string& path, std::uint64_t validBytes,
+                 std::string* error)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) {
+        *error = "cannot open " + path + ": " + std::strerror(errno);
+        return false;
+    }
+    if (::ftruncate(fd, static_cast<off_t>(validBytes)) != 0) {
+        *error = "truncate " + path + " failed: " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (::fsync(fd) != 0) {
+        *error = "fsync " + path + " failed: " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    ::close(fd);
+    return true;
+}
+
+} // namespace dscoh::svc

@@ -1,0 +1,49 @@
+// CRC-framed write-ahead-log records for the sweep service.
+//
+// Every service WAL record is one line:
+//
+//   !<8 hex digits of CRC-32 over the payload> <payload>\n
+//
+// The frame makes torn tails DETECTABLE instead of merely parseable-or-not:
+// a record that lost its tail to a crash (or an injected torn write) fails
+// its CRC, and replay truncates the log at the start of that record rather
+// than erroring out or silently absorbing garbage. Everything before the
+// first bad record is trusted; nothing after it can be (append order means
+// later records were written later).
+//
+// Legacy logs (PR 9 wrote bare JSON lines) still replay: a line starting
+// with '{' is accepted unframed. Only the tail-truncation guarantee is
+// weaker for them, exactly as it was before this format existed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dscoh::svc {
+
+/// Frames @p payload as one CRC'ed WAL line (with trailing newline).
+std::string walFrame(const std::string& payload);
+
+struct WalReadResult {
+    /// Payloads of every valid record, in file order.
+    std::vector<std::string> payloads;
+    /// Bytes of the longest valid prefix (where a truncation would cut).
+    std::uint64_t validBytes = 0;
+    /// True when the file had a torn/corrupt tail past validBytes.
+    bool truncated = false;
+    /// Why the tail was rejected (empty when !truncated).
+    std::string reason;
+};
+
+/// Reads and validates @p path. A missing file yields an empty, clean
+/// result. Validation stops at the first bad record: incomplete final
+/// line, CRC mismatch, or unrecognized framing.
+WalReadResult readWal(const std::string& path);
+
+/// Truncates @p path to @p validBytes and fsyncs it, discarding a torn
+/// tail found by readWal(). Returns false (with @p error) on failure.
+bool truncateWal(const std::string& path, std::uint64_t validBytes,
+                 std::string* error);
+
+} // namespace dscoh::svc

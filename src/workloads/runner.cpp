@@ -130,18 +130,30 @@ bool WorkloadRun::tryRestore(const std::string& path, bool required)
 void WorkloadRun::drain()
 {
     EventQueue& queue = sys_->queue();
-    if (opts_.maxIdleTicks == 0) {
+    if (opts_.maxIdleTicks == 0 && opts_.cancelFlag == nullptr) {
         queue.run();
         return;
     }
     // Slice the run so a protocol hang surfaces as an error instead of an
-    // infinite loop. runUntil() preserves event order exactly (the slice
-    // boundary only bounds the clock), so the watchdog never perturbs the
-    // simulation.
+    // infinite loop, and so a raised cancel flag is noticed within one
+    // slice. runUntil() preserves event order exactly (the slice boundary
+    // only bounds the clock), so neither watchdog perturbs the simulation.
+    // With only cancellation on, slices are a fixed stride: long enough to
+    // stay off the hot path, short enough that cancels land promptly.
+    constexpr Tick kCancelCheckTicks = Tick{1} << 16;
+    const Tick slice =
+        opts_.maxIdleTicks != 0 ? opts_.maxIdleTicks : kCancelCheckTicks;
     while (!queue.empty()) {
+        if (opts_.cancelFlag != nullptr &&
+            opts_.cancelFlag->load(std::memory_order_relaxed))
+            throw CancelledError(workload_.info().code + " (" +
+                                 std::string(to_string(size_)) + ", " +
+                                 to_string(mode_) + "): cancelled at tick " +
+                                 std::to_string(queue.curTick()));
         const std::uint64_t before = queue.executedEvents();
-        queue.runUntil(queue.curTick() + opts_.maxIdleTicks);
-        if (!queue.empty() && queue.executedEvents() == before) {
+        queue.runUntil(queue.curTick() + slice);
+        if (opts_.maxIdleTicks != 0 && !queue.empty() &&
+            queue.executedEvents() == before) {
             std::string msg =
                 workload_.info().code + " (" +
                 std::string(to_string(size_)) + ", " + to_string(mode_) +
@@ -180,16 +192,26 @@ void WorkloadRun::afterPhase(std::size_t phase)
         // Populate the fork-after-produce cache (atomic write: concurrent
         // sweep jobs racing on the same key both publish a valid file),
         // then trim the shared store back under its byte budget — the
-        // fresh entry itself is exempt from this eviction pass.
-        snap::SnapshotCache cache(opts_.produceCacheDir,
-                                  opts_.produceCacheMaxBytes);
-        const std::string file = produceCacheFile(
-            sys_->configHash(), workload_.info().code, size_);
-        writeCheckpoint(cache.pathFor(file));
-        cache.evictToBudget(file);
+        // fresh entry itself is exempt from this eviction pass. The cache
+        // and the rolling phase checkpoint below are pure optimizations:
+        // a storage failure (a full disk, an injected fault) costs their
+        // benefit, never the simulation itself.
+        try {
+            snap::SnapshotCache cache(opts_.produceCacheDir,
+                                      opts_.produceCacheMaxBytes);
+            const std::string file = produceCacheFile(
+                sys_->configHash(), workload_.info().code, size_);
+            writeCheckpoint(cache.pathFor(file));
+            cache.evictToBudget(file);
+        } catch (const snap::SnapError&) {
+        }
     }
-    if (!opts_.phaseCheckpointPath.empty() && phasesDone_ < phaseCount())
-        writeCheckpoint(opts_.phaseCheckpointPath);
+    if (!opts_.phaseCheckpointPath.empty() && phasesDone_ < phaseCount()) {
+        try {
+            writeCheckpoint(opts_.phaseCheckpointPath);
+        } catch (const snap::SnapError&) {
+        }
+    }
 
     if (!opts_.checkpointOut.empty() && !checkpointWritten_) {
         const bool tickHit = opts_.checkpointAtTick != 0 &&

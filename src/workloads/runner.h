@@ -13,6 +13,7 @@
 // sequence, tie-break RNG) travels with the snapshot.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -88,6 +89,12 @@ struct WorkloadRunOptions {
     /// ticks pass without a single event executing while work is still
     /// queued, instead of spinning forever on a protocol hang. 0 = off.
     Tick maxIdleTicks = 0;
+
+    /// Cooperative cancellation: checked between run slices (every
+    /// maxIdleTicks, or a fixed stride when the watchdog is off); when the
+    /// pointee becomes true the run throws CancelledError at the next
+    /// check. Null = not cancellable (the historical fast path).
+    const std::atomic<bool>* cancelFlag = nullptr;
 
     /// Attach the live CoherenceChecker oracle for the whole run. Any
     /// violation it records surfaces in WorkloadRunResult::violations and

@@ -3,12 +3,15 @@
 // guarantee behind every engine-backed bench and tool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
 
 #include "coherence/transition_coverage.h"
+#include "core/config_io.h"
 #include "exp/experiment_engine.h"
+#include "sim/errors.h"
 
 namespace dscoh {
 namespace {
@@ -247,6 +250,25 @@ TEST(ExperimentEngine, ProcessWideCoverageMergesAcrossWorkers)
     EXPECT_EQ(TransitionCoverage::aggregateSnapshot(), merged);
     TransitionCoverage::instance().reset();
     TransitionCoverage::resetAggregate();
+}
+
+TEST(ExperimentEngine, PreCancelledJobFailsAsCancelledNotCrashed)
+{
+    // The service's deadline path: a cancel flag that is already set when
+    // the job starts. The job must come back as an ordinary failed result
+    // (never an exception out of the pool) whose error names the
+    // cancellation, classed as an unclassified failure — not IO, not a
+    // model bug.
+    ExperimentJob job;
+    job.code = "VA";
+    std::atomic<bool> cancel{true};
+    JobRunOptions options;
+    options.cancel = &cancel;
+    const ExperimentResult r =
+        runExperimentJob(job, configHashOf(job.config), options);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("cancelled"), std::string::npos) << r.error;
+    EXPECT_EQ(r.errorClass, kExitFailure);
 }
 
 TEST(ExperimentEngine, ResultCarriesStatSnapshot)

@@ -252,5 +252,103 @@ TEST(Protocol, SpoolScanAdmitsAndRejectsFiles)
     EXPECT_NE(status.find("spooler"), std::string::npos);
 }
 
+TEST(Protocol, OversizedLineIsRejectedWithAnError)
+{
+    ScratchDir dir("svc_proto_oversize");
+    ServiceOptions opts;
+    opts.stateDir = dir.path();
+    opts.workers = 1;
+    SweepService svc(opts);
+
+    bool shutdown = false;
+    const std::string reply = handleRequestLine(
+        svc, std::string(kMaxProtocolLineBytes + 1, 'a'), &shutdown);
+    const jsonlite::ValuePtr v = parseOrDie(reply);
+    EXPECT_FALSE(okOf(v));
+    EXPECT_NE(v->get("error")->string.find("exceeds"), std::string::npos);
+    EXPECT_FALSE(shutdown);
+}
+
+TEST(Protocol, ControlBytesAreRejectedWithAnError)
+{
+    ScratchDir dir("svc_proto_ctrl");
+    ServiceOptions opts;
+    opts.stateDir = dir.path();
+    opts.workers = 1;
+    SweepService svc(opts);
+
+    bool shutdown = false;
+    const std::string reply =
+        handleRequestLine(svc, std::string("{\"op\": \"p\x01ing\"}"),
+                          &shutdown);
+    const jsonlite::ValuePtr v = parseOrDie(reply);
+    EXPECT_FALSE(okOf(v));
+    EXPECT_NE(v->get("error")->string.find("control byte"),
+              std::string::npos);
+}
+
+TEST(Protocol, ShedSubmitReplyCarriesRetryAfter)
+{
+    ScratchDir dir("svc_proto_shed");
+    ServiceOptions opts;
+    opts.stateDir = dir.path();
+    opts.workers = 1;
+    opts.maxQueuedJobs = 1; // a two-job request is over the queue budget
+    SweepService svc(opts);
+
+    SweepRequest r;
+    r.codes = {"VA", "BL"};
+    r.modes = {CoherenceMode::kCcsm};
+    bool shutdown = false;
+    const std::string reply = handleRequestLine(
+        svc,
+        "{\"op\": \"submit\", \"request\": \"" +
+            jsonEscape(renderRequestJson(r)) + "\"}",
+        &shutdown);
+    const jsonlite::ValuePtr v = parseOrDie(reply);
+    EXPECT_FALSE(okOf(v));
+    // Machine-readable overload marker: shed flag plus a backoff hint, so
+    // shell clients can retry without parsing the error text.
+    ASSERT_NE(v->get("shed"), nullptr);
+    EXPECT_TRUE(v->get("shed")->boolean);
+    ASSERT_NE(v->get("retryAfterMs"), nullptr);
+    EXPECT_GE(v->get("retryAfterMs")->asUint(), 250u);
+}
+
+TEST(LineFramer, FramesLinesAndStripsCrlf)
+{
+    LineFramer f;
+    std::string line;
+    for (const char c : std::string("{\"op\":\t\"ping\"}\r"))
+        EXPECT_EQ(f.push(c, &line), LineFramer::Result::kNeedMore);
+    EXPECT_EQ(f.push('\n', &line), LineFramer::Result::kLine);
+    EXPECT_EQ(line, "{\"op\":\t\"ping\"}"); // tab kept, CR stripped
+    EXPECT_EQ(f.pending(), 0u);
+}
+
+TEST(LineFramer, RejectsControlBytesAndResets)
+{
+    LineFramer f;
+    std::string line;
+    EXPECT_EQ(f.push('a', &line), LineFramer::Result::kNeedMore);
+    EXPECT_EQ(f.push('\0', &line), LineFramer::Result::kBadByte);
+    EXPECT_EQ(f.pending(), 0u); // poisoned buffer discarded
+    EXPECT_EQ(f.push('\x02', &line), LineFramer::Result::kBadByte);
+    // The framer is reusable after a violation.
+    EXPECT_EQ(f.push('b', &line), LineFramer::Result::kNeedMore);
+    EXPECT_EQ(f.push('\n', &line), LineFramer::Result::kLine);
+    EXPECT_EQ(line, "b");
+}
+
+TEST(LineFramer, EnforcesTheLengthCap)
+{
+    LineFramer f(8);
+    std::string line;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(f.push('x', &line), LineFramer::Result::kNeedMore);
+    EXPECT_EQ(f.push('x', &line), LineFramer::Result::kTooLong);
+    EXPECT_EQ(f.pending(), 0u);
+}
+
 } // namespace
 } // namespace dscoh::svc

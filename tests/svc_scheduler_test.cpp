@@ -153,5 +153,36 @@ TEST(FairScheduler, SharesReportQueueAndDispatchCounts)
     EXPECT_EQ(shares[0].dispatched + shares[1].dispatched, 1u);
 }
 
+TEST(FairScheduler, PredicateSkipsIneligibleTenantWithoutCostingItShare)
+{
+    FairScheduler s;
+    std::string error;
+    ASSERT_TRUE(s.enqueue("ra", "alice", 0, 1, 4, &error));
+    ASSERT_TRUE(s.enqueue("rb", "bob", 0, 1, 4, &error));
+
+    // While alice is over budget only bob's units dispatch...
+    const auto onlyBob = [](const std::string& t) { return t == "bob"; };
+    for (int i = 0; i < 2; ++i) {
+        const std::optional<JobUnit> u = s.next(onlyBob);
+        ASSERT_TRUE(u.has_value());
+        EXPECT_EQ(u->requestId, "rb");
+    }
+    // ...and nothing dispatches when nobody is eligible, without losing
+    // the queued work.
+    EXPECT_FALSE(s.next([](const std::string&) { return false; }).has_value());
+    EXPECT_EQ(s.queuedJobs(), 6u);
+
+    // Once alice is eligible again she was not charged for the skipped
+    // rounds: her backlog drains first until virtual times equalize.
+    std::map<std::string, int> nextFour;
+    for (int i = 0; i < 4; ++i) {
+        const std::optional<JobUnit> u = s.next();
+        ASSERT_TRUE(u.has_value());
+        ++nextFour[u->requestId];
+    }
+    EXPECT_EQ(nextFour["ra"], 3);
+    EXPECT_EQ(nextFour["rb"], 1);
+}
+
 } // namespace
 } // namespace dscoh::svc

@@ -1,0 +1,198 @@
+// Spool-intake edge cases: files a slow or crashed writer leaves behind.
+// A complete drop is admitted exactly once per appearance; an incomplete
+// one (empty, or missing its terminal newline) gets a grace period to
+// finish growing and is then quarantined as .rejected + .error; transient
+// rejections (backpressure) leave the file for a later scan instead of
+// quarantining a good request.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "svc/request.h"
+#include "svc/service.h"
+
+namespace dscoh::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+public:
+    explicit ScratchDir(const std::string& name)
+        : path_(testing::TempDir() + name)
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() { fs::remove_all(path_); }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void spit(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+}
+
+ServiceOptions spoolOpts(const ScratchDir& dir)
+{
+    ServiceOptions opts;
+    opts.stateDir = dir.path();
+    opts.workers = 1;
+    opts.spoolQuarantineScans = 1; // tight grace period for test speed
+    return opts;
+}
+
+std::string goodRequestText()
+{
+    SweepRequest r;
+    r.tenant = "spooler";
+    r.codes = {"VA"};
+    r.modes = {CoherenceMode::kCcsm};
+    return renderRequestJson(r) + "\n";
+}
+
+TEST(SpoolIntake, ZeroByteFileAgesOutToQuarantine)
+{
+    ScratchDir dir("svc_spool_zero");
+    SweepService svc(spoolOpts(dir));
+    const std::string path = dir.path() + "/spool/empty.json";
+    spit(path, "");
+
+    // One scan of grace (the writer may still be coming), then quarantine.
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".rejected"));
+    EXPECT_EQ(slurp(path + ".error"), "empty file\n");
+}
+
+TEST(SpoolIntake, MissingTerminalNewlineAgesOutToQuarantine)
+{
+    ScratchDir dir("svc_spool_noeol");
+    SweepService svc(spoolOpts(dir));
+    const std::string path = dir.path() + "/spool/torn.json";
+    const std::string text = goodRequestText();
+    spit(path, text.substr(0, text.size() - 1)); // perfect, minus the '\n'
+
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_TRUE(fs::exists(path + ".rejected"));
+    EXPECT_EQ(slurp(path + ".error"),
+              "incomplete submission (no terminal newline)\n");
+}
+
+TEST(SpoolIntake, FileThatFinishesGrowingIsAdmittedNotQuarantined)
+{
+    ScratchDir dir("svc_spool_grow");
+    SweepService svc(spoolOpts(dir));
+    const std::string path = dir.path() + "/spool/slow.json";
+    const std::string text = goodRequestText();
+    spit(path, text.substr(0, 10));
+
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    // The writer made progress: the size change restarts the aging clock.
+    spit(path, text.substr(0, text.size() - 1));
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    // And finished: the complete file is admitted on the next scan.
+    spit(path, text);
+    EXPECT_EQ(svc.scanSpool(), 1u);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(path + ".rejected"));
+    svc.drain();
+}
+
+TEST(SpoolIntake, SameBasenameIsAdmittedAgainAfterConsumption)
+{
+    ScratchDir dir("svc_spool_dup");
+    SweepService svc(spoolOpts(dir));
+    const std::string path = dir.path() + "/spool/runme.json";
+
+    spit(path, goodRequestText());
+    EXPECT_EQ(svc.scanSpool(), 1u);
+    EXPECT_FALSE(fs::exists(path));
+
+    // A fresh drop under the same name is a new request, not a replay.
+    spit(path, goodRequestText());
+    EXPECT_EQ(svc.scanSpool(), 1u);
+    svc.drain();
+
+    std::string status, error;
+    EXPECT_TRUE(svc.statusJson("r000001", &status, &error)) << error;
+    EXPECT_TRUE(svc.statusJson("r000002", &status, &error)) << error;
+}
+
+TEST(SpoolIntake, UnparseableRequestRoundTripsThroughRejectedAndError)
+{
+    ScratchDir dir("svc_spool_bad");
+    SweepService svc(spoolOpts(dir));
+    const std::string path = dir.path() + "/spool/nope.json";
+    spit(path, "{\"codes\": [\"NOPE\"]}\n");
+
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_TRUE(fs::exists(path + ".rejected"));
+    // The note names the precise reason, so the submitter can fix and
+    // re-drop; the .rejected file preserves the original bytes.
+    EXPECT_NE(slurp(path + ".error").find("NOPE"), std::string::npos);
+    EXPECT_EQ(slurp(path + ".rejected"), "{\"codes\": [\"NOPE\"]}\n");
+}
+
+TEST(SpoolIntake, BackpressureLeavesTheFileForALaterScan)
+{
+    ScratchDir dir("svc_spool_shed");
+    ServiceOptions opts = spoolOpts(dir);
+    opts.maxQueuedJobs = 1; // any multi-job request is shed
+    SweepService svc(opts);
+
+    SweepRequest big;
+    big.tenant = "spooler";
+    big.codes = {"VA", "BL"};
+    big.modes = {CoherenceMode::kCcsm};
+    const std::string path = dir.path() + "/spool/big.json";
+    spit(path, renderRequestJson(big) + "\n");
+
+    // Shed is transient: the request is valid, the queue is just full —
+    // repeated scans neither consume nor quarantine the file.
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(path + ".rejected"));
+}
+
+TEST(SpoolIntake, MissingQuarantineNoteIsSelfHealed)
+{
+    ScratchDir dir("svc_spool_heal");
+    SweepService svc(spoolOpts(dir));
+    // A crash between the quarantine rename and its .error note leaves a
+    // .rejected with no explanation; the next scan repairs it.
+    const std::string path = dir.path() + "/spool/orphan.json";
+    spit(path + ".rejected", "half a requ");
+
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_EQ(slurp(path + ".error"),
+              "quarantined (reason lost to a crash)\n");
+
+    // An existing note is left alone.
+    spit(path + ".error", "original reason\n");
+    EXPECT_EQ(svc.scanSpool(), 0u);
+    EXPECT_EQ(slurp(path + ".error"), "original reason\n");
+}
+
+} // namespace
+} // namespace dscoh::svc

@@ -1,0 +1,135 @@
+// CRC-framed WAL records: framing round-trips, torn tails are detected
+// and cut at the last valid record, corruption stops replay instead of
+// feeding garbage to recovery, and PR-9-era unframed logs still replay.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "svc/wal.h"
+
+namespace dscoh::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempWal(const std::string& name)
+{
+    const std::string p = testing::TempDir() + name;
+    std::error_code ec;
+    fs::remove(p, ec);
+    return p;
+}
+
+void spit(const std::string& path, const std::string& contents)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+}
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(Wal, FramedRecordsRoundTrip)
+{
+    const std::string path = tempWal("wal_roundtrip");
+    spit(path, walFrame("{\"event\": \"accepted\", \"id\": \"r1\"}") +
+                   walFrame("{\"event\": \"done\", \"id\": \"r1\"}"));
+    const WalReadResult r = readWal(path);
+    EXPECT_FALSE(r.truncated);
+    ASSERT_EQ(r.payloads.size(), 2u);
+    EXPECT_EQ(r.payloads[0], "{\"event\": \"accepted\", \"id\": \"r1\"}");
+    EXPECT_EQ(r.payloads[1], "{\"event\": \"done\", \"id\": \"r1\"}");
+}
+
+TEST(Wal, MissingFileIsCleanAndEmpty)
+{
+    const WalReadResult r = readWal(tempWal("wal_missing"));
+    EXPECT_FALSE(r.truncated);
+    EXPECT_TRUE(r.payloads.empty());
+    EXPECT_EQ(r.validBytes, 0u);
+}
+
+TEST(Wal, TornFinalRecordIsDetectedAndCut)
+{
+    const std::string path = tempWal("wal_torn");
+    const std::string good = walFrame("{\"a\": 1}") + walFrame("{\"b\": 2}");
+    const std::string torn = walFrame("{\"c\": 3}");
+    // Lose the tail of the final record, newline included — a torn append.
+    spit(path, good + torn.substr(0, torn.size() - 4));
+
+    WalReadResult r = readWal(path);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_EQ(r.reason, "incomplete final record");
+    ASSERT_EQ(r.payloads.size(), 2u);
+    EXPECT_EQ(r.validBytes, good.size());
+
+    std::string error;
+    ASSERT_TRUE(truncateWal(path, r.validBytes, &error)) << error;
+    EXPECT_EQ(slurp(path), good);
+    r = readWal(path);
+    EXPECT_FALSE(r.truncated);
+    EXPECT_EQ(r.payloads.size(), 2u);
+}
+
+TEST(Wal, CrcMismatchStopsReplayAtTheBadRecord)
+{
+    const std::string path = tempWal("wal_crc");
+    const std::string first = walFrame("{\"a\": 1}");
+    std::string second = walFrame("{\"b\": 2}");
+    second[second.size() - 3] ^= 0x20; // flip a payload byte, keep framing
+    spit(path, first + second + walFrame("{\"c\": 3}"));
+
+    const WalReadResult r = readWal(path);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_EQ(r.reason, "record CRC mismatch");
+    // Everything before the corrupt record is trusted; nothing after it
+    // is, even though the third record's own CRC is fine.
+    ASSERT_EQ(r.payloads.size(), 1u);
+    EXPECT_EQ(r.payloads[0], "{\"a\": 1}");
+    EXPECT_EQ(r.validBytes, first.size());
+}
+
+TEST(Wal, LegacyUnframedJsonLinesStillReplay)
+{
+    const std::string path = tempWal("wal_legacy");
+    spit(path, "{\"event\": \"accepted\", \"id\": \"r1\"}\n" +
+                   walFrame("{\"event\": \"done\", \"id\": \"r1\"}"));
+    const WalReadResult r = readWal(path);
+    EXPECT_FALSE(r.truncated);
+    ASSERT_EQ(r.payloads.size(), 2u);
+    EXPECT_EQ(r.payloads[0], "{\"event\": \"accepted\", \"id\": \"r1\"}");
+}
+
+TEST(Wal, UnrecognizedFramingIsTreatedAsATornTail)
+{
+    const std::string path = tempWal("wal_garbage");
+    const std::string good = walFrame("{\"a\": 1}");
+    spit(path, good + "!notahexcrc {\"b\": 2}\n");
+    const WalReadResult r = readWal(path);
+    EXPECT_TRUE(r.truncated);
+    ASSERT_EQ(r.payloads.size(), 1u);
+    EXPECT_EQ(r.validBytes, good.size());
+}
+
+TEST(Wal, EmptyLinesAreSkippedButCountedValid)
+{
+    const std::string path = tempWal("wal_blank");
+    const std::string body = walFrame("{\"a\": 1}") + "\n" +
+                             walFrame("{\"b\": 2}");
+    spit(path, body);
+    const WalReadResult r = readWal(path);
+    EXPECT_FALSE(r.truncated);
+    EXPECT_EQ(r.payloads.size(), 2u);
+    EXPECT_EQ(r.validBytes, body.size());
+}
+
+} // namespace
+} // namespace dscoh::svc

@@ -76,6 +76,22 @@ jsonlite::ValuePtr call(const svc::SvcClient& client,
                   << (err != nullptr && err->isString() ? err->string
                                                         : reply)
                   << "\n";
+        // Overload/degraded rejections get their own exit codes so shell
+        // callers can implement backoff without parsing the reply.
+        if (const jsonlite::Value* shed = v->get("shed");
+            shed != nullptr && shed->kind == jsonlite::Kind::kBool &&
+            shed->boolean) {
+            if (const jsonlite::Value* retry = v->get("retryAfterMs");
+                retry != nullptr && retry->isNumber())
+                std::cerr << "dscoh_client: retry after "
+                          << static_cast<std::uint64_t>(retry->number)
+                          << " ms\n";
+            std::exit(kExitShed);
+        }
+        if (const jsonlite::Value* deg = v->get("degraded");
+            deg != nullptr && deg->kind == jsonlite::Kind::kBool &&
+            deg->boolean)
+            std::exit(kExitDegraded);
         std::exit(kExitFailure);
     }
     if (rawReply != nullptr)
@@ -138,6 +154,7 @@ int main(int argc, char** argv)
     std::string modesText;
     std::string configFile;
     std::string requestFile;
+    std::uint64_t deadlineMs = 0;
     bool watchFlag = false;
 
     cli::OptionParser parser(
@@ -162,6 +179,10 @@ int main(int argc, char** argv)
     parser.addString("request",
                      "submit: raw request JSON file (overrides other flags)",
                      &requestFile);
+    parser.addUint("deadline-ms",
+                   "submit: cancel the request if not finished in this many "
+                   "ms (0 = no deadline)",
+                   &deadlineMs);
     parser.addFlag("watch", "submit: poll until the request is terminal",
                    &watchFlag);
     if (!parser.parse(argc, argv, std::cerr))
@@ -249,6 +270,7 @@ int main(int argc, char** argv)
             std::cerr << "dscoh_client: " << error << "\n";
             return kExitUsage;
         }
+        r.deadlineMs = deadlineMs;
         requestJson = svc::renderRequestJson(r);
     }
 

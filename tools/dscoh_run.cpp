@@ -11,6 +11,7 @@
 
 #include "cli/options.h"
 #include "core/config_io.h"
+#include "fault/io_fault.h"
 #include "obs/epoch_sampler.h"
 #include "obs/trace_session.h"
 #include "sim/errors.h"
@@ -262,6 +263,12 @@ int main(int argc, char** argv)
     parser.addUint("max-idle-ticks", "abort when this many ticks pass with "
                    "no event executing (deadlock watchdog, 0 = off)",
                    &maxIdleTicks);
+    std::string ioFaultSpec;
+    parser.addString("iofault",
+                     "storage-fault injection spec for this process's "
+                     "snapshot/journal writes (key=value[,...]; see "
+                     "src/fault/io_fault.h) — testing only",
+                     &ioFaultSpec);
     if (!parser.parse(argc, argv, std::cerr))
         return kExitUsage;
     if (dumpCfg) {
@@ -307,6 +314,19 @@ int main(int argc, char** argv)
                 return kExitUsage;
             }
         }
+        // Arm storage-fault injection from the flag or from iofault-* keys
+        // in the config file (flag wins). Injection applies to this
+        // process's own durable writes — checkpoints, journals.
+        if (!ioFaultSpec.empty()) {
+            std::string error;
+            if (!fault::parseIoFaultSpec(ioFaultSpec, &cfg.ioFaults,
+                                         &error)) {
+                std::cerr << "dscoh_run: " << error << "\n";
+                return kExitUsage;
+            }
+        }
+        if (cfg.ioFaults.enabled())
+            fault::installIoFaults(cfg.ioFaults);
         {
             std::string error;
             if (!cli::resolveLogLevel(logLevelText, cfg.logLevel, error)) {

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "cli/options.h"
+#include "fault/io_fault.h"
 #include "sim/errors.h"
 #include "svc/server.h"
 
@@ -41,8 +42,11 @@ int main(int argc, char** argv)
     std::string jobsText;
     std::uint64_t maxQueuedJobs = 0;
     std::uint64_t cacheMaxMb = 0;
+    std::uint64_t tenantMemBudgetMb = 0;
+    std::uint64_t defaultDeadlineMs = 0;
     bool noForkProduce = false;
     bool jobCheckpoints = false;
+    std::string ioFaultSpec;
 
     cli::OptionParser parser(
         "dscoh_svc",
@@ -68,11 +72,34 @@ int main(int argc, char** argv)
                    "write per-job produce checkpoints (resumes the one job "
                    "a crash interrupted, at a snapshot write per job)",
                    &jobCheckpoints);
+    parser.addUint("tenant-mem-budget-mb",
+                   "soft per-tenant in-flight memory budget in MiB "
+                   "(0 = unbounded)",
+                   &tenantMemBudgetMb);
+    parser.addUint("default-deadline-ms",
+                   "deadline for requests that carry none, ms (0 = none)",
+                   &defaultDeadlineMs);
+    parser.addString("iofault",
+                     "storage-fault injection spec (key=value[,...]: "
+                     "torn-write-ppm, enospc-ppm, eio-ppm, fsync-fail-ppm, "
+                     "crash-before/after-rename-ppm, short-write-ppm, "
+                     "torn-offset-pct, op-start, op-end, max-faults, path, "
+                     "seed) — chaos testing only",
+                     &ioFaultSpec);
     if (!parser.parse(argc, argv, std::cerr))
         return kExitUsage;
     if (stateDir.empty()) {
         std::cerr << "dscoh_svc: --state is required\n";
         return kExitUsage;
+    }
+    if (!ioFaultSpec.empty()) {
+        fault::IoFaultConfig ioCfg;
+        std::string specError;
+        if (!fault::parseIoFaultSpec(ioFaultSpec, &ioCfg, &specError)) {
+            std::cerr << "dscoh_svc: " << specError << "\n";
+            return kExitUsage;
+        }
+        fault::installIoFaults(ioCfg);
     }
 
     unsigned workers = 0;
@@ -92,6 +119,8 @@ int main(int argc, char** argv)
     opts.forkProduce = !noForkProduce;
     opts.cacheMaxBytes = cacheMaxMb * 1024 * 1024;
     opts.jobCheckpoints = jobCheckpoints;
+    opts.tenantMemBudgetBytes = tenantMemBudgetMb * 1024 * 1024;
+    opts.defaultDeadlineMs = defaultDeadlineMs;
 
     try {
         svc::SweepService service(opts);
